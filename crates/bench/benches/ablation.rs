@@ -1,0 +1,91 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **GLSC entry implementation** (§3.3): per-line tag bits vs a
+//!    fully-associative buffer of 1 / 4 / 16 / 64 entries.
+//! 2. **Gather-link failure policy** (§3.2): wait-for-miss (default) vs
+//!    fail-on-miss.
+//! 3. **Stride prefetcher** on/off (§4.1).
+//!
+//! Each ablation runs the GLSC histogram (HIP) and the TMS reduction on
+//! the 4×4 machine and reports cycles plus the GLSC element failure rate.
+
+use glsc_bench::{header, pct};
+use glsc_kernels::{build_named, run_workload, Dataset, Variant};
+use glsc_sim::{GlscConfig, MachineConfig};
+
+fn dataset() -> Dataset {
+    if std::env::var("GLSC_DATASETS").is_ok_and(|v| v == "tiny") {
+        Dataset::Tiny
+    } else {
+        Dataset::A
+    }
+}
+
+fn run_with(kernel: &str, cfg: &MachineConfig) -> (u64, f64, u64) {
+    let w = build_named(kernel, dataset(), Variant::Glsc, cfg);
+    let out = run_workload(&w, cfg).unwrap_or_else(|e| panic!("{e}"));
+    (
+        out.report.cycles,
+        out.report.glsc_failure_rate(),
+        out.report.total_instructions(),
+    )
+}
+
+fn main() {
+    let base_cfg = MachineConfig::paper(4, 4, 4);
+
+    header(
+        "Ablation 1: GLSC entry storage (per-line tags vs fully-assoc buffer)",
+        "paper 3.3: the buffer \"could be made quite small\"",
+    );
+    println!("{:<10} {:>12} {:>10} {:>12} {:>10}", "entries", "HIP cyc", "HIP fail", "TMS cyc", "TMS fail");
+    // Below SIMD-width entries the 4 SMT threads sharing one buffer evict
+    // each other's links continuously and retry loops stop converging
+    // (starvation) — the paper's "one to SIMD-width x #SMT threads" sizing
+    // implicitly assumes at least per-instruction capacity.
+    for buffer in [None, Some(64usize), Some(16), Some(4)] {
+        let mut cfg = base_cfg.clone();
+        cfg.mem.glsc_buffer_entries = buffer;
+        let hip = run_with("HIP", &cfg);
+        let tms = run_with("TMS", &cfg);
+        let label = buffer.map_or("per-line".to_string(), |k| format!("buf[{k}]"));
+        println!(
+            "{:<10} {:>12} {:>10} {:>12} {:>10}",
+            label,
+            hip.0,
+            pct(hip.1),
+            tms.0,
+            pct(tms.1)
+        );
+    }
+
+    header(
+        "Ablation 2: gather-link miss policy (paper 3.2 design freedom (c))",
+        "fail-on-miss trades reservation hold time for extra retries",
+    );
+    println!("{:<14} {:>12} {:>10} {:>12} {:>10}", "policy", "HIP cyc", "HIP fail", "TMS cyc", "TMS fail");
+    for (label, fail_on_miss) in [("wait-for-miss", false), ("fail-on-miss", true)] {
+        let mut cfg = base_cfg.clone();
+        cfg.glsc = GlscConfig { fail_on_l1_miss: fail_on_miss, ..GlscConfig::default() };
+        let hip = run_with("HIP", &cfg);
+        let tms = run_with("TMS", &cfg);
+        println!(
+            "{:<14} {:>12} {:>10} {:>12} {:>10}",
+            label,
+            hip.0,
+            pct(hip.1),
+            tms.0,
+            pct(tms.1)
+        );
+    }
+
+    header("Ablation 3: L1 stride prefetcher on/off (paper 4.1)", "");
+    println!("{:<10} {:>12} {:>12}", "prefetch", "HIP cyc", "TMS cyc");
+    for on in [true, false] {
+        let mut cfg = base_cfg.clone();
+        cfg.mem.prefetch = on;
+        let hip = run_with("HIP", &cfg);
+        let tms = run_with("TMS", &cfg);
+        println!("{:<10} {:>12} {:>12}", if on { "on" } else { "off" }, hip.0, tms.0);
+    }
+}

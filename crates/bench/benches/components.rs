@@ -1,0 +1,154 @@
+//! Criterion microbenchmarks of the simulator substrate — ablations for
+//! the design choices called out in DESIGN.md (tag-array cost, coherence
+//! walk, GSU combining, end-to-end simulation rate).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use glsc_core::{CoreMemUnit, GlscConfig, GsuKind};
+use glsc_isa::{ProgramBuilder, Reg};
+use glsc_mem::{MemConfig, MemOp, MemorySystem, TagArray};
+use glsc_sim::{Machine, MachineConfig};
+use std::hint::black_box;
+
+fn bench_tag_array(c: &mut Criterion) {
+    c.bench_function("tags/lookup_hit", |b| {
+        let mut tags: TagArray<u32> = TagArray::new(128, 4, 64);
+        for i in 0..512u64 {
+            tags.insert(i * 64, i as u32);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(tags.lookup_mut(i * 64));
+        });
+    });
+    c.bench_function("tags/insert_evict", |b| {
+        b.iter_batched(
+            || TagArray::<u32>::new(8, 2, 64),
+            |mut tags| {
+                for i in 0..64u64 {
+                    black_box(tags.insert(i * 64, i as u32));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    c.bench_function("mem/l1_hit_path", |b| {
+        let mut cfg = MemConfig::default();
+        cfg.prefetch = false;
+        let mut m = MemorySystem::new(cfg, 1, 4);
+        m.access(0, 0, MemOp::Load, 0x100, 0);
+        let mut now = 400u64;
+        b.iter(|| {
+            now += 1;
+            black_box(m.access(0, 0, MemOp::Load, 0x100, now));
+        });
+    });
+    c.bench_function("mem/cross_core_pingpong", |b| {
+        let mut cfg = MemConfig::default();
+        cfg.prefetch = false;
+        let mut m = MemorySystem::new(cfg, 2, 4);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            black_box(m.access((now % 2) as usize, 0, MemOp::Store, 0x100, now));
+        });
+    });
+}
+
+fn bench_gsu(c: &mut Criterion) {
+    c.bench_function("gsu/gather_4_combined", |b| {
+        let mut cfg = MemConfig::default();
+        cfg.prefetch = false;
+        let mut mem = MemorySystem::new(cfg, 1, 4);
+        mem.access(0, 0, MemOp::Load, 0x100, 0);
+        let mut unit = CoreMemUnit::new(0, 4, GlscConfig::default());
+        let mut now = 400u64;
+        b.iter(|| {
+            unit.gsu_start(
+                0,
+                GsuKind::Gather { vd: 0 },
+                vec![(0, 0x100, 0), (1, 0x104, 0), (2, 0x108, 0), (3, 0x10c, 0)],
+                4,
+            );
+            loop {
+                now += 1;
+                if !unit.tick(&mut mem, now).is_empty() {
+                    break;
+                }
+            }
+        });
+    });
+    c.bench_function("gsu/glsc_roundtrip", |b| {
+        let mut cfg = MemConfig::default();
+        cfg.prefetch = false;
+        let mut mem = MemorySystem::new(cfg, 1, 4);
+        let mut unit = CoreMemUnit::new(0, 4, GlscConfig::default());
+        let mut now = 0u64;
+        b.iter(|| {
+            unit.gsu_start(0, GsuKind::GatherLink { fd: 0, vd: 0 }, vec![(0, 0x100, 0)], 4);
+            loop {
+                now += 1;
+                if !unit.tick(&mut mem, now).is_empty() {
+                    break;
+                }
+            }
+            unit.gsu_start(0, GsuKind::ScatterCond { fd: 0 }, vec![(0, 0x100, 7)], 4);
+            loop {
+                now += 1;
+                if !unit.tick(&mut mem, now).is_empty() {
+                    break;
+                }
+            }
+        });
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    // End-to-end simulation rate: simulated instructions per host second.
+    c.bench_function("machine/scalar_loop_1x1", |b| {
+        b.iter_batched(
+            || {
+                let mut bld = ProgramBuilder::new();
+                let (acc, i) = (Reg::new(2), Reg::new(3));
+                bld.li(acc, 0);
+                bld.li(i, 0);
+                let top = bld.here();
+                bld.add(acc, acc, i);
+                bld.addi(i, i, 1);
+                bld.blt(i, 2000, top);
+                bld.halt();
+                let mut m = Machine::new(MachineConfig::paper(1, 1, 4));
+                m.load_program(bld.build().unwrap());
+                m
+            },
+            |mut m| {
+                black_box(m.run().unwrap());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("machine/glsc_histogram_4x4", |b| {
+        b.iter_batched(
+            || {
+                let cfg = MachineConfig::paper(4, 4, 4);
+                let w = glsc_kernels::hip::Hip::new(glsc_kernels::Dataset::Tiny)
+                    .build(glsc_kernels::Variant::Glsc, &cfg);
+                (w, cfg)
+            },
+            |(w, cfg)| {
+                black_box(glsc_kernels::run_workload(&w, &cfg).unwrap());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tag_array, bench_memory_system, bench_gsu, bench_machine
+}
+criterion_main!(benches);

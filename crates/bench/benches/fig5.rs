@@ -1,0 +1,53 @@
+//! Figure 5: benchmark behavior with GLSC in the 1×1 configuration.
+//!
+//! (a) Percent of execution time in synchronization operations (1-wide
+//!     SIMD, GLSC — "very similar to ... Base" per §5.1).
+//! (b) SIMD efficiency: speedup of 4-wide and 16-wide SIMD over 1-wide.
+
+use glsc_bench::{datasets, ds_label, header, run};
+use glsc_kernels::{Variant, KERNEL_NAMES};
+
+fn main() {
+    header(
+        "Figure 5(a): % execution time in synchronization (1x1, 1-wide, GLSC)",
+        "paper: all benchmarks spend a significant fraction in sync ops",
+    );
+    println!("{:<6} {:>4} {:>14}", "bench", "ds", "sync time");
+    let mut fig5b: Vec<(String, f64, f64)> = Vec::new();
+    for kernel in KERNEL_NAMES {
+        for ds in datasets() {
+            let w1 = run(kernel, ds, Variant::Glsc, (1, 1), 1);
+            println!(
+                "{:<6} {:>4} {:>13.1}%",
+                kernel,
+                ds_label(ds),
+                100.0 * w1.report.sync_fraction()
+            );
+            let w4 = run(kernel, ds, Variant::Glsc, (1, 1), 4);
+            let w16 = run(kernel, ds, Variant::Glsc, (1, 1), 16);
+            fig5b.push((
+                format!("{kernel}/{}", ds_label(ds)),
+                w1.report.cycles as f64 / w4.report.cycles as f64,
+                w1.report.cycles as f64 / w16.report.cycles as f64,
+            ));
+        }
+    }
+
+    header(
+        "Figure 5(b): SIMD efficiency — speedup over 1-wide SIMD (1x1, GLSC)",
+        "paper: ~2.6x average at 4-wide, ~5x at 16-wide",
+    );
+    println!("{:<10} {:>10} {:>10}", "bench/ds", "4-wide", "16-wide");
+    let (mut s4, mut s16) = (Vec::new(), Vec::new());
+    for (name, a, b) in &fig5b {
+        println!("{name:<10} {a:>9.2}x {b:>9.2}x");
+        s4.push(*a);
+        s16.push(*b);
+    }
+    println!(
+        "{:<10} {:>9.2}x {:>9.2}x",
+        "geomean",
+        glsc_bench::geomean(&s4),
+        glsc_bench::geomean(&s16)
+    );
+}

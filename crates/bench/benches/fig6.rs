@@ -1,0 +1,55 @@
+//! Figure 6: normalized performance for 4-wide SIMD.
+//!
+//! For each benchmark and dataset, runs Base and GLSC over the four
+//! machine shapes 1×1, 1×4, 4×1 and 4×4 and prints the speedup normalized
+//! to the execution time of the **1×1 GLSC** configuration for that
+//! dataset (the paper's normalization). The closing summary reports the
+//! average GLSC-over-Base improvement at 1×1 and 4×4 (paper: 76% / 54%).
+
+use glsc_bench::{datasets, ds_label, geomean, header, run, CONFIGS};
+use glsc_kernels::{Variant, KERNEL_NAMES};
+
+fn main() {
+    header(
+        "Figure 6: speedup over 1x1 GLSC, 4-wide SIMD",
+        "columns: config = cores x threads/core; values normalized per dataset",
+    );
+    let width = 4;
+    let mut improv_1x1 = Vec::new();
+    let mut improv_4x4 = Vec::new();
+    println!(
+        "{:<6} {:>3} {:>6} {:>8} {:>8} {:>8} {:>8}",
+        "bench", "ds", "impl", "1x1", "1x4", "4x1", "4x4"
+    );
+    for kernel in KERNEL_NAMES {
+        for ds in datasets() {
+            let mut cycles = std::collections::HashMap::new();
+            for variant in [Variant::Base, Variant::Glsc] {
+                for cfg in CONFIGS {
+                    let out = run(kernel, ds, variant, cfg, width);
+                    cycles.insert((variant, cfg), out.report.cycles);
+                }
+            }
+            let norm = cycles[&(Variant::Glsc, (1, 1))] as f64;
+            for variant in [Variant::Base, Variant::Glsc] {
+                print!("{:<6} {:>3} {:>6}", kernel, ds_label(ds), variant.label());
+                for cfg in CONFIGS {
+                    print!("  {:>6.2}x", norm / cycles[&(variant, cfg)] as f64);
+                }
+                println!();
+            }
+            improv_1x1.push(
+                cycles[&(Variant::Base, (1, 1))] as f64 / cycles[&(Variant::Glsc, (1, 1))] as f64,
+            );
+            improv_4x4.push(
+                cycles[&(Variant::Base, (4, 4))] as f64 / cycles[&(Variant::Glsc, (4, 4))] as f64,
+            );
+        }
+    }
+    println!();
+    println!(
+        "GLSC over Base, geomean: 1x1 = +{:.0}%  (paper: +76%),  4x4 = +{:.0}%  (paper: +54%)",
+        100.0 * (geomean(&improv_1x1) - 1.0),
+        100.0 * (geomean(&improv_4x4) - 1.0)
+    );
+}

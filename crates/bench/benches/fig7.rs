@@ -1,0 +1,27 @@
+//! Figure 7: microbenchmark scenarios A–D on the 4×4 configuration.
+//!
+//! Each bar of the paper's figure is the ratio of Base to GLSC execution
+//! time for SIMD widths 4 and 16. Expected shape: large wins in A (miss
+//! overlap), solid wins in B/C (instruction + L1-access reduction), and a
+//! tie or loss in D (full aliasing), with D degrading further at 16-wide.
+
+use glsc_bench::{header, ratio, run_micro};
+use glsc_kernels::micro::Scenario;
+use glsc_kernels::Variant;
+
+fn main() {
+    header(
+        "Figure 7: microbenchmark, Base/GLSC execution-time ratio (4x4)",
+        "scenario A: shared distinct lines | B: same line | C: private lines | D: all aliased",
+    );
+    println!("{:<9} {:>12} {:>12}", "scenario", "width 4", "width 16");
+    for scenario in Scenario::ALL {
+        let mut cells = Vec::new();
+        for width in [4, 16] {
+            let base = run_micro(scenario, Variant::Base, (4, 4), width);
+            let glsc = run_micro(scenario, Variant::Glsc, (4, 4), width);
+            cells.push(ratio(base.report.cycles, glsc.report.cycles));
+        }
+        println!("{:<9} {:>11.2}x {:>11.2}x", scenario.label(), cells[0], cells[1]);
+    }
+}

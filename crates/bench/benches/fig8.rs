@@ -1,0 +1,47 @@
+//! Figure 8: benefit of GLSC for 1-, 4- and 16-wide SIMD on the 4×4
+//! configuration — the ratio of Base to GLSC execution time.
+//!
+//! Expected shape (paper §5.3): ≈1.0 at width 1 (GLSC introduces no
+//! overhead when there is no vector parallelism to exploit), growing with
+//! width (paper averages: +54% at 4-wide, +103% at 16-wide), largest for
+//! the benchmarks with high SIMD efficiency.
+
+use glsc_bench::{datasets, ds_label, geomean, header, ratio, run};
+use glsc_kernels::{Variant, KERNEL_NAMES};
+
+fn main() {
+    header(
+        "Figure 8: Base/GLSC execution-time ratio at 4x4",
+        "paper: ~1.0x at 1-wide, grows with SIMD width",
+    );
+    println!("{:<6} {:>3} {:>9} {:>9} {:>9}", "bench", "ds", "w1", "w4", "w16");
+    let mut per_width: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for kernel in KERNEL_NAMES {
+        for ds in datasets() {
+            let mut row = Vec::new();
+            for (i, width) in [1usize, 4, 16].into_iter().enumerate() {
+                let base = run(kernel, ds, Variant::Base, (4, 4), width);
+                let glsc = run(kernel, ds, Variant::Glsc, (4, 4), width);
+                let x = ratio(base.report.cycles, glsc.report.cycles);
+                per_width[i].push(x);
+                row.push(x);
+            }
+            println!(
+                "{:<6} {:>3} {:>8.2}x {:>8.2}x {:>8.2}x",
+                kernel,
+                ds_label(ds),
+                row[0],
+                row[1],
+                row[2]
+            );
+        }
+    }
+    println!(
+        "{:<6} {:>3} {:>8.2}x {:>8.2}x {:>8.2}x   (paper: ~1.0 / ~1.54 / ~2.03)",
+        "geo",
+        "",
+        geomean(&per_width[0]),
+        geomean(&per_width[1]),
+        geomean(&per_width[2])
+    );
+}

@@ -1,0 +1,134 @@
+//! # glsc-bench — experiment harness
+//!
+//! Regenerates every figure and table of the paper's evaluation (§5).
+//! Each `cargo bench --bench <name>` target prints the corresponding
+//! rows/series:
+//!
+//! | Target | Reproduces |
+//! |--------|------------|
+//! | `fig5` | Fig. 5(a) sync-time fraction and 5(b) SIMD efficiency |
+//! | `fig6` | Fig. 6 Base-vs-GLSC speedups at 4-wide over four configs |
+//! | `fig7` | Fig. 7 microbenchmark scenarios A–D |
+//! | `fig8` | Fig. 8 Base/GLSC ratios at widths 1/4/16 |
+//! | `table4` | Table 4 instruction / memory-stall / L1 / failure analysis |
+//! | `components` | Criterion microbenches of the simulator substrate |
+//!
+//! Set `GLSC_DATASETS=tiny` to smoke-run everything on tiny inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use glsc_kernels::{build_named, micro, run_workload, Dataset, KernelOutcome, Variant};
+use glsc_sim::MachineConfig;
+
+/// The `m x n` machine shapes of Fig. 6.
+pub const CONFIGS: [(usize, usize); 4] = [(1, 1), (1, 4), (4, 1), (4, 4)];
+
+/// Returns the dataset pair to evaluate, honoring `GLSC_DATASETS=tiny`.
+pub fn datasets() -> Vec<Dataset> {
+    if std::env::var("GLSC_DATASETS").is_ok_and(|v| v == "tiny") {
+        vec![Dataset::Tiny]
+    } else {
+        vec![Dataset::A, Dataset::B]
+    }
+}
+
+/// Short label for a dataset.
+pub fn ds_label(ds: Dataset) -> &'static str {
+    match ds {
+        Dataset::A => "A",
+        Dataset::B => "B",
+        Dataset::Tiny => "T",
+    }
+}
+
+/// Builds the paper machine configuration `m x n` at `width`.
+pub fn config(cores: usize, tpc: usize, width: usize) -> MachineConfig {
+    MachineConfig::paper(cores, tpc, width)
+}
+
+/// Runs one benchmark instance to completion (panics if the simulated
+/// program fails validation — the harness must never report numbers from
+/// an incorrect run).
+pub fn run(
+    kernel: &str,
+    ds: Dataset,
+    variant: Variant,
+    (cores, tpc): (usize, usize),
+    width: usize,
+) -> KernelOutcome {
+    let cfg = config(cores, tpc, width);
+    let w = build_named(kernel, ds, variant, &cfg);
+    run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs one §5.2 microbenchmark scenario.
+pub fn run_micro(
+    scenario: micro::Scenario,
+    variant: Variant,
+    (cores, tpc): (usize, usize),
+    width: usize,
+) -> KernelOutcome {
+    let ds = if std::env::var("GLSC_DATASETS").is_ok_and(|v| v == "tiny") {
+        Dataset::Tiny
+    } else {
+        Dataset::A
+    };
+    let cfg = config(cores, tpc, width);
+    let w = micro::Micro::new(scenario, ds).build(variant, &cfg);
+    run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Prints a boxed section header.
+pub fn header(title: &str, detail: &str) {
+    println!();
+    println!("=== {title} ===");
+    if !detail.is_empty() {
+        println!("{detail}");
+    }
+    println!();
+}
+
+/// Formats a ratio as the paper does (e.g. `1.54x`).
+pub fn ratio(base: u64, glsc: u64) -> f64 {
+    base as f64 / glsc as f64
+}
+
+/// Percentage formatting helper.
+pub fn pct(x: f64) -> String {
+    format!("{:6.2} %", 100.0 * x)
+}
+
+/// Geometric mean of a slice (used for "on average X% faster" summaries).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn ratio_and_pct() {
+        assert_eq!(ratio(300, 200), 1.5);
+        assert_eq!(pct(0.5), " 50.00 %");
+    }
+
+    #[test]
+    fn tiny_smoke_run_via_harness() {
+        std::env::set_var("GLSC_DATASETS", "tiny");
+        let out = run("HIP", Dataset::Tiny, Variant::Glsc, (1, 2), 4);
+        assert!(out.report.cycles > 0);
+        let outm = run_micro(micro::Scenario::B, Variant::Base, (1, 1), 4);
+        assert!(outm.report.cycles > 0);
+    }
+}

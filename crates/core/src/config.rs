@@ -1,0 +1,54 @@
+//! GLSC implementation-policy knobs.
+//!
+//! §3.2 of the paper deliberately leaves hardware freedom in *when* a
+//! `vgatherlink` element may fail: "(a) another thread has already linked a
+//! cache line containing one of the elements, (b) bringing one of the
+//! elements into the cache will evict an already linked line, (c) the
+//! latency for accessing the element is higher than others in the same
+//! set". This struct selects among those designs; the default accepts all
+//! elements (failures then come only from aliasing and lost reservations,
+//! matching the 1×1 failure rates of Table 4).
+
+/// Policy choices for the GLSC hardware (paper §3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GlscConfig {
+    /// `vgatherlink` fails elements whose line misses the L1 instead of
+    /// waiting for the fill (design freedom (c) of §3.2). Reduces the
+    /// reservation-holding window under contention.
+    pub fail_on_l1_miss: bool,
+    /// `vgatherlink` fails elements whose line is currently linked by a
+    /// different SMT thread on the same core (design freedom (a)); by
+    /// default the new link displaces the old one.
+    pub fail_on_remote_link: bool,
+    /// Pipeline start-up overhead of a GSU instruction; the minimum
+    /// instruction latency is `overhead + SIMD-width` cycles (Table 1 uses
+    /// 4, for a minimum of `4 + SIMD-width`).
+    pub min_latency_overhead: u64,
+    /// Maximum write-buffer (pending store) entries per SMT thread.
+    pub write_buffer_entries: usize,
+}
+
+impl Default for GlscConfig {
+    fn default() -> Self {
+        Self {
+            fail_on_l1_miss: false,
+            fail_on_remote_link: false,
+            min_latency_overhead: 4,
+            write_buffer_entries: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_1() {
+        let c = GlscConfig::default();
+        assert_eq!(c.min_latency_overhead, 4);
+        assert!(!c.fail_on_l1_miss);
+        assert!(!c.fail_on_remote_link);
+        assert_eq!(c.write_buffer_entries, 8);
+    }
+}

@@ -1,0 +1,690 @@
+//! The gather/scatter unit with GLSC support.
+//!
+//! Reproduces the organization of Fig. 1/Fig. 4 and the timing rules of
+//! §4.1 of the paper:
+//!
+//! * one instruction-buffer entry ("slot") per SMT thread;
+//! * an instruction waits until the issuing thread's LSU requests have
+//!   drained (memory-ordering conflict check of §2.2);
+//! * the control logic generates **one element address per cycle** overall;
+//! * accesses falling on the same cache line are **combined** into a single
+//!   L1 request (Fig. 4 sends one request for elements A and C on line
+//!   100). Address generation and cache accesses are pipelined (§4.1) for
+//!   gathers, gather-links and plain scatters; `vscattercond` requests are
+//!   held until the instruction's address generation completes so that the
+//!   combined request's reservation check and data movement stay atomic at
+//!   the port (a gather-link may read lanes after its line request was
+//!   accepted: a later `vscattercond` success implies the reservation was
+//!   never invalidated, i.e. no intervening write, so the late read equals
+//!   the accept-time value);
+//! * the unit assembles the destination vector and the **output mask** as
+//!   replies return;
+//! * minimum instruction latency is `overhead + SIMD-width` cycles.
+//!
+//! For `vscattercond`, element aliasing (two active lanes targeting the
+//! same address) is detected and exactly one lane — the lowest — succeeds
+//! (§3.1 allows either instruction to resolve aliases; this implementation
+//! resolves them in the scatter, so aliased `vgatherlink` lanes all load).
+
+use crate::config::GlscConfig;
+use glsc_mem::{line_of, MemOp, MemorySystem};
+
+/// Which GSU instruction a slot executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GsuKind {
+    /// `vgather` — plain indexed load into vector register `vd`.
+    Gather {
+        /// Destination vector register index.
+        vd: u8,
+    },
+    /// `vscatter` — plain indexed store.
+    Scatter,
+    /// `vgatherlink` — indexed load-linked into `vd`, success mask in `fd`.
+    GatherLink {
+        /// Output mask register index.
+        fd: u8,
+        /// Destination vector register index.
+        vd: u8,
+    },
+    /// `vscattercond` — indexed store-conditional, success mask in `fd`.
+    ScatterCond {
+        /// Output mask register index.
+        fd: u8,
+    },
+}
+
+impl GsuKind {
+    fn is_atomic(self) -> bool {
+        matches!(self, GsuKind::GatherLink { .. } | GsuKind::ScatterCond { .. })
+    }
+}
+
+/// Completion record for one GSU instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GsuCompletion {
+    /// Issuing SMT thread.
+    pub tid: u8,
+    /// Cycle at which the instruction (and the blocked thread) completes.
+    pub done: u64,
+    /// Destination vector register, when the instruction loads data.
+    pub vd: Option<u8>,
+    /// Gathered `(lane, value)` pairs for `vd`.
+    pub lane_values: Vec<(u8, u32)>,
+    /// Output mask register, when the instruction produces a mask.
+    pub fd: Option<u8>,
+    /// Output mask value (bit per successful lane).
+    pub mask: u32,
+}
+
+/// GSU event counters (feed the Table 4 analysis).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GsuStats {
+    /// `vgather` instructions executed.
+    pub gathers: u64,
+    /// `vscatter` instructions executed.
+    pub scatters: u64,
+    /// `vgatherlink` instructions executed.
+    pub gatherlinks: u64,
+    /// `vscattercond` instructions executed.
+    pub scatterconds: u64,
+    /// Active elements processed (address generations).
+    pub elems_active: u64,
+    /// L1 line requests actually sent (post-combining), all kinds.
+    pub line_requests: u64,
+    /// L1 line requests sent by the two atomic instructions.
+    pub atomic_line_requests: u64,
+    /// Active elements of the two atomic instructions (what an uncombined
+    /// implementation would have sent to the L1).
+    pub atomic_elems: u64,
+    /// `vgatherlink` element attempts.
+    pub gl_elem_attempts: u64,
+    /// `vgatherlink` elements failed (policy-induced, §3.2).
+    pub gl_elem_failures: u64,
+    /// `vscattercond` element attempts.
+    pub sc_elem_attempts: u64,
+    /// `vscattercond` elements that stored successfully.
+    pub sc_elem_successes: u64,
+    /// `vscattercond` elements failed by alias resolution (§3.1).
+    pub sc_fail_alias: u64,
+    /// `vscattercond` elements failed by a lost line reservation
+    /// (conflicting store, eviction, or displaced link).
+    pub sc_fail_reservation: u64,
+}
+
+impl GsuStats {
+    /// Element failure rate of the atomic instructions, as in the last
+    /// columns of Table 4: failed scatter-cond elements (alias + lost
+    /// reservation) plus failed gather-link elements, over attempts.
+    pub fn element_failure_rate(&self) -> f64 {
+        let attempts = self.sc_elem_attempts + self.gl_elem_attempts;
+        if attempts == 0 {
+            return 0.0;
+        }
+        let failures = self.sc_fail_alias + self.sc_fail_reservation + self.gl_elem_failures;
+        failures as f64 / attempts as f64
+    }
+
+    /// L1 accesses saved by same-line combining on atomic instructions.
+    pub fn combining_savings(&self) -> u64 {
+        self.atomic_elems.saturating_sub(self.atomic_line_requests)
+    }
+
+    /// Adds another core's counters into this one (for machine-wide
+    /// aggregation).
+    pub fn accumulate(&mut self, other: &GsuStats) {
+        self.gathers += other.gathers;
+        self.scatters += other.scatters;
+        self.gatherlinks += other.gatherlinks;
+        self.scatterconds += other.scatterconds;
+        self.elems_active += other.elems_active;
+        self.line_requests += other.line_requests;
+        self.atomic_line_requests += other.atomic_line_requests;
+        self.atomic_elems += other.atomic_elems;
+        self.gl_elem_attempts += other.gl_elem_attempts;
+        self.gl_elem_failures += other.gl_elem_failures;
+        self.sc_elem_attempts += other.sc_elem_attempts;
+        self.sc_elem_successes += other.sc_elem_successes;
+        self.sc_fail_alias += other.sc_fail_alias;
+        self.sc_fail_reservation += other.sc_fail_reservation;
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Elem {
+    lane: u8,
+    addr: u64,
+    value: u32,
+    alias_loser: bool,
+    generated: bool,
+}
+
+#[derive(Clone, Debug)]
+struct LineReq {
+    line: u64,
+    issued: bool,
+    done: u64,
+    ok: bool,
+    policy_fail: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    kind: GsuKind,
+    elems: Vec<Elem>,
+    next_gen: usize,
+    requests: Vec<LineReq>,
+    started: bool,
+    start_cycle: u64,
+    width: usize,
+    lane_values: Vec<(u8, u32)>,
+    mask: u32,
+}
+
+impl Slot {
+    fn all_generated(&self) -> bool {
+        self.next_gen >= self.elems.len()
+    }
+
+    fn all_issued(&self) -> bool {
+        self.requests.iter().all(|r| r.issued)
+    }
+}
+
+/// The gather/scatter unit of one core.
+#[derive(Clone, Debug)]
+pub struct Gsu {
+    slots: Vec<Option<Slot>>,
+    rr: usize,
+    cfg: GlscConfig,
+    stats: GsuStats,
+}
+
+impl Gsu {
+    /// Creates a GSU with one instruction-buffer entry per SMT thread.
+    pub fn new(threads: usize, cfg: GlscConfig) -> Self {
+        Self { slots: vec![None; threads], rr: 0, cfg, stats: GsuStats::default() }
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &GsuStats {
+        &self.stats
+    }
+
+    /// Whether thread `tid` has an instruction in flight.
+    pub fn busy(&self, tid: u8) -> bool {
+        self.slots[tid as usize].is_some()
+    }
+
+    /// Whether any thread has an instruction in flight.
+    pub fn any_busy(&self) -> bool {
+        self.slots.iter().any(Option::is_some)
+    }
+
+    /// Inserts an instruction into `tid`'s buffer entry. `elems` holds the
+    /// active lanes only, as `(lane, element address, value)` (values are
+    /// ignored by loads). `width` is the machine SIMD width, used for the
+    /// minimum-latency bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread already has an instruction in flight (the
+    /// pipeline must block the thread while [`busy`](Self::busy)).
+    pub fn start(&mut self, tid: u8, kind: GsuKind, elems: Vec<(u8, u64, u32)>, width: usize) {
+        assert!(!self.busy(tid), "GSU slot for thread {tid} already occupied");
+        match kind {
+            GsuKind::Gather { .. } => self.stats.gathers += 1,
+            GsuKind::Scatter => self.stats.scatters += 1,
+            GsuKind::GatherLink { .. } => self.stats.gatherlinks += 1,
+            GsuKind::ScatterCond { .. } => self.stats.scatterconds += 1,
+        }
+        let mut es: Vec<Elem> = elems
+            .into_iter()
+            .map(|(lane, addr, value)| Elem {
+                lane,
+                addr,
+                value,
+                alias_loser: false,
+                generated: false,
+            })
+            .collect();
+        // Alias detection for vscattercond: exactly one lane (the lowest)
+        // per distinct address succeeds.
+        if matches!(kind, GsuKind::ScatterCond { .. }) {
+            for i in 0..es.len() {
+                if es[..i].iter().any(|prev| prev.addr == es[i].addr && !prev.alias_loser) {
+                    es[i].alias_loser = true;
+                }
+            }
+        }
+        self.slots[tid as usize] = Some(Slot {
+            kind,
+            elems: es,
+            next_gen: 0,
+            requests: Vec::new(),
+            started: false,
+            start_cycle: 0,
+            width,
+            lane_values: Vec::new(),
+            mask: 0,
+        });
+    }
+
+    /// Marks `tid`'s pending instruction as started (the memory-ordering
+    /// gate: its LSU requests have drained). Idempotent.
+    pub fn mark_started(&mut self, tid: u8, now: u64) {
+        if let Some(slot) = self.slots[tid as usize].as_mut() {
+            if !slot.started {
+                slot.started = true;
+                slot.start_cycle = now;
+            }
+        }
+    }
+
+    /// Whether any started slot still has an unissued line request (i.e.
+    /// the GSU competes for the L1 port this cycle).
+    pub fn wants_port(&self) -> bool {
+        self.slots.iter().flatten().any(|s| s.started && !s.all_issued())
+    }
+
+    /// Generates one element address (at most one per cycle across all
+    /// slots, §4.1), combining it into an existing same-line request when
+    /// possible.
+    pub fn generate_one(&mut self, mem: &mut MemorySystem) {
+        let n = self.slots.len();
+        for off in 0..n {
+            let idx = (self.rr + off) % n;
+            let Some(slot) = self.slots[idx].as_mut() else { continue };
+            if !slot.started || slot.all_generated() {
+                continue;
+            }
+            self.rr = (idx + 1) % n;
+            let e = slot.next_gen;
+            slot.next_gen += 1;
+            slot.elems[e].generated = true;
+            self.stats.elems_active += 1;
+            let kind = slot.kind;
+            if kind.is_atomic() {
+                self.stats.atomic_elems += 1;
+            }
+            match kind {
+                GsuKind::GatherLink { .. } => self.stats.gl_elem_attempts += 1,
+                GsuKind::ScatterCond { .. } => self.stats.sc_elem_attempts += 1,
+                _ => {}
+            }
+            if slot.elems[e].alias_loser {
+                self.stats.sc_fail_alias += 1;
+                return; // mask bit stays 0; generation cycle consumed
+            }
+            let line = line_of(slot.elems[e].addr, mem.cfg().line_bytes);
+            if let Some(req_idx) = slot.requests.iter().position(|r| r.line == line) {
+                if slot.requests[req_idx].issued {
+                    // Pipelined instruction kinds let late elements ride an
+                    // already-serviced request (never reached for
+                    // vscattercond, whose requests wait for generation).
+                    let req = slot.requests[req_idx].clone();
+                    Self::apply_elem(&mut self.stats, slot, e, &req, mem);
+                }
+            } else {
+                slot.requests.push(LineReq {
+                    line,
+                    issued: false,
+                    done: 0,
+                    ok: false,
+                    policy_fail: false,
+                });
+            }
+            return;
+        }
+    }
+
+    /// Issues one pending line request to the L1 (called when the GSU wins
+    /// the port). Applies data movement for every already-generated element
+    /// riding on the request.
+    pub fn issue_one(&mut self, core: usize, tid_hint: Option<u8>, mem: &mut MemorySystem, now: u64) {
+        let n = self.slots.len();
+        let order: Vec<usize> = match tid_hint {
+            Some(t) => vec![t as usize],
+            None => (0..n).map(|off| (self.rr + off) % n).collect(),
+        };
+        for idx in order {
+            let Some(slot) = self.slots[idx].as_mut() else { continue };
+            if !slot.started {
+                continue;
+            }
+            // vscattercond requests are held until address generation (and
+            // therefore same-line combining) completes, keeping each
+            // combined conditional store atomic at the L1 port. The other
+            // kinds pipeline generation with issue (§4.1).
+            if matches!(slot.kind, GsuKind::ScatterCond { .. }) && !slot.all_generated() {
+                continue;
+            }
+            let Some(req_idx) = slot.requests.iter().position(|r| !r.issued) else { continue };
+            let tid = idx as u8;
+            let kind = slot.kind;
+            let line = slot.requests[req_idx].line;
+
+            let mut policy_fail = false;
+            if matches!(kind, GsuKind::GatherLink { .. }) {
+                if self.cfg.fail_on_l1_miss && mem.l1(core).peek(line).is_none() {
+                    policy_fail = true;
+                    // The element fails fast, but the fetch is still
+                    // initiated (as a plain load, no link) so a retry can
+                    // hit — otherwise cold data could never be linked and
+                    // the software retry loop would spin forever.
+                    let _ = mem.access(core, tid, MemOp::Load, line, now);
+                    self.stats.line_requests += 1;
+                }
+                if self.cfg.fail_on_remote_link && mem.l1(core).other_reservations(line, tid) {
+                    policy_fail = true;
+                }
+            }
+
+            let (done, ok) = if policy_fail {
+                (now + mem.cfg().l1_hit_latency, false)
+            } else {
+                let op = match kind {
+                    GsuKind::Gather { .. } => MemOp::Load,
+                    GsuKind::Scatter => MemOp::Store,
+                    GsuKind::GatherLink { .. } => MemOp::LoadLinked,
+                    GsuKind::ScatterCond { .. } => MemOp::StoreCond,
+                };
+                let r = mem.access(core, tid, op, line, now);
+                self.stats.line_requests += 1;
+                if kind.is_atomic() {
+                    self.stats.atomic_line_requests += 1;
+                }
+                (r.done, r.sc_ok)
+            };
+
+            {
+                let req = &mut slot.requests[req_idx];
+                req.issued = true;
+                req.done = done;
+                req.ok = ok;
+                req.policy_fail = policy_fail;
+            }
+            let req = slot.requests[req_idx].clone();
+            let line_bytes = mem.cfg().line_bytes;
+            let riders: Vec<usize> = (0..slot.elems.len())
+                .filter(|&e| {
+                    slot.elems[e].generated
+                        && !slot.elems[e].alias_loser
+                        && line_of(slot.elems[e].addr, line_bytes) == req.line
+                })
+                .collect();
+            for e in riders {
+                Self::apply_elem(&mut self.stats, slot, e, &req, mem);
+            }
+            return;
+        }
+    }
+
+    /// Performs one element's data movement and mask update against the
+    /// outcome of its (possibly combined) line request.
+    fn apply_elem(stats: &mut GsuStats, slot: &mut Slot, e: usize, req: &LineReq, mem: &mut MemorySystem) {
+        let lane = slot.elems[e].lane;
+        let addr = slot.elems[e].addr;
+        match slot.kind {
+            GsuKind::Gather { .. } => {
+                let v = mem.backing().read_u32(addr);
+                slot.lane_values.push((lane, v));
+                slot.mask |= 1 << lane;
+            }
+            GsuKind::GatherLink { .. } => {
+                if req.policy_fail {
+                    stats.gl_elem_failures += 1;
+                } else {
+                    let v = mem.backing().read_u32(addr);
+                    slot.lane_values.push((lane, v));
+                    slot.mask |= 1 << lane;
+                }
+            }
+            GsuKind::Scatter => {
+                mem.backing_mut().write_u32(addr, slot.elems[e].value);
+            }
+            GsuKind::ScatterCond { .. } => {
+                if req.ok {
+                    mem.backing_mut().write_u32(addr, slot.elems[e].value);
+                    slot.mask |= 1 << lane;
+                    stats.sc_elem_successes += 1;
+                } else {
+                    stats.sc_fail_reservation += 1;
+                }
+            }
+        }
+    }
+
+    /// Retires finished instructions: every element generated, every
+    /// request issued. The reported completion cycle respects the minimum
+    /// GSU latency (`overhead + SIMD-width`).
+    pub fn collect_done(&mut self, _now: u64) -> Vec<GsuCompletion> {
+        let mut out = Vec::new();
+        for idx in 0..self.slots.len() {
+            let ready = self.slots[idx]
+                .as_ref()
+                .is_some_and(|s| s.started && s.all_generated() && s.all_issued());
+            if !ready {
+                continue;
+            }
+            let slot = self.slots[idx].take().expect("checked above");
+            let min_done = slot.start_cycle + self.cfg.min_latency_overhead + slot.width as u64;
+            let done = slot
+                .requests
+                .iter()
+                .map(|r| r.done)
+                .max()
+                .unwrap_or(0)
+                .max(min_done);
+            let (vd, fd) = match slot.kind {
+                GsuKind::Gather { vd } => (Some(vd), None),
+                GsuKind::Scatter => (None, None),
+                GsuKind::GatherLink { fd, vd } => (Some(vd), Some(fd)),
+                GsuKind::ScatterCond { fd } => (None, Some(fd)),
+            };
+            out.push(GsuCompletion {
+                tid: idx as u8,
+                done,
+                vd,
+                lane_values: slot.lane_values,
+                fd,
+                mask: slot.mask,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsc_mem::MemConfig;
+
+    fn mem() -> MemorySystem {
+        let mut cfg = MemConfig::default();
+        cfg.prefetch = false;
+        MemorySystem::new(cfg, 1, 4)
+    }
+
+    /// Drives the GSU alone (generate + issue every cycle) to completion.
+    fn run(gsu: &mut Gsu, mem: &mut MemorySystem, start: u64) -> GsuCompletion {
+        for t in 0..4 {
+            gsu.mark_started(t, start);
+        }
+        let mut now = start;
+        loop {
+            gsu.generate_one(mem);
+            gsu.issue_one(0, None, mem, now);
+            let done = gsu.collect_done(now);
+            if let Some(c) = done.into_iter().next() {
+                return c;
+            }
+            now += 1;
+            assert!(now < start + 10_000, "GSU failed to complete");
+        }
+    }
+
+    #[test]
+    fn gather_reads_values_and_combines_lines() {
+        let mut m = mem();
+        m.backing_mut().write_u32_slice(0x100, &[10, 20, 30, 40]);
+        m.backing_mut().write_u32(0x1000, 99);
+        let mut g = Gsu::new(4, GlscConfig::default());
+        // Lanes 0,1,3 on line 0x100; lane 2 on line 0x1000.
+        g.start(
+            0,
+            GsuKind::Gather { vd: 3 },
+            vec![(0, 0x100, 0), (1, 0x104, 0), (2, 0x1000, 0), (3, 0x10c, 0)],
+            4,
+        );
+        let c = run(&mut g, &mut m, 0);
+        assert_eq!(c.vd, Some(3));
+        let mut lv = c.lane_values.clone();
+        lv.sort();
+        assert_eq!(lv, vec![(0, 10), (1, 20), (2, 99), (3, 40)]);
+        assert_eq!(g.stats().line_requests, 2, "same-line accesses combined");
+        assert_eq!(g.stats().elems_active, 4);
+    }
+
+    #[test]
+    fn min_latency_respected_on_all_hit() {
+        let mut m = mem();
+        // Warm the line.
+        m.access(0, 0, glsc_mem::MemOp::Load, 0x100, 0);
+        let mut g = Gsu::new(4, GlscConfig::default());
+        g.start(0, GsuKind::Gather { vd: 1 }, vec![(0, 0x100, 0)], 4);
+        let c = run(&mut g, &mut m, 1000);
+        assert!(c.done >= 1000 + 4 + 4, "min GLSC latency is 4 + SIMD-width");
+    }
+
+    #[test]
+    fn gatherlink_sets_reservations_and_mask() {
+        let mut m = mem();
+        let mut g = Gsu::new(4, GlscConfig::default());
+        g.start(
+            2,
+            GsuKind::GatherLink { fd: 1, vd: 5 },
+            vec![(0, 0x100, 0), (2, 0x2000, 0)],
+            4,
+        );
+        let c = run(&mut g, &mut m, 0);
+        assert_eq!(c.mask, 0b101);
+        assert_eq!(c.fd, Some(1));
+        assert!(m.holds_reservation(0, 2, 0x100));
+        assert!(m.holds_reservation(0, 2, 0x2000));
+    }
+
+    #[test]
+    fn scattercond_succeeds_after_link_and_writes() {
+        let mut m = mem();
+        let mut g = Gsu::new(4, GlscConfig::default());
+        g.start(0, GsuKind::GatherLink { fd: 0, vd: 0 }, vec![(0, 0x100, 0), (1, 0x104, 0)], 4);
+        let c1 = run(&mut g, &mut m, 0);
+        assert_eq!(c1.mask, 0b11);
+        g.start(0, GsuKind::ScatterCond { fd: 0 }, vec![(0, 0x100, 7), (1, 0x104, 8)], 4);
+        let c2 = run(&mut g, &mut m, c1.done);
+        assert_eq!(c2.mask, 0b11);
+        assert_eq!(m.backing().read_u32(0x100), 7);
+        assert_eq!(m.backing().read_u32(0x104), 8);
+        // Both elements on one line: one ll + one sc request in total.
+        assert_eq!(g.stats().atomic_line_requests, 2);
+        assert_eq!(g.stats().atomic_elems, 4);
+        assert_eq!(g.stats().combining_savings(), 2);
+    }
+
+    #[test]
+    fn scattercond_alias_lets_exactly_one_lane_win() {
+        let mut m = mem();
+        let mut g = Gsu::new(4, GlscConfig::default());
+        g.start(0, GsuKind::GatherLink { fd: 0, vd: 0 }, vec![(0, 0x100, 0), (1, 0x100, 0), (2, 0x100, 0)], 4);
+        let c1 = run(&mut g, &mut m, 0);
+        assert_eq!(c1.mask, 0b111, "aliased gather-links all load");
+        g.start(
+            0,
+            GsuKind::ScatterCond { fd: 0 },
+            vec![(0, 0x100, 5), (1, 0x100, 6), (2, 0x100, 7)],
+            4,
+        );
+        let c2 = run(&mut g, &mut m, c1.done);
+        assert_eq!(c2.mask, 0b001, "lowest lane wins the alias");
+        assert_eq!(m.backing().read_u32(0x100), 5);
+        assert_eq!(g.stats().sc_fail_alias, 2);
+        assert_eq!(g.stats().sc_elem_successes, 1);
+    }
+
+    #[test]
+    fn scattercond_fails_when_reservation_lost() {
+        let mut m = mem();
+        let mut g = Gsu::new(4, GlscConfig::default());
+        g.start(0, GsuKind::GatherLink { fd: 0, vd: 0 }, vec![(0, 0x100, 0)], 4);
+        let c1 = run(&mut g, &mut m, 0);
+        // An intervening store (same core, different thread) kills the link.
+        m.access(0, 3, glsc_mem::MemOp::Store, 0x100, c1.done);
+        g.start(0, GsuKind::ScatterCond { fd: 0 }, vec![(0, 0x100, 9)], 4);
+        let c2 = run(&mut g, &mut m, c1.done + 1);
+        assert_eq!(c2.mask, 0);
+        assert_ne!(m.backing().read_u32(0x100), 9);
+        assert_eq!(g.stats().sc_fail_reservation, 1);
+        assert!(g.stats().element_failure_rate() > 0.0);
+    }
+
+    #[test]
+    fn fail_on_miss_policy_fails_cold_elements() {
+        let mut m = mem();
+        let cfg = GlscConfig { fail_on_l1_miss: true, ..GlscConfig::default() };
+        let mut g = Gsu::new(4, cfg);
+        // Warm one line only.
+        m.access(0, 0, glsc_mem::MemOp::Load, 0x100, 0);
+        g.start(0, GsuKind::GatherLink { fd: 0, vd: 0 }, vec![(0, 0x100, 0), (1, 0x5000, 0)], 4);
+        let c = run(&mut g, &mut m, 400);
+        assert_eq!(c.mask, 0b01, "cold lane fails under the miss policy");
+        assert_eq!(g.stats().gl_elem_failures, 1);
+    }
+
+    #[test]
+    fn empty_mask_instruction_still_completes() {
+        let mut m = mem();
+        let mut g = Gsu::new(4, GlscConfig::default());
+        g.start(1, GsuKind::ScatterCond { fd: 2 }, vec![], 4);
+        let c = run(&mut g, &mut m, 10);
+        assert_eq!(c.mask, 0);
+        assert_eq!(c.done, 10 + 4 + 4);
+    }
+
+    #[test]
+    fn slots_are_per_thread_and_busy_tracked() {
+        let mut g = Gsu::new(2, GlscConfig::default());
+        assert!(!g.busy(0));
+        g.start(0, GsuKind::Scatter, vec![(0, 0x100, 1)], 4);
+        assert!(g.busy(0));
+        assert!(!g.busy(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_start_panics() {
+        let mut g = Gsu::new(1, GlscConfig::default());
+        g.start(0, GsuKind::Scatter, vec![], 4);
+        g.start(0, GsuKind::Scatter, vec![], 4);
+    }
+
+    #[test]
+    fn two_threads_interleave_generation() {
+        let mut m = mem();
+        let mut g = Gsu::new(2, GlscConfig::default());
+        g.start(0, GsuKind::Gather { vd: 0 }, vec![(0, 0x100, 0), (1, 0x200, 0)], 4);
+        g.start(1, GsuKind::Gather { vd: 1 }, vec![(0, 0x300, 0), (1, 0x400, 0)], 4);
+        g.mark_started(0, 0);
+        g.mark_started(1, 0);
+        let mut done = Vec::new();
+        let mut now = 0;
+        while done.len() < 2 {
+            g.generate_one(&mut m);
+            g.issue_one(0, None, &mut m, now);
+            done.extend(g.collect_done(now));
+            now += 1;
+            assert!(now < 1000);
+        }
+        assert_eq!(g.stats().gathers, 2);
+        assert_eq!(g.stats().elems_active, 4);
+    }
+}

@@ -1,0 +1,408 @@
+//! Load/store unit: FIFO request queue + per-thread write buffer.
+//!
+//! One entry is dequeued per cycle when the unit wins the L1 port (the LSU
+//! always has priority over the GSU, §4.1). Stores occupy write-buffer
+//! slots from issue until their port grant, so a thread with a full write
+//! buffer stalls. Because the queue drains in FIFO order, a thread's loads
+//! always observe its earlier stores (data is committed to the backing
+//! store at port-accept time).
+
+use glsc_mem::{MemOp, MemorySystem};
+use std::collections::VecDeque;
+
+/// What to do when an LSU entry wins the port.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LsuAction {
+    /// Scalar 32-bit load into register `rd`.
+    LoadTo {
+        /// Destination scalar register index.
+        rd: u8,
+    },
+    /// Scalar 32-bit store of `value`.
+    StoreVal {
+        /// Value to store.
+        value: u32,
+    },
+    /// Scalar load-linked into register `rd`.
+    LlTo {
+        /// Destination scalar register index.
+        rd: u8,
+    },
+    /// Scalar store-conditional of `value`; `rd` receives 1/0.
+    ScVal {
+        /// Success-flag destination register index.
+        rd: u8,
+        /// Value to store on success.
+        value: u32,
+    },
+    /// One line's worth of a blocking unit-stride vector load: each lane is
+    /// `(lane index, element address)`.
+    VLoadLanes {
+        /// Lanes on this line.
+        lanes: Vec<(u8, u64)>,
+    },
+    /// One line's worth of a blocking unit-stride vector store: each lane
+    /// is `(element address, value)`.
+    VStoreLanes {
+        /// Lanes on this line.
+        lanes: Vec<(u64, u32)>,
+    },
+}
+
+/// A queued LSU request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LsuEntry {
+    /// Issuing SMT thread.
+    pub tid: u8,
+    /// Request address (any address within the target line).
+    pub addr: u64,
+    /// Action at port grant.
+    pub action: LsuAction,
+}
+
+/// Completion event handed back to the pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LsuCompletion {
+    /// A scalar load's data is available in `rd` at `done`.
+    ScalarLoad {
+        /// Thread.
+        tid: u8,
+        /// Destination register index.
+        rd: u8,
+        /// Loaded value.
+        value: u32,
+        /// Completion cycle.
+        done: u64,
+    },
+    /// A store-conditional resolved; `rd` gets `ok as u32` at `done`.
+    ScalarSc {
+        /// Thread.
+        tid: u8,
+        /// Success-flag register index.
+        rd: u8,
+        /// Whether the reservation held and the store was performed.
+        ok: bool,
+        /// Completion cycle.
+        done: u64,
+    },
+    /// A buffered store drained (write-buffer slot freed at grant time).
+    StoreDrained {
+        /// Thread.
+        tid: u8,
+    },
+    /// Part of a blocking vector load/store finished; the pipeline unblocks
+    /// the thread when its outstanding part count reaches zero.
+    VectorPart {
+        /// Thread.
+        tid: u8,
+        /// Loaded `(lane, value)` pairs (empty for stores).
+        lane_values: Vec<(u8, u32)>,
+        /// Completion cycle of this part.
+        done: u64,
+    },
+}
+
+/// Counters for Table 4-style analysis.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LsuStats {
+    /// Scalar loads serviced.
+    pub loads: u64,
+    /// Scalar stores serviced.
+    pub stores: u64,
+    /// Load-linked requests serviced (atomic-op L1 accesses in Base).
+    pub lls: u64,
+    /// Store-conditional requests serviced.
+    pub scs: u64,
+    /// Store-conditional requests that succeeded.
+    pub sc_successes: u64,
+    /// Line requests serviced for vector loads/stores.
+    pub vector_line_requests: u64,
+}
+
+impl LsuStats {
+    /// Adds another core's counters into this one (for machine-wide
+    /// aggregation).
+    pub fn accumulate(&mut self, other: &LsuStats) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.lls += other.lls;
+        self.scs += other.scs;
+        self.sc_successes += other.sc_successes;
+        self.vector_line_requests += other.vector_line_requests;
+    }
+}
+
+/// The load/store unit of one core.
+#[derive(Clone, Debug)]
+pub struct Lsu {
+    queue: VecDeque<LsuEntry>,
+    store_slots_used: Vec<usize>,
+    store_slots_max: usize,
+    stats: LsuStats,
+}
+
+impl Lsu {
+    /// Creates an LSU for `threads` SMT threads with `write_buffer_entries`
+    /// store slots each.
+    pub fn new(threads: usize, write_buffer_entries: usize) -> Self {
+        Self {
+            queue: VecDeque::new(),
+            store_slots_used: vec![0; threads],
+            store_slots_max: write_buffer_entries,
+            stats: LsuStats::default(),
+        }
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &LsuStats {
+        &self.stats
+    }
+
+    /// Whether thread `tid` can issue a store this cycle (write buffer not
+    /// full).
+    pub fn can_accept_store(&self, tid: u8) -> bool {
+        self.store_slots_used[tid as usize] < self.store_slots_max
+    }
+
+    /// Number of queued entries belonging to `tid` (used by the GSU to
+    /// order GSU instructions after the thread's pending LSU requests,
+    /// §2.2: "a conflicting request waits in the GSU until corresponding
+    /// requests in the LSU and write buffer have been sent to the L1").
+    pub fn thread_entries(&self, tid: u8) -> usize {
+        self.queue.iter().filter(|e| e.tid == tid).count()
+    }
+
+    /// Whether any request is queued.
+    pub fn is_busy(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a store is pushed while the thread's write buffer is full
+    /// (the pipeline must check [`can_accept_store`](Self::can_accept_store)
+    /// first).
+    pub fn push(&mut self, entry: LsuEntry) {
+        if matches!(entry.action, LsuAction::StoreVal { .. }) {
+            assert!(
+                self.can_accept_store(entry.tid),
+                "write buffer overflow for thread {}",
+                entry.tid
+            );
+            self.store_slots_used[entry.tid as usize] += 1;
+        }
+        self.queue.push_back(entry);
+    }
+
+    /// Services at most one request (FIFO head) at cycle `now`, performing
+    /// its timing access and data movement. Returns the resulting
+    /// completion events (a store produces both its drain event and the
+    /// data commit).
+    pub fn tick(
+        &mut self,
+        core: usize,
+        mem: &mut MemorySystem,
+        now: u64,
+    ) -> Vec<LsuCompletion> {
+        let Some(entry) = self.queue.pop_front() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        match entry.action {
+            LsuAction::LoadTo { rd } => {
+                self.stats.loads += 1;
+                let r = mem.access(core, entry.tid, MemOp::Load, entry.addr, now);
+                let value = mem.backing().read_u32(entry.addr);
+                out.push(LsuCompletion::ScalarLoad { tid: entry.tid, rd, value, done: r.done });
+            }
+            LsuAction::StoreVal { value } => {
+                self.stats.stores += 1;
+                self.store_slots_used[entry.tid as usize] -= 1;
+                let _ = mem.access(core, entry.tid, MemOp::Store, entry.addr, now);
+                mem.backing_mut().write_u32(entry.addr, value);
+                out.push(LsuCompletion::StoreDrained { tid: entry.tid });
+            }
+            LsuAction::LlTo { rd } => {
+                self.stats.lls += 1;
+                let r = mem.access(core, entry.tid, MemOp::LoadLinked, entry.addr, now);
+                let value = mem.backing().read_u32(entry.addr);
+                out.push(LsuCompletion::ScalarLoad { tid: entry.tid, rd, value, done: r.done });
+            }
+            LsuAction::ScVal { rd, value } => {
+                self.stats.scs += 1;
+                let r = mem.access(core, entry.tid, MemOp::StoreCond, entry.addr, now);
+                if r.sc_ok {
+                    self.stats.sc_successes += 1;
+                    mem.backing_mut().write_u32(entry.addr, value);
+                }
+                out.push(LsuCompletion::ScalarSc {
+                    tid: entry.tid,
+                    rd,
+                    ok: r.sc_ok,
+                    done: r.done,
+                });
+            }
+            LsuAction::VLoadLanes { lanes } => {
+                self.stats.vector_line_requests += 1;
+                let r = mem.access(core, entry.tid, MemOp::Load, entry.addr, now);
+                let lane_values = lanes
+                    .iter()
+                    .map(|&(lane, addr)| (lane, mem.backing().read_u32(addr)))
+                    .collect();
+                out.push(LsuCompletion::VectorPart { tid: entry.tid, lane_values, done: r.done });
+            }
+            LsuAction::VStoreLanes { lanes } => {
+                self.stats.vector_line_requests += 1;
+                let r = mem.access(core, entry.tid, MemOp::Store, entry.addr, now);
+                for &(addr, value) in &lanes {
+                    mem.backing_mut().write_u32(addr, value);
+                }
+                out.push(LsuCompletion::VectorPart {
+                    tid: entry.tid,
+                    lane_values: Vec::new(),
+                    done: r.done,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsc_mem::MemConfig;
+
+    fn mem() -> MemorySystem {
+        let mut cfg = MemConfig::default();
+        cfg.prefetch = false;
+        MemorySystem::new(cfg, 1, 4)
+    }
+
+    #[test]
+    fn load_returns_backing_value() {
+        let mut m = mem();
+        m.backing_mut().write_u32(0x100, 77);
+        let mut lsu = Lsu::new(4, 8);
+        lsu.push(LsuEntry { tid: 0, addr: 0x100, action: LsuAction::LoadTo { rd: 5 } });
+        let c = lsu.tick(0, &mut m, 0);
+        assert_eq!(c.len(), 1);
+        match &c[0] {
+            LsuCompletion::ScalarLoad { tid: 0, rd: 5, value: 77, done } => {
+                assert_eq!(*done, 3 + 12 + 280);
+            }
+            other => panic!("unexpected completion {other:?}"),
+        }
+        assert_eq!(lsu.stats().loads, 1);
+    }
+
+    #[test]
+    fn fifo_order_makes_loads_see_own_stores() {
+        let mut m = mem();
+        let mut lsu = Lsu::new(4, 8);
+        lsu.push(LsuEntry { tid: 0, addr: 0x40, action: LsuAction::StoreVal { value: 9 } });
+        lsu.push(LsuEntry { tid: 0, addr: 0x40, action: LsuAction::LoadTo { rd: 1 } });
+        let mut now = 0;
+        let mut seen = Vec::new();
+        while lsu.is_busy() {
+            seen.extend(lsu.tick(0, &mut m, now));
+            now += 1;
+        }
+        assert!(matches!(seen[0], LsuCompletion::StoreDrained { tid: 0 }));
+        assert!(matches!(seen[1], LsuCompletion::ScalarLoad { value: 9, .. }));
+    }
+
+    #[test]
+    fn write_buffer_slots_tracked_per_thread() {
+        let mut lsu = Lsu::new(2, 2);
+        assert!(lsu.can_accept_store(0));
+        lsu.push(LsuEntry { tid: 0, addr: 0, action: LsuAction::StoreVal { value: 1 } });
+        lsu.push(LsuEntry { tid: 0, addr: 4, action: LsuAction::StoreVal { value: 2 } });
+        assert!(!lsu.can_accept_store(0));
+        assert!(lsu.can_accept_store(1), "other thread unaffected");
+        let mut m = mem();
+        lsu.tick(0, &mut m, 0);
+        assert!(lsu.can_accept_store(0), "slot freed at drain");
+    }
+
+    #[test]
+    #[should_panic(expected = "write buffer overflow")]
+    fn overflow_panics() {
+        let mut lsu = Lsu::new(1, 1);
+        lsu.push(LsuEntry { tid: 0, addr: 0, action: LsuAction::StoreVal { value: 1 } });
+        lsu.push(LsuEntry { tid: 0, addr: 4, action: LsuAction::StoreVal { value: 2 } });
+    }
+
+    #[test]
+    fn ll_sc_round_trip_updates_memory() {
+        let mut m = mem();
+        m.backing_mut().write_u32(0x80, 41);
+        let mut lsu = Lsu::new(4, 8);
+        lsu.push(LsuEntry { tid: 2, addr: 0x80, action: LsuAction::LlTo { rd: 1 } });
+        lsu.push(LsuEntry { tid: 2, addr: 0x80, action: LsuAction::ScVal { rd: 2, value: 42 } });
+        let mut now = 0;
+        let mut comps = Vec::new();
+        while lsu.is_busy() {
+            comps.extend(lsu.tick(0, &mut m, now));
+            now += 1;
+        }
+        assert!(matches!(comps[1], LsuCompletion::ScalarSc { ok: true, .. }));
+        assert_eq!(m.backing().read_u32(0x80), 42);
+        assert_eq!(lsu.stats().lls, 1);
+        assert_eq!(lsu.stats().sc_successes, 1);
+    }
+
+    #[test]
+    fn sc_without_ll_fails_and_preserves_memory() {
+        let mut m = mem();
+        m.backing_mut().write_u32(0x80, 5);
+        let mut lsu = Lsu::new(4, 8);
+        lsu.push(LsuEntry { tid: 0, addr: 0x80, action: LsuAction::ScVal { rd: 2, value: 9 } });
+        let comps = lsu.tick(0, &mut m, 0);
+        assert!(matches!(comps[0], LsuCompletion::ScalarSc { ok: false, .. }));
+        assert_eq!(m.backing().read_u32(0x80), 5);
+    }
+
+    #[test]
+    fn vector_parts_move_data() {
+        let mut m = mem();
+        m.backing_mut().write_u32_slice(0x100, &[1, 2, 3, 4]);
+        let mut lsu = Lsu::new(4, 8);
+        lsu.push(LsuEntry {
+            tid: 1,
+            addr: 0x100,
+            action: LsuAction::VLoadLanes {
+                lanes: vec![(0, 0x100), (1, 0x104), (2, 0x108), (3, 0x10c)],
+            },
+        });
+        let comps = lsu.tick(0, &mut m, 0);
+        match &comps[0] {
+            LsuCompletion::VectorPart { lane_values, .. } => {
+                assert_eq!(lane_values, &vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        lsu.push(LsuEntry {
+            tid: 1,
+            addr: 0x200,
+            action: LsuAction::VStoreLanes { lanes: vec![(0x200, 10), (0x204, 20)] },
+        });
+        lsu.tick(0, &mut m, 1);
+        assert_eq!(m.backing().read_u32(0x200), 10);
+        assert_eq!(m.backing().read_u32(0x204), 20);
+        assert_eq!(lsu.stats().vector_line_requests, 2);
+    }
+
+    #[test]
+    fn thread_entries_counts_only_that_thread() {
+        let mut lsu = Lsu::new(4, 8);
+        lsu.push(LsuEntry { tid: 0, addr: 0, action: LsuAction::LoadTo { rd: 0 } });
+        lsu.push(LsuEntry { tid: 1, addr: 4, action: LsuAction::LoadTo { rd: 0 } });
+        lsu.push(LsuEntry { tid: 0, addr: 8, action: LsuAction::LoadTo { rd: 1 } });
+        assert_eq!(lsu.thread_entries(0), 2);
+        assert_eq!(lsu.thread_entries(1), 1);
+        assert_eq!(lsu.thread_entries(2), 0);
+    }
+}

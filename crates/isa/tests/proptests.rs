@@ -1,0 +1,89 @@
+//! Property tests for the assembler and program container.
+
+use glsc_isa::{AluOp, CmpOp, MReg, ProgramBuilder, Reg, VReg};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any sequence of emissions assembles, preserves order and count, and
+    /// every instruction disassembles to non-empty text.
+    #[test]
+    fn arbitrary_emissions_assemble(
+        ops in proptest::collection::vec((0usize..8, 0u8..32, 0u8..32, any::<i32>()), 1..100)
+    ) {
+        let mut b = ProgramBuilder::new();
+        for (kind, x, y, imm) in &ops {
+            let (rx, ry) = (Reg::new(x % 32), Reg::new(y % 32));
+            let (vx, vy) = (VReg::new(x % 32), VReg::new(y % 32));
+            let (fx, fy) = (MReg::new(x % 8), MReg::new(y % 8));
+            match kind {
+                0 => { b.li(rx, *imm as i64); }
+                1 => { b.alu(AluOp::Add, rx, ry, *imm as i64); }
+                2 => { b.cmp(CmpOp::Lt, rx, ry, *imm as i64); }
+                3 => { b.vadd(vx, vy, *imm as i64, Some(fx)); }
+                4 => { b.mand(fx, fy, fx); }
+                5 => { b.ld(rx, ry, (*imm as i64) & 0xfff); }
+                6 => { b.vgatherlink(fx, vx, rx, vy, fy); }
+                _ => { b.vscattercond(fx, vx, rx, vy, fy); }
+            }
+        }
+        b.halt();
+        let p = b.build().expect("assembles");
+        prop_assert_eq!(p.len(), ops.len() + 1);
+        for i in 0..p.len() {
+            let text = p.fetch(i).unwrap().to_string();
+            prop_assert!(!text.is_empty());
+        }
+        // Whole-program disassembly contains one line per instruction.
+        prop_assert_eq!(p.to_string().lines().count(), p.len());
+    }
+
+    /// Labels bound at arbitrary positions resolve to those positions.
+    #[test]
+    fn labels_resolve_to_bind_positions(positions in proptest::collection::btree_set(0usize..50, 1..10)) {
+        let mut b = ProgramBuilder::new();
+        let mut pending: Vec<(usize, glsc_isa::Label)> = Vec::new();
+        for pos in &positions {
+            // Emit nops until the desired position, then bind a label.
+            while b.pc() < *pos {
+                b.nop();
+            }
+            let l = b.label();
+            b.bind(l).unwrap();
+            pending.push((*pos, l));
+        }
+        // Reference every label so build() validates them.
+        for (_, l) in &pending {
+            b.jmp(*l);
+        }
+        b.halt();
+        let p = b.build().unwrap();
+        for (pos, l) in pending {
+            prop_assert_eq!(p.target(l), pos);
+        }
+    }
+
+    /// Sync regions flag exactly the instructions inside them.
+    #[test]
+    fn sync_regions_flag_exact_ranges(segments in proptest::collection::vec((1usize..10, any::<bool>()), 1..20)) {
+        let mut b = ProgramBuilder::new();
+        let mut expected = Vec::new();
+        for (len, sync) in &segments {
+            if *sync {
+                b.sync_on();
+            } else {
+                b.sync_off();
+            }
+            for _ in 0..*len {
+                b.nop();
+                expected.push(*sync);
+            }
+        }
+        b.sync_off();
+        b.halt();
+        expected.push(false);
+        let p = b.build().unwrap();
+        for (i, want) in expected.iter().enumerate() {
+            prop_assert_eq!(p.is_sync(i), *want, "pc {}", i);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! GBC — Grid-based Collision Detection, broad phase (Table 2).
+//!
+//! Objects are mapped to grid cells and inserted into per-cell **linked
+//! lists**, each protected by a per-cell test-and-set lock ("single lock
+//! critical section" in Table 3):
+//!
+//! * **Base**: per-object scalar lock spin (`ll`/`sc`), list insert,
+//!   unlock;
+//! * **GLSC**: the Fig. 3(B) `VLOCK`/`VUNLOCK` idiom over `SIMD-width`
+//!   objects — lanes whose cell lock is acquired insert with gathers and
+//!   scatters (lock exclusivity makes their cells unique), the rest retry.
+//!
+//! The paper's object sets come from a collision-detection scene where
+//! nearby objects share cells; the generator reproduces that with
+//! *clustered* cell assignment (geometric run lengths), which is what
+//! drives GBC's ~31–34% element failure rate (aliasing) in Table 4.
+
+use crate::common::{
+    emit_const_one, emit_partition, emit_scalar_lock, emit_scalar_unlock, emit_vlock,
+    emit_vunlock, Dataset, MemImage, VLockRegs, Variant, Workload,
+};
+use glsc_isa::{MReg, ProgramBuilder, Reg, VReg};
+use glsc_sim::MachineConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// List-terminator sentinel stored in `head`/`next`.
+pub const NIL: u32 = u32::MAX;
+
+/// Maximum objects per cluster run (collision cells hold a handful of
+/// objects; an uncapped geometric tail would make single vectors need many
+/// serialized lock rounds, which the paper's scenes do not show).
+pub const MAX_RUN: usize = 3;
+
+/// Input parameters for [`Gbc`].
+#[derive(Clone, Debug)]
+pub struct GbcParams {
+    /// Number of objects (padded to a multiple of 256; padding objects go
+    /// to dedicated spill cells so they don't perturb contention).
+    pub objects: usize,
+    /// Number of grid cells.
+    pub cells: usize,
+    /// Mean cluster run length (consecutive objects sharing a cell).
+    pub cluster: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The GBC benchmark.
+#[derive(Clone, Debug)]
+pub struct Gbc {
+    params: GbcParams,
+}
+
+impl Gbc {
+    /// Benchmark instance for a dataset of Table 3 (scaled).
+    pub fn new(dataset: Dataset) -> Self {
+        let params = match dataset {
+            // 649 objects in 8191 cells -> sparse occupancy, mild clusters.
+            Dataset::A => GbcParams { objects: 4096, cells: 8192, cluster: 2.0, seed: 41 },
+            // 5649 objects in 65521 cells -> larger scene, heavier clusters.
+            Dataset::B => GbcParams { objects: 6144, cells: 4096, cluster: 2.3, seed: 42 },
+            Dataset::Tiny => GbcParams { objects: 512, cells: 128, cluster: 2.0, seed: 43 },
+        };
+        Self { params }
+    }
+
+    /// Benchmark instance with explicit parameters.
+    pub fn with_params(params: GbcParams) -> Self {
+        Self { params }
+    }
+
+    /// Generates the object → cell mapping with clustered runs.
+    pub fn gen_cells(&self) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let n = self.params.objects.next_multiple_of(256);
+        let mut cells = Vec::with_capacity(n);
+        let mut current = 0u32;
+        let mut run = 0usize;
+        for _ in 0..self.params.objects {
+            if run == 0 {
+                current = rng.random_range(0..self.params.cells as u32);
+                // Geometric run length with mean `cluster`, capped.
+                run = 1;
+                while run < MAX_RUN && rng.random_bool(1.0 - 1.0 / self.params.cluster) {
+                    run += 1;
+                }
+            }
+            cells.push(current);
+            run -= 1;
+        }
+        // Padding objects land in distinct spill cells appended after the
+        // real grid so contention statistics are untouched.
+        for k in self.params.objects..n {
+            cells.push((self.params.cells + (k - self.params.objects)) as u32);
+        }
+        cells
+    }
+
+    /// Golden reference: sorted object list per cell.
+    pub fn reference(&self, cells: &[u32]) -> HashMap<u32, Vec<u32>> {
+        let mut map: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (obj, cell) in cells.iter().enumerate() {
+            map.entry(*cell).or_default().push(obj as u32);
+        }
+        for objs in map.values_mut() {
+            objs.sort_unstable();
+        }
+        map
+    }
+
+    /// Builds the runnable workload for a machine configuration.
+    pub fn build(&self, variant: Variant, cfg: &MachineConfig) -> Workload {
+        let width = cfg.simd_width;
+        let threads = cfg.total_threads();
+        let cells = self.gen_cells();
+        let n = cells.len();
+        // Spill cells for padding sit beyond the real grid.
+        let total_cells = self.params.cells + (n - self.params.objects);
+
+        let mut image = MemImage::new();
+        let a_cell = image.alloc_u32(&cells);
+        let a_head = image.alloc_u32(&vec![NIL; total_cells]);
+        let a_next = image.alloc_u32(&vec![NIL; n]);
+        let a_lock = image.alloc_zeroed(total_cells);
+
+        let program = build_program(variant, width, threads, n, a_cell, a_head, a_next, a_lock);
+
+        let expected = self.reference(&cells);
+        let name = format!(
+            "GBC/o{}c{}/{}/w{}",
+            self.params.objects,
+            self.params.cells,
+            variant.label(),
+            width
+        );
+        Workload {
+            name,
+            program,
+            image,
+            validate: Box::new(move |backing| {
+                // Rebuild every list and compare object sets per cell.
+                let mut seen_total = 0usize;
+                for cell in 0..total_cells as u32 {
+                    let mut objs = Vec::new();
+                    let mut cur = backing.read_u32(a_head + 4 * cell as u64);
+                    let mut steps = 0;
+                    while cur != NIL {
+                        objs.push(cur);
+                        cur = backing.read_u32(a_next + 4 * cur as u64);
+                        steps += 1;
+                        if steps > n {
+                            return Err(format!("cycle in list of cell {cell}"));
+                        }
+                    }
+                    objs.sort_unstable();
+                    let expect = expected.get(&cell).cloned().unwrap_or_default();
+                    if objs != expect {
+                        return Err(format!(
+                            "cell {cell}: got {} objects {:?}, expected {} {:?}",
+                            objs.len(),
+                            &objs[..objs.len().min(8)],
+                            expect.len(),
+                            &expect[..expect.len().min(8)]
+                        ));
+                    }
+                    seen_total += objs.len();
+                }
+                if seen_total != n {
+                    return Err(format!("{seen_total} of {n} objects inserted"));
+                }
+                // All locks released.
+                for cell in 0..total_cells as u64 {
+                    if backing.read_u32(a_lock + 4 * cell) != 0 {
+                        return Err(format!("lock {cell} still held"));
+                    }
+                }
+                Ok(())
+            }),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_program(
+    variant: Variant,
+    width: usize,
+    threads: usize,
+    n: usize,
+    a_cell: u64,
+    a_head: u64,
+    a_next: u64,
+    a_lock: u64,
+) -> glsc_isa::Program {
+    let mut b = ProgramBuilder::new();
+    let r = Reg::new;
+    let v = VReg::new;
+    let m = MReg::new;
+
+    emit_const_one(&mut b);
+    let (r_i, r_end, r_t1, r_t2, r_t3, r_t4) = (r(2), r(3), r(4), r(5), r(6), r(7));
+    let (r_lock, r_head, r_next) = (r(8), r(9), r(10));
+    b.li(r_lock, a_lock as i64);
+    b.li(r_head, a_head as i64);
+    b.li(r_next, a_next as i64);
+    emit_partition(&mut b, n, threads, r_i, r_end);
+
+    match variant {
+        Variant::Base => {
+            let outer = b.here();
+            let done = b.label();
+            b.bge(r_i, r_end, done);
+            // cell = obj_cell[i]; lock address.
+            b.shl(r_t1, r_i, 2);
+            b.addi(r_t2, r_t1, a_cell as i64);
+            b.ld(r_t2, r_t2, 0);
+            b.shl(r_t2, r_t2, 2);
+            b.add(r_t3, r_t2, r_lock);
+            b.sync_on();
+            emit_scalar_lock(&mut b, r_t3, r_t4, r(11));
+            b.sync_off();
+            // next[i] = head[cell]; head[cell] = i.
+            b.add(r_t2, r_t2, r_head);
+            b.ld(r_t4, r_t2, 0);
+            b.add(r_t1, r_t1, r_next);
+            b.st(r_t4, r_t1, 0);
+            b.st(r_i, r_t2, 0);
+            b.sync_on();
+            emit_scalar_unlock(&mut b, r_t3, r_t4);
+            b.sync_off();
+            b.addi(r_i, r_i, 1);
+            b.jmp(outer);
+            b.bind(done).unwrap();
+        }
+        Variant::Glsc => {
+            let (v_cell, v_obj, v_h, v_iota) = (v(0), v(1), v(2), v(3));
+            let regs =
+                VLockRegs { vtmp: v(4), vone: v(5), vzero: v(6), ftmp1: m(2), ftmp2: m(3) };
+            let (f_todo, f) = (m(0), m(1));
+            b.vsplat(regs.vone, r(31));
+            b.li(r_t1, 0);
+            b.vsplat(regs.vzero, r_t1);
+            b.viota(v_iota);
+            let outer = b.here();
+            let done = b.label();
+            b.bge(r_i, r_end, done);
+            b.shl(r_t1, r_i, 2);
+            b.addi(r_t1, r_t1, a_cell as i64);
+            b.vload(v_cell, r_t1, 0, None);
+            // Object ids for these lanes: i + iota.
+            b.vsplat(v_obj, r_i);
+            b.vadd(v_obj, v_obj, v_iota, None);
+            b.sync_on();
+            b.mall(f_todo);
+            let retry = b.here();
+            b.mmov(f, f_todo);
+            emit_vlock(&mut b, r_lock, v_cell, f, regs);
+            // Under the acquired mask the cells are unique (each lane holds
+            // its cell's lock exclusively): plain gathers/scatters suffice.
+            b.vgather(v_h, r_head, v_cell, Some(f));
+            b.vscatter(v_h, r_next, v_obj, Some(f));
+            b.vscatter(v_obj, r_head, v_cell, Some(f));
+            emit_vunlock(&mut b, r_lock, v_cell, f, regs);
+            b.mxor(f_todo, f_todo, f);
+            b.bmnz(f_todo, retry);
+            b.sync_off();
+            b.addi(r_i, r_i, width as i64);
+            b.jmp(outer);
+            b.bind(done).unwrap();
+        }
+    }
+    b.halt();
+    b.build().expect("GBC program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+
+    fn check(variant: Variant, cores: usize, tpc: usize, width: usize) {
+        let cfg = MachineConfig::paper(cores, tpc, width);
+        let w = Gbc::new(Dataset::Tiny).build(variant, &cfg);
+        run_workload(&w, &cfg).expect("runs and validates");
+    }
+
+    #[test]
+    fn glsc_configs() {
+        check(Variant::Glsc, 1, 1, 4);
+        check(Variant::Glsc, 2, 2, 4);
+        check(Variant::Glsc, 1, 2, 16);
+        check(Variant::Glsc, 1, 1, 1);
+    }
+
+    #[test]
+    fn base_configs() {
+        check(Variant::Base, 1, 1, 4);
+        check(Variant::Base, 2, 2, 4);
+        check(Variant::Base, 4, 4, 1);
+    }
+
+    #[test]
+    fn clustering_produces_aliasing_failures() {
+        let cfg = MachineConfig::paper(1, 1, 4);
+        let w = Gbc::new(Dataset::Tiny).build(Variant::Glsc, &cfg);
+        let out = run_workload(&w, &cfg).unwrap();
+        assert!(
+            out.report.gsu.sc_fail_alias > 0,
+            "clustered cells must alias within vectors"
+        );
+    }
+
+    #[test]
+    fn cluster_generator_statistics() {
+        let gbc = Gbc::new(Dataset::Tiny);
+        let cells = gbc.gen_cells();
+        let repeats = cells.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(repeats * 5 > cells.len(), "repeats {repeats} of {}", cells.len());
+    }
+}

@@ -1,0 +1,79 @@
+//! # glsc-kernels — the RMS benchmark suite of the paper
+//!
+//! Implements the seven Recognition/Mining/Synthesis kernels of §4.2
+//! (Tables 2–3) plus the §5.2 microbenchmark, each in two variants:
+//!
+//! * **Base** — atomic work done with scalar `ll`/`sc` sequences (or scalar
+//!   test-and-set locks), everything else SIMD where profitable, exactly as
+//!   the paper's baseline with gather/scatter but no atomic vector support;
+//! * **GLSC** — atomic work done with `vgatherlink`/`vscattercond`
+//!   reductions or the `VLOCK`/`VUNLOCK` idiom of Fig. 3.
+//!
+//! | Kernel | Atomic pattern | Module |
+//! |--------|----------------|--------|
+//! | GBC — grid collision broad phase | single-lock critical sections | [`gbc`] |
+//! | FS — forward triangular solve | fp-subtract reductions | [`fs`] |
+//! | GPS — game physics solver | two-lock critical sections | [`gps`] |
+//! | HIP — image histogram | privatized increments (alias detection) | [`hip`] |
+//! | SMC — marching-cubes splat | fp-add reductions | [`smc`] |
+//! | MFP — max-flow push | two-lock critical sections | [`mfp`] |
+//! | TMS — transpose sparse mat-vec | fp-add reductions | [`tms`] |
+//! | micro — counter increments | §5.2 scenarios A–D | [`micro`] |
+//!
+//! Every kernel provides seeded dataset generators (scaled-down synthetic
+//! stand-ins for the paper's inputs — see `DESIGN.md` §3.5), a golden Rust
+//! reference, and a validation function run after simulation.
+//!
+//! ```
+//! use glsc_kernels::{hip::Hip, Dataset, Variant, run_workload};
+//! use glsc_sim::MachineConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = MachineConfig::paper(1, 2, 4);
+//! let workload = Hip::new(Dataset::Tiny).build(Variant::Glsc, &cfg);
+//! let outcome = run_workload(&workload, &cfg)?;
+//! assert!(outcome.report.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+pub mod fs;
+pub mod gbc;
+pub mod gps;
+pub mod hip;
+pub mod micro;
+pub mod mfp;
+pub mod smc;
+pub mod tms;
+
+pub use common::{
+    run_workload, Dataset, KernelOutcome, MemImage, Variant, Workload, KERNEL_NAMES,
+};
+
+/// Builds a named kernel's workload: convenience dispatcher for the
+/// benchmark harness. `name` is one of [`KERNEL_NAMES`].
+///
+/// # Panics
+///
+/// Panics on an unknown kernel name.
+pub fn build_named(
+    name: &str,
+    dataset: Dataset,
+    variant: Variant,
+    cfg: &glsc_sim::MachineConfig,
+) -> Workload {
+    match name {
+        "GBC" => gbc::Gbc::new(dataset).build(variant, cfg),
+        "FS" => fs::Fs::new(dataset).build(variant, cfg),
+        "GPS" => gps::Gps::new(dataset).build(variant, cfg),
+        "HIP" => hip::Hip::new(dataset).build(variant, cfg),
+        "SMC" => smc::Smc::new(dataset).build(variant, cfg),
+        "MFP" => mfp::Mfp::new(dataset).build(variant, cfg),
+        "TMS" => tms::Tms::new(dataset).build(variant, cfg),
+        other => panic!("unknown kernel {other:?}"),
+    }
+}

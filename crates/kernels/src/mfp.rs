@@ -1,0 +1,375 @@
+//! MFP — Maxflow Push (Table 2).
+//!
+//! The push step of parallel push-relabel maximum flow: flow is pushed
+//! along edges, atomically moving excess from the source node to the
+//! destination node ("multiple lock critical section": both endpoint
+//! locks are required). Edges are partitioned among threads and processed
+//! `SIMD-width` at a time for several rounds.
+//!
+//! All quantities are integers, so the validator can check **exact**
+//! conservation of total excess plus capacity bounds — properties that
+//! hold under any legal interleaving (the precise flow values are
+//! schedule-dependent, as in the paper's solver).
+//!
+//! * **Base**: scalar per-edge code; locks taken in node-index order;
+//! * **GLSC**: conditional `VLOCK` of both endpoint lock sets (Fig. 3(B)),
+//!   releasing first locks where the second acquisition fails.
+
+use crate::common::{
+    emit_backoff, emit_const_one, emit_partition, emit_scalar_lock, emit_scalar_unlock,
+    emit_vlock, emit_vunlock, Dataset, MemImage, VLockRegs, Variant, Workload,
+};
+use glsc_isa::{AluOp, MReg, ProgramBuilder, Reg, VReg};
+use glsc_sim::MachineConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Input parameters for [`Mfp`].
+#[derive(Clone, Debug)]
+pub struct MfpParams {
+    /// Number of graph nodes.
+    pub nodes: usize,
+    /// Number of edges (padded to a multiple of 256 with zero-capacity
+    /// edges between dedicated padding nodes).
+    pub edges: usize,
+    /// Push rounds over the edge list.
+    pub rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The MFP benchmark.
+#[derive(Clone, Debug)]
+pub struct Mfp {
+    params: MfpParams,
+}
+
+impl Mfp {
+    /// Benchmark instance for a dataset of Table 3 (scaled).
+    pub fn new(dataset: Dataset) -> Self {
+        let params = match dataset {
+            // 1500 nodes, 6800 edges.
+            Dataset::A => MfpParams { nodes: 2048, edges: 4096, rounds: 3, seed: 61 },
+            // 3888 nodes, 18252 edges.
+            Dataset::B => MfpParams { nodes: 4096, edges: 8192, rounds: 2, seed: 62 },
+            Dataset::Tiny => MfpParams { nodes: 512, edges: 512, rounds: 2, seed: 63 },
+        };
+        Self { params }
+    }
+
+    /// Benchmark instance with explicit parameters.
+    pub fn with_params(params: MfpParams) -> Self {
+        Self { params }
+    }
+
+    /// Generates the graph: per-edge endpoints and capacities, plus the
+    /// initial excess per node. Edges are sorted by source node (threads
+    /// own contiguous node regions) and interleaved within each thread's
+    /// chunk so SIMD groups touch independent nodes.
+    pub fn generate(&self, threads: usize, width: usize) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let n = self.params.edges.next_multiple_of(256);
+        let mut src = Vec::with_capacity(n);
+        let mut dst = Vec::with_capacity(n);
+        let mut cap = Vec::with_capacity(n);
+        // Edges connect nearby nodes (mesh-like graphs), so a thread's
+        // partition of nodes covers both endpoints of most of its edges.
+        let span = 8u32.min(self.params.nodes as u32 - 1).max(1);
+        for _ in 0..self.params.edges {
+            let a = rng.random_range(0..self.params.nodes as u32);
+            let off = rng.random_range(1..=span);
+            let (u, v) = if a + off < self.params.nodes as u32 {
+                (a, a + off)
+            } else {
+                // Clamp at node 0 for small graphs (keeps u < v).
+                (a - off.min(a), a)
+            };
+            src.push(u);
+            dst.push(v);
+            cap.push(rng.random_range(1..100u32));
+        }
+        // Partition edges by source node: the paper "evenly divides graph
+        // nodes among threads and pushes the flow within each partition",
+        // so cross-thread lock conflicts are rare (~0% failure in Table 4).
+        let mut order: Vec<usize> = (0..src.len()).collect();
+        order.sort_by_key(|&e| (src[e], dst[e]));
+        let mut edges: Vec<(u32, u32, u32)> =
+            order.iter().map(|&e| (src[e], dst[e], cap[e])).collect();
+        for t in 0..threads {
+            let (s, e) = crate::common::chunk_bounds(n, threads, t);
+            let e = e.min(edges.len());
+            if s < e {
+                crate::common::interleave_for_width(&mut edges[s..e], width);
+            }
+        }
+        src = edges.iter().map(|e| e.0).collect();
+        dst = edges.iter().map(|e| e.1).collect();
+        cap = edges.iter().map(|e| e.2).collect();
+        for k in self.params.edges..n {
+            let base = (self.params.nodes + 2 * (k - self.params.edges)) as u32;
+            src.push(base);
+            dst.push(base + 1);
+            cap.push(0);
+        }
+        let total_nodes = self.params.nodes + 2 * (n - self.params.edges);
+        let excess: Vec<u32> =
+            (0..total_nodes).map(|_| rng.random_range(0..1000u32)).collect();
+        (src, dst, cap, excess)
+    }
+
+    /// Builds the runnable workload for a machine configuration.
+    pub fn build(&self, variant: Variant, cfg: &MachineConfig) -> Workload {
+        let width = cfg.simd_width;
+        let threads = cfg.total_threads();
+        let (src, dst, cap, excess) = self.generate(threads, width);
+        let n = src.len();
+        let total_nodes = excess.len();
+        let initial_sum: u64 = excess.iter().map(|&x| x as u64).sum();
+
+        let mut image = MemImage::new();
+        let a_src = image.alloc_u32(&src);
+        let a_dst = image.alloc_u32(&dst);
+        let a_cap = image.alloc_u32(&cap);
+        let a_flow = image.alloc_zeroed(n);
+        let a_excess = image.alloc_u32(&excess);
+        let a_lock = image.alloc_zeroed(total_nodes);
+
+        let program = build_program(
+            variant,
+            width,
+            threads,
+            n,
+            self.params.rounds,
+            [a_src, a_dst, a_cap, a_flow, a_excess, a_lock],
+        );
+
+        let cap_copy = cap.clone();
+        let name = format!(
+            "MFP/n{}e{}/{}/w{}",
+            self.params.nodes,
+            self.params.edges,
+            variant.label(),
+            width
+        );
+        Workload {
+            name,
+            program,
+            image,
+            validate: Box::new(move |backing| {
+                let final_sum: u64 = (0..total_nodes)
+                    .map(|i| backing.read_u32(a_excess + 4 * i as u64) as u64)
+                    .sum();
+                if final_sum != initial_sum {
+                    return Err(format!(
+                        "excess not conserved: {final_sum} vs {initial_sum}"
+                    ));
+                }
+                for (e, c) in cap_copy.iter().enumerate() {
+                    let f = backing.read_u32(a_flow + 4 * e as u64);
+                    if f > *c {
+                        return Err(format!("flow[{e}]={f} exceeds capacity {c}"));
+                    }
+                }
+                for i in 0..total_nodes as u64 {
+                    if backing.read_u32(a_lock + 4 * i) != 0 {
+                        return Err(format!("lock {i} still held"));
+                    }
+                }
+                Ok(())
+            }),
+        }
+    }
+}
+
+fn build_program(
+    variant: Variant,
+    width: usize,
+    threads: usize,
+    n: usize,
+    rounds: usize,
+    arrays: [u64; 6],
+) -> glsc_isa::Program {
+    let [a_src, a_dst, a_cap, a_flow, a_excess, a_lock] = arrays;
+    let mut b = ProgramBuilder::new();
+    let r = Reg::new;
+    let v = VReg::new;
+    let m = MReg::new;
+
+    emit_const_one(&mut b);
+    let (r_i, r_end, r_start, r_round) = (r(2), r(3), r(12), r(13));
+    let (r_t1, r_t2, r_t3, r_t4, r_t5, r_t6) = (r(4), r(5), r(6), r(7), r(11), r(14));
+    let (r_lock, r_excess) = (r(8), r(9));
+    b.li(r_lock, a_lock as i64);
+    b.li(r_excess, a_excess as i64);
+    emit_partition(&mut b, n, threads, r_start, r_end);
+    b.li(r_round, 0);
+    let round_top = b.here();
+    b.mv(r_i, r_start);
+
+    match variant {
+        Variant::Base => {
+            let outer = b.here();
+            let round_next = b.label();
+            b.bge(r_i, r_end, round_next);
+            b.shl(r_t1, r_i, 2);
+            // Load endpoints.
+            b.addi(r_t2, r_t1, a_src as i64);
+            b.ld(r_t2, r_t2, 0); // u
+            b.addi(r_t3, r_t1, a_dst as i64);
+            b.ld(r_t3, r_t3, 0); // v
+            // Lock in index order.
+            let (r_lo, r_hi) = (r(15), r(16));
+            b.minu(r_lo, r_t2, r_t3);
+            b.alu(AluOp::Max, r_hi, r_t2, glsc_isa::Operand::Reg(r_t3));
+            b.shl(r_lo, r_lo, 2);
+            b.shl(r_hi, r_hi, 2);
+            b.add(r_lo, r_lo, r_lock);
+            b.add(r_hi, r_hi, r_lock);
+            b.sync_on();
+            emit_scalar_lock(&mut b, r_lo, r_t4, r_t5);
+            emit_scalar_lock(&mut b, r_hi, r_t4, r_t5);
+            b.sync_off();
+            // amt = min(excess[u] >> 1, cap[e] - flow[e]).
+            b.shl(r_t2, r_t2, 2);
+            b.add(r_t2, r_t2, r_excess); // &excess[u]
+            b.shl(r_t3, r_t3, 2);
+            b.add(r_t3, r_t3, r_excess); // &excess[v]
+            b.ld(r_t4, r_t2, 0); // excess[u]
+            b.addi(r_t5, r_t1, a_cap as i64);
+            b.ld(r_t5, r_t5, 0); // cap
+            b.addi(r_t6, r_t1, a_flow as i64);
+            b.ld(r_t1, r_t6, 0); // flow (r_t6 keeps &flow)
+            b.sub(r_t5, r_t5, r_t1); // residual
+            let r_amt = r(17);
+            b.shr(r_amt, r_t4, 1);
+            b.minu(r_amt, r_amt, r_t5);
+            // excess[u] -= amt; excess[v] += amt; flow[e] += amt.
+            b.sub(r_t4, r_t4, r_amt);
+            b.st(r_t4, r_t2, 0);
+            b.ld(r_t4, r_t3, 0);
+            b.add(r_t4, r_t4, r_amt);
+            b.st(r_t4, r_t3, 0);
+            b.add(r_t1, r_t1, r_amt);
+            b.st(r_t1, r_t6, 0);
+            b.sync_on();
+            emit_scalar_unlock(&mut b, r_hi, r_t4);
+            emit_scalar_unlock(&mut b, r_lo, r_t4);
+            b.sync_off();
+            b.addi(r_i, r_i, 1);
+            b.jmp(outer);
+            b.bind(round_next).unwrap();
+        }
+        Variant::Glsc => {
+            let (v_u, v_v, v_lo, v_hi) = (v(0), v(1), v(2), v(3));
+            let (v_eu, v_ev, v_cap, v_flow, v_amt) = (v(7), v(8), v(9), v(10), v(11));
+            let regs =
+                VLockRegs { vtmp: v(4), vone: v(5), vzero: v(6), ftmp1: m(2), ftmp2: m(3) };
+            let (f_todo, f, f_hi, f_rel) = (m(0), m(1), m(4), m(5));
+            b.vsplat(regs.vone, r(31));
+            b.li(r_t1, 0);
+            b.vsplat(regs.vzero, r_t1);
+            b.mv(r(18), r(0)); // backoff LCG state
+            let outer = b.here();
+            let round_next = b.label();
+            b.bge(r_i, r_end, round_next);
+            b.shl(r_t1, r_i, 2);
+            b.addi(r_t2, r_t1, a_src as i64);
+            b.vload(v_u, r_t2, 0, None);
+            b.addi(r_t2, r_t1, a_dst as i64);
+            b.vload(v_v, r_t2, 0, None);
+            b.valu(AluOp::Min, v_lo, v_u, v_v, None);
+            b.valu(AluOp::Max, v_hi, v_u, v_v, None);
+            b.sync_on();
+            b.mall(f_todo);
+            let retry = b.here();
+            b.mmov(f, f_todo);
+            emit_vlock(&mut b, r_lock, v_lo, f, regs);
+            b.mmov(f_hi, f);
+            emit_vlock(&mut b, r_lock, v_hi, f_hi, regs);
+            b.mnot(f_rel, f_hi);
+            b.mand(f_rel, f_rel, f);
+            emit_vunlock(&mut b, r_lock, v_lo, f_rel, regs);
+            // Critical section under f_hi.
+            b.vgather(v_eu, r_excess, v_u, Some(f_hi));
+            b.addi(r_t2, r_t1, a_cap as i64);
+            b.vload(v_cap, r_t2, 0, Some(f_hi));
+            b.addi(r_t3, r_t1, a_flow as i64);
+            b.vload(v_flow, r_t3, 0, Some(f_hi));
+            b.vsub(v_cap, v_cap, v_flow, Some(f_hi)); // residual
+            b.vshr(v_amt, v_eu, 1, Some(f_hi));
+            b.valu(AluOp::Min, v_amt, v_amt, v_cap, Some(f_hi));
+            // excess[u] -= amt.
+            b.vsub(v_eu, v_eu, v_amt, Some(f_hi));
+            b.vscatter(v_eu, r_excess, v_u, Some(f_hi));
+            // excess[v] += amt.
+            b.vgather(v_ev, r_excess, v_v, Some(f_hi));
+            b.vadd(v_ev, v_ev, v_amt, Some(f_hi));
+            b.vscatter(v_ev, r_excess, v_v, Some(f_hi));
+            // flow[e] += amt (edges private to this thread).
+            b.vadd(v_flow, v_flow, v_amt, Some(f_hi));
+            b.vstore(v_flow, r_t3, 0, Some(f_hi));
+            emit_vunlock(&mut b, r_lock, v_hi, f_hi, regs);
+            emit_vunlock(&mut b, r_lock, v_lo, f_hi, regs);
+            b.mxor(f_todo, f_todo, f_hi);
+            let cont = b.label();
+            b.bmz(f_todo, cont);
+            // Symmetry-breaking backoff before retrying failed lanes.
+            emit_backoff(&mut b, r(18), r(19));
+            b.jmp(retry);
+            b.bind(cont).unwrap();
+            b.sync_off();
+            b.addi(r_i, r_i, width as i64);
+            b.jmp(outer);
+            b.bind(round_next).unwrap();
+        }
+    }
+    b.addi(r_round, r_round, 1);
+    b.blt(r_round, rounds as i64, round_top);
+    b.halt();
+    b.build().expect("MFP program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+
+    fn check(variant: Variant, cores: usize, tpc: usize, width: usize) {
+        let cfg = MachineConfig::paper(cores, tpc, width);
+        let w = Mfp::new(Dataset::Tiny).build(variant, &cfg);
+        run_workload(&w, &cfg).expect("runs and validates");
+    }
+
+    #[test]
+    fn glsc_configs() {
+        check(Variant::Glsc, 1, 1, 4);
+        check(Variant::Glsc, 2, 2, 4);
+        check(Variant::Glsc, 1, 2, 16);
+        check(Variant::Glsc, 1, 1, 1);
+    }
+
+    #[test]
+    fn base_configs() {
+        check(Variant::Base, 1, 1, 4);
+        check(Variant::Base, 2, 2, 4);
+        check(Variant::Base, 4, 2, 1);
+    }
+
+    #[test]
+    fn pushes_move_flow() {
+        let cfg = MachineConfig::paper(1, 1, 4);
+        let mfp = Mfp::new(Dataset::Tiny);
+        let w = mfp.build(Variant::Glsc, &cfg);
+        // Run through the public runner; validation checks conservation.
+        let out = run_workload(&w, &cfg).unwrap();
+        assert!(out.report.gsu.gatherlinks > 0, "locks use gather-link");
+    }
+
+    #[test]
+    fn dense_contention_converges() {
+        let cfg = MachineConfig::paper(2, 4, 4);
+        let w = Mfp::with_params(MfpParams { nodes: 12, edges: 256, rounds: 2, seed: 77 })
+            .build(Variant::Glsc, &cfg);
+        run_workload(&w, &cfg).expect("no livelock under dense contention");
+    }
+}

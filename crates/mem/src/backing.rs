@@ -1,0 +1,166 @@
+//! Sparse backing store: the functional memory image.
+//!
+//! The simulator is execution-driven (paper §4.1): programs compute on real
+//! data. Values live here; the cache models in this crate carry only tags
+//! and state. Pages are allocated lazily, so programs can use widely
+//! separated address regions without cost.
+
+use std::collections::HashMap;
+
+const PAGE_BYTES: usize = 4096;
+const PAGE_SHIFT: u32 = 12;
+
+/// Sparse, lazily allocated flat memory. All accesses are naturally aligned
+/// 32-bit words (the element size of the simulated SIMD ISA).
+#[derive(Clone, Debug, Default)]
+pub struct Backing {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl Backing {
+    /// Creates an empty store; reads of untouched memory return zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages touched so far.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    #[inline]
+    fn split(addr: u64) -> (u64, usize) {
+        (addr >> PAGE_SHIFT, (addr as usize) & (PAGE_BYTES - 1))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        let (page, off) = Self::split(addr);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let (page, off) = Self::split(addr);
+        self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_BYTES]))[off] = value;
+    }
+
+    /// Reads a 32-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-byte aligned (the ISA requires naturally
+    /// aligned element accesses).
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        assert_eq!(addr % 4, 0, "unaligned 32-bit read at {addr:#x}");
+        let (page, off) = Self::split(addr);
+        match self.pages.get(&page) {
+            Some(p) => u32::from_le_bytes(p[off..off + 4].try_into().expect("4 bytes")),
+            None => 0,
+        }
+    }
+
+    /// Writes a 32-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-byte aligned.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        assert_eq!(addr % 4, 0, "unaligned 32-bit write at {addr:#x}");
+        let (page, off) = Self::split(addr);
+        let p = self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_BYTES]));
+        p[off..off + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads a 32-bit float (bit pattern of the word at `addr`).
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes a 32-bit float.
+    pub fn write_f32(&mut self, addr: u64, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Copies a slice of words into memory starting at `addr`.
+    pub fn write_u32_slice(&mut self, addr: u64, values: &[u32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_u32(addr + 4 * i as u64, *v);
+        }
+    }
+
+    /// Copies a slice of floats into memory starting at `addr`.
+    pub fn write_f32_slice(&mut self, addr: u64, values: &[f32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_f32(addr + 4 * i as u64, *v);
+        }
+    }
+
+    /// Reads `n` consecutive words starting at `addr`.
+    pub fn read_u32_vec(&self, addr: u64, n: usize) -> Vec<u32> {
+        (0..n).map(|i| self.read_u32(addr + 4 * i as u64)).collect()
+    }
+
+    /// Reads `n` consecutive floats starting at `addr`.
+    pub fn read_f32_vec(&self, addr: u64, n: usize) -> Vec<f32> {
+        (0..n).map(|i| self.read_f32(addr + 4 * i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let b = Backing::new();
+        assert_eq!(b.read_u32(0x1000), 0);
+        assert_eq!(b.read_u8(7), 0);
+        assert_eq!(b.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut b = Backing::new();
+        b.write_u32(0x2000, 0xdead_beef);
+        assert_eq!(b.read_u32(0x2000), 0xdead_beef);
+        b.write_f32(0x2004, 1.5);
+        assert_eq!(b.read_f32(0x2004), 1.5);
+        assert_eq!(b.resident_pages(), 1);
+    }
+
+    #[test]
+    fn pages_are_independent() {
+        let mut b = Backing::new();
+        b.write_u32(0x0, 1);
+        b.write_u32(0x10_0000, 2);
+        assert_eq!(b.read_u32(0x0), 1);
+        assert_eq!(b.read_u32(0x10_0000), 2);
+        assert_eq!(b.resident_pages(), 2);
+    }
+
+    #[test]
+    fn slice_helpers_round_trip() {
+        let mut b = Backing::new();
+        b.write_u32_slice(0x3000, &[1, 2, 3, 4]);
+        assert_eq!(b.read_u32_vec(0x3000, 4), vec![1, 2, 3, 4]);
+        b.write_f32_slice(0x4000, &[0.5, -2.0]);
+        assert_eq!(b.read_f32_vec(0x4000, 2), vec![0.5, -2.0]);
+    }
+
+    #[test]
+    fn word_straddling_page_boundary_is_not_needed_but_bytes_work() {
+        let mut b = Backing::new();
+        b.write_u8(4095, 0xab);
+        b.write_u8(4096, 0xcd);
+        assert_eq!(b.read_u8(4095), 0xab);
+        assert_eq!(b.read_u8(4096), 0xcd);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_read_panics() {
+        let b = Backing::new();
+        let _ = b.read_u32(2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Memory-system configuration (Table 1 of the paper).
+
+/// Parameters of the simulated memory hierarchy. [`MemConfig::default`]
+/// reproduces Table 1 of the paper.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Cache line size in bytes (64).
+    pub line_bytes: u64,
+    /// Private L1 data cache capacity in bytes (32 KB).
+    pub l1_bytes: u64,
+    /// L1 associativity (4).
+    pub l1_assoc: usize,
+    /// L1 hit latency in cycles (3).
+    pub l1_hit_latency: u64,
+    /// Shared L2 capacity in bytes (16 MB).
+    pub l2_bytes: u64,
+    /// L2 associativity (8).
+    pub l2_assoc: usize,
+    /// Number of L2 banks (16).
+    pub l2_banks: usize,
+    /// Minimum L2 access latency in cycles, including the interconnect (12).
+    pub l2_latency: u64,
+    /// Cycles a bank stays busy per request (models bank contention).
+    pub l2_bank_occupancy: u64,
+    /// Extra latency when data must be forwarded from another core's
+    /// modified L1 copy (cache-to-cache transfer).
+    pub dirty_forward_extra: u64,
+    /// Main-memory access latency in cycles (280).
+    pub dram_latency: u64,
+    /// GLSC entry implementation (§3.3): `None` = per-line tag bits (the
+    /// default, "(1 + #SMT threads) bits per cache line"); `Some(k)` = a
+    /// fully-associative buffer of `k` entries per L1 (the paper's
+    /// alternative design; overflow conservatively drops the oldest
+    /// reservation).
+    pub glsc_buffer_entries: Option<usize>,
+    /// Enable the L1 hardware stride prefetcher (§4.1).
+    pub prefetch: bool,
+    /// Lines fetched ahead once a stride stream is confirmed.
+    pub prefetch_degree: usize,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self {
+            line_bytes: 64,
+            l1_bytes: 32 * 1024,
+            l1_assoc: 4,
+            l1_hit_latency: 3,
+            l2_bytes: 16 * 1024 * 1024,
+            l2_assoc: 8,
+            l2_banks: 16,
+            l2_latency: 12,
+            l2_bank_occupancy: 2,
+            dirty_forward_extra: 12,
+            dram_latency: 280,
+            glsc_buffer_entries: None,
+            prefetch: true,
+            prefetch_degree: 2,
+        }
+    }
+}
+
+impl MemConfig {
+    /// A small configuration for unit tests: tiny caches so that evictions
+    /// and set conflicts are easy to trigger.
+    pub fn tiny() -> Self {
+        Self {
+            line_bytes: 64,
+            l1_bytes: 1024,
+            l1_assoc: 2,
+            l1_hit_latency: 3,
+            l2_bytes: 8 * 1024,
+            l2_assoc: 2,
+            l2_banks: 2,
+            l2_latency: 12,
+            l2_bank_occupancy: 2,
+            dirty_forward_extra: 12,
+            dram_latency: 280,
+            glsc_buffer_entries: None,
+            prefetch: false,
+            prefetch_degree: 2,
+        }
+    }
+
+    /// Number of L1 sets.
+    pub fn l1_sets(&self) -> usize {
+        (self.l1_bytes / self.line_bytes) as usize / self.l1_assoc
+    }
+
+    /// Number of sets in each L2 bank.
+    pub fn l2_sets_per_bank(&self) -> usize {
+        (self.l2_bytes / self.line_bytes) as usize / self.l2_assoc / self.l2_banks
+    }
+
+    /// The L2 bank serving a given line address (consecutive lines go to
+    /// consecutive banks, as in a physically distributed L2).
+    pub fn bank_of(&self, line: u64) -> usize {
+        ((line / self.line_bytes) % self.l2_banks as u64) as usize
+    }
+
+    /// Validates internal consistency (powers of two, non-zero ways).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when the configuration is
+    /// inconsistent.
+    pub fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.l1_assoc > 0 && self.l2_assoc > 0, "associativity must be non-zero");
+        assert!(self.l2_banks > 0, "need at least one L2 bank");
+        assert_eq!(
+            self.l1_bytes % (self.line_bytes * self.l1_assoc as u64),
+            0,
+            "L1 capacity must divide into sets"
+        );
+        assert!(self.l1_sets() > 0, "L1 must have at least one set");
+        assert!(self.l2_sets_per_bank() > 0, "L2 banks must have at least one set");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_1() {
+        let c = MemConfig::default();
+        c.validate();
+        assert_eq!(c.l1_sets(), 128); // 32KB / 64B / 4-way
+        assert_eq!(c.l1_hit_latency, 3);
+        assert_eq!(c.l2_latency, 12);
+        assert_eq!(c.dram_latency, 280);
+        assert_eq!(c.l2_sets_per_bank(), 2048); // 16MB / 64B / 8 / 16
+    }
+
+    #[test]
+    fn banking_interleaves_lines() {
+        let c = MemConfig::default();
+        assert_eq!(c.bank_of(0), 0);
+        assert_eq!(c.bank_of(64), 1);
+        assert_eq!(c.bank_of(64 * 16), 0);
+    }
+
+    #[test]
+    fn tiny_is_valid() {
+        MemConfig::tiny().validate();
+        assert_eq!(MemConfig::tiny().l1_sets(), 8);
+    }
+}

@@ -1,0 +1,67 @@
+//! Memory-system event counters.
+
+/// Counters collected by [`crate::MemorySystem`]. All counts are
+/// machine-wide; per-thread instruction statistics live in `glsc-sim`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Demand accesses that hit in an L1.
+    pub l1_hits: u64,
+    /// Demand accesses that missed in an L1.
+    pub l1_misses: u64,
+    /// L1 misses that hit in the L2.
+    pub l2_hits: u64,
+    /// L1 misses that also missed in the L2 (DRAM fills).
+    pub l2_misses: u64,
+    /// Store upgrades (Shared -> Modified at the directory).
+    pub upgrades: u64,
+    /// L1 copies invalidated by coherence (stores by other cores).
+    pub invalidations: u64,
+    /// L1 copies invalidated to keep the L2 inclusive.
+    pub back_invalidations: u64,
+    /// Dirty lines forwarded from a remote L1 (cache-to-cache).
+    pub dirty_forwards: u64,
+    /// Store-conditional requests that failed the reservation check.
+    pub sc_failures: u64,
+    /// Store-conditional requests that succeeded.
+    pub sc_successes: u64,
+    /// Reservations cleared by stores from other threads/cores.
+    pub reservations_cleared_by_stores: u64,
+    /// Prefetch requests issued.
+    pub prefetches_issued: u64,
+    /// Prefetches dropped because the line was already resident.
+    pub prefetches_redundant: u64,
+    /// Demand accesses that found their line still in flight (fill pending).
+    pub hits_under_miss: u64,
+}
+
+impl MemStats {
+    /// Total demand L1 accesses.
+    pub fn l1_accesses(&self) -> u64 {
+        self.l1_hits + self.l1_misses
+    }
+
+    /// L1 hit rate in [0, 1]; 1.0 when there were no accesses.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_accesses();
+        if total == 0 {
+            1.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_edges() {
+        let mut s = MemStats::default();
+        assert_eq!(s.l1_hit_rate(), 1.0);
+        s.l1_hits = 3;
+        s.l1_misses = 1;
+        assert_eq!(s.l1_accesses(), 4);
+        assert!((s.l1_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

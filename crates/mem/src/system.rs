@@ -1,0 +1,451 @@
+//! The coherence + timing engine tying L1s, the banked L2 directory, DRAM
+//! and the prefetcher together.
+//!
+//! One call to [`MemorySystem::access`] models one line-granular request
+//! accepted at an L1 port: it probes the L1, walks the MSI directory
+//! protocol on a miss or upgrade, mutates all coherence and reservation
+//! state, and returns the cycle at which the request's data is available.
+
+use crate::backing::Backing;
+use crate::config::MemConfig;
+use crate::l1::{L1Cache, L1State, LinePayload};
+use crate::l2::{L2Bank, L2Payload};
+use crate::line_of;
+use crate::prefetch::StridePrefetcher;
+use crate::stats::MemStats;
+
+/// The kind of request presented at an L1 port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemOp {
+    /// Plain load.
+    Load,
+    /// Plain store (commits data; clears the line's GLSC reservation).
+    Store,
+    /// Load-linked: load plus reservation acquisition for the issuing SMT
+    /// thread (used by scalar `ll` and by `vgatherlink`, §3.3).
+    LoadLinked,
+    /// Store-conditional: store iff the issuing thread still holds the
+    /// line's reservation (used by scalar `sc` and by `vscattercond`).
+    StoreCond,
+}
+
+/// Outcome of an accepted request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Cycle at which the request completes (data available / store
+    /// globally performed).
+    pub done: u64,
+    /// Whether the request hit in the L1.
+    pub l1_hit: bool,
+    /// For [`MemOp::StoreCond`]: whether the reservation check passed and
+    /// the store was performed. `true` for all other ops.
+    pub sc_ok: bool,
+}
+
+/// The full simulated memory system shared by all cores.
+#[derive(Clone, Debug)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    backing: Backing,
+    l1s: Vec<L1Cache>,
+    banks: Vec<L2Bank>,
+    prefetchers: Vec<StridePrefetcher>,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Builds a memory system for `num_cores` cores with `threads_per_core`
+    /// SMT threads each (the prefetcher tracks one stream per thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`MemConfig::validate`]) or `num_cores` is 0 or exceeds 32.
+    pub fn new(cfg: MemConfig, num_cores: usize, threads_per_core: usize) -> Self {
+        cfg.validate();
+        assert!(num_cores > 0 && num_cores <= 32, "1..=32 cores supported");
+        assert!(threads_per_core > 0, "need at least one thread per core");
+        let l1s = (0..num_cores)
+            .map(|_| match cfg.glsc_buffer_entries {
+                None => L1Cache::new(cfg.l1_sets(), cfg.l1_assoc, cfg.line_bytes),
+                Some(k) => L1Cache::with_reservation_buffer(
+                    cfg.l1_sets(),
+                    cfg.l1_assoc,
+                    cfg.line_bytes,
+                    k,
+                ),
+            })
+            .collect();
+        let banks = (0..cfg.l2_banks)
+            .map(|_| L2Bank::new(cfg.l2_sets_per_bank(), cfg.l2_assoc, cfg.line_bytes))
+            .collect();
+        let prefetchers = (0..num_cores)
+            .map(|_| StridePrefetcher::new(threads_per_core, cfg.prefetch_degree, cfg.line_bytes))
+            .collect();
+        Self { cfg, backing: Backing::new(), l1s, banks, prefetchers, stats: MemStats::default() }
+    }
+
+    /// The configuration in effect.
+    pub fn cfg(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.l1s.len()
+    }
+
+    /// Accumulated event counters.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Resets the event counters (e.g. after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+
+    /// Read access to the functional memory image.
+    pub fn backing(&self) -> &Backing {
+        &self.backing
+    }
+
+    /// Write access to the functional memory image.
+    pub fn backing_mut(&mut self) -> &mut Backing {
+        &mut self.backing
+    }
+
+    /// The L1 of `core` (inspection for tests and statistics).
+    pub fn l1(&self, core: usize) -> &L1Cache {
+        &self.l1s[core]
+    }
+
+    /// Whether SMT thread `tid` of `core` holds the reservation on the line
+    /// containing `addr`.
+    pub fn holds_reservation(&self, core: usize, tid: u8, addr: u64) -> bool {
+        self.l1s[core].holds_reservation(line_of(addr, self.cfg.line_bytes), tid)
+    }
+
+    /// Presents one request at `core`'s L1 port at cycle `now`.
+    ///
+    /// `tid` is the core-local SMT thread id of the requester, used for
+    /// reservations and prefetch stream tracking. Timing is line-granular:
+    /// callers split multi-line vector operations into one access per
+    /// distinct line (the GSU does exactly this, combining same-line
+    /// elements, §4.1).
+    pub fn access(&mut self, core: usize, tid: u8, op: MemOp, addr: u64, now: u64) -> AccessResult {
+        let line = line_of(addr, self.cfg.line_bytes);
+        let result = self.access_line(core, tid, op, line, now, true);
+        if self.cfg.prefetch && !matches!(op, MemOp::StoreCond) {
+            for pf_line in self.prefetchers[core].observe(tid as usize, line) {
+                self.prefetch_line(core, pf_line, now);
+            }
+        }
+        result
+    }
+
+    fn prefetch_line(&mut self, core: usize, line: u64, now: u64) {
+        if self.l1s[core].peek(line).is_some() {
+            self.stats.prefetches_redundant += 1;
+            return;
+        }
+        self.stats.prefetches_issued += 1;
+        let _ = self.fill(core, line, now, false, false);
+    }
+
+    fn access_line(
+        &mut self,
+        core: usize,
+        tid: u8,
+        op: MemOp,
+        line: u64,
+        now: u64,
+        demand: bool,
+    ) -> AccessResult {
+        debug_assert!(demand, "demand-only entry point");
+        let hit_latency = self.cfg.l1_hit_latency;
+        match op {
+            MemOp::Load | MemOp::LoadLinked => {
+                if let Some(p) = self.l1s[core].lookup_mut(line) {
+                    let done = (now + hit_latency).max(p.ready_at);
+                    if p.ready_at > now + hit_latency {
+                        self.stats.hits_under_miss += 1;
+                    }
+                    self.stats.l1_hits += 1;
+                    if op == MemOp::LoadLinked {
+                        self.l1s[core].set_reservation(line, tid);
+                    }
+                    AccessResult { done, l1_hit: true, sc_ok: true }
+                } else {
+                    self.stats.l1_misses += 1;
+                    let done = self.fill(core, line, now, false, true);
+                    if op == MemOp::LoadLinked {
+                        self.l1s[core].set_reservation(line, tid);
+                    }
+                    AccessResult { done, l1_hit: false, sc_ok: true }
+                }
+            }
+            MemOp::Store => {
+                if self.l1s[core].peek(line).is_some() {
+                    self.stats.l1_hits += 1;
+                    if self.l1s[core].clear_reservation(line) {
+                        self.stats.reservations_cleared_by_stores += 1;
+                    }
+                    let p = self.l1s[core].lookup_mut(line).expect("resident");
+                    let state = p.state;
+                    let ready = p.ready_at;
+                    let done = if state == L1State::Modified {
+                        (now + hit_latency).max(ready)
+                    } else {
+                        let lat = self.upgrade(core, line, now);
+                        self.l1s[core]
+                            .peek_mut(line)
+                            .expect("line resident during upgrade")
+                            .state = L1State::Modified;
+                        lat.max(ready)
+                    };
+                    AccessResult { done, l1_hit: true, sc_ok: true }
+                } else {
+                    self.stats.l1_misses += 1;
+                    let done = self.fill(core, line, now, true, true);
+                    AccessResult { done, l1_hit: false, sc_ok: true }
+                }
+            }
+            MemOp::StoreCond => {
+                // The reservation lives in the L1 entry, so a non-resident
+                // line cannot hold one: fail fast (conservative ll/sc
+                // semantics, §3).
+                let holds =
+                    self.l1s[core].peek(line).is_some() && self.l1s[core].holds_reservation(line, tid);
+                if !holds {
+                    self.stats.l1_hits += 1;
+                    self.stats.sc_failures += 1;
+                    return AccessResult { done: now + hit_latency, l1_hit: true, sc_ok: false };
+                }
+                // The conditional store commits: every link on the line dies
+                // (including other threads' — it is an intervening write
+                // from their perspective).
+                self.l1s[core].clear_reservation(line);
+                let p = self.l1s[core].lookup_mut(line).expect("resident");
+                let state = p.state;
+                let ready = p.ready_at;
+                self.stats.l1_hits += 1;
+                self.stats.sc_successes += 1;
+                let done = if state == L1State::Modified {
+                    (now + hit_latency).max(ready)
+                } else {
+                    let lat = self.upgrade(core, line, now);
+                    self.l1s[core]
+                        .peek_mut(line)
+                        .expect("line resident during upgrade")
+                        .state = L1State::Modified;
+                    lat.max(ready)
+                };
+                AccessResult { done, l1_hit: true, sc_ok: true }
+            }
+        }
+    }
+
+    /// Directory upgrade transaction: Shared -> Modified for `core`.
+    /// Invalidates every other sharer (dropping their reservations).
+    fn upgrade(&mut self, core: usize, line: u64, now: u64) -> u64 {
+        self.stats.upgrades += 1;
+        let bank = self.cfg.bank_of(line);
+        let arrival = now + self.cfg.l1_hit_latency;
+        let start = self.banks[bank].reserve(arrival, self.cfg.l2_bank_occupancy);
+        let done = start + self.cfg.l2_latency;
+        let sharers = {
+            let p = self.banks[bank]
+                .tags
+                .peek_mut(line)
+                .expect("inclusive L2 must hold upgraded line");
+            let s = p.sharers;
+            p.sharers = 0;
+            p.owner = Some(core as u8);
+            p.dirty = true;
+            s
+        };
+        for other in 0..self.l1s.len() {
+            if other != core && sharers & (1 << other) != 0 {
+                if let Some(victim) = self.l1s[other].invalidate(line) {
+                    self.stats.invalidations += 1;
+                    if victim.reservation != 0 {
+                        self.stats.reservations_cleared_by_stores += 1;
+                    }
+                }
+            }
+        }
+        done
+    }
+
+    /// Miss path: walk the directory, fetch the line (L2 or DRAM), install
+    /// it in `core`'s L1 and return the fill-complete cycle.
+    fn fill(&mut self, core: usize, line: u64, now: u64, for_store: bool, demand: bool) -> u64 {
+        let bank = self.cfg.bank_of(line);
+        let arrival = now + self.cfg.l1_hit_latency;
+        let start = self.banks[bank].reserve(arrival, self.cfg.l2_bank_occupancy);
+        let mut invalidate_list: Vec<usize> = Vec::new();
+        let mut downgrade_owner: Option<usize> = None;
+
+        let done = if let Some(p) = self.banks[bank].tags.lookup_mut(line) {
+            if demand {
+                self.stats.l2_hits += 1;
+            }
+            let mut lat = (start + self.cfg.l2_latency).max(p.ready_at);
+            match (p.owner, for_store) {
+                (Some(owner), _) if owner as usize != core => {
+                    // Remote modified copy: cache-to-cache forward.
+                    lat += self.cfg.dirty_forward_extra;
+                    p.dirty = true;
+                    if for_store {
+                        invalidate_list.push(owner as usize);
+                        p.owner = Some(core as u8);
+                        p.sharers = 0;
+                    } else {
+                        downgrade_owner = Some(owner as usize);
+                        p.owner = None;
+                        p.sharers = (1 << owner) | (1 << core);
+                    }
+                }
+                (_, true) => {
+                    // Store miss with only shared copies: invalidate them.
+                    for c in 0..32usize {
+                        if p.sharers & (1 << c) != 0 && c != core {
+                            invalidate_list.push(c);
+                        }
+                    }
+                    p.sharers = 0;
+                    p.owner = Some(core as u8);
+                    p.dirty = true;
+                }
+                (_, false) => {
+                    p.sharers |= 1 << core;
+                }
+            }
+            lat
+        } else {
+            if demand {
+                self.stats.l2_misses += 1;
+            }
+            let fill_done = start + self.cfg.l2_latency + self.cfg.dram_latency;
+            let payload = L2Payload {
+                sharers: if for_store { 0 } else { 1 << core },
+                owner: if for_store { Some(core as u8) } else { None },
+                dirty: for_store,
+                ready_at: fill_done,
+            };
+            if let Some((vline, vpay)) = self.banks[bank].tags.insert(line, payload) {
+                self.back_invalidate(vline, &vpay);
+            }
+            fill_done
+        };
+
+        if let Some(owner) = downgrade_owner {
+            self.stats.dirty_forwards += 1;
+            if let Some(entry) = self.l1s[owner].peek_mut(line) {
+                entry.state = L1State::Shared;
+            }
+        }
+        for victim_core in invalidate_list {
+            if let Some(victim) = self.l1s[victim_core].invalidate(line) {
+                self.stats.invalidations += 1;
+                if victim.state == L1State::Modified {
+                    self.stats.dirty_forwards += 1;
+                }
+                if victim.reservation != 0 {
+                    self.stats.reservations_cleared_by_stores += 1;
+                }
+            }
+        }
+
+        // Install in the requesting L1, handling the victim's directory
+        // bookkeeping.
+        let payload = LinePayload {
+            state: if for_store { L1State::Modified } else { L1State::Shared },
+            ready_at: done,
+            reservation: 0,
+        };
+        if let Some((vline, vpay)) = self.l1s[core].install(line, payload) {
+            self.evict_from_l1(core, vline, vpay);
+        }
+        done
+    }
+
+    /// Directory bookkeeping when `core`'s L1 evicts `vline`.
+    fn evict_from_l1(&mut self, core: usize, vline: u64, vpay: LinePayload) {
+        let bank = self.cfg.bank_of(vline);
+        if let Some(p) = self.banks[bank].tags.peek_mut(vline) {
+            match vpay.state {
+                L1State::Modified => {
+                    if p.owner == Some(core as u8) {
+                        p.owner = None;
+                    }
+                    p.dirty = true; // writeback data (timing ignored)
+                }
+                L1State::Shared => {
+                    p.sharers &= !(1 << core);
+                }
+            }
+        }
+    }
+
+    /// Inclusion: when the L2 evicts a line, every private copy must go.
+    fn back_invalidate(&mut self, vline: u64, vpay: &L2Payload) {
+        for c in 0..self.l1s.len() {
+            let holds = vpay.sharers & (1 << c) != 0 || vpay.owner == Some(c as u8);
+            if holds && self.l1s[c].invalidate(vline).is_some() {
+                self.stats.back_invalidations += 1;
+            }
+        }
+    }
+
+    /// Total reservations dropped by full GLSC buffers across all L1s
+    /// (always zero in the default per-line-tags mode).
+    pub fn reservation_buffer_evictions(&self) -> u64 {
+        self.l1s.iter().map(L1Cache::reservation_buffer_evictions).sum()
+    }
+
+    /// Verifies the coherence invariants; used by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant:
+    /// inclusion, directory/sharer agreement, and single-writer.
+    pub fn check_invariants(&self) {
+        for (c, l1) in self.l1s.iter().enumerate() {
+            for (line, p) in l1.iter() {
+                let bank = self.cfg.bank_of(line);
+                let dir = self
+                    .banks[bank]
+                    .tags
+                    .peek(line)
+                    .unwrap_or_else(|| panic!("inclusion violated: L1 {c} holds {line:#x} not in L2"));
+                match p.state {
+                    L1State::Modified => assert_eq!(
+                        dir.owner,
+                        Some(c as u8),
+                        "L1 {c} has {line:#x} Modified but directory owner is {:?}",
+                        dir.owner
+                    ),
+                    L1State::Shared => assert_ne!(
+                        dir.sharers & (1 << c),
+                        0,
+                        "L1 {c} has {line:#x} Shared but is not a directory sharer"
+                    ),
+                }
+            }
+        }
+        for bank in &self.banks {
+            for (line, dir) in bank.tags.iter() {
+                if let Some(owner) = dir.owner {
+                    assert_eq!(dir.sharers, 0, "owned line {line:#x} must have no sharers");
+                    let l1p = self.l1s[owner as usize].peek(line);
+                    assert!(
+                        l1p.is_some_and(|p| p.state == L1State::Modified),
+                        "directory owner {owner} does not hold {line:#x} Modified"
+                    );
+                }
+            }
+        }
+    }
+}

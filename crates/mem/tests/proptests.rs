@@ -1,0 +1,139 @@
+//! Property-based tests for the memory system.
+
+use glsc_mem::{Backing, MemConfig, MemOp, MemorySystem, StridePrefetcher, TagArray};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// The backing store behaves exactly like a flat map of words.
+    #[test]
+    fn backing_matches_oracle(ops in proptest::collection::vec((0u64..1 << 20, any::<u32>(), any::<bool>()), 1..200)) {
+        let mut b = Backing::new();
+        let mut oracle: HashMap<u64, u32> = HashMap::new();
+        for (raw, val, is_write) in ops {
+            let addr = raw & !3;
+            if is_write {
+                b.write_u32(addr, val);
+                oracle.insert(addr, val);
+            } else {
+                let expect = oracle.get(&addr).copied().unwrap_or(0);
+                prop_assert_eq!(b.read_u32(addr), expect);
+            }
+        }
+    }
+
+    /// A tag array never holds more than `assoc` lines per set, and a line
+    /// just inserted is always resident.
+    #[test]
+    fn tag_array_capacity_invariant(lines in proptest::collection::vec(0u64..64, 1..100)) {
+        let mut a: TagArray<u64> = TagArray::new(4, 2, 64);
+        for (i, l) in lines.iter().enumerate() {
+            let line = l * 64;
+            if a.peek(line).is_none() {
+                a.insert(line, i as u64);
+            }
+            prop_assert!(a.peek(line).is_some());
+            prop_assert!(a.len() <= 4 * 2);
+        }
+        // Per-set occupancy <= assoc.
+        let mut per_set: HashMap<usize, usize> = HashMap::new();
+        for (line, _) in a.iter() {
+            *per_set.entry(a.set_index(line)).or_default() += 1;
+        }
+        for (_, n) in per_set {
+            prop_assert!(n <= 2);
+        }
+    }
+
+    /// Coherence invariants hold after arbitrary access interleavings, and
+    /// completion times never precede the minimum L1 latency.
+    #[test]
+    fn coherence_invariants_random(
+        ops in proptest::collection::vec(
+            (0usize..3, 0u8..4, 0u64..64, 0usize..4),
+            1..300,
+        )
+    ) {
+        let mut cfg = MemConfig::tiny();
+        cfg.prefetch = false;
+        let mut m = MemorySystem::new(cfg, 3, 4);
+        let mut now = 0u64;
+        for (core, tid, line, kind) in ops {
+            let addr = line * 64 + 4 * (tid as u64);
+            let op = match kind {
+                0 => MemOp::Load,
+                1 => MemOp::Store,
+                2 => MemOp::LoadLinked,
+                _ => MemOp::StoreCond,
+            };
+            let r = m.access(core, tid, op, addr, now);
+            prop_assert!(r.done >= now + 3);
+            now += 1;
+        }
+        m.check_invariants();
+    }
+
+    /// An sc can only succeed if the same thread ll'ed the line with no
+    /// intervening store to it from anyone (tracked with an oracle).
+    #[test]
+    fn sc_success_implies_valid_reservation(
+        ops in proptest::collection::vec(
+            (0usize..2, 0u8..2, 0u64..4, 0usize..3),
+            1..200,
+        )
+    ) {
+        let mut cfg = MemConfig::tiny();
+        cfg.prefetch = false;
+        let mut m = MemorySystem::new(cfg, 2, 2);
+        // oracle: (core, line) -> set of linked tids; stores clear globally.
+        let mut res: HashMap<(usize, u64), u8> = HashMap::new();
+        let mut now = 0u64;
+        for (core, tid, lineno, kind) in ops {
+            let line = lineno * 64;
+            match kind {
+                0 => { // ll
+                    m.access(core, tid, MemOp::LoadLinked, line, now);
+                    *res.entry((core, line)).or_default() |= 1 << tid;
+                }
+                1 => { // store clears reservations on that line everywhere
+                    m.access(core, tid, MemOp::Store, line, now);
+                    for c in 0..2 {
+                        res.insert((c, line), 0);
+                    }
+                }
+                _ => { // sc
+                    let r = m.access(core, tid, MemOp::StoreCond, line, now);
+                    if r.sc_ok {
+                        // Our oracle is *less* conservative than the
+                        // hardware (no evictions), so hardware success
+                        // implies oracle validity.
+                        prop_assert!(res.get(&(core, line)).copied().unwrap_or(0) & (1 << tid) != 0,
+                            "sc succeeded without an oracle reservation");
+                        for c in 0..2 {
+                            res.insert((c, line), 0);
+                        }
+                    }
+                }
+            }
+            now += 1;
+        }
+        m.check_invariants();
+    }
+
+    /// The prefetcher only emits addresses along the observed stride.
+    #[test]
+    fn prefetcher_targets_follow_stride(start in 0u64..1000, stride in 1i64..8, n in 3usize..20) {
+        let mut p = StridePrefetcher::new(1, 2, 64);
+        let mut expected_ok = true;
+        for i in 0..n {
+            let line = (start as i64 + stride * i as i64) as u64 * 64;
+            for t in p.observe(0, line) {
+                // Every target is ahead of the current line by a multiple
+                // of the stride.
+                let delta = t as i64 - line as i64;
+                expected_ok &= delta % (stride * 64) == 0 && delta > 0;
+            }
+        }
+        prop_assert!(expected_ok);
+    }
+}

@@ -1,0 +1,88 @@
+//! Tests for the §3.3 alternative GLSC implementation: reservations held
+//! in a small fully-associative buffer instead of per-line tag bits.
+
+use glsc_mem::{MemConfig, MemOp, MemorySystem};
+
+fn sys(buffer: usize) -> MemorySystem {
+    let mut cfg = MemConfig::default();
+    cfg.prefetch = false;
+    cfg.glsc_buffer_entries = Some(buffer);
+    MemorySystem::new(cfg, 2, 4)
+}
+
+#[test]
+fn ll_sc_works_through_the_buffer() {
+    let mut m = sys(4);
+    let t0 = m.access(0, 0, MemOp::LoadLinked, 0x40, 0).done;
+    assert!(m.holds_reservation(0, 0, 0x40));
+    let r = m.access(0, 0, MemOp::StoreCond, 0x40, t0);
+    assert!(r.sc_ok);
+    assert!(!m.holds_reservation(0, 0, 0x40), "consumed");
+    assert_eq!(m.reservation_buffer_evictions(), 0);
+}
+
+#[test]
+fn buffer_overflow_drops_oldest_reservation() {
+    let mut m = sys(2);
+    let mut now = 0;
+    for line in [0x40u64, 0x80, 0xc0] {
+        now = m.access(0, 0, MemOp::LoadLinked, line, now).done;
+    }
+    // Capacity 2: the link on 0x40 was evicted.
+    assert!(!m.holds_reservation(0, 0, 0x40));
+    assert!(m.holds_reservation(0, 0, 0x80));
+    assert!(m.holds_reservation(0, 0, 0xc0));
+    assert_eq!(m.reservation_buffer_evictions(), 1);
+    let r = m.access(0, 0, MemOp::StoreCond, 0x40, now);
+    assert!(!r.sc_ok, "evicted reservation must fail the sc");
+}
+
+#[test]
+fn stores_clear_buffered_reservations() {
+    let mut m = sys(4);
+    let t0 = m.access(0, 0, MemOp::LoadLinked, 0x40, 0).done;
+    let t1 = m.access(0, 1, MemOp::Store, 0x44, t0).done; // same line
+    let r = m.access(0, 0, MemOp::StoreCond, 0x40, t1);
+    assert!(!r.sc_ok);
+    assert_eq!(m.stats().reservations_cleared_by_stores, 1);
+}
+
+#[test]
+fn remote_invalidation_clears_buffered_reservations() {
+    let mut m = sys(4);
+    let t0 = m.access(0, 0, MemOp::LoadLinked, 0x40, 0).done;
+    let t1 = m.access(1, 0, MemOp::Store, 0x40, t0).done;
+    assert!(!m.holds_reservation(0, 0, 0x40));
+    let r = m.access(0, 0, MemOp::StoreCond, 0x40, t1);
+    assert!(!r.sc_ok);
+    m.check_invariants();
+}
+
+#[test]
+fn multiple_threads_share_a_buffered_line_entry() {
+    let mut m = sys(4);
+    let t0 = m.access(0, 0, MemOp::LoadLinked, 0x40, 0).done;
+    let t1 = m.access(0, 1, MemOp::LoadLinked, 0x40, t0).done;
+    assert!(m.holds_reservation(0, 0, 0x40));
+    assert!(m.holds_reservation(0, 1, 0x40));
+    // First committer wins, clearing the shared entry.
+    let r0 = m.access(0, 0, MemOp::StoreCond, 0x40, t1);
+    assert!(r0.sc_ok);
+    let r1 = m.access(0, 1, MemOp::StoreCond, 0x40, r0.done);
+    assert!(!r1.sc_ok);
+}
+
+#[test]
+fn capacity_eviction_of_line_drops_buffered_link() {
+    let mut cfg = MemConfig::tiny(); // 8 sets x 2 ways
+    cfg.prefetch = false;
+    cfg.glsc_buffer_entries = Some(8);
+    let mut m = MemorySystem::new(cfg, 1, 1);
+    let stride = 8 * 64;
+    let t0 = m.access(0, 0, MemOp::LoadLinked, 0, 0).done;
+    let t1 = m.access(0, 0, MemOp::Load, stride, t0).done;
+    let t2 = m.access(0, 0, MemOp::Load, 2 * stride, t1).done; // evicts line 0
+    assert!(!m.holds_reservation(0, 0, 0), "line eviction kills the link");
+    let r = m.access(0, 0, MemOp::StoreCond, 0, t2);
+    assert!(!r.sc_ok);
+}

@@ -1,0 +1,164 @@
+//! Whole-machine configuration (Table 1 of the paper).
+
+use glsc_core::GlscConfig;
+use glsc_mem::MemConfig;
+
+/// Functional-unit result latencies in cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyTable {
+    /// Simple integer ALU (add/sub/logic/shift/compare/move).
+    pub int_alu: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// Integer divide / remainder.
+    pub int_div: u64,
+    /// Floating add/sub/min/max.
+    pub fp_add: u64,
+    /// Floating multiply.
+    pub fp_mul: u64,
+    /// Floating divide.
+    pub fp_div: u64,
+    /// Int<->float conversions.
+    pub cvt: u64,
+    /// Mask-register operations.
+    pub mask_op: u64,
+}
+
+impl Default for LatencyTable {
+    fn default() -> Self {
+        Self {
+            int_alu: 1,
+            int_mul: 3,
+            int_div: 10,
+            fp_add: 4,
+            fp_mul: 4,
+            fp_div: 12,
+            cvt: 2,
+            mask_op: 1,
+        }
+    }
+}
+
+impl LatencyTable {
+    /// Latency of an integer ALU op.
+    pub fn for_alu(&self, op: glsc_isa::AluOp) -> u64 {
+        use glsc_isa::AluOp::*;
+        match op {
+            Mul => self.int_mul,
+            Div | Rem => self.int_div,
+            _ => self.int_alu,
+        }
+    }
+
+    /// Latency of a floating-point op.
+    pub fn for_fp(&self, op: glsc_isa::FpOp) -> u64 {
+        use glsc_isa::FpOp::*;
+        match op {
+            Div => self.fp_div,
+            Mul => self.fp_mul,
+            _ => self.fp_add,
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of cores (paper: 1–4).
+    pub cores: usize,
+    /// SMT threads per core (paper: 1–4).
+    pub threads_per_core: usize,
+    /// SIMD width in 32-bit elements (paper: 1, 4, 16).
+    pub simd_width: usize,
+    /// Core issue width across its SMT threads (paper: 2). Each thread
+    /// issues at most one instruction per cycle.
+    pub issue_width: usize,
+    /// Extra cycles charged after a taken branch (fetch redirect).
+    pub branch_penalty: u64,
+    /// Functional-unit latencies.
+    pub lat: LatencyTable,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+    /// GLSC policy knobs.
+    pub glsc: GlscConfig,
+    /// Safety bound: [`crate::Machine::run`] fails after this many cycles.
+    pub max_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The paper's configuration `cores`×`threads` with the given SIMD
+    /// width (Table 1 memory parameters, 2-wide issue).
+    pub fn paper(cores: usize, threads_per_core: usize, simd_width: usize) -> Self {
+        Self {
+            cores,
+            threads_per_core,
+            simd_width,
+            issue_width: 2,
+            branch_penalty: 1,
+            lat: LatencyTable::default(),
+            mem: MemConfig::default(),
+            glsc: GlscConfig::default(),
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// Total software threads (`m × n` in the paper's notation).
+    pub fn total_threads(&self) -> usize {
+        self.cores * self.threads_per_core
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a parameter is out of the supported range.
+    pub fn validate(&self) {
+        assert!(self.cores >= 1 && self.cores <= 32, "1..=32 cores");
+        assert!(
+            self.threads_per_core >= 1 && self.threads_per_core <= 8,
+            "1..=8 threads per core"
+        );
+        assert!(
+            self.simd_width >= 1 && self.simd_width <= glsc_isa::MAX_SIMD_WIDTH,
+            "SIMD width 1..=32"
+        );
+        assert!(self.issue_width >= 1, "issue width >= 1");
+        self.mem.validate();
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::paper(4, 4, 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_shape() {
+        let c = MachineConfig::paper(4, 4, 4);
+        c.validate();
+        assert_eq!(c.total_threads(), 16);
+        assert_eq!(c.issue_width, 2);
+        assert_eq!(c.mem.l1_hit_latency, 3);
+    }
+
+    #[test]
+    fn latency_table_selectors() {
+        let lat = LatencyTable::default();
+        assert_eq!(lat.for_alu(glsc_isa::AluOp::Add), 1);
+        assert_eq!(lat.for_alu(glsc_isa::AluOp::Mul), 3);
+        assert_eq!(lat.for_alu(glsc_isa::AluOp::Rem), 10);
+        assert_eq!(lat.for_fp(glsc_isa::FpOp::Add), 4);
+        assert_eq!(lat.for_fp(glsc_isa::FpOp::Div), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "SIMD width")]
+    fn invalid_width_rejected() {
+        MachineConfig::paper(1, 1, 64).validate();
+    }
+}

@@ -1,0 +1,451 @@
+//! The in-order SMT core model: issue stage, memory-op dispatch, stall
+//! classification.
+//!
+//! Each core issues up to `issue_width` instructions per cycle, at most one
+//! per SMT thread, in round-robin thread order (rotating priority). Scalar
+//! loads are non-blocking with stall-on-use via a register scoreboard;
+//! vector memory operations block the issuing thread (§4.1: gather/scatter
+//! "stall the subsequent instructions from the same thread until memory
+//! operations for all elements are complete").
+
+use crate::config::MachineConfig;
+use crate::exec::{self, StepOutcome};
+use crate::thread::{Thread, ThreadStatus};
+use glsc_core::{CoreMemUnit, GsuKind, LsuAction, LsuCompletion, MemCompletion};
+use glsc_isa::{Instr, Program, Reg, ELEM_BYTES};
+use glsc_mem::line_of;
+
+/// Why a running thread failed to issue this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallKind {
+    /// An operand (or WAW destination) is waiting on a memory access.
+    OperandMem,
+    /// An operand is waiting on a functional-unit result, or the thread is
+    /// serialized behind a taken branch / vector op.
+    Pipeline,
+    /// The write buffer has no free slot for a store.
+    StoreBufferFull,
+    /// Ready to issue, but the core's issue slots were taken.
+    NoSlot,
+}
+
+/// Per-cycle issue outcome for one thread (for stall accounting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IssueRecord {
+    /// Issued an instruction; flag = sync region.
+    Issued(bool),
+    /// Stalled for the given reason; flag = sync region of the stalled
+    /// instruction.
+    Stalled(StallKind, bool),
+    /// Not in the Running state (blocked/barrier/halted).
+    NotRunning,
+}
+
+/// One simulated core: SMT threads plus its memory unit.
+#[derive(Clone, Debug)]
+pub struct Core {
+    // Core id (kept for debugging dumps).
+    #[allow(dead_code)]
+    pub(crate) id: usize,
+    /// Hardware threads.
+    pub threads: Vec<Thread>,
+    /// LSU + GSU behind the L1 port.
+    pub memunit: CoreMemUnit,
+    records: Vec<IssueRecord>,
+    rr: usize,
+    scratch_regs: Vec<Reg>,
+}
+
+impl Core {
+    /// Creates core `id` per the machine configuration.
+    pub fn new(id: usize, cfg: &MachineConfig) -> Self {
+        let n = cfg.threads_per_core;
+        Self {
+            id,
+            threads: (0..n).map(|_| Thread::new(cfg.simd_width)).collect(),
+            memunit: CoreMemUnit::new(id, n, cfg.glsc),
+            records: vec![IssueRecord::NotRunning; n],
+            rr: 0,
+            scratch_regs: Vec::with_capacity(4),
+        }
+    }
+
+    /// Applies memory completions to thread state.
+    pub fn apply_completions(&mut self, comps: Vec<MemCompletion>) {
+        for comp in comps {
+            match comp {
+                MemCompletion::Lsu(LsuCompletion::ScalarLoad { tid, rd, value, done }) => {
+                    self.threads[tid as usize].deliver_mem(rd, value as u64, done);
+                }
+                MemCompletion::Lsu(LsuCompletion::ScalarSc { tid, rd, ok, done }) => {
+                    self.threads[tid as usize].deliver_mem(rd, ok as u64, done);
+                }
+                MemCompletion::Lsu(LsuCompletion::StoreDrained { .. }) => {}
+                MemCompletion::Lsu(LsuCompletion::VectorPart { tid, lane_values, done }) => {
+                    let th = &mut self.threads[tid as usize];
+                    let ThreadStatus::BlockedVector {
+                        pending_parts,
+                        done: acc_done,
+                        vd,
+                        lanes,
+                        sync: _,
+                    } = &mut th.status
+                    else {
+                        panic!("vector part for thread not blocked on a vector op");
+                    };
+                    *pending_parts -= 1;
+                    *acc_done = (*acc_done).max(done);
+                    lanes.extend(lane_values);
+                    if *pending_parts == 0 {
+                        let vd = *vd;
+                        let ready = *acc_done;
+                        let lanes = std::mem::take(lanes);
+                        if let Some(vd) = vd {
+                            for (lane, value) in lanes {
+                                th.arch.set_vlane(glsc_isa::VReg::new(vd), lane as usize, value);
+                            }
+                        }
+                        th.status = ThreadStatus::Running;
+                        th.next_issue_at = th.next_issue_at.max(ready);
+                    }
+                }
+                MemCompletion::Gsu(c) => {
+                    let th = &mut self.threads[c.tid as usize];
+                    debug_assert!(matches!(th.status, ThreadStatus::BlockedGsu { .. }));
+                    if let Some(vd) = c.vd {
+                        for (lane, value) in &c.lane_values {
+                            th.arch.set_vlane(glsc_isa::VReg::new(vd), *lane as usize, *value);
+                        }
+                    }
+                    if let Some(fd) = c.fd {
+                        th.arch.set_mreg(glsc_isa::MReg::new(fd), c.mask);
+                    }
+                    th.status = ThreadStatus::Running;
+                    th.next_issue_at = th.next_issue_at.max(c.done);
+                }
+            }
+        }
+    }
+
+    /// Returns `None` when the thread can issue now, or the stall reason.
+    fn check_stall(&mut self, t: usize, program: &Program, now: u64) -> Option<StallKind> {
+        let th = &self.threads[t];
+        if now < th.next_issue_at {
+            return Some(StallKind::Pipeline);
+        }
+        let Some(instr) = program.fetch(th.arch.pc) else {
+            return None; // falls off the end: issue path halts it
+        };
+        exec::src_regs(instr, &mut self.scratch_regs);
+        let th = &self.threads[t];
+        for r in &self.scratch_regs {
+            if !th.reg_is_ready(*r, now) {
+                return Some(if th.reg_from_mem[r.index()] {
+                    StallKind::OperandMem
+                } else {
+                    StallKind::Pipeline
+                });
+            }
+        }
+        if let Some(rd) = exec::dst_reg(instr) {
+            if !th.reg_is_ready(rd, now) {
+                return Some(if th.reg_from_mem[rd.index()] {
+                    StallKind::OperandMem
+                } else {
+                    StallKind::Pipeline
+                });
+            }
+        }
+        if matches!(instr, Instr::Store { .. }) && !self.memunit.can_accept_store(t as u8) {
+            return Some(StallKind::StoreBufferFull);
+        }
+        None
+    }
+
+    /// The issue stage for cycle `now`: selects up to `issue_width` ready
+    /// threads (round-robin) and executes one instruction each, recording
+    /// per-thread issue/stall outcomes for later classification.
+    pub fn issue_stage(&mut self, program: &Program, cfg: &MachineConfig, now: u64) {
+        let n = self.threads.len();
+        let mut slots = cfg.issue_width;
+        for r in &mut self.records {
+            *r = IssueRecord::NotRunning;
+        }
+        let start = self.rr;
+        self.rr = (self.rr + 1) % n;
+        for off in 0..n {
+            let t = (start + off) % n;
+            if self.threads[t].status != ThreadStatus::Running {
+                continue;
+            }
+            let sync_at_pc = program
+                .fetch(self.threads[t].arch.pc)
+                .map(|_| program.is_sync(self.threads[t].arch.pc))
+                .unwrap_or(false);
+            match self.check_stall(t, program, now) {
+                Some(kind) => {
+                    self.records[t] = IssueRecord::Stalled(kind, sync_at_pc);
+                }
+                None if slots == 0 => {
+                    self.records[t] = IssueRecord::Stalled(StallKind::NoSlot, sync_at_pc);
+                }
+                None => {
+                    slots -= 1;
+                    self.issue_one(t, program, cfg, now, sync_at_pc);
+                    self.records[t] = IssueRecord::Issued(sync_at_pc);
+                }
+            }
+        }
+    }
+
+    /// Executes one instruction for thread `t` (all checks already passed).
+    fn issue_one(&mut self, t: usize, program: &Program, cfg: &MachineConfig, now: u64, sync: bool) {
+        let tid = t as u8;
+        let width = cfg.simd_width;
+        let pc = self.threads[t].arch.pc;
+        let Some(instr) = program.fetch(pc) else {
+            self.threads[t].status = ThreadStatus::Halted;
+            return;
+        };
+        let instr = *instr;
+        {
+            let th = &mut self.threads[t];
+            th.stats.instructions += 1;
+            if sync {
+                th.stats.sync_instructions += 1;
+            }
+        }
+        match instr {
+            Instr::Load { rd, base, offset } | Instr::LoadLinked { rd, base, offset } => {
+                let addr = self.threads[t].arch.reg(base).wrapping_add(offset as u64);
+                let action = if matches!(instr, Instr::Load { .. }) {
+                    LsuAction::LoadTo { rd: rd.index() as u8 }
+                } else {
+                    LsuAction::LlTo { rd: rd.index() as u8 }
+                };
+                self.memunit.lsu_push(glsc_core::LsuEntry { tid, addr, action });
+                let th = &mut self.threads[t];
+                th.mark_pending_mem(rd);
+                th.arch.pc += 1;
+                th.next_issue_at = now + 1;
+            }
+            Instr::Store { rs, base, offset } => {
+                let th = &self.threads[t];
+                let addr = th.arch.reg(base).wrapping_add(offset as u64);
+                let value = th.arch.reg(rs) as u32;
+                self.memunit.lsu_push(glsc_core::LsuEntry {
+                    tid,
+                    addr,
+                    action: LsuAction::StoreVal { value },
+                });
+                let th = &mut self.threads[t];
+                th.arch.pc += 1;
+                th.next_issue_at = now + 1;
+            }
+            Instr::StoreCond { rd, rs, base, offset } => {
+                let th = &self.threads[t];
+                let addr = th.arch.reg(base).wrapping_add(offset as u64);
+                let value = th.arch.reg(rs) as u32;
+                self.memunit.lsu_push(glsc_core::LsuEntry {
+                    tid,
+                    addr,
+                    action: LsuAction::ScVal { rd: rd.index() as u8, value },
+                });
+                let th = &mut self.threads[t];
+                th.mark_pending_mem(rd);
+                th.arch.pc += 1;
+                th.next_issue_at = now + 1;
+            }
+            Instr::VLoad { vd, base, offset, mask } | Instr::VStore { vs: vd, base, offset, mask } => {
+                let is_load = matches!(instr, Instr::VLoad { .. });
+                let th = &self.threads[t];
+                let m = mask.map_or(th.arch.full_mask(), |f| th.arch.mreg(f));
+                let base_addr = th.arch.reg(base).wrapping_add(offset as u64);
+                let line_bytes = cfg.mem.line_bytes;
+                // Group active lanes by line.
+                let mut groups: Vec<(u64, Vec<(u8, u64)>)> = Vec::new();
+                for lane in 0..width {
+                    if m & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let addr = base_addr + ELEM_BYTES * lane as u64;
+                    let line = line_of(addr, line_bytes);
+                    match groups.iter_mut().find(|(l, _)| *l == line) {
+                        Some((_, v)) => v.push((lane as u8, addr)),
+                        None => groups.push((line, vec![(lane as u8, addr)])),
+                    }
+                }
+                let th = &mut self.threads[t];
+                th.arch.pc += 1;
+                if groups.is_empty() {
+                    th.next_issue_at = now + 1;
+                    return;
+                }
+                let parts = groups.len();
+                let vd_idx = vd.index() as u8;
+                let values: Vec<Vec<(u64, u32)>> = if is_load {
+                    Vec::new()
+                } else {
+                    let data = th.arch.vreg(vd).to_vec();
+                    groups
+                        .iter()
+                        .map(|(_, lanes)| {
+                            lanes.iter().map(|&(l, a)| (a, data[l as usize])).collect()
+                        })
+                        .collect()
+                };
+                th.status = ThreadStatus::BlockedVector {
+                    pending_parts: parts,
+                    done: 0,
+                    vd: is_load.then_some(vd_idx),
+                    lanes: Vec::new(),
+                    sync,
+                };
+                for (i, (line, lanes)) in groups.into_iter().enumerate() {
+                    let action = if is_load {
+                        LsuAction::VLoadLanes { lanes }
+                    } else {
+                        LsuAction::VStoreLanes { lanes: values[i].clone() }
+                    };
+                    self.memunit.lsu_push(glsc_core::LsuEntry { tid, addr: line, action });
+                }
+            }
+            Instr::VGather { vd, base, vidx, mask } => {
+                let elems = self.gsu_elems(t, base, vidx, mask.map(|f| self.threads[t].arch.mreg(f)), None, width);
+                self.start_gsu(t, GsuKind::Gather { vd: vd.index() as u8 }, elems, width, sync);
+            }
+            Instr::VScatter { vs, base, vidx, mask } => {
+                let elems = self.gsu_elems(t, base, vidx, mask.map(|f| self.threads[t].arch.mreg(f)), Some(vs), width);
+                self.start_gsu(t, GsuKind::Scatter, elems, width, sync);
+            }
+            Instr::VGatherLink { fd, vd, base, vidx, fsrc } => {
+                let m = self.threads[t].arch.mreg(fsrc);
+                let elems = self.gsu_elems(t, base, vidx, Some(m), None, width);
+                self.start_gsu(
+                    t,
+                    GsuKind::GatherLink { fd: fd.index() as u8, vd: vd.index() as u8 },
+                    elems,
+                    width,
+                    sync,
+                );
+            }
+            Instr::VScatterCond { fd, vs, base, vidx, fsrc } => {
+                let m = self.threads[t].arch.mreg(fsrc);
+                let elems = self.gsu_elems(t, base, vidx, Some(m), Some(vs), width);
+                self.start_gsu(t, GsuKind::ScatterCond { fd: fd.index() as u8 }, elems, width, sync);
+            }
+            _ => {
+                let th = &mut self.threads[t];
+                let outcome = exec::step_compute(&mut th.arch, &instr, program, &cfg.lat);
+                match outcome {
+                    StepOutcome::Compute { dst, latency, serialize } => {
+                        if let Some(rd) = dst {
+                            th.mark_alu(rd, now + latency);
+                        }
+                        th.next_issue_at = if serialize { now + latency } else { now + 1 };
+                    }
+                    StepOutcome::Taken => {
+                        th.next_issue_at = now + 1 + cfg.branch_penalty;
+                    }
+                    StepOutcome::NotTaken => {
+                        th.next_issue_at = now + 1;
+                    }
+                    StepOutcome::Halt => {
+                        th.status = ThreadStatus::Halted;
+                    }
+                    StepOutcome::Barrier => {
+                        th.status = ThreadStatus::AtBarrier;
+                    }
+                    StepOutcome::Memory => unreachable!("memory ops handled above"),
+                }
+            }
+        }
+    }
+
+    /// Builds the GSU element list `(lane, address, value)` for the active
+    /// lanes of an indexed memory instruction.
+    fn gsu_elems(
+        &self,
+        t: usize,
+        base: Reg,
+        vidx: glsc_isa::VReg,
+        mask: Option<u32>,
+        values_from: Option<glsc_isa::VReg>,
+        width: usize,
+    ) -> Vec<(u8, u64, u32)> {
+        let th = &self.threads[t];
+        let m = mask.unwrap_or_else(|| th.arch.full_mask());
+        let base_addr = th.arch.reg(base);
+        let idx = th.arch.vreg(vidx);
+        let vals = values_from.map(|v| th.arch.vreg(v));
+        (0..width)
+            .filter(|lane| m & (1 << lane) != 0)
+            .map(|lane| {
+                let addr = base_addr.wrapping_add(ELEM_BYTES * idx[lane] as u64);
+                let value = vals.map_or(0, |v| v[lane]);
+                (lane as u8, addr, value)
+            })
+            .collect()
+    }
+
+    fn start_gsu(&mut self, t: usize, kind: GsuKind, elems: Vec<(u8, u64, u32)>, width: usize, sync: bool) {
+        debug_assert!(!self.memunit.gsu_busy(t as u8), "thread issued while GSU busy");
+        self.memunit.gsu_start(t as u8, kind, elems, width);
+        let th = &mut self.threads[t];
+        th.arch.pc += 1;
+        th.status = ThreadStatus::BlockedGsu { sync };
+    }
+
+    /// End-of-cycle statistics classification (Fig. 5(a) sync attribution
+    /// and Table 4 memory-stall accounting).
+    pub fn classify_cycle(&mut self) {
+        for (t, th) in self.threads.iter_mut().enumerate() {
+            match &th.status {
+                ThreadStatus::Halted => {}
+                ThreadStatus::AtBarrier => {
+                    th.stats.active_cycles += 1;
+                    th.stats.barrier_cycles += 1;
+                    th.stats.sync_cycles += 1;
+                }
+                ThreadStatus::BlockedGsu { sync } | ThreadStatus::BlockedVector { sync, .. } => {
+                    th.stats.active_cycles += 1;
+                    th.stats.mem_stall_cycles += 1;
+                    if *sync {
+                        th.stats.sync_cycles += 1;
+                    }
+                }
+                ThreadStatus::Running => {
+                    th.stats.active_cycles += 1;
+                    match self.records[t] {
+                        IssueRecord::Issued(sync) => {
+                            if sync {
+                                th.stats.sync_cycles += 1;
+                            }
+                        }
+                        IssueRecord::Stalled(kind, sync) => {
+                            match kind {
+                                StallKind::OperandMem | StallKind::StoreBufferFull => {
+                                    th.stats.mem_stall_cycles += 1;
+                                }
+                                StallKind::Pipeline => th.stats.compute_stall_cycles += 1,
+                                StallKind::NoSlot => th.stats.issue_stall_cycles += 1,
+                            }
+                            if sync {
+                                th.stats.sync_cycles += 1;
+                            }
+                        }
+                        IssueRecord::NotRunning => {
+                            // Became Running after the issue stage (e.g.
+                            // unblocked by a completion): neutral cycle.
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether every thread on this core has halted.
+    pub fn all_halted(&self) -> bool {
+        self.threads.iter().all(Thread::is_halted)
+    }
+}

@@ -1,0 +1,220 @@
+//! The whole-machine cycle loop: cores, shared memory system, barriers.
+
+use crate::config::MachineConfig;
+use crate::cpu::Core;
+use crate::report::RunReport;
+use crate::thread::ThreadStatus;
+use glsc_isa::{Program, Reg};
+use glsc_mem::MemorySystem;
+use std::error::Error;
+use std::fmt;
+
+/// Simulation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// No program was loaded before [`Machine::run`].
+    NoProgram,
+    /// The cycle budget was exhausted (likely livelock/deadlock in the
+    /// simulated program); carries the per-thread program counters for
+    /// diagnosis.
+    MaxCyclesExceeded {
+        /// Cycle at which the run aborted.
+        cycle: u64,
+        /// `(global thread id, pc)` of every non-halted thread.
+        stuck: Vec<(usize, usize)>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoProgram => write!(f, "no program loaded"),
+            SimError::MaxCyclesExceeded { cycle, stuck } => {
+                write!(f, "exceeded max cycles at {cycle}; non-halted threads at pcs {stuck:?}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The simulated chip multiprocessor.
+///
+/// Construct with a [`MachineConfig`], initialize memory through
+/// [`mem_mut`](Machine::mem_mut), load an SPMD [`Program`] (each hardware
+/// thread gets its global id in `r0` and the thread count in `r1`), then
+/// [`run`](Machine::run).
+#[derive(Clone, Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    mem: MemorySystem,
+    cores: Vec<Core>,
+    program: Option<Program>,
+    cycle: u64,
+}
+
+impl Machine {
+    /// Builds a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate();
+        let mem = MemorySystem::new(cfg.mem.clone(), cfg.cores, cfg.threads_per_core);
+        let cores = (0..cfg.cores).map(|id| Core::new(id, &cfg)).collect();
+        Self { cfg, mem, cores, program: None, cycle: 0 }
+    }
+
+    /// The machine configuration.
+    pub fn cfg(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Read access to the memory system (backing store, caches, stats).
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Write access to the memory system (for initializing workload data).
+    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Loads an SPMD program, resetting every thread. `r0` is set to the
+    /// global thread id and `r1` to the total thread count.
+    pub fn load_program(&mut self, program: Program) {
+        let total = self.cfg.total_threads() as u64;
+        for (c, core) in self.cores.iter_mut().enumerate() {
+            for (t, th) in core.threads.iter_mut().enumerate() {
+                *th = crate::thread::Thread::new(self.cfg.simd_width);
+                let gid = (c * self.cfg.threads_per_core + t) as u64;
+                th.arch.set_reg(Reg::new(0), gid);
+                th.arch.set_reg(Reg::new(1), total);
+            }
+        }
+        self.program = Some(program);
+        self.cycle = 0;
+    }
+
+    /// Sets register `r` in every thread (for passing arguments; call after
+    /// [`load_program`](Machine::load_program)).
+    pub fn set_reg_all(&mut self, r: Reg, value: u64) {
+        for core in &mut self.cores {
+            for th in &mut core.threads {
+                th.arch.set_reg(r, value);
+            }
+        }
+    }
+
+    /// The architectural state of global thread `gid` (for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gid` is out of range.
+    pub fn thread_arch(&self, gid: usize) -> &crate::arch::ThreadArch {
+        let c = gid / self.cfg.threads_per_core;
+        let t = gid % self.cfg.threads_per_core;
+        &self.cores[c].threads[t].arch
+    }
+
+    /// Advances one cycle; returns `true` when every thread has halted.
+    pub fn step(&mut self) -> bool {
+        let program = self.program.as_ref().expect("program loaded").clone();
+        let now = self.cycle;
+        for core in &mut self.cores {
+            let comps = core.memunit.tick(&mut self.mem, now);
+            core.apply_completions(comps);
+        }
+        for core in &mut self.cores {
+            core.issue_stage(&program, &self.cfg, now);
+        }
+        self.release_barrier(now);
+        for core in &mut self.cores {
+            core.classify_cycle();
+        }
+        self.cycle += 1;
+        self.cores
+            .iter()
+            .all(|c| c.all_halted() && c.memunit.is_idle())
+    }
+
+    fn release_barrier(&mut self, now: u64) {
+        let mut waiting = 0usize;
+        let mut live = 0usize;
+        for core in &self.cores {
+            for th in &core.threads {
+                match th.status {
+                    ThreadStatus::Halted => {}
+                    ThreadStatus::AtBarrier => {
+                        waiting += 1;
+                        live += 1;
+                    }
+                    _ => live += 1,
+                }
+            }
+        }
+        if live > 0 && waiting == live {
+            for core in &mut self.cores {
+                for th in &mut core.threads {
+                    if th.status == ThreadStatus::AtBarrier {
+                        th.status = ThreadStatus::Running;
+                        th.next_issue_at = now + 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until every thread halts, returning the aggregated report.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoProgram`] when no program was loaded;
+    /// [`SimError::MaxCyclesExceeded`] when the configured cycle budget is
+    /// exhausted.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        if self.program.is_none() {
+            return Err(SimError::NoProgram);
+        }
+        loop {
+            if self.step() {
+                return Ok(self.report());
+            }
+            if self.cycle >= self.cfg.max_cycles {
+                let mut stuck = Vec::new();
+                for (c, core) in self.cores.iter().enumerate() {
+                    for (t, th) in core.threads.iter().enumerate() {
+                        if !th.is_halted() {
+                            stuck.push((c * self.cfg.threads_per_core + t, th.arch.pc));
+                        }
+                    }
+                }
+                return Err(SimError::MaxCyclesExceeded { cycle: self.cycle, stuck });
+            }
+        }
+    }
+
+    /// Builds the statistics report for the run so far.
+    pub fn report(&self) -> RunReport {
+        let mut report = RunReport {
+            cycles: self.cycle,
+            threads: Vec::with_capacity(self.cfg.total_threads()),
+            mem: self.mem.stats().clone(),
+            ..RunReport::default()
+        };
+        for core in &self.cores {
+            for th in &core.threads {
+                report.threads.push(th.stats.clone());
+            }
+            report.lsu.accumulate(core.memunit.lsu_stats());
+            report.gsu.accumulate(core.memunit.gsu_stats());
+        }
+        report
+    }
+}

@@ -1,0 +1,135 @@
+//! Run statistics: per-thread counters and the aggregated report used by
+//! the benchmark harness to regenerate the paper's tables and figures.
+
+use glsc_core::{GsuStats, LsuStats};
+use glsc_mem::MemStats;
+
+/// Counters for one hardware thread.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Dynamic instructions issued.
+    pub instructions: u64,
+    /// Dynamic instructions issued inside synchronization regions.
+    pub sync_instructions: u64,
+    /// Cycles from start until the thread halted.
+    pub active_cycles: u64,
+    /// Cycles attributed to synchronization (issued a sync-region
+    /// instruction, or stalled on one) — Figure 5(a).
+    pub sync_cycles: u64,
+    /// Cycles stalled waiting on memory (blocked vector/GSU ops, pending
+    /// load operands, full write buffer) — Table 4 "Memory Stalls".
+    pub mem_stall_cycles: u64,
+    /// Cycles stalled on functional-unit latency.
+    pub compute_stall_cycles: u64,
+    /// Cycles stalled because the core's issue slots were taken by other
+    /// SMT threads.
+    pub issue_stall_cycles: u64,
+    /// Cycles spent waiting at barriers.
+    pub barrier_cycles: u64,
+}
+
+/// Aggregated result of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Total machine cycles until every thread halted.
+    pub cycles: u64,
+    /// Per-thread counters, indexed by global thread id.
+    pub threads: Vec<ThreadStats>,
+    /// Memory-system counters.
+    pub mem: MemStats,
+    /// LSU counters summed over cores.
+    pub lsu: LsuStats,
+    /// GSU counters summed over cores.
+    pub gsu: GsuStats,
+}
+
+impl RunReport {
+    /// Total dynamic instructions over all threads.
+    pub fn total_instructions(&self) -> u64 {
+        self.threads.iter().map(|t| t.instructions).sum()
+    }
+
+    /// Total memory-stall cycles over all threads.
+    pub fn total_mem_stalls(&self) -> u64 {
+        self.threads.iter().map(|t| t.mem_stall_cycles).sum()
+    }
+
+    /// Fraction of thread-cycles attributed to synchronization, as in
+    /// Figure 5(a).
+    pub fn sync_fraction(&self) -> f64 {
+        let active: u64 = self.threads.iter().map(|t| t.active_cycles).sum();
+        if active == 0 {
+            return 0.0;
+        }
+        let sync: u64 = self.threads.iter().map(|t| t.sync_cycles).sum();
+        sync as f64 / active as f64
+    }
+
+    /// Demand L1 accesses (LSU + GSU line requests).
+    pub fn l1_accesses(&self) -> u64 {
+        self.mem.l1_accesses()
+    }
+
+    /// L1 accesses made by atomic operations: scalar ll/sc plus GLSC line
+    /// requests (for Table 4's "L1 Accesses" analysis).
+    pub fn atomic_l1_accesses(&self) -> u64 {
+        self.lsu.lls + self.lsu.scs + self.gsu.atomic_line_requests
+    }
+
+    /// L1 accesses an uncombined implementation would have needed for the
+    /// same atomic work (elements rather than lines for GLSC).
+    pub fn atomic_l1_accesses_uncombined(&self) -> u64 {
+        self.lsu.lls + self.lsu.scs + self.gsu.atomic_elems
+    }
+
+    /// GLSC element failure rate (Table 4, last columns).
+    pub fn glsc_failure_rate(&self) -> f64 {
+        self.gsu.element_failure_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregations() {
+        let mut r = RunReport::default();
+        r.threads.push(ThreadStats {
+            instructions: 100,
+            sync_cycles: 30,
+            active_cycles: 100,
+            mem_stall_cycles: 20,
+            ..ThreadStats::default()
+        });
+        r.threads.push(ThreadStats {
+            instructions: 50,
+            sync_cycles: 10,
+            active_cycles: 100,
+            mem_stall_cycles: 5,
+            ..ThreadStats::default()
+        });
+        assert_eq!(r.total_instructions(), 150);
+        assert_eq!(r.total_mem_stalls(), 25);
+        assert!((r.sync_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = RunReport::default();
+        assert_eq!(r.sync_fraction(), 0.0);
+        assert_eq!(r.total_instructions(), 0);
+        assert_eq!(r.glsc_failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn atomic_access_accounting() {
+        let mut r = RunReport::default();
+        r.lsu.lls = 10;
+        r.lsu.scs = 10;
+        r.gsu.atomic_line_requests = 5;
+        r.gsu.atomic_elems = 20;
+        assert_eq!(r.atomic_l1_accesses(), 25);
+        assert_eq!(r.atomic_l1_accesses_uncombined(), 40);
+    }
+}

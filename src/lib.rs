@@ -1,0 +1,52 @@
+//! # glsc — Atomic Vector Operations on Chip Multiprocessors
+//!
+//! A from-scratch Rust reproduction of *Atomic Vector Operations on Chip
+//! Multiprocessors* (Kumar et al., ISCA 2008): architectural support for
+//! **atomic vector operations** via two new instructions,
+//! **`vgatherlink`** (gather-linked) and **`vscattercond`**
+//! (scatter-conditional), collectively called **GLSC**.
+//!
+//! The workspace contains everything the paper's evaluation depends on,
+//! re-exported here:
+//!
+//! * [`isa`] — the simulated vector ISA with mask registers,
+//!   gather/scatter, `ll`/`sc`, and the GLSC pair, plus an assembler.
+//! * [`mem`] — the memory hierarchy: private L1s carrying GLSC
+//!   reservation tags, an inclusive banked L2 with an MSI directory, DRAM,
+//!   and a stride prefetcher.
+//! * [`core`] — the paper's hardware contribution: the gather/scatter
+//!   unit with same-line combining and alias resolution, the LSU, and the
+//!   shared L1 port.
+//! * [`sim`] — the cycle-level CMP simulator (in-order 2-issue SMT cores).
+//! * [`kernels`] — the seven RMS benchmarks of Table 2 in Base and GLSC
+//!   variants, plus the §5.2 microbenchmark.
+//!
+//! ## Quickstart
+//!
+//! Run the parallel histogram of the paper's Fig. 3(A) on a 4-core,
+//! 4-thread, 4-wide machine:
+//!
+//! ```
+//! use glsc::kernels::{hip::Hip, run_workload, Dataset, Variant};
+//! use glsc::sim::MachineConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = MachineConfig::paper(4, 4, 4);
+//! let workload = Hip::new(Dataset::Tiny).build(Variant::Glsc, &cfg);
+//! let outcome = run_workload(&workload, &cfg)?;
+//! println!("completed in {} cycles", outcome.report.cycles);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The benchmark harness regenerating every figure/table of the paper
+//! lives in `crates/bench`; see `EXPERIMENTS.md` for measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use glsc_core as core;
+pub use glsc_isa as isa;
+pub use glsc_kernels as kernels;
+pub use glsc_mem as mem;
+pub use glsc_sim as sim;

@@ -1,0 +1,253 @@
+//! Differential testing: random single-threaded programs must produce
+//! identical architectural and memory state on the cycle-level machine and
+//! the functional reference interpreter.
+
+use glsc::isa::{AluOp, CmpOp, FpOp, MReg, Program, ProgramBuilder, Reg, VReg};
+use glsc::sim::{reference, Machine, MachineConfig};
+use proptest::prelude::*;
+
+const WINDOW_BASE: i64 = 0x1_0000;
+const WINDOW_WORDS: u32 = 256;
+
+/// One random instruction "recipe"; kept coarse so shrinking is useful.
+#[derive(Clone, Debug)]
+enum Op {
+    Li { rd: u8, imm: i32 },
+    Alu { op: AluOp, rd: u8, rs: u8, imm: i32 },
+    AluRr { op: AluOp, rd: u8, rs: u8, rt: u8 },
+    Fp { op: FpOp, rd: u8, rs: u8, rt: u8 },
+    Cmp { op: CmpOp, rd: u8, rs: u8, imm: i32 },
+    Load { rd: u8, word: u32 },
+    Store { rs: u8, word: u32 },
+    Ll { rd: u8, word: u32 },
+    Sc { rd: u8, rs: u8, word: u32 },
+    VAluImm { op: AluOp, vd: u8, vs: u8, imm: i32 },
+    VFp { op: FpOp, vd: u8, vs: u8, vt: u8 },
+    VSplat { vd: u8, rs: u8 },
+    VIota { vd: u8 },
+    VCmp { op: CmpOp, fd: u8, vs: u8, imm: i32 },
+    MaskOp { fd: u8, fa: u8, fb: u8, kind: u8 },
+    VLoad { vd: u8, word: u32 },
+    VStore { vs: u8, word: u32 },
+    VGather { vd: u8, vidx: u8 },
+    VScatter { vs: u8, vidx: u8 },
+    GatherLink { fd: u8, vd: u8, vidx: u8, fsrc: u8 },
+    ScatterCond { fd: u8, vs: u8, vidx: u8, fsrc: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let r = 3u8..12; // leave r0/r1 (ids) and r2 (window base) alone
+    let v = 0u8..8;
+    let f = 0u8..4;
+    let word = 0u32..WINDOW_WORDS;
+    let alu = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::Min),
+        Just(AluOp::Max),
+    ];
+    let fp = prop_oneof![
+        Just(FpOp::Add),
+        Just(FpOp::Sub),
+        Just(FpOp::Mul),
+        Just(FpOp::Div),
+        Just(FpOp::Min),
+        Just(FpOp::Max),
+    ];
+    let cmp = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ];
+    prop_oneof![
+        (r.clone(), any::<i32>()).prop_map(|(rd, imm)| Op::Li { rd, imm }),
+        (alu.clone(), r.clone(), r.clone(), any::<i32>())
+            .prop_map(|(op, rd, rs, imm)| Op::Alu { op, rd, rs, imm }),
+        (alu.clone(), r.clone(), r.clone(), r.clone())
+            .prop_map(|(op, rd, rs, rt)| Op::AluRr { op, rd, rs, rt }),
+        (fp.clone(), r.clone(), r.clone(), r.clone())
+            .prop_map(|(op, rd, rs, rt)| Op::Fp { op, rd, rs, rt }),
+        (cmp.clone(), r.clone(), r.clone(), any::<i32>())
+            .prop_map(|(op, rd, rs, imm)| Op::Cmp { op, rd, rs, imm }),
+        (r.clone(), word.clone()).prop_map(|(rd, word)| Op::Load { rd, word }),
+        (r.clone(), word.clone()).prop_map(|(rs, word)| Op::Store { rs, word }),
+        (r.clone(), word.clone()).prop_map(|(rd, word)| Op::Ll { rd, word }),
+        (r.clone(), r.clone(), word.clone()).prop_map(|(rd, rs, word)| Op::Sc { rd, rs, word }),
+        (alu, v.clone(), v.clone(), any::<i32>())
+            .prop_map(|(op, vd, vs, imm)| Op::VAluImm { op, vd, vs, imm }),
+        (fp, v.clone(), v.clone(), v.clone()).prop_map(|(op, vd, vs, vt)| Op::VFp { op, vd, vs, vt }),
+        (v.clone(), r.clone()).prop_map(|(vd, rs)| Op::VSplat { vd, rs }),
+        v.clone().prop_map(|vd| Op::VIota { vd }),
+        (cmp, f.clone(), v.clone(), any::<i32>())
+            .prop_map(|(op, fd, vs, imm)| Op::VCmp { op, fd, vs, imm }),
+        (f.clone(), f.clone(), f.clone(), 0u8..4)
+            .prop_map(|(fd, fa, fb, kind)| Op::MaskOp { fd, fa, fb, kind }),
+        (v.clone(), word.clone()).prop_map(|(vd, word)| Op::VLoad { vd, word }),
+        (v.clone(), word).prop_map(|(vs, word)| Op::VStore { vs, word }),
+        (v.clone(), v.clone()).prop_map(|(vd, vidx)| Op::VGather { vd, vidx }),
+        (v.clone(), v.clone()).prop_map(|(vs, vidx)| Op::VScatter { vs, vidx }),
+        (f.clone(), v.clone(), v.clone(), f.clone())
+            .prop_map(|(fd, vd, vidx, fsrc)| Op::GatherLink { fd, vd, vidx, fsrc }),
+        (f.clone(), v.clone(), v.clone(), f)
+            .prop_map(|(fd, vs, vidx, fsrc)| Op::ScatterCond { fd, vs, vidx, fsrc }),
+    ]
+}
+
+/// Assembles the recipe into a straight-line program. Indexed ops bound
+/// their index vector into the window first (`vand idx, idx, 255`), using
+/// v15 as scratch so the recipe's registers are untouched.
+fn assemble(ops: &[Op], width: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let base = Reg::new(2);
+    let vidx_scratch = VReg::new(15);
+    b.li(base, WINDOW_BASE);
+    let vload_off = |w: u32| {
+        // Keep the full vector inside the window.
+        (4 * w.min(WINDOW_WORDS.saturating_sub(width as u32))) as i64
+    };
+    for op in ops {
+        match *op {
+            Op::Li { rd, imm } => {
+                b.li(Reg::new(rd), imm as i64);
+            }
+            Op::Alu { op, rd, rs, imm } => {
+                b.alu(op, Reg::new(rd), Reg::new(rs), imm as i64);
+            }
+            Op::AluRr { op, rd, rs, rt } => {
+                b.alu(op, Reg::new(rd), Reg::new(rs), Reg::new(rt));
+            }
+            Op::Fp { op, rd, rs, rt } => {
+                b.emit(glsc::isa::Instr::Fp {
+                    op,
+                    rd: Reg::new(rd),
+                    rs: Reg::new(rs),
+                    rt: Reg::new(rt),
+                });
+            }
+            Op::Cmp { op, rd, rs, imm } => {
+                b.cmp(op, Reg::new(rd), Reg::new(rs), imm as i64);
+            }
+            Op::Load { rd, word } => {
+                b.ld(Reg::new(rd), base, (4 * word) as i64);
+            }
+            Op::Store { rs, word } => {
+                b.st(Reg::new(rs), base, (4 * word) as i64);
+            }
+            Op::Ll { rd, word } => {
+                b.ll(Reg::new(rd), base, (4 * word) as i64);
+            }
+            Op::Sc { rd, rs, word } => {
+                b.sc(Reg::new(rd), Reg::new(rs), base, (4 * word) as i64);
+            }
+            Op::VAluImm { op, vd, vs, imm } => {
+                b.valu(op, VReg::new(vd), VReg::new(vs), imm as i64, None);
+            }
+            Op::VFp { op, vd, vs, vt } => {
+                b.vfp(op, VReg::new(vd), VReg::new(vs), VReg::new(vt), None);
+            }
+            Op::VSplat { vd, rs } => {
+                b.vsplat(VReg::new(vd), Reg::new(rs));
+            }
+            Op::VIota { vd } => {
+                b.viota(VReg::new(vd));
+            }
+            Op::VCmp { op, fd, vs, imm } => {
+                b.vcmp(op, MReg::new(fd), VReg::new(vs), imm as i64, None);
+            }
+            Op::MaskOp { fd, fa, fb, kind } => {
+                match kind {
+                    0 => b.mand(MReg::new(fd), MReg::new(fa), MReg::new(fb)),
+                    1 => b.mor(MReg::new(fd), MReg::new(fa), MReg::new(fb)),
+                    2 => b.mxor(MReg::new(fd), MReg::new(fa), MReg::new(fb)),
+                    _ => b.mnot(MReg::new(fd), MReg::new(fa)),
+                };
+            }
+            Op::VLoad { vd, word } => {
+                b.vload(VReg::new(vd), base, vload_off(word), None);
+            }
+            Op::VStore { vs, word } => {
+                b.vstore(VReg::new(vs), base, vload_off(word), None);
+            }
+            Op::VGather { vd, vidx } => {
+                b.vand(vidx_scratch, VReg::new(vidx), (WINDOW_WORDS - 1) as i64, None);
+                b.vgather(VReg::new(vd), base, vidx_scratch, None);
+            }
+            Op::VScatter { vs, vidx } => {
+                b.vand(vidx_scratch, VReg::new(vidx), (WINDOW_WORDS - 1) as i64, None);
+                b.vscatter(VReg::new(vs), base, vidx_scratch, None);
+            }
+            Op::GatherLink { fd, vd, vidx, fsrc } => {
+                b.vand(vidx_scratch, VReg::new(vidx), (WINDOW_WORDS - 1) as i64, None);
+                b.vgatherlink(MReg::new(fd), VReg::new(vd), base, vidx_scratch, MReg::new(fsrc));
+            }
+            Op::ScatterCond { fd, vs, vidx, fsrc } => {
+                b.vand(vidx_scratch, VReg::new(vidx), (WINDOW_WORDS - 1) as i64, None);
+                b.vscattercond(MReg::new(fd), VReg::new(vs), base, vidx_scratch, MReg::new(fsrc));
+            }
+        }
+    }
+    b.halt();
+    b.build().expect("straight-line program assembles")
+}
+
+fn initial_memory() -> Vec<u32> {
+    (0..WINDOW_WORDS).map(|i| i.wrapping_mul(2654435761)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn machine_matches_functional_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        width in prop_oneof![Just(1usize), Just(4), Just(8), Just(16)],
+    ) {
+        let program = assemble(&ops, width);
+
+        // Functional reference.
+        let mut ref_mem = glsc::mem::Backing::new();
+        ref_mem.write_u32_slice(WINDOW_BASE as u64, &initial_memory());
+        let ref_arch = reference::run_functional(&program, &mut ref_mem, width, 1_000_000)
+            .expect("straight-line program terminates");
+
+        // Cycle-level machine (1 core, 1 thread).
+        let mut machine = Machine::new(MachineConfig::paper(1, 1, width));
+        machine
+            .mem_mut()
+            .backing_mut()
+            .write_u32_slice(WINDOW_BASE as u64, &initial_memory());
+        machine.load_program(program);
+        machine.run().expect("machine run succeeds");
+
+        // Compare the memory window.
+        for w in 0..WINDOW_WORDS as u64 {
+            let addr = WINDOW_BASE as u64 + 4 * w;
+            prop_assert_eq!(
+                machine.mem().backing().read_u32(addr),
+                ref_mem.read_u32(addr),
+                "memory diverged at word {}", w
+            );
+        }
+        // Compare scalar registers, vector registers, and masks.
+        let arch = machine.thread_arch(0);
+        for i in 0..32u8 {
+            prop_assert_eq!(arch.reg(Reg::new(i)), ref_arch.reg(Reg::new(i)), "r{} diverged", i);
+        }
+        for i in 0..16u8 {
+            prop_assert_eq!(arch.vreg(VReg::new(i)), ref_arch.vreg(VReg::new(i)), "v{} diverged", i);
+        }
+        for i in 0..8u8 {
+            prop_assert_eq!(arch.mreg(MReg::new(i)), ref_arch.mreg(MReg::new(i)), "f{} diverged", i);
+        }
+    }
+}
