@@ -8,8 +8,10 @@
 //!
 //! Each ablation runs the GLSC histogram (HIP) and the TMS reduction on
 //! the 4×4 machine and reports cycles plus the GLSC element failure rate.
+//! All configuration points are independent and run across host threads
+//! (`GLSC_BENCH_THREADS`); output order is unchanged.
 
-use glsc_bench::{header, pct};
+use glsc_bench::{bench_threads, header, pct, run_jobs};
 use glsc_kernels::{build_named, run_workload, Dataset, Variant};
 use glsc_sim::{GlscConfig, MachineConfig};
 
@@ -34,20 +36,56 @@ fn run_with(kernel: &str, cfg: &MachineConfig) -> (u64, f64, u64) {
 fn main() {
     let base_cfg = MachineConfig::paper(4, 4, 4);
 
-    header(
-        "Ablation 1: GLSC entry storage (per-line tags vs fully-assoc buffer)",
-        "paper 3.3: the buffer \"could be made quite small\"",
-    );
-    println!("{:<10} {:>12} {:>10} {:>12} {:>10}", "entries", "HIP cyc", "HIP fail", "TMS cyc", "TMS fail");
+    // Every ablation point, in print order. Each configuration runs HIP
+    // and TMS, so each point contributes two consecutive jobs.
+    //
     // Below SIMD-width entries the 4 SMT threads sharing one buffer evict
     // each other's links continuously and retry loops stop converging
     // (starvation) — the paper's "one to SIMD-width x #SMT threads" sizing
     // implicitly assumes at least per-instruction capacity.
-    for buffer in [None, Some(64usize), Some(16), Some(4)] {
+    const BUFFERS: [Option<usize>; 4] = [None, Some(64), Some(16), Some(4)];
+    const POLICIES: [(&str, bool); 2] = [("wait-for-miss", false), ("fail-on-miss", true)];
+    let mut cfgs = Vec::new();
+    for buffer in BUFFERS {
         let mut cfg = base_cfg.clone();
         cfg.mem.glsc_buffer_entries = buffer;
-        let hip = run_with("HIP", &cfg);
-        let tms = run_with("TMS", &cfg);
+        cfgs.push(cfg);
+    }
+    for (_, fail_on_miss) in POLICIES {
+        let mut cfg = base_cfg.clone();
+        cfg.glsc = GlscConfig {
+            fail_on_l1_miss: fail_on_miss,
+            ..GlscConfig::default()
+        };
+        cfgs.push(cfg);
+    }
+    for on in [true, false] {
+        let mut cfg = base_cfg.clone();
+        cfg.mem.prefetch = on;
+        cfgs.push(cfg);
+    }
+    let jobs: Vec<_> = cfgs
+        .iter()
+        .flat_map(|cfg| {
+            ["HIP", "TMS"]
+                .into_iter()
+                .map(move |kernel| move || run_with(kernel, cfg))
+        })
+        .collect();
+    let results = run_jobs(jobs, bench_threads());
+    let mut rows = results.chunks(2);
+
+    header(
+        "Ablation 1: GLSC entry storage (per-line tags vs fully-assoc buffer)",
+        "paper 3.3: the buffer \"could be made quite small\"",
+    );
+    println!(
+        "{:<10} {:>12} {:>10} {:>12} {:>10}",
+        "entries", "HIP cyc", "HIP fail", "TMS cyc", "TMS fail"
+    );
+    for buffer in BUFFERS {
+        let row = rows.next().expect("HIP+TMS per buffer size");
+        let (hip, tms) = (row[0], row[1]);
         let label = buffer.map_or("per-line".to_string(), |k| format!("buf[{k}]"));
         println!(
             "{:<10} {:>12} {:>10} {:>12} {:>10}",
@@ -63,12 +101,13 @@ fn main() {
         "Ablation 2: gather-link miss policy (paper 3.2 design freedom (c))",
         "fail-on-miss trades reservation hold time for extra retries",
     );
-    println!("{:<14} {:>12} {:>10} {:>12} {:>10}", "policy", "HIP cyc", "HIP fail", "TMS cyc", "TMS fail");
-    for (label, fail_on_miss) in [("wait-for-miss", false), ("fail-on-miss", true)] {
-        let mut cfg = base_cfg.clone();
-        cfg.glsc = GlscConfig { fail_on_l1_miss: fail_on_miss, ..GlscConfig::default() };
-        let hip = run_with("HIP", &cfg);
-        let tms = run_with("TMS", &cfg);
+    println!(
+        "{:<14} {:>12} {:>10} {:>12} {:>10}",
+        "policy", "HIP cyc", "HIP fail", "TMS cyc", "TMS fail"
+    );
+    for (label, _) in POLICIES {
+        let row = rows.next().expect("HIP+TMS per policy");
+        let (hip, tms) = (row[0], row[1]);
         println!(
             "{:<14} {:>12} {:>10} {:>12} {:>10}",
             label,
@@ -82,10 +121,13 @@ fn main() {
     header("Ablation 3: L1 stride prefetcher on/off (paper 4.1)", "");
     println!("{:<10} {:>12} {:>12}", "prefetch", "HIP cyc", "TMS cyc");
     for on in [true, false] {
-        let mut cfg = base_cfg.clone();
-        cfg.mem.prefetch = on;
-        let hip = run_with("HIP", &cfg);
-        let tms = run_with("TMS", &cfg);
-        println!("{:<10} {:>12} {:>12}", if on { "on" } else { "off" }, hip.0, tms.0);
+        let row = rows.next().expect("HIP+TMS per prefetch setting");
+        let (hip, tms) = (row[0], row[1]);
+        println!(
+            "{:<10} {:>12} {:>12}",
+            if on { "on" } else { "off" },
+            hip.0,
+            tms.0
+        );
     }
 }

@@ -1,72 +1,93 @@
-//! Criterion microbenchmarks of the simulator substrate — ablations for
-//! the design choices called out in DESIGN.md (tag-array cost, coherence
-//! walk, GSU combining, end-to-end simulation rate).
+//! Microbenchmarks of the simulator substrate — ablations for the design
+//! choices called out in DESIGN.md (tag-array cost, coherence walk, GSU
+//! combining, end-to-end simulation rate).
+//!
+//! Criterion is unavailable in the offline build environment, so this is a
+//! plain `harness = false` timing harness: each case runs a warmup pass,
+//! then reports the best-of-3 mean ns/iter. Good enough for the relative
+//! comparisons these ablations are used for.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use glsc_core::{CoreMemUnit, GlscConfig, GsuKind};
 use glsc_isa::{ProgramBuilder, Reg};
 use glsc_mem::{MemConfig, MemOp, MemorySystem, TagArray};
 use glsc_sim::{Machine, MachineConfig};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_tag_array(c: &mut Criterion) {
-    c.bench_function("tags/lookup_hit", |b| {
-        let mut tags: TagArray<u32> = TagArray::new(128, 4, 64);
-        for i in 0..512u64 {
-            tags.insert(i * 64, i as u32);
+/// Times `f` over `iters` iterations, best of 3 passes after one warmup.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters.min(100) {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
         }
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 512;
-            black_box(tags.lookup_mut(i * 64));
-        });
+        let per = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per);
+    }
+    println!("{name:<32} {best:>12.1} ns/iter");
+}
+
+fn bench_tag_array() {
+    let mut tags: TagArray<u32> = TagArray::new(128, 4, 64);
+    for i in 0..512u64 {
+        tags.insert(i * 64, i as u32);
+    }
+    let mut i = 0u64;
+    bench("tags/lookup_hit", 1_000_000, || {
+        i = (i + 1) % 512;
+        black_box(tags.lookup_mut(i * 64));
     });
-    c.bench_function("tags/insert_evict", |b| {
-        b.iter_batched(
-            || TagArray::<u32>::new(8, 2, 64),
-            |mut tags| {
-                for i in 0..64u64 {
-                    black_box(tags.insert(i * 64, i as u32));
-                }
-            },
-            BatchSize::SmallInput,
-        );
+    bench("tags/insert_evict", 10_000, || {
+        let mut tags = TagArray::<u32>::new(8, 2, 64);
+        for i in 0..64u64 {
+            black_box(tags.insert(i * 64, i as u32));
+        }
     });
 }
 
-fn bench_memory_system(c: &mut Criterion) {
-    c.bench_function("mem/l1_hit_path", |b| {
-        let mut cfg = MemConfig::default();
-        cfg.prefetch = false;
+fn bench_memory_system() {
+    {
+        let cfg = MemConfig {
+            prefetch: false,
+            ..MemConfig::default()
+        };
         let mut m = MemorySystem::new(cfg, 1, 4);
         m.access(0, 0, MemOp::Load, 0x100, 0);
         let mut now = 400u64;
-        b.iter(|| {
+        bench("mem/l1_hit_path", 1_000_000, || {
             now += 1;
             black_box(m.access(0, 0, MemOp::Load, 0x100, now));
         });
-    });
-    c.bench_function("mem/cross_core_pingpong", |b| {
-        let mut cfg = MemConfig::default();
-        cfg.prefetch = false;
+    }
+    {
+        let cfg = MemConfig {
+            prefetch: false,
+            ..MemConfig::default()
+        };
         let mut m = MemorySystem::new(cfg, 2, 4);
         let mut now = 0u64;
-        b.iter(|| {
+        bench("mem/cross_core_pingpong", 1_000_000, || {
             now += 1;
             black_box(m.access((now % 2) as usize, 0, MemOp::Store, 0x100, now));
         });
-    });
+    }
 }
 
-fn bench_gsu(c: &mut Criterion) {
-    c.bench_function("gsu/gather_4_combined", |b| {
-        let mut cfg = MemConfig::default();
-        cfg.prefetch = false;
+fn bench_gsu() {
+    {
+        let cfg = MemConfig {
+            prefetch: false,
+            ..MemConfig::default()
+        };
         let mut mem = MemorySystem::new(cfg, 1, 4);
         mem.access(0, 0, MemOp::Load, 0x100, 0);
         let mut unit = CoreMemUnit::new(0, 4, GlscConfig::default());
         let mut now = 400u64;
-        b.iter(|| {
+        bench("gsu/gather_4_combined", 100_000, || {
             unit.gsu_start(
                 0,
                 GsuKind::Gather { vd: 0 },
@@ -80,15 +101,22 @@ fn bench_gsu(c: &mut Criterion) {
                 }
             }
         });
-    });
-    c.bench_function("gsu/glsc_roundtrip", |b| {
-        let mut cfg = MemConfig::default();
-        cfg.prefetch = false;
+    }
+    {
+        let cfg = MemConfig {
+            prefetch: false,
+            ..MemConfig::default()
+        };
         let mut mem = MemorySystem::new(cfg, 1, 4);
         let mut unit = CoreMemUnit::new(0, 4, GlscConfig::default());
         let mut now = 0u64;
-        b.iter(|| {
-            unit.gsu_start(0, GsuKind::GatherLink { fd: 0, vd: 0 }, vec![(0, 0x100, 0)], 4);
+        bench("gsu/glsc_roundtrip", 100_000, || {
+            unit.gsu_start(
+                0,
+                GsuKind::GatherLink { fd: 0, vd: 0 },
+                vec![(0, 0x100, 0)],
+                4,
+            );
             loop {
                 now += 1;
                 if !unit.tick(&mut mem, now).is_empty() {
@@ -103,52 +131,36 @@ fn bench_gsu(c: &mut Criterion) {
                 }
             }
         });
-    });
+    }
 }
 
-fn bench_machine(c: &mut Criterion) {
+fn bench_machine() {
     // End-to-end simulation rate: simulated instructions per host second.
-    c.bench_function("machine/scalar_loop_1x1", |b| {
-        b.iter_batched(
-            || {
-                let mut bld = ProgramBuilder::new();
-                let (acc, i) = (Reg::new(2), Reg::new(3));
-                bld.li(acc, 0);
-                bld.li(i, 0);
-                let top = bld.here();
-                bld.add(acc, acc, i);
-                bld.addi(i, i, 1);
-                bld.blt(i, 2000, top);
-                bld.halt();
-                let mut m = Machine::new(MachineConfig::paper(1, 1, 4));
-                m.load_program(bld.build().unwrap());
-                m
-            },
-            |mut m| {
-                black_box(m.run().unwrap());
-            },
-            BatchSize::SmallInput,
-        );
+    bench("machine/scalar_loop_1x1", 200, || {
+        let mut bld = ProgramBuilder::new();
+        let (acc, i) = (Reg::new(2), Reg::new(3));
+        bld.li(acc, 0);
+        bld.li(i, 0);
+        let top = bld.here();
+        bld.add(acc, acc, i);
+        bld.addi(i, i, 1);
+        bld.blt(i, 2000, top);
+        bld.halt();
+        let mut m = Machine::new(MachineConfig::paper(1, 1, 4));
+        m.load_program(bld.build().unwrap());
+        black_box(m.run().unwrap());
     });
-    c.bench_function("machine/glsc_histogram_4x4", |b| {
-        b.iter_batched(
-            || {
-                let cfg = MachineConfig::paper(4, 4, 4);
-                let w = glsc_kernels::hip::Hip::new(glsc_kernels::Dataset::Tiny)
-                    .build(glsc_kernels::Variant::Glsc, &cfg);
-                (w, cfg)
-            },
-            |(w, cfg)| {
-                black_box(glsc_kernels::run_workload(&w, &cfg).unwrap());
-            },
-            BatchSize::SmallInput,
-        );
+    bench("machine/glsc_histogram_4x4", 20, || {
+        let cfg = MachineConfig::paper(4, 4, 4);
+        let w = glsc_kernels::hip::Hip::new(glsc_kernels::Dataset::Tiny)
+            .build(glsc_kernels::Variant::Glsc, &cfg);
+        black_box(glsc_kernels::run_workload(&w, &cfg).unwrap());
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_tag_array, bench_memory_system, bench_gsu, bench_machine
+fn main() {
+    bench_tag_array();
+    bench_memory_system();
+    bench_gsu();
+    bench_machine();
 }
-criterion_main!(benches);

@@ -3,34 +3,50 @@
 //! (a) Percent of execution time in synchronization operations (1-wide
 //!     SIMD, GLSC — "very similar to ... Base" per §5.1).
 //! (b) SIMD efficiency: speedup of 4-wide and 16-wide SIMD over 1-wide.
+//!
+//! The (kernel, dataset, width) simulations are independent and run
+//! across host threads (`GLSC_BENCH_THREADS`); results are collected in
+//! job order so the printed tables match the serial harness exactly.
 
-use glsc_bench::{datasets, ds_label, header, run};
+use glsc_bench::{bench_threads, datasets, ds_label, header, run, run_jobs};
 use glsc_kernels::{Variant, KERNEL_NAMES};
 
 fn main() {
+    let mut params = Vec::new();
+    for kernel in KERNEL_NAMES {
+        for ds in datasets() {
+            for width in [1usize, 4, 16] {
+                params.push((kernel, ds, width));
+            }
+        }
+    }
+    let jobs: Vec<_> = params
+        .iter()
+        .map(|&(kernel, ds, width)| move || run(kernel, ds, Variant::Glsc, (1, 1), width))
+        .collect();
+    let results = run_jobs(jobs, bench_threads());
+
     header(
         "Figure 5(a): % execution time in synchronization (1x1, 1-wide, GLSC)",
         "paper: all benchmarks spend a significant fraction in sync ops",
     );
     println!("{:<6} {:>4} {:>14}", "bench", "ds", "sync time");
     let mut fig5b: Vec<(String, f64, f64)> = Vec::new();
-    for kernel in KERNEL_NAMES {
-        for ds in datasets() {
-            let w1 = run(kernel, ds, Variant::Glsc, (1, 1), 1);
-            println!(
-                "{:<6} {:>4} {:>13.1}%",
-                kernel,
-                ds_label(ds),
-                100.0 * w1.report.sync_fraction()
-            );
-            let w4 = run(kernel, ds, Variant::Glsc, (1, 1), 4);
-            let w16 = run(kernel, ds, Variant::Glsc, (1, 1), 16);
-            fig5b.push((
-                format!("{kernel}/{}", ds_label(ds)),
-                w1.report.cycles as f64 / w4.report.cycles as f64,
-                w1.report.cycles as f64 / w16.report.cycles as f64,
-            ));
-        }
+    for (&(kernel, ds, _), chunk) in params.iter().step_by(3).zip(results.chunks(3)) {
+        let [w1, w4, w16] = chunk else {
+            unreachable!("three widths per pair")
+        };
+        println!(
+            "{:<6} {:>4} {:>13.1}%",
+            kernel,
+            ds_label(ds),
+            100.0 * w1.report.sync_fraction()
+        );
+        fig5b.push((
+            format!("{kernel}/{}", ds_label(ds)),
+            w1.report.cycles as f64 / w4.report.cycles as f64,
+            w1.report.cycles as f64 / w16.report.cycles as f64,
+        ));
     }
 
     header(

@@ -5,8 +5,12 @@
 //! to the execution time of the **1×1 GLSC** configuration for that
 //! dataset (the paper's normalization). The closing summary reports the
 //! average GLSC-over-Base improvement at 1×1 and 4×4 (paper: 76% / 54%).
+//!
+//! All (kernel, dataset, variant, config) simulations are independent and
+//! are fanned across host threads (`GLSC_BENCH_THREADS`); output order is
+//! unchanged.
 
-use glsc_bench::{datasets, ds_label, geomean, header, run, CONFIGS};
+use glsc_bench::{bench_threads, datasets, ds_label, geomean, header, run, run_jobs, CONFIGS};
 use glsc_kernels::{Variant, KERNEL_NAMES};
 
 fn main() {
@@ -15,6 +19,27 @@ fn main() {
         "columns: config = cores x threads/core; values normalized per dataset",
     );
     let width = 4;
+    let mut params = Vec::new();
+    for kernel in KERNEL_NAMES {
+        for ds in datasets() {
+            for variant in [Variant::Base, Variant::Glsc] {
+                for cfg in CONFIGS {
+                    params.push((kernel, ds, variant, cfg));
+                }
+            }
+        }
+    }
+    let jobs: Vec<_> = params
+        .iter()
+        .map(|&(kernel, ds, variant, cfg)| move || run(kernel, ds, variant, cfg, width))
+        .collect();
+    let results = run_jobs(jobs, bench_threads());
+    let cycles: std::collections::HashMap<_, _> = params
+        .iter()
+        .zip(&results)
+        .map(|(&(kernel, ds, variant, cfg), out)| ((kernel, ds, variant, cfg), out.report.cycles))
+        .collect();
+
     let mut improv_1x1 = Vec::new();
     let mut improv_4x4 = Vec::new();
     println!(
@@ -23,26 +48,24 @@ fn main() {
     );
     for kernel in KERNEL_NAMES {
         for ds in datasets() {
-            let mut cycles = std::collections::HashMap::new();
-            for variant in [Variant::Base, Variant::Glsc] {
-                for cfg in CONFIGS {
-                    let out = run(kernel, ds, variant, cfg, width);
-                    cycles.insert((variant, cfg), out.report.cycles);
-                }
-            }
-            let norm = cycles[&(Variant::Glsc, (1, 1))] as f64;
+            let norm = cycles[&(kernel, ds, Variant::Glsc, (1, 1))] as f64;
             for variant in [Variant::Base, Variant::Glsc] {
                 print!("{:<6} {:>3} {:>6}", kernel, ds_label(ds), variant.label());
                 for cfg in CONFIGS {
-                    print!("  {:>6.2}x", norm / cycles[&(variant, cfg)] as f64);
+                    print!(
+                        "  {:>6.2}x",
+                        norm / cycles[&(kernel, ds, variant, cfg)] as f64
+                    );
                 }
                 println!();
             }
             improv_1x1.push(
-                cycles[&(Variant::Base, (1, 1))] as f64 / cycles[&(Variant::Glsc, (1, 1))] as f64,
+                cycles[&(kernel, ds, Variant::Base, (1, 1))] as f64
+                    / cycles[&(kernel, ds, Variant::Glsc, (1, 1))] as f64,
             );
             improv_4x4.push(
-                cycles[&(Variant::Base, (4, 4))] as f64 / cycles[&(Variant::Glsc, (4, 4))] as f64,
+                cycles[&(kernel, ds, Variant::Base, (4, 4))] as f64
+                    / cycles[&(kernel, ds, Variant::Glsc, (4, 4))] as f64,
             );
         }
     }

@@ -4,8 +4,11 @@
 //! time for SIMD widths 4 and 16. Expected shape: large wins in A (miss
 //! overlap), solid wins in B/C (instruction + L1-access reduction), and a
 //! tie or loss in D (full aliasing), with D degrading further at 16-wide.
+//!
+//! The (scenario, variant, width) runs are independent and are fanned
+//! across host threads (`GLSC_BENCH_THREADS`); output order is unchanged.
 
-use glsc_bench::{header, ratio, run_micro};
+use glsc_bench::{bench_threads, header, ratio, run_jobs, run_micro};
 use glsc_kernels::micro::Scenario;
 use glsc_kernels::Variant;
 
@@ -14,14 +17,26 @@ fn main() {
         "Figure 7: microbenchmark, Base/GLSC execution-time ratio (4x4)",
         "scenario A: shared distinct lines | B: same line | C: private lines | D: all aliased",
     );
-    println!("{:<9} {:>12} {:>12}", "scenario", "width 4", "width 16");
+    let mut params = Vec::new();
     for scenario in Scenario::ALL {
-        let mut cells = Vec::new();
-        for width in [4, 16] {
-            let base = run_micro(scenario, Variant::Base, (4, 4), width);
-            let glsc = run_micro(scenario, Variant::Glsc, (4, 4), width);
-            cells.push(ratio(base.report.cycles, glsc.report.cycles));
+        for width in [4usize, 16] {
+            for variant in [Variant::Base, Variant::Glsc] {
+                params.push((scenario, variant, width));
+            }
         }
-        println!("{:<9} {:>11.2}x {:>11.2}x", scenario.label(), cells[0], cells[1]);
+    }
+    let jobs: Vec<_> = params
+        .iter()
+        .map(|&(scenario, variant, width)| move || run_micro(scenario, variant, (4, 4), width))
+        .collect();
+    let results = run_jobs(jobs, bench_threads());
+
+    println!("{:<9} {:>12} {:>12}", "scenario", "width 4", "width 16");
+    // Results arrive in job order: per scenario, [base w4, glsc w4,
+    // base w16, glsc w16].
+    for (scenario, chunk) in Scenario::ALL.into_iter().zip(results.chunks(4)) {
+        let w4 = ratio(chunk[0].report.cycles, chunk[1].report.cycles);
+        let w16 = ratio(chunk[2].report.cycles, chunk[3].report.cycles);
+        println!("{:<9} {:>11.2}x {:>11.2}x", scenario.label(), w4, w16);
     }
 }

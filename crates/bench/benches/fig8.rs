@@ -5,8 +5,12 @@
 //! overhead when there is no vector parallelism to exploit), growing with
 //! width (paper averages: +54% at 4-wide, +103% at 16-wide), largest for
 //! the benchmarks with high SIMD efficiency.
+//!
+//! The (kernel, dataset, width, variant) runs are independent and are
+//! fanned across host threads (`GLSC_BENCH_THREADS`); output order is
+//! unchanged.
 
-use glsc_bench::{datasets, ds_label, geomean, header, ratio, run};
+use glsc_bench::{bench_threads, datasets, ds_label, geomean, header, ratio, run, run_jobs};
 use glsc_kernels::{Variant, KERNEL_NAMES};
 
 fn main() {
@@ -14,15 +18,36 @@ fn main() {
         "Figure 8: Base/GLSC execution-time ratio at 4x4",
         "paper: ~1.0x at 1-wide, grows with SIMD width",
     );
-    println!("{:<6} {:>3} {:>9} {:>9} {:>9}", "bench", "ds", "w1", "w4", "w16");
-    let mut per_width: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut params = Vec::new();
     for kernel in KERNEL_NAMES {
         for ds in datasets() {
+            for width in [1usize, 4, 16] {
+                for variant in [Variant::Base, Variant::Glsc] {
+                    params.push((kernel, ds, variant, width));
+                }
+            }
+        }
+    }
+    let jobs: Vec<_> = params
+        .iter()
+        .map(|&(kernel, ds, variant, width)| move || run(kernel, ds, variant, (4, 4), width))
+        .collect();
+    let results = run_jobs(jobs, bench_threads());
+
+    println!(
+        "{:<6} {:>3} {:>9} {:>9} {:>9}",
+        "bench", "ds", "w1", "w4", "w16"
+    );
+    let mut per_width: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    // Per (kernel, ds): [base w1, glsc w1, base w4, glsc w4, base w16,
+    // glsc w16], matching the job-construction order above.
+    let mut chunks = results.chunks(6);
+    for kernel in KERNEL_NAMES {
+        for ds in datasets() {
+            let chunk = chunks.next().expect("six runs per (kernel, ds)");
             let mut row = Vec::new();
-            for (i, width) in [1usize, 4, 16].into_iter().enumerate() {
-                let base = run(kernel, ds, Variant::Base, (4, 4), width);
-                let glsc = run(kernel, ds, Variant::Glsc, (4, 4), width);
-                let x = ratio(base.report.cycles, glsc.report.cycles);
+            for i in 0..3 {
+                let x = ratio(chunk[2 * i].report.cycles, chunk[2 * i + 1].report.cycles);
                 per_width[i].push(x);
                 row.push(x);
             }

@@ -8,8 +8,12 @@
 //!   same-line combining in the GSU,
 //! * GLSC element failure rates at 1×1 (aliasing only) and 4×4 (aliasing
 //!   plus cross-thread conflicts).
+//!
+//! The three runs per (kernel, dataset) cell are independent and are
+//! fanned across host threads (`GLSC_BENCH_THREADS`); output order is
+//! unchanged.
 
-use glsc_bench::{datasets, ds_label, header, pct, run};
+use glsc_bench::{bench_threads, datasets, ds_label, header, pct, run, run_jobs};
 use glsc_kernels::{Variant, KERNEL_NAMES};
 
 fn main() {
@@ -17,15 +21,30 @@ fn main() {
         "Table 4: analysis of GLSC (4-wide SIMD)",
         "reductions are GLSC vs Base at 4x4; failure rates from GLSC runs",
     );
+    let mut params = Vec::new();
+    for kernel in KERNEL_NAMES {
+        for ds in datasets() {
+            params.push((kernel, ds, Variant::Base, (4, 4)));
+            params.push((kernel, ds, Variant::Glsc, (4, 4)));
+            params.push((kernel, ds, Variant::Glsc, (1, 1)));
+        }
+    }
+    let jobs: Vec<_> = params
+        .iter()
+        .map(|&(kernel, ds, variant, cfg)| move || run(kernel, ds, variant, cfg, 4))
+        .collect();
+    let results = run_jobs(jobs, bench_threads());
+
     println!(
         "{:<6} {:>3} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
         "bench", "ds", "instr red", "stall red", "comb red", "atomic%", "fail 1x1", "fail 4x4"
     );
+    let mut chunks = results.chunks(3);
     for kernel in KERNEL_NAMES {
         for ds in datasets() {
-            let base = run(kernel, ds, Variant::Base, (4, 4), 4);
-            let glsc = run(kernel, ds, Variant::Glsc, (4, 4), 4);
-            let glsc_1x1 = run(kernel, ds, Variant::Glsc, (1, 1), 4);
+            let [base, glsc, glsc_1x1] = chunks.next().expect("three runs per cell") else {
+                unreachable!("chunks of three")
+            };
 
             let bi = base.report.total_instructions() as f64;
             let gi = glsc.report.total_instructions() as f64;
@@ -40,8 +59,16 @@ fn main() {
             let atomic = glsc.report.atomic_l1_accesses() as f64;
             let atomic_unc = glsc.report.atomic_l1_accesses_uncombined() as f64;
             let total_l1 = glsc.report.l1_accesses() as f64;
-            let comb_red = if atomic_unc > 0.0 { (atomic_unc - atomic) / atomic_unc } else { 0.0 };
-            let atomic_share = if total_l1 > 0.0 { atomic / total_l1 } else { 0.0 };
+            let comb_red = if atomic_unc > 0.0 {
+                (atomic_unc - atomic) / atomic_unc
+            } else {
+                0.0
+            };
+            let atomic_share = if total_l1 > 0.0 {
+                atomic / total_l1
+            } else {
+                0.0
+            };
 
             println!(
                 "{:<6} {:>3} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",

@@ -11,15 +11,24 @@
 //! | `fig7` | Fig. 7 microbenchmark scenarios A–D |
 //! | `fig8` | Fig. 8 Base/GLSC ratios at widths 1/4/16 |
 //! | `table4` | Table 4 instruction / memory-stall / L1 / failure analysis |
-//! | `components` | Criterion microbenches of the simulator substrate |
+//! | `ablation` | Design-choice ablations from DESIGN.md |
+//! | `components` | Microbenches of the simulator substrate |
+//! | `simperf` | Simulator throughput: fast-forward vs naive, parallel vs serial |
 //!
 //! Set `GLSC_DATASETS=tiny` to smoke-run everything on tiny inputs.
+//! Independent simulations are fanned across host threads via
+//! [`run_jobs`]; set `GLSC_BENCH_THREADS` to control the worker count
+//! (`GLSC_BENCH_THREADS=1` forces the serial path). Results are always
+//! collected in job order, so the printed tables are identical at any
+//! thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use glsc_kernels::{build_named, micro, run_workload, Dataset, KernelOutcome, Variant};
 use glsc_sim::MachineConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The `m x n` machine shapes of Fig. 6.
 pub const CONFIGS: [(usize, usize); 4] = [(1, 1), (1, 4), (4, 1), (4, 4)];
@@ -79,6 +88,62 @@ pub fn run_micro(
     run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
+/// Number of host threads the figure benches fan simulations across.
+///
+/// Honors `GLSC_BENCH_THREADS` (any positive integer; `1` forces the
+/// serial path) and otherwise defaults to the host's available
+/// parallelism.
+pub fn bench_threads() -> usize {
+    std::env::var("GLSC_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Runs independent jobs across `threads` host threads and returns their
+/// results **in job order**, regardless of which worker ran which job or
+/// in what order they finished — callers print from the returned vector,
+/// so harness output is byte-identical to the serial path.
+///
+/// Uses scoped threads with an atomic work index (no new dependencies);
+/// with `threads <= 1` or a single job the jobs run inline on the calling
+/// thread.
+///
+/// # Panics
+///
+/// Propagates any job panic when the scope joins.
+pub fn run_jobs<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = slots[i].lock().unwrap().take().expect("job taken once");
+                *results[i].lock().unwrap() = Some(job());
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker stored result"))
+        .collect()
+}
+
 /// Prints a boxed section header.
 pub fn header(title: &str, detail: &str) {
     println!();
@@ -121,6 +186,30 @@ mod tests {
     fn ratio_and_pct() {
         assert_eq!(ratio(300, 200), 1.5);
         assert_eq!(pct(0.5), " 50.00 %");
+    }
+
+    #[test]
+    fn run_jobs_preserves_job_order() {
+        let jobs: Vec<_> = (0..23u64)
+            .map(|i| {
+                move || {
+                    // Stagger finish times so out-of-order completion is likely.
+                    std::thread::sleep(std::time::Duration::from_micros(((23 - i) % 5) * 50));
+                    i * i
+                }
+            })
+            .collect();
+        let got = run_jobs(jobs, 8);
+        let want: Vec<u64> = (0..23).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn run_jobs_serial_and_empty() {
+        let got = run_jobs((0..4).map(|i| move || i).collect::<Vec<_>>(), 1);
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        let empty: Vec<fn() -> i32> = Vec::new();
+        assert!(run_jobs(empty, 8).is_empty());
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! The parallel figure harness must be a pure scheduling change: fanning
+//! the independent simulations of a figure sweep across host threads has
+//! to produce byte-identical tables to the serial path. Each simulation
+//! builds its own `Machine` from scratch, so the only way this could
+//! break is shared mutable state sneaking into the workload builders or
+//! result collection losing job order — exactly what this test pins down.
+
+use glsc_bench::{run, run_jobs, CONFIGS};
+use glsc_kernels::{Dataset, Variant, KERNEL_NAMES};
+
+/// A small but representative slice of the Figure 6 sweep: every kernel,
+/// both variants, two machine shapes, tiny dataset.
+fn sweep_params() -> Vec<(&'static str, Variant, (usize, usize))> {
+    let mut params = Vec::new();
+    for kernel in KERNEL_NAMES {
+        for variant in [Variant::Base, Variant::Glsc] {
+            for cfg in [CONFIGS[0], CONFIGS[3]] {
+                params.push((kernel, variant, cfg));
+            }
+        }
+    }
+    params
+}
+
+fn sweep(threads: usize) -> Vec<glsc_sim::RunReport> {
+    let params = sweep_params();
+    let jobs: Vec<_> = params
+        .iter()
+        .map(|&(kernel, variant, cfg)| move || run(kernel, Dataset::Tiny, variant, cfg, 4).report)
+        .collect();
+    run_jobs(jobs, threads)
+}
+
+#[test]
+fn parallel_harness_matches_serial_reports() {
+    let serial = sweep(1);
+    let parallel = sweep(8);
+    assert_eq!(serial.len(), sweep_params().len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        let (kernel, variant, cfg) = sweep_params()[i];
+        assert_eq!(
+            s, p,
+            "report diverged for {kernel}/{variant:?}/{cfg:?} between serial and parallel runs"
+        );
+    }
+}
+
+#[test]
+fn run_jobs_is_order_preserving_under_oversubscription() {
+    // More workers than jobs and jobs than workers both keep job order.
+    for threads in [2, 3, 64] {
+        let jobs: Vec<_> = (0..17u32)
+            .map(|i| move || i.wrapping_mul(2654435761))
+            .collect();
+        let got = run_jobs(jobs, threads);
+        let want: Vec<u32> = (0..17u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        assert_eq!(got, want, "threads={threads}");
+    }
+}

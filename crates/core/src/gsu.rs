@@ -55,7 +55,10 @@ pub enum GsuKind {
 
 impl GsuKind {
     fn is_atomic(self) -> bool {
-        matches!(self, GsuKind::GatherLink { .. } | GsuKind::ScatterCond { .. })
+        matches!(
+            self,
+            GsuKind::GatherLink { .. } | GsuKind::ScatterCond { .. }
+        )
     }
 }
 
@@ -202,7 +205,12 @@ pub struct Gsu {
 impl Gsu {
     /// Creates a GSU with one instruction-buffer entry per SMT thread.
     pub fn new(threads: usize, cfg: GlscConfig) -> Self {
-        Self { slots: vec![None; threads], rr: 0, cfg, stats: GsuStats::default() }
+        Self {
+            slots: vec![None; threads],
+            rr: 0,
+            cfg,
+            stats: GsuStats::default(),
+        }
     }
 
     /// Accumulated counters.
@@ -220,6 +228,14 @@ impl Gsu {
         self.slots.iter().any(Option::is_some)
     }
 
+    /// The next cycle (relative to `now`) at which this unit changes
+    /// state, or `None` when no instruction is in flight. A busy GSU
+    /// generates/issues/retires every cycle, so its next event is always
+    /// the next cycle.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        self.any_busy().then_some(now + 1)
+    }
+
     /// Inserts an instruction into `tid`'s buffer entry. `elems` holds the
     /// active lanes only, as `(lane, element address, value)` (values are
     /// ignored by loads). `width` is the machine SIMD width, used for the
@@ -230,7 +246,10 @@ impl Gsu {
     /// Panics if the thread already has an instruction in flight (the
     /// pipeline must block the thread while [`busy`](Self::busy)).
     pub fn start(&mut self, tid: u8, kind: GsuKind, elems: Vec<(u8, u64, u32)>, width: usize) {
-        assert!(!self.busy(tid), "GSU slot for thread {tid} already occupied");
+        assert!(
+            !self.busy(tid),
+            "GSU slot for thread {tid} already occupied"
+        );
         match kind {
             GsuKind::Gather { .. } => self.stats.gathers += 1,
             GsuKind::Scatter => self.stats.scatters += 1,
@@ -251,7 +270,10 @@ impl Gsu {
         // per distinct address succeeds.
         if matches!(kind, GsuKind::ScatterCond { .. }) {
             for i in 0..es.len() {
-                if es[..i].iter().any(|prev| prev.addr == es[i].addr && !prev.alias_loser) {
+                if es[..i]
+                    .iter()
+                    .any(|prev| prev.addr == es[i].addr && !prev.alias_loser)
+                {
                     es[i].alias_loser = true;
                 }
             }
@@ -283,7 +305,10 @@ impl Gsu {
     /// Whether any started slot still has an unissued line request (i.e.
     /// the GSU competes for the L1 port this cycle).
     pub fn wants_port(&self) -> bool {
-        self.slots.iter().flatten().any(|s| s.started && !s.all_issued())
+        self.slots
+            .iter()
+            .flatten()
+            .any(|s| s.started && !s.all_issued())
     }
 
     /// Generates one element address (at most one per cycle across all
@@ -293,7 +318,9 @@ impl Gsu {
         let n = self.slots.len();
         for off in 0..n {
             let idx = (self.rr + off) % n;
-            let Some(slot) = self.slots[idx].as_mut() else { continue };
+            let Some(slot) = self.slots[idx].as_mut() else {
+                continue;
+            };
             if !slot.started || slot.all_generated() {
                 continue;
             }
@@ -340,14 +367,22 @@ impl Gsu {
     /// Issues one pending line request to the L1 (called when the GSU wins
     /// the port). Applies data movement for every already-generated element
     /// riding on the request.
-    pub fn issue_one(&mut self, core: usize, tid_hint: Option<u8>, mem: &mut MemorySystem, now: u64) {
+    pub fn issue_one(
+        &mut self,
+        core: usize,
+        tid_hint: Option<u8>,
+        mem: &mut MemorySystem,
+        now: u64,
+    ) {
         let n = self.slots.len();
         let order: Vec<usize> = match tid_hint {
             Some(t) => vec![t as usize],
             None => (0..n).map(|off| (self.rr + off) % n).collect(),
         };
         for idx in order {
-            let Some(slot) = self.slots[idx].as_mut() else { continue };
+            let Some(slot) = self.slots[idx].as_mut() else {
+                continue;
+            };
             if !slot.started {
                 continue;
             }
@@ -358,7 +393,9 @@ impl Gsu {
             if matches!(slot.kind, GsuKind::ScatterCond { .. }) && !slot.all_generated() {
                 continue;
             }
-            let Some(req_idx) = slot.requests.iter().position(|r| !r.issued) else { continue };
+            let Some(req_idx) = slot.requests.iter().position(|r| !r.issued) else {
+                continue;
+            };
             let tid = idx as u8;
             let kind = slot.kind;
             let line = slot.requests[req_idx].line;
@@ -421,7 +458,13 @@ impl Gsu {
 
     /// Performs one element's data movement and mask update against the
     /// outcome of its (possibly combined) line request.
-    fn apply_elem(stats: &mut GsuStats, slot: &mut Slot, e: usize, req: &LineReq, mem: &mut MemorySystem) {
+    fn apply_elem(
+        stats: &mut GsuStats,
+        slot: &mut Slot,
+        e: usize,
+        req: &LineReq,
+        mem: &mut MemorySystem,
+    ) {
         let lane = slot.elems[e].lane;
         let addr = slot.elems[e].addr;
         match slot.kind {
@@ -457,8 +500,16 @@ impl Gsu {
     /// Retires finished instructions: every element generated, every
     /// request issued. The reported completion cycle respects the minimum
     /// GSU latency (`overhead + SIMD-width`).
-    pub fn collect_done(&mut self, _now: u64) -> Vec<GsuCompletion> {
+    pub fn collect_done(&mut self, now: u64) -> Vec<GsuCompletion> {
         let mut out = Vec::new();
+        self.collect_done_into(now, |c| out.push(c));
+        out
+    }
+
+    /// Sink-based variant of [`collect_done`](Self::collect_done): hands
+    /// each retired instruction to `sink` without allocating an output
+    /// vector, so the steady-state cycle loop can reuse one buffer.
+    pub fn collect_done_into(&mut self, _now: u64, mut sink: impl FnMut(GsuCompletion)) {
         for idx in 0..self.slots.len() {
             let ready = self.slots[idx]
                 .as_ref()
@@ -481,7 +532,7 @@ impl Gsu {
                 GsuKind::GatherLink { fd, vd } => (Some(vd), Some(fd)),
                 GsuKind::ScatterCond { fd } => (None, Some(fd)),
             };
-            out.push(GsuCompletion {
+            sink(GsuCompletion {
                 tid: idx as u8,
                 done,
                 vd,
@@ -490,7 +541,6 @@ impl Gsu {
                 mask: slot.mask,
             });
         }
-        out
     }
 }
 
@@ -500,8 +550,10 @@ mod tests {
     use glsc_mem::MemConfig;
 
     fn mem() -> MemorySystem {
-        let mut cfg = MemConfig::default();
-        cfg.prefetch = false;
+        let cfg = MemConfig {
+            prefetch: false,
+            ..MemConfig::default()
+        };
         MemorySystem::new(cfg, 1, 4)
     }
 
@@ -577,10 +629,20 @@ mod tests {
     fn scattercond_succeeds_after_link_and_writes() {
         let mut m = mem();
         let mut g = Gsu::new(4, GlscConfig::default());
-        g.start(0, GsuKind::GatherLink { fd: 0, vd: 0 }, vec![(0, 0x100, 0), (1, 0x104, 0)], 4);
+        g.start(
+            0,
+            GsuKind::GatherLink { fd: 0, vd: 0 },
+            vec![(0, 0x100, 0), (1, 0x104, 0)],
+            4,
+        );
         let c1 = run(&mut g, &mut m, 0);
         assert_eq!(c1.mask, 0b11);
-        g.start(0, GsuKind::ScatterCond { fd: 0 }, vec![(0, 0x100, 7), (1, 0x104, 8)], 4);
+        g.start(
+            0,
+            GsuKind::ScatterCond { fd: 0 },
+            vec![(0, 0x100, 7), (1, 0x104, 8)],
+            4,
+        );
         let c2 = run(&mut g, &mut m, c1.done);
         assert_eq!(c2.mask, 0b11);
         assert_eq!(m.backing().read_u32(0x100), 7);
@@ -595,7 +657,12 @@ mod tests {
     fn scattercond_alias_lets_exactly_one_lane_win() {
         let mut m = mem();
         let mut g = Gsu::new(4, GlscConfig::default());
-        g.start(0, GsuKind::GatherLink { fd: 0, vd: 0 }, vec![(0, 0x100, 0), (1, 0x100, 0), (2, 0x100, 0)], 4);
+        g.start(
+            0,
+            GsuKind::GatherLink { fd: 0, vd: 0 },
+            vec![(0, 0x100, 0), (1, 0x100, 0), (2, 0x100, 0)],
+            4,
+        );
         let c1 = run(&mut g, &mut m, 0);
         assert_eq!(c1.mask, 0b111, "aliased gather-links all load");
         g.start(
@@ -615,7 +682,12 @@ mod tests {
     fn scattercond_fails_when_reservation_lost() {
         let mut m = mem();
         let mut g = Gsu::new(4, GlscConfig::default());
-        g.start(0, GsuKind::GatherLink { fd: 0, vd: 0 }, vec![(0, 0x100, 0)], 4);
+        g.start(
+            0,
+            GsuKind::GatherLink { fd: 0, vd: 0 },
+            vec![(0, 0x100, 0)],
+            4,
+        );
         let c1 = run(&mut g, &mut m, 0);
         // An intervening store (same core, different thread) kills the link.
         m.access(0, 3, glsc_mem::MemOp::Store, 0x100, c1.done);
@@ -630,11 +702,19 @@ mod tests {
     #[test]
     fn fail_on_miss_policy_fails_cold_elements() {
         let mut m = mem();
-        let cfg = GlscConfig { fail_on_l1_miss: true, ..GlscConfig::default() };
+        let cfg = GlscConfig {
+            fail_on_l1_miss: true,
+            ..GlscConfig::default()
+        };
         let mut g = Gsu::new(4, cfg);
         // Warm one line only.
         m.access(0, 0, glsc_mem::MemOp::Load, 0x100, 0);
-        g.start(0, GsuKind::GatherLink { fd: 0, vd: 0 }, vec![(0, 0x100, 0), (1, 0x5000, 0)], 4);
+        g.start(
+            0,
+            GsuKind::GatherLink { fd: 0, vd: 0 },
+            vec![(0, 0x100, 0), (1, 0x5000, 0)],
+            4,
+        );
         let c = run(&mut g, &mut m, 400);
         assert_eq!(c.mask, 0b01, "cold lane fails under the miss policy");
         assert_eq!(g.stats().gl_elem_failures, 1);
@@ -671,8 +751,18 @@ mod tests {
     fn two_threads_interleave_generation() {
         let mut m = mem();
         let mut g = Gsu::new(2, GlscConfig::default());
-        g.start(0, GsuKind::Gather { vd: 0 }, vec![(0, 0x100, 0), (1, 0x200, 0)], 4);
-        g.start(1, GsuKind::Gather { vd: 1 }, vec![(0, 0x300, 0), (1, 0x400, 0)], 4);
+        g.start(
+            0,
+            GsuKind::Gather { vd: 0 },
+            vec![(0, 0x100, 0), (1, 0x200, 0)],
+            4,
+        );
+        g.start(
+            1,
+            GsuKind::Gather { vd: 1 },
+            vec![(0, 0x300, 0), (1, 0x400, 0)],
+            4,
+        );
         g.mark_started(0, 0);
         g.mark_started(1, 0);
         let mut done = Vec::new();

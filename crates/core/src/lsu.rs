@@ -138,6 +138,9 @@ pub struct Lsu {
     queue: VecDeque<LsuEntry>,
     store_slots_used: Vec<usize>,
     store_slots_max: usize,
+    /// Queued entries per thread, kept in sync with `queue` so the GSU's
+    /// per-cycle ordering gate is O(1) instead of a queue scan.
+    thread_counts: Vec<usize>,
     stats: LsuStats,
 }
 
@@ -149,6 +152,7 @@ impl Lsu {
             queue: VecDeque::new(),
             store_slots_used: vec![0; threads],
             store_slots_max: write_buffer_entries,
+            thread_counts: vec![0; threads],
             stats: LsuStats::default(),
         }
     }
@@ -169,12 +173,19 @@ impl Lsu {
     /// §2.2: "a conflicting request waits in the GSU until corresponding
     /// requests in the LSU and write buffer have been sent to the L1").
     pub fn thread_entries(&self, tid: u8) -> usize {
-        self.queue.iter().filter(|e| e.tid == tid).count()
+        self.thread_counts[tid as usize]
     }
 
     /// Whether any request is queued.
     pub fn is_busy(&self) -> bool {
         !self.queue.is_empty()
+    }
+
+    /// The next cycle (relative to `now`) at which this unit changes
+    /// state, or `None` when it is drained. A busy LSU services its queue
+    /// head every cycle, so its next event is always the next cycle.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        self.is_busy().then_some(now + 1)
     }
 
     /// Enqueues a request.
@@ -193,42 +204,46 @@ impl Lsu {
             );
             self.store_slots_used[entry.tid as usize] += 1;
         }
+        self.thread_counts[entry.tid as usize] += 1;
         self.queue.push_back(entry);
     }
 
     /// Services at most one request (FIFO head) at cycle `now`, performing
-    /// its timing access and data movement. Returns the resulting
-    /// completion events (a store produces both its drain event and the
-    /// data commit).
-    pub fn tick(
-        &mut self,
-        core: usize,
-        mem: &mut MemorySystem,
-        now: u64,
-    ) -> Vec<LsuCompletion> {
-        let Some(entry) = self.queue.pop_front() else {
-            return Vec::new();
-        };
-        let mut out = Vec::new();
-        match entry.action {
+    /// its timing access and data movement. Each serviced request produces
+    /// exactly one completion event, so the return is an `Option` and the
+    /// steady-state cycle loop never heap-allocates here.
+    pub fn tick(&mut self, core: usize, mem: &mut MemorySystem, now: u64) -> Option<LsuCompletion> {
+        let entry = self.queue.pop_front()?;
+        self.thread_counts[entry.tid as usize] -= 1;
+        let out = match entry.action {
             LsuAction::LoadTo { rd } => {
                 self.stats.loads += 1;
                 let r = mem.access(core, entry.tid, MemOp::Load, entry.addr, now);
                 let value = mem.backing().read_u32(entry.addr);
-                out.push(LsuCompletion::ScalarLoad { tid: entry.tid, rd, value, done: r.done });
+                LsuCompletion::ScalarLoad {
+                    tid: entry.tid,
+                    rd,
+                    value,
+                    done: r.done,
+                }
             }
             LsuAction::StoreVal { value } => {
                 self.stats.stores += 1;
                 self.store_slots_used[entry.tid as usize] -= 1;
                 let _ = mem.access(core, entry.tid, MemOp::Store, entry.addr, now);
                 mem.backing_mut().write_u32(entry.addr, value);
-                out.push(LsuCompletion::StoreDrained { tid: entry.tid });
+                LsuCompletion::StoreDrained { tid: entry.tid }
             }
             LsuAction::LlTo { rd } => {
                 self.stats.lls += 1;
                 let r = mem.access(core, entry.tid, MemOp::LoadLinked, entry.addr, now);
                 let value = mem.backing().read_u32(entry.addr);
-                out.push(LsuCompletion::ScalarLoad { tid: entry.tid, rd, value, done: r.done });
+                LsuCompletion::ScalarLoad {
+                    tid: entry.tid,
+                    rd,
+                    value,
+                    done: r.done,
+                }
             }
             LsuAction::ScVal { rd, value } => {
                 self.stats.scs += 1;
@@ -237,12 +252,12 @@ impl Lsu {
                     self.stats.sc_successes += 1;
                     mem.backing_mut().write_u32(entry.addr, value);
                 }
-                out.push(LsuCompletion::ScalarSc {
+                LsuCompletion::ScalarSc {
                     tid: entry.tid,
                     rd,
                     ok: r.sc_ok,
                     done: r.done,
-                });
+                }
             }
             LsuAction::VLoadLanes { lanes } => {
                 self.stats.vector_line_requests += 1;
@@ -251,7 +266,11 @@ impl Lsu {
                     .iter()
                     .map(|&(lane, addr)| (lane, mem.backing().read_u32(addr)))
                     .collect();
-                out.push(LsuCompletion::VectorPart { tid: entry.tid, lane_values, done: r.done });
+                LsuCompletion::VectorPart {
+                    tid: entry.tid,
+                    lane_values,
+                    done: r.done,
+                }
             }
             LsuAction::VStoreLanes { lanes } => {
                 self.stats.vector_line_requests += 1;
@@ -259,14 +278,14 @@ impl Lsu {
                 for &(addr, value) in &lanes {
                     mem.backing_mut().write_u32(addr, value);
                 }
-                out.push(LsuCompletion::VectorPart {
+                LsuCompletion::VectorPart {
                     tid: entry.tid,
                     lane_values: Vec::new(),
                     done: r.done,
-                });
+                }
             }
-        }
-        out
+        };
+        Some(out)
     }
 }
 
@@ -276,8 +295,10 @@ mod tests {
     use glsc_mem::MemConfig;
 
     fn mem() -> MemorySystem {
-        let mut cfg = MemConfig::default();
-        cfg.prefetch = false;
+        let cfg = MemConfig {
+            prefetch: false,
+            ..MemConfig::default()
+        };
         MemorySystem::new(cfg, 1, 4)
     }
 
@@ -286,11 +307,21 @@ mod tests {
         let mut m = mem();
         m.backing_mut().write_u32(0x100, 77);
         let mut lsu = Lsu::new(4, 8);
-        lsu.push(LsuEntry { tid: 0, addr: 0x100, action: LsuAction::LoadTo { rd: 5 } });
-        let c = lsu.tick(0, &mut m, 0);
-        assert_eq!(c.len(), 1);
-        match &c[0] {
-            LsuCompletion::ScalarLoad { tid: 0, rd: 5, value: 77, done } => {
+        lsu.push(LsuEntry {
+            tid: 0,
+            addr: 0x100,
+            action: LsuAction::LoadTo { rd: 5 },
+        });
+        let c = lsu
+            .tick(0, &mut m, 0)
+            .expect("one completion per serviced entry");
+        match &c {
+            LsuCompletion::ScalarLoad {
+                tid: 0,
+                rd: 5,
+                value: 77,
+                done,
+            } => {
                 assert_eq!(*done, 3 + 12 + 280);
             }
             other => panic!("unexpected completion {other:?}"),
@@ -302,8 +333,16 @@ mod tests {
     fn fifo_order_makes_loads_see_own_stores() {
         let mut m = mem();
         let mut lsu = Lsu::new(4, 8);
-        lsu.push(LsuEntry { tid: 0, addr: 0x40, action: LsuAction::StoreVal { value: 9 } });
-        lsu.push(LsuEntry { tid: 0, addr: 0x40, action: LsuAction::LoadTo { rd: 1 } });
+        lsu.push(LsuEntry {
+            tid: 0,
+            addr: 0x40,
+            action: LsuAction::StoreVal { value: 9 },
+        });
+        lsu.push(LsuEntry {
+            tid: 0,
+            addr: 0x40,
+            action: LsuAction::LoadTo { rd: 1 },
+        });
         let mut now = 0;
         let mut seen = Vec::new();
         while lsu.is_busy() {
@@ -311,15 +350,26 @@ mod tests {
             now += 1;
         }
         assert!(matches!(seen[0], LsuCompletion::StoreDrained { tid: 0 }));
-        assert!(matches!(seen[1], LsuCompletion::ScalarLoad { value: 9, .. }));
+        assert!(matches!(
+            seen[1],
+            LsuCompletion::ScalarLoad { value: 9, .. }
+        ));
     }
 
     #[test]
     fn write_buffer_slots_tracked_per_thread() {
         let mut lsu = Lsu::new(2, 2);
         assert!(lsu.can_accept_store(0));
-        lsu.push(LsuEntry { tid: 0, addr: 0, action: LsuAction::StoreVal { value: 1 } });
-        lsu.push(LsuEntry { tid: 0, addr: 4, action: LsuAction::StoreVal { value: 2 } });
+        lsu.push(LsuEntry {
+            tid: 0,
+            addr: 0,
+            action: LsuAction::StoreVal { value: 1 },
+        });
+        lsu.push(LsuEntry {
+            tid: 0,
+            addr: 4,
+            action: LsuAction::StoreVal { value: 2 },
+        });
         assert!(!lsu.can_accept_store(0));
         assert!(lsu.can_accept_store(1), "other thread unaffected");
         let mut m = mem();
@@ -331,8 +381,16 @@ mod tests {
     #[should_panic(expected = "write buffer overflow")]
     fn overflow_panics() {
         let mut lsu = Lsu::new(1, 1);
-        lsu.push(LsuEntry { tid: 0, addr: 0, action: LsuAction::StoreVal { value: 1 } });
-        lsu.push(LsuEntry { tid: 0, addr: 4, action: LsuAction::StoreVal { value: 2 } });
+        lsu.push(LsuEntry {
+            tid: 0,
+            addr: 0,
+            action: LsuAction::StoreVal { value: 1 },
+        });
+        lsu.push(LsuEntry {
+            tid: 0,
+            addr: 4,
+            action: LsuAction::StoreVal { value: 2 },
+        });
     }
 
     #[test]
@@ -340,8 +398,16 @@ mod tests {
         let mut m = mem();
         m.backing_mut().write_u32(0x80, 41);
         let mut lsu = Lsu::new(4, 8);
-        lsu.push(LsuEntry { tid: 2, addr: 0x80, action: LsuAction::LlTo { rd: 1 } });
-        lsu.push(LsuEntry { tid: 2, addr: 0x80, action: LsuAction::ScVal { rd: 2, value: 42 } });
+        lsu.push(LsuEntry {
+            tid: 2,
+            addr: 0x80,
+            action: LsuAction::LlTo { rd: 1 },
+        });
+        lsu.push(LsuEntry {
+            tid: 2,
+            addr: 0x80,
+            action: LsuAction::ScVal { rd: 2, value: 42 },
+        });
         let mut now = 0;
         let mut comps = Vec::new();
         while lsu.is_busy() {
@@ -359,9 +425,13 @@ mod tests {
         let mut m = mem();
         m.backing_mut().write_u32(0x80, 5);
         let mut lsu = Lsu::new(4, 8);
-        lsu.push(LsuEntry { tid: 0, addr: 0x80, action: LsuAction::ScVal { rd: 2, value: 9 } });
-        let comps = lsu.tick(0, &mut m, 0);
-        assert!(matches!(comps[0], LsuCompletion::ScalarSc { ok: false, .. }));
+        lsu.push(LsuEntry {
+            tid: 0,
+            addr: 0x80,
+            action: LsuAction::ScVal { rd: 2, value: 9 },
+        });
+        let comp = lsu.tick(0, &mut m, 0).unwrap();
+        assert!(matches!(comp, LsuCompletion::ScalarSc { ok: false, .. }));
         assert_eq!(m.backing().read_u32(0x80), 5);
     }
 
@@ -377,8 +447,8 @@ mod tests {
                 lanes: vec![(0, 0x100), (1, 0x104), (2, 0x108), (3, 0x10c)],
             },
         });
-        let comps = lsu.tick(0, &mut m, 0);
-        match &comps[0] {
+        let comp = lsu.tick(0, &mut m, 0).unwrap();
+        match &comp {
             LsuCompletion::VectorPart { lane_values, .. } => {
                 assert_eq!(lane_values, &vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
             }
@@ -387,7 +457,9 @@ mod tests {
         lsu.push(LsuEntry {
             tid: 1,
             addr: 0x200,
-            action: LsuAction::VStoreLanes { lanes: vec![(0x200, 10), (0x204, 20)] },
+            action: LsuAction::VStoreLanes {
+                lanes: vec![(0x200, 10), (0x204, 20)],
+            },
         });
         lsu.tick(0, &mut m, 1);
         assert_eq!(m.backing().read_u32(0x200), 10);
@@ -398,9 +470,21 @@ mod tests {
     #[test]
     fn thread_entries_counts_only_that_thread() {
         let mut lsu = Lsu::new(4, 8);
-        lsu.push(LsuEntry { tid: 0, addr: 0, action: LsuAction::LoadTo { rd: 0 } });
-        lsu.push(LsuEntry { tid: 1, addr: 4, action: LsuAction::LoadTo { rd: 0 } });
-        lsu.push(LsuEntry { tid: 0, addr: 8, action: LsuAction::LoadTo { rd: 1 } });
+        lsu.push(LsuEntry {
+            tid: 0,
+            addr: 0,
+            action: LsuAction::LoadTo { rd: 0 },
+        });
+        lsu.push(LsuEntry {
+            tid: 1,
+            addr: 4,
+            action: LsuAction::LoadTo { rd: 0 },
+        });
+        lsu.push(LsuEntry {
+            tid: 0,
+            addr: 8,
+            action: LsuAction::LoadTo { rd: 1 },
+        });
         assert_eq!(lsu.thread_entries(0), 2);
         assert_eq!(lsu.thread_entries(1), 1);
         assert_eq!(lsu.thread_entries(2), 0);

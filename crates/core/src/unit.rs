@@ -94,10 +94,39 @@ impl CoreMemUnit {
         self.gsu.start(tid, kind, elems, width);
     }
 
+    /// The next cycle (relative to `now`) at which this unit changes
+    /// state, or `None` when both the LSU and the GSU are drained. Busy
+    /// units make progress every cycle under the latency-at-accept timing
+    /// model, so a busy unit's next event is always the next cycle; the
+    /// machine's fast-forward only skips cycles while every unit returns
+    /// `None`.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        match (
+            self.lsu.next_event_cycle(now),
+            self.gsu.next_event_cycle(now),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        }
+    }
+
     /// Advances the unit one cycle: releases GSU instructions whose
     /// thread's LSU traffic has drained, generates one GSU address, grants
     /// the single L1 port (LSU first), and collects completions.
+    ///
+    /// Allocating wrapper around [`tick_into`](Self::tick_into), kept for
+    /// tests and one-shot callers.
     pub fn tick(&mut self, mem: &mut MemorySystem, now: u64) -> Vec<MemCompletion> {
+        let mut out = Vec::new();
+        self.tick_into(mem, now, &mut out);
+        out
+    }
+
+    /// Advances the unit one cycle, appending completions to `out` so the
+    /// per-cycle machine loop can reuse a single buffer instead of
+    /// allocating a fresh vector per core per cycle.
+    pub fn tick_into(&mut self, mem: &mut MemorySystem, now: u64, out: &mut Vec<MemCompletion>) {
         // Memory-ordering gate: a thread's GSU instruction starts only once
         // its earlier LSU requests have been sent to the L1.
         for tid in 0..self.threads as u8 {
@@ -108,15 +137,16 @@ impl CoreMemUnit {
 
         self.gsu.generate_one(mem);
 
-        let mut out: Vec<MemCompletion> = Vec::new();
         if self.lsu.is_busy() {
-            out.extend(self.lsu.tick(self.core_id, mem, now).into_iter().map(MemCompletion::Lsu));
+            if let Some(c) = self.lsu.tick(self.core_id, mem, now) {
+                out.push(MemCompletion::Lsu(c));
+            }
         } else if self.gsu.wants_port() {
             self.gsu.issue_one(self.core_id, None, mem, now);
         }
 
-        out.extend(self.gsu.collect_done(now).into_iter().map(MemCompletion::Gsu));
-        out
+        self.gsu
+            .collect_done_into(now, |c| out.push(MemCompletion::Gsu(c)));
     }
 }
 
@@ -127,12 +157,19 @@ mod tests {
     use glsc_mem::MemConfig;
 
     fn mem() -> MemorySystem {
-        let mut cfg = MemConfig::default();
-        cfg.prefetch = false;
+        let cfg = MemConfig {
+            prefetch: false,
+            ..MemConfig::default()
+        };
         MemorySystem::new(cfg, 1, 4)
     }
 
-    fn drain(unit: &mut CoreMemUnit, mem: &mut MemorySystem, mut now: u64, want: usize) -> Vec<MemCompletion> {
+    fn drain(
+        unit: &mut CoreMemUnit,
+        mem: &mut MemorySystem,
+        mut now: u64,
+        want: usize,
+    ) -> Vec<MemCompletion> {
         let mut out = Vec::new();
         while out.len() < want {
             out.extend(unit.tick(mem, now));
@@ -149,10 +186,17 @@ mod tests {
         // Thread 1 queues a load; thread 0 starts a gather. The load's
         // completion must be produced by the first tick (port granted to
         // the LSU).
-        u.lsu_push(LsuEntry { tid: 1, addr: 0x40, action: LsuAction::LoadTo { rd: 1 } });
+        u.lsu_push(LsuEntry {
+            tid: 1,
+            addr: 0x40,
+            action: LsuAction::LoadTo { rd: 1 },
+        });
         u.gsu_start(0, GsuKind::Gather { vd: 0 }, vec![(0, 0x80, 0)], 4);
         let first = u.tick(&mut m, 0);
-        assert!(matches!(first[0], MemCompletion::Lsu(LsuCompletion::ScalarLoad { .. })));
+        assert!(matches!(
+            first[0],
+            MemCompletion::Lsu(LsuCompletion::ScalarLoad { .. })
+        ));
         // The gather still completes afterwards.
         let rest = drain(&mut u, &mut m, 1, 1);
         assert!(matches!(rest[0], MemCompletion::Gsu(_)));
@@ -162,12 +206,19 @@ mod tests {
     fn gsu_waits_for_same_thread_lsu_traffic() {
         let mut m = mem();
         let mut u = CoreMemUnit::new(0, 4, GlscConfig::default());
-        u.lsu_push(LsuEntry { tid: 0, addr: 0x40, action: LsuAction::StoreVal { value: 3 } });
+        u.lsu_push(LsuEntry {
+            tid: 0,
+            addr: 0x40,
+            action: LsuAction::StoreVal { value: 3 },
+        });
         u.gsu_start(0, GsuKind::Gather { vd: 0 }, vec![(0, 0x40, 0)], 4);
         // Tick once: the store drains this very cycle, so the GSU gate
         // opens only on the *next* tick.
         let c0 = u.tick(&mut m, 0);
-        assert!(matches!(c0[0], MemCompletion::Lsu(LsuCompletion::StoreDrained { .. })));
+        assert!(matches!(
+            c0[0],
+            MemCompletion::Lsu(LsuCompletion::StoreDrained { .. })
+        ));
         let rest = drain(&mut u, &mut m, 1, 1);
         match &rest[0] {
             MemCompletion::Gsu(g) => {
@@ -201,7 +252,12 @@ mod tests {
                 .iter()
                 .filter(|&&l| gl.mask & (1 << l) != 0)
                 .map(|&l| {
-                    let old = gl.lane_values.iter().find(|(lane, _)| *lane == l).unwrap().1;
+                    let old = gl
+                        .lane_values
+                        .iter()
+                        .find(|(lane, _)| *lane == l)
+                        .unwrap()
+                        .1;
                     (l, 0x100, old + 1)
                 })
                 .collect();

@@ -137,7 +137,11 @@ impl ProgramBuilder {
                 }
             }
         }
-        Ok(Program { instrs: self.instrs, sync: self.sync, label_targets: targets })
+        Ok(Program {
+            instrs: self.instrs,
+            sync: self.sync,
+            label_targets: targets,
+        })
     }
 
     fn uses_label(&self, l: Label) -> bool {
@@ -159,12 +163,22 @@ impl ProgramBuilder {
 
     /// `rd <- rs` (register move).
     pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
-        self.emit(Instr::Alu { op: AluOp::Add, rd, rs, src2: Operand::Imm(0) })
+        self.emit(Instr::Alu {
+            op: AluOp::Add,
+            rd,
+            rs,
+            src2: Operand::Imm(0),
+        })
     }
 
     /// Generic scalar ALU emission.
     pub fn alu(&mut self, op: AluOp, rd: Reg, rs: Reg, src2: impl Into<Operand>) -> &mut Self {
-        self.emit(Instr::Alu { op, rd, rs, src2: src2.into() })
+        self.emit(Instr::Alu {
+            op,
+            rd,
+            rs,
+            src2: src2.into(),
+        })
     }
 
     /// `rd <- rs + src2`
@@ -229,27 +243,52 @@ impl ProgramBuilder {
 
     /// `rd <- f32(rs) + f32(rt)`
     pub fn fadd(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Fp { op: FpOp::Add, rd, rs, rt })
+        self.emit(Instr::Fp {
+            op: FpOp::Add,
+            rd,
+            rs,
+            rt,
+        })
     }
 
     /// `rd <- f32(rs) - f32(rt)`
     pub fn fsub(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Fp { op: FpOp::Sub, rd, rs, rt })
+        self.emit(Instr::Fp {
+            op: FpOp::Sub,
+            rd,
+            rs,
+            rt,
+        })
     }
 
     /// `rd <- f32(rs) * f32(rt)`
     pub fn fmul(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Fp { op: FpOp::Mul, rd, rs, rt })
+        self.emit(Instr::Fp {
+            op: FpOp::Mul,
+            rd,
+            rs,
+            rt,
+        })
     }
 
     /// `rd <- f32(rs) / f32(rt)`
     pub fn fdiv(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Fp { op: FpOp::Div, rd, rs, rt })
+        self.emit(Instr::Fp {
+            op: FpOp::Div,
+            rd,
+            rs,
+            rt,
+        })
     }
 
     /// Scalar compare producing 0/1.
     pub fn cmp(&mut self, op: CmpOp, rd: Reg, rs: Reg, src2: impl Into<Operand>) -> &mut Self {
-        self.emit(Instr::Cmp { op, rd, rs, src2: src2.into() })
+        self.emit(Instr::Cmp {
+            op,
+            rd,
+            rs,
+            src2: src2.into(),
+        })
     }
 
     /// Scalar float compare producing 0/1.
@@ -277,7 +316,12 @@ impl ProgramBuilder {
         src2: impl Into<Operand>,
         target: Label,
     ) -> &mut Self {
-        self.emit(Instr::Branch { op, rs, src2: src2.into(), target })
+        self.emit(Instr::Branch {
+            op,
+            rs,
+            src2: src2.into(),
+            target,
+        })
     }
 
     /// Branch if equal.
@@ -359,7 +403,12 @@ impl ProgramBuilder {
 
     /// Store-conditional; `rd` receives the success flag.
     pub fn sc(&mut self, rd: Reg, rs: Reg, base: Reg, offset: i64) -> &mut Self {
-        self.emit(Instr::StoreCond { rd, rs, base, offset })
+        self.emit(Instr::StoreCond {
+            rd,
+            rs,
+            base,
+            offset,
+        })
     }
 
     // ---- vector arithmetic ----
@@ -373,47 +422,101 @@ impl ProgramBuilder {
         src2: impl Into<VSrc>,
         mask: Option<MReg>,
     ) -> &mut Self {
-        self.emit(Instr::VAlu { op, vd, vs, src2: src2.into(), mask })
+        self.emit(Instr::VAlu {
+            op,
+            vd,
+            vs,
+            src2: src2.into(),
+            mask,
+        })
     }
 
     /// Vector integer add.
-    pub fn vadd(&mut self, vd: VReg, vs: VReg, src2: impl Into<VSrc>, mask: Option<MReg>) -> &mut Self {
+    pub fn vadd(
+        &mut self,
+        vd: VReg,
+        vs: VReg,
+        src2: impl Into<VSrc>,
+        mask: Option<MReg>,
+    ) -> &mut Self {
         self.valu(AluOp::Add, vd, vs, src2, mask)
     }
 
     /// Vector integer subtract.
-    pub fn vsub(&mut self, vd: VReg, vs: VReg, src2: impl Into<VSrc>, mask: Option<MReg>) -> &mut Self {
+    pub fn vsub(
+        &mut self,
+        vd: VReg,
+        vs: VReg,
+        src2: impl Into<VSrc>,
+        mask: Option<MReg>,
+    ) -> &mut Self {
         self.valu(AluOp::Sub, vd, vs, src2, mask)
     }
 
     /// Vector integer multiply.
-    pub fn vmul(&mut self, vd: VReg, vs: VReg, src2: impl Into<VSrc>, mask: Option<MReg>) -> &mut Self {
+    pub fn vmul(
+        &mut self,
+        vd: VReg,
+        vs: VReg,
+        src2: impl Into<VSrc>,
+        mask: Option<MReg>,
+    ) -> &mut Self {
         self.valu(AluOp::Mul, vd, vs, src2, mask)
     }
 
     /// Vector unsigned remainder (`vmod` of the paper's Fig. 3).
-    pub fn vmod(&mut self, vd: VReg, vs: VReg, src2: impl Into<VSrc>, mask: Option<MReg>) -> &mut Self {
+    pub fn vmod(
+        &mut self,
+        vd: VReg,
+        vs: VReg,
+        src2: impl Into<VSrc>,
+        mask: Option<MReg>,
+    ) -> &mut Self {
         self.valu(AluOp::Rem, vd, vs, src2, mask)
     }
 
     /// Vector logical shift left.
-    pub fn vshl(&mut self, vd: VReg, vs: VReg, src2: impl Into<VSrc>, mask: Option<MReg>) -> &mut Self {
+    pub fn vshl(
+        &mut self,
+        vd: VReg,
+        vs: VReg,
+        src2: impl Into<VSrc>,
+        mask: Option<MReg>,
+    ) -> &mut Self {
         self.valu(AluOp::Shl, vd, vs, src2, mask)
     }
 
     /// Vector logical shift right.
-    pub fn vshr(&mut self, vd: VReg, vs: VReg, src2: impl Into<VSrc>, mask: Option<MReg>) -> &mut Self {
+    pub fn vshr(
+        &mut self,
+        vd: VReg,
+        vs: VReg,
+        src2: impl Into<VSrc>,
+        mask: Option<MReg>,
+    ) -> &mut Self {
         self.valu(AluOp::Shr, vd, vs, src2, mask)
     }
 
     /// Vector bitwise and.
-    pub fn vand(&mut self, vd: VReg, vs: VReg, src2: impl Into<VSrc>, mask: Option<MReg>) -> &mut Self {
+    pub fn vand(
+        &mut self,
+        vd: VReg,
+        vs: VReg,
+        src2: impl Into<VSrc>,
+        mask: Option<MReg>,
+    ) -> &mut Self {
         self.valu(AluOp::And, vd, vs, src2, mask)
     }
 
     /// Generic masked vector float op.
     pub fn vfp(&mut self, op: FpOp, vd: VReg, vs: VReg, vt: VReg, mask: Option<MReg>) -> &mut Self {
-        self.emit(Instr::VFp { op, vd, vs, vt, mask })
+        self.emit(Instr::VFp {
+            op,
+            vd,
+            vs,
+            vt,
+            mask,
+        })
     }
 
     /// Vector f32 add.
@@ -440,12 +543,31 @@ impl ProgramBuilder {
         src2: impl Into<VSrc>,
         mask: Option<MReg>,
     ) -> &mut Self {
-        self.emit(Instr::VCmp { op, fd, vs, src2: src2.into(), mask })
+        self.emit(Instr::VCmp {
+            op,
+            fd,
+            vs,
+            src2: src2.into(),
+            mask,
+        })
     }
 
     /// Vector f32 compare into a mask.
-    pub fn vfcmp(&mut self, op: CmpOp, fd: MReg, vs: VReg, vt: VReg, mask: Option<MReg>) -> &mut Self {
-        self.emit(Instr::VFCmp { op, fd, vs, vt, mask })
+    pub fn vfcmp(
+        &mut self,
+        op: CmpOp,
+        fd: MReg,
+        vs: VReg,
+        vt: VReg,
+        mask: Option<MReg>,
+    ) -> &mut Self {
+        self.emit(Instr::VFCmp {
+            op,
+            fd,
+            vs,
+            vt,
+            mask,
+        })
     }
 
     /// Broadcast scalar to vector.
@@ -460,12 +582,20 @@ impl ProgramBuilder {
 
     /// Extract one lane to a scalar.
     pub fn vextract(&mut self, rd: Reg, vs: VReg, lane: impl Into<LaneSel>) -> &mut Self {
-        self.emit(Instr::VExtract { rd, vs, lane: lane.into() })
+        self.emit(Instr::VExtract {
+            rd,
+            vs,
+            lane: lane.into(),
+        })
     }
 
     /// Insert a scalar into one lane.
     pub fn vinsert(&mut self, vd: VReg, rs: Reg, lane: impl Into<LaneSel>) -> &mut Self {
-        self.emit(Instr::VInsert { vd, rs, lane: lane.into() })
+        self.emit(Instr::VInsert {
+            vd,
+            rs,
+            lane: lane.into(),
+        })
     }
 
     // ---- masks ----
@@ -524,32 +654,78 @@ impl ProgramBuilder {
 
     /// Unit-stride vector load.
     pub fn vload(&mut self, vd: VReg, base: Reg, offset: i64, mask: Option<MReg>) -> &mut Self {
-        self.emit(Instr::VLoad { vd, base, offset, mask })
+        self.emit(Instr::VLoad {
+            vd,
+            base,
+            offset,
+            mask,
+        })
     }
 
     /// Unit-stride vector store.
     pub fn vstore(&mut self, vs: VReg, base: Reg, offset: i64, mask: Option<MReg>) -> &mut Self {
-        self.emit(Instr::VStore { vs, base, offset, mask })
+        self.emit(Instr::VStore {
+            vs,
+            base,
+            offset,
+            mask,
+        })
     }
 
     /// Indexed gather.
     pub fn vgather(&mut self, vd: VReg, base: Reg, vidx: VReg, mask: Option<MReg>) -> &mut Self {
-        self.emit(Instr::VGather { vd, base, vidx, mask })
+        self.emit(Instr::VGather {
+            vd,
+            base,
+            vidx,
+            mask,
+        })
     }
 
     /// Indexed scatter.
     pub fn vscatter(&mut self, vs: VReg, base: Reg, vidx: VReg, mask: Option<MReg>) -> &mut Self {
-        self.emit(Instr::VScatter { vs, base, vidx, mask })
+        self.emit(Instr::VScatter {
+            vs,
+            base,
+            vidx,
+            mask,
+        })
     }
 
     /// `vgatherlink Fdst, Vdst, base, Vindx, Fsrc` (paper §3.1).
-    pub fn vgatherlink(&mut self, fd: MReg, vd: VReg, base: Reg, vidx: VReg, fsrc: MReg) -> &mut Self {
-        self.emit(Instr::VGatherLink { fd, vd, base, vidx, fsrc })
+    pub fn vgatherlink(
+        &mut self,
+        fd: MReg,
+        vd: VReg,
+        base: Reg,
+        vidx: VReg,
+        fsrc: MReg,
+    ) -> &mut Self {
+        self.emit(Instr::VGatherLink {
+            fd,
+            vd,
+            base,
+            vidx,
+            fsrc,
+        })
     }
 
     /// `vscattercond Fdst, Vsrc, base, Vindx, Fsrc` (paper §3.1).
-    pub fn vscattercond(&mut self, fd: MReg, vs: VReg, base: Reg, vidx: VReg, fsrc: MReg) -> &mut Self {
-        self.emit(Instr::VScatterCond { fd, vs, base, vidx, fsrc })
+    pub fn vscattercond(
+        &mut self,
+        fd: MReg,
+        vs: VReg,
+        base: Reg,
+        vidx: VReg,
+        fsrc: MReg,
+    ) -> &mut Self {
+        self.emit(Instr::VScatterCond {
+            fd,
+            vs,
+            base,
+            vidx,
+            fsrc,
+        })
     }
 }
 
@@ -614,7 +790,11 @@ mod tests {
         let p = b.build().unwrap();
         assert!(matches!(
             p.fetch(0),
-            Some(Instr::Alu { op: AluOp::Add, src2: Operand::Imm(0), .. })
+            Some(Instr::Alu {
+                op: AluOp::Add,
+                src2: Operand::Imm(0),
+                ..
+            })
         ));
     }
 }

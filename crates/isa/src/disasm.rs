@@ -98,7 +98,12 @@ impl fmt::Display for Instr {
             FCmp { op, rd, rs, rt } => write!(f, "fcmp.{op} {rd}, {rs}, {rt}"),
             CvtIntToF32 { rd, rs } => write!(f, "cvt.i2f {rd}, {rs}"),
             CvtF32ToInt { rd, rs } => write!(f, "cvt.f2i {rd}, {rs}"),
-            Branch { op, rs, src2, target } => write!(f, "b{op} {rs}, {src2}, {target}"),
+            Branch {
+                op,
+                rs,
+                src2,
+                target,
+            } => write!(f, "b{op} {rs}, {src2}, {target}"),
             Jump { target } => write!(f, "jmp {target}"),
             BranchMaskZero { f: m, target } => write!(f, "bmz {m}, {target}"),
             BranchMaskNotZero { f: m, target } => write!(f, "bmnz {m}, {target}"),
@@ -108,17 +113,46 @@ impl fmt::Display for Instr {
             Load { rd, base, offset } => write!(f, "ld {rd}, {offset}({base})"),
             Store { rs, base, offset } => write!(f, "st {rs}, {offset}({base})"),
             LoadLinked { rd, base, offset } => write!(f, "ll {rd}, {offset}({base})"),
-            StoreCond { rd, rs, base, offset } => write!(f, "sc {rd}, {rs}, {offset}({base})"),
-            VAlu { op, vd, vs, src2, mask } => {
+            StoreCond {
+                rd,
+                rs,
+                base,
+                offset,
+            } => write!(f, "sc {rd}, {rs}, {offset}({base})"),
+            VAlu {
+                op,
+                vd,
+                vs,
+                src2,
+                mask,
+            } => {
                 write!(f, "v{op} {vd}, {vs}, {src2}{}", mask_suffix(mask))
             }
-            VFp { op, vd, vs, vt, mask } => {
+            VFp {
+                op,
+                vd,
+                vs,
+                vt,
+                mask,
+            } => {
                 write!(f, "v{op} {vd}, {vs}, {vt}{}", mask_suffix(mask))
             }
-            VCmp { op, fd, vs, src2, mask } => {
+            VCmp {
+                op,
+                fd,
+                vs,
+                src2,
+                mask,
+            } => {
                 write!(f, "vcmp.{op} {fd}, {vs}, {src2}{}", mask_suffix(mask))
             }
-            VFCmp { op, fd, vs, vt, mask } => {
+            VFCmp {
+                op,
+                fd,
+                vs,
+                vt,
+                mask,
+            } => {
                 write!(f, "vfcmp.{op} {fd}, {vs}, {vt}{}", mask_suffix(mask))
             }
             VSplat { vd, rs } => write!(f, "vsplat {vd}, {rs}"),
@@ -135,22 +169,54 @@ impl fmt::Display for Instr {
             MPopcount { rd, f: m } => write!(f, "mpop {rd}, {m}"),
             MFromReg { f: m, rs } => write!(f, "r2m {m}, {rs}"),
             MToReg { rd, f: m } => write!(f, "m2r {rd}, {m}"),
-            VLoad { vd, base, offset, mask } => {
+            VLoad {
+                vd,
+                base,
+                offset,
+                mask,
+            } => {
                 write!(f, "vload {vd}, {offset}({base}){}", mask_suffix(mask))
             }
-            VStore { vs, base, offset, mask } => {
+            VStore {
+                vs,
+                base,
+                offset,
+                mask,
+            } => {
                 write!(f, "vstore {vs}, {offset}({base}){}", mask_suffix(mask))
             }
-            VGather { vd, base, vidx, mask } => {
+            VGather {
+                vd,
+                base,
+                vidx,
+                mask,
+            } => {
                 write!(f, "vgather {vd}, ({base})[{vidx}]{}", mask_suffix(mask))
             }
-            VScatter { vs, base, vidx, mask } => {
+            VScatter {
+                vs,
+                base,
+                vidx,
+                mask,
+            } => {
                 write!(f, "vscatter {vs}, ({base})[{vidx}]{}", mask_suffix(mask))
             }
-            VGatherLink { fd, vd, base, vidx, fsrc } => {
+            VGatherLink {
+                fd,
+                vd,
+                base,
+                vidx,
+                fsrc,
+            } => {
                 write!(f, "vgatherlink {fd}, {vd}, ({base})[{vidx}], {fsrc}")
             }
-            VScatterCond { fd, vs, base, vidx, fsrc } => {
+            VScatterCond {
+                fd,
+                vs,
+                base,
+                vidx,
+                fsrc,
+            } => {
                 write!(f, "vscattercond {fd}, {vs}, ({base})[{vidx}], {fsrc}")
             }
         }
@@ -174,7 +240,13 @@ mod tests {
     #[test]
     fn disassembly_round_trips_key_mnemonics() {
         let mut b = ProgramBuilder::new();
-        let (r1, v1, v2, f0, f1) = (Reg::new(1), VReg::new(1), VReg::new(2), MReg::new(0), MReg::new(1));
+        let (r1, v1, v2, f0, f1) = (
+            Reg::new(1),
+            VReg::new(1),
+            VReg::new(2),
+            MReg::new(0),
+            MReg::new(1),
+        );
         b.li(r1, 42);
         b.vgatherlink(f1, v1, r1, v2, f0);
         b.vadd(v1, v1, 1, Some(f1));

@@ -624,13 +624,44 @@ mod tests {
         let r = Reg::new(1);
         let v = VReg::new(1);
         let f = MReg::new(1);
-        assert!(Instr::Load { rd: r, base: r, offset: 0 }.is_memory());
+        assert!(Instr::Load {
+            rd: r,
+            base: r,
+            offset: 0
+        }
+        .is_memory());
         assert!(!Instr::Li { rd: r, imm: 3 }.is_memory());
-        assert!(Instr::VGatherLink { fd: f, vd: v, base: r, vidx: v, fsrc: f }.is_atomic());
-        assert!(Instr::VGatherLink { fd: f, vd: v, base: r, vidx: v, fsrc: f }.uses_gsu());
-        assert!(!Instr::VLoad { vd: v, base: r, offset: 0, mask: None }.uses_gsu());
+        assert!(Instr::VGatherLink {
+            fd: f,
+            vd: v,
+            base: r,
+            vidx: v,
+            fsrc: f
+        }
+        .is_atomic());
+        assert!(Instr::VGatherLink {
+            fd: f,
+            vd: v,
+            base: r,
+            vidx: v,
+            fsrc: f
+        }
+        .uses_gsu());
+        assert!(!Instr::VLoad {
+            vd: v,
+            base: r,
+            offset: 0,
+            mask: None
+        }
+        .uses_gsu());
         assert!(Instr::Halt.is_control());
-        assert!(Instr::StoreCond { rd: r, rs: r, base: r, offset: 0 }.is_atomic());
+        assert!(Instr::StoreCond {
+            rd: r,
+            rs: r,
+            base: r,
+            offset: 0
+        }
+        .is_atomic());
     }
 
     #[test]

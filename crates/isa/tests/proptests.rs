@@ -1,45 +1,83 @@
-//! Property tests for the assembler and program container.
+//! Randomized property tests for the assembler and program container.
+//!
+//! These were originally written with `proptest`; the offline build
+//! environment cannot fetch it, so they now run as seeded loops over
+//! `glsc-rng`. Each case prints its seed on failure for reproduction.
 
 use glsc_isa::{AluOp, CmpOp, MReg, ProgramBuilder, Reg, VReg};
-use proptest::prelude::*;
+use glsc_rng::rngs::StdRng;
+use glsc_rng::{Rng, SeedableRng};
 
-proptest! {
-    /// Any sequence of emissions assembles, preserves order and count, and
-    /// every instruction disassembles to non-empty text.
-    #[test]
-    fn arbitrary_emissions_assemble(
-        ops in proptest::collection::vec((0usize..8, 0u8..32, 0u8..32, any::<i32>()), 1..100)
-    ) {
+/// Any sequence of emissions assembles, preserves order and count, and
+/// every instruction disassembles to non-empty text.
+#[test]
+fn arbitrary_emissions_assemble() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x15A_0001 ^ seed);
+        let n = rng.random_range(1..100usize);
+        let ops: Vec<(usize, u8, u8, i32)> = (0..n)
+            .map(|_| {
+                (
+                    rng.random_range(0..8usize),
+                    rng.random_range(0..32u8),
+                    rng.random_range(0..32u8),
+                    rng.random::<u32>() as i32,
+                )
+            })
+            .collect();
         let mut b = ProgramBuilder::new();
         for (kind, x, y, imm) in &ops {
             let (rx, ry) = (Reg::new(x % 32), Reg::new(y % 32));
             let (vx, vy) = (VReg::new(x % 32), VReg::new(y % 32));
             let (fx, fy) = (MReg::new(x % 8), MReg::new(y % 8));
             match kind {
-                0 => { b.li(rx, *imm as i64); }
-                1 => { b.alu(AluOp::Add, rx, ry, *imm as i64); }
-                2 => { b.cmp(CmpOp::Lt, rx, ry, *imm as i64); }
-                3 => { b.vadd(vx, vy, *imm as i64, Some(fx)); }
-                4 => { b.mand(fx, fy, fx); }
-                5 => { b.ld(rx, ry, (*imm as i64) & 0xfff); }
-                6 => { b.vgatherlink(fx, vx, rx, vy, fy); }
-                _ => { b.vscattercond(fx, vx, rx, vy, fy); }
+                0 => {
+                    b.li(rx, *imm as i64);
+                }
+                1 => {
+                    b.alu(AluOp::Add, rx, ry, *imm as i64);
+                }
+                2 => {
+                    b.cmp(CmpOp::Lt, rx, ry, *imm as i64);
+                }
+                3 => {
+                    b.vadd(vx, vy, *imm as i64, Some(fx));
+                }
+                4 => {
+                    b.mand(fx, fy, fx);
+                }
+                5 => {
+                    b.ld(rx, ry, (*imm as i64) & 0xfff);
+                }
+                6 => {
+                    b.vgatherlink(fx, vx, rx, vy, fy);
+                }
+                _ => {
+                    b.vscattercond(fx, vx, rx, vy, fy);
+                }
             }
         }
         b.halt();
         let p = b.build().expect("assembles");
-        prop_assert_eq!(p.len(), ops.len() + 1);
+        assert_eq!(p.len(), ops.len() + 1, "seed {seed}");
         for i in 0..p.len() {
             let text = p.fetch(i).unwrap().to_string();
-            prop_assert!(!text.is_empty());
+            assert!(!text.is_empty(), "seed {seed}, pc {i}");
         }
         // Whole-program disassembly contains one line per instruction.
-        prop_assert_eq!(p.to_string().lines().count(), p.len());
+        assert_eq!(p.to_string().lines().count(), p.len(), "seed {seed}");
     }
+}
 
-    /// Labels bound at arbitrary positions resolve to those positions.
-    #[test]
-    fn labels_resolve_to_bind_positions(positions in proptest::collection::btree_set(0usize..50, 1..10)) {
+/// Labels bound at arbitrary positions resolve to those positions.
+#[test]
+fn labels_resolve_to_bind_positions() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x15A_0002 ^ seed);
+        let n = rng.random_range(1..10usize);
+        let mut positions: Vec<usize> = (0..n).map(|_| rng.random_range(0..50usize)).collect();
+        positions.sort_unstable();
+        positions.dedup();
         let mut b = ProgramBuilder::new();
         let mut pending: Vec<(usize, glsc_isa::Label)> = Vec::new();
         for pos in &positions {
@@ -58,13 +96,20 @@ proptest! {
         b.halt();
         let p = b.build().unwrap();
         for (pos, l) in pending {
-            prop_assert_eq!(p.target(l), pos);
+            assert_eq!(p.target(l), pos, "seed {seed}");
         }
     }
+}
 
-    /// Sync regions flag exactly the instructions inside them.
-    #[test]
-    fn sync_regions_flag_exact_ranges(segments in proptest::collection::vec((1usize..10, any::<bool>()), 1..20)) {
+/// Sync regions flag exactly the instructions inside them.
+#[test]
+fn sync_regions_flag_exact_ranges() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x15A_0003 ^ seed);
+        let n = rng.random_range(1..20usize);
+        let segments: Vec<(usize, bool)> = (0..n)
+            .map(|_| (rng.random_range(1..10usize), rng.random::<bool>()))
+            .collect();
         let mut b = ProgramBuilder::new();
         let mut expected = Vec::new();
         for (len, sync) in &segments {
@@ -83,7 +128,7 @@ proptest! {
         expected.push(false);
         let p = b.build().unwrap();
         for (i, want) in expected.iter().enumerate() {
-            prop_assert_eq!(p.is_sync(i), *want, "pc {}", i);
+            assert_eq!(p.is_sync(i), *want, "seed {seed}, pc {i}");
         }
     }
 }

@@ -51,7 +51,10 @@ pub struct MemImage {
 impl MemImage {
     /// Creates an empty image; allocation starts at 64 KiB.
     pub fn new() -> Self {
-        Self { chunks: Vec::new(), next: 0x1_0000 }
+        Self {
+            chunks: Vec::new(),
+            next: 0x1_0000,
+        }
     }
 
     /// Allocates a region holding `data`, returning its base address.
@@ -128,7 +131,8 @@ pub fn run_workload(w: &Workload, cfg: &MachineConfig) -> Result<KernelOutcome, 
     let report = machine
         .run()
         .map_err(|e| format!("{}: simulation failed: {e}", w.name))?;
-    (w.validate)(machine.mem().backing()).map_err(|e| format!("{}: validation failed: {e}", w.name))?;
+    (w.validate)(machine.mem().backing())
+        .map_err(|e| format!("{}: validation failed: {e}", w.name))?;
     Ok(KernelOutcome { report })
 }
 
@@ -175,7 +179,13 @@ pub fn chunk_bounds(n: usize, t: usize, i: usize) -> (usize, usize) {
 /// Emits code computing this thread's `[start, end)` partition of `n`
 /// items into `r_start`/`r_end` (matching [`chunk_bounds`]). Clobbers
 /// nothing else; `n` and the thread count are compile-time constants.
-pub fn emit_partition(b: &mut ProgramBuilder, n: usize, total_threads: usize, r_start: Reg, r_end: Reg) {
+pub fn emit_partition(
+    b: &mut ProgramBuilder,
+    n: usize,
+    total_threads: usize,
+    r_start: Reg,
+    r_end: Reg,
+) {
     let chunk = n.div_ceil(total_threads) as i64;
     let r_id = Reg::new(0);
     b.mul(r_start, r_id, chunk);
@@ -197,8 +207,13 @@ pub fn emit_tail_mask(
     b.sub(r_tmp, r_end, r_i);
     b.minu(r_tmp, r_tmp, width as i64);
     let r_one = r_tmp; // reuse: tmp = (1 << tmp) - 1, computed via a second scratch
-    // (1 << t) - 1 without a second register: shift an immediate 1 left by t.
-    b.alu(glsc_isa::AluOp::Shl, r_one, Reg::new(31), glsc_isa::Operand::Reg(r_tmp));
+                       // (1 << t) - 1 without a second register: shift an immediate 1 left by t.
+    b.alu(
+        glsc_isa::AluOp::Shl,
+        r_one,
+        Reg::new(31),
+        glsc_isa::Operand::Reg(r_tmp),
+    );
     // NOTE: r31 is reserved as the constant 1 by convention; emit_const_one
     // must have run in the prologue.
     b.addi(r_one, r_one, -1);
@@ -242,7 +257,13 @@ pub fn emit_vlock(b: &mut ProgramBuilder, lock_base: Reg, vindex: VReg, f: MReg,
 
 /// Emits the `VUNLOCK` macro of Fig. 3(B): releases the locks
 /// `lock_base[vindex]` for the lanes of `f` with a plain scatter of zeros.
-pub fn emit_vunlock(b: &mut ProgramBuilder, lock_base: Reg, vindex: VReg, f: MReg, regs: VLockRegs) {
+pub fn emit_vunlock(
+    b: &mut ProgramBuilder,
+    lock_base: Reg,
+    vindex: VReg,
+    f: MReg,
+    regs: VLockRegs,
+) {
     b.vscatter(regs.vzero, lock_base, vindex, Some(f));
 }
 
@@ -349,8 +370,16 @@ mod tests {
             for i in 0..total {
                 let (s, e) = chunk_bounds(n, total, i);
                 let addr = 0x1000 + 8 * i as u64;
-                assert_eq!(m.mem().backing().read_u32(addr), s as u32, "start t{i}/{total}");
-                assert_eq!(m.mem().backing().read_u32(addr + 4), e as u32, "end t{i}/{total}");
+                assert_eq!(
+                    m.mem().backing().read_u32(addr),
+                    s as u32,
+                    "start t{i}/{total}"
+                );
+                assert_eq!(
+                    m.mem().backing().read_u32(addr + 4),
+                    e as u32,
+                    "end t{i}/{total}"
+                );
             }
         }
     }

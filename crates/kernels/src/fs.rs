@@ -24,10 +24,10 @@ use crate::common::{
     approx_eq, emit_const_one, emit_partition, Dataset, MemImage, Variant, Workload,
 };
 use glsc_isa::{LaneSel, MReg, ProgramBuilder, Reg, VReg};
+use glsc_rng::rngs::StdRng;
+use glsc_rng::seq::SliceRandom;
+use glsc_rng::{Rng, SeedableRng};
 use glsc_sim::MachineConfig;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// Side of a dense subblock in elements. The paper's FS spends most of its
 /// instructions in the atomic reductions (75% dynamic-instruction
@@ -74,10 +74,22 @@ impl Fs {
     pub fn new(dataset: Dataset) -> Self {
         let params = match dataset {
             // 2171x5167 @ 2.47% -> fewer, sparser block rows.
-            Dataset::A => FsParams { nblocks: 40, density: 0.30, seed: 31 },
+            Dataset::A => FsParams {
+                nblocks: 40,
+                density: 0.30,
+                seed: 31,
+            },
             // 3136x9408 @ 15.06% -> denser coupling, more contention.
-            Dataset::B => FsParams { nblocks: 44, density: 0.55, seed: 32 },
-            Dataset::Tiny => FsParams { nblocks: 10, density: 0.5, seed: 33 },
+            Dataset::B => FsParams {
+                nblocks: 44,
+                density: 0.55,
+                seed: 32,
+            },
+            Dataset::Tiny => FsParams {
+                nblocks: 10,
+                density: 0.5,
+                seed: 33,
+            },
         };
         Self { params }
     }
@@ -107,8 +119,12 @@ impl Fs {
             blk_j: Vec::new(),
             blk_off: Vec::new(),
             vals: Vec::new(),
-            x: (0..nb * BLOCK).map(|_| rng.random_range(-1.0..1.0)).collect(),
-            rhs0: (0..nb * BLOCK).map(|_| rng.random_range(-1.0..1.0)).collect(),
+            x: (0..nb * BLOCK)
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect(),
+            rhs0: (0..nb * BLOCK)
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect(),
         };
         for (i, j) in tasks {
             d.blk_i.push(i);
@@ -125,8 +141,11 @@ impl Fs {
     pub fn reference(&self, d: &FsData) -> Vec<f32> {
         let mut rhs = d.rhs0.clone();
         for t in 0..d.blk_i.len() {
-            let (bi, bj, off) =
-                (d.blk_i[t] as usize, d.blk_j[t] as usize, d.blk_off[t] as usize);
+            let (bi, bj, off) = (
+                d.blk_i[t] as usize,
+                d.blk_j[t] as usize,
+                d.blk_off[t] as usize,
+            );
             for col in 0..BLOCK {
                 let xj = d.x[bj * BLOCK + col];
                 for row in 0..BLOCK {
@@ -141,7 +160,10 @@ impl Fs {
     /// Builds the runnable workload for a machine configuration.
     pub fn build(&self, variant: Variant, cfg: &MachineConfig) -> Workload {
         let width = cfg.simd_width;
-        assert!(BLOCK % width == 0 || width > BLOCK, "width must divide the block side");
+        assert!(
+            BLOCK.is_multiple_of(width) || width > BLOCK,
+            "width must divide the block side"
+        );
         let threads = cfg.total_threads();
         let d = self.generate();
         let ntasks = d.blk_i.len();
@@ -223,7 +245,7 @@ fn build_program(
     b.ld(r_xbase, r_t2, 0); // block col J
     b.addi(r_t2, r_t1, a_off as i64);
     b.ld(r_lbase, r_t2, 0); // value offset
-    // x_J base address and L block base address.
+                            // x_J base address and L block base address.
     b.mul(r_xbase, r_xbase, (BLOCK * 4) as i64);
     b.addi(r_xbase, r_xbase, a_x as i64);
     b.shl(r_lbase, r_lbase, 2);
@@ -240,7 +262,12 @@ fn build_program(
             b.ld(r_t1, r_xbase, (4 * col) as i64);
             b.vsplat(v_xj, r_t1);
             // Column-major: L[col*BLOCK + rc*width ..].
-            b.vload(v_col, r_lbase, (4 * (col * BLOCK + rc * width)) as i64, Some(f_w));
+            b.vload(
+                v_col,
+                r_lbase,
+                (4 * (col * BLOCK + rc * width)) as i64,
+                Some(f_w),
+            );
             b.vfmul(v_col, v_col, v_xj, Some(f_w));
             b.vfadd(v_acc, v_acc, v_col, Some(f_w));
         }

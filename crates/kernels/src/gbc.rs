@@ -16,13 +16,13 @@
 //! drives GBC's ~31–34% element failure rate (aliasing) in Table 4.
 
 use crate::common::{
-    emit_const_one, emit_partition, emit_scalar_lock, emit_scalar_unlock, emit_vlock,
-    emit_vunlock, Dataset, MemImage, VLockRegs, Variant, Workload,
+    emit_const_one, emit_partition, emit_scalar_lock, emit_scalar_unlock, emit_vlock, emit_vunlock,
+    Dataset, MemImage, VLockRegs, Variant, Workload,
 };
 use glsc_isa::{MReg, ProgramBuilder, Reg, VReg};
+use glsc_rng::rngs::StdRng;
+use glsc_rng::{Rng, SeedableRng};
 use glsc_sim::MachineConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// List-terminator sentinel stored in `head`/`next`.
@@ -58,10 +58,25 @@ impl Gbc {
     pub fn new(dataset: Dataset) -> Self {
         let params = match dataset {
             // 649 objects in 8191 cells -> sparse occupancy, mild clusters.
-            Dataset::A => GbcParams { objects: 4096, cells: 8192, cluster: 2.0, seed: 41 },
+            Dataset::A => GbcParams {
+                objects: 4096,
+                cells: 8192,
+                cluster: 2.0,
+                seed: 41,
+            },
             // 5649 objects in 65521 cells -> larger scene, heavier clusters.
-            Dataset::B => GbcParams { objects: 6144, cells: 4096, cluster: 2.3, seed: 42 },
-            Dataset::Tiny => GbcParams { objects: 512, cells: 128, cluster: 2.0, seed: 43 },
+            Dataset::B => GbcParams {
+                objects: 6144,
+                cells: 4096,
+                cluster: 2.3,
+                seed: 42,
+            },
+            Dataset::Tiny => GbcParams {
+                objects: 512,
+                cells: 128,
+                cluster: 2.0,
+                seed: 43,
+            },
         };
         Self { params }
     }
@@ -235,8 +250,13 @@ fn build_program(
         }
         Variant::Glsc => {
             let (v_cell, v_obj, v_h, v_iota) = (v(0), v(1), v(2), v(3));
-            let regs =
-                VLockRegs { vtmp: v(4), vone: v(5), vzero: v(6), ftmp1: m(2), ftmp2: m(3) };
+            let regs = VLockRegs {
+                vtmp: v(4),
+                vone: v(5),
+                vzero: v(6),
+                ftmp1: m(2),
+                ftmp2: m(3),
+            };
             let (f_todo, f) = (m(0), m(1));
             b.vsplat(regs.vone, r(31));
             b.li(r_t1, 0);
@@ -316,6 +336,10 @@ mod tests {
         let gbc = Gbc::new(Dataset::Tiny);
         let cells = gbc.gen_cells();
         let repeats = cells.windows(2).filter(|w| w[0] == w[1]).count();
-        assert!(repeats * 5 > cells.len(), "repeats {repeats} of {}", cells.len());
+        assert!(
+            repeats * 5 > cells.len(),
+            "repeats {repeats} of {}",
+            cells.len()
+        );
     }
 }

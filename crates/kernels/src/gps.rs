@@ -22,14 +22,14 @@
 //!   the common case (lock exclusivity guarantees correctness anyway).
 
 use crate::common::{
-    approx_eq, chunk_bounds, emit_const_one, emit_partition, emit_scalar_lock,
-    emit_scalar_unlock, emit_vlock, emit_backoff, emit_vunlock, interleave_for_width, Dataset, MemImage,
+    approx_eq, chunk_bounds, emit_backoff, emit_const_one, emit_partition, emit_scalar_lock,
+    emit_scalar_unlock, emit_vlock, emit_vunlock, interleave_for_width, Dataset, MemImage,
     VLockRegs, Variant, Workload,
 };
 use glsc_isa::{MReg, ProgramBuilder, Reg, VReg};
+use glsc_rng::rngs::StdRng;
+use glsc_rng::{Rng, SeedableRng};
 use glsc_sim::MachineConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Relaxation factor (kept as an exact power of two for fp friendliness).
 pub const RELAX: f32 = 0.25;
@@ -59,10 +59,25 @@ impl Gps {
     pub fn new(dataset: Dataset) -> Self {
         let params = match dataset {
             // 625 objects.
-            Dataset::A => GpsParams { objects: 1024, constraints: 2048, iterations: 4, seed: 51 },
+            Dataset::A => GpsParams {
+                objects: 1024,
+                constraints: 2048,
+                iterations: 4,
+                seed: 51,
+            },
             // 1600 objects.
-            Dataset::B => GpsParams { objects: 2048, constraints: 4096, iterations: 4, seed: 52 },
-            Dataset::Tiny => GpsParams { objects: 512, constraints: 512, iterations: 2, seed: 53 },
+            Dataset::B => GpsParams {
+                objects: 2048,
+                constraints: 4096,
+                iterations: 4,
+                seed: 52,
+            },
+            Dataset::Tiny => GpsParams {
+                objects: 512,
+                constraints: 512,
+                iterations: 2,
+                seed: 53,
+            },
         };
         Self { params }
     }
@@ -117,8 +132,9 @@ impl Gps {
         let lo: Vec<u32> = pairs.iter().map(|p| p.0).collect();
         let hi: Vec<u32> = pairs.iter().map(|p| p.1).collect();
         let total_objects = self.params.objects + 2 * (n - self.params.constraints);
-        let state: Vec<f32> =
-            (0..total_objects).map(|_| rng.random_range(-10.0..10.0)).collect();
+        let state: Vec<f32> = (0..total_objects)
+            .map(|_| rng.random_range(-10.0..10.0))
+            .collect();
         (lo, hi, state)
     }
 
@@ -162,8 +178,9 @@ impl Gps {
             image,
             validate: Box::new(move |backing| {
                 // Conservation: every constraint moves +delta/-delta.
-                let final_sum: f64 =
-                    (0..total_objects).map(|i| backing.read_f32(a_v + 4 * i as u64) as f64).sum();
+                let final_sum: f64 = (0..total_objects)
+                    .map(|i| backing.read_f32(a_v + 4 * i as u64) as f64)
+                    .sum();
                 if !approx_eq(final_sum as f32, initial_sum as f32, 1e-3, 1e-2) {
                     return Err(format!(
                         "sum not conserved: {final_sum} vs initial {initial_sum}"
@@ -262,8 +279,13 @@ fn build_program(
         }
         Variant::Glsc => {
             let (v_lo, v_hi, v_a, v_b2, v_d, v_k) = (v(0), v(1), v(2), v(3), v(7), v(8));
-            let regs =
-                VLockRegs { vtmp: v(4), vone: v(5), vzero: v(6), ftmp1: m(2), ftmp2: m(3) };
+            let regs = VLockRegs {
+                vtmp: v(4),
+                vone: v(5),
+                vzero: v(6),
+                ftmp1: m(2),
+                ftmp2: m(3),
+            };
             let (f_todo, f, f_hi, f_rel) = (m(0), m(1), m(4), m(5));
             b.vsplat(regs.vone, r(31));
             b.li(r_t1, 0);
@@ -363,7 +385,10 @@ mod tests {
             }
             collisions += clash as usize;
         }
-        assert!(collisions * 4 < lo.len() / 4, "too many colliding groups: {collisions}");
+        assert!(
+            collisions * 4 < lo.len() / 4,
+            "too many colliding groups: {collisions}"
+        );
     }
 
     #[test]

@@ -21,9 +21,9 @@
 
 use crate::common::{emit_const_one, emit_partition, Dataset, MemImage, Variant, Workload};
 use glsc_isa::{LaneSel, MReg, ProgramBuilder, Reg, VReg};
+use glsc_rng::rngs::StdRng;
+use glsc_rng::{Rng, SeedableRng};
 use glsc_sim::MachineConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Input parameters for [`Hip`].
 #[derive(Clone, Debug)]
@@ -51,10 +51,25 @@ impl Hip {
     pub fn new(dataset: Dataset) -> Self {
         let params = match dataset {
             // 480x480 image of cars -> moderately skewed color space.
-            Dataset::A => HipParams { pixels: 30 * 1024, bins: 32, skew: 4.0, seed: 1 },
+            Dataset::A => HipParams {
+                pixels: 30 * 1024,
+                bins: 32,
+                skew: 4.0,
+                seed: 1,
+            },
             // 480x480 image of people -> fewer dominant colors.
-            Dataset::B => HipParams { pixels: 30 * 1024, bins: 16, skew: 2.0, seed: 2 },
-            Dataset::Tiny => HipParams { pixels: 1024, bins: 8, skew: 2.0, seed: 3 },
+            Dataset::B => HipParams {
+                pixels: 30 * 1024,
+                bins: 16,
+                skew: 2.0,
+                seed: 2,
+            },
+            Dataset::Tiny => HipParams {
+                pixels: 1024,
+                bins: 8,
+                skew: 2.0,
+                seed: 3,
+            },
         };
         Self { params }
     }
@@ -109,7 +124,12 @@ impl Hip {
         );
 
         let expected = self.reference(&pixels);
-        let name = format!("HIP/{}/{}/w{}", self.dataset_label(), variant.label(), width);
+        let name = format!(
+            "HIP/{}/{}/w{}",
+            self.dataset_label(),
+            variant.label(),
+            width
+        );
         Workload {
             name,
             program,

@@ -45,14 +45,12 @@ pub mod fs;
 pub mod gbc;
 pub mod gps;
 pub mod hip;
-pub mod micro;
 pub mod mfp;
+pub mod micro;
 pub mod smc;
 pub mod tms;
 
-pub use common::{
-    run_workload, Dataset, KernelOutcome, MemImage, Variant, Workload, KERNEL_NAMES,
-};
+pub use common::{run_workload, Dataset, KernelOutcome, MemImage, Variant, Workload, KERNEL_NAMES};
 
 /// Builds a named kernel's workload: convenience dispatcher for the
 /// benchmark harness. `name` is one of [`KERNEL_NAMES`].

@@ -16,13 +16,13 @@
 //!   releasing first locks where the second acquisition fails.
 
 use crate::common::{
-    emit_backoff, emit_const_one, emit_partition, emit_scalar_lock, emit_scalar_unlock,
-    emit_vlock, emit_vunlock, Dataset, MemImage, VLockRegs, Variant, Workload,
+    emit_backoff, emit_const_one, emit_partition, emit_scalar_lock, emit_scalar_unlock, emit_vlock,
+    emit_vunlock, Dataset, MemImage, VLockRegs, Variant, Workload,
 };
 use glsc_isa::{AluOp, MReg, ProgramBuilder, Reg, VReg};
+use glsc_rng::rngs::StdRng;
+use glsc_rng::{Rng, SeedableRng};
 use glsc_sim::MachineConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Input parameters for [`Mfp`].
 #[derive(Clone, Debug)]
@@ -49,10 +49,25 @@ impl Mfp {
     pub fn new(dataset: Dataset) -> Self {
         let params = match dataset {
             // 1500 nodes, 6800 edges.
-            Dataset::A => MfpParams { nodes: 2048, edges: 4096, rounds: 3, seed: 61 },
+            Dataset::A => MfpParams {
+                nodes: 2048,
+                edges: 4096,
+                rounds: 3,
+                seed: 61,
+            },
             // 3888 nodes, 18252 edges.
-            Dataset::B => MfpParams { nodes: 4096, edges: 8192, rounds: 2, seed: 62 },
-            Dataset::Tiny => MfpParams { nodes: 512, edges: 512, rounds: 2, seed: 63 },
+            Dataset::B => MfpParams {
+                nodes: 4096,
+                edges: 8192,
+                rounds: 2,
+                seed: 62,
+            },
+            Dataset::Tiny => MfpParams {
+                nodes: 512,
+                edges: 512,
+                rounds: 2,
+                seed: 63,
+            },
         };
         Self { params }
     }
@@ -66,7 +81,11 @@ impl Mfp {
     /// initial excess per node. Edges are sorted by source node (threads
     /// own contiguous node regions) and interleaved within each thread's
     /// chunk so SIMD groups touch independent nodes.
-    pub fn generate(&self, threads: usize, width: usize) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
+    pub fn generate(
+        &self,
+        threads: usize,
+        width: usize,
+    ) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
         let mut rng = StdRng::seed_from_u64(self.params.seed);
         let n = self.params.edges.next_multiple_of(256);
         let mut src = Vec::with_capacity(n);
@@ -112,8 +131,9 @@ impl Mfp {
             cap.push(0);
         }
         let total_nodes = self.params.nodes + 2 * (n - self.params.edges);
-        let excess: Vec<u32> =
-            (0..total_nodes).map(|_| rng.random_range(0..1000u32)).collect();
+        let excess: Vec<u32> = (0..total_nodes)
+            .map(|_| rng.random_range(0..1000u32))
+            .collect();
         (src, dst, cap, excess)
     }
 
@@ -217,7 +237,7 @@ fn build_program(
             b.ld(r_t2, r_t2, 0); // u
             b.addi(r_t3, r_t1, a_dst as i64);
             b.ld(r_t3, r_t3, 0); // v
-            // Lock in index order.
+                                 // Lock in index order.
             let (r_lo, r_hi) = (r(15), r(16));
             b.minu(r_lo, r_t2, r_t3);
             b.alu(AluOp::Max, r_hi, r_t2, glsc_isa::Operand::Reg(r_t3));
@@ -262,8 +282,13 @@ fn build_program(
         Variant::Glsc => {
             let (v_u, v_v, v_lo, v_hi) = (v(0), v(1), v(2), v(3));
             let (v_eu, v_ev, v_cap, v_flow, v_amt) = (v(7), v(8), v(9), v(10), v(11));
-            let regs =
-                VLockRegs { vtmp: v(4), vone: v(5), vzero: v(6), ftmp1: m(2), ftmp2: m(3) };
+            let regs = VLockRegs {
+                vtmp: v(4),
+                vone: v(5),
+                vzero: v(6),
+                ftmp1: m(2),
+                ftmp2: m(3),
+            };
             let (f_todo, f, f_hi, f_rel) = (m(0), m(1), m(4), m(5));
             b.vsplat(regs.vone, r(31));
             b.li(r_t1, 0);
@@ -368,8 +393,13 @@ mod tests {
     #[test]
     fn dense_contention_converges() {
         let cfg = MachineConfig::paper(2, 4, 4);
-        let w = Mfp::with_params(MfpParams { nodes: 12, edges: 256, rounds: 2, seed: 77 })
-            .build(Variant::Glsc, &cfg);
+        let w = Mfp::with_params(MfpParams {
+            nodes: 12,
+            edges: 256,
+            rounds: 2,
+            seed: 77,
+        })
+        .build(Variant::Glsc, &cfg);
         run_workload(&w, &cfg).expect("no livelock under dense contention");
     }
 }

@@ -19,10 +19,10 @@
 
 use crate::common::{emit_const_one, Dataset, MemImage, Variant, Workload};
 use glsc_isa::{LaneSel, MReg, ProgramBuilder, Reg, VReg};
+use glsc_rng::rngs::StdRng;
+use glsc_rng::seq::SliceRandom;
+use glsc_rng::{Rng, SeedableRng};
 use glsc_sim::MachineConfig;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Words per 64-byte cache line.
@@ -80,12 +80,18 @@ impl Micro {
     /// Standard instance used by the Fig. 7 harness.
     pub fn new(scenario: Scenario, dataset: Dataset) -> Self {
         let params = match dataset {
-            Dataset::A | Dataset::B => {
-                MicroParams { iters: 400, private_lines: 64, shared_lines: 512, seed: 71 }
-            }
-            Dataset::Tiny => {
-                MicroParams { iters: 40, private_lines: 8, shared_lines: 32, seed: 72 }
-            }
+            Dataset::A | Dataset::B => MicroParams {
+                iters: 400,
+                private_lines: 64,
+                shared_lines: 512,
+                seed: 71,
+            },
+            Dataset::Tiny => MicroParams {
+                iters: 40,
+                private_lines: 8,
+                shared_lines: 32,
+                seed: 72,
+            },
         };
         Self { scenario, params }
     }
@@ -131,8 +137,8 @@ impl Micro {
                         let mut lines: Vec<usize> = (0..self.params.private_lines).collect();
                         lines.shuffle(&mut rng);
                         for lane in 0..width {
-                            let line =
-                                t * self.params.private_lines + lines[lane % self.params.private_lines];
+                            let line = t * self.params.private_lines
+                                + lines[lane % self.params.private_lines];
                             let w = rng.random_range(0..WORDS_PER_LINE);
                             seq.push((line * WORDS_PER_LINE + w) as u32);
                         }
@@ -185,8 +191,14 @@ impl Micro {
         }
         let a_idx = image.alloc_u32(&flat);
 
-        let program =
-            build_program(variant, width, self.params.iters, per_thread, a_idx, a_counters);
+        let program = build_program(
+            variant,
+            width,
+            self.params.iters,
+            per_thread,
+            a_idx,
+            a_counters,
+        );
 
         let name = format!(
             "micro{}/{}/w{}",
@@ -224,8 +236,7 @@ fn build_program(
     let r = Reg::new;
     let v = VReg::new;
     let m = MReg::new;
-    let (r_my, r_cnt, r_it, r_addr, r_t1, r_t2, r_t3) =
-        (r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+    let (r_my, r_cnt, r_it, r_addr, r_t1, r_t2, r_t3) = (r(2), r(3), r(4), r(5), r(6), r(7), r(8));
     let (v_idx, v_tmp) = (v(0), v(1));
     let (f_todo, f_tmp) = (m(0), m(1));
 

@@ -19,9 +19,9 @@ use crate::common::{
     approx_eq, emit_const_one, emit_partition, Dataset, MemImage, Variant, Workload,
 };
 use glsc_isa::{LaneSel, MReg, ProgramBuilder, Reg, VReg};
+use glsc_rng::rngs::StdRng;
+use glsc_rng::{Rng, SeedableRng};
 use glsc_sim::MachineConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Input parameters for [`Smc`].
 #[derive(Clone, Debug)]
@@ -63,10 +63,22 @@ impl Smc {
     pub fn new(dataset: Dataset) -> Self {
         let params = match dataset {
             // 32K particles -> larger grid, low contention.
-            Dataset::A => SmcParams { particles: 4096, grid: 24, seed: 21 },
+            Dataset::A => SmcParams {
+                particles: 4096,
+                grid: 24,
+                seed: 21,
+            },
             // 256K particles -> small grid, heavy sharing.
-            Dataset::B => SmcParams { particles: 8192, grid: 10, seed: 22 },
-            Dataset::Tiny => SmcParams { particles: 512, grid: 6, seed: 23 },
+            Dataset::B => SmcParams {
+                particles: 8192,
+                grid: 10,
+                seed: 22,
+            },
+            Dataset::Tiny => SmcParams {
+                particles: 512,
+                grid: 6,
+                seed: 23,
+            },
         };
         Self { params }
     }
@@ -115,27 +127,25 @@ impl Smc {
                 crate::common::interleave_for_width(&mut parts[s..e], width);
             }
         }
-        for k in 0..n {
-            if k < self.params.particles {
-                let p = parts[k];
-                d.ix.push(p.0);
-                d.iy.push(p.1);
-                d.iz.push(p.2);
-                d.fx.push(p.3);
-                d.fy.push(p.4);
-                d.fz.push(p.5);
-            } else {
-                // Padding particles sit at cell (0,0,0) with zero
-                // fractions; the golden reference includes their (small,
-                // deterministic) contribution so program and reference
-                // stay bit-for-bit consistent.
-                d.ix.push(0);
-                d.iy.push(0);
-                d.iz.push(0);
-                d.fx.push(0.0);
-                d.fy.push(0.0);
-                d.fz.push(0.0);
-            }
+        for p in parts.iter().copied() {
+            d.ix.push(p.0);
+            d.iy.push(p.1);
+            d.iz.push(p.2);
+            d.fx.push(p.3);
+            d.fy.push(p.4);
+            d.fz.push(p.5);
+        }
+        // Padding particles sit at cell (0,0,0) with zero fractions; the
+        // golden reference includes their (small, deterministic)
+        // contribution so program and reference stay bit-for-bit
+        // consistent.
+        for _ in parts.len()..n {
+            d.ix.push(0);
+            d.iy.push(0);
+            d.iz.push(0);
+            d.fx.push(0.0);
+            d.fy.push(0.0);
+            d.fz.push(0.0);
         }
         d
     }
@@ -225,8 +235,7 @@ fn build_program(
     let r = Reg::new;
     let v = VReg::new;
     let m = MReg::new;
-    let (r_i, r_end, r_addr, r_t1, r_t2, r_t3, r_den) =
-        (r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+    let (r_i, r_end, r_addr, r_t1, r_t2, r_t3, r_den) = (r(2), r(3), r(4), r(5), r(6), r(7), r(8));
     let (v_ix, v_iy, v_iz, v_fx, v_fy, v_fz) = (v(0), v(1), v(2), v(3), v(4), v(5));
     let (v_idx, v_w, v_t, v_one, v_y) = (v(6), v(7), v(8), v(9), v(10));
     let (f_todo, f_tmp) = (m(0), m(1));

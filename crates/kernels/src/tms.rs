@@ -18,9 +18,9 @@ use crate::common::{
     approx_eq, emit_const_one, emit_partition, Dataset, MemImage, Variant, Workload,
 };
 use glsc_isa::{LaneSel, MReg, ProgramBuilder, Reg, VReg};
+use glsc_rng::rngs::StdRng;
+use glsc_rng::{Rng, SeedableRng};
 use glsc_sim::MachineConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Input parameters for [`Tms`].
 #[derive(Clone, Debug)]
@@ -59,10 +59,25 @@ impl Tms {
     pub fn new(dataset: Dataset) -> Self {
         let params = match dataset {
             // 21616x67841, 0.87% density -> denser, mid-size.
-            Dataset::A => TmsParams { rows: 1024, cols: 3072, nnz: 24 * 1024, seed: 11 },
+            Dataset::A => TmsParams {
+                rows: 1024,
+                cols: 3072,
+                nnz: 24 * 1024,
+                seed: 11,
+            },
             // 209614x41177, 0.01% density -> sparser, more rows.
-            Dataset::B => TmsParams { rows: 4096, cols: 2048, nnz: 16 * 1024, seed: 12 },
-            Dataset::Tiny => TmsParams { rows: 64, cols: 64, nnz: 512, seed: 13 },
+            Dataset::B => TmsParams {
+                rows: 4096,
+                cols: 2048,
+                nnz: 16 * 1024,
+                seed: 12,
+            },
+            Dataset::Tiny => TmsParams {
+                rows: 64,
+                cols: 64,
+                nnz: 512,
+                seed: 13,
+            },
         };
         Self { params }
     }
@@ -83,13 +98,16 @@ impl Tms {
         let mut col: Vec<u32> = (0..self.params.nnz)
             .map(|_| rng.random_range(0..self.params.cols as u32))
             .collect();
-        let mut val: Vec<f32> =
-            (0..self.params.nnz).map(|_| rng.random_range(0.0..1.0)).collect();
+        let mut val: Vec<f32> = (0..self.params.nnz)
+            .map(|_| rng.random_range(0.0..1.0))
+            .collect();
         // Padding entries contribute 0.0 to y[0].
         row.resize(n, 0);
         col.resize(n, 0);
         val.resize(n, 0.0);
-        let x = (0..self.params.rows).map(|_| rng.random_range(0.0..1.0)).collect();
+        let x = (0..self.params.rows)
+            .map(|_| rng.random_range(0.0..1.0))
+            .collect();
         TmsData { row, col, val, x }
     }
 
@@ -407,7 +425,10 @@ mod tests {
             og.report.total_instructions(),
             ob.report.total_instructions()
         );
-        assert!(og.report.cycles < ob.report.cycles, "GLSC must be faster at w4");
+        assert!(
+            og.report.cycles < ob.report.cycles,
+            "GLSC must be faster at w4"
+        );
     }
 
     #[test]

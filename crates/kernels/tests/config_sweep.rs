@@ -18,7 +18,10 @@ fn width_eight_validates_everywhere() {
 #[test]
 fn fail_on_miss_policy_preserves_correctness() {
     let mut cfg = MachineConfig::paper(2, 2, 4);
-    cfg.glsc = GlscConfig { fail_on_l1_miss: true, ..GlscConfig::default() };
+    cfg.glsc = GlscConfig {
+        fail_on_l1_miss: true,
+        ..GlscConfig::default()
+    };
     for kernel in KERNEL_NAMES {
         let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
         let out = run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
@@ -29,7 +32,10 @@ fn fail_on_miss_policy_preserves_correctness() {
 #[test]
 fn fail_on_remote_link_policy_preserves_correctness() {
     let mut cfg = MachineConfig::paper(1, 4, 4);
-    cfg.glsc = GlscConfig { fail_on_remote_link: true, ..GlscConfig::default() };
+    cfg.glsc = GlscConfig {
+        fail_on_remote_link: true,
+        ..GlscConfig::default()
+    };
     for kernel in ["HIP", "TMS", "SMC"] {
         let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
         run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));

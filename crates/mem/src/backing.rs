@@ -42,7 +42,9 @@ impl Backing {
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
         let (page, off) = Self::split(addr);
-        self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_BYTES]))[off] = value;
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_BYTES]))[off] = value;
     }
 
     /// Reads a 32-bit word.
@@ -68,7 +70,10 @@ impl Backing {
     pub fn write_u32(&mut self, addr: u64, value: u32) {
         assert_eq!(addr % 4, 0, "unaligned 32-bit write at {addr:#x}");
         let (page, off) = Self::split(addr);
-        let p = self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_BYTES]));
+        let p = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_BYTES]));
         p[off..off + 4].copy_from_slice(&value.to_le_bytes());
     }
 

@@ -105,8 +105,14 @@ impl MemConfig {
     /// Panics with a descriptive message when the configuration is
     /// inconsistent.
     pub fn validate(&self) {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(self.l1_assoc > 0 && self.l2_assoc > 0, "associativity must be non-zero");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            self.l1_assoc > 0 && self.l2_assoc > 0,
+            "associativity must be non-zero"
+        );
         assert!(self.l2_banks > 0, "need at least one L2 bank");
         assert_eq!(
             self.l1_bytes % (self.line_bytes * self.l1_assoc as u64),
@@ -114,7 +120,10 @@ impl MemConfig {
             "L1 capacity must divide into sets"
         );
         assert!(self.l1_sets() > 0, "L1 must have at least one set");
-        assert!(self.l2_sets_per_bank() > 0, "L2 banks must have at least one set");
+        assert!(
+            self.l2_sets_per_bank() > 0,
+            "L2 banks must have at least one set"
+        );
     }
 }
 

@@ -189,7 +189,11 @@ impl L1Cache {
                     p.reservation |= 1 << tid;
                 }
             }
-            ReservationStore::Buffer { entries, cap, evictions } => {
+            ReservationStore::Buffer {
+                entries,
+                cap,
+                evictions,
+            } => {
                 if let Some((_, m)) = entries.iter_mut().find(|(l, _)| *l == line) {
                     *m |= 1 << tid;
                     return;
@@ -206,9 +210,9 @@ impl L1Cache {
     /// Whether `tid` currently holds a reservation on `line`.
     pub fn holds_reservation(&self, line: u64, tid: u8) -> bool {
         match &self.reservations {
-            ReservationStore::PerLine => {
-                self.peek(line).is_some_and(|p| p.reservation & (1 << tid) != 0)
-            }
+            ReservationStore::PerLine => self
+                .peek(line)
+                .is_some_and(|p| p.reservation & (1 << tid) != 0),
             ReservationStore::Buffer { entries, .. } => entries
                 .iter()
                 .any(|(l, m)| *l == line && m & (1 << tid) != 0),
@@ -253,7 +257,11 @@ mod tests {
     }
 
     fn pay(state: L1State) -> LinePayload {
-        LinePayload { state, ready_at: 0, reservation: 0 }
+        LinePayload {
+            state,
+            ready_at: 0,
+            reservation: 0,
+        }
     }
 
     #[test]

@@ -24,7 +24,12 @@ pub struct L2Payload {
 impl L2Payload {
     /// A freshly filled line with no private copies.
     pub fn clean(ready_at: u64) -> Self {
-        Self { sharers: 0, owner: None, dirty: false, ready_at }
+        Self {
+            sharers: 0,
+            owner: None,
+            dirty: false,
+            ready_at,
+        }
     }
 
     /// Whether any L1 holds this line (sharer or owner).
@@ -51,7 +56,10 @@ pub struct L2Bank {
 impl L2Bank {
     /// Creates a bank with the given geometry.
     pub fn new(sets: usize, assoc: usize, line_bytes: u64) -> Self {
-        Self { tags: TagArray::new(sets, assoc, line_bytes), next_free: 0 }
+        Self {
+            tags: TagArray::new(sets, assoc, line_bytes),
+            next_free: 0,
+        }
     }
 
     /// Reserves the bank for one request arriving at `arrival`; returns the

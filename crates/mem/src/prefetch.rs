@@ -26,7 +26,11 @@ impl StridePrefetcher {
     /// Creates a prefetcher for `threads` SMT streams issuing `degree`
     /// lines ahead.
     pub fn new(threads: usize, degree: usize, line_bytes: u64) -> Self {
-        Self { streams: vec![Stream::default(); threads], degree, line_bytes }
+        Self {
+            streams: vec![Stream::default(); threads],
+            degree,
+            line_bytes,
+        }
     }
 
     /// Observes a demand access from `tid` to line address `line`; returns

@@ -68,12 +68,9 @@ impl MemorySystem {
         let l1s = (0..num_cores)
             .map(|_| match cfg.glsc_buffer_entries {
                 None => L1Cache::new(cfg.l1_sets(), cfg.l1_assoc, cfg.line_bytes),
-                Some(k) => L1Cache::with_reservation_buffer(
-                    cfg.l1_sets(),
-                    cfg.l1_assoc,
-                    cfg.line_bytes,
-                    k,
-                ),
+                Some(k) => {
+                    L1Cache::with_reservation_buffer(cfg.l1_sets(), cfg.l1_assoc, cfg.line_bytes, k)
+                }
             })
             .collect();
         let banks = (0..cfg.l2_banks)
@@ -82,7 +79,14 @@ impl MemorySystem {
         let prefetchers = (0..num_cores)
             .map(|_| StridePrefetcher::new(threads_per_core, cfg.prefetch_degree, cfg.line_bytes))
             .collect();
-        Self { cfg, backing: Backing::new(), l1s, banks, prefetchers, stats: MemStats::default() }
+        Self {
+            cfg,
+            backing: Backing::new(),
+            l1s,
+            banks,
+            prefetchers,
+            stats: MemStats::default(),
+        }
     }
 
     /// The configuration in effect.
@@ -175,14 +179,22 @@ impl MemorySystem {
                     if op == MemOp::LoadLinked {
                         self.l1s[core].set_reservation(line, tid);
                     }
-                    AccessResult { done, l1_hit: true, sc_ok: true }
+                    AccessResult {
+                        done,
+                        l1_hit: true,
+                        sc_ok: true,
+                    }
                 } else {
                     self.stats.l1_misses += 1;
                     let done = self.fill(core, line, now, false, true);
                     if op == MemOp::LoadLinked {
                         self.l1s[core].set_reservation(line, tid);
                     }
-                    AccessResult { done, l1_hit: false, sc_ok: true }
+                    AccessResult {
+                        done,
+                        l1_hit: false,
+                        sc_ok: true,
+                    }
                 }
             }
             MemOp::Store => {
@@ -204,23 +216,35 @@ impl MemorySystem {
                             .state = L1State::Modified;
                         lat.max(ready)
                     };
-                    AccessResult { done, l1_hit: true, sc_ok: true }
+                    AccessResult {
+                        done,
+                        l1_hit: true,
+                        sc_ok: true,
+                    }
                 } else {
                     self.stats.l1_misses += 1;
                     let done = self.fill(core, line, now, true, true);
-                    AccessResult { done, l1_hit: false, sc_ok: true }
+                    AccessResult {
+                        done,
+                        l1_hit: false,
+                        sc_ok: true,
+                    }
                 }
             }
             MemOp::StoreCond => {
                 // The reservation lives in the L1 entry, so a non-resident
                 // line cannot hold one: fail fast (conservative ll/sc
                 // semantics, §3).
-                let holds =
-                    self.l1s[core].peek(line).is_some() && self.l1s[core].holds_reservation(line, tid);
+                let holds = self.l1s[core].peek(line).is_some()
+                    && self.l1s[core].holds_reservation(line, tid);
                 if !holds {
                     self.stats.l1_hits += 1;
                     self.stats.sc_failures += 1;
-                    return AccessResult { done: now + hit_latency, l1_hit: true, sc_ok: false };
+                    return AccessResult {
+                        done: now + hit_latency,
+                        l1_hit: true,
+                        sc_ok: false,
+                    };
                 }
                 // The conditional store commits: every link on the line dies
                 // (including other threads' — it is an intervening write
@@ -241,7 +265,11 @@ impl MemorySystem {
                         .state = L1State::Modified;
                     lat.max(ready)
                 };
-                AccessResult { done, l1_hit: true, sc_ok: true }
+                AccessResult {
+                    done,
+                    l1_hit: true,
+                    sc_ok: true,
+                }
             }
         }
     }
@@ -361,7 +389,11 @@ impl MemorySystem {
         // Install in the requesting L1, handling the victim's directory
         // bookkeeping.
         let payload = LinePayload {
-            state: if for_store { L1State::Modified } else { L1State::Shared },
+            state: if for_store {
+                L1State::Modified
+            } else {
+                L1State::Shared
+            },
             ready_at: done,
             reservation: 0,
         };
@@ -402,7 +434,10 @@ impl MemorySystem {
     /// Total reservations dropped by full GLSC buffers across all L1s
     /// (always zero in the default per-line-tags mode).
     pub fn reservation_buffer_evictions(&self) -> u64 {
-        self.l1s.iter().map(L1Cache::reservation_buffer_evictions).sum()
+        self.l1s
+            .iter()
+            .map(L1Cache::reservation_buffer_evictions)
+            .sum()
     }
 
     /// Verifies the coherence invariants; used by tests.
@@ -415,11 +450,9 @@ impl MemorySystem {
         for (c, l1) in self.l1s.iter().enumerate() {
             for (line, p) in l1.iter() {
                 let bank = self.cfg.bank_of(line);
-                let dir = self
-                    .banks[bank]
-                    .tags
-                    .peek(line)
-                    .unwrap_or_else(|| panic!("inclusion violated: L1 {c} holds {line:#x} not in L2"));
+                let dir = self.banks[bank].tags.peek(line).unwrap_or_else(|| {
+                    panic!("inclusion violated: L1 {c} holds {line:#x} not in L2")
+                });
                 match p.state {
                     L1State::Modified => assert_eq!(
                         dir.owner,

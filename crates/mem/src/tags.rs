@@ -29,7 +29,10 @@ impl<P> TagArray<P> {
     /// Panics if any argument is zero or `line_bytes` is not a power of two.
     pub fn new(sets: usize, assoc: usize, line_bytes: u64) -> Self {
         assert!(sets > 0 && assoc > 0, "cache geometry must be non-zero");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Self {
             sets: (0..sets).map(|_| Vec::with_capacity(assoc)).collect(),
             assoc,
@@ -83,7 +86,10 @@ impl<P> TagArray<P> {
     /// side effects that should not perturb replacement).
     pub fn peek_mut(&mut self, line: u64) -> Option<&mut P> {
         let idx = self.set_index(line);
-        self.sets[idx].iter_mut().find(|s| s.line == line).map(|s| &mut s.payload)
+        self.sets[idx]
+            .iter_mut()
+            .find(|s| s.line == line)
+            .map(|s| &mut s.payload)
     }
 
     /// Inserts a line (which must not already be present), evicting the LRU
@@ -110,7 +116,11 @@ impl<P> TagArray<P> {
         } else {
             None
         };
-        set.push(Slot { line, lru: stamp, payload });
+        set.push(Slot {
+            line,
+            lru: stamp,
+            payload,
+        });
         evicted
     }
 

@@ -4,8 +4,10 @@
 use glsc_mem::{L1State, MemConfig, MemOp, MemorySystem};
 
 fn sys(cores: usize) -> MemorySystem {
-    let mut cfg = MemConfig::default();
-    cfg.prefetch = false;
+    let cfg = MemConfig {
+        prefetch: false,
+        ..MemConfig::default()
+    };
     MemorySystem::new(cfg, cores, 4)
 }
 
@@ -86,7 +88,10 @@ fn sc_fails_after_remote_store() {
     let t0 = m.access(0, 0, MemOp::LoadLinked, 0x40, 0).done;
     let t1 = m.access(1, 0, MemOp::Store, 0x40, t0).done;
     let r = m.access(0, 0, MemOp::StoreCond, 0x40, t1);
-    assert!(!r.sc_ok, "intervening remote store must kill the reservation");
+    assert!(
+        !r.sc_ok,
+        "intervening remote store must kill the reservation"
+    );
     m.check_invariants();
 }
 
@@ -127,7 +132,10 @@ fn sc_on_shared_line_upgrades_and_succeeds() {
     assert!(m.holds_reservation(0, 0, 0x40));
     let r = m.access(0, 0, MemOp::StoreCond, 0x40, t1);
     assert!(r.sc_ok, "reads do not clear reservations");
-    assert!(m.l1(1).peek(0x40).is_none(), "upgrade invalidated the reader");
+    assert!(
+        m.l1(1).peek(0x40).is_none(),
+        "upgrade invalidated the reader"
+    );
     assert_eq!(m.l1(0).peek(0x40).unwrap().state, L1State::Modified);
     m.check_invariants();
 }
@@ -137,7 +145,11 @@ fn dirty_forward_costs_extra_and_downgrades() {
     let mut m = sys(2);
     let t0 = m.access(0, 0, MemOp::Store, 0x1000, 0).done;
     let r = m.access(1, 0, MemOp::Load, 0x1000, t0);
-    assert_eq!(r.done, t0 + 3 + 12 + 12, "cache-to-cache adds forward extra");
+    assert_eq!(
+        r.done,
+        t0 + 3 + 12 + 12,
+        "cache-to-cache adds forward extra"
+    );
     assert_eq!(m.l1(0).peek(0x1000).unwrap().state, L1State::Shared);
     assert_eq!(m.stats().dirty_forwards, 1);
     m.check_invariants();
@@ -165,7 +177,10 @@ fn eviction_drops_reservation_via_capacity() {
     let t2 = m.access(0, 0, MemOp::Load, 2 * set_stride, t1).done; // evicts line 0
     assert!(!m.holds_reservation(0, 0, 0));
     let r = m.access(0, 0, MemOp::StoreCond, 0, t2);
-    assert!(!r.sc_ok, "eviction must conservatively kill the reservation");
+    assert!(
+        !r.sc_ok,
+        "eviction must conservatively kill the reservation"
+    );
     m.check_invariants();
 }
 
@@ -189,9 +204,11 @@ fn different_banks_do_not_contend() {
 
 #[test]
 fn prefetcher_fills_ahead() {
-    let mut cfg = MemConfig::default();
-    cfg.prefetch = true;
-    cfg.prefetch_degree = 2;
+    let cfg = MemConfig {
+        prefetch: true,
+        prefetch_degree: 2,
+        ..MemConfig::default()
+    };
     let mut m = MemorySystem::new(cfg, 1, 4);
     let mut now = 0;
     for i in 0..4u64 {
@@ -233,8 +250,8 @@ fn stats_reset() {
 fn monotone_completion_under_interleaving() {
     // A mixed scalar workload must always produce done >= now + hit.
     let mut m = sys(4);
-    let mut now = 0u64;
     for i in 0..200u64 {
+        let now = i;
         let core = (i % 4) as usize;
         let tid = ((i / 4) % 4) as u8;
         let addr = (i * 977) % 4096 * 4;
@@ -246,7 +263,6 @@ fn monotone_completion_under_interleaving() {
         };
         let r = m.access(core, tid, op, addr, now);
         assert!(r.done >= now + 3, "completion before minimum latency");
-        now += 1;
     }
     m.check_invariants();
 }

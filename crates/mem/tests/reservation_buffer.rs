@@ -4,9 +4,11 @@
 use glsc_mem::{MemConfig, MemOp, MemorySystem};
 
 fn sys(buffer: usize) -> MemorySystem {
-    let mut cfg = MemConfig::default();
-    cfg.prefetch = false;
-    cfg.glsc_buffer_entries = Some(buffer);
+    let cfg = MemConfig {
+        prefetch: false,
+        glsc_buffer_entries: Some(buffer),
+        ..MemConfig::default()
+    };
     MemorySystem::new(cfg, 2, 4)
 }
 
@@ -82,7 +84,10 @@ fn capacity_eviction_of_line_drops_buffered_link() {
     let t0 = m.access(0, 0, MemOp::LoadLinked, 0, 0).done;
     let t1 = m.access(0, 0, MemOp::Load, stride, t0).done;
     let t2 = m.access(0, 0, MemOp::Load, 2 * stride, t1).done; // evicts line 0
-    assert!(!m.holds_reservation(0, 0, 0), "line eviction kills the link");
+    assert!(
+        !m.holds_reservation(0, 0, 0),
+        "line eviction kills the link"
+    );
     let r = m.access(0, 0, MemOp::StoreCond, 0, t2);
     assert!(!r.sc_ok);
 }

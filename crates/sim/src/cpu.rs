@@ -54,6 +54,19 @@ pub struct Core {
     records: Vec<IssueRecord>,
     rr: usize,
     scratch_regs: Vec<Reg>,
+    /// Halted threads on this core, maintained incrementally at every
+    /// status transition so the machine's end-of-run and barrier checks
+    /// are O(1) per core instead of a thread rescan per cycle.
+    pub(crate) halted: usize,
+    /// Threads waiting at the global barrier, maintained incrementally.
+    pub(crate) at_barrier: usize,
+    /// Whether any thread issued during the most recent
+    /// [`issue_stage`](Core::issue_stage). The machine's fast-forward
+    /// uses this as a free "is the core making progress?" signal: while
+    /// instructions are issuing every cycle there is no dead window to
+    /// skip, so the (thread-scanning) fast-forward probe is not worth
+    /// running.
+    pub(crate) issued_any: bool,
 }
 
 impl Core {
@@ -67,21 +80,41 @@ impl Core {
             records: vec![IssueRecord::NotRunning; n],
             rr: 0,
             scratch_regs: Vec::with_capacity(4),
+            halted: 0,
+            at_barrier: 0,
+            issued_any: false,
         }
     }
 
-    /// Applies memory completions to thread state.
-    pub fn apply_completions(&mut self, comps: Vec<MemCompletion>) {
-        for comp in comps {
+    /// Resets the incremental status counters after the machine rebuilds
+    /// every thread (program load).
+    pub(crate) fn reset_status_counts(&mut self) {
+        self.halted = 0;
+        self.at_barrier = 0;
+    }
+
+    /// Applies memory completions to thread state, draining `comps` so the
+    /// caller can reuse the buffer next cycle.
+    pub fn apply_completions(&mut self, comps: &mut Vec<MemCompletion>) {
+        for comp in comps.drain(..) {
             match comp {
-                MemCompletion::Lsu(LsuCompletion::ScalarLoad { tid, rd, value, done }) => {
+                MemCompletion::Lsu(LsuCompletion::ScalarLoad {
+                    tid,
+                    rd,
+                    value,
+                    done,
+                }) => {
                     self.threads[tid as usize].deliver_mem(rd, value as u64, done);
                 }
                 MemCompletion::Lsu(LsuCompletion::ScalarSc { tid, rd, ok, done }) => {
                     self.threads[tid as usize].deliver_mem(rd, ok as u64, done);
                 }
                 MemCompletion::Lsu(LsuCompletion::StoreDrained { .. }) => {}
-                MemCompletion::Lsu(LsuCompletion::VectorPart { tid, lane_values, done }) => {
+                MemCompletion::Lsu(LsuCompletion::VectorPart {
+                    tid,
+                    lane_values,
+                    done,
+                }) => {
                     let th = &mut self.threads[tid as usize];
                     let ThreadStatus::BlockedVector {
                         pending_parts,
@@ -102,7 +135,8 @@ impl Core {
                         let lanes = std::mem::take(lanes);
                         if let Some(vd) = vd {
                             for (lane, value) in lanes {
-                                th.arch.set_vlane(glsc_isa::VReg::new(vd), lane as usize, value);
+                                th.arch
+                                    .set_vlane(glsc_isa::VReg::new(vd), lane as usize, value);
                             }
                         }
                         th.status = ThreadStatus::Running;
@@ -114,7 +148,8 @@ impl Core {
                     debug_assert!(matches!(th.status, ThreadStatus::BlockedGsu { .. }));
                     if let Some(vd) = c.vd {
                         for (lane, value) in &c.lane_values {
-                            th.arch.set_vlane(glsc_isa::VReg::new(vd), *lane as usize, *value);
+                            th.arch
+                                .set_vlane(glsc_isa::VReg::new(vd), *lane as usize, *value);
                         }
                     }
                     if let Some(fd) = c.fd {
@@ -168,6 +203,7 @@ impl Core {
     pub fn issue_stage(&mut self, program: &Program, cfg: &MachineConfig, now: u64) {
         let n = self.threads.len();
         let mut slots = cfg.issue_width;
+        self.issued_any = false;
         for r in &mut self.records {
             *r = IssueRecord::NotRunning;
         }
@@ -191,6 +227,7 @@ impl Core {
                 }
                 None => {
                     slots -= 1;
+                    self.issued_any = true;
                     self.issue_one(t, program, cfg, now, sync_at_pc);
                     self.records[t] = IssueRecord::Issued(sync_at_pc);
                 }
@@ -199,12 +236,20 @@ impl Core {
     }
 
     /// Executes one instruction for thread `t` (all checks already passed).
-    fn issue_one(&mut self, t: usize, program: &Program, cfg: &MachineConfig, now: u64, sync: bool) {
+    fn issue_one(
+        &mut self,
+        t: usize,
+        program: &Program,
+        cfg: &MachineConfig,
+        now: u64,
+        sync: bool,
+    ) {
         let tid = t as u8;
         let width = cfg.simd_width;
         let pc = self.threads[t].arch.pc;
         let Some(instr) = program.fetch(pc) else {
             self.threads[t].status = ThreadStatus::Halted;
+            self.halted += 1;
             return;
         };
         let instr = *instr;
@@ -219,11 +264,16 @@ impl Core {
             Instr::Load { rd, base, offset } | Instr::LoadLinked { rd, base, offset } => {
                 let addr = self.threads[t].arch.reg(base).wrapping_add(offset as u64);
                 let action = if matches!(instr, Instr::Load { .. }) {
-                    LsuAction::LoadTo { rd: rd.index() as u8 }
+                    LsuAction::LoadTo {
+                        rd: rd.index() as u8,
+                    }
                 } else {
-                    LsuAction::LlTo { rd: rd.index() as u8 }
+                    LsuAction::LlTo {
+                        rd: rd.index() as u8,
+                    }
                 };
-                self.memunit.lsu_push(glsc_core::LsuEntry { tid, addr, action });
+                self.memunit
+                    .lsu_push(glsc_core::LsuEntry { tid, addr, action });
                 let th = &mut self.threads[t];
                 th.mark_pending_mem(rd);
                 th.arch.pc += 1;
@@ -242,21 +292,40 @@ impl Core {
                 th.arch.pc += 1;
                 th.next_issue_at = now + 1;
             }
-            Instr::StoreCond { rd, rs, base, offset } => {
+            Instr::StoreCond {
+                rd,
+                rs,
+                base,
+                offset,
+            } => {
                 let th = &self.threads[t];
                 let addr = th.arch.reg(base).wrapping_add(offset as u64);
                 let value = th.arch.reg(rs) as u32;
                 self.memunit.lsu_push(glsc_core::LsuEntry {
                     tid,
                     addr,
-                    action: LsuAction::ScVal { rd: rd.index() as u8, value },
+                    action: LsuAction::ScVal {
+                        rd: rd.index() as u8,
+                        value,
+                    },
                 });
                 let th = &mut self.threads[t];
                 th.mark_pending_mem(rd);
                 th.arch.pc += 1;
                 th.next_issue_at = now + 1;
             }
-            Instr::VLoad { vd, base, offset, mask } | Instr::VStore { vs: vd, base, offset, mask } => {
+            Instr::VLoad {
+                vd,
+                base,
+                offset,
+                mask,
+            }
+            | Instr::VStore {
+                vs: vd,
+                base,
+                offset,
+                mask,
+            } => {
                 let is_load = matches!(instr, Instr::VLoad { .. });
                 let th = &self.threads[t];
                 let m = mask.map_or(th.arch.full_mask(), |f| th.arch.mreg(f));
@@ -305,40 +374,105 @@ impl Core {
                     let action = if is_load {
                         LsuAction::VLoadLanes { lanes }
                     } else {
-                        LsuAction::VStoreLanes { lanes: values[i].clone() }
+                        LsuAction::VStoreLanes {
+                            lanes: values[i].clone(),
+                        }
                     };
-                    self.memunit.lsu_push(glsc_core::LsuEntry { tid, addr: line, action });
+                    self.memunit.lsu_push(glsc_core::LsuEntry {
+                        tid,
+                        addr: line,
+                        action,
+                    });
                 }
             }
-            Instr::VGather { vd, base, vidx, mask } => {
-                let elems = self.gsu_elems(t, base, vidx, mask.map(|f| self.threads[t].arch.mreg(f)), None, width);
-                self.start_gsu(t, GsuKind::Gather { vd: vd.index() as u8 }, elems, width, sync);
-            }
-            Instr::VScatter { vs, base, vidx, mask } => {
-                let elems = self.gsu_elems(t, base, vidx, mask.map(|f| self.threads[t].arch.mreg(f)), Some(vs), width);
-                self.start_gsu(t, GsuKind::Scatter, elems, width, sync);
-            }
-            Instr::VGatherLink { fd, vd, base, vidx, fsrc } => {
-                let m = self.threads[t].arch.mreg(fsrc);
-                let elems = self.gsu_elems(t, base, vidx, Some(m), None, width);
+            Instr::VGather {
+                vd,
+                base,
+                vidx,
+                mask,
+            } => {
+                let elems = self.gsu_elems(
+                    t,
+                    base,
+                    vidx,
+                    mask.map(|f| self.threads[t].arch.mreg(f)),
+                    None,
+                    width,
+                );
                 self.start_gsu(
                     t,
-                    GsuKind::GatherLink { fd: fd.index() as u8, vd: vd.index() as u8 },
+                    GsuKind::Gather {
+                        vd: vd.index() as u8,
+                    },
                     elems,
                     width,
                     sync,
                 );
             }
-            Instr::VScatterCond { fd, vs, base, vidx, fsrc } => {
+            Instr::VScatter {
+                vs,
+                base,
+                vidx,
+                mask,
+            } => {
+                let elems = self.gsu_elems(
+                    t,
+                    base,
+                    vidx,
+                    mask.map(|f| self.threads[t].arch.mreg(f)),
+                    Some(vs),
+                    width,
+                );
+                self.start_gsu(t, GsuKind::Scatter, elems, width, sync);
+            }
+            Instr::VGatherLink {
+                fd,
+                vd,
+                base,
+                vidx,
+                fsrc,
+            } => {
+                let m = self.threads[t].arch.mreg(fsrc);
+                let elems = self.gsu_elems(t, base, vidx, Some(m), None, width);
+                self.start_gsu(
+                    t,
+                    GsuKind::GatherLink {
+                        fd: fd.index() as u8,
+                        vd: vd.index() as u8,
+                    },
+                    elems,
+                    width,
+                    sync,
+                );
+            }
+            Instr::VScatterCond {
+                fd,
+                vs,
+                base,
+                vidx,
+                fsrc,
+            } => {
                 let m = self.threads[t].arch.mreg(fsrc);
                 let elems = self.gsu_elems(t, base, vidx, Some(m), Some(vs), width);
-                self.start_gsu(t, GsuKind::ScatterCond { fd: fd.index() as u8 }, elems, width, sync);
+                self.start_gsu(
+                    t,
+                    GsuKind::ScatterCond {
+                        fd: fd.index() as u8,
+                    },
+                    elems,
+                    width,
+                    sync,
+                );
             }
             _ => {
                 let th = &mut self.threads[t];
                 let outcome = exec::step_compute(&mut th.arch, &instr, program, &cfg.lat);
                 match outcome {
-                    StepOutcome::Compute { dst, latency, serialize } => {
+                    StepOutcome::Compute {
+                        dst,
+                        latency,
+                        serialize,
+                    } => {
                         if let Some(rd) = dst {
                             th.mark_alu(rd, now + latency);
                         }
@@ -352,9 +486,11 @@ impl Core {
                     }
                     StepOutcome::Halt => {
                         th.status = ThreadStatus::Halted;
+                        self.halted += 1;
                     }
                     StepOutcome::Barrier => {
                         th.status = ThreadStatus::AtBarrier;
+                        self.at_barrier += 1;
                     }
                     StepOutcome::Memory => unreachable!("memory ops handled above"),
                 }
@@ -388,8 +524,18 @@ impl Core {
             .collect()
     }
 
-    fn start_gsu(&mut self, t: usize, kind: GsuKind, elems: Vec<(u8, u64, u32)>, width: usize, sync: bool) {
-        debug_assert!(!self.memunit.gsu_busy(t as u8), "thread issued while GSU busy");
+    fn start_gsu(
+        &mut self,
+        t: usize,
+        kind: GsuKind,
+        elems: Vec<(u8, u64, u32)>,
+        width: usize,
+        sync: bool,
+    ) {
+        debug_assert!(
+            !self.memunit.gsu_busy(t as u8),
+            "thread issued while GSU busy"
+        );
         self.memunit.gsu_start(t as u8, kind, elems, width);
         let th = &mut self.threads[t];
         th.arch.pc += 1;
@@ -446,6 +592,125 @@ impl Core {
 
     /// Whether every thread on this core has halted.
     pub fn all_halted(&self) -> bool {
-        self.threads.iter().all(Thread::is_halted)
+        debug_assert_eq!(
+            self.halted,
+            self.threads.iter().filter(|t| t.is_halted()).count()
+        );
+        self.halted == self.threads.len()
+    }
+
+    /// Releases every thread waiting at the barrier (the machine decided
+    /// the barrier is complete); they may issue again from `now + 1`.
+    pub(crate) fn release_barrier_threads(&mut self, now: u64) {
+        for th in &mut self.threads {
+            if th.status == ThreadStatus::AtBarrier {
+                th.status = ThreadStatus::Running;
+                th.next_issue_at = now + 1;
+            }
+        }
+        self.at_barrier = 0;
+    }
+
+    /// The earliest cycle at which Running thread `t` could pass
+    /// [`check_stall`](Self::check_stall), assuming no new memory
+    /// completions arrive (valid only while this core's memory unit is
+    /// idle, so every scoreboard entry is finite).
+    pub(crate) fn earliest_issue(&mut self, t: usize, program: &Program) -> u64 {
+        let th = &self.threads[t];
+        let mut earliest = th.next_issue_at;
+        let Some(instr) = program.fetch(th.arch.pc) else {
+            return earliest; // falls off the end: halts at next_issue_at
+        };
+        exec::src_regs(instr, &mut self.scratch_regs);
+        if let Some(rd) = exec::dst_reg(instr) {
+            self.scratch_regs.push(rd);
+        }
+        let th = &self.threads[t];
+        for r in &self.scratch_regs {
+            let ready = th.reg_ready[r.index()];
+            debug_assert_ne!(
+                ready,
+                crate::thread::PENDING,
+                "pending memory operand with an idle memory unit"
+            );
+            earliest = earliest.max(ready);
+        }
+        earliest
+    }
+
+    /// Bulk stall attribution for the fast-forwarded window `[from, to)`,
+    /// cycle-for-cycle identical to running `issue_stage` +
+    /// `classify_cycle` for each skipped cycle. Callable only when no
+    /// thread can issue anywhere in the window (`to` is at most the
+    /// machine-wide minimum [`earliest_issue`](Self::earliest_issue)) and
+    /// the memory unit is idle, so thread state is frozen and each
+    /// thread's per-cycle classification is piecewise constant with
+    /// breakpoints at `next_issue_at` and the scoreboard ready times.
+    pub(crate) fn attribute_window(&mut self, program: &Program, from: u64, to: u64) {
+        let w = to - from;
+        let n = self.threads.len();
+        // issue_stage rotates the round-robin start every cycle regardless
+        // of issue outcomes.
+        self.rr = (self.rr + (w % n as u64) as usize) % n;
+        for t in 0..n {
+            match self.threads[t].status {
+                ThreadStatus::Halted => {}
+                ThreadStatus::AtBarrier => {
+                    let th = &mut self.threads[t];
+                    th.stats.active_cycles += w;
+                    th.stats.barrier_cycles += w;
+                    th.stats.sync_cycles += w;
+                }
+                ThreadStatus::BlockedGsu { .. } | ThreadStatus::BlockedVector { .. } => {
+                    unreachable!("blocked thread with an idle memory unit")
+                }
+                ThreadStatus::Running => {
+                    let pc = self.threads[t].arch.pc;
+                    let (sync, has_instr) = match program.fetch(pc) {
+                        Some(instr) => {
+                            exec::src_regs(instr, &mut self.scratch_regs);
+                            if let Some(rd) = exec::dst_reg(instr) {
+                                self.scratch_regs.push(rd);
+                            }
+                            (program.is_sync(pc), true)
+                        }
+                        None => (false, false),
+                    };
+                    let th = &mut self.threads[t];
+                    th.stats.active_cycles += w;
+                    let mut c = from;
+                    while c < to {
+                        // Same priority order as check_stall: the issue
+                        // redirect first, then the first unready register
+                        // (source operands before the destination).
+                        let (is_mem, seg_end) = if c < th.next_issue_at {
+                            (false, th.next_issue_at.min(to))
+                        } else {
+                            debug_assert!(
+                                has_instr,
+                                "pc off the end issues (halts) at next_issue_at"
+                            );
+                            let first_unready = self
+                                .scratch_regs
+                                .iter()
+                                .find(|r| th.reg_ready[r.index()] > c)
+                                .expect("thread ready before the window's end");
+                            let i = first_unready.index();
+                            (th.reg_from_mem[i], th.reg_ready[i].min(to))
+                        };
+                        let seg = seg_end - c;
+                        if is_mem {
+                            th.stats.mem_stall_cycles += seg;
+                        } else {
+                            th.stats.compute_stall_cycles += seg;
+                        }
+                        if sync {
+                            th.stats.sync_cycles += seg;
+                        }
+                        c = seg_end;
+                    }
+                }
+            }
+        }
     }
 }

@@ -42,20 +42,8 @@ pub fn scalar_alu(op: AluOp, a: u64, b: u64) -> u64 {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
         AluOp::Mul => a.wrapping_mul(b),
-        AluOp::Div => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
-        AluOp::Rem => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
+        AluOp::Div => a.checked_div(b).unwrap_or(u64::MAX),
+        AluOp::Rem => a.checked_rem(b).unwrap_or(a),
         AluOp::And => a & b,
         AluOp::Or => a | b,
         AluOp::Xor => a ^ b,
@@ -72,20 +60,8 @@ pub fn lane_alu(op: AluOp, a: u32, b: u32) -> u32 {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
         AluOp::Mul => a.wrapping_mul(b),
-        AluOp::Div => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
-        AluOp::Rem => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
+        AluOp::Div => a.checked_div(b).unwrap_or(u32::MAX),
+        AluOp::Rem => a.checked_rem(b).unwrap_or(a),
         AluOp::And => a & b,
         AluOp::Or => a | b,
         AluOp::Xor => a ^ b,
@@ -171,47 +147,80 @@ pub fn step_compute(
         Li { rd, imm } => {
             arch.set_reg(rd, imm as u64);
             arch.pc += 1;
-            StepOutcome::Compute { dst: Some(rd), latency: lat.int_alu, serialize: false }
+            StepOutcome::Compute {
+                dst: Some(rd),
+                latency: lat.int_alu,
+                serialize: false,
+            }
         }
         Alu { op, rd, rs, src2 } => {
             let v = scalar_alu(op, arch.reg(rs), operand(arch, src2));
             arch.set_reg(rd, v);
             arch.pc += 1;
-            StepOutcome::Compute { dst: Some(rd), latency: lat.for_alu(op), serialize: false }
+            StepOutcome::Compute {
+                dst: Some(rd),
+                latency: lat.for_alu(op),
+                serialize: false,
+            }
         }
         Fp { op, rd, rs, rt } => {
             let a = f32::from_bits(arch.reg(rs) as u32);
             let b = f32::from_bits(arch.reg(rt) as u32);
             arch.set_reg(rd, lane_fp(op, a, b).to_bits() as u64);
             arch.pc += 1;
-            StepOutcome::Compute { dst: Some(rd), latency: lat.for_fp(op), serialize: false }
+            StepOutcome::Compute {
+                dst: Some(rd),
+                latency: lat.for_fp(op),
+                serialize: false,
+            }
         }
         Cmp { op, rd, rs, src2 } => {
             let v = cmp_eval(op, arch.reg(rs) as i64, operand(arch, src2) as i64);
             arch.set_reg(rd, v as u64);
             arch.pc += 1;
-            StepOutcome::Compute { dst: Some(rd), latency: lat.int_alu, serialize: false }
+            StepOutcome::Compute {
+                dst: Some(rd),
+                latency: lat.int_alu,
+                serialize: false,
+            }
         }
         FCmp { op, rd, rs, rt } => {
             let a = f32::from_bits(arch.reg(rs) as u32);
             let b = f32::from_bits(arch.reg(rt) as u32);
             arch.set_reg(rd, fcmp_eval(op, a, b) as u64);
             arch.pc += 1;
-            StepOutcome::Compute { dst: Some(rd), latency: lat.int_alu, serialize: false }
+            StepOutcome::Compute {
+                dst: Some(rd),
+                latency: lat.int_alu,
+                serialize: false,
+            }
         }
         CvtIntToF32 { rd, rs } => {
             let v = (arch.reg(rs) as i64) as f32;
             arch.set_reg(rd, v.to_bits() as u64);
             arch.pc += 1;
-            StepOutcome::Compute { dst: Some(rd), latency: lat.cvt, serialize: false }
+            StepOutcome::Compute {
+                dst: Some(rd),
+                latency: lat.cvt,
+                serialize: false,
+            }
         }
         CvtF32ToInt { rd, rs } => {
             let v = f32::from_bits(arch.reg(rs) as u32) as i64;
             arch.set_reg(rd, v as u64);
             arch.pc += 1;
-            StepOutcome::Compute { dst: Some(rd), latency: lat.cvt, serialize: false }
+            StepOutcome::Compute {
+                dst: Some(rd),
+                latency: lat.cvt,
+                serialize: false,
+            }
         }
-        Branch { op, rs, src2, target } => {
+        Branch {
+            op,
+            rs,
+            src2,
+            target,
+        } => {
             if cmp_eval(op, arch.reg(rs) as i64, operand(arch, src2) as i64) {
                 arch.pc = program.target(target);
                 StepOutcome::Taken
@@ -249,9 +258,19 @@ pub fn step_compute(
         }
         Nop => {
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.int_alu, serialize: false }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.int_alu,
+                serialize: false,
+            }
         }
-        VAlu { op, vd, vs, src2, mask } => {
+        VAlu {
+            op,
+            vd,
+            vs,
+            src2,
+            mask,
+        } => {
             let m = mask.map_or(arch.full_mask(), |f| arch.mreg(f));
             for lane in 0..width {
                 if m & (1 << lane) != 0 {
@@ -261,9 +280,19 @@ pub fn step_compute(
                 }
             }
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.int_alu, serialize: true }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.int_alu,
+                serialize: true,
+            }
         }
-        VFp { op, vd, vs, vt, mask } => {
+        VFp {
+            op,
+            vd,
+            vs,
+            vt,
+            mask,
+        } => {
             let m = mask.map_or(arch.full_mask(), |f| arch.mreg(f));
             for lane in 0..width {
                 if m & (1 << lane) != 0 {
@@ -273,9 +302,19 @@ pub fn step_compute(
                 }
             }
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.for_fp(op), serialize: true }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.for_fp(op),
+                serialize: true,
+            }
         }
-        VCmp { op, fd, vs, src2, mask } => {
+        VCmp {
+            op,
+            fd,
+            vs,
+            src2,
+            mask,
+        } => {
             let m = mask.map_or(arch.full_mask(), |f| arch.mreg(f));
             let mut out = 0u32;
             for lane in 0..width {
@@ -289,9 +328,19 @@ pub fn step_compute(
             }
             arch.set_mreg(fd, out);
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.int_alu, serialize: true }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.int_alu,
+                serialize: true,
+            }
         }
-        VFCmp { op, fd, vs, vt, mask } => {
+        VFCmp {
+            op,
+            fd,
+            vs,
+            vt,
+            mask,
+        } => {
             let m = mask.map_or(arch.full_mask(), |f| arch.mreg(f));
             let mut out = 0u32;
             for lane in 0..width {
@@ -305,7 +354,11 @@ pub fn step_compute(
             }
             arch.set_mreg(fd, out);
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.fp_add, serialize: true }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.fp_add,
+                serialize: true,
+            }
         }
         VSplat { vd, rs } => {
             let v = arch.reg(rs) as u32;
@@ -313,22 +366,37 @@ pub fn step_compute(
                 arch.set_vlane(vd, lane, v);
             }
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.int_alu, serialize: true }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.int_alu,
+                serialize: true,
+            }
         }
         VIota { vd } => {
             for lane in 0..width {
                 arch.set_vlane(vd, lane, lane as u32);
             }
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.int_alu, serialize: true }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.int_alu,
+                serialize: true,
+            }
         }
         VExtract { rd, vs, lane } => {
             let l = lane_index(arch, lane);
-            assert!(l < width, "vextract lane {l} out of range for width {width}");
+            assert!(
+                l < width,
+                "vextract lane {l} out of range for width {width}"
+            );
             let v = arch.vreg(vs)[l];
             arch.set_reg(rd, v as u64);
             arch.pc += 1;
-            StepOutcome::Compute { dst: Some(rd), latency: lat.int_alu, serialize: false }
+            StepOutcome::Compute {
+                dst: Some(rd),
+                latency: lat.int_alu,
+                serialize: false,
+            }
         }
         VInsert { vd, rs, lane } => {
             let l = lane_index(arch, lane);
@@ -336,69 +404,120 @@ pub fn step_compute(
             let v = arch.reg(rs) as u32;
             arch.set_vlane(vd, l, v);
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.int_alu, serialize: true }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.int_alu,
+                serialize: true,
+            }
         }
         MSetAll { f } => {
             let m = arch.full_mask();
             arch.set_mreg(f, m);
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.mask_op, serialize: false }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.mask_op,
+                serialize: false,
+            }
         }
         MClear { f } => {
             arch.set_mreg(f, 0);
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.mask_op, serialize: false }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.mask_op,
+                serialize: false,
+            }
         }
         MNot { fd, fs } => {
             let v = !arch.mreg(fs);
             arch.set_mreg(fd, v);
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.mask_op, serialize: false }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.mask_op,
+                serialize: false,
+            }
         }
         MAnd { fd, fa, fb } => {
             let v = arch.mreg(fa) & arch.mreg(fb);
             arch.set_mreg(fd, v);
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.mask_op, serialize: false }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.mask_op,
+                serialize: false,
+            }
         }
         MOr { fd, fa, fb } => {
             let v = arch.mreg(fa) | arch.mreg(fb);
             arch.set_mreg(fd, v);
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.mask_op, serialize: false }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.mask_op,
+                serialize: false,
+            }
         }
         MXor { fd, fa, fb } => {
             let v = arch.mreg(fa) ^ arch.mreg(fb);
             arch.set_mreg(fd, v);
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.mask_op, serialize: false }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.mask_op,
+                serialize: false,
+            }
         }
         MMov { fd, fs } => {
             let v = arch.mreg(fs);
             arch.set_mreg(fd, v);
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.mask_op, serialize: false }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.mask_op,
+                serialize: false,
+            }
         }
         MPopcount { rd, f } => {
             let v = arch.mreg(f).count_ones() as u64;
             arch.set_reg(rd, v);
             arch.pc += 1;
-            StepOutcome::Compute { dst: Some(rd), latency: lat.mask_op, serialize: false }
+            StepOutcome::Compute {
+                dst: Some(rd),
+                latency: lat.mask_op,
+                serialize: false,
+            }
         }
         MFromReg { f, rs } => {
             let v = arch.reg(rs) as u32;
             arch.set_mreg(f, v);
             arch.pc += 1;
-            StepOutcome::Compute { dst: None, latency: lat.mask_op, serialize: false }
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.mask_op,
+                serialize: false,
+            }
         }
         MToReg { rd, f } => {
             let v = arch.mreg(f) as u64;
             arch.set_reg(rd, v);
             arch.pc += 1;
-            StepOutcome::Compute { dst: Some(rd), latency: lat.mask_op, serialize: false }
+            StepOutcome::Compute {
+                dst: Some(rd),
+                latency: lat.mask_op,
+                serialize: false,
+            }
         }
-        Load { .. } | Store { .. } | LoadLinked { .. } | StoreCond { .. } | VLoad { .. }
-        | VStore { .. } | VGather { .. } | VScatter { .. } | VGatherLink { .. }
+        Load { .. }
+        | Store { .. }
+        | LoadLinked { .. }
+        | StoreCond { .. }
+        | VLoad { .. }
+        | VStore { .. }
+        | VGather { .. }
+        | VScatter { .. }
+        | VGatherLink { .. }
         | VScatterCond { .. } => StepOutcome::Memory,
     }
 }
@@ -462,8 +581,15 @@ pub fn src_regs(instr: &Instr, out: &mut Vec<Reg>) {
                 out.push(*r);
             }
         }
-        MSetAll { .. } | MClear { .. } | MNot { .. } | MAnd { .. } | MOr { .. }
-        | MXor { .. } | MMov { .. } | MPopcount { .. } | MToReg { .. } => {}
+        MSetAll { .. }
+        | MClear { .. }
+        | MNot { .. }
+        | MAnd { .. }
+        | MOr { .. }
+        | MXor { .. }
+        | MMov { .. }
+        | MPopcount { .. }
+        | MToReg { .. } => {}
         MFromReg { rs, .. } => out.push(*rs),
         VLoad { base, .. } | VStore { base, .. } => out.push(*base),
         VGather { base, .. } | VScatter { base, .. } => out.push(*base),
@@ -476,9 +602,18 @@ pub fn src_regs(instr: &Instr, out: &mut Vec<Reg>) {
 pub fn dst_reg(instr: &Instr) -> Option<Reg> {
     use Instr::*;
     match instr {
-        Li { rd, .. } | Alu { rd, .. } | Fp { rd, .. } | Cmp { rd, .. } | FCmp { rd, .. }
-        | CvtIntToF32 { rd, .. } | CvtF32ToInt { rd, .. } | MPopcount { rd, .. }
-        | MToReg { rd, .. } | VExtract { rd, .. } | Load { rd, .. } | LoadLinked { rd, .. }
+        Li { rd, .. }
+        | Alu { rd, .. }
+        | Fp { rd, .. }
+        | Cmp { rd, .. }
+        | FCmp { rd, .. }
+        | CvtIntToF32 { rd, .. }
+        | CvtF32ToInt { rd, .. }
+        | MPopcount { rd, .. }
+        | MToReg { rd, .. }
+        | VExtract { rd, .. }
+        | Load { rd, .. }
+        | LoadLinked { rd, .. }
         | StoreCond { rd, .. } => Some(*rd),
         _ => None,
     }
@@ -526,7 +661,13 @@ mod tests {
             mask: Some(MReg::new(0)),
         };
         let out = step_compute(&mut a, &i, &p, &lat);
-        assert!(matches!(out, StepOutcome::Compute { serialize: true, .. }));
+        assert!(matches!(
+            out,
+            StepOutcome::Compute {
+                serialize: true,
+                ..
+            }
+        ));
         assert_eq!(a.vreg(VReg::new(1)), &[11, 20, 31, 40]);
     }
 
@@ -582,14 +723,20 @@ mod tests {
         assert_eq!(a.mreg(MReg::new(0)), 0b1111);
         step_compute(
             &mut a,
-            &Instr::MNot { fd: MReg::new(1), fs: MReg::new(0) },
+            &Instr::MNot {
+                fd: MReg::new(1),
+                fs: MReg::new(0),
+            },
             &p,
             &lat,
         );
         assert_eq!(a.mreg(MReg::new(1)), 0, "complement truncated to width");
         step_compute(
             &mut a,
-            &Instr::MPopcount { rd: Reg::new(3), f: MReg::new(0) },
+            &Instr::MPopcount {
+                rd: Reg::new(3),
+                f: MReg::new(0),
+            },
             &p,
             &lat,
         );
@@ -604,7 +751,11 @@ mod tests {
         a.set_vreg(VReg::new(0), &[7, 8, 9, 10]);
         step_compute(
             &mut a,
-            &Instr::VExtract { rd: Reg::new(1), vs: VReg::new(0), lane: LaneSel::Imm(2) },
+            &Instr::VExtract {
+                rd: Reg::new(1),
+                vs: VReg::new(0),
+                lane: LaneSel::Imm(2),
+            },
             &p,
             &lat,
         );
@@ -612,7 +763,11 @@ mod tests {
         a.set_reg(Reg::new(2), 3); // dynamic lane select
         step_compute(
             &mut a,
-            &Instr::VInsert { vd: VReg::new(0), rs: Reg::new(1), lane: LaneSel::Reg(Reg::new(2)) },
+            &Instr::VInsert {
+                vd: VReg::new(0),
+                rs: Reg::new(1),
+                lane: LaneSel::Reg(Reg::new(2)),
+            },
             &p,
             &lat,
         );
@@ -624,7 +779,11 @@ mod tests {
         let mut a = ThreadArch::new(4);
         let p = empty_program();
         let lat = LatencyTable::default();
-        let i = Instr::Load { rd: Reg::new(1), base: Reg::new(2), offset: 0 };
+        let i = Instr::Load {
+            rd: Reg::new(1),
+            base: Reg::new(2),
+            offset: 0,
+        };
         assert_eq!(step_compute(&mut a, &i, &p, &lat), StepOutcome::Memory);
         assert_eq!(a.pc, 0, "memory ops leave the pc for the pipeline");
     }
@@ -642,7 +801,11 @@ mod tests {
         assert_eq!(v, vec![Reg::new(2), Reg::new(3)]);
         assert_eq!(dst_reg(&i), Some(Reg::new(1)));
 
-        let st = Instr::Store { rs: Reg::new(4), base: Reg::new(5), offset: 8 };
+        let st = Instr::Store {
+            rs: Reg::new(4),
+            base: Reg::new(5),
+            offset: 8,
+        };
         src_regs(&st, &mut v);
         assert_eq!(v, vec![Reg::new(4), Reg::new(5)]);
         assert_eq!(dst_reg(&st), None);
@@ -668,15 +831,36 @@ mod tests {
         a.set_reg(Reg::new(2), 0.5f32.to_bits() as u64);
         step_compute(
             &mut a,
-            &Instr::Fp { op: FpOp::Add, rd: Reg::new(3), rs: Reg::new(1), rt: Reg::new(2) },
+            &Instr::Fp {
+                op: FpOp::Add,
+                rd: Reg::new(3),
+                rs: Reg::new(1),
+                rt: Reg::new(2),
+            },
             &p,
             &lat,
         );
         assert_eq!(f32::from_bits(a.reg(Reg::new(3)) as u32), 3.0);
-        step_compute(&mut a, &Instr::CvtF32ToInt { rd: Reg::new(4), rs: Reg::new(3) }, &p, &lat);
+        step_compute(
+            &mut a,
+            &Instr::CvtF32ToInt {
+                rd: Reg::new(4),
+                rs: Reg::new(3),
+            },
+            &p,
+            &lat,
+        );
         assert_eq!(a.reg(Reg::new(4)), 3);
         a.set_reg(Reg::new(5), (-7i64) as u64);
-        step_compute(&mut a, &Instr::CvtIntToF32 { rd: Reg::new(6), rs: Reg::new(5) }, &p, &lat);
+        step_compute(
+            &mut a,
+            &Instr::CvtIntToF32 {
+                rd: Reg::new(6),
+                rs: Reg::new(5),
+            },
+            &p,
+            &lat,
+        );
         assert_eq!(f32::from_bits(a.reg(Reg::new(6)) as u32), -7.0);
     }
 }

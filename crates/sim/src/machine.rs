@@ -4,10 +4,12 @@ use crate::config::MachineConfig;
 use crate::cpu::Core;
 use crate::report::RunReport;
 use crate::thread::ThreadStatus;
+use glsc_core::MemCompletion;
 use glsc_isa::{Program, Reg};
 use glsc_mem::MemorySystem;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Simulation failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -30,7 +32,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::NoProgram => write!(f, "no program loaded"),
             SimError::MaxCyclesExceeded { cycle, stuck } => {
-                write!(f, "exceeded max cycles at {cycle}; non-halted threads at pcs {stuck:?}")
+                write!(
+                    f,
+                    "exceeded max cycles at {cycle}; non-halted threads at pcs {stuck:?}"
+                )
             }
         }
     }
@@ -49,8 +54,12 @@ pub struct Machine {
     cfg: MachineConfig,
     mem: MemorySystem,
     cores: Vec<Core>,
-    program: Option<Program>,
+    /// Shared so the per-cycle loop clones a refcount, not the program.
+    program: Option<Arc<Program>>,
     cycle: u64,
+    /// Reused completion buffer: the steady-state cycle loop performs no
+    /// per-cycle heap allocation for completion delivery.
+    comp_buf: Vec<MemCompletion>,
 }
 
 impl Machine {
@@ -63,7 +72,14 @@ impl Machine {
         cfg.validate();
         let mem = MemorySystem::new(cfg.mem.clone(), cfg.cores, cfg.threads_per_core);
         let cores = (0..cfg.cores).map(|id| Core::new(id, &cfg)).collect();
-        Self { cfg, mem, cores, program: None, cycle: 0 }
+        Self {
+            cfg,
+            mem,
+            cores,
+            program: None,
+            cycle: 0,
+            comp_buf: Vec::new(),
+        }
     }
 
     /// The machine configuration.
@@ -97,8 +113,9 @@ impl Machine {
                 th.arch.set_reg(Reg::new(0), gid);
                 th.arch.set_reg(Reg::new(1), total);
             }
+            core.reset_status_counts();
         }
-        self.program = Some(program);
+        self.program = Some(Arc::new(program));
         self.cycle = 0;
     }
 
@@ -125,12 +142,14 @@ impl Machine {
 
     /// Advances one cycle; returns `true` when every thread has halted.
     pub fn step(&mut self) -> bool {
-        let program = self.program.as_ref().expect("program loaded").clone();
+        let program = Arc::clone(self.program.as_ref().expect("program loaded"));
         let now = self.cycle;
+        let mut comp_buf = std::mem::take(&mut self.comp_buf);
         for core in &mut self.cores {
-            let comps = core.memunit.tick(&mut self.mem, now);
-            core.apply_completions(comps);
+            core.memunit.tick_into(&mut self.mem, now, &mut comp_buf);
+            core.apply_completions(&mut comp_buf);
         }
+        self.comp_buf = comp_buf;
         for core in &mut self.cores {
             core.issue_stage(&program, &self.cfg, now);
         }
@@ -146,32 +165,69 @@ impl Machine {
 
     fn release_barrier(&mut self, now: u64) {
         let mut waiting = 0usize;
-        let mut live = 0usize;
+        let mut halted = 0usize;
         for core in &self.cores {
-            for th in &core.threads {
-                match th.status {
-                    ThreadStatus::Halted => {}
-                    ThreadStatus::AtBarrier => {
-                        waiting += 1;
-                        live += 1;
-                    }
-                    _ => live += 1,
-                }
-            }
+            waiting += core.at_barrier;
+            halted += core.halted;
         }
+        let live = self.cfg.total_threads() - halted;
         if live > 0 && waiting == live {
             for core in &mut self.cores {
-                for th in &mut core.threads {
-                    if th.status == ThreadStatus::AtBarrier {
-                        th.status = ThreadStatus::Running;
-                        th.next_issue_at = now + 1;
-                    }
-                }
+                core.release_barrier_threads(now);
             }
         }
     }
 
+    /// Jumps the clock forward over cycles in which nothing can happen:
+    /// when every memory unit is drained, no completion can arrive and no
+    /// thread status can change, so the next interesting cycle is the
+    /// minimum over Running threads of their earliest possible issue
+    /// cycle. The skipped cycles are bulk-attributed to the exact stall
+    /// categories the single-stepped loop would have recorded (see
+    /// [`Core::attribute_window`]), keeping [`RunReport`]s
+    /// cycle-for-cycle identical to [`run_naive`](Machine::run_naive).
+    fn fast_forward(&mut self) {
+        let now = self.cycle;
+        // If any thread issued in the step that just completed, the
+        // machine is making forward progress and the earliest-issue probe
+        // below would almost always find `target <= now` — skip it so
+        // compute-bound phases pay nothing for fast-forward support.
+        // A busy memory unit generates/issues/drains every cycle; any
+        // pending event likewise pins the machine to single-stepping.
+        if self
+            .cores
+            .iter()
+            .any(|c| c.issued_any || c.memunit.next_event_cycle(now).is_some())
+        {
+            return;
+        }
+        let program = Arc::clone(self.program.as_ref().expect("program loaded"));
+        let mut target = u64::MAX;
+        let mut any_running = false;
+        for core in &mut self.cores {
+            for t in 0..core.threads.len() {
+                if core.threads[t].status == ThreadStatus::Running {
+                    any_running = true;
+                    target = target.min(core.earliest_issue(t, &program));
+                }
+            }
+        }
+        // Cap at the cycle budget so MaxCyclesExceeded fires at the same
+        // cycle (with the same partial stats) as the naive loop.
+        let target = target.min(self.cfg.max_cycles);
+        if !any_running || target <= now {
+            return;
+        }
+        for core in &mut self.cores {
+            core.attribute_window(&program, now, target);
+        }
+        self.cycle = target;
+    }
+
     /// Runs until every thread halts, returning the aggregated report.
+    /// Uses event-driven fast-forwarding over dead cycles; the resulting
+    /// report is cycle-for-cycle identical to
+    /// [`run_naive`](Machine::run_naive).
     ///
     /// # Errors
     ///
@@ -179,6 +235,22 @@ impl Machine {
     /// [`SimError::MaxCyclesExceeded`] when the configured cycle budget is
     /// exhausted.
     pub fn run(&mut self) -> Result<RunReport, SimError> {
+        self.run_loop(true)
+    }
+
+    /// Runs the machine by single-stepping every cycle, with no
+    /// fast-forwarding. Kept as the reference implementation for
+    /// differential testing and performance comparison against
+    /// [`run`](Machine::run).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Machine::run).
+    pub fn run_naive(&mut self) -> Result<RunReport, SimError> {
+        self.run_loop(false)
+    }
+
+    fn run_loop(&mut self, fast_forward: bool) -> Result<RunReport, SimError> {
         if self.program.is_none() {
             return Err(SimError::NoProgram);
         }
@@ -195,7 +267,13 @@ impl Machine {
                         }
                     }
                 }
-                return Err(SimError::MaxCyclesExceeded { cycle: self.cycle, stuck });
+                return Err(SimError::MaxCyclesExceeded {
+                    cycle: self.cycle,
+                    stuck,
+                });
+            }
+            if fast_forward {
+                self.fast_forward();
             }
         }
     }

@@ -109,7 +109,12 @@ fn step_memory(
             arch.set_reg(rd, v as u64);
             links.insert(line_of(addr, LINE_BYTES));
         }
-        StoreCond { rd, rs, base, offset } => {
+        StoreCond {
+            rd,
+            rs,
+            base,
+            offset,
+        } => {
             let addr = arch.reg(base).wrapping_add(offset as u64);
             let line = line_of(addr, LINE_BYTES);
             if links.remove(&line) {
@@ -119,7 +124,12 @@ fn step_memory(
                 arch.set_reg(rd, 0);
             }
         }
-        VLoad { vd, base, offset, mask } => {
+        VLoad {
+            vd,
+            base,
+            offset,
+            mask,
+        } => {
             let m = mask.map_or(arch.full_mask(), |f| arch.mreg(f));
             let base_addr = arch.reg(base).wrapping_add(offset as u64);
             for lane in 0..width {
@@ -129,7 +139,12 @@ fn step_memory(
                 }
             }
         }
-        VStore { vs, base, offset, mask } => {
+        VStore {
+            vs,
+            base,
+            offset,
+            mask,
+        } => {
             let m = mask.map_or(arch.full_mask(), |f| arch.mreg(f));
             let base_addr = arch.reg(base).wrapping_add(offset as u64);
             for lane in 0..width {
@@ -140,7 +155,12 @@ fn step_memory(
                 }
             }
         }
-        VGather { vd, base, vidx, mask } => {
+        VGather {
+            vd,
+            base,
+            vidx,
+            mask,
+        } => {
             let m = mask.map_or(arch.full_mask(), |f| arch.mreg(f));
             let base_addr = arch.reg(base);
             for lane in 0..width {
@@ -151,7 +171,12 @@ fn step_memory(
                 }
             }
         }
-        VScatter { vs, base, vidx, mask } => {
+        VScatter {
+            vs,
+            base,
+            vidx,
+            mask,
+        } => {
             let m = mask.map_or(arch.full_mask(), |f| arch.mreg(f));
             let base_addr = arch.reg(base);
             // Lanes apply in increasing order (the simulator's documented
@@ -164,7 +189,13 @@ fn step_memory(
                 }
             }
         }
-        VGatherLink { fd, vd, base, vidx, fsrc } => {
+        VGatherLink {
+            fd,
+            vd,
+            base,
+            vidx,
+            fsrc,
+        } => {
             let m = arch.mreg(fsrc);
             let base_addr = arch.reg(base);
             let mut out = 0u32;
@@ -179,7 +210,13 @@ fn step_memory(
             }
             arch.set_mreg(fd, out);
         }
-        VScatterCond { fd, vs, base, vidx, fsrc } => {
+        VScatterCond {
+            fd,
+            vs,
+            base,
+            vidx,
+            fsrc,
+        } => {
             let m = arch.mreg(fsrc);
             let base_addr = arch.reg(base);
             let mut out = 0u32;
@@ -302,6 +339,9 @@ mod tests {
         b.halt();
         let p = b.build().unwrap();
         let mut backing = Backing::new();
-        assert_eq!(run_functional(&p, &mut backing, 1, 50), Err(RefError::Barrier));
+        assert_eq!(
+            run_functional(&p, &mut backing, 1, 50),
+            Err(RefError::Barrier)
+        );
     }
 }

@@ -29,7 +29,7 @@ pub struct ThreadStats {
 }
 
 /// Aggregated result of one simulation run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunReport {
     /// Total machine cycles until every thread halted.
     pub cycles: u64,

@@ -55,7 +55,10 @@ fn four_threads_on_two_issue_core_contend() {
         rep4.cycles
     );
     let issue_stalls: u64 = rep4.threads.iter().map(|t| t.issue_stall_cycles).sum();
-    assert!(issue_stalls > 100, "issue contention must be recorded, got {issue_stalls}");
+    assert!(
+        issue_stalls > 100,
+        "issue contention must be recorded, got {issue_stalls}"
+    );
 }
 
 #[test]

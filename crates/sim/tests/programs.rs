@@ -85,7 +85,10 @@ fn threads_see_their_ids_and_count() {
     machine.load_program(p);
     machine.run().unwrap();
     for gid in 0..4u64 {
-        assert_eq!(machine.mem().backing().read_u32(0x2000 + 4 * gid), gid as u32);
+        assert_eq!(
+            machine.mem().backing().read_u32(0x2000 + 4 * gid),
+            gid as u32
+        );
         assert_eq!(machine.mem().backing().read_u32(0x3000 + 4 * gid), 4);
     }
 }
@@ -154,7 +157,10 @@ fn llsc_increments_are_atomic_across_cores() {
         16 * 25,
         "every increment must land exactly once"
     );
-    assert!(report.sync_fraction() > 0.1, "contended ll/sc loop is sync-heavy");
+    assert!(
+        report.sync_fraction() > 0.1,
+        "contended ll/sc loop is sync-heavy"
+    );
     assert!(report.lsu.scs >= 16 * 25, "at least one sc per increment");
 }
 
@@ -206,13 +212,24 @@ fn run_glsc_histogram(cores: usize, threads: usize, width: usize) {
     for i in 0..pixels {
         x = x.wrapping_mul(1103515245).wrapping_add(12345);
         let val = (x >> 8) % 1000;
-        machine.mem_mut().backing_mut().write_u32(input_addr as u64 + 4 * i as u64, val);
+        machine
+            .mem_mut()
+            .backing_mut()
+            .write_u32(input_addr as u64 + 4 * i as u64, val);
         expected[(val % bins as u32) as usize] += 1;
     }
-    machine.load_program(glsc_histogram_program(pixels, bins, input_addr, hist_addr, width));
+    machine.load_program(glsc_histogram_program(
+        pixels, bins, input_addr, hist_addr, width,
+    ));
     let report = machine.run().unwrap();
-    let got = machine.mem().backing().read_u32_vec(hist_addr as u64, bins as usize);
-    assert_eq!(got, expected, "{cores}x{threads} w{width} histogram must be exact");
+    let got = machine
+        .mem()
+        .backing()
+        .read_u32_vec(hist_addr as u64, bins as usize);
+    assert_eq!(
+        got, expected,
+        "{cores}x{threads} w{width} histogram must be exact"
+    );
     assert!(report.gsu.gatherlinks > 0);
     assert!(report.gsu.scatterconds > 0);
 }
@@ -264,10 +281,16 @@ fn vector_load_store_round_trip() {
     b.vstore(vv, dst, 0, None);
     b.halt();
     let mut machine = Machine::new(MachineConfig::paper(1, 1, 4));
-    machine.mem_mut().backing_mut().write_u32_slice(0x1000, &[1, 2, 3, 4]);
+    machine
+        .mem_mut()
+        .backing_mut()
+        .write_u32_slice(0x1000, &[1, 2, 3, 4]);
     machine.load_program(b.build().unwrap());
     machine.run().unwrap();
-    assert_eq!(machine.mem().backing().read_u32_vec(0x2000, 4), vec![101, 102, 103, 104]);
+    assert_eq!(
+        machine.mem().backing().read_u32_vec(0x2000, 4),
+        vec![101, 102, 103, 104]
+    );
 }
 
 #[test]
@@ -287,7 +310,10 @@ fn gather_scatter_permutation() {
     b.vscatter(vv, dst, vi, None);
     b.halt();
     let mut machine = Machine::new(MachineConfig::paper(1, 1, 8));
-    machine.mem_mut().backing_mut().write_u32_slice(0x1000, &[0, 1, 2, 3, 4, 5, 6, 7]);
+    machine
+        .mem_mut()
+        .backing_mut()
+        .write_u32_slice(0x1000, &[0, 1, 2, 3, 4, 5, 6, 7]);
     machine.load_program(b.build().unwrap());
     machine.run().unwrap();
     assert_eq!(

@@ -58,7 +58,12 @@ fn run_once(width: usize, glsc: GlscConfig) -> Result<(u64, f64), Box<dyn std::e
     let report = machine.run()?;
     // Sanity: total increments must equal threads * iters * width.
     let total: u64 = (0..COUNTERS)
-        .map(|c| machine.mem().backing().read_u32((COUNTER_BASE + 4 * c) as u64) as u64)
+        .map(|c| {
+            machine
+                .mem()
+                .backing()
+                .read_u32((COUNTER_BASE + 4 * c) as u64) as u64
+        })
         .sum();
     assert_eq!(total, 16 * ITERS as u64 * width as u64);
     Ok((report.cycles, report.glsc_failure_rate()))
@@ -74,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let wait = run_once(width, GlscConfig::default())?;
         let drop = run_once(
             width,
-            GlscConfig { fail_on_l1_miss: true, ..GlscConfig::default() },
+            GlscConfig {
+                fail_on_l1_miss: true,
+                ..GlscConfig::default()
+            },
         )?;
         println!(
             "{:<7} {:>14} {:>9.2}% | {:>14} {:>9.2}%",

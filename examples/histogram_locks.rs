@@ -66,9 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.vgatherlink(f_t1, v_tmp, r_lock, v_bins, f); // gather-linked locks
     b.vcmp(CmpOp::Eq, f_t2, v_tmp, 0, Some(f_t1)); // which are available
     b.vscattercond(f, v_one, r_lock, v_bins, f_t2); // try to obtain them
-    // ---- critical section under mask F (updateFn of Fig. 3(B)) ----
-    // Locked bins are unique within the vector, so plain gather/scatter
-    // is safe here.
+                                                    // ---- critical section under mask F (updateFn of Fig. 3(B)) ----
+                                                    // Locked bins are unique within the vector, so plain gather/scatter
+                                                    // is safe here.
     b.vgather(v_val, r_hist, v_bins, Some(f));
     b.vadd(v_val, v_val, 1, Some(f));
     b.vscatter(v_val, r_hist, v_bins, Some(f));
@@ -98,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     machine.load_program(program);
     let report = machine.run()?;
 
-    let got = machine.mem().backing().read_u32_vec(hist_addr as u64, bins as usize);
+    let got = machine
+        .mem()
+        .backing()
+        .read_u32_vec(hist_addr as u64, bins as usize);
     assert_eq!(got, expected, "lock-based histogram must match");
     for bin in 0..bins as u64 {
         assert_eq!(
@@ -115,7 +118,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  failed acquisitions   {} aliased + {} contended",
         report.gsu.sc_fail_alias, report.gsu.sc_fail_reservation
     );
-    println!("  sync-time fraction    {:.1}%", 100.0 * report.sync_fraction());
+    println!(
+        "  sync-time fraction    {:.1}%",
+        100.0 * report.sync_fraction()
+    );
     println!("histogram verified: {:?}", got);
     Ok(())
 }

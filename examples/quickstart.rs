@@ -18,8 +18,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- assemble the SPMD program (Fig. 3(A) of the paper) ----
     let mut b = ProgramBuilder::new();
-    let (r_in, r_hist, r_i, r_step, r_n, r_addr) =
-        (Reg::new(2), Reg::new(3), Reg::new(4), Reg::new(5), Reg::new(6), Reg::new(7));
+    let (r_in, r_hist, r_i, r_step, r_n, r_addr) = (
+        Reg::new(2),
+        Reg::new(3),
+        Reg::new(4),
+        Reg::new(5),
+        Reg::new(6),
+        Reg::new(7),
+    );
     let (v_in, v_bins, v_tmp) = (VReg::new(0), VReg::new(1), VReg::new(2));
     let (f_todo, f_tmp) = (MReg::new(0), MReg::new(1));
 
@@ -69,14 +75,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- run and validate ----
     let report = machine.run()?;
-    let got = machine.mem().backing().read_u32_vec(hist_addr as u64, bins as usize);
+    let got = machine
+        .mem()
+        .backing()
+        .read_u32_vec(hist_addr as u64, bins as usize);
     assert_eq!(got, expected, "histogram must match the host reference");
 
     println!("GLSC histogram on a {cores}x{threads} CMP, {width}-wide SIMD");
     println!("  pixels                  {pixels}");
     println!("  cycles                  {}", report.cycles);
     println!("  dynamic instructions    {}", report.total_instructions());
-    println!("  sync-time fraction      {:.1}%", 100.0 * report.sync_fraction());
+    println!(
+        "  sync-time fraction      {:.1}%",
+        100.0 * report.sync_fraction()
+    );
     println!("  vgatherlink executed    {}", report.gsu.gatherlinks);
     println!("  vscattercond executed   {}", report.gsu.scatterconds);
     println!(

@@ -1,15 +1,20 @@
 //! Differential testing: random single-threaded programs must produce
 //! identical architectural and memory state on the cycle-level machine and
 //! the functional reference interpreter.
+//!
+//! Originally written with `proptest`; the offline build environment cannot
+//! fetch it, so the cases now run as seeded loops over `glsc-rng`. Each
+//! case prints its seed on failure for reproduction.
 
 use glsc::isa::{AluOp, CmpOp, FpOp, MReg, Program, ProgramBuilder, Reg, VReg};
 use glsc::sim::{reference, Machine, MachineConfig};
-use proptest::prelude::*;
+use glsc_rng::rngs::StdRng;
+use glsc_rng::{Rng, SeedableRng};
 
 const WINDOW_BASE: i64 = 0x1_0000;
 const WINDOW_WORDS: u32 = 256;
 
-/// One random instruction "recipe"; kept coarse so shrinking is useful.
+/// One random instruction "recipe".
 #[derive(Clone, Debug)]
 enum Op {
     Li { rd: u8, imm: i32 },
@@ -26,7 +31,7 @@ enum Op {
     VSplat { vd: u8, rs: u8 },
     VIota { vd: u8 },
     VCmp { op: CmpOp, fd: u8, vs: u8, imm: i32 },
-    MaskOp { fd: u8, fa: u8, fb: u8, kind: u8 },
+    MaskCombine { fd: u8, fa: u8, fb: u8, kind: u8 },
     VLoad { vd: u8, word: u32 },
     VStore { vs: u8, word: u32 },
     VGather { vd: u8, vidx: u8 },
@@ -35,73 +40,153 @@ enum Op {
     ScatterCond { fd: u8, vs: u8, vidx: u8, fsrc: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let r = 3u8..12; // leave r0/r1 (ids) and r2 (window base) alone
-    let v = 0u8..8;
-    let f = 0u8..4;
-    let word = 0u32..WINDOW_WORDS;
-    let alu = prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Div),
-        Just(AluOp::Rem),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-        Just(AluOp::Min),
-        Just(AluOp::Max),
-    ];
-    let fp = prop_oneof![
-        Just(FpOp::Add),
-        Just(FpOp::Sub),
-        Just(FpOp::Mul),
-        Just(FpOp::Div),
-        Just(FpOp::Min),
-        Just(FpOp::Max),
-    ];
-    let cmp = prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ];
-    prop_oneof![
-        (r.clone(), any::<i32>()).prop_map(|(rd, imm)| Op::Li { rd, imm }),
-        (alu.clone(), r.clone(), r.clone(), any::<i32>())
-            .prop_map(|(op, rd, rs, imm)| Op::Alu { op, rd, rs, imm }),
-        (alu.clone(), r.clone(), r.clone(), r.clone())
-            .prop_map(|(op, rd, rs, rt)| Op::AluRr { op, rd, rs, rt }),
-        (fp.clone(), r.clone(), r.clone(), r.clone())
-            .prop_map(|(op, rd, rs, rt)| Op::Fp { op, rd, rs, rt }),
-        (cmp.clone(), r.clone(), r.clone(), any::<i32>())
-            .prop_map(|(op, rd, rs, imm)| Op::Cmp { op, rd, rs, imm }),
-        (r.clone(), word.clone()).prop_map(|(rd, word)| Op::Load { rd, word }),
-        (r.clone(), word.clone()).prop_map(|(rs, word)| Op::Store { rs, word }),
-        (r.clone(), word.clone()).prop_map(|(rd, word)| Op::Ll { rd, word }),
-        (r.clone(), r.clone(), word.clone()).prop_map(|(rd, rs, word)| Op::Sc { rd, rs, word }),
-        (alu, v.clone(), v.clone(), any::<i32>())
-            .prop_map(|(op, vd, vs, imm)| Op::VAluImm { op, vd, vs, imm }),
-        (fp, v.clone(), v.clone(), v.clone()).prop_map(|(op, vd, vs, vt)| Op::VFp { op, vd, vs, vt }),
-        (v.clone(), r.clone()).prop_map(|(vd, rs)| Op::VSplat { vd, rs }),
-        v.clone().prop_map(|vd| Op::VIota { vd }),
-        (cmp, f.clone(), v.clone(), any::<i32>())
-            .prop_map(|(op, fd, vs, imm)| Op::VCmp { op, fd, vs, imm }),
-        (f.clone(), f.clone(), f.clone(), 0u8..4)
-            .prop_map(|(fd, fa, fb, kind)| Op::MaskOp { fd, fa, fb, kind }),
-        (v.clone(), word.clone()).prop_map(|(vd, word)| Op::VLoad { vd, word }),
-        (v.clone(), word).prop_map(|(vs, word)| Op::VStore { vs, word }),
-        (v.clone(), v.clone()).prop_map(|(vd, vidx)| Op::VGather { vd, vidx }),
-        (v.clone(), v.clone()).prop_map(|(vs, vidx)| Op::VScatter { vs, vidx }),
-        (f.clone(), v.clone(), v.clone(), f.clone())
-            .prop_map(|(fd, vd, vidx, fsrc)| Op::GatherLink { fd, vd, vidx, fsrc }),
-        (f.clone(), v.clone(), v.clone(), f)
-            .prop_map(|(fd, vs, vidx, fsrc)| Op::ScatterCond { fd, vs, vidx, fsrc }),
-    ]
+const ALU_OPS: [AluOp; 12] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Rem,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Min,
+    AluOp::Max,
+];
+
+const FP_OPS: [FpOp; 6] = [
+    FpOp::Add,
+    FpOp::Sub,
+    FpOp::Mul,
+    FpOp::Div,
+    FpOp::Min,
+    FpOp::Max,
+];
+
+const CMP_OPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+fn random_op(rng: &mut StdRng) -> Op {
+    // r3..r11: leave r0/r1 (ids) and r2 (window base) alone.
+    let r = |rng: &mut StdRng| rng.random_range(3..12u8);
+    let v = |rng: &mut StdRng| rng.random_range(0..8u8);
+    let f = |rng: &mut StdRng| rng.random_range(0..4u8);
+    let word = |rng: &mut StdRng| rng.random_range(0..WINDOW_WORDS);
+    let imm = |rng: &mut StdRng| rng.random::<u32>() as i32;
+    let alu = |rng: &mut StdRng| ALU_OPS[rng.random_range(0..ALU_OPS.len())];
+    let fp = |rng: &mut StdRng| FP_OPS[rng.random_range(0..FP_OPS.len())];
+    let cmp = |rng: &mut StdRng| CMP_OPS[rng.random_range(0..CMP_OPS.len())];
+    match rng.random_range(0..21usize) {
+        0 => Op::Li {
+            rd: r(rng),
+            imm: imm(rng),
+        },
+        1 => Op::Alu {
+            op: alu(rng),
+            rd: r(rng),
+            rs: r(rng),
+            imm: imm(rng),
+        },
+        2 => Op::AluRr {
+            op: alu(rng),
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        3 => Op::Fp {
+            op: fp(rng),
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        4 => Op::Cmp {
+            op: cmp(rng),
+            rd: r(rng),
+            rs: r(rng),
+            imm: imm(rng),
+        },
+        5 => Op::Load {
+            rd: r(rng),
+            word: word(rng),
+        },
+        6 => Op::Store {
+            rs: r(rng),
+            word: word(rng),
+        },
+        7 => Op::Ll {
+            rd: r(rng),
+            word: word(rng),
+        },
+        8 => Op::Sc {
+            rd: r(rng),
+            rs: r(rng),
+            word: word(rng),
+        },
+        9 => Op::VAluImm {
+            op: alu(rng),
+            vd: v(rng),
+            vs: v(rng),
+            imm: imm(rng),
+        },
+        10 => Op::VFp {
+            op: fp(rng),
+            vd: v(rng),
+            vs: v(rng),
+            vt: v(rng),
+        },
+        11 => Op::VSplat {
+            vd: v(rng),
+            rs: r(rng),
+        },
+        12 => Op::VIota { vd: v(rng) },
+        13 => Op::VCmp {
+            op: cmp(rng),
+            fd: f(rng),
+            vs: v(rng),
+            imm: imm(rng),
+        },
+        14 => Op::MaskCombine {
+            fd: f(rng),
+            fa: f(rng),
+            fb: f(rng),
+            kind: rng.random_range(0..4u8),
+        },
+        15 => Op::VLoad {
+            vd: v(rng),
+            word: word(rng),
+        },
+        16 => Op::VStore {
+            vs: v(rng),
+            word: word(rng),
+        },
+        17 => Op::VGather {
+            vd: v(rng),
+            vidx: v(rng),
+        },
+        18 => Op::VScatter {
+            vs: v(rng),
+            vidx: v(rng),
+        },
+        19 => Op::GatherLink {
+            fd: f(rng),
+            vd: v(rng),
+            vidx: v(rng),
+            fsrc: f(rng),
+        },
+        _ => Op::ScatterCond {
+            fd: f(rng),
+            vs: v(rng),
+            vidx: v(rng),
+            fsrc: f(rng),
+        },
+    }
 }
 
 /// Assembles the recipe into a straight-line program. Indexed ops bound
@@ -165,7 +250,7 @@ fn assemble(ops: &[Op], width: usize) -> Program {
             Op::VCmp { op, fd, vs, imm } => {
                 b.vcmp(op, MReg::new(fd), VReg::new(vs), imm as i64, None);
             }
-            Op::MaskOp { fd, fa, fb, kind } => {
+            Op::MaskCombine { fd, fa, fb, kind } => {
                 match kind {
                     0 => b.mand(MReg::new(fd), MReg::new(fa), MReg::new(fb)),
                     1 => b.mor(MReg::new(fd), MReg::new(fa), MReg::new(fb)),
@@ -180,20 +265,52 @@ fn assemble(ops: &[Op], width: usize) -> Program {
                 b.vstore(VReg::new(vs), base, vload_off(word), None);
             }
             Op::VGather { vd, vidx } => {
-                b.vand(vidx_scratch, VReg::new(vidx), (WINDOW_WORDS - 1) as i64, None);
+                b.vand(
+                    vidx_scratch,
+                    VReg::new(vidx),
+                    (WINDOW_WORDS - 1) as i64,
+                    None,
+                );
                 b.vgather(VReg::new(vd), base, vidx_scratch, None);
             }
             Op::VScatter { vs, vidx } => {
-                b.vand(vidx_scratch, VReg::new(vidx), (WINDOW_WORDS - 1) as i64, None);
+                b.vand(
+                    vidx_scratch,
+                    VReg::new(vidx),
+                    (WINDOW_WORDS - 1) as i64,
+                    None,
+                );
                 b.vscatter(VReg::new(vs), base, vidx_scratch, None);
             }
             Op::GatherLink { fd, vd, vidx, fsrc } => {
-                b.vand(vidx_scratch, VReg::new(vidx), (WINDOW_WORDS - 1) as i64, None);
-                b.vgatherlink(MReg::new(fd), VReg::new(vd), base, vidx_scratch, MReg::new(fsrc));
+                b.vand(
+                    vidx_scratch,
+                    VReg::new(vidx),
+                    (WINDOW_WORDS - 1) as i64,
+                    None,
+                );
+                b.vgatherlink(
+                    MReg::new(fd),
+                    VReg::new(vd),
+                    base,
+                    vidx_scratch,
+                    MReg::new(fsrc),
+                );
             }
             Op::ScatterCond { fd, vs, vidx, fsrc } => {
-                b.vand(vidx_scratch, VReg::new(vidx), (WINDOW_WORDS - 1) as i64, None);
-                b.vscattercond(MReg::new(fd), VReg::new(vs), base, vidx_scratch, MReg::new(fsrc));
+                b.vand(
+                    vidx_scratch,
+                    VReg::new(vidx),
+                    (WINDOW_WORDS - 1) as i64,
+                    None,
+                );
+                b.vscattercond(
+                    MReg::new(fd),
+                    VReg::new(vs),
+                    base,
+                    vidx_scratch,
+                    MReg::new(fsrc),
+                );
             }
         }
     }
@@ -202,16 +319,19 @@ fn assemble(ops: &[Op], width: usize) -> Program {
 }
 
 fn initial_memory() -> Vec<u32> {
-    (0..WINDOW_WORDS).map(|i| i.wrapping_mul(2654435761)).collect()
+    (0..WINDOW_WORDS)
+        .map(|i| i.wrapping_mul(2654435761))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
-    fn machine_matches_functional_reference(
-        ops in proptest::collection::vec(op_strategy(), 1..40),
-        width in prop_oneof![Just(1usize), Just(4), Just(8), Just(16)],
-    ) {
+#[test]
+fn machine_matches_functional_reference() {
+    const WIDTHS: [usize; 4] = [1, 4, 8, 16];
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0xD1FF_0001 ^ seed);
+        let n = rng.random_range(1..40usize);
+        let ops: Vec<Op> = (0..n).map(|_| random_op(&mut rng)).collect();
+        let width = WIDTHS[rng.random_range(0..WIDTHS.len())];
         let program = assemble(&ops, width);
 
         // Functional reference.
@@ -232,22 +352,110 @@ proptest! {
         // Compare the memory window.
         for w in 0..WINDOW_WORDS as u64 {
             let addr = WINDOW_BASE as u64 + 4 * w;
-            prop_assert_eq!(
+            assert_eq!(
                 machine.mem().backing().read_u32(addr),
                 ref_mem.read_u32(addr),
-                "memory diverged at word {}", w
+                "seed {seed}: memory diverged at word {w}"
             );
         }
         // Compare scalar registers, vector registers, and masks.
         let arch = machine.thread_arch(0);
         for i in 0..32u8 {
-            prop_assert_eq!(arch.reg(Reg::new(i)), ref_arch.reg(Reg::new(i)), "r{} diverged", i);
+            assert_eq!(
+                arch.reg(Reg::new(i)),
+                ref_arch.reg(Reg::new(i)),
+                "seed {seed}: r{i} diverged"
+            );
         }
         for i in 0..16u8 {
-            prop_assert_eq!(arch.vreg(VReg::new(i)), ref_arch.vreg(VReg::new(i)), "v{} diverged", i);
+            assert_eq!(
+                arch.vreg(VReg::new(i)),
+                ref_arch.vreg(VReg::new(i)),
+                "seed {seed}: v{i} diverged"
+            );
         }
         for i in 0..8u8 {
-            prop_assert_eq!(arch.mreg(MReg::new(i)), ref_arch.mreg(MReg::new(i)), "f{} diverged", i);
+            assert_eq!(
+                arch.mreg(MReg::new(i)),
+                ref_arch.mreg(MReg::new(i)),
+                "seed {seed}: f{i} diverged"
+            );
+        }
+    }
+}
+
+/// The event-driven fast-forward in `Machine::run` must be an invisible
+/// optimization: its `RunReport` (cycles, every per-thread stall counter,
+/// memory/LSU/GSU stats) and final memory must be identical to the naive
+/// single-stepped loop, on random programs across machine shapes.
+#[test]
+fn fast_forward_matches_naive_random_programs() {
+    const SHAPES: [(usize, usize); 3] = [(1, 1), (2, 2), (4, 1)];
+    const WIDTHS: [usize; 3] = [1, 4, 8];
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xD1FF_0002 ^ seed);
+        let n = rng.random_range(1..40usize);
+        let ops: Vec<Op> = (0..n).map(|_| random_op(&mut rng)).collect();
+        let width = WIDTHS[rng.random_range(0..WIDTHS.len())];
+        let (cores, tpc) = SHAPES[rng.random_range(0..SHAPES.len())];
+        let program = assemble(&ops, width);
+
+        let build = || {
+            let mut m = Machine::new(MachineConfig::paper(cores, tpc, width));
+            m.mem_mut()
+                .backing_mut()
+                .write_u32_slice(WINDOW_BASE as u64, &initial_memory());
+            m.load_program(program.clone());
+            m
+        };
+        let mut fast = build();
+        let fast_report = fast.run().expect("fast-forward run succeeds");
+        let mut naive = build();
+        let naive_report = naive.run_naive().expect("naive run succeeds");
+
+        assert_eq!(
+            fast_report, naive_report,
+            "seed {seed} ({cores}x{tpc} w{width}): report diverged"
+        );
+        for w in 0..WINDOW_WORDS as u64 {
+            let addr = WINDOW_BASE as u64 + 4 * w;
+            assert_eq!(
+                fast.mem().backing().read_u32(addr),
+                naive.mem().backing().read_u32(addr),
+                "seed {seed}: memory diverged at word {w}"
+            );
+        }
+    }
+}
+
+/// Fast-forward vs naive on the real workloads: all seven kernels, both
+/// variants, across the four Fig. 6 machine shapes at tiny scale.
+#[test]
+fn fast_forward_matches_naive_all_kernels() {
+    use glsc::kernels::{build_named, Dataset, Variant, KERNEL_NAMES};
+    const SHAPES: [(usize, usize); 4] = [(1, 1), (1, 4), (4, 1), (4, 4)];
+    for kernel in KERNEL_NAMES {
+        for (cores, tpc) in SHAPES {
+            for variant in [Variant::Base, Variant::Glsc] {
+                let cfg = MachineConfig::paper(cores, tpc, 4);
+                let w = build_named(kernel, Dataset::Tiny, variant, &cfg);
+                let build = || {
+                    let mut m = Machine::new(cfg.clone());
+                    w.image.apply(m.mem_mut().backing_mut());
+                    m.load_program(w.program.clone());
+                    m
+                };
+                let fast = build().run().unwrap_or_else(|e| {
+                    panic!("{kernel} {cores}x{tpc} {variant:?}: fast run failed: {e}")
+                });
+                let naive = build().run_naive().unwrap_or_else(|e| {
+                    panic!("{kernel} {cores}x{tpc} {variant:?}: naive run failed: {e}")
+                });
+                assert_eq!(
+                    fast, naive,
+                    "{kernel} {cores}x{tpc} {variant:?}: fast-forward report diverged from naive"
+                );
+            }
         }
     }
 }

@@ -58,12 +58,18 @@ fn glsc_and_base_agree_on_final_state_for_exact_kernels() {
     // fewer instructions at width 4.
     let cfg = MachineConfig::paper(1, 1, 4);
     for kernel in ["HIP", "TMS", "SMC", "FS", "GBC"] {
-        let base = run_workload(&build_named(kernel, Dataset::Tiny, Variant::Base, &cfg), &cfg)
-            .unwrap()
-            .report;
-        let glsc = run_workload(&build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg), &cfg)
-            .unwrap()
-            .report;
+        let base = run_workload(
+            &build_named(kernel, Dataset::Tiny, Variant::Base, &cfg),
+            &cfg,
+        )
+        .unwrap()
+        .report;
+        let glsc = run_workload(
+            &build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg),
+            &cfg,
+        )
+        .unwrap()
+        .report;
         assert!(
             glsc.total_instructions() < base.total_instructions(),
             "{kernel}: GLSC {} !< Base {}",

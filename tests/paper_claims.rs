@@ -49,7 +49,8 @@ fn width_one_has_no_large_glsc_penalty() {
 fn glsc_benefit_grows_with_simd_width() {
     // §5.3 / Fig. 8: the Base/GLSC ratio grows from w1 to w16 for
     // SIMD-efficient kernels.
-    for kernel in ["TMS"] {
+    {
+        let kernel = "TMS";
         let r1 = cycles(kernel, Variant::Base, 1, 2, 1) as f64
             / cycles(kernel, Variant::Glsc, 1, 2, 1) as f64;
         let r16 = cycles(kernel, Variant::Base, 1, 2, 16) as f64
@@ -75,7 +76,10 @@ fn microbenchmark_scenario_ordering() {
     assert!(b > 1.0, "scenario B must favor GLSC, got {b:.2}");
     assert!(c > 1.0, "scenario C must favor GLSC, got {c:.2}");
     assert!(a > 1.0, "scenario A must favor GLSC, got {a:.2}");
-    assert!(d < a && d < b && d < c, "D is GLSC's worst case: {ratios:?}");
+    assert!(
+        d < a && d < b && d < c,
+        "D is GLSC's worst case: {ratios:?}"
+    );
 }
 
 #[test]
@@ -111,16 +115,25 @@ fn failure_rates_follow_table_4_pattern() {
     // At 1x1 failures come only from aliasing; GBC (clustered cells) has
     // a substantial rate, TMS (uniform columns) nearly none.
     let cfg = MachineConfig::paper(1, 1, 4);
-    let gbc = run_workload(&build_named("GBC", Dataset::Tiny, Variant::Glsc, &cfg), &cfg)
-        .unwrap()
-        .report;
-    let tms = run_workload(&build_named("TMS", Dataset::Tiny, Variant::Glsc, &cfg), &cfg)
-        .unwrap()
-        .report;
+    let gbc = run_workload(
+        &build_named("GBC", Dataset::Tiny, Variant::Glsc, &cfg),
+        &cfg,
+    )
+    .unwrap()
+    .report;
+    let tms = run_workload(
+        &build_named("TMS", Dataset::Tiny, Variant::Glsc, &cfg),
+        &cfg,
+    )
+    .unwrap()
+    .report;
     assert!(gbc.gsu.sc_fail_alias > 0, "GBC must alias");
     assert!(
         tms.glsc_failure_rate() < gbc.glsc_failure_rate(),
         "TMS failure rate must be below GBC's"
     );
-    assert_eq!(tms.gsu.sc_fail_reservation, 0, "no cross-thread conflicts at 1x1");
+    assert_eq!(
+        tms.gsu.sc_fail_reservation, 0,
+        "no cross-thread conflicts at 1x1"
+    );
 }
