@@ -25,8 +25,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use glsc_kernels::{build_named, micro, run_workload, Dataset, KernelOutcome, Variant};
-use glsc_sim::MachineConfig;
+use glsc_kernels::{
+    build_named, micro, run_workload, run_workload_chaos, Dataset, KernelOutcome, Variant,
+};
+use glsc_sim::{ChaosConfig, ChaosStats, MachineConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -69,6 +71,27 @@ pub fn run(
     let cfg = config(cores, tpc, width);
     let w = build_named(kernel, ds, variant, &cfg);
     run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs one benchmark instance with a seeded fault plan installed
+/// (DESIGN.md §9). Validation still runs — the harness asserts the
+/// atomicity oracle, not just survival — and the plan's injection
+/// counters come back alongside the outcome. The machine gets a watchdog
+/// and a generous cycle budget so a forward-progress bug surfaces as a
+/// structured error instead of a hang.
+pub fn run_chaos(
+    kernel: &str,
+    ds: Dataset,
+    variant: Variant,
+    (cores, tpc): (usize, usize),
+    width: usize,
+    chaos: ChaosConfig,
+) -> (KernelOutcome, ChaosStats) {
+    let cfg = config(cores, tpc, width)
+        .with_max_cycles(2_000_000_000)
+        .with_watchdog_window(Some(5_000_000));
+    let w = build_named(kernel, ds, variant, &cfg);
+    run_workload_chaos(&w, &cfg, chaos).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Runs one §5.2 microbenchmark scenario.

@@ -3,7 +3,7 @@
 
 use glsc_isa::{CmpOp, MReg, Program, ProgramBuilder, Reg, VReg};
 use glsc_mem::Backing;
-use glsc_sim::{Machine, MachineConfig, RunReport};
+use glsc_sim::{ChaosConfig, ChaosStats, FaultPlan, Machine, MachineConfig, RunReport};
 
 /// The seven benchmark names, in the paper's order.
 pub const KERNEL_NAMES: [&str; 7] = ["GBC", "FS", "GPS", "HIP", "SMC", "MFP", "TMS"];
@@ -134,6 +134,49 @@ pub fn run_workload(w: &Workload, cfg: &MachineConfig) -> Result<KernelOutcome, 
     (w.validate)(machine.mem().backing())
         .map_err(|e| format!("{}: validation failed: {e}", w.name))?;
     Ok(KernelOutcome { report })
+}
+
+/// Runs a workload with a seeded fault-injection plan installed
+/// (DESIGN.md §9) and validates the result against the same golden
+/// reference as the fault-free path — the atomicity oracle: faults may
+/// slow the run down but must never change what it computes. Also returns
+/// the injection counters so callers can assert the perturbation was real.
+///
+/// # Errors
+///
+/// Returns an error string if the simulation aborts (cycle budget,
+/// watchdog, invariant check) or the validator rejects the final memory
+/// image; the string names the workload and embeds the structured
+/// [`SimError`](glsc_sim::SimError) diagnostic.
+pub fn run_workload_chaos(
+    w: &Workload,
+    cfg: &MachineConfig,
+    chaos: ChaosConfig,
+) -> Result<(KernelOutcome, ChaosStats), String> {
+    let mut machine = Machine::new(cfg.clone());
+    machine
+        .mem_mut()
+        .install_fault_plan(FaultPlan::new(chaos.clone()));
+    w.image.apply(machine.mem_mut().backing_mut());
+    machine.load_program(w.program.clone());
+    let report = machine.run().map_err(|e| {
+        format!(
+            "{} (chaos seed {}): simulation failed: {e}",
+            w.name, chaos.seed
+        )
+    })?;
+    (w.validate)(machine.mem().backing()).map_err(|e| {
+        format!(
+            "{} (chaos seed {}): validation failed: {e}",
+            w.name, chaos.seed
+        )
+    })?;
+    let stats = machine
+        .mem_mut()
+        .take_fault_plan()
+        .map(|p| p.stats().clone())
+        .unwrap_or_default();
+    Ok((KernelOutcome { report }, stats))
 }
 
 /// Approximate float equality with relative + absolute tolerance (atomic

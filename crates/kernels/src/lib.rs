@@ -50,7 +50,10 @@ pub mod micro;
 pub mod smc;
 pub mod tms;
 
-pub use common::{run_workload, Dataset, KernelOutcome, MemImage, Variant, Workload, KERNEL_NAMES};
+pub use common::{
+    run_workload, run_workload_chaos, Dataset, KernelOutcome, MemImage, Variant, Workload,
+    KERNEL_NAMES,
+};
 
 /// Builds a named kernel's workload: convenience dispatcher for the
 /// benchmark harness. `name` is one of [`KERNEL_NAMES`].

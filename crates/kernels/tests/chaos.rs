@@ -1,0 +1,132 @@
+//! The atomicity oracle under fault injection (DESIGN.md §9).
+//!
+//! Every kernel, under every sampled fault plan, must still produce a
+//! memory image the kernel's golden validator accepts: §3 of the paper
+//! allows faults to *destroy* reservations (slowing execution via
+//! retries) but never to break atomicity. The suite sweeps all seven
+//! kernels × both variants × many seeds — well over the 200 seeded runs
+//! the acceptance bar requires — and asserts the fault plans actually
+//! perturbed the runs (a chaos sweep that injected nothing proves
+//! nothing).
+//!
+//! Convention: every failure message names the seed so a red run can be
+//! replayed exactly.
+
+use glsc_kernels::{build_named, run_workload_chaos, Dataset, Variant, KERNEL_NAMES};
+use glsc_sim::{ChaosConfig, MachineConfig};
+
+/// Machine used by the sweeps: small enough for CI, enough cores and SMT
+/// threads for real contention, watchdog + budget tight enough that a
+/// protocol bug surfaces as a structured error rather than a hang.
+fn chaos_cfg() -> MachineConfig {
+    MachineConfig::paper(2, 2, 4)
+        .with_max_cycles(50_000_000)
+        .with_watchdog_window(Some(2_000_000))
+}
+
+#[test]
+fn all_kernels_validate_under_sampled_fault_plans() {
+    let cfg = chaos_cfg();
+    let seeds: Vec<u64> = (0..15).map(|i| 0xC0FFEE + 17 * i).collect();
+    let mut runs = 0u64;
+    let mut total_faults = 0u64;
+    let mut perturbed_runs = 0u64;
+    for kernel in KERNEL_NAMES {
+        for variant in [Variant::Base, Variant::Glsc] {
+            for &seed in &seeds {
+                let w = build_named(kernel, Dataset::Tiny, variant, &cfg);
+                let (_, stats) = run_workload_chaos(&w, &cfg, ChaosConfig::from_seed(seed))
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+                runs += 1;
+                total_faults += stats.total_faults();
+                if stats.total_destructive() > 0 {
+                    perturbed_runs += 1;
+                }
+            }
+        }
+    }
+    assert!(runs >= 200, "need >= 200 seeded runs, did {runs}");
+    assert!(
+        total_faults > runs,
+        "fault plans injected almost nothing ({total_faults} faults over {runs} runs)"
+    );
+    // Tiny runs are short, so not every single one necessarily catches a
+    // destructive fault, but the overwhelming majority must.
+    assert!(
+        perturbed_runs * 2 > runs,
+        "only {perturbed_runs}/{runs} runs saw a destructive fault"
+    );
+}
+
+#[test]
+fn aggressive_chaos_still_validates_glsc() {
+    // Injection on every access with high rates: the worst-case schedule
+    // for the retry loops. GLSC variants exercise vgatherlink/vscattercond
+    // element retries the hardest.
+    let cfg = chaos_cfg();
+    for kernel in KERNEL_NAMES {
+        for seed in [1u64, 2, 3] {
+            let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+            let (_, stats) = run_workload_chaos(&w, &cfg, ChaosConfig::aggressive(seed))
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(
+                stats.total_destructive() > 0,
+                "{kernel} seed {seed}: aggressive plan injected nothing"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_under_buffered_reservations_validates() {
+    // §3.3 buffer mode plus buffer-pressure injection: reservations die
+    // both from capacity overflow and from forced evictions.
+    let mut cfg = chaos_cfg();
+    cfg.mem.glsc_buffer_entries = Some(4);
+    let mut forced = 0u64;
+    for kernel in KERNEL_NAMES {
+        for seed in [11u64, 12, 13] {
+            let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+            let (_, stats) = run_workload_chaos(&w, &cfg, ChaosConfig::aggressive(seed))
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            forced += stats.forced_buffer_evictions;
+        }
+    }
+    assert!(forced > 0, "buffer pressure never forced an eviction");
+}
+
+#[test]
+fn chaos_run_is_deterministic_per_seed() {
+    let cfg = chaos_cfg();
+    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+    let (out_a, stats_a) = run_workload_chaos(&w, &cfg, ChaosConfig::from_seed(99)).unwrap();
+    let (out_b, stats_b) = run_workload_chaos(&w, &cfg, ChaosConfig::from_seed(99)).unwrap();
+    assert_eq!(stats_a, stats_b, "same seed must inject identical faults");
+    assert_eq!(
+        out_a.report, out_b.report,
+        "same seed must produce an identical run"
+    );
+    let (_, stats_c) = run_workload_chaos(&w, &cfg, ChaosConfig::from_seed(100)).unwrap();
+    assert_ne!(
+        stats_a, stats_c,
+        "different seeds should inject different fault sequences"
+    );
+}
+
+#[test]
+fn chaos_slows_but_never_changes_results() {
+    // Timing differs (jitter + retries), results agree: run HIP with and
+    // without a plan; both validate, and the chaotic run retires at least
+    // as many instructions (retries can only add work).
+    let cfg = chaos_cfg();
+    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+    let clean = glsc_kernels::run_workload(&w, &cfg).unwrap();
+    let (chaotic, stats) = run_workload_chaos(&w, &cfg, ChaosConfig::aggressive(7)).unwrap();
+    assert!(stats.total_destructive() > 0);
+    assert!(
+        chaotic.report.total_instructions() >= clean.report.total_instructions(),
+        "destructive faults cannot remove work: {} < {}",
+        chaotic.report.total_instructions(),
+        clean.report.total_instructions()
+    );
+}

@@ -1,5 +1,7 @@
 //! Memory-system configuration (Table 1 of the paper).
 
+use crate::errors::ConfigError;
+
 /// Parameters of the simulated memory hierarchy. [`MemConfig::default`]
 /// reproduces Table 1 of the paper.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -98,32 +100,58 @@ impl MemConfig {
         ((line / self.line_bytes) % self.l2_banks as u64) as usize
     }
 
+    /// Checks internal consistency (powers of two, non-zero ways),
+    /// returning the first violated constraint as a typed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found; see its variants for the
+    /// complete list of constraints.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if !self.line_bytes.is_power_of_two() {
+            return Err(ConfigError::LineBytesNotPowerOfTwo {
+                line_bytes: self.line_bytes,
+            });
+        }
+        if self.l1_assoc == 0 || self.l2_assoc == 0 {
+            return Err(ConfigError::ZeroAssociativity);
+        }
+        if self.l2_banks == 0 {
+            return Err(ConfigError::NoBanks);
+        }
+        if !self
+            .l1_bytes
+            .is_multiple_of(self.line_bytes * self.l1_assoc as u64)
+        {
+            return Err(ConfigError::L1NotSetDivisible {
+                l1_bytes: self.l1_bytes,
+                line_bytes: self.line_bytes,
+                assoc: self.l1_assoc,
+            });
+        }
+        if self.l1_sets() == 0 {
+            return Err(ConfigError::NoL1Sets);
+        }
+        if self.l2_sets_per_bank() == 0 {
+            return Err(ConfigError::NoL2Sets);
+        }
+        if self.glsc_buffer_entries == Some(0) {
+            return Err(ConfigError::ZeroBufferEntries);
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency (powers of two, non-zero ways).
     ///
     /// # Panics
     ///
     /// Panics with a descriptive message when the configuration is
-    /// inconsistent.
+    /// inconsistent. Use [`MemConfig::check`] for a non-panicking,
+    /// typed alternative.
     pub fn validate(&self) {
-        assert!(
-            self.line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
-        assert!(
-            self.l1_assoc > 0 && self.l2_assoc > 0,
-            "associativity must be non-zero"
-        );
-        assert!(self.l2_banks > 0, "need at least one L2 bank");
-        assert_eq!(
-            self.l1_bytes % (self.line_bytes * self.l1_assoc as u64),
-            0,
-            "L1 capacity must divide into sets"
-        );
-        assert!(self.l1_sets() > 0, "L1 must have at least one set");
-        assert!(
-            self.l2_sets_per_bank() > 0,
-            "L2 banks must have at least one set"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -154,5 +182,95 @@ mod tests {
     fn tiny_is_valid() {
         MemConfig::tiny().validate();
         assert_eq!(MemConfig::tiny().l1_sets(), 8);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_line() {
+        let c = MemConfig {
+            line_bytes: 48,
+            ..MemConfig::tiny()
+        };
+        assert_eq!(
+            c.check(),
+            Err(ConfigError::LineBytesNotPowerOfTwo { line_bytes: 48 })
+        );
+    }
+
+    #[test]
+    fn rejects_zero_associativity() {
+        let c = MemConfig {
+            l1_assoc: 0,
+            ..MemConfig::tiny()
+        };
+        assert_eq!(c.check(), Err(ConfigError::ZeroAssociativity));
+        let c = MemConfig {
+            l2_assoc: 0,
+            ..MemConfig::tiny()
+        };
+        assert_eq!(c.check(), Err(ConfigError::ZeroAssociativity));
+    }
+
+    #[test]
+    fn rejects_zero_banks() {
+        let c = MemConfig {
+            l2_banks: 0,
+            ..MemConfig::tiny()
+        };
+        assert_eq!(c.check(), Err(ConfigError::NoBanks));
+    }
+
+    #[test]
+    fn rejects_undivisible_l1() {
+        let c = MemConfig {
+            l1_bytes: 1000,
+            ..MemConfig::tiny()
+        };
+        assert_eq!(
+            c.check(),
+            Err(ConfigError::L1NotSetDivisible {
+                l1_bytes: 1000,
+                line_bytes: 64,
+                assoc: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_zero_l1_sets() {
+        let c = MemConfig {
+            l1_bytes: 0,
+            ..MemConfig::tiny()
+        };
+        assert_eq!(c.check(), Err(ConfigError::NoL1Sets));
+    }
+
+    #[test]
+    fn rejects_zero_l2_sets() {
+        let c = MemConfig {
+            l2_bytes: 128,
+            l2_assoc: 2,
+            l2_banks: 2,
+            ..MemConfig::tiny()
+        };
+        assert_eq!(c.check(), Err(ConfigError::NoL2Sets));
+    }
+
+    #[test]
+    fn rejects_empty_reservation_buffer() {
+        let c = MemConfig {
+            glsc_buffer_entries: Some(0),
+            ..MemConfig::tiny()
+        };
+        assert_eq!(c.check(), Err(ConfigError::ZeroBufferEntries));
+    }
+
+    #[test]
+    #[should_panic(expected = "line size must be a power of two")]
+    fn validate_panics_with_message() {
+        MemConfig {
+            line_bytes: 48,
+            ..MemConfig::tiny()
+        }
+        .validate();
     }
 }

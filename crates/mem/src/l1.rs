@@ -207,6 +207,63 @@ impl L1Cache {
         }
     }
 
+    /// Clears every reservation held in this L1 (a context-switch flush,
+    /// one of §3.2's destructive events). Returns the number of lines that
+    /// lost at least one reservation.
+    pub fn clear_all_reservations(&mut self) -> u64 {
+        match &mut self.reservations {
+            ReservationStore::PerLine => {
+                let mut cleared = 0;
+                for (_, p) in self.tags.iter_mut() {
+                    if p.reservation != 0 {
+                        p.reservation = 0;
+                        cleared += 1;
+                    }
+                }
+                cleared
+            }
+            ReservationStore::Buffer { entries, .. } => {
+                let cleared = entries.len() as u64;
+                entries.clear();
+                cleared
+            }
+        }
+    }
+
+    /// Force-evicts the oldest entry of the §3.3 reservation buffer
+    /// (capacity-overflow pressure from a fault injector), counting it as
+    /// a buffer eviction. Returns `false` in per-line mode or when the
+    /// buffer is empty.
+    pub fn force_buffer_eviction(&mut self) -> bool {
+        match &mut self.reservations {
+            ReservationStore::PerLine => false,
+            ReservationStore::Buffer {
+                entries, evictions, ..
+            } => {
+                if entries.pop_front().is_some() {
+                    *evictions += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Snapshot of every live reservation as `(line, thread mask)` pairs,
+    /// in unspecified order. Used for livelock diagnostic dumps.
+    pub fn reservation_entries(&self) -> Vec<(u64, u8)> {
+        match &self.reservations {
+            ReservationStore::PerLine => self
+                .tags
+                .iter()
+                .filter(|(_, p)| p.reservation != 0)
+                .map(|(line, p)| (line, p.reservation))
+                .collect(),
+            ReservationStore::Buffer { entries, .. } => entries.iter().copied().collect(),
+        }
+    }
+
     /// Whether `tid` currently holds a reservation on `line`.
     pub fn holds_reservation(&self, line: u64, tid: u8) -> bool {
         match &self.reservations {

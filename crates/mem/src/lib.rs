@@ -33,7 +33,9 @@
 #![warn(missing_docs)]
 
 mod backing;
+mod chaos;
 mod config;
+mod errors;
 mod l1;
 mod l2;
 mod prefetch;
@@ -42,7 +44,9 @@ mod system;
 mod tags;
 
 pub use backing::Backing;
+pub use chaos::{ChaosConfig, ChaosStats, FaultPlan};
 pub use config::MemConfig;
+pub use errors::{ConfigError, InvariantViolation};
 pub use l1::{L1Cache, L1State, LinePayload};
 pub use l2::{L2Bank, L2Payload};
 pub use prefetch::StridePrefetcher;

@@ -7,12 +7,15 @@
 //! state, and returns the cycle at which the request's data is available.
 
 use crate::backing::Backing;
+use crate::chaos::{ChaosStats, FaultPlan};
 use crate::config::MemConfig;
+use crate::errors::{ConfigError, InvariantViolation};
 use crate::l1::{L1Cache, L1State, LinePayload};
 use crate::l2::{L2Bank, L2Payload};
 use crate::line_of;
 use crate::prefetch::StridePrefetcher;
 use crate::stats::MemStats;
+use glsc_rng::Rng;
 
 /// The kind of request presented at an L1 port.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,6 +54,12 @@ pub struct MemorySystem {
     banks: Vec<L2Bank>,
     prefetchers: Vec<StridePrefetcher>,
     stats: MemStats,
+    /// Installed fault-injection plan (DESIGN.md §9); `None` on the
+    /// fault-free hot path.
+    chaos: Option<Box<FaultPlan>>,
+    /// Extra DRAM cycles the next L2-miss fill must absorb (scheduled by
+    /// the jitter injector; always 0 without a fault plan).
+    jitter_next_fill: u64,
 }
 
 impl MemorySystem {
@@ -60,12 +69,37 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent (see
-    /// [`MemConfig::validate`]) or `num_cores` is 0 or exceeds 32.
+    /// [`MemConfig::validate`]) or `num_cores` is 0 or exceeds 32. Use
+    /// [`MemorySystem::try_new`] for a non-panicking alternative.
     pub fn new(cfg: MemConfig, num_cores: usize, threads_per_core: usize) -> Self {
-        cfg.validate();
-        assert!(num_cores > 0 && num_cores <= 32, "1..=32 cores supported");
-        assert!(threads_per_core > 0, "need at least one thread per core");
-        let l1s = (0..num_cores)
+        match Self::try_new(cfg, num_cores, threads_per_core) {
+            Ok(sys) => sys,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a memory system, rejecting inconsistent shapes as a typed
+    /// [`ConfigError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`MemConfig::check`] rejects, plus
+    /// [`ConfigError::CoresOutOfRange`] (the directory sharer vector is a
+    /// `u32` bitmask) and [`ConfigError::ThreadsPerCoreOutOfRange`] (the
+    /// reservation masks are 8-bit).
+    pub fn try_new(
+        cfg: MemConfig,
+        num_cores: usize,
+        threads_per_core: usize,
+    ) -> Result<Self, ConfigError> {
+        cfg.check()?;
+        if num_cores == 0 || num_cores > 32 {
+            return Err(ConfigError::CoresOutOfRange { cores: num_cores });
+        }
+        if threads_per_core == 0 || threads_per_core > 8 {
+            return Err(ConfigError::ThreadsPerCoreOutOfRange { threads_per_core });
+        }
+        let l1s: Vec<L1Cache> = (0..num_cores)
             .map(|_| match cfg.glsc_buffer_entries {
                 None => L1Cache::new(cfg.l1_sets(), cfg.l1_assoc, cfg.line_bytes),
                 Some(k) => {
@@ -79,14 +113,39 @@ impl MemorySystem {
         let prefetchers = (0..num_cores)
             .map(|_| StridePrefetcher::new(threads_per_core, cfg.prefetch_degree, cfg.line_bytes))
             .collect();
-        Self {
+        Ok(Self {
             cfg,
             backing: Backing::new(),
             l1s,
             banks,
             prefetchers,
             stats: MemStats::default(),
-        }
+            chaos: None,
+            jitter_next_fill: 0,
+        })
+    }
+
+    /// Installs a seeded fault-injection plan; subsequent accesses are
+    /// subject to its schedule. Replaces any existing plan.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.chaos = Some(Box::new(plan));
+    }
+
+    /// Removes and returns the installed fault plan, restoring the
+    /// zero-overhead fault-free path.
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.jitter_next_fill = 0;
+        self.chaos.take().map(|b| *b)
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.chaos.as_deref()
+    }
+
+    /// Injection counters of the installed fault plan, if any.
+    pub fn chaos_stats(&self) -> Option<&ChaosStats> {
+        self.chaos.as_ref().map(|p| p.stats())
     }
 
     /// The configuration in effect.
@@ -139,6 +198,9 @@ impl MemorySystem {
     /// elements, §4.1).
     pub fn access(&mut self, core: usize, tid: u8, op: MemOp, addr: u64, now: u64) -> AccessResult {
         let line = line_of(addr, self.cfg.line_bytes);
+        if self.chaos.is_some() {
+            self.inject_faults();
+        }
         let result = self.access_line(core, tid, op, line, now, true);
         if self.cfg.prefetch && !matches!(op, MemOp::StoreCond) {
             for pf_line in self.prefetchers[core].observe(tid as usize, line) {
@@ -146,6 +208,85 @@ impl MemorySystem {
             }
         }
         result
+    }
+
+    /// Runs the installed fault plan for one accepted access: every
+    /// `period`-th access is an injection point at which each fault kind is
+    /// rolled independently. Off the hot path — callers gate on
+    /// `self.chaos.is_some()`.
+    ///
+    /// All faults are destructive-only (clear, evict, delay); see the
+    /// `chaos` module docs for why injecting spurious reservation *gain*
+    /// is forbidden.
+    #[cold]
+    fn inject_faults(&mut self) {
+        let Some(mut plan) = self.chaos.take() else {
+            return;
+        };
+        plan.accesses += 1;
+        if plan.accesses % plan.cfg.period == 0 {
+            self.injection_point(&mut plan);
+        }
+        self.chaos = Some(plan);
+    }
+
+    /// One injection point of `plan` (taken out of `self` so the injectors
+    /// can borrow the caches mutably).
+    fn injection_point(&mut self, plan: &mut FaultPlan) {
+        plan.stats.injection_points += 1;
+        let cores = self.l1s.len();
+
+        // (a) §3.2 conflicting write: kill every link on one reserved line.
+        if plan.rng.random_bool(plan.cfg.clear_line_prob) {
+            let c = plan.rng.random_range(0..cores);
+            let reserved = self.l1s[c].reservation_entries();
+            if !reserved.is_empty() {
+                let (line, _) = reserved[plan.rng.random_range(0..reserved.len())];
+                if self.l1s[c].clear_reservation(line) {
+                    plan.stats.reservations_cleared += 1;
+                }
+            }
+        }
+
+        // (a') §3.2 context switch: flush one core's reservation state.
+        if plan.rng.random_bool(plan.cfg.flush_core_prob) {
+            let c = plan.rng.random_range(0..cores);
+            if self.l1s[c].clear_all_reservations() > 0 {
+                plan.stats.core_flushes += 1;
+            }
+        }
+
+        // (b) §3.2 capacity/prefetch displacement: evict a random resident
+        // line with full directory bookkeeping (the same path a natural
+        // eviction takes, so coherence invariants keep holding).
+        if plan.rng.random_bool(plan.cfg.evict_line_prob) {
+            let c = plan.rng.random_range(0..cores);
+            let resident: Vec<u64> = self.l1s[c].iter().map(|(line, _)| line).collect();
+            if !resident.is_empty() {
+                let line = resident[plan.rng.random_range(0..resident.len())];
+                if let Some(vpay) = self.l1s[c].invalidate(line) {
+                    self.evict_from_l1(c, line, vpay);
+                    plan.stats.lines_evicted += 1;
+                }
+            }
+        }
+
+        // (c) DRAM timing jitter: the next L2-miss fill is late.
+        if plan.cfg.dram_jitter_max > 0 && plan.rng.random_bool(plan.cfg.dram_jitter_prob) {
+            let extra = plan.rng.random_range(1..=plan.cfg.dram_jitter_max);
+            self.jitter_next_fill = self.jitter_next_fill.saturating_add(extra);
+            plan.stats.jitter_events += 1;
+            plan.stats.jitter_cycles += extra;
+        }
+
+        // (d) §3.3 buffer overflow pressure: force the oldest buffered
+        // reservation out (no-op in per-line-tag mode).
+        if plan.rng.random_bool(plan.cfg.buffer_pressure_prob) {
+            let c = plan.rng.random_range(0..cores);
+            if self.l1s[c].force_buffer_eviction() {
+                plan.stats.forced_buffer_evictions += 1;
+            }
+        }
     }
 
     fn prefetch_line(&mut self, core: usize, line: u64, now: u64) {
@@ -355,7 +496,12 @@ impl MemorySystem {
             if demand {
                 self.stats.l2_misses += 1;
             }
-            let fill_done = start + self.cfg.l2_latency + self.cfg.dram_latency;
+            // `jitter_next_fill` is 0 whenever no fault plan is installed,
+            // keeping fault-free timing bit-identical.
+            let fill_done = start
+                + self.cfg.l2_latency
+                + self.cfg.dram_latency
+                + std::mem::take(&mut self.jitter_next_fill);
             let payload = L2Payload {
                 sharers: if for_store { 0 } else { 1 << core },
                 owner: if for_store { Some(core as u8) } else { None },
@@ -440,45 +586,85 @@ impl MemorySystem {
             .sum()
     }
 
-    /// Verifies the coherence invariants; used by tests.
+    /// Verifies the coherence invariants, returning the first violation as
+    /// a typed value: inclusion, directory/sharer agreement, and
+    /// single-writer.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a description of the first violated invariant:
-    /// inclusion, directory/sharer agreement, and single-writer.
-    pub fn check_invariants(&self) {
+    /// The first [`InvariantViolation`] found, naming the line, the
+    /// core(s) involved and the directory state observed.
+    pub fn try_check_invariants(&self) -> Result<(), InvariantViolation> {
         for (c, l1) in self.l1s.iter().enumerate() {
             for (line, p) in l1.iter() {
                 let bank = self.cfg.bank_of(line);
-                let dir = self.banks[bank].tags.peek(line).unwrap_or_else(|| {
-                    panic!("inclusion violated: L1 {c} holds {line:#x} not in L2")
-                });
+                let Some(dir) = self.banks[bank].tags.peek(line) else {
+                    return Err(InvariantViolation::Inclusion { core: c, line });
+                };
                 match p.state {
-                    L1State::Modified => assert_eq!(
-                        dir.owner,
-                        Some(c as u8),
-                        "L1 {c} has {line:#x} Modified but directory owner is {:?}",
-                        dir.owner
-                    ),
-                    L1State::Shared => assert_ne!(
-                        dir.sharers & (1 << c),
-                        0,
-                        "L1 {c} has {line:#x} Shared but is not a directory sharer"
-                    ),
+                    L1State::Modified => {
+                        if dir.owner != Some(c as u8) {
+                            return Err(InvariantViolation::OwnerMismatch {
+                                core: c,
+                                line,
+                                directory_owner: dir.owner,
+                            });
+                        }
+                    }
+                    L1State::Shared => {
+                        if dir.sharers & (1 << c) == 0 {
+                            return Err(InvariantViolation::MissingSharer {
+                                core: c,
+                                line,
+                                sharers: dir.sharers,
+                            });
+                        }
+                    }
                 }
             }
         }
         for bank in &self.banks {
             for (line, dir) in bank.tags.iter() {
                 if let Some(owner) = dir.owner {
-                    assert_eq!(dir.sharers, 0, "owned line {line:#x} must have no sharers");
+                    if dir.sharers != 0 {
+                        return Err(InvariantViolation::OwnedWithSharers {
+                            owner,
+                            line,
+                            sharers: dir.sharers,
+                        });
+                    }
                     let l1p = self.l1s[owner as usize].peek(line);
-                    assert!(
-                        l1p.is_some_and(|p| p.state == L1State::Modified),
-                        "directory owner {owner} does not hold {line:#x} Modified"
-                    );
+                    if !l1p.is_some_and(|p| p.state == L1State::Modified) {
+                        return Err(InvariantViolation::OwnerNotModified { owner, line });
+                    }
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Verifies the coherence invariants; used by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant. Use
+    /// [`MemorySystem::try_check_invariants`] for a non-panicking, typed
+    /// alternative.
+    pub fn check_invariants(&self) {
+        if let Err(e) = self.try_check_invariants() {
+            panic!("{e}");
+        }
+    }
+
+    /// Snapshot of every live reservation across all L1s as
+    /// `(core, line, thread mask)` tuples, for livelock diagnostic dumps.
+    pub fn reservation_state(&self) -> Vec<(usize, u64, u8)> {
+        let mut out = Vec::new();
+        for (c, l1) in self.l1s.iter().enumerate() {
+            for (line, mask) in l1.reservation_entries() {
+                out.push((c, line, mask));
+            }
+        }
+        out
     }
 }

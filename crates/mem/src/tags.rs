@@ -138,6 +138,15 @@ impl<P> TagArray<P> {
         self.sets.iter().flatten().map(|s| (s.line, &s.payload))
     }
 
+    /// Iterates mutably over all resident `(line, payload)` pairs (no LRU
+    /// side effects).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut P)> {
+        self.sets
+            .iter_mut()
+            .flatten()
+            .map(|s| (s.line, &mut s.payload))
+    }
+
     /// Number of resident lines.
     pub fn len(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()

@@ -1,0 +1,179 @@
+//! Fault-injection layer tests at the memory-system level (DESIGN.md §9):
+//! determinism per seed, destructive-only semantics, jitter timing, both
+//! reservation-tracking modes, and coherence invariants under chaos.
+
+use glsc_mem::{ChaosConfig, ChaosStats, FaultPlan, MemConfig, MemOp, MemorySystem};
+use glsc_rng::{rngs::StdRng, Rng, SeedableRng};
+
+fn sys(cores: usize) -> MemorySystem {
+    let cfg = MemConfig {
+        prefetch: false,
+        ..MemConfig::default()
+    };
+    MemorySystem::new(cfg, cores, 4)
+}
+
+/// A plan that fires a single fault kind on every access.
+fn only(field: &str, seed: u64) -> ChaosConfig {
+    let mut c = ChaosConfig {
+        period: 1,
+        clear_line_prob: 0.0,
+        flush_core_prob: 0.0,
+        evict_line_prob: 0.0,
+        dram_jitter_prob: 0.0,
+        dram_jitter_max: 16,
+        buffer_pressure_prob: 0.0,
+        ..ChaosConfig::from_seed(seed)
+    };
+    match field {
+        "clear" => c.clear_line_prob = 1.0,
+        "jitter" => c.dram_jitter_prob = 1.0,
+        "pressure" => c.buffer_pressure_prob = 1.0,
+        other => panic!("unknown fault kind {other:?}"),
+    }
+    c
+}
+
+/// Drives a fixed pseudo-random mix of ops over a handful of lines and
+/// returns (completion times, chaos stats) for determinism comparison.
+fn drive(mut m: MemorySystem, plan_seed: u64, stream_seed: u64) -> (Vec<u64>, ChaosStats) {
+    m.install_fault_plan(FaultPlan::from_seed(plan_seed));
+    let mut rng = StdRng::seed_from_u64(stream_seed);
+    let mut now = 0u64;
+    let mut dones = Vec::new();
+    for _ in 0..400 {
+        let core = rng.random_range(0..m.num_cores());
+        let tid = rng.random_range(0..4u8);
+        let addr = 0x1000 + 0x40 * rng.random_range(0..8u64);
+        let op = match rng.random_range(0..4u8) {
+            0 => MemOp::Load,
+            1 => MemOp::Store,
+            2 => MemOp::LoadLinked,
+            _ => MemOp::StoreCond,
+        };
+        let r = m.access(core, tid, op, addr, now);
+        now = now.max(r.done) + 1;
+        dones.push(r.done);
+    }
+    let stats = m.take_fault_plan().unwrap().stats().clone();
+    (dones, stats)
+}
+
+#[test]
+fn same_seed_injects_identical_faults() {
+    let (dones_a, stats_a) = drive(sys(2), 7, 1234);
+    let (dones_b, stats_b) = drive(sys(2), 7, 1234);
+    assert_eq!(stats_a, stats_b, "same seed must produce identical stats");
+    assert_eq!(dones_a, dones_b, "same seed must produce identical timing");
+    assert!(stats_a.total_destructive() > 0, "plan must actually inject");
+
+    let (_, stats_c) = drive(sys(2), 8, 1234);
+    assert_ne!(stats_a, stats_c, "different seeds must diverge");
+}
+
+#[test]
+fn invariants_hold_throughout_a_chaotic_stream() {
+    let mut m = sys(4);
+    m.install_fault_plan(FaultPlan::new(ChaosConfig::aggressive(11)));
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    let mut now = 0u64;
+    for i in 0..600 {
+        let core = rng.random_range(0..4usize);
+        let tid = rng.random_range(0..4u8);
+        let addr = 0x2000 + 0x40 * rng.random_range(0..16u64);
+        let op = if rng.random_bool(0.5) {
+            MemOp::LoadLinked
+        } else {
+            MemOp::Store
+        };
+        let r = m.access(core, tid, op, addr, now);
+        now = now.max(r.done) + 1;
+        if i % 32 == 0 {
+            m.try_check_invariants()
+                .unwrap_or_else(|e| panic!("invariant broke under chaos at step {i}: {e}"));
+        }
+    }
+    m.try_check_invariants().unwrap();
+    let stats = m.chaos_stats().unwrap();
+    assert!(stats.lines_evicted > 0, "eviction injector never fired");
+    assert!(stats.reservations_cleared > 0, "clear injector never fired");
+}
+
+#[test]
+fn cleared_reservation_fails_the_next_sc() {
+    let mut m = sys(1);
+    let t = m.access(0, 0, MemOp::LoadLinked, 0x1000, 0).done;
+    assert!(m.holds_reservation(0, 0, 0x1000));
+
+    m.install_fault_plan(FaultPlan::new(only("clear", 3)));
+    // Any later access triggers an injection point that kills the
+    // reservation; the sc must then fail rather than falsely succeed.
+    let t = m.access(0, 1, MemOp::Load, 0x2000, t).done;
+    assert!(!m.holds_reservation(0, 0, 0x1000), "fault must clear it");
+    let r = m.access(0, 0, MemOp::StoreCond, 0x1000, t);
+    assert!(!r.sc_ok, "sc after a destroyed reservation must fail");
+    assert!(m.chaos_stats().unwrap().reservations_cleared > 0);
+}
+
+#[test]
+fn jitter_delays_dram_fills_only() {
+    // Jitter-free plan: cold-miss timing must match the documented
+    // l1 + l2 + dram pipeline exactly (chaos framework adds zero cycles).
+    let mut m = sys(1);
+    m.install_fault_plan(FaultPlan::new(only("clear", 5)));
+    let base = m.access(0, 0, MemOp::Load, 0x1000, 0).done;
+    assert_eq!(base, 3 + 12 + 280, "non-jitter faults must not slow fills");
+
+    // Jitter on every access: cold misses pay 1..=dram_jitter_max extra.
+    let mut m = sys(1);
+    m.install_fault_plan(FaultPlan::new(only("jitter", 5)));
+    let r = m.access(0, 0, MemOp::Load, 0x1000, 0);
+    assert!(r.done > base, "jitter must delay the DRAM fill");
+    assert!(r.done <= base + 16, "jitter is bounded by dram_jitter_max");
+}
+
+#[test]
+fn buffer_pressure_forces_evictions_in_buffer_mode_only() {
+    // §3.3 buffer mode: forced evictions pop live entries and count.
+    let cfg = MemConfig {
+        prefetch: false,
+        glsc_buffer_entries: Some(2),
+        ..MemConfig::default()
+    };
+    let mut m = MemorySystem::new(cfg, 1, 4);
+    m.install_fault_plan(FaultPlan::new(only("pressure", 9)));
+    let t = m.access(0, 0, MemOp::LoadLinked, 0x1000, 0).done;
+    let t = m.access(0, 1, MemOp::Load, 0x3000, t).done;
+    let r = m.access(0, 0, MemOp::StoreCond, 0x1000, t);
+    assert!(!r.sc_ok, "forced buffer eviction must kill the reservation");
+    assert!(m.reservation_buffer_evictions() > 0);
+    assert!(m.chaos_stats().unwrap().forced_buffer_evictions > 0);
+
+    // Per-line mode: the same plan is a no-op (nothing to pop).
+    let mut m = sys(1);
+    m.install_fault_plan(FaultPlan::new(only("pressure", 9)));
+    let t = m.access(0, 0, MemOp::LoadLinked, 0x1000, 0).done;
+    let t = m.access(0, 1, MemOp::Load, 0x3000, t).done;
+    let r = m.access(0, 0, MemOp::StoreCond, 0x1000, t);
+    assert!(r.sc_ok, "buffer pressure must not affect per-line mode");
+    assert_eq!(m.chaos_stats().unwrap().forced_buffer_evictions, 0);
+}
+
+#[test]
+fn take_fault_plan_restores_clean_behaviour() {
+    let mut m = sys(1);
+    m.install_fault_plan(FaultPlan::new(only("jitter", 21)));
+    let jittered = m.access(0, 0, MemOp::Load, 0x1000, 0);
+    assert!(jittered.done > 295);
+
+    let plan = m.take_fault_plan().expect("plan was installed");
+    assert!(plan.stats().jitter_events > 0);
+    assert!(m.fault_plan().is_none());
+    assert!(m.chaos_stats().is_none());
+
+    // A fresh cold miss after removal pays exactly the clean pipeline:
+    // any pending (un-consumed) jitter is discarded with the plan.
+    let t = jittered.done;
+    let clean = m.access(0, 0, MemOp::Load, 0x8000, t);
+    assert_eq!(clean.done, t + 3 + 12 + 280);
+}

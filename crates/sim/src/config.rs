@@ -2,6 +2,82 @@
 
 use glsc_core::GlscConfig;
 use glsc_mem::MemConfig;
+use std::fmt;
+
+/// A rejected machine-configuration parameter.
+///
+/// Produced by [`MachineConfig::check`] and
+/// [`Machine::try_new`](crate::Machine::try_new).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Core count outside 1..=32.
+    CoresOutOfRange {
+        /// The offending core count.
+        cores: usize,
+    },
+    /// SMT threads per core outside 1..=8.
+    ThreadsPerCoreOutOfRange {
+        /// The offending thread count.
+        threads_per_core: usize,
+    },
+    /// SIMD width outside 1..=[`glsc_isa::MAX_SIMD_WIDTH`].
+    SimdWidthOutOfRange {
+        /// The offending width.
+        simd_width: usize,
+    },
+    /// Issue width is zero.
+    IssueWidthZero,
+    /// Cycle budget (`max_cycles`) is zero — the machine could never step.
+    ZeroCycleBudget,
+    /// Watchdog window is zero — the watchdog would fire on cycle 0.
+    ZeroWatchdogWindow,
+    /// Invariant-check period is zero.
+    ZeroInvariantCheckPeriod,
+    /// The memory-hierarchy parameters were rejected.
+    Mem(glsc_mem::ConfigError),
+}
+
+impl From<glsc_mem::ConfigError> for ConfigError {
+    fn from(e: glsc_mem::ConfigError) -> Self {
+        ConfigError::Mem(e)
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::CoresOutOfRange { cores } => {
+                write!(f, "1..=32 cores (got {cores})")
+            }
+            ConfigError::ThreadsPerCoreOutOfRange { threads_per_core } => {
+                write!(f, "1..=8 threads per core (got {threads_per_core})")
+            }
+            ConfigError::SimdWidthOutOfRange { simd_width } => {
+                write!(
+                    f,
+                    "SIMD width 1..={} (got {simd_width})",
+                    glsc_isa::MAX_SIMD_WIDTH
+                )
+            }
+            ConfigError::IssueWidthZero => write!(f, "issue width >= 1"),
+            ConfigError::ZeroCycleBudget => write!(f, "cycle budget must be non-zero"),
+            ConfigError::ZeroWatchdogWindow => write!(f, "watchdog window must be non-zero"),
+            ConfigError::ZeroInvariantCheckPeriod => {
+                write!(f, "invariant check period must be non-zero")
+            }
+            ConfigError::Mem(e) => write!(f, "memory config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Functional-unit result latencies in cycles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,8 +157,23 @@ pub struct MachineConfig {
     pub mem: MemConfig,
     /// GLSC policy knobs.
     pub glsc: GlscConfig,
-    /// Safety bound: [`crate::Machine::run`] fails after this many cycles.
+    /// Safety bound: [`crate::Machine::run`] fails with
+    /// [`SimError::MaxCyclesExceeded`](crate::SimError) after this many
+    /// cycles.
     pub max_cycles: u64,
+    /// Forward-progress watchdog: if no thread in the whole machine issues
+    /// an instruction for this many consecutive cycles, the run aborts
+    /// with [`SimError::Livelock`](crate::SimError) carrying a diagnostic
+    /// dump. `None` disables the watchdog. Note that a GLSC retry storm is
+    /// *not* a livelock by this definition (the retry loop keeps issuing);
+    /// the watchdog catches true scheduling deadlocks — e.g. barrier
+    /// mismatches — long before the cycle budget does.
+    pub watchdog_window: Option<u64>,
+    /// Debug flag: check the memory system's coherence invariants every
+    /// this many cycles, aborting with
+    /// [`SimError::InvariantViolation`](crate::SimError) on failure.
+    /// `None` (the default) skips the checks entirely.
+    pub invariant_check_period: Option<u64>,
 }
 
 impl MachineConfig {
@@ -99,7 +190,32 @@ impl MachineConfig {
             mem: MemConfig::default(),
             glsc: GlscConfig::default(),
             max_cycles: 2_000_000_000,
+            watchdog_window: Some(1_000_000),
+            invariant_check_period: None,
         }
+    }
+
+    /// Sets the cycle budget (builder style).
+    #[must_use]
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Sets (or disables, with `None`) the forward-progress watchdog
+    /// window (builder style).
+    #[must_use]
+    pub fn with_watchdog_window(mut self, window: Option<u64>) -> Self {
+        self.watchdog_window = window;
+        self
+    }
+
+    /// Enables periodic coherence invariant checking every `period` cycles
+    /// (or disables it with `None`; builder style).
+    #[must_use]
+    pub fn with_invariant_checks(mut self, period: Option<u64>) -> Self {
+        self.invariant_check_period = period;
+        self
     }
 
     /// Total software threads (`m × n` in the paper's notation).
@@ -107,23 +223,53 @@ impl MachineConfig {
         self.cores * self.threads_per_core
     }
 
+    /// Checks the configuration, returning the first out-of-range
+    /// parameter as a typed value.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] found (machine shape first, then the
+    /// embedded [`MemConfig`]).
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 || self.cores > 32 {
+            return Err(ConfigError::CoresOutOfRange { cores: self.cores });
+        }
+        if self.threads_per_core == 0 || self.threads_per_core > 8 {
+            return Err(ConfigError::ThreadsPerCoreOutOfRange {
+                threads_per_core: self.threads_per_core,
+            });
+        }
+        if self.simd_width == 0 || self.simd_width > glsc_isa::MAX_SIMD_WIDTH {
+            return Err(ConfigError::SimdWidthOutOfRange {
+                simd_width: self.simd_width,
+            });
+        }
+        if self.issue_width == 0 {
+            return Err(ConfigError::IssueWidthZero);
+        }
+        if self.max_cycles == 0 {
+            return Err(ConfigError::ZeroCycleBudget);
+        }
+        if self.watchdog_window == Some(0) {
+            return Err(ConfigError::ZeroWatchdogWindow);
+        }
+        if self.invariant_check_period == Some(0) {
+            return Err(ConfigError::ZeroInvariantCheckPeriod);
+        }
+        self.mem.check()?;
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
-    /// Panics when a parameter is out of the supported range.
+    /// Panics when a parameter is out of the supported range. Use
+    /// [`MachineConfig::check`] for a non-panicking, typed alternative.
     pub fn validate(&self) {
-        assert!(self.cores >= 1 && self.cores <= 32, "1..=32 cores");
-        assert!(
-            self.threads_per_core >= 1 && self.threads_per_core <= 8,
-            "1..=8 threads per core"
-        );
-        assert!(
-            self.simd_width >= 1 && self.simd_width <= glsc_isa::MAX_SIMD_WIDTH,
-            "SIMD width 1..=32"
-        );
-        assert!(self.issue_width >= 1, "issue width >= 1");
-        self.mem.validate();
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -160,5 +306,62 @@ mod tests {
     #[should_panic(expected = "SIMD width")]
     fn invalid_width_rejected() {
         MachineConfig::paper(1, 1, 64).validate();
+    }
+
+    #[test]
+    fn typed_rejections() {
+        assert_eq!(
+            MachineConfig::paper(0, 1, 4).check(),
+            Err(ConfigError::CoresOutOfRange { cores: 0 })
+        );
+        assert_eq!(
+            MachineConfig::paper(33, 1, 4).check(),
+            Err(ConfigError::CoresOutOfRange { cores: 33 })
+        );
+        assert_eq!(
+            MachineConfig::paper(1, 9, 4).check(),
+            Err(ConfigError::ThreadsPerCoreOutOfRange {
+                threads_per_core: 9
+            })
+        );
+        assert_eq!(
+            MachineConfig::paper(1, 1, 64).check(),
+            Err(ConfigError::SimdWidthOutOfRange { simd_width: 64 })
+        );
+        let c = MachineConfig {
+            issue_width: 0,
+            ..MachineConfig::paper(1, 1, 4)
+        };
+        assert_eq!(c.check(), Err(ConfigError::IssueWidthZero));
+        let c = MachineConfig::paper(1, 1, 4).with_max_cycles(0);
+        assert_eq!(c.check(), Err(ConfigError::ZeroCycleBudget));
+        let c = MachineConfig::paper(1, 1, 4).with_watchdog_window(Some(0));
+        assert_eq!(c.check(), Err(ConfigError::ZeroWatchdogWindow));
+        let c = MachineConfig::paper(1, 1, 4).with_invariant_checks(Some(0));
+        assert_eq!(c.check(), Err(ConfigError::ZeroInvariantCheckPeriod));
+    }
+
+    #[test]
+    fn mem_rejection_wrapped() {
+        let mut c = MachineConfig::paper(1, 1, 4);
+        c.mem.line_bytes = 48;
+        assert_eq!(
+            c.check(),
+            Err(ConfigError::Mem(
+                glsc_mem::ConfigError::LineBytesNotPowerOfTwo { line_bytes: 48 }
+            ))
+        );
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let c = MachineConfig::paper(1, 1, 4)
+            .with_max_cycles(123)
+            .with_watchdog_window(None)
+            .with_invariant_checks(Some(64));
+        assert_eq!(c.max_cycles, 123);
+        assert_eq!(c.watchdog_window, None);
+        assert_eq!(c.invariant_check_period, Some(64));
+        c.validate();
     }
 }

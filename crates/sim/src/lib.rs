@@ -53,12 +53,13 @@ mod report;
 mod thread;
 
 pub use arch::ThreadArch;
-pub use config::{LatencyTable, MachineConfig};
+pub use config::{ConfigError, LatencyTable, MachineConfig};
 pub use machine::{Machine, SimError};
-pub use report::{RunReport, ThreadStats};
+pub use report::{RunReport, StallTotals, ThreadStats};
 pub use thread::ThreadStatus;
 
-// Re-export for convenience: a Machine exposes its memory system.
+// Re-export for convenience: a Machine exposes its memory system, and
+// chaos plans are installed through it (DESIGN.md §9).
 pub use glsc_core::GlscConfig;
 pub use glsc_isa::Program;
-pub use glsc_mem::{MemConfig, MemorySystem};
+pub use glsc_mem::{ChaosConfig, ChaosStats, FaultPlan, MemConfig, MemorySystem};

@@ -1,8 +1,8 @@
 //! The whole-machine cycle loop: cores, shared memory system, barriers.
 
-use crate::config::MachineConfig;
+use crate::config::{ConfigError, MachineConfig};
 use crate::cpu::Core;
-use crate::report::RunReport;
+use crate::report::{RunReport, StallTotals};
 use crate::thread::ThreadStatus;
 use glsc_core::MemCompletion;
 use glsc_isa::{Program, Reg};
@@ -16,14 +16,43 @@ use std::sync::Arc;
 pub enum SimError {
     /// No program was loaded before [`Machine::run`].
     NoProgram,
-    /// The cycle budget was exhausted (likely livelock/deadlock in the
-    /// simulated program); carries the per-thread program counters for
-    /// diagnosis.
+    /// The configuration was rejected (from [`Machine::try_new`]).
+    InvalidConfig(ConfigError),
+    /// The cycle budget was exhausted (a non-terminating simulated
+    /// program — note a GLSC retry storm lands here, not in
+    /// [`SimError::Livelock`], because retries keep issuing); carries the
+    /// per-thread program counters and stall totals for diagnosis.
     MaxCyclesExceeded {
         /// Cycle at which the run aborted.
         cycle: u64,
         /// `(global thread id, pc)` of every non-halted thread.
         stuck: Vec<(usize, usize)>,
+        /// Machine-wide stall-bucket totals at abort.
+        stalls: StallTotals,
+    },
+    /// The forward-progress watchdog fired: no thread in the machine
+    /// issued an instruction for a whole watchdog window (see
+    /// [`MachineConfig::watchdog_window`]). Carries a diagnostic dump.
+    Livelock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// The configured window that elapsed without progress.
+        window: u64,
+        /// `(global thread id, pc)` of every non-halted thread.
+        stuck: Vec<(usize, usize)>,
+        /// Machine-wide stall-bucket totals at abort.
+        stalls: StallTotals,
+        /// Every live reservation as `(core, line, thread mask)`.
+        reservations: Vec<(usize, u64, u8)>,
+    },
+    /// A periodic coherence check (see
+    /// [`MachineConfig::invariant_check_period`]) found the memory system
+    /// in an inconsistent state.
+    InvariantViolation {
+        /// Cycle of the failing check.
+        cycle: u64,
+        /// The violated invariant.
+        violation: glsc_mem::InvariantViolation,
     },
 }
 
@@ -31,17 +60,51 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::NoProgram => write!(f, "no program loaded"),
-            SimError::MaxCyclesExceeded { cycle, stuck } => {
+            SimError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            SimError::MaxCyclesExceeded {
+                cycle,
+                stuck,
+                stalls,
+            } => {
                 write!(
                     f,
-                    "exceeded max cycles at {cycle}; non-halted threads at pcs {stuck:?}"
+                    "exceeded max cycles at {cycle}; non-halted threads at pcs {stuck:?}; \
+                     stall totals: {stalls}"
+                )
+            }
+            SimError::Livelock {
+                cycle,
+                window,
+                stuck,
+                stalls,
+                reservations,
+            } => {
+                write!(
+                    f,
+                    "livelock: no instruction issued for {window} cycles (aborted at cycle \
+                     {cycle}); non-halted threads at pcs {stuck:?}; stall totals: {stalls}; \
+                     live reservations (core, line, mask): {reservations:x?}"
+                )
+            }
+            SimError::InvariantViolation { cycle, violation } => {
+                write!(
+                    f,
+                    "coherence invariant violated at cycle {cycle}: {violation}"
                 )
             }
         }
     }
 }
 
-impl Error for SimError {}
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvalidConfig(e) => Some(e),
+            SimError::InvariantViolation { violation, .. } => Some(violation),
+            _ => None,
+        }
+    }
+}
 
 /// The simulated chip multiprocessor.
 ///
@@ -67,19 +130,36 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid. Use
+    /// [`Machine::try_new`] for a non-panicking alternative.
     pub fn new(cfg: MachineConfig) -> Self {
-        cfg.validate();
-        let mem = MemorySystem::new(cfg.mem.clone(), cfg.cores, cfg.threads_per_core);
+        match Self::try_new(cfg) {
+            Ok(m) => m,
+            Err(SimError::InvalidConfig(e)) => panic!("{e}"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a machine, rejecting an invalid configuration as
+    /// [`SimError::InvalidConfig`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] wrapping the first violated constraint
+    /// (see [`MachineConfig::check`]).
+    pub fn try_new(cfg: MachineConfig) -> Result<Self, SimError> {
+        cfg.check().map_err(SimError::InvalidConfig)?;
+        let mem = MemorySystem::try_new(cfg.mem.clone(), cfg.cores, cfg.threads_per_core)
+            .map_err(|e| SimError::InvalidConfig(ConfigError::Mem(e)))?;
         let cores = (0..cfg.cores).map(|id| Core::new(id, &cfg)).collect();
-        Self {
+        Ok(Self {
             cfg,
             mem,
             cores,
             program: None,
             cycle: 0,
             comp_buf: Vec::new(),
-        }
+        })
     }
 
     /// The machine configuration.
@@ -186,7 +266,10 @@ impl Machine {
     /// categories the single-stepped loop would have recorded (see
     /// [`Core::attribute_window`]), keeping [`RunReport`]s
     /// cycle-for-cycle identical to [`run_naive`](Machine::run_naive).
-    fn fast_forward(&mut self) {
+    /// `cap` bounds the jump target (exclusive of the watchdog deadline)
+    /// so [`SimError::Livelock`] fires at the same cycle — with the same
+    /// bulk-attributed stall stats — as under naive stepping.
+    fn fast_forward(&mut self, cap: u64) {
         let now = self.cycle;
         // If any thread issued in the step that just completed, the
         // machine is making forward progress and the earliest-issue probe
@@ -212,9 +295,10 @@ impl Machine {
                 }
             }
         }
-        // Cap at the cycle budget so MaxCyclesExceeded fires at the same
-        // cycle (with the same partial stats) as the naive loop.
-        let target = target.min(self.cfg.max_cycles);
+        // Cap at the cycle budget (and the caller's watchdog deadline) so
+        // MaxCyclesExceeded and Livelock fire at the same cycle (with the
+        // same partial stats) as the naive loop.
+        let target = target.min(self.cfg.max_cycles).min(cap);
         if !any_running || target <= now {
             return;
         }
@@ -254,28 +338,86 @@ impl Machine {
         if self.program.is_none() {
             return Err(SimError::NoProgram);
         }
+        // Watchdog state: the last cycle at which any thread issued. A
+        // fast-forward jump always lands on a cycle where a thread can
+        // issue, so a live machine keeps refreshing this even across
+        // jumps wider than the window.
+        let mut last_progress = self.cycle;
+        let mut next_invariant_check = self
+            .cfg
+            .invariant_check_period
+            .map(|p| self.cycle.saturating_add(p));
         loop {
             if self.step() {
                 return Ok(self.report());
             }
-            if self.cycle >= self.cfg.max_cycles {
-                let mut stuck = Vec::new();
-                for (c, core) in self.cores.iter().enumerate() {
-                    for (t, th) in core.threads.iter().enumerate() {
-                        if !th.is_halted() {
-                            stuck.push((c * self.cfg.threads_per_core + t, th.arch.pc));
-                        }
-                    }
+            if self.cores.iter().any(|c| c.issued_any) {
+                last_progress = self.cycle;
+            } else if let Some(window) = self.cfg.watchdog_window {
+                if self.cycle.saturating_sub(last_progress) >= window {
+                    return Err(SimError::Livelock {
+                        cycle: self.cycle,
+                        window,
+                        stuck: self.stuck_threads(),
+                        stalls: self.stall_totals(),
+                        reservations: self.mem.reservation_state(),
+                    });
                 }
+            }
+            if let Some(at) = next_invariant_check {
+                if self.cycle >= at {
+                    if let Err(violation) = self.mem.try_check_invariants() {
+                        return Err(SimError::InvariantViolation {
+                            cycle: self.cycle,
+                            violation,
+                        });
+                    }
+                    let period = self.cfg.invariant_check_period.unwrap_or(u64::MAX);
+                    next_invariant_check = Some(self.cycle.saturating_add(period));
+                }
+            }
+            if self.cycle >= self.cfg.max_cycles {
                 return Err(SimError::MaxCyclesExceeded {
                     cycle: self.cycle,
-                    stuck,
+                    stuck: self.stuck_threads(),
+                    stalls: self.stall_totals(),
                 });
             }
             if fast_forward {
-                self.fast_forward();
+                // Never jump past the cycle at which the watchdog would
+                // fire: the jump target is one short of the deadline, so
+                // the next (non-issuing) step lands exactly on it.
+                let wd_cap = match self.cfg.watchdog_window {
+                    Some(w) => last_progress.saturating_add(w).saturating_sub(1),
+                    None => u64::MAX,
+                };
+                self.fast_forward(wd_cap);
             }
         }
+    }
+
+    /// `(global thread id, pc)` of every non-halted thread.
+    fn stuck_threads(&self) -> Vec<(usize, usize)> {
+        let mut stuck = Vec::new();
+        for (c, core) in self.cores.iter().enumerate() {
+            for (t, th) in core.threads.iter().enumerate() {
+                if !th.is_halted() {
+                    stuck.push((c * self.cfg.threads_per_core + t, th.arch.pc));
+                }
+            }
+        }
+        stuck
+    }
+
+    /// Machine-wide stall-bucket totals so far.
+    fn stall_totals(&self) -> StallTotals {
+        let mut all = Vec::with_capacity(self.cfg.total_threads());
+        for core in &self.cores {
+            for th in &core.threads {
+                all.push(th.stats.clone());
+            }
+        }
+        StallTotals::from_threads(&all)
     }
 
     /// Builds the statistics report for the run so far.

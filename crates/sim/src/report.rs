@@ -28,6 +28,48 @@ pub struct ThreadStats {
     pub barrier_cycles: u64,
 }
 
+/// Machine-wide stall-bucket totals, summed over threads. Embedded in
+/// [`SimError`](crate::SimError) diagnostics so an aborted run still
+/// reports where its cycles went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StallTotals {
+    /// Total memory-stall cycles.
+    pub mem: u64,
+    /// Total functional-unit stall cycles.
+    pub compute: u64,
+    /// Total issue-contention stall cycles.
+    pub issue: u64,
+    /// Total barrier-wait cycles.
+    pub barrier: u64,
+    /// Total synchronization cycles.
+    pub sync: u64,
+}
+
+impl StallTotals {
+    /// Sums the stall buckets of `threads`.
+    pub fn from_threads(threads: &[ThreadStats]) -> Self {
+        let mut t = Self::default();
+        for s in threads {
+            t.mem += s.mem_stall_cycles;
+            t.compute += s.compute_stall_cycles;
+            t.issue += s.issue_stall_cycles;
+            t.barrier += s.barrier_cycles;
+            t.sync += s.sync_cycles;
+        }
+        t
+    }
+}
+
+impl std::fmt::Display for StallTotals {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mem {} / compute {} / issue {} / barrier {} / sync {}",
+            self.mem, self.compute, self.issue, self.barrier, self.sync
+        )
+    }
+}
+
 /// Aggregated result of one simulation run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunReport {
@@ -120,6 +162,31 @@ mod tests {
         assert_eq!(r.sync_fraction(), 0.0);
         assert_eq!(r.total_instructions(), 0);
         assert_eq!(r.glsc_failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn stall_totals_sum_and_display() {
+        let threads = [
+            ThreadStats {
+                mem_stall_cycles: 3,
+                compute_stall_cycles: 1,
+                issue_stall_cycles: 2,
+                barrier_cycles: 4,
+                sync_cycles: 5,
+                ..ThreadStats::default()
+            },
+            ThreadStats {
+                mem_stall_cycles: 7,
+                ..ThreadStats::default()
+            },
+        ];
+        let t = StallTotals::from_threads(&threads);
+        assert_eq!(t.mem, 10);
+        assert_eq!(t.compute, 1);
+        assert_eq!(
+            t.to_string(),
+            "mem 10 / compute 1 / issue 2 / barrier 4 / sync 5"
+        );
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Differential atomicity oracle under fault injection (DESIGN.md §9):
+//! retry-loop programs run on the cycle-level machine with a chaos plan
+//! installed must leave memory bit-identical to the functional reference
+//! interpreter running with no faults at all. Destructive faults (§3.2
+//! reservation kills, evictions, jitter) may only slow a correct retry
+//! loop down — never change what it computes.
+//!
+//! Each case prints its seed on failure for exact reproduction.
+
+use glsc::isa::{MReg, Program, ProgramBuilder, Reg, VReg};
+use glsc::sim::{reference, ChaosConfig, FaultPlan, Machine, MachineConfig};
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+fn v(i: u8) -> VReg {
+    VReg::new(i)
+}
+fn m(i: u8) -> MReg {
+    MReg::new(i)
+}
+
+const COUNTER: i64 = 0x4000;
+const INPUT: i64 = 0x1_0000;
+const HIST: i64 = 0x2_0000;
+const PIXELS: i64 = 64;
+const BINS: i64 = 7;
+
+/// Fig. 2 scalar ll/sc increment loop, single-threaded.
+fn llsc_counter_program(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let (base, i, tmp, ok) = (r(2), r(3), r(4), r(5));
+    b.li(base, COUNTER);
+    b.li(i, 0);
+    let top = b.here();
+    b.sync_on();
+    let retry = b.here();
+    b.ll(tmp, base, 0);
+    b.addi(tmp, tmp, 1);
+    b.sc(ok, tmp, base, 0);
+    b.beq(ok, 0, retry);
+    b.sync_off();
+    b.addi(i, i, 1);
+    b.blt(i, iters, top);
+    b.halt();
+    b.build().unwrap()
+}
+
+/// Fig. 3 GLSC histogram: vgatherlink / vscattercond retry loop over the
+/// not-yet-done mask, single-threaded.
+fn glsc_histogram_program(width: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let (r_in, r_hist, r_i, r_n, addr) = (r(2), r(3), r(4), r(6), r(7));
+    let (v_in, v_bins, v_tmp) = (v(0), v(1), v(2));
+    let (f_todo, f_tmp) = (m(0), m(1));
+    b.li(r_in, INPUT);
+    b.li(r_hist, HIST);
+    b.li(r_n, PIXELS);
+    b.li(r_i, 0);
+    let outer = b.here();
+    let done = b.label();
+    b.bge(r_i, r_n, done);
+    b.shl(addr, r_i, 2);
+    b.add(addr, addr, r_in);
+    b.vload(v_in, addr, 0, None);
+    b.vmod(v_bins, v_in, BINS, None);
+    b.sync_on();
+    b.mall(f_todo);
+    let retry = b.here();
+    b.vgatherlink(f_tmp, v_tmp, r_hist, v_bins, f_todo);
+    b.vadd(v_tmp, v_tmp, 1, Some(f_tmp));
+    b.vscattercond(f_tmp, v_tmp, r_hist, v_bins, f_tmp);
+    b.mxor(f_todo, f_todo, f_tmp);
+    b.bmnz(f_todo, retry);
+    b.sync_off();
+    b.add(r_i, r_i, width as i64);
+    b.jmp(outer);
+    b.bind(done).unwrap();
+    b.halt();
+    b.build().unwrap()
+}
+
+fn seed_input(backing: &mut glsc::mem::Backing) {
+    let mut x = 12345u32;
+    for i in 0..PIXELS {
+        x = x.wrapping_mul(1103515245).wrapping_add(12345);
+        backing.write_u32(INPUT as u64 + 4 * i as u64, (x >> 8) % 1000);
+    }
+}
+
+fn chaos_machine(width: usize, plan: FaultPlan) -> Machine {
+    let cfg = MachineConfig::paper(1, 1, width)
+        .with_max_cycles(100_000_000)
+        .with_watchdog_window(Some(2_000_000));
+    let mut machine = Machine::new(cfg);
+    machine.mem_mut().install_fault_plan(plan);
+    machine
+}
+
+#[test]
+fn llsc_counter_under_chaos_matches_reference() {
+    let iters = 200i64;
+    let program = llsc_counter_program(iters);
+
+    let mut ref_mem = glsc::mem::Backing::new();
+    let ref_arch = reference::run_functional(&program, &mut ref_mem, 1, 1_000_000).unwrap();
+    assert_eq!(ref_mem.read_u32(COUNTER as u64), iters as u32);
+
+    let mut destructive = 0u64;
+    let mut retried = 0u64;
+    for seed in 0..8u64 {
+        let plan = if seed % 2 == 0 {
+            FaultPlan::from_seed(seed)
+        } else {
+            FaultPlan::new(ChaosConfig::aggressive(seed))
+        };
+        let mut machine = chaos_machine(1, plan);
+        machine.load_program(program.clone());
+        let report = machine.run().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(
+            machine.mem().backing().read_u32(COUNTER as u64),
+            ref_mem.read_u32(COUNTER as u64),
+            "seed {seed}: counter diverged from the functional reference"
+        );
+        assert_eq!(
+            machine.thread_arch(0).reg(r(3)),
+            ref_arch.reg(r(3)),
+            "seed {seed}: loop register diverged"
+        );
+        destructive += machine.mem().chaos_stats().unwrap().total_destructive();
+        retried += report.lsu.scs.saturating_sub(iters as u64);
+    }
+    assert!(destructive > 0, "the sweep never injected a fault");
+    assert!(
+        retried > 0,
+        "destroyed reservations never forced an sc retry"
+    );
+}
+
+#[test]
+fn glsc_histogram_under_chaos_matches_reference() {
+    for width in [4usize, 8] {
+        let program = glsc_histogram_program(width);
+
+        let mut ref_mem = glsc::mem::Backing::new();
+        seed_input(&mut ref_mem);
+        reference::run_functional(&program, &mut ref_mem, width, 1_000_000).unwrap();
+
+        for seed in [21u64, 22, 23] {
+            let mut machine = chaos_machine(width, FaultPlan::new(ChaosConfig::aggressive(seed)));
+            seed_input(machine.mem_mut().backing_mut());
+            machine.load_program(program.clone());
+            machine
+                .run()
+                .unwrap_or_else(|e| panic!("w{width} seed {seed}: {e}"));
+            for bin in 0..BINS as u64 {
+                assert_eq!(
+                    machine.mem().backing().read_u32(HIST as u64 + 4 * bin),
+                    ref_mem.read_u32(HIST as u64 + 4 * bin),
+                    "w{width} seed {seed}: bin {bin} diverged from reference"
+                );
+            }
+            for i in 0..PIXELS as u64 {
+                assert_eq!(
+                    machine.mem().backing().read_u32(INPUT as u64 + 4 * i),
+                    ref_mem.read_u32(INPUT as u64 + 4 * i),
+                    "w{width} seed {seed}: chaos corrupted the input array"
+                );
+            }
+            assert!(
+                machine.mem().chaos_stats().unwrap().total_destructive() > 0,
+                "w{width} seed {seed}: aggressive plan injected nothing"
+            );
+        }
+    }
+}
