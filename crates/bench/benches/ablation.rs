@@ -9,10 +9,17 @@
 //! Each ablation runs the GLSC histogram (HIP) and the TMS reduction on
 //! the 4×4 machine and reports cycles plus the GLSC element failure rate.
 //! All configuration points are independent and run across host threads
-//! (`GLSC_BENCH_THREADS`); output order is unchanged.
+//! (`GLSC_BENCH_THREADS`); output order is unchanged. Completed points
+//! persist to the job store keyed by a config fingerprint, so every
+//! ablation point caches separately (`GLSC_BENCH_RESUME=1` resumes);
+//! failed jobs print as `ERR` cells. Output goes to
+//! `results/ablation.txt`.
 
-use glsc_bench::{bench_threads, header, pct, run_jobs};
-use glsc_kernels::{build_named, run_workload, Dataset, Variant};
+use glsc_bench::{
+    bench_threads, collect_errors, ds_label, finish_figure, pct, run_jobs, run_workload_cached,
+    FigureOutput, JobError, JobStore,
+};
+use glsc_kernels::{build_named, Dataset, Variant};
 use glsc_sim::{GlscConfig, MachineConfig};
 
 fn dataset() -> Dataset {
@@ -23,9 +30,17 @@ fn dataset() -> Dataset {
     }
 }
 
-fn run_with(kernel: &str, cfg: &MachineConfig) -> (u64, f64, u64) {
+/// (cycles, GLSC element failure rate, dynamic instructions) of one run.
+type Point = (u64, f64, u64);
+
+fn run_with(store: &JobStore, label: &str, kernel: &str, cfg: &MachineConfig) -> Point {
     let w = build_named(kernel, dataset(), Variant::Glsc, cfg);
-    let out = run_workload(&w, cfg).unwrap_or_else(|e| panic!("{e}"));
+    let out = run_workload_cached(
+        store,
+        &w,
+        cfg,
+        &["ablation", label, kernel, ds_label(dataset()), "w4"],
+    );
     (
         out.report.cycles,
         out.report.glsc_failure_rate(),
@@ -33,7 +48,23 @@ fn run_with(kernel: &str, cfg: &MachineConfig) -> (u64, f64, u64) {
     )
 }
 
+fn cycles_cell(r: &Result<Point, JobError>) -> String {
+    match r {
+        Ok(p) => format!("{:>12}", p.0),
+        Err(_) => format!("{:>12}", "ERR"),
+    }
+}
+
+fn fail_cell(r: &Result<Point, JobError>) -> String {
+    match r {
+        Ok(p) => format!("{:>10}", pct(p.1)),
+        Err(_) => format!("{:>10}", "ERR"),
+    }
+}
+
 fn main() {
+    let store = JobStore::for_bench("ablation");
+    let mut out = FigureOutput::new("ablation");
     let base_cfg = MachineConfig::paper(4, 4, 4);
 
     // Every ablation point, in print order. Each configuration runs HIP
@@ -45,89 +76,96 @@ fn main() {
     // implicitly assumes at least per-instruction capacity.
     const BUFFERS: [Option<usize>; 4] = [None, Some(64), Some(16), Some(4)];
     const POLICIES: [(&str, bool); 2] = [("wait-for-miss", false), ("fail-on-miss", true)];
-    let mut cfgs = Vec::new();
+    let mut points: Vec<(String, MachineConfig)> = Vec::new();
     for buffer in BUFFERS {
         let mut cfg = base_cfg.clone();
         cfg.mem.glsc_buffer_entries = buffer;
-        cfgs.push(cfg);
+        let label = buffer.map_or("per-line".to_string(), |k| format!("buf{k}"));
+        points.push((label, cfg));
     }
-    for (_, fail_on_miss) in POLICIES {
+    for (label, fail_on_miss) in POLICIES {
         let mut cfg = base_cfg.clone();
         cfg.glsc = GlscConfig {
             fail_on_l1_miss: fail_on_miss,
             ..GlscConfig::default()
         };
-        cfgs.push(cfg);
+        points.push((label.to_string(), cfg));
     }
     for on in [true, false] {
         let mut cfg = base_cfg.clone();
         cfg.mem.prefetch = on;
-        cfgs.push(cfg);
+        points.push((format!("prefetch-{}", if on { "on" } else { "off" }), cfg));
     }
-    let jobs: Vec<_> = cfgs
+    let jobs: Vec<_> = points
         .iter()
-        .flat_map(|cfg| {
+        .flat_map(|(label, cfg)| {
+            let store = &store;
             ["HIP", "TMS"]
                 .into_iter()
-                .map(move |kernel| move || run_with(kernel, cfg))
+                .map(move |kernel| move || run_with(store, label, kernel, cfg))
         })
         .collect();
     let results = run_jobs(jobs, bench_threads());
+    let errors = collect_errors(&results);
     let mut rows = results.chunks(2);
 
-    header(
+    out.header(
         "Ablation 1: GLSC entry storage (per-line tags vs fully-assoc buffer)",
         "paper 3.3: the buffer \"could be made quite small\"",
     );
-    println!(
+    out.line(format!(
         "{:<10} {:>12} {:>10} {:>12} {:>10}",
         "entries", "HIP cyc", "HIP fail", "TMS cyc", "TMS fail"
-    );
+    ));
     for buffer in BUFFERS {
         let row = rows.next().expect("HIP+TMS per buffer size");
-        let (hip, tms) = (row[0], row[1]);
+        let (hip, tms) = (&row[0], &row[1]);
         let label = buffer.map_or("per-line".to_string(), |k| format!("buf[{k}]"));
-        println!(
-            "{:<10} {:>12} {:>10} {:>12} {:>10}",
+        out.line(format!(
+            "{:<10} {} {} {} {}",
             label,
-            hip.0,
-            pct(hip.1),
-            tms.0,
-            pct(tms.1)
-        );
+            cycles_cell(hip),
+            fail_cell(hip),
+            cycles_cell(tms),
+            fail_cell(tms)
+        ));
     }
 
-    header(
+    out.header(
         "Ablation 2: gather-link miss policy (paper 3.2 design freedom (c))",
         "fail-on-miss trades reservation hold time for extra retries",
     );
-    println!(
+    out.line(format!(
         "{:<14} {:>12} {:>10} {:>12} {:>10}",
         "policy", "HIP cyc", "HIP fail", "TMS cyc", "TMS fail"
-    );
+    ));
     for (label, _) in POLICIES {
         let row = rows.next().expect("HIP+TMS per policy");
-        let (hip, tms) = (row[0], row[1]);
-        println!(
-            "{:<14} {:>12} {:>10} {:>12} {:>10}",
+        let (hip, tms) = (&row[0], &row[1]);
+        out.line(format!(
+            "{:<14} {} {} {} {}",
             label,
-            hip.0,
-            pct(hip.1),
-            tms.0,
-            pct(tms.1)
-        );
+            cycles_cell(hip),
+            fail_cell(hip),
+            cycles_cell(tms),
+            fail_cell(tms)
+        ));
     }
 
-    header("Ablation 3: L1 stride prefetcher on/off (paper 4.1)", "");
-    println!("{:<10} {:>12} {:>12}", "prefetch", "HIP cyc", "TMS cyc");
+    out.header("Ablation 3: L1 stride prefetcher on/off (paper 4.1)", "");
+    out.line(format!(
+        "{:<10} {:>12} {:>12}",
+        "prefetch", "HIP cyc", "TMS cyc"
+    ));
     for on in [true, false] {
         let row = rows.next().expect("HIP+TMS per prefetch setting");
-        let (hip, tms) = (row[0], row[1]);
-        println!(
-            "{:<10} {:>12} {:>12}",
+        let (hip, tms) = (&row[0], &row[1]);
+        out.line(format!(
+            "{:<10} {} {}",
             if on { "on" } else { "off" },
-            hip.0,
-            tms.0
-        );
+            cycles_cell(hip),
+            cycles_cell(tms)
+        ));
     }
+    std::process::exit(finish_figure(out, &errors));
 }

@@ -8,9 +8,16 @@
 //! table reports how much the destroyed reservations and jitter slowed
 //! the run, plus the raw injection counters.
 //!
+//! Chaotic runs are never cached (the oracle must actually run); a job
+//! that panics prints as an `ERR` row and a nonzero exit. The table is
+//! written to `results/chaos.txt`.
+//!
 //! Set `GLSC_DATASETS=tiny` for the CI smoke configuration.
 
-use glsc_bench::{bench_threads, datasets, ds_label, header, run, run_chaos, run_jobs};
+use glsc_bench::{
+    bench_threads, collect_errors, datasets, ds_label, finish_figure, run, run_chaos, run_jobs,
+    FigureOutput,
+};
 use glsc_kernels::{Variant, KERNEL_NAMES};
 use glsc_sim::ChaosConfig;
 
@@ -20,7 +27,8 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or(3);
-    header(
+    let mut out = FigureOutput::new("chaos");
+    out.header(
         "Chaos smoke: fault injection with revalidation",
         "slowdown = chaotic cycles / clean cycles (geomean over seeds); every run validates",
     );
@@ -60,12 +68,27 @@ fn main() {
         })
         .collect();
     let results = run_jobs(jobs, bench_threads());
+    let errors = collect_errors(&results);
 
-    println!(
+    out.line(format!(
         "{:<6} {:>3} {:>6} {:>9} {:>9} {:>7} {:>8} {:>8}",
         "bench", "ds", "impl", "clean", "chaotic", "slow", "faults", "seeds"
-    );
-    for ((kernel, ds, variant), (clean, chaotic)) in params.iter().zip(&results) {
+    ));
+    for ((kernel, ds, variant), result) in params.iter().zip(&results) {
+        let Ok((clean, chaotic)) = result else {
+            out.line(format!(
+                "{:<6} {:>3} {:>6} {:>9} {:>9} {:>7} {:>8} {:>8}",
+                kernel,
+                ds_label(*ds),
+                variant.label(),
+                "ERR",
+                "ERR",
+                "ERR",
+                "ERR",
+                "ERR"
+            ));
+            continue;
+        };
         let slow = glsc_bench::geomean(
             &chaotic
                 .iter()
@@ -74,7 +97,7 @@ fn main() {
         );
         let faults: u64 = chaotic.iter().map(|(_, (_, s))| s.total_faults()).sum();
         let seeds: Vec<u64> = chaotic.iter().map(|&(seed, _)| seed).collect();
-        println!(
+        out.line(format!(
             "{:<6} {:>3} {:>6} {:>9} {:>9} {:>6.2}x {:>8} {:>8}",
             kernel,
             ds_label(*ds),
@@ -84,11 +107,12 @@ fn main() {
             slow,
             faults,
             format!("{:x?}", seeds),
-        );
+        ));
     }
-    println!();
-    println!(
+    out.blank();
+    out.line(format!(
         "all {} chaotic runs validated against the golden references",
-        results.len() * sweep as usize
-    );
+        results.iter().filter(|r| r.is_ok()).count() * sweep as usize
+    ));
+    std::process::exit(finish_figure(out, &errors));
 }

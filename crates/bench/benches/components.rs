@@ -6,7 +6,11 @@
 //! plain `harness = false` timing harness: each case runs a warmup pass,
 //! then reports the best-of-3 mean ns/iter. Good enough for the relative
 //! comparisons these ablations are used for.
+//!
+//! Host timings are not cacheable, so this target skips the job store;
+//! output is still written to `results/components.txt`.
 
+use glsc_bench::{finish_figure, FigureOutput};
 use glsc_core::{CoreMemUnit, GlscConfig, GsuKind};
 use glsc_isa::{ProgramBuilder, Reg};
 use glsc_mem::{MemConfig, MemOp, MemorySystem, TagArray};
@@ -15,7 +19,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 /// Times `f` over `iters` iterations, best of 3 passes after one warmup.
-fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+fn bench(out: &mut FigureOutput, name: &str, iters: u64, mut f: impl FnMut()) {
     for _ in 0..iters.min(100) {
         f();
     }
@@ -28,20 +32,20 @@ fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
         let per = t0.elapsed().as_nanos() as f64 / iters as f64;
         best = best.min(per);
     }
-    println!("{name:<32} {best:>12.1} ns/iter");
+    out.line(format!("{name:<32} {best:>12.1} ns/iter"));
 }
 
-fn bench_tag_array() {
+fn bench_tag_array(out: &mut FigureOutput) {
     let mut tags: TagArray<u32> = TagArray::new(128, 4, 64);
     for i in 0..512u64 {
         tags.insert(i * 64, i as u32);
     }
     let mut i = 0u64;
-    bench("tags/lookup_hit", 1_000_000, || {
+    bench(out, "tags/lookup_hit", 1_000_000, || {
         i = (i + 1) % 512;
         black_box(tags.lookup_mut(i * 64));
     });
-    bench("tags/insert_evict", 10_000, || {
+    bench(out, "tags/insert_evict", 10_000, || {
         let mut tags = TagArray::<u32>::new(8, 2, 64);
         for i in 0..64u64 {
             black_box(tags.insert(i * 64, i as u32));
@@ -49,7 +53,7 @@ fn bench_tag_array() {
     });
 }
 
-fn bench_memory_system() {
+fn bench_memory_system(out: &mut FigureOutput) {
     {
         let cfg = MemConfig {
             prefetch: false,
@@ -58,7 +62,7 @@ fn bench_memory_system() {
         let mut m = MemorySystem::new(cfg, 1, 4);
         m.access(0, 0, MemOp::Load, 0x100, 0);
         let mut now = 400u64;
-        bench("mem/l1_hit_path", 1_000_000, || {
+        bench(out, "mem/l1_hit_path", 1_000_000, || {
             now += 1;
             black_box(m.access(0, 0, MemOp::Load, 0x100, now));
         });
@@ -70,14 +74,14 @@ fn bench_memory_system() {
         };
         let mut m = MemorySystem::new(cfg, 2, 4);
         let mut now = 0u64;
-        bench("mem/cross_core_pingpong", 1_000_000, || {
+        bench(out, "mem/cross_core_pingpong", 1_000_000, || {
             now += 1;
             black_box(m.access((now % 2) as usize, 0, MemOp::Store, 0x100, now));
         });
     }
 }
 
-fn bench_gsu() {
+fn bench_gsu(out: &mut FigureOutput) {
     {
         let cfg = MemConfig {
             prefetch: false,
@@ -87,7 +91,7 @@ fn bench_gsu() {
         mem.access(0, 0, MemOp::Load, 0x100, 0);
         let mut unit = CoreMemUnit::new(0, 4, GlscConfig::default());
         let mut now = 400u64;
-        bench("gsu/gather_4_combined", 100_000, || {
+        bench(out, "gsu/gather_4_combined", 100_000, || {
             unit.gsu_start(
                 0,
                 GsuKind::Gather { vd: 0 },
@@ -110,7 +114,7 @@ fn bench_gsu() {
         let mut mem = MemorySystem::new(cfg, 1, 4);
         let mut unit = CoreMemUnit::new(0, 4, GlscConfig::default());
         let mut now = 0u64;
-        bench("gsu/glsc_roundtrip", 100_000, || {
+        bench(out, "gsu/glsc_roundtrip", 100_000, || {
             unit.gsu_start(
                 0,
                 GsuKind::GatherLink { fd: 0, vd: 0 },
@@ -134,9 +138,9 @@ fn bench_gsu() {
     }
 }
 
-fn bench_machine() {
+fn bench_machine(out: &mut FigureOutput) {
     // End-to-end simulation rate: simulated instructions per host second.
-    bench("machine/scalar_loop_1x1", 200, || {
+    bench(out, "machine/scalar_loop_1x1", 200, || {
         let mut bld = ProgramBuilder::new();
         let (acc, i) = (Reg::new(2), Reg::new(3));
         bld.li(acc, 0);
@@ -150,7 +154,7 @@ fn bench_machine() {
         m.load_program(bld.build().unwrap());
         black_box(m.run().unwrap());
     });
-    bench("machine/glsc_histogram_4x4", 20, || {
+    bench(out, "machine/glsc_histogram_4x4", 20, || {
         let cfg = MachineConfig::paper(4, 4, 4);
         let w = glsc_kernels::hip::Hip::new(glsc_kernels::Dataset::Tiny)
             .build(glsc_kernels::Variant::Glsc, &cfg);
@@ -159,8 +163,10 @@ fn bench_machine() {
 }
 
 fn main() {
-    bench_tag_array();
-    bench_memory_system();
-    bench_gsu();
-    bench_machine();
+    let mut out = FigureOutput::new("components");
+    bench_tag_array(&mut out);
+    bench_memory_system(&mut out);
+    bench_gsu(&mut out);
+    bench_machine(&mut out);
+    std::process::exit(finish_figure(out, &[]));
 }

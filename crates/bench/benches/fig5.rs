@@ -7,11 +7,19 @@
 //! The (kernel, dataset, width) simulations are independent and run
 //! across host threads (`GLSC_BENCH_THREADS`); results are collected in
 //! job order so the printed tables match the serial harness exactly.
+//! Completed simulations persist to the job store (`GLSC_BENCH_RESUME=1`
+//! resumes an interrupted sweep); failed jobs print as `ERR` rows. Both
+//! tables are written to `results/fig5.txt`.
 
-use glsc_bench::{bench_threads, datasets, ds_label, header, run, run_jobs};
+use glsc_bench::{
+    bench_threads, collect_errors, datasets, ds_label, finish_figure, run_cached, run_jobs,
+    FigureOutput, JobStore,
+};
 use glsc_kernels::{Variant, KERNEL_NAMES};
 
 fn main() {
+    let store = JobStore::for_bench("fig5");
+    let mut out = FigureOutput::new("fig5");
     let mut params = Vec::new();
     for kernel in KERNEL_NAMES {
         for ds in datasets() {
@@ -22,48 +30,67 @@ fn main() {
     }
     let jobs: Vec<_> = params
         .iter()
-        .map(|&(kernel, ds, width)| move || run(kernel, ds, Variant::Glsc, (1, 1), width))
+        .map(|&(kernel, ds, width)| {
+            let store = &store;
+            move || run_cached(store, kernel, ds, Variant::Glsc, (1, 1), width)
+        })
         .collect();
     let results = run_jobs(jobs, bench_threads());
+    let errors = collect_errors(&results);
 
-    header(
+    out.header(
         "Figure 5(a): % execution time in synchronization (1x1, 1-wide, GLSC)",
         "paper: all benchmarks spend a significant fraction in sync ops",
     );
-    println!("{:<6} {:>4} {:>14}", "bench", "ds", "sync time");
-    let mut fig5b: Vec<(String, f64, f64)> = Vec::new();
+    out.line(format!("{:<6} {:>4} {:>14}", "bench", "ds", "sync time"));
+    let mut fig5b: Vec<(String, Option<(f64, f64)>)> = Vec::new();
     for (&(kernel, ds, _), chunk) in params.iter().step_by(3).zip(results.chunks(3)) {
         let [w1, w4, w16] = chunk else {
             unreachable!("three widths per pair")
         };
-        println!(
-            "{:<6} {:>4} {:>13.1}%",
-            kernel,
-            ds_label(ds),
-            100.0 * w1.report.sync_fraction()
-        );
-        fig5b.push((
-            format!("{kernel}/{}", ds_label(ds)),
-            w1.report.cycles as f64 / w4.report.cycles as f64,
-            w1.report.cycles as f64 / w16.report.cycles as f64,
-        ));
+        match w1 {
+            Ok(w1) => out.line(format!(
+                "{:<6} {:>4} {:>13.1}%",
+                kernel,
+                ds_label(ds),
+                100.0 * w1.report.sync_fraction()
+            )),
+            Err(_) => out.line(format!("{:<6} {:>4} {:>14}", kernel, ds_label(ds), "ERR")),
+        }
+        let speedups = match (w1, w4, w16) {
+            (Ok(w1), Ok(w4), Ok(w16)) => Some((
+                w1.report.cycles as f64 / w4.report.cycles as f64,
+                w1.report.cycles as f64 / w16.report.cycles as f64,
+            )),
+            _ => None,
+        };
+        fig5b.push((format!("{kernel}/{}", ds_label(ds)), speedups));
     }
 
-    header(
+    out.header(
         "Figure 5(b): SIMD efficiency — speedup over 1-wide SIMD (1x1, GLSC)",
         "paper: ~2.6x average at 4-wide, ~5x at 16-wide",
     );
-    println!("{:<10} {:>10} {:>10}", "bench/ds", "4-wide", "16-wide");
+    out.line(format!(
+        "{:<10} {:>10} {:>10}",
+        "bench/ds", "4-wide", "16-wide"
+    ));
     let (mut s4, mut s16) = (Vec::new(), Vec::new());
-    for (name, a, b) in &fig5b {
-        println!("{name:<10} {a:>9.2}x {b:>9.2}x");
-        s4.push(*a);
-        s16.push(*b);
+    for (name, speedups) in &fig5b {
+        match speedups {
+            Some((a, b)) => {
+                out.line(format!("{name:<10} {a:>9.2}x {b:>9.2}x"));
+                s4.push(*a);
+                s16.push(*b);
+            }
+            None => out.line(format!("{name:<10} {:>10} {:>10}", "ERR", "ERR")),
+        }
     }
-    println!(
+    out.line(format!(
         "{:<10} {:>9.2}x {:>9.2}x",
         "geomean",
         glsc_bench::geomean(&s4),
         glsc_bench::geomean(&s16)
-    );
+    ));
+    std::process::exit(finish_figure(out, &errors));
 }

@@ -8,13 +8,21 @@
 //!
 //! All (kernel, dataset, variant, config) simulations are independent and
 //! are fanned across host threads (`GLSC_BENCH_THREADS`); output order is
-//! unchanged.
+//! unchanged. Completed simulations persist to the job store, so an
+//! interrupted sweep resumes with `GLSC_BENCH_RESUME=1`; a job that
+//! panics prints as `ERR` cells and a nonzero exit instead of aborting
+//! the figure. The table is also written to `results/fig6.txt`.
 
-use glsc_bench::{bench_threads, datasets, ds_label, geomean, header, run, run_jobs, CONFIGS};
+use glsc_bench::{
+    bench_threads, collect_errors, datasets, ds_label, finish_figure, geomean, run_cached,
+    run_jobs, FigureOutput, JobStore, CONFIGS,
+};
 use glsc_kernels::{Variant, KERNEL_NAMES};
 
 fn main() {
-    header(
+    let store = JobStore::for_bench("fig6");
+    let mut out = FigureOutput::new("fig6");
+    out.header(
         "Figure 6: speedup over 1x1 GLSC, 4-wide SIMD",
         "columns: config = cores x threads/core; values normalized per dataset",
     );
@@ -31,48 +39,64 @@ fn main() {
     }
     let jobs: Vec<_> = params
         .iter()
-        .map(|&(kernel, ds, variant, cfg)| move || run(kernel, ds, variant, cfg, width))
+        .map(|&(kernel, ds, variant, cfg)| {
+            let store = &store;
+            move || run_cached(store, kernel, ds, variant, cfg, width)
+        })
         .collect();
     let results = run_jobs(jobs, bench_threads());
+    let errors = collect_errors(&results);
     let cycles: std::collections::HashMap<_, _> = params
         .iter()
         .zip(&results)
-        .map(|(&(kernel, ds, variant, cfg), out)| ((kernel, ds, variant, cfg), out.report.cycles))
+        .map(|(&(kernel, ds, variant, cfg), r)| {
+            (
+                (kernel, ds, variant, cfg),
+                r.as_ref().ok().map(|out| out.report.cycles),
+            )
+        })
         .collect();
 
     let mut improv_1x1 = Vec::new();
     let mut improv_4x4 = Vec::new();
-    println!(
+    out.line(format!(
         "{:<6} {:>3} {:>6} {:>8} {:>8} {:>8} {:>8}",
         "bench", "ds", "impl", "1x1", "1x4", "4x1", "4x4"
-    );
+    ));
     for kernel in KERNEL_NAMES {
         for ds in datasets() {
-            let norm = cycles[&(kernel, ds, Variant::Glsc, (1, 1))] as f64;
+            let norm = cycles[&(kernel, ds, Variant::Glsc, (1, 1))];
             for variant in [Variant::Base, Variant::Glsc] {
-                print!("{:<6} {:>3} {:>6}", kernel, ds_label(ds), variant.label());
+                let mut row = format!("{:<6} {:>3} {:>6}", kernel, ds_label(ds), variant.label());
                 for cfg in CONFIGS {
-                    print!(
-                        "  {:>6.2}x",
-                        norm / cycles[&(kernel, ds, variant, cfg)] as f64
-                    );
+                    match (norm, cycles[&(kernel, ds, variant, cfg)]) {
+                        (Some(n), Some(c)) => {
+                            row.push_str(&format!("  {:>6.2}x", n as f64 / c as f64));
+                        }
+                        _ => row.push_str(&format!("  {:>7}", "ERR")),
+                    }
                 }
-                println!();
+                out.line(row);
             }
-            improv_1x1.push(
-                cycles[&(kernel, ds, Variant::Base, (1, 1))] as f64
-                    / cycles[&(kernel, ds, Variant::Glsc, (1, 1))] as f64,
-            );
-            improv_4x4.push(
-                cycles[&(kernel, ds, Variant::Base, (4, 4))] as f64
-                    / cycles[&(kernel, ds, Variant::Glsc, (4, 4))] as f64,
-            );
+            if let (Some(b), Some(g)) = (
+                cycles[&(kernel, ds, Variant::Base, (1, 1))],
+                cycles[&(kernel, ds, Variant::Glsc, (1, 1))],
+            ) {
+                improv_1x1.push(b as f64 / g as f64);
+            }
+            if let (Some(b), Some(g)) = (
+                cycles[&(kernel, ds, Variant::Base, (4, 4))],
+                cycles[&(kernel, ds, Variant::Glsc, (4, 4))],
+            ) {
+                improv_4x4.push(b as f64 / g as f64);
+            }
         }
     }
-    println!();
-    println!(
+    out.blank();
+    out.line(format!(
         "GLSC over Base, geomean: 1x1 = +{:.0}%  (paper: +76%),  4x4 = +{:.0}%  (paper: +54%)",
         100.0 * (geomean(&improv_1x1) - 1.0),
         100.0 * (geomean(&improv_4x4) - 1.0)
-    );
+    ));
+    std::process::exit(finish_figure(out, &errors));
 }

@@ -7,13 +7,21 @@
 //!
 //! The (scenario, variant, width) runs are independent and are fanned
 //! across host threads (`GLSC_BENCH_THREADS`); output order is unchanged.
+//! Completed runs persist to the job store (`GLSC_BENCH_RESUME=1`
+//! resumes); failed jobs print as `ERR` cells. The table is written to
+//! `results/fig7.txt`.
 
-use glsc_bench::{bench_threads, header, ratio, run_jobs, run_micro};
+use glsc_bench::{
+    bench_threads, collect_errors, finish_figure, ratio, run_jobs, run_micro_cached, FigureOutput,
+    JobStore,
+};
 use glsc_kernels::micro::Scenario;
 use glsc_kernels::Variant;
 
 fn main() {
-    header(
+    let store = JobStore::for_bench("fig7");
+    let mut out = FigureOutput::new("fig7");
+    out.header(
         "Figure 7: microbenchmark, Base/GLSC execution-time ratio (4x4)",
         "scenario A: shared distinct lines | B: same line | C: private lines | D: all aliased",
     );
@@ -27,16 +35,36 @@ fn main() {
     }
     let jobs: Vec<_> = params
         .iter()
-        .map(|&(scenario, variant, width)| move || run_micro(scenario, variant, (4, 4), width))
+        .map(|&(scenario, variant, width)| {
+            let store = &store;
+            move || run_micro_cached(store, scenario, variant, (4, 4), width)
+        })
         .collect();
     let results = run_jobs(jobs, bench_threads());
+    let errors = collect_errors(&results);
 
-    println!("{:<9} {:>12} {:>12}", "scenario", "width 4", "width 16");
+    out.line(format!(
+        "{:<9} {:>12} {:>12}",
+        "scenario", "width 4", "width 16"
+    ));
     // Results arrive in job order: per scenario, [base w4, glsc w4,
     // base w16, glsc w16].
     for (scenario, chunk) in Scenario::ALL.into_iter().zip(results.chunks(4)) {
-        let w4 = ratio(chunk[0].report.cycles, chunk[1].report.cycles);
-        let w16 = ratio(chunk[2].report.cycles, chunk[3].report.cycles);
-        println!("{:<9} {:>11.2}x {:>11.2}x", scenario.label(), w4, w16);
+        let cell = |base: &Result<glsc_kernels::KernelOutcome, _>,
+                    glsc: &Result<glsc_kernels::KernelOutcome, _>| {
+            match (base, glsc) {
+                (Ok(b), Ok(g)) => {
+                    format!("{:>11.2}x", ratio(b.report.cycles, g.report.cycles))
+                }
+                _ => format!("{:>12}", "ERR"),
+            }
+        };
+        out.line(format!(
+            "{:<9} {} {}",
+            scenario.label(),
+            cell(&chunk[0], &chunk[1]),
+            cell(&chunk[2], &chunk[3])
+        ));
     }
+    std::process::exit(finish_figure(out, &errors));
 }

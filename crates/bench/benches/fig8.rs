@@ -8,13 +8,20 @@
 //!
 //! The (kernel, dataset, width, variant) runs are independent and are
 //! fanned across host threads (`GLSC_BENCH_THREADS`); output order is
-//! unchanged.
+//! unchanged. Completed runs persist to the job store
+//! (`GLSC_BENCH_RESUME=1` resumes); failed jobs print as `ERR` cells.
+//! The table is written to `results/fig8.txt`.
 
-use glsc_bench::{bench_threads, datasets, ds_label, geomean, header, ratio, run, run_jobs};
+use glsc_bench::{
+    bench_threads, collect_errors, datasets, ds_label, finish_figure, geomean, ratio, run_cached,
+    run_jobs, FigureOutput, JobStore,
+};
 use glsc_kernels::{Variant, KERNEL_NAMES};
 
 fn main() {
-    header(
+    let store = JobStore::for_bench("fig8");
+    let mut out = FigureOutput::new("fig8");
+    out.header(
         "Figure 8: Base/GLSC execution-time ratio at 4x4",
         "paper: ~1.0x at 1-wide, grows with SIMD width",
     );
@@ -30,14 +37,18 @@ fn main() {
     }
     let jobs: Vec<_> = params
         .iter()
-        .map(|&(kernel, ds, variant, width)| move || run(kernel, ds, variant, (4, 4), width))
+        .map(|&(kernel, ds, variant, width)| {
+            let store = &store;
+            move || run_cached(store, kernel, ds, variant, (4, 4), width)
+        })
         .collect();
     let results = run_jobs(jobs, bench_threads());
+    let errors = collect_errors(&results);
 
-    println!(
+    out.line(format!(
         "{:<6} {:>3} {:>9} {:>9} {:>9}",
         "bench", "ds", "w1", "w4", "w16"
-    );
+    ));
     let mut per_width: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     // Per (kernel, ds): [base w1, glsc w1, base w4, glsc w4, base w16,
     // glsc w16], matching the job-construction order above.
@@ -45,28 +56,27 @@ fn main() {
     for kernel in KERNEL_NAMES {
         for ds in datasets() {
             let chunk = chunks.next().expect("six runs per (kernel, ds)");
-            let mut row = Vec::new();
+            let mut row = format!("{:<6} {:>3}", kernel, ds_label(ds));
             for i in 0..3 {
-                let x = ratio(chunk[2 * i].report.cycles, chunk[2 * i + 1].report.cycles);
-                per_width[i].push(x);
-                row.push(x);
+                match (&chunk[2 * i], &chunk[2 * i + 1]) {
+                    (Ok(base), Ok(glsc)) => {
+                        let x = ratio(base.report.cycles, glsc.report.cycles);
+                        per_width[i].push(x);
+                        row.push_str(&format!(" {x:>8.2}x"));
+                    }
+                    _ => row.push_str(&format!(" {:>9}", "ERR")),
+                }
             }
-            println!(
-                "{:<6} {:>3} {:>8.2}x {:>8.2}x {:>8.2}x",
-                kernel,
-                ds_label(ds),
-                row[0],
-                row[1],
-                row[2]
-            );
+            out.line(row);
         }
     }
-    println!(
+    out.line(format!(
         "{:<6} {:>3} {:>8.2}x {:>8.2}x {:>8.2}x   (paper: ~1.0 / ~1.54 / ~2.03)",
         "geo",
         "",
         geomean(&per_width[0]),
         geomean(&per_width[1]),
         geomean(&per_width[2])
-    );
+    ));
+    std::process::exit(finish_figure(out, &errors));
 }

@@ -12,11 +12,15 @@
 //! serially versus fanned across host threads with
 //! [`glsc_bench::run_jobs`], which is how the figure benches run it.
 //!
+//! Host timings are not cacheable, so this target skips the job store;
+//! output is still written to `results/simperf.txt`.
+//!
 //! Honors `GLSC_DATASETS=tiny` and `GLSC_BENCH_THREADS` like the figure
 //! benches.
 
 use glsc_bench::{
-    bench_threads, config, datasets, ds_label, geomean, header, run, run_jobs, CONFIGS,
+    bench_threads, collect_errors, config, datasets, ds_label, finish_figure, geomean, run,
+    run_jobs, FigureOutput, CONFIGS,
 };
 use glsc_kernels::{build_named, Dataset, Variant, KERNEL_NAMES};
 use glsc_sim::Machine;
@@ -54,14 +58,15 @@ fn time_run(
 }
 
 fn main() {
-    header(
+    let mut out = FigureOutput::new("simperf");
+    out.header(
         "simperf part 1: fast-forward vs naive cycle loop (GLSC, 4-wide)",
         "Mcyc/s = simulated cycles per host second, best of 3; identical reports",
     );
-    println!(
+    out.line(format!(
         "{:<6} {:>3} {:>6} {:>12} {:>12} {:>14} {:>9}",
         "bench", "ds", "shape", "sim cycles", "naive Mc/s", "fastfwd Mc/s", "speedup"
-    );
+    ));
     let mut speedups = Vec::new();
     for shape in [(1usize, 1usize), (4, 4)] {
         for kernel in KERNEL_NAMES {
@@ -71,7 +76,7 @@ fn main() {
                 assert_eq!(cycles, cycles_ff, "fast-forward must not change timing");
                 let speedup = t_naive / t_ff;
                 speedups.push(speedup);
-                println!(
+                out.line(format!(
                     "{:<6} {:>3} {:>6} {:>12} {:>12.2} {:>14.2} {:>8.2}x",
                     kernel,
                     ds_label(ds),
@@ -80,15 +85,18 @@ fn main() {
                     cycles as f64 / t_naive / 1e6,
                     cycles as f64 / t_ff / 1e6,
                     speedup
-                );
+                ));
             }
         }
     }
-    println!();
-    println!("fast-forward speedup, geomean: {:.2}x", geomean(&speedups));
+    out.blank();
+    out.line(format!(
+        "fast-forward speedup, geomean: {:.2}x",
+        geomean(&speedups)
+    ));
 
     let threads = bench_threads();
-    header(
+    out.header(
         "simperf part 2: figure-sweep wall clock, serial vs parallel",
         "the Figure 6 job set: kernels x datasets x {Base,GLSC} x 4 shapes, 4-wide",
     );
@@ -116,8 +124,10 @@ fn main() {
     let (t_serial, r_serial) = wall(1);
     let (t_par, r_par) = wall(threads);
     assert_eq!(r_serial, r_par, "parallel harness must be deterministic");
-    println!("jobs: {}", params.len());
-    println!("serial   (1 thread):  {:>8.3} s", t_serial);
-    println!("parallel ({threads:>2} threads): {:>8.3} s", t_par);
-    println!("harness speedup: {:.2}x", t_serial / t_par);
+    let errors = collect_errors(&r_par);
+    out.line(format!("jobs: {}", params.len()));
+    out.line(format!("serial   (1 thread):  {:>8.3} s", t_serial));
+    out.line(format!("parallel ({threads:>2} threads): {:>8.3} s", t_par));
+    out.line(format!("harness speedup: {:.2}x", t_serial / t_par));
+    std::process::exit(finish_figure(out, &errors));
 }

@@ -11,13 +11,20 @@
 //!
 //! The three runs per (kernel, dataset) cell are independent and are
 //! fanned across host threads (`GLSC_BENCH_THREADS`); output order is
-//! unchanged.
+//! unchanged. Completed runs persist to the job store
+//! (`GLSC_BENCH_RESUME=1` resumes); a failed job prints its whole row as
+//! `ERR`. The table is written to `results/table4.txt`.
 
-use glsc_bench::{bench_threads, datasets, ds_label, header, pct, run, run_jobs};
+use glsc_bench::{
+    bench_threads, collect_errors, datasets, ds_label, finish_figure, pct, run_cached, run_jobs,
+    FigureOutput, JobStore,
+};
 use glsc_kernels::{Variant, KERNEL_NAMES};
 
 fn main() {
-    header(
+    let store = JobStore::for_bench("table4");
+    let mut out = FigureOutput::new("table4");
+    out.header(
         "Table 4: analysis of GLSC (4-wide SIMD)",
         "reductions are GLSC vs Base at 4x4; failure rates from GLSC runs",
     );
@@ -31,19 +38,35 @@ fn main() {
     }
     let jobs: Vec<_> = params
         .iter()
-        .map(|&(kernel, ds, variant, cfg)| move || run(kernel, ds, variant, cfg, 4))
+        .map(|&(kernel, ds, variant, cfg)| {
+            let store = &store;
+            move || run_cached(store, kernel, ds, variant, cfg, 4)
+        })
         .collect();
     let results = run_jobs(jobs, bench_threads());
+    let errors = collect_errors(&results);
 
-    println!(
+    out.line(format!(
         "{:<6} {:>3} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
         "bench", "ds", "instr red", "stall red", "comb red", "atomic%", "fail 1x1", "fail 4x4"
-    );
+    ));
     let mut chunks = results.chunks(3);
     for kernel in KERNEL_NAMES {
         for ds in datasets() {
-            let [base, glsc, glsc_1x1] = chunks.next().expect("three runs per cell") else {
-                unreachable!("chunks of three")
+            let chunk = chunks.next().expect("three runs per cell");
+            let (Ok(base), Ok(glsc), Ok(glsc_1x1)) = (&chunk[0], &chunk[1], &chunk[2]) else {
+                out.line(format!(
+                    "{:<6} {:>3} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
+                    kernel,
+                    ds_label(ds),
+                    "ERR",
+                    "ERR",
+                    "ERR",
+                    "ERR",
+                    "ERR",
+                    "ERR"
+                ));
+                continue;
             };
 
             let bi = base.report.total_instructions() as f64;
@@ -70,7 +93,7 @@ fn main() {
                 0.0
             };
 
-            println!(
+            out.line(format!(
                 "{:<6} {:>3} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
                 kernel,
                 ds_label(ds),
@@ -80,11 +103,12 @@ fn main() {
                 pct(atomic_share),
                 pct(glsc_1x1.report.glsc_failure_rate()),
                 pct(glsc.report.glsc_failure_rate()),
-            );
+            ));
         }
     }
-    println!();
-    println!("paper reference: avg instr reduction 33.8%, avg memory-stall reduction 23.4%,");
-    println!("1x1 failures only from aliasing (GBC ~31-34%, HIP ~20-35%, others ~0%),");
-    println!("4x4 failure rates within ~0.1% of 1x1 (cross-thread conflicts are rare).");
+    out.blank();
+    out.line("paper reference: avg instr reduction 33.8%, avg memory-stall reduction 23.4%,");
+    out.line("1x1 failures only from aliasing (GBC ~31-34%, HIP ~20-35%, others ~0%),");
+    out.line("4x4 failure rates within ~0.1% of 1x1 (cross-thread conflicts are rare).");
+    std::process::exit(finish_figure(out, &errors));
 }

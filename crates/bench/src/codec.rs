@@ -1,0 +1,365 @@
+//! Versioned text encoding for [`RunReport`]s — the on-disk format of the
+//! durable job store (see `store`).
+//!
+//! The format is deliberately hand-rolled plain text (the workspace takes
+//! no serialization dependency): a header line carrying the format
+//! version, one `name value...` line per counter group, and an explicit
+//! `end` trailer so a torn write (crash mid-`rename`-less write, full
+//! disk) is detected as [`CodecError::Truncated`] rather than read back
+//! as a silently short report. Decoding is strict — unknown versions,
+//! missing fields, and trailing garbage are all errors — because a cache
+//! that guesses is worse than no cache.
+//!
+//! ```text
+//! glsc-runreport v1
+//! cycles 12345
+//! threads 4
+//! thread 8-counters...          (one line per hardware thread)
+//! mem 14-counters...
+//! lsu 6-counters...
+//! gsu 14-counters...
+//! end
+//! ```
+
+use glsc_sim::RunReport;
+use std::error::Error;
+use std::fmt;
+
+/// Version tag written into (and required from) every encoded report.
+/// Bump when the [`RunReport`] field set changes; old cache files then
+/// decode to [`CodecError::VersionMismatch`] and are re-simulated.
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_PREFIX: &str = "glsc-runreport v";
+const THREAD_FIELDS: usize = 8;
+const MEM_FIELDS: usize = 14;
+const LSU_FIELDS: usize = 6;
+const GSU_FIELDS: usize = 14;
+
+/// Why a cache file failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The text does not start with the `glsc-runreport` header.
+    MissingHeader,
+    /// The header names a format version this build does not speak.
+    VersionMismatch {
+        /// The version found in the file.
+        found: String,
+    },
+    /// The text ends before the `end` trailer — a torn or partial write.
+    Truncated,
+    /// A line inside the body is malformed.
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::MissingHeader => write!(f, "missing {HEADER_PREFIX:?} header"),
+            CodecError::VersionMismatch { found } => write!(
+                f,
+                "format version mismatch: file is {found:?}, this build speaks v{FORMAT_VERSION}"
+            ),
+            CodecError::Truncated => write!(f, "truncated report (no `end` trailer)"),
+            CodecError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Encodes a report in the versioned text format. `decode_report` inverts
+/// this exactly.
+pub fn encode_report(r: &RunReport) -> String {
+    fn join(counters: &[u64]) -> String {
+        counters
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{HEADER_PREFIX}{FORMAT_VERSION}\n"));
+    out.push_str(&format!("cycles {}\n", r.cycles));
+    out.push_str(&format!("threads {}\n", r.threads.len()));
+    for t in &r.threads {
+        out.push_str(&format!(
+            "thread {}\n",
+            join(&[
+                t.instructions,
+                t.sync_instructions,
+                t.active_cycles,
+                t.sync_cycles,
+                t.mem_stall_cycles,
+                t.compute_stall_cycles,
+                t.issue_stall_cycles,
+                t.barrier_cycles,
+            ])
+        ));
+    }
+    let m = &r.mem;
+    out.push_str(&format!(
+        "mem {}\n",
+        join(&[
+            m.l1_hits,
+            m.l1_misses,
+            m.l2_hits,
+            m.l2_misses,
+            m.upgrades,
+            m.invalidations,
+            m.back_invalidations,
+            m.dirty_forwards,
+            m.sc_failures,
+            m.sc_successes,
+            m.reservations_cleared_by_stores,
+            m.prefetches_issued,
+            m.prefetches_redundant,
+            m.hits_under_miss,
+        ])
+    ));
+    let l = &r.lsu;
+    out.push_str(&format!(
+        "lsu {}\n",
+        join(&[
+            l.loads,
+            l.stores,
+            l.lls,
+            l.scs,
+            l.sc_successes,
+            l.vector_line_requests,
+        ])
+    ));
+    let g = &r.gsu;
+    out.push_str(&format!(
+        "gsu {}\n",
+        join(&[
+            g.gathers,
+            g.scatters,
+            g.gatherlinks,
+            g.scatterconds,
+            g.elems_active,
+            g.line_requests,
+            g.atomic_line_requests,
+            g.atomic_elems,
+            g.gl_elem_attempts,
+            g.gl_elem_failures,
+            g.sc_elem_attempts,
+            g.sc_elem_successes,
+            g.sc_fail_alias,
+            g.sc_fail_reservation,
+        ])
+    ));
+    out.push_str("end\n");
+    out
+}
+
+struct Lines<'a> {
+    iter: std::str::Lines<'a>,
+    num: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn next(&mut self) -> Result<&'a str, CodecError> {
+        self.num += 1;
+        self.iter.next().ok_or(CodecError::Truncated)
+    }
+
+    fn malformed(&self, reason: impl Into<String>) -> CodecError {
+        CodecError::Malformed {
+            line: self.num,
+            reason: reason.into(),
+        }
+    }
+
+    /// Reads a `tag c0 c1 ...` line with exactly `n` counters.
+    fn counters(&mut self, tag: &str, n: usize) -> Result<Vec<u64>, CodecError> {
+        let line = self.next()?;
+        let mut fields = line.split_whitespace();
+        if fields.next() != Some(tag) {
+            return Err(self.malformed(format!("expected a {tag:?} line, found {line:?}")));
+        }
+        let values: Vec<u64> = fields
+            .map(|f| {
+                f.parse()
+                    .map_err(|_| self.malformed(format!("bad counter {f:?}")))
+            })
+            .collect::<Result<_, _>>()?;
+        if values.len() != n {
+            return Err(self.malformed(format!(
+                "{tag:?} carries {} counter(s), expected {n}",
+                values.len()
+            )));
+        }
+        Ok(values)
+    }
+}
+
+/// Decodes a report previously written by [`encode_report`].
+///
+/// # Errors
+///
+/// [`CodecError`] describing the first problem: a missing or
+/// wrong-version header, a truncated body, or a malformed line.
+pub fn decode_report(text: &str) -> Result<RunReport, CodecError> {
+    let mut lines = Lines {
+        iter: text.lines(),
+        num: 0,
+    };
+    let header = lines.next().map_err(|_| CodecError::MissingHeader)?;
+    let version = header
+        .strip_prefix(HEADER_PREFIX)
+        .ok_or(CodecError::MissingHeader)?;
+    if version.parse::<u32>() != Ok(FORMAT_VERSION) {
+        return Err(CodecError::VersionMismatch {
+            found: format!("v{version}"),
+        });
+    }
+    let mut report = RunReport {
+        cycles: lines.counters("cycles", 1)?[0],
+        ..RunReport::default()
+    };
+    let threads = lines.counters("threads", 1)?[0];
+    for _ in 0..threads {
+        let c = lines.counters("thread", THREAD_FIELDS)?;
+        report.threads.push(glsc_sim::ThreadStats {
+            instructions: c[0],
+            sync_instructions: c[1],
+            active_cycles: c[2],
+            sync_cycles: c[3],
+            mem_stall_cycles: c[4],
+            compute_stall_cycles: c[5],
+            issue_stall_cycles: c[6],
+            barrier_cycles: c[7],
+        });
+    }
+    let c = lines.counters("mem", MEM_FIELDS)?;
+    report.mem = glsc_mem::MemStats {
+        l1_hits: c[0],
+        l1_misses: c[1],
+        l2_hits: c[2],
+        l2_misses: c[3],
+        upgrades: c[4],
+        invalidations: c[5],
+        back_invalidations: c[6],
+        dirty_forwards: c[7],
+        sc_failures: c[8],
+        sc_successes: c[9],
+        reservations_cleared_by_stores: c[10],
+        prefetches_issued: c[11],
+        prefetches_redundant: c[12],
+        hits_under_miss: c[13],
+    };
+    let c = lines.counters("lsu", LSU_FIELDS)?;
+    report.lsu = glsc_core::LsuStats {
+        loads: c[0],
+        stores: c[1],
+        lls: c[2],
+        scs: c[3],
+        sc_successes: c[4],
+        vector_line_requests: c[5],
+    };
+    let c = lines.counters("gsu", GSU_FIELDS)?;
+    report.gsu = glsc_core::GsuStats {
+        gathers: c[0],
+        scatters: c[1],
+        gatherlinks: c[2],
+        scatterconds: c[3],
+        elems_active: c[4],
+        line_requests: c[5],
+        atomic_line_requests: c[6],
+        atomic_elems: c[7],
+        gl_elem_attempts: c[8],
+        gl_elem_failures: c[9],
+        sc_elem_attempts: c[10],
+        sc_elem_successes: c[11],
+        sc_fail_alias: c[12],
+        sc_fail_reservation: c[13],
+    };
+    if lines.next()? != "end" {
+        return Err(lines.malformed("expected the `end` trailer"));
+    }
+    if lines.iter.any(|l| !l.trim().is_empty()) {
+        return Err(CodecError::Malformed {
+            line: lines.num + 1,
+            reason: "trailing garbage after `end`".into(),
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        let mut r = RunReport {
+            cycles: 987,
+            ..RunReport::default()
+        };
+        for i in 0..3u64 {
+            r.threads.push(glsc_sim::ThreadStats {
+                instructions: 100 + i,
+                sync_instructions: i,
+                active_cycles: 900,
+                sync_cycles: 5 * i,
+                mem_stall_cycles: 40,
+                compute_stall_cycles: 7,
+                issue_stall_cycles: 3,
+                barrier_cycles: 11,
+            });
+        }
+        r.mem.l1_hits = 1234;
+        r.mem.hits_under_miss = 9;
+        r.lsu.loads = 55;
+        r.lsu.vector_line_requests = 6;
+        r.gsu.gathers = 2;
+        r.gsu.sc_fail_reservation = 1;
+        r
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = sample();
+        assert_eq!(decode_report(&encode_report(&r)), Ok(r));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let text = encode_report(&sample());
+        assert_eq!(decode_report(""), Err(CodecError::MissingHeader));
+        assert_eq!(
+            decode_report("not a report\n"),
+            Err(CodecError::MissingHeader)
+        );
+        assert_eq!(
+            decode_report(&text.replace("v1", "v999")),
+            Err(CodecError::VersionMismatch {
+                found: "v999".into()
+            })
+        );
+        // Every truncation point (dropping the tail at any line boundary)
+        // must be detected.
+        let lines: Vec<&str> = text.lines().collect();
+        for keep in 1..lines.len() {
+            let cut = lines[..keep].join("\n");
+            assert_eq!(
+                decode_report(&cut),
+                Err(CodecError::Truncated),
+                "kept {keep} lines"
+            );
+        }
+        assert!(matches!(
+            decode_report(&text.replace("cycles 987", "cycles banana")),
+            Err(CodecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            decode_report(&(text + "extra\n")),
+            Err(CodecError::Malformed { .. })
+        ));
+    }
+}

@@ -25,12 +25,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
+mod output;
+pub mod store;
+
+pub use output::FigureOutput;
+pub use store::JobStore;
+
 use glsc_kernels::{
-    build_named, micro, run_workload, run_workload_chaos, Dataset, KernelOutcome, Variant,
+    build_named, micro, run_workload, run_workload_chaos, Dataset, KernelOutcome, Variant, Workload,
 };
 use glsc_sim::{ChaosConfig, ChaosStats, MachineConfig};
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// The `m x n` machine shapes of Fig. 6.
 pub const CONFIGS: [(usize, usize); 4] = [(1, 1), (1, 4), (4, 1), (4, 4)];
@@ -94,6 +102,75 @@ pub fn run_chaos(
     run_workload_chaos(&w, &cfg, chaos).unwrap_or_else(|e| panic!("{e}"))
 }
 
+/// As [`run`], but consulting the durable job [`store`] first: with
+/// `GLSC_BENCH_RESUME=1` a previously completed identical job is
+/// satisfied from its cached [`RunReport`] (the skip is logged to stderr,
+/// never stdout — table output stays byte-identical), and every freshly
+/// simulated job is persisted for future resumption. Job identity covers
+/// the named parameters plus content fingerprints of the workload and the
+/// machine configuration, so stale cache hits after a code or dataset
+/// change are structurally impossible.
+pub fn run_cached(
+    store: &JobStore,
+    kernel: &str,
+    ds: Dataset,
+    variant: Variant,
+    (cores, tpc): (usize, usize),
+    width: usize,
+) -> KernelOutcome {
+    let cfg = config(cores, tpc, width);
+    let w = build_named(kernel, ds, variant, &cfg);
+    run_workload_cached(
+        store,
+        &w,
+        &cfg,
+        &[
+            kernel,
+            ds_label(ds),
+            variant.label(),
+            &format!("{cores}x{tpc}"),
+            &format!("w{width}"),
+        ],
+    )
+}
+
+/// The cache-aware workload runner under [`run_cached`] and the bench
+/// targets with custom configurations (ablations): builds the job key,
+/// tries the store, simulates on a miss, persists the result.
+///
+/// # Panics
+///
+/// Panics if the simulation fails or the workload's validator rejects the
+/// result (the harness must never report numbers from an incorrect run);
+/// [`run_jobs`] converts such a panic into a per-job [`JobError`].
+pub fn run_workload_cached(
+    store: &JobStore,
+    w: &Workload,
+    cfg: &MachineConfig,
+    key_parts: &[&str],
+) -> KernelOutcome {
+    let key = store::job_key(key_parts, w.fingerprint(), store::cfg_fingerprint(cfg));
+    maybe_inject_panic(&key);
+    if let Some(report) = store.load(&key) {
+        return KernelOutcome { report };
+    }
+    let out = run_workload(w, cfg).unwrap_or_else(|e| panic!("{e}"));
+    store.save(&key, &out.report);
+    out
+}
+
+/// Fault-drill hook: when `GLSC_BENCH_INJECT_PANIC=<substring>` is set,
+/// any cached job whose key contains the substring panics instead of
+/// running. CI and tests use this to prove a poisoned job degrades to a
+/// per-job error row and a nonzero exit rather than aborting the figure.
+fn maybe_inject_panic(key: &str) {
+    if let Ok(pat) = std::env::var("GLSC_BENCH_INJECT_PANIC") {
+        if !pat.is_empty() && key.contains(&pat) {
+            panic!("GLSC_BENCH_INJECT_PANIC: injected failure for job {key}");
+        }
+    }
+}
+
 /// Runs one §5.2 microbenchmark scenario.
 pub fn run_micro(
     scenario: micro::Scenario,
@@ -111,6 +188,37 @@ pub fn run_micro(
     run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
+/// As [`run_micro`], but through the durable job [`store`] (see
+/// [`run_cached`]).
+pub fn run_micro_cached(
+    store: &JobStore,
+    scenario: micro::Scenario,
+    variant: Variant,
+    (cores, tpc): (usize, usize),
+    width: usize,
+) -> KernelOutcome {
+    let ds = if std::env::var("GLSC_DATASETS").is_ok_and(|v| v == "tiny") {
+        Dataset::Tiny
+    } else {
+        Dataset::A
+    };
+    let cfg = config(cores, tpc, width);
+    let w = micro::Micro::new(scenario, ds).build(variant, &cfg);
+    run_workload_cached(
+        store,
+        &w,
+        &cfg,
+        &[
+            "micro",
+            scenario.label(),
+            ds_label(ds),
+            variant.label(),
+            &format!("{cores}x{tpc}"),
+            &format!("w{width}"),
+        ],
+    )
+}
+
 /// Number of host threads the figure benches fan simulations across.
 ///
 /// Honors `GLSC_BENCH_THREADS` (any positive integer; `1` forces the
@@ -124,31 +232,112 @@ pub fn bench_threads() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
+/// One job's terminal failure: it panicked on every attempt. The harness
+/// reports it (figure row marked `ERR`, error epilogue, nonzero exit)
+/// instead of aborting the whole figure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobError {
+    /// The job's index in the submitted batch (== its table position).
+    pub index: usize,
+    /// How many attempts were made (1 + retries).
+    pub attempts: u32,
+    /// The final attempt's panic message.
+    pub message: String,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "job {} failed after {} attempt(s): {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Retry budget for failing jobs: `GLSC_BENCH_RETRIES` (default 1, i.e.
+/// two attempts per job). Deterministic failures burn the retries and
+/// surface as a [`JobError`]; the budget exists for environmental flakes
+/// (OOM-killed children, transient IO) on long figure runs.
+pub fn job_retries() -> u32 {
+    std::env::var("GLSC_BENCH_RETRIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn backoff_ms(attempt: u32) -> u64 {
+    (25u64 << (attempt - 1).min(6)).min(1_000)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one job with panic isolation and bounded retry-with-backoff.
+fn run_one<T, F: Fn() -> T>(index: usize, job: &F, retries: u32) -> Result<T, JobError> {
+    let attempts = retries + 1;
+    let mut message = String::new();
+    for attempt in 1..=attempts {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+            Ok(v) => return Ok(v),
+            Err(payload) => {
+                message = panic_message(payload.as_ref());
+                eprintln!("[jobs] job {index} attempt {attempt}/{attempts} panicked: {message}");
+                if attempt < attempts {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms(attempt)));
+                }
+            }
+        }
+    }
+    Err(JobError {
+        index,
+        attempts,
+        message,
+    })
+}
+
 /// Runs independent jobs across `threads` host threads and returns their
 /// results **in job order**, regardless of which worker ran which job or
 /// in what order they finished — callers print from the returned vector,
 /// so harness output is byte-identical to the serial path.
 ///
+/// Each job runs under `catch_unwind` with bounded retry-with-backoff
+/// (see [`job_retries`]): a poisoned job degrades to a per-slot
+/// [`JobError`] while every other job completes normally. Workers hold no
+/// lock while a job runs, and result-slot locking tolerates poisoning, so
+/// a panicking job can neither wedge a slot nor cascade-abort the
+/// harness.
+///
 /// Uses scoped threads with an atomic work index (no new dependencies);
 /// with `threads <= 1` or a single job the jobs run inline on the calling
 /// thread.
-///
-/// # Panics
-///
-/// Propagates any job panic when the scope joins.
-pub fn run_jobs<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+pub fn run_jobs<T, F>(jobs: Vec<F>, threads: usize) -> Vec<Result<T, JobError>>
 where
     T: Send,
-    F: FnOnce() -> T + Send,
+    F: Fn() -> T + Send + Sync,
 {
     let n = jobs.len();
-    let threads = threads.max(1).min(n);
+    let threads = threads.max(1).min(n.max(1));
+    let retries = job_retries();
     if threads <= 1 {
-        return jobs.into_iter().map(|job| job()).collect();
+        return jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| run_one(i, job, retries))
+            .collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Result<T, JobError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
@@ -156,15 +345,61 @@ where
                 if i >= n {
                     break;
                 }
-                let job = slots[i].lock().unwrap().take().expect("job taken once");
-                *results[i].lock().unwrap() = Some(job());
+                // The job runs before the slot lock is taken: a panicking
+                // job (already contained by run_one) can never poison a
+                // result slot, and lock acquisition stays poison-tolerant
+                // anyway for defense in depth.
+                let result = run_one(i, &jobs[i], retries);
+                *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
             });
         }
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker stored result"))
+        .enumerate()
+        .map(|(i, m)| {
+            m.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    Err(JobError {
+                        index: i,
+                        attempts: 0,
+                        message: "worker exited without storing a result".into(),
+                    })
+                })
+        })
         .collect()
+}
+
+/// Clones the failures out of a [`run_jobs`] result batch.
+pub fn collect_errors<T>(results: &[Result<T, JobError>]) -> Vec<JobError> {
+    results
+        .iter()
+        .filter_map(|r| r.as_ref().err().cloned())
+        .collect()
+}
+
+/// Ends a figure run: appends the error epilogue (if any job failed),
+/// atomically writes the captured output to its `results/` file, and
+/// returns the process exit code (`0` clean, `1` when any job failed).
+/// Bench mains call `std::process::exit(finish_figure(out, &errors))`.
+pub fn finish_figure(mut out: FigureOutput, errors: &[JobError]) -> i32 {
+    if !errors.is_empty() {
+        out.blank();
+        out.line(format!(
+            "!! {} job(s) failed; affected cells above are printed as ERR:",
+            errors.len()
+        ));
+        for e in errors {
+            out.line(format!("!!   {e}"));
+        }
+    }
+    out.finish();
+    if errors.is_empty() {
+        0
+    } else {
+        1
+    }
 }
 
 /// Prints a boxed section header.
@@ -223,16 +458,52 @@ mod tests {
             })
             .collect();
         let got = run_jobs(jobs, 8);
-        let want: Vec<u64> = (0..23).map(|i| i * i).collect();
+        let want: Vec<Result<u64, JobError>> = (0..23).map(|i| Ok(i * i)).collect();
         assert_eq!(got, want);
     }
 
     #[test]
     fn run_jobs_serial_and_empty() {
         let got = run_jobs((0..4).map(|i| move || i).collect::<Vec<_>>(), 1);
-        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(got, vec![Ok(0), Ok(1), Ok(2), Ok(3)]);
         let empty: Vec<fn() -> i32> = Vec::new();
         assert!(run_jobs(empty, 8).is_empty());
+    }
+
+    #[test]
+    fn run_jobs_isolates_panicking_jobs() {
+        // One poisoned job in the middle of the batch: its slot reports a
+        // JobError carrying the panic message, every other job completes,
+        // and order is preserved. Exercised at both thread counts so the
+        // serial path's isolation is covered too.
+        for threads in [1, 4] {
+            let jobs: Vec<Box<dyn Fn() -> u64 + Send + Sync>> = (0..6u64)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("job {i} is cursed");
+                        }
+                        i * 10
+                    }) as Box<dyn Fn() -> u64 + Send + Sync>
+                })
+                .collect();
+            let got = run_jobs(jobs, threads);
+            assert_eq!(got.len(), 6);
+            for (i, r) in got.iter().enumerate() {
+                if i == 3 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, 3);
+                    assert!(e.attempts >= 1);
+                    assert!(e.message.contains("cursed"), "message: {}", e.message);
+                    assert!(e.to_string().contains("job 3 failed"));
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i as u64 * 10));
+                }
+            }
+            let errs = collect_errors(&got);
+            assert_eq!(errs.len(), 1);
+            assert_eq!(errs[0].index, 3);
+        }
     }
 
     #[test]

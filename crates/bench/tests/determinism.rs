@@ -29,6 +29,9 @@ fn sweep(threads: usize) -> Vec<glsc_sim::RunReport> {
         .map(|&(kernel, variant, cfg)| move || run(kernel, Dataset::Tiny, variant, cfg, 4).report)
         .collect();
     run_jobs(jobs, threads)
+        .into_iter()
+        .map(|r| r.expect("sweep job failed"))
+        .collect()
 }
 
 #[test]
@@ -53,7 +56,8 @@ fn run_jobs_is_order_preserving_under_oversubscription() {
             .map(|i| move || i.wrapping_mul(2654435761))
             .collect();
         let got = run_jobs(jobs, threads);
-        let want: Vec<u32> = (0..17u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let want: Vec<Result<u32, glsc_bench::JobError>> =
+            (0..17u32).map(|i| Ok(i.wrapping_mul(2654435761))).collect();
         assert_eq!(got, want, "threads={threads}");
     }
 }

@@ -1,0 +1,138 @@
+//! Durable job-store correctness: every kernel's `RunReport` must survive
+//! the encode → disk → decode round trip exactly, resume reads must only
+//! ever return byte-faithful reports (corrupt or stale entries re-run
+//! instead), and job keys must separate jobs that differ only in machine
+//! configuration.
+
+use glsc_bench::codec::{decode_report, encode_report, CodecError};
+use glsc_bench::store::{cfg_fingerprint, job_key};
+use glsc_bench::{run_workload_cached, JobStore};
+use glsc_kernels::{build_named, run_workload, Dataset, Variant, KERNEL_NAMES};
+use glsc_sim::MachineConfig;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Fresh per-test scratch directory (no tempfile dependency).
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "glsc-persistence-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_kernel_report_round_trips_through_the_codec() {
+    let cfg = MachineConfig::paper(2, 2, 4);
+    for kernel in KERNEL_NAMES {
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let out = run_workload(&w, &cfg).unwrap();
+        let decoded = decode_report(&encode_report(&out.report))
+            .unwrap_or_else(|e| panic!("{kernel}: decode failed: {e}"));
+        assert_eq!(decoded, out.report, "{kernel}: report changed in transit");
+    }
+}
+
+#[test]
+fn store_round_trips_and_resume_skips_the_simulation() {
+    let dir = scratch("roundtrip");
+    let cfg = MachineConfig::paper(1, 2, 4);
+    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+
+    // First run: cold store, simulates and persists.
+    let writer = JobStore::at(dir.clone(), false);
+    let first = run_workload_cached(&writer, &w, &cfg, &["persistence", "HIP"]);
+    let key = job_key(
+        &["persistence", "HIP"],
+        w.fingerprint(),
+        cfg_fingerprint(&cfg),
+    );
+    let path = writer.path_for(&key).unwrap();
+    assert!(path.exists(), "no cache entry at {}", path.display());
+
+    // Resume: the cached report satisfies the job byte-identically.
+    let resumer = JobStore::at(dir.clone(), true);
+    let cached = resumer.load(&key).expect("resume must hit the cache");
+    assert_eq!(cached, first.report);
+    let resumed = run_workload_cached(&resumer, &w, &cfg, &["persistence", "HIP"]);
+    assert_eq!(resumed.report, first.report);
+
+    // Without resume, the entry is ignored (but stays on disk).
+    assert!(writer.load(&key).is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_and_stale_entries_rerun_instead_of_poisoning() {
+    let dir = scratch("corrupt");
+    let cfg = MachineConfig::paper(1, 1, 4);
+    let w = build_named("TMS", Dataset::Tiny, Variant::Glsc, &cfg);
+    let store = JobStore::at(dir.clone(), true);
+    let key = job_key(&["corrupt"], w.fingerprint(), cfg_fingerprint(&cfg));
+    let path = store.path_for(&key).unwrap();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+
+    // Truncated (torn write): load must refuse it and the job re-runs.
+    let good = run_workload(&w, &cfg).unwrap();
+    let text = encode_report(&good.report);
+    std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+    assert!(store.load(&key).is_none(), "accepted a torn cache entry");
+    let rerun = run_workload_cached(&store, &w, &cfg, &["corrupt"]);
+    assert_eq!(rerun.report, good.report);
+
+    // Version mismatch is rejected at the codec level...
+    let stale = text.replacen("glsc-runreport v1", "glsc-runreport v0", 1);
+    assert_eq!(
+        decode_report(&stale),
+        Err(CodecError::VersionMismatch { found: "v0".into() })
+    );
+    // ...and can never be *read* by a newer build anyway, because the
+    // version is part of the filename.
+    assert!(path.to_string_lossy().contains(".v1."));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn job_keys_separate_configs_and_workloads() {
+    let cfg_a = MachineConfig::paper(4, 4, 4);
+    let mut cfg_b = cfg_a.clone();
+    cfg_b.mem.prefetch = !cfg_b.mem.prefetch;
+    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg_a);
+    let w2 = build_named("HIP", Dataset::Tiny, Variant::Base, &cfg_a);
+
+    let base = job_key(&["x"], w.fingerprint(), cfg_fingerprint(&cfg_a));
+    assert_ne!(
+        base,
+        job_key(&["x"], w.fingerprint(), cfg_fingerprint(&cfg_b)),
+        "config change must change the key"
+    );
+    assert_ne!(
+        base,
+        job_key(&["x"], w2.fingerprint(), cfg_fingerprint(&cfg_a)),
+        "workload change must change the key"
+    );
+    // Keys are filesystem-safe.
+    let weird = job_key(&["a/b c:d", "e*f"], 1, 2);
+    assert!(
+        weird
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "._-".contains(c)),
+        "unsafe key {weird:?}"
+    );
+}
+
+#[test]
+fn disabled_store_neither_reads_nor_writes() {
+    let store = JobStore::disabled();
+    assert!(store.dir().is_none());
+    assert!(store.path_for("k").is_none());
+    assert!(store.load("k").is_none());
+    let cfg = MachineConfig::paper(1, 1, 4);
+    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+    // save() must be a no-op rather than an error.
+    let out = run_workload_cached(&store, &w, &cfg, &["disabled"]);
+    assert!(out.report.cycles > 0);
+}

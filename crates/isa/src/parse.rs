@@ -1,0 +1,613 @@
+//! Instruction parsing: the exact inverse of the disassembler in
+//! `disasm.rs`.
+//!
+//! [`parse_instr`] accepts the assembly syntax produced by
+//! [`Instr`](crate::Instr)'s `Display` impl and rebuilds the instruction,
+//! so `parse_instr(&i.to_string()) == Ok(i)` holds for every well-formed
+//! instruction — the round-trip property that locks the two sides of the
+//! syntax against drifting apart (see `tests/roundtrip.rs`). Lines taken
+//! from a [`Program`](crate::Program) listing also parse: a leading
+//! `"  42: "` pc prefix and a trailing `"; sync"` comment are stripped.
+//!
+//! Branch targets parse to [`Label`](crate::Label)s carrying the printed
+//! label id. A listing does not include label *binding* sites (ids map to
+//! pcs through the program's internal label table), so parsing recovers
+//! instructions, not whole linked programs.
+
+use crate::instr::{AluOp, CmpOp, FpOp, Instr, LaneSel, Operand, VSrc};
+use crate::program::Label;
+use crate::reg::{MReg, Reg, VReg, NUM_MASK_REGS, NUM_SCALAR_REGS, NUM_VECTOR_REGS};
+use std::error::Error;
+use std::fmt;
+
+/// Why a line failed to parse as an instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line was empty (or only a pc prefix / comment).
+    Empty,
+    /// The mnemonic is not part of the instruction set.
+    UnknownMnemonic(String),
+    /// The operand list has the wrong number of entries for the mnemonic.
+    OperandCount {
+        /// The mnemonic whose operands were malformed.
+        mnemonic: String,
+        /// Number of operands the mnemonic requires.
+        expected: usize,
+        /// Number of operands found on the line.
+        found: usize,
+    },
+    /// An individual operand could not be parsed.
+    BadOperand {
+        /// What kind of operand was expected (e.g. `"scalar register"`).
+        expected: &'static str,
+        /// The offending text.
+        found: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty instruction"),
+            ParseError::UnknownMnemonic(m) => write!(f, "unknown mnemonic {m:?}"),
+            ParseError::OperandCount {
+                mnemonic,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{mnemonic}: expected {expected} operand(s), found {found}"
+            ),
+            ParseError::BadOperand { expected, found } => {
+                write!(f, "expected {expected}, found {found:?}")
+            }
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+fn bad(expected: &'static str, found: &str) -> ParseError {
+    ParseError::BadOperand {
+        expected,
+        found: found.to_string(),
+    }
+}
+
+fn reg_index(s: &str, prefix: char, limit: usize, what: &'static str) -> Result<u8, ParseError> {
+    let body = s.strip_prefix(prefix).ok_or_else(|| bad(what, s))?;
+    let idx: u8 = body.parse().map_err(|_| bad(what, s))?;
+    if (idx as usize) < limit {
+        Ok(idx)
+    } else {
+        Err(bad(what, s))
+    }
+}
+
+fn reg(s: &str) -> Result<Reg, ParseError> {
+    reg_index(s, 'r', NUM_SCALAR_REGS, "scalar register").map(Reg::new)
+}
+
+fn vreg(s: &str) -> Result<VReg, ParseError> {
+    reg_index(s, 'v', NUM_VECTOR_REGS, "vector register").map(VReg::new)
+}
+
+fn mreg(s: &str) -> Result<MReg, ParseError> {
+    reg_index(s, 'f', NUM_MASK_REGS, "mask register").map(MReg::new)
+}
+
+fn imm(s: &str) -> Result<i64, ParseError> {
+    s.parse().map_err(|_| bad("immediate", s))
+}
+
+fn operand(s: &str) -> Result<Operand, ParseError> {
+    if s.starts_with('r') {
+        reg(s).map(Operand::Reg)
+    } else {
+        imm(s).map(Operand::Imm)
+    }
+}
+
+fn vsrc(s: &str) -> Result<VSrc, ParseError> {
+    if let Some(r) = s.strip_suffix(".bcast") {
+        reg(r).map(VSrc::Bcast)
+    } else if s.starts_with('v') {
+        vreg(s).map(VSrc::Vec)
+    } else {
+        imm(s).map(VSrc::Imm)
+    }
+}
+
+fn label(s: &str) -> Result<Label, ParseError> {
+    let body = s.strip_prefix('L').ok_or_else(|| bad("label", s))?;
+    body.parse().map(Label).map_err(|_| bad("label", s))
+}
+
+/// `offset(base)`, e.g. `-8(r2)`.
+fn mem_ref(s: &str) -> Result<(i64, Reg), ParseError> {
+    let open = s.find('(').ok_or_else(|| bad("offset(base)", s))?;
+    let inner = s[open + 1..]
+        .strip_suffix(')')
+        .ok_or_else(|| bad("offset(base)", s))?;
+    Ok((imm(&s[..open])?, reg(inner)?))
+}
+
+/// `(base)[vidx]`, e.g. `(r2)[v3]`.
+fn indexed(s: &str) -> Result<(Reg, VReg), ParseError> {
+    let rest = s.strip_prefix('(').ok_or_else(|| bad("(base)[vidx]", s))?;
+    let close = rest.find(')').ok_or_else(|| bad("(base)[vidx]", s))?;
+    let idx = rest[close + 1..]
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| bad("(base)[vidx]", s))?;
+    Ok((reg(&rest[..close])?, vreg(idx)?))
+}
+
+/// `vN[lane]` where `lane` is a number or a scalar register.
+fn vreg_lane(s: &str) -> Result<(VReg, LaneSel), ParseError> {
+    let open = s.find('[').ok_or_else(|| bad("vector[lane]", s))?;
+    let inner = s[open + 1..]
+        .strip_suffix(']')
+        .ok_or_else(|| bad("vector[lane]", s))?;
+    let lane = if inner.starts_with('r') {
+        LaneSel::Reg(reg(inner)?)
+    } else {
+        LaneSel::Imm(inner.parse().map_err(|_| bad("lane index", inner))?)
+    };
+    Ok((vreg(&s[..open])?, lane))
+}
+
+/// Splits a trailing ` ?fN` mask annotation off a maskable instruction's
+/// operand list.
+fn split_mask(body: &str) -> Result<(&str, Option<MReg>), ParseError> {
+    match body.rsplit_once(" ?") {
+        Some((head, m)) => Ok((head, Some(mreg(m)?))),
+        None => Ok((body, None)),
+    }
+}
+
+fn scalar_alu_op(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "divu" => AluOp::Div,
+        "remu" => AluOp::Rem,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "minu" => AluOp::Min,
+        "maxu" => AluOp::Max,
+        _ => return None,
+    })
+}
+
+fn fp_op(m: &str) -> Option<FpOp> {
+    Some(match m {
+        "fadd" => FpOp::Add,
+        "fsub" => FpOp::Sub,
+        "fmul" => FpOp::Mul,
+        "fdiv" => FpOp::Div,
+        "fmin" => FpOp::Min,
+        "fmax" => FpOp::Max,
+        _ => return None,
+    })
+}
+
+fn cmp_op(m: &str) -> Option<CmpOp> {
+    Some(match m {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+/// Splits the comma-separated operand list, expecting exactly `n` entries.
+fn operands<'a>(mnemonic: &str, body: &'a str, n: usize) -> Result<Vec<&'a str>, ParseError> {
+    let parts: Vec<&str> = if body.is_empty() {
+        Vec::new()
+    } else {
+        body.split(',').map(str::trim).collect()
+    };
+    if parts.len() == n {
+        Ok(parts)
+    } else {
+        Err(ParseError::OperandCount {
+            mnemonic: mnemonic.to_string(),
+            expected: n,
+            found: parts.len(),
+        })
+    }
+}
+
+/// Parses one instruction in the disassembler's syntax.
+///
+/// Accepts raw instruction text (`"vadd v1, v2, 1 ?f0"`) as well as full
+/// program-listing lines (`"   12: ll r1, 4(r2) ; sync"`).
+///
+/// # Errors
+///
+/// A [`ParseError`] naming the first problem found: an empty line, an
+/// unknown mnemonic, a wrong operand count, or a malformed operand
+/// (including out-of-range register indices).
+pub fn parse_instr(text: &str) -> Result<Instr, ParseError> {
+    // Strip a listing comment and a leading "pc:" prefix, if present.
+    let mut line = text.split(';').next().unwrap_or("").trim();
+    if let Some((head, rest)) = line.split_once(':') {
+        if !head.is_empty() && head.trim().chars().all(|c| c.is_ascii_digit()) {
+            line = rest.trim();
+        }
+    }
+    let (mnemonic, body) = match line.split_once(char::is_whitespace) {
+        Some((m, b)) => (m, b.trim()),
+        None if line.is_empty() => return Err(ParseError::Empty),
+        None => (line, ""),
+    };
+
+    // Fixed-mnemonic forms first, then the op-family prefixes.
+    match mnemonic {
+        "li" => {
+            let ops = operands(mnemonic, body, 2)?;
+            return Ok(Instr::Li {
+                rd: reg(ops[0])?,
+                imm: imm(ops[1])?,
+            });
+        }
+        "jmp" => {
+            let ops = operands(mnemonic, body, 1)?;
+            return Ok(Instr::Jump {
+                target: label(ops[0])?,
+            });
+        }
+        "bmz" | "bmnz" => {
+            let ops = operands(mnemonic, body, 2)?;
+            let (f, target) = (mreg(ops[0])?, label(ops[1])?);
+            return Ok(if mnemonic == "bmz" {
+                Instr::BranchMaskZero { f, target }
+            } else {
+                Instr::BranchMaskNotZero { f, target }
+            });
+        }
+        "halt" => return Ok(Instr::Halt),
+        "barrier" => return Ok(Instr::Barrier),
+        "nop" => return Ok(Instr::Nop),
+        "ld" | "ll" => {
+            let ops = operands(mnemonic, body, 2)?;
+            let (rd, (offset, base)) = (reg(ops[0])?, mem_ref(ops[1])?);
+            return Ok(if mnemonic == "ld" {
+                Instr::Load { rd, base, offset }
+            } else {
+                Instr::LoadLinked { rd, base, offset }
+            });
+        }
+        "st" => {
+            let ops = operands(mnemonic, body, 2)?;
+            let (rs, (offset, base)) = (reg(ops[0])?, mem_ref(ops[1])?);
+            return Ok(Instr::Store { rs, base, offset });
+        }
+        "sc" => {
+            let ops = operands(mnemonic, body, 3)?;
+            let (offset, base) = mem_ref(ops[2])?;
+            return Ok(Instr::StoreCond {
+                rd: reg(ops[0])?,
+                rs: reg(ops[1])?,
+                base,
+                offset,
+            });
+        }
+        "vsplat" => {
+            let ops = operands(mnemonic, body, 2)?;
+            return Ok(Instr::VSplat {
+                vd: vreg(ops[0])?,
+                rs: reg(ops[1])?,
+            });
+        }
+        "viota" => {
+            let ops = operands(mnemonic, body, 1)?;
+            return Ok(Instr::VIota { vd: vreg(ops[0])? });
+        }
+        "vextract" => {
+            let ops = operands(mnemonic, body, 2)?;
+            let (vs, lane) = vreg_lane(ops[1])?;
+            return Ok(Instr::VExtract {
+                rd: reg(ops[0])?,
+                vs,
+                lane,
+            });
+        }
+        "vinsert" => {
+            let ops = operands(mnemonic, body, 2)?;
+            let (vd, lane) = vreg_lane(ops[0])?;
+            return Ok(Instr::VInsert {
+                vd,
+                rs: reg(ops[1])?,
+                lane,
+            });
+        }
+        "mall" | "mclear" => {
+            let ops = operands(mnemonic, body, 1)?;
+            let f = mreg(ops[0])?;
+            return Ok(if mnemonic == "mall" {
+                Instr::MSetAll { f }
+            } else {
+                Instr::MClear { f }
+            });
+        }
+        "mnot" | "mmov" => {
+            let ops = operands(mnemonic, body, 2)?;
+            let (fd, fs) = (mreg(ops[0])?, mreg(ops[1])?);
+            return Ok(if mnemonic == "mnot" {
+                Instr::MNot { fd, fs }
+            } else {
+                Instr::MMov { fd, fs }
+            });
+        }
+        "mand" | "mor" | "mxor" => {
+            let ops = operands(mnemonic, body, 3)?;
+            let (fd, fa, fb) = (mreg(ops[0])?, mreg(ops[1])?, mreg(ops[2])?);
+            return Ok(match mnemonic {
+                "mand" => Instr::MAnd { fd, fa, fb },
+                "mor" => Instr::MOr { fd, fa, fb },
+                _ => Instr::MXor { fd, fa, fb },
+            });
+        }
+        "mpop" => {
+            let ops = operands(mnemonic, body, 2)?;
+            return Ok(Instr::MPopcount {
+                rd: reg(ops[0])?,
+                f: mreg(ops[1])?,
+            });
+        }
+        "r2m" => {
+            let ops = operands(mnemonic, body, 2)?;
+            return Ok(Instr::MFromReg {
+                f: mreg(ops[0])?,
+                rs: reg(ops[1])?,
+            });
+        }
+        "m2r" => {
+            let ops = operands(mnemonic, body, 2)?;
+            return Ok(Instr::MToReg {
+                rd: reg(ops[0])?,
+                f: mreg(ops[1])?,
+            });
+        }
+        "vload" | "vstore" => {
+            let (body, mask) = split_mask(body)?;
+            let ops = operands(mnemonic, body, 2)?;
+            let (v, (offset, base)) = (vreg(ops[0])?, mem_ref(ops[1])?);
+            return Ok(if mnemonic == "vload" {
+                Instr::VLoad {
+                    vd: v,
+                    base,
+                    offset,
+                    mask,
+                }
+            } else {
+                Instr::VStore {
+                    vs: v,
+                    base,
+                    offset,
+                    mask,
+                }
+            });
+        }
+        "vgather" | "vscatter" => {
+            let (body, mask) = split_mask(body)?;
+            let ops = operands(mnemonic, body, 2)?;
+            let (v, (base, vidx)) = (vreg(ops[0])?, indexed(ops[1])?);
+            return Ok(if mnemonic == "vgather" {
+                Instr::VGather {
+                    vd: v,
+                    base,
+                    vidx,
+                    mask,
+                }
+            } else {
+                Instr::VScatter {
+                    vs: v,
+                    base,
+                    vidx,
+                    mask,
+                }
+            });
+        }
+        "vgatherlink" | "vscattercond" => {
+            let ops = operands(mnemonic, body, 4)?;
+            let (fd, v) = (mreg(ops[0])?, vreg(ops[1])?);
+            let (base, vidx) = indexed(ops[2])?;
+            let fsrc = mreg(ops[3])?;
+            return Ok(if mnemonic == "vgatherlink" {
+                Instr::VGatherLink {
+                    fd,
+                    vd: v,
+                    base,
+                    vidx,
+                    fsrc,
+                }
+            } else {
+                Instr::VScatterCond {
+                    fd,
+                    vs: v,
+                    base,
+                    vidx,
+                    fsrc,
+                }
+            });
+        }
+        _ => {}
+    }
+
+    // Dotted predicate families.
+    if let Some(op) = mnemonic.strip_prefix("cmp.").and_then(cmp_op) {
+        let ops = operands(mnemonic, body, 3)?;
+        return Ok(Instr::Cmp {
+            op,
+            rd: reg(ops[0])?,
+            rs: reg(ops[1])?,
+            src2: operand(ops[2])?,
+        });
+    }
+    if let Some(op) = mnemonic.strip_prefix("fcmp.").and_then(cmp_op) {
+        let ops = operands(mnemonic, body, 3)?;
+        return Ok(Instr::FCmp {
+            op,
+            rd: reg(ops[0])?,
+            rs: reg(ops[1])?,
+            rt: reg(ops[2])?,
+        });
+    }
+    if let Some(op) = mnemonic.strip_prefix("vcmp.").and_then(cmp_op) {
+        let (body, mask) = split_mask(body)?;
+        let ops = operands(mnemonic, body, 3)?;
+        return Ok(Instr::VCmp {
+            op,
+            fd: mreg(ops[0])?,
+            vs: vreg(ops[1])?,
+            src2: vsrc(ops[2])?,
+            mask,
+        });
+    }
+    if let Some(op) = mnemonic.strip_prefix("vfcmp.").and_then(cmp_op) {
+        let (body, mask) = split_mask(body)?;
+        let ops = operands(mnemonic, body, 3)?;
+        return Ok(Instr::VFCmp {
+            op,
+            fd: mreg(ops[0])?,
+            vs: vreg(ops[1])?,
+            vt: vreg(ops[2])?,
+            mask,
+        });
+    }
+    if mnemonic == "cvt.i2f" || mnemonic == "cvt.f2i" {
+        let ops = operands(mnemonic, body, 2)?;
+        let (rd, rs) = (reg(ops[0])?, reg(ops[1])?);
+        return Ok(if mnemonic == "cvt.i2f" {
+            Instr::CvtIntToF32 { rd, rs }
+        } else {
+            Instr::CvtF32ToInt { rd, rs }
+        });
+    }
+
+    // Scalar ALU / FP, conditional branches, and their vector forms.
+    if let Some(op) = scalar_alu_op(mnemonic) {
+        let ops = operands(mnemonic, body, 3)?;
+        return Ok(Instr::Alu {
+            op,
+            rd: reg(ops[0])?,
+            rs: reg(ops[1])?,
+            src2: operand(ops[2])?,
+        });
+    }
+    if let Some(op) = fp_op(mnemonic) {
+        let ops = operands(mnemonic, body, 3)?;
+        return Ok(Instr::Fp {
+            op,
+            rd: reg(ops[0])?,
+            rs: reg(ops[1])?,
+            rt: reg(ops[2])?,
+        });
+    }
+    if let Some(op) = mnemonic.strip_prefix('b').and_then(cmp_op) {
+        let ops = operands(mnemonic, body, 3)?;
+        return Ok(Instr::Branch {
+            op,
+            rs: reg(ops[0])?,
+            src2: operand(ops[1])?,
+            target: label(ops[2])?,
+        });
+    }
+    if let Some(vm) = mnemonic.strip_prefix('v') {
+        if let Some(op) = scalar_alu_op(vm) {
+            let (body, mask) = split_mask(body)?;
+            let ops = operands(mnemonic, body, 3)?;
+            return Ok(Instr::VAlu {
+                op,
+                vd: vreg(ops[0])?,
+                vs: vreg(ops[1])?,
+                src2: vsrc(ops[2])?,
+                mask,
+            });
+        }
+        if let Some(op) = fp_op(vm) {
+            let (body, mask) = split_mask(body)?;
+            let ops = operands(mnemonic, body, 3)?;
+            return Ok(Instr::VFp {
+                op,
+                vd: vreg(ops[0])?,
+                vs: vreg(ops[1])?,
+                vt: vreg(ops[2])?,
+                mask,
+            });
+        }
+    }
+
+    Err(ParseError::UnknownMnemonic(mnemonic.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_listing_lines() {
+        assert_eq!(
+            parse_instr("   12: ll r1, 4(r2) ; sync"),
+            Ok(Instr::LoadLinked {
+                rd: Reg::new(1),
+                base: Reg::new(2),
+                offset: 4
+            })
+        );
+        assert_eq!(parse_instr("halt"), Ok(Instr::Halt));
+    }
+
+    #[test]
+    fn rejects_junk() {
+        assert_eq!(parse_instr("  "), Err(ParseError::Empty));
+        assert!(matches!(
+            parse_instr("frobnicate r1, r2"),
+            Err(ParseError::UnknownMnemonic(_))
+        ));
+        assert!(matches!(
+            parse_instr("li r1"),
+            Err(ParseError::OperandCount { .. })
+        ));
+        // Out-of-range register indices must error, not panic.
+        assert!(matches!(
+            parse_instr("li r99, 0"),
+            Err(ParseError::BadOperand { .. })
+        ));
+        assert!(matches!(
+            parse_instr("mall f8"),
+            Err(ParseError::BadOperand { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_offsets_and_immediates() {
+        assert_eq!(
+            parse_instr("ld r3, -8(r4)"),
+            Ok(Instr::Load {
+                rd: Reg::new(3),
+                base: Reg::new(4),
+                offset: -8
+            })
+        );
+        assert_eq!(
+            parse_instr("add r1, r2, -17"),
+            Ok(Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::new(1),
+                rs: Reg::new(2),
+                src2: Operand::Imm(-17)
+            })
+        );
+    }
+}

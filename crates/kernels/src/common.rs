@@ -85,6 +85,28 @@ impl MemImage {
             backing.write_u32_slice(*base, words);
         }
     }
+
+    /// Order-sensitive FNV-1a hash of the image layout and contents.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for (base, words) in &self.chunks {
+            fnv1a(&mut h, &base.to_le_bytes());
+            fnv1a(&mut h, &(words.len() as u64).to_le_bytes());
+            for w in words {
+                fnv1a(&mut h, &w.to_le_bytes());
+            }
+        }
+        h
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
 }
 
 /// Validation callback run against the final memory image.
@@ -100,6 +122,20 @@ pub struct Workload {
     pub image: MemImage,
     /// Post-run correctness check against a golden reference.
     pub validate: ValidateFn,
+}
+
+impl Workload {
+    /// Content fingerprint of everything that determines this workload's
+    /// simulated behavior: the program text (instructions and sync
+    /// regions, via the disassembly listing) and the initial memory
+    /// image. The benchmark harness folds this into its job-cache keys,
+    /// so editing a kernel's code or dataset generator automatically
+    /// invalidates its cached results.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = self.image.fingerprint();
+        fnv1a(&mut h, self.program.to_string().as_bytes());
+        h
+    }
 }
 
 impl std::fmt::Debug for Workload {

@@ -51,7 +51,7 @@ pub use l1::{L1Cache, L1State, LinePayload};
 pub use l2::{L2Bank, L2Payload};
 pub use prefetch::StridePrefetcher;
 pub use stats::MemStats;
-pub use system::{AccessResult, MemOp, MemorySystem};
+pub use system::{AccessResult, MemOp, MemSnapshot, MemorySystem};
 pub use tags::TagArray;
 
 /// Returns the line-aligned address containing `addr`.

@@ -667,4 +667,59 @@ impl MemorySystem {
         }
         out
     }
+
+    /// Captures a point-in-time copy of the entire memory system: the
+    /// functional backing store, every L1 (tags, MSI states, dirty data,
+    /// GLSC reservations in both per-line-tag and §3.3 buffer modes),
+    /// every L2 bank with its directory, the per-core prefetcher streams,
+    /// the event counters, and — crucially for replayable chaos runs —
+    /// the installed [`FaultPlan`] including its private RNG state and
+    /// pending DRAM jitter. Restoring the snapshot therefore resumes the
+    /// exact access-by-access behavior of the original run.
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            state: self.clone(),
+        }
+    }
+
+    /// Replaces this memory system's state with the snapshot's.
+    ///
+    /// Shape compatibility (core count, cache geometry) is the caller's
+    /// responsibility; `glsc_sim::Machine::restore` validates the whole
+    /// machine configuration before delegating here.
+    pub fn restore(&mut self, snap: &MemSnapshot) {
+        *self = snap.state.clone();
+    }
+}
+
+/// An opaque point-in-time copy of a [`MemorySystem`], produced by
+/// [`MemorySystem::snapshot`]. Every field of the memory system is owned
+/// data (no shared interior mutability anywhere in this crate), so the
+/// deep copy held here is self-contained: it stays valid however the
+/// original system evolves afterwards.
+#[derive(Clone, Debug)]
+pub struct MemSnapshot {
+    state: MemorySystem,
+}
+
+impl MemSnapshot {
+    /// The configuration the snapshotted system was built with.
+    pub fn cfg(&self) -> &MemConfig {
+        self.state.cfg()
+    }
+
+    /// Number of cores (L1 caches) in the snapshotted system.
+    pub fn num_cores(&self) -> usize {
+        self.state.num_cores()
+    }
+
+    /// Whether the snapshot carries a fault plan (and thus its RNG state).
+    pub fn has_fault_plan(&self) -> bool {
+        self.state.fault_plan().is_some()
+    }
+
+    /// Live reservations at snapshot time as `(core, line, thread mask)`.
+    pub fn reservation_state(&self) -> Vec<(usize, u64, u8)> {
+        self.state.reservation_state()
+    }
 }

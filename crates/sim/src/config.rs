@@ -138,7 +138,7 @@ impl LatencyTable {
 }
 
 /// Full machine configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MachineConfig {
     /// Number of cores (paper: 1–4).
     pub cores: usize,

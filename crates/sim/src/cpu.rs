@@ -69,6 +69,26 @@ pub struct Core {
     pub(crate) issued_any: bool,
 }
 
+/// A point-in-time copy of one [`Core`], captured by [`Core::snapshot`]
+/// as part of a [`crate::MachineSnapshot`].
+#[derive(Clone, Debug)]
+pub(crate) struct CoreSnapshot {
+    threads: Vec<Thread>,
+    memunit: glsc_core::CoreMemUnitSnapshot,
+    records: Vec<IssueRecord>,
+    rr: usize,
+    halted: usize,
+    at_barrier: usize,
+    issued_any: bool,
+}
+
+impl CoreSnapshot {
+    /// Whether the captured memory unit was fully drained.
+    pub(crate) fn memunit_is_idle(&self) -> bool {
+        self.memunit.is_idle()
+    }
+}
+
 impl Core {
     /// Creates core `id` per the machine configuration.
     pub fn new(id: usize, cfg: &MachineConfig) -> Self {
@@ -636,6 +656,38 @@ impl Core {
             earliest = earliest.max(ready);
         }
         earliest
+    }
+
+    /// Captures a point-in-time copy of this core: every thread (arch
+    /// registers, vector/mask registers, status, scoreboard, statistics),
+    /// the round-robin pointer and per-thread issue records, the
+    /// incremental halted/barrier counters, and the memory unit's
+    /// in-flight state. `scratch_regs` is intentionally excluded — it is
+    /// a transient operand-decode buffer, fully rewritten before every
+    /// read.
+    pub(crate) fn snapshot(&self) -> CoreSnapshot {
+        CoreSnapshot {
+            threads: self.threads.clone(),
+            memunit: self.memunit.snapshot(),
+            records: self.records.clone(),
+            rr: self.rr,
+            halted: self.halted,
+            at_barrier: self.at_barrier,
+            issued_any: self.issued_any,
+        }
+    }
+
+    /// Replaces this core's state with the snapshot's (same-shape core;
+    /// validated by `Machine::restore`).
+    pub(crate) fn restore(&mut self, snap: &CoreSnapshot) {
+        self.threads = snap.threads.clone();
+        self.memunit.restore(&snap.memunit);
+        self.records = snap.records.clone();
+        self.rr = snap.rr;
+        self.halted = snap.halted;
+        self.at_barrier = snap.at_barrier;
+        self.issued_any = snap.issued_any;
+        self.scratch_regs.clear();
     }
 
     /// Bulk stall attribution for the fast-forwarded window `[from, to)`,

@@ -54,7 +54,7 @@ mod thread;
 
 pub use arch::ThreadArch;
 pub use config::{ConfigError, LatencyTable, MachineConfig};
-pub use machine::{Machine, SimError};
+pub use machine::{Machine, MachineSnapshot, SimError};
 pub use report::{RunReport, StallTotals, ThreadStats};
 pub use thread::ThreadStatus;
 
@@ -62,4 +62,4 @@ pub use thread::ThreadStatus;
 // chaos plans are installed through it (DESIGN.md §9).
 pub use glsc_core::GlscConfig;
 pub use glsc_isa::Program;
-pub use glsc_mem::{ChaosConfig, ChaosStats, FaultPlan, MemConfig, MemorySystem};
+pub use glsc_mem::{ChaosConfig, ChaosStats, FaultPlan, MemConfig, MemSnapshot, MemorySystem};

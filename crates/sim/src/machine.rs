@@ -54,6 +54,16 @@ pub enum SimError {
         /// The violated invariant.
         violation: glsc_mem::InvariantViolation,
     },
+    /// [`Machine::restore`] was called with a snapshot captured under a
+    /// different machine configuration; restoring it would silently
+    /// change the machine's shape or timing model mid-run. Carries both
+    /// configurations for diagnosis.
+    SnapshotMismatch {
+        /// The restoring machine's configuration.
+        machine: Box<MachineConfig>,
+        /// The configuration the snapshot was captured under.
+        snapshot: Box<MachineConfig>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -90,6 +100,19 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "coherence invariant violated at cycle {cycle}: {violation}"
+                )
+            }
+            SimError::SnapshotMismatch { machine, snapshot } => {
+                write!(
+                    f,
+                    "snapshot configuration mismatch: machine is {}x{} width {} but the \
+                     snapshot was captured on {}x{} width {} (full configs differ)",
+                    machine.cores,
+                    machine.threads_per_core,
+                    machine.simd_width,
+                    snapshot.cores,
+                    snapshot.threads_per_core,
+                    snapshot.simd_width
                 )
             }
         }
@@ -420,6 +443,72 @@ impl Machine {
         StallTotals::from_threads(&all)
     }
 
+    /// Captures the complete simulation state at the current cycle as a
+    /// self-contained [`MachineSnapshot`].
+    ///
+    /// "Complete" means every piece of state that influences timing or
+    /// results from here on: per-thread architectural state (scalar,
+    /// vector and mask registers, pc), thread statuses and scoreboards,
+    /// issue round-robin pointers, stall counters accumulated so far, the
+    /// LSU/GSU in-flight queues, the entire memory hierarchy (L1 tags and
+    /// GLSC reservations in both tracking modes, L2/directory state,
+    /// prefetcher streams, event counters, backing store), the installed
+    /// chaos [`FaultPlan`](glsc_mem::FaultPlan) with its RNG state, and
+    /// the cycle counter. Continuing from a restored snapshot therefore
+    /// produces a [`RunReport`] bit-identical to the uninterrupted run —
+    /// under [`run`](Machine::run) and [`run_naive`](Machine::run_naive)
+    /// alike. A snapshot may be taken at any cycle boundary, including
+    /// while vector memory operations are mid-flight.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            cfg: self.cfg.clone(),
+            cycle: self.cycle,
+            program: self.program.clone(),
+            cores: self.cores.iter().map(Core::snapshot).collect(),
+            mem: self.mem.snapshot(),
+        }
+    }
+
+    /// Rewinds (or fast-forwards) this machine to the snapshot's state.
+    ///
+    /// The machine must have been built with the exact configuration the
+    /// snapshot was captured under — shape, latencies, memory geometry and
+    /// GLSC policy all affect timing, so a mismatch is rejected rather
+    /// than reinterpreted.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SnapshotMismatch`] when the configurations differ; the
+    /// machine is left untouched.
+    pub fn restore(&mut self, snap: &MachineSnapshot) -> Result<(), SimError> {
+        if self.cfg != snap.cfg {
+            return Err(SimError::SnapshotMismatch {
+                machine: Box::new(self.cfg.clone()),
+                snapshot: Box::new(snap.cfg.clone()),
+            });
+        }
+        self.cycle = snap.cycle;
+        self.program = snap.program.clone();
+        for (core, cs) in self.cores.iter_mut().zip(&snap.cores) {
+            core.restore(cs);
+        }
+        self.mem.restore(&snap.mem);
+        // The completion buffer is drained within every step; between
+        // steps it holds no state, only reusable capacity.
+        self.comp_buf.clear();
+        Ok(())
+    }
+
+    /// Builds a brand-new machine from a snapshot — the crash-recovery
+    /// path, where the original [`Machine`] no longer exists.
+    pub fn from_snapshot(snap: &MachineSnapshot) -> Self {
+        let mut m = Self::try_new(snap.cfg.clone())
+            .expect("snapshot was captured from a machine with a validated config");
+        m.restore(snap)
+            .expect("fresh machine was built from the snapshot's own config");
+        m
+    }
+
     /// Builds the statistics report for the run so far.
     pub fn report(&self) -> RunReport {
         let mut report = RunReport {
@@ -436,5 +525,44 @@ impl Machine {
             report.gsu.accumulate(core.memunit.gsu_stats());
         }
         report
+    }
+}
+
+/// A self-contained point-in-time copy of a [`Machine`], produced by
+/// [`Machine::snapshot`].
+///
+/// The snapshot owns deep copies of every mutable layer (cores, memory
+/// system) and shares only the immutable [`Program`] (via `Arc`), so it
+/// remains valid however the original machine evolves — or after it is
+/// dropped entirely ([`Machine::from_snapshot`]).
+#[derive(Clone, Debug)]
+pub struct MachineSnapshot {
+    cfg: MachineConfig,
+    cycle: u64,
+    program: Option<Arc<Program>>,
+    cores: Vec<crate::cpu::CoreSnapshot>,
+    mem: glsc_mem::MemSnapshot,
+}
+
+impl MachineSnapshot {
+    /// The cycle at which the snapshot was captured.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The configuration the snapshotted machine was built with.
+    pub fn cfg(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Whether a program was loaded at capture time.
+    pub fn has_program(&self) -> bool {
+        self.program.is_some()
+    }
+
+    /// Whether every memory unit was drained at capture time (no vector
+    /// or scalar memory operations in flight).
+    pub fn is_quiescent(&self) -> bool {
+        self.cores.iter().all(|c| c.memunit_is_idle())
     }
 }

@@ -1,0 +1,229 @@
+//! Snapshot/restore correctness at the machine level: a snapshot taken
+//! mid-run — including cycles with in-flight GSU operations and live
+//! GLSC reservations — must resume to a `RunReport` and final memory
+//! bit-identical to the uninterrupted run, whether restored into the
+//! same machine or hydrated into a fresh one with
+//! [`Machine::from_snapshot`].
+
+use glsc_isa::{MReg, Program, ProgramBuilder, Reg, VReg};
+use glsc_sim::{ChaosConfig, FaultPlan, Machine, MachineConfig, SimError};
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+const COUNTER: i64 = 0x4000;
+const INPUT: i64 = 0x1_0000;
+const PIXELS: i64 = 64;
+const BINS: i64 = 7;
+
+/// Scalar ll/sc increment loop (Fig. 2), run by every hardware thread.
+fn llsc_counter_program(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let (base, i, tmp, ok) = (r(2), r(3), r(4), r(5));
+    b.li(base, COUNTER);
+    b.li(i, 0);
+    let top = b.here();
+    b.sync_on();
+    let retry = b.here();
+    b.ll(tmp, base, 0);
+    b.addi(tmp, tmp, 1);
+    b.sc(ok, tmp, base, 0);
+    b.beq(ok, 0, retry);
+    b.sync_off();
+    b.addi(i, i, 1);
+    b.blt(i, iters, top);
+    b.halt();
+    b.build().unwrap()
+}
+
+/// Straight-line vector-memory program: loads, gathers, a gather-link /
+/// scatter-cond pair, and a store keep the GSU busy with multi-cycle
+/// vector operations so mid-run snapshots catch in-flight element state
+/// and live reservations.
+fn vector_memory_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let base = r(2);
+    let (vpix, vidx, vval) = (VReg::new(0), VReg::new(1), VReg::new(2));
+    let (pending, got) = (MReg::new(0), MReg::new(1));
+    b.li(base, INPUT);
+    b.viota(vidx);
+    b.vload(vpix, base, 0, None);
+    b.vgather(vval, base, vidx, None);
+    b.mall(pending);
+    b.vgatherlink(got, vval, base, vidx, pending);
+    b.valu(glsc_isa::AluOp::Add, vval, vval, 1, None);
+    b.vscattercond(got, vval, base, vidx, pending);
+    b.vstore(vpix, base, 256, None);
+    b.halt();
+    b.build().unwrap()
+}
+
+fn counter_machine(cores: usize, tpc: usize) -> Machine {
+    let mut m = Machine::new(MachineConfig::paper(cores, tpc, 4));
+    m.load_program(llsc_counter_program(40));
+    m
+}
+
+/// Steps `n` cycles (or until halt) and returns whether the machine
+/// halted.
+fn step_n(m: &mut Machine, n: u64) -> bool {
+    for _ in 0..n {
+        if m.step() {
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn restore_in_place_resumes_bit_identical() {
+    let baseline = counter_machine(2, 2).run().unwrap();
+
+    let mut m = counter_machine(2, 2);
+    let halted = step_n(&mut m, baseline.cycles / 2);
+    assert!(!halted, "snapshot point must be mid-run");
+    let snap = m.snapshot();
+    assert_eq!(snap.cycle(), baseline.cycles / 2);
+    assert!(snap.has_program());
+
+    // Finish the interrupted run...
+    let first = m.run().unwrap();
+    assert_eq!(first, baseline, "stepping then running must match run()");
+    let mem_first = m.mem().backing().read_u32(COUNTER as u64);
+
+    // ...then rewind the same machine and do it again.
+    m.restore(&snap).unwrap();
+    assert_eq!(m.cycle(), baseline.cycles / 2);
+    let second = m.run().unwrap();
+    assert_eq!(second, baseline, "restored run diverged");
+    assert_eq!(m.mem().backing().read_u32(COUNTER as u64), mem_first);
+}
+
+#[test]
+fn from_snapshot_hydrates_an_equivalent_machine() {
+    let baseline = counter_machine(4, 1).run().unwrap();
+
+    let mut m = counter_machine(4, 1);
+    assert!(!step_n(&mut m, baseline.cycles / 3));
+    let snap = m.snapshot();
+
+    let mut fresh = Machine::from_snapshot(&snap);
+    assert_eq!(fresh.cycle(), snap.cycle());
+    let resumed = fresh.run().unwrap();
+    assert_eq!(resumed, baseline, "hydrated machine diverged");
+    assert_eq!(
+        fresh.mem().backing().read_u32(COUNTER as u64),
+        4 * 40,
+        "counter must reach threads * iters"
+    );
+}
+
+#[test]
+fn snapshot_at_cycle_zero_and_after_halt() {
+    // Cycle 0: a snapshot before the first step is just a (deep) copy of
+    // the loaded machine.
+    let mut m = counter_machine(1, 2);
+    let snap0 = m.snapshot();
+    assert_eq!(snap0.cycle(), 0);
+    let baseline = m.run().unwrap();
+    let resumed = Machine::from_snapshot(&snap0).run().unwrap();
+    assert_eq!(resumed, baseline);
+
+    // Post-halt: the snapshot captures the terminal state; its report is
+    // the final report (running again would burn an extra idle cycle, so
+    // resumption uses `report()`, not `run()`).
+    let snap_end = m.snapshot();
+    assert!(snap_end.is_quiescent());
+    let hydrated = Machine::from_snapshot(&snap_end);
+    assert_eq!(hydrated.report(), baseline);
+}
+
+#[test]
+fn run_naive_resumes_bit_identical_too() {
+    let mut b = counter_machine(2, 1);
+    let baseline = b.run_naive().unwrap();
+
+    let mut m = counter_machine(2, 1);
+    assert!(!step_n(&mut m, baseline.cycles / 2));
+    let snap = m.snapshot();
+    let finished = m.run_naive().unwrap();
+    assert_eq!(finished, baseline);
+
+    let resumed = Machine::from_snapshot(&snap).run_naive().unwrap();
+    assert_eq!(resumed, baseline);
+}
+
+#[test]
+fn snapshot_with_inflight_vector_memory_ops() {
+    // Snapshot at every cycle of a short vector-memory program: each
+    // snapshot must resume to the same final report, including cycles
+    // where the GSU/LSU holds in-flight element state.
+    let program = vector_memory_program();
+    let build = || {
+        let mut m = Machine::new(MachineConfig::paper(1, 1, 4));
+        for p in 0..PIXELS as u64 {
+            m.mem_mut()
+                .backing_mut()
+                .write_u32(INPUT as u64 + 4 * p, (p % BINS as u64) as u32);
+        }
+        m.load_program(program.clone());
+        m
+    };
+    let baseline = build().run().unwrap();
+    for cut in 1..baseline.cycles {
+        let mut m = build();
+        assert!(!step_n(&mut m, cut), "cut {cut} past the end");
+        let snap = m.snapshot();
+        let resumed = Machine::from_snapshot(&snap).run().unwrap();
+        assert_eq!(resumed, baseline, "resume from cycle {cut} diverged");
+    }
+}
+
+#[test]
+fn chaos_plan_rng_state_survives_snapshot() {
+    // With a fault plan installed the resumed machine must replay the
+    // exact same injection sequence: the snapshot carries the plan's RNG
+    // state, so the report stays bit-identical.
+    let build = || {
+        let mut m = Machine::new(MachineConfig::paper(2, 2, 4));
+        m.mem_mut()
+            .install_fault_plan(FaultPlan::new(ChaosConfig::aggressive(7)));
+        m.load_program(llsc_counter_program(40));
+        m
+    };
+    let baseline = build().run().unwrap();
+
+    let mut m = build();
+    assert!(!step_n(&mut m, baseline.cycles / 2));
+    let snap = m.snapshot();
+
+    let mut resumed_m = Machine::from_snapshot(&snap);
+    let resumed = resumed_m.run().unwrap();
+    assert_eq!(resumed, baseline, "chaotic resume diverged");
+
+    let finished = m.run().unwrap();
+    assert_eq!(finished, baseline);
+    assert_eq!(
+        resumed_m.mem().backing().read_u32(COUNTER as u64),
+        m.mem().backing().read_u32(COUNTER as u64),
+        "chaotic resume left different memory"
+    );
+}
+
+#[test]
+fn restore_rejects_mismatched_shapes() {
+    let snap = counter_machine(2, 2).snapshot();
+    let mut other = Machine::new(MachineConfig::paper(1, 4, 4));
+    let err = other.restore(&snap).unwrap_err();
+    assert!(
+        matches!(err, SimError::SnapshotMismatch { .. }),
+        "expected SnapshotMismatch, got {err:?}"
+    );
+    let msg = format!("{err}");
+    assert!(msg.contains("snapshot"), "unhelpful error: {msg}");
+
+    // Same shape, different width: still a mismatch.
+    let mut narrow = Machine::new(MachineConfig::paper(2, 2, 8));
+    assert!(narrow.restore(&snap).is_err());
+}

@@ -1,0 +1,106 @@
+//! Snapshot/restore differential oracle on the real workloads: for every
+//! kernel and every Fig. 6 machine shape, running to completion in one
+//! shot must be bit-identical — same `RunReport`, same validated final
+//! memory — to stepping halfway, snapshotting, hydrating a fresh machine
+//! from the snapshot, and finishing there. Also covers the naive
+//! (single-stepped) loop and resumption with an active fault plan, whose
+//! RNG state rides in the snapshot.
+
+use glsc::kernels::{build_named, Dataset, Variant, Workload, KERNEL_NAMES};
+use glsc::sim::{ChaosConfig, FaultPlan, Machine, MachineConfig, RunReport};
+
+const SHAPES: [(usize, usize); 4] = [(1, 1), (1, 4), (4, 1), (4, 4)];
+
+fn machine_for(w: &Workload, cfg: &MachineConfig, chaos: Option<u64>) -> Machine {
+    let mut m = Machine::new(cfg.clone());
+    if let Some(seed) = chaos {
+        m.mem_mut()
+            .install_fault_plan(FaultPlan::new(ChaosConfig::from_seed(seed)));
+    }
+    w.image.apply(m.mem_mut().backing_mut());
+    m.load_program(w.program.clone());
+    m
+}
+
+/// One-shot baseline, then interrupt-at-half + resume; asserts report
+/// equality and runs the kernel's golden validator on the resumed
+/// machine's memory.
+fn assert_resumable(
+    kernel: &str,
+    w: &Workload,
+    cfg: &MachineConfig,
+    chaos: Option<u64>,
+    naive: bool,
+) -> RunReport {
+    let run = |m: &mut Machine| {
+        if naive { m.run_naive() } else { m.run() }.unwrap_or_else(|e| panic!("{kernel}: {e}"))
+    };
+    let mut baseline_m = machine_for(w, cfg, chaos);
+    let baseline = run(&mut baseline_m);
+
+    let mut interrupted = machine_for(w, cfg, chaos);
+    for _ in 0..baseline.cycles / 2 {
+        if interrupted.step() {
+            panic!("{kernel}: halted before the snapshot point");
+        }
+    }
+    let snap = interrupted.snapshot();
+    let mut resumed_m = Machine::from_snapshot(&snap);
+    let resumed = run(&mut resumed_m);
+    assert_eq!(
+        resumed, baseline,
+        "{kernel} {}x{} chaos={chaos:?} naive={naive}: resumed report diverged",
+        cfg.cores, cfg.threads_per_core
+    );
+    (w.validate)(resumed_m.mem().backing())
+        .unwrap_or_else(|e| panic!("{kernel}: resumed run failed validation: {e}"));
+
+    // The interrupted machine keeps running too — stepping must not have
+    // perturbed it.
+    let finished = run(&mut interrupted);
+    assert_eq!(finished, baseline, "{kernel}: interrupted run diverged");
+    baseline
+}
+
+#[test]
+fn snapshot_resume_matches_uninterrupted_all_kernels() {
+    for kernel in KERNEL_NAMES {
+        for (cores, tpc) in SHAPES {
+            for variant in [Variant::Base, Variant::Glsc] {
+                let cfg = MachineConfig::paper(cores, tpc, 4);
+                let w = build_named(kernel, Dataset::Tiny, variant, &cfg);
+                assert_resumable(kernel, &w, &cfg, None, false);
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_resume_matches_under_chaos() {
+    // An active FaultPlan makes resumption sensitive to RNG state: the
+    // snapshot must carry it, or the resumed run replays a different
+    // fault sequence and the timing diverges. Watchdog + generous budget
+    // as in the chaos bench harness.
+    for kernel in KERNEL_NAMES {
+        for (cores, tpc) in [(2, 2), (4, 4)] {
+            let cfg = MachineConfig::paper(cores, tpc, 4)
+                .with_max_cycles(2_000_000_000)
+                .with_watchdog_window(Some(5_000_000));
+            let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+            assert_resumable(kernel, &w, &cfg, Some(0x5EED), false);
+        }
+    }
+}
+
+#[test]
+fn snapshot_resume_matches_naive_loop() {
+    // The naive single-stepped loop must resume identically as well —
+    // snapshot support cannot depend on the fast-forward path.
+    for kernel in ["HIP", "TMS", "GBC"] {
+        let cfg = MachineConfig::paper(2, 2, 4);
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let naive = assert_resumable(kernel, &w, &cfg, None, true);
+        let fast = assert_resumable(kernel, &w, &cfg, None, false);
+        assert_eq!(naive, fast, "{kernel}: naive and fast reports differ");
+    }
+}
