@@ -11,11 +11,13 @@
 //! that guesses is worse than no cache.
 //!
 //! ```text
-//! glsc-runreport v1
+//! glsc-runreport v2
 //! cycles 12345
 //! threads 4
 //! thread 8-counters...          (one line per hardware thread)
-//! mem 14-counters...
+//! mem 16-counters...
+//! noc 10-counters...            (8 message classes, hops, queue cycles)
+//! noclinks N per-link-counters  (count-prefixed: N then N counters)
 //! lsu 6-counters...
 //! gsu 14-counters...
 //! end
@@ -28,11 +30,15 @@ use std::fmt;
 /// Version tag written into (and required from) every encoded report.
 /// Bump when the [`RunReport`] field set changes; old cache files then
 /// decode to [`CodecError::VersionMismatch`] and are re-simulated.
-pub const FORMAT_VERSION: u32 = 1;
+/// History: v1 had a 14-counter `mem` line and no fabric counters; v2
+/// added `inv_acks`/`writebacks` to `mem` plus the `noc`/`noclinks`
+/// lines (the interconnect work).
+pub const FORMAT_VERSION: u32 = 2;
 
 const HEADER_PREFIX: &str = "glsc-runreport v";
 const THREAD_FIELDS: usize = 8;
-const MEM_FIELDS: usize = 14;
+const MEM_FIELDS: usize = 16;
+const NOC_FIELDS: usize = glsc_mem::MsgClass::COUNT + 2; // msgs + hops + queue_cycles
 const LSU_FIELDS: usize = 6;
 const GSU_FIELDS: usize = 14;
 
@@ -120,8 +126,18 @@ pub fn encode_report(r: &RunReport) -> String {
             m.prefetches_issued,
             m.prefetches_redundant,
             m.hits_under_miss,
+            m.inv_acks,
+            m.writebacks,
         ])
     ));
+    let n = &m.noc;
+    let mut noc_counters: Vec<u64> = n.msgs.to_vec();
+    noc_counters.push(n.hops);
+    noc_counters.push(n.queue_cycles);
+    out.push_str(&format!("noc {}\n", join(&noc_counters)));
+    let mut link_counters: Vec<u64> = vec![n.link_msgs.len() as u64];
+    link_counters.extend_from_slice(&n.link_msgs);
+    out.push_str(&format!("noclinks {}\n", join(&link_counters)));
     let l = &r.lsu;
     out.push_str(&format!(
         "lsu {}\n",
@@ -197,6 +213,31 @@ impl<'a> Lines<'a> {
         }
         Ok(values)
     }
+
+    /// Reads a count-prefixed `tag N c0 .. cN-1` line.
+    fn counted(&mut self, tag: &str) -> Result<Vec<u64>, CodecError> {
+        let line = self.next()?;
+        let mut fields = line.split_whitespace();
+        if fields.next() != Some(tag) {
+            return Err(self.malformed(format!("expected a {tag:?} line, found {line:?}")));
+        }
+        let values: Vec<u64> = fields
+            .map(|f| {
+                f.parse()
+                    .map_err(|_| self.malformed(format!("bad counter {f:?}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let Some((&count, rest)) = values.split_first() else {
+            return Err(self.malformed(format!("{tag:?} is missing its count prefix")));
+        };
+        if rest.len() as u64 != count {
+            return Err(self.malformed(format!(
+                "{tag:?} declares {count} counter(s) but carries {}",
+                rest.len()
+            )));
+        }
+        Ok(rest.to_vec())
+    }
 }
 
 /// Decodes a report previously written by [`encode_report`].
@@ -253,6 +294,18 @@ pub fn decode_report(text: &str) -> Result<RunReport, CodecError> {
         prefetches_issued: c[11],
         prefetches_redundant: c[12],
         hits_under_miss: c[13],
+        inv_acks: c[14],
+        writebacks: c[15],
+        noc: glsc_mem::NocStats::default(),
+    };
+    let c = lines.counters("noc", NOC_FIELDS)?;
+    let mut msgs = [0u64; glsc_mem::MsgClass::COUNT];
+    msgs.copy_from_slice(&c[..glsc_mem::MsgClass::COUNT]);
+    report.mem.noc = glsc_mem::NocStats {
+        msgs,
+        hops: c[glsc_mem::MsgClass::COUNT],
+        queue_cycles: c[glsc_mem::MsgClass::COUNT + 1],
+        link_msgs: lines.counted("noclinks")?,
     };
     let c = lines.counters("lsu", LSU_FIELDS)?;
     report.lsu = glsc_core::LsuStats {
@@ -315,6 +368,13 @@ mod tests {
         }
         r.mem.l1_hits = 1234;
         r.mem.hits_under_miss = 9;
+        r.mem.inv_acks = 17;
+        r.mem.writebacks = 21;
+        r.mem.noc.msgs[glsc_mem::MsgClass::GetS.index()] = 40;
+        r.mem.noc.msgs[glsc_mem::MsgClass::DataReply.index()] = 41;
+        r.mem.noc.hops = 120;
+        r.mem.noc.queue_cycles = 13;
+        r.mem.noc.link_msgs = vec![10, 0, 31];
         r.lsu.loads = 55;
         r.lsu.vector_line_requests = 6;
         r.gsu.gathers = 2;
@@ -337,10 +397,16 @@ mod tests {
             Err(CodecError::MissingHeader)
         );
         assert_eq!(
-            decode_report(&text.replace("v1", "v999")),
+            decode_report(&text.replace("v2", "v999")),
             Err(CodecError::VersionMismatch {
                 found: "v999".into()
             })
+        );
+        // Legacy v1 cache files (pre-NoC field set) are re-simulated, not
+        // mis-read.
+        assert_eq!(
+            decode_report(&text.replace("v2", "v1")),
+            Err(CodecError::VersionMismatch { found: "v1".into() })
         );
         // Every truncation point (dropping the tail at any line boundary)
         // must be detected.
@@ -355,6 +421,14 @@ mod tests {
         }
         assert!(matches!(
             decode_report(&text.replace("cycles 987", "cycles banana")),
+            Err(CodecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            decode_report(&text.replace("noclinks 3 10 0 31", "noclinks 4 10 0 31")),
+            Err(CodecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            decode_report(&text.replace("noclinks 3 10 0 31", "noclinks")),
             Err(CodecError::Malformed { .. })
         ));
         assert!(matches!(

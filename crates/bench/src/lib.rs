@@ -14,6 +14,7 @@
 //! | `ablation` | Design-choice ablations from DESIGN.md |
 //! | `components` | Microbenches of the simulator substrate |
 //! | `simperf` | Simulator throughput: fast-forward vs naive, parallel vs serial |
+//! | `noc_contention` | Interconnect study: ideal vs crossbar vs ring across thread counts |
 //!
 //! Set `GLSC_DATASETS=tiny` to smoke-run everything on tiny inputs.
 //! Independent simulations are fanned across host threads via

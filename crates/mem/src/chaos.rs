@@ -65,6 +65,13 @@ pub struct ChaosConfig {
     /// §3.3 reservation buffer (capacity-overflow pressure; no-op in
     /// per-line-tag mode).
     pub buffer_pressure_prob: f64,
+    /// Probability of delaying the next interconnect message's departure
+    /// (fabric arbitration jitter; destructive-only — it delays, never
+    /// reorders or drops).
+    pub link_jitter_prob: f64,
+    /// Maximum extra cycles per link-jitter event (uniform in
+    /// `1..=link_jitter_max`; 0 disables link jitter entirely).
+    pub link_jitter_max: u64,
 }
 
 impl ChaosConfig {
@@ -81,6 +88,8 @@ impl ChaosConfig {
             dram_jitter_prob: 0.30,
             dram_jitter_max: 48,
             buffer_pressure_prob: 0.25,
+            link_jitter_prob: 0.20,
+            link_jitter_max: 8,
         }
     }
 
@@ -97,6 +106,8 @@ impl ChaosConfig {
             dram_jitter_prob: 0.5,
             dram_jitter_max: 128,
             buffer_pressure_prob: 0.5,
+            link_jitter_prob: 0.4,
+            link_jitter_max: 32,
         }
     }
 }
@@ -120,6 +131,10 @@ pub struct ChaosStats {
     pub jitter_cycles: u64,
     /// Oldest-entry evictions forced on §3.3 reservation buffers.
     pub forced_buffer_evictions: u64,
+    /// Interconnect link-jitter events scheduled.
+    pub link_jitter_events: u64,
+    /// Total extra departure-delay cycles across all link-jitter events.
+    pub link_jitter_cycles: u64,
 }
 
 impl ChaosStats {
@@ -134,7 +149,7 @@ impl ChaosStats {
 
     /// Total faults of any kind.
     pub fn total_faults(&self) -> u64 {
-        self.total_destructive() + self.jitter_events
+        self.total_destructive() + self.jitter_events + self.link_jitter_events
     }
 }
 
@@ -213,9 +228,10 @@ mod tests {
             lines_evicted: 3,
             jitter_events: 4,
             forced_buffer_evictions: 5,
+            link_jitter_events: 6,
             ..ChaosStats::default()
         };
         assert_eq!(s.total_destructive(), 11);
-        assert_eq!(s.total_faults(), 15);
+        assert_eq!(s.total_faults(), 21);
     }
 }

@@ -1,6 +1,7 @@
 //! Memory-system configuration (Table 1 of the paper).
 
 use crate::errors::ConfigError;
+use crate::noc::NocConfig;
 
 /// Parameters of the simulated memory hierarchy. [`MemConfig::default`]
 /// reproduces Table 1 of the paper.
@@ -39,6 +40,10 @@ pub struct MemConfig {
     pub prefetch: bool,
     /// Lines fetched ahead once a stride stream is confirmed.
     pub prefetch_degree: usize,
+    /// On-die interconnect between the L1s and the L2 banks. The default
+    /// [`Topology::Ideal`](crate::Topology) fabric reproduces the
+    /// historical fixed-latency timing exactly.
+    pub noc: NocConfig,
 }
 
 impl Default for MemConfig {
@@ -58,6 +63,7 @@ impl Default for MemConfig {
             glsc_buffer_entries: None,
             prefetch: true,
             prefetch_degree: 2,
+            noc: NocConfig::ideal(),
         }
     }
 }
@@ -81,6 +87,7 @@ impl MemConfig {
             glsc_buffer_entries: None,
             prefetch: false,
             prefetch_degree: 2,
+            noc: NocConfig::ideal(),
         }
     }
 
@@ -138,6 +145,7 @@ impl MemConfig {
         if self.glsc_buffer_entries == Some(0) {
             return Err(ConfigError::ZeroBufferEntries);
         }
+        self.noc.check()?;
         Ok(())
     }
 
@@ -262,6 +270,37 @@ mod tests {
             ..MemConfig::tiny()
         };
         assert_eq!(c.check(), Err(ConfigError::ZeroBufferEntries));
+    }
+
+    #[test]
+    fn rejects_bad_noc_parameters() {
+        let c = MemConfig {
+            noc: NocConfig {
+                link_latency: 0,
+                ..NocConfig::ring()
+            },
+            ..MemConfig::tiny()
+        };
+        assert_eq!(c.check(), Err(ConfigError::NocZeroLinkLatency));
+        let c = MemConfig {
+            noc: NocConfig {
+                link_occupancy: 0,
+                ..NocConfig::crossbar()
+            },
+            ..MemConfig::tiny()
+        };
+        assert_eq!(c.check(), Err(ConfigError::NocZeroLinkBandwidth));
+        let c = MemConfig {
+            noc: NocConfig::ring().with_nodes(0),
+            ..MemConfig::tiny()
+        };
+        assert_eq!(c.check(), Err(ConfigError::NocZeroNodes));
+        // A well-formed non-ideal fabric passes.
+        let c = MemConfig {
+            noc: NocConfig::ring(),
+            ..MemConfig::tiny()
+        };
+        assert_eq!(c.check(), Ok(()));
     }
 
     #[test]

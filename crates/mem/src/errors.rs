@@ -55,6 +55,26 @@ pub enum ConfigError {
         /// The offending thread count.
         threads_per_core: usize,
     },
+    /// A non-ideal NoC topology was configured with zero per-hop latency.
+    NocZeroLinkLatency,
+    /// A non-ideal NoC topology was configured with zero link occupancy
+    /// (infinite bandwidth — use [`Topology::Ideal`](crate::Topology)
+    /// for the contention-free fabric instead).
+    NocZeroLinkBandwidth,
+    /// The NoC declared an explicit stop count of zero — a fabric with no
+    /// links.
+    NocZeroNodes,
+    /// The NoC's declared stop count does not match the actual fabric
+    /// shape (`cores + l2_banks`) — usually a bank-count mismatch between
+    /// a hand-written fabric description and the cache configuration.
+    NocNodeCountMismatch {
+        /// The stop count declared in [`NocConfig`](crate::NocConfig).
+        declared: usize,
+        /// The core count the memory system was built with.
+        cores: usize,
+        /// The configured L2 bank count.
+        banks: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -88,6 +108,29 @@ impl fmt::Display for ConfigError {
                     "need at least one thread per core (1..=8, got {threads_per_core})"
                 )
             }
+            ConfigError::NocZeroLinkLatency => {
+                write!(f, "non-ideal NoC links need a non-zero per-hop latency")
+            }
+            ConfigError::NocZeroLinkBandwidth => {
+                write!(
+                    f,
+                    "non-ideal NoC links need a non-zero occupancy (use the Ideal \
+                     topology for an infinite-bandwidth fabric)"
+                )
+            }
+            ConfigError::NocZeroNodes => {
+                write!(f, "NoC declared zero stops (a fabric with no links)")
+            }
+            ConfigError::NocNodeCountMismatch {
+                declared,
+                cores,
+                banks,
+            } => write!(
+                f,
+                "NoC declares {declared} stop(s) but the fabric has {cores} core(s) + \
+                 {banks} L2 bank(s) = {} stops",
+                cores + banks
+            ),
         }
     }
 }

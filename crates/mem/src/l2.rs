@@ -6,6 +6,7 @@
 //! private caches." Each bank serializes requests; contention is modeled
 //! with a per-bank busy horizon.
 
+use crate::occupancy::BusyHorizon;
 use crate::tags::TagArray;
 
 /// Per-line L2 payload: the MSI directory entry plus bookkeeping.
@@ -44,13 +45,14 @@ impl L2Payload {
 }
 
 /// One bank of the shared L2: a tag array plus a busy horizon for
-/// contention modeling.
+/// contention modeling (the same [`BusyHorizon`] discipline the NoC's
+/// links use, so bank and link occupancy accounting cannot drift apart).
 #[derive(Clone, Debug)]
 pub struct L2Bank {
     /// Tag + directory array.
     pub tags: TagArray<L2Payload>,
-    /// The first cycle at which this bank can accept another request.
-    pub next_free: u64,
+    /// Busy horizon serializing requests to this bank.
+    pub busy: BusyHorizon,
 }
 
 impl L2Bank {
@@ -58,16 +60,14 @@ impl L2Bank {
     pub fn new(sets: usize, assoc: usize, line_bytes: u64) -> Self {
         Self {
             tags: TagArray::new(sets, assoc, line_bytes),
-            next_free: 0,
+            busy: BusyHorizon::new(),
         }
     }
 
     /// Reserves the bank for one request arriving at `arrival`; returns the
     /// cycle at which the bank starts serving it.
     pub fn reserve(&mut self, arrival: u64, occupancy: u64) -> u64 {
-        let start = arrival.max(self.next_free);
-        self.next_free = start + occupancy;
-        start
+        self.busy.reserve(arrival, occupancy)
     }
 }
 

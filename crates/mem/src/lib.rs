@@ -12,7 +12,11 @@
 //!   12-cycle minimum latency) holding per-line **directory** state for an
 //!   MSI protocol,
 //! * a fixed-latency **DRAM** model (280 cycles),
-//! * a per-core **stride prefetcher** on the L1 (§4.1).
+//! * a per-core **stride prefetcher** on the L1 (§4.1),
+//! * an explicit **on-die interconnect** ([`Noc`]) between the L1s and the
+//!   L2 banks carrying typed coherence messages ([`MsgClass`]) over a
+//!   configurable topology ([`Topology`]); the default ideal fabric
+//!   reproduces the historical fixed-latency timing exactly.
 //!
 //! The central type is [`MemorySystem`]: callers (the LSU and GSU models in
 //! `glsc-core`) submit one line-granular request per L1 port grant via
@@ -38,6 +42,8 @@ mod config;
 mod errors;
 mod l1;
 mod l2;
+mod noc;
+mod occupancy;
 mod prefetch;
 mod stats;
 mod system;
@@ -49,6 +55,8 @@ pub use config::MemConfig;
 pub use errors::{ConfigError, InvariantViolation};
 pub use l1::{L1Cache, L1State, LinePayload};
 pub use l2::{L2Bank, L2Payload};
+pub use noc::{MsgClass, Noc, NocConfig, NocStats, Topology};
+pub use occupancy::BusyHorizon;
 pub use prefetch::StridePrefetcher;
 pub use stats::MemStats;
 pub use system::{AccessResult, MemOp, MemSnapshot, MemorySystem};

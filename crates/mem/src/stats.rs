@@ -1,5 +1,7 @@
 //! Memory-system event counters.
 
+use crate::noc::NocStats;
+
 /// Counters collected by [`crate::MemorySystem`]. All counts are
 /// machine-wide; per-thread instruction statistics live in `glsc-sim`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -32,6 +34,15 @@ pub struct MemStats {
     pub prefetches_redundant: u64,
     /// Demand accesses that found their line still in flight (fill pending).
     pub hits_under_miss: u64,
+    /// Invalidation acknowledgements returned to the directory (one per
+    /// invalidation or downgrade-probe message sent over the fabric).
+    pub inv_acks: u64,
+    /// Dirty-line writebacks from an L1 to its home bank (natural
+    /// evictions, chaos evictions, and back-invalidations of Modified
+    /// copies).
+    pub writebacks: u64,
+    /// On-die interconnect counters (per message class and per link).
+    pub noc: NocStats,
 }
 
 impl MemStats {

@@ -5,6 +5,15 @@
 //! accepted at an L1 port: it probes the L1, walks the MSI directory
 //! protocol on a miss or upgrade, mutates all coherence and reservation
 //! state, and returns the cycle at which the request's data is available.
+//!
+//! Every L1↔L2 transaction is decomposed into typed messages over the
+//! on-die interconnect ([`Noc`]): the request travels core→bank, the
+//! directory's invalidations/downgrade probes travel bank→sharer with an
+//! acknowledgement back, dirty evictions send a writeback, and the data
+//! reply travels bank→core. Under the default
+//! [`Topology::Ideal`](crate::Topology) fabric every traversal is free and
+//! the timing is bit-identical to the pre-NoC simulator; ring and crossbar
+//! fabrics add per-hop latency and link queueing.
 
 use crate::backing::Backing;
 use crate::chaos::{ChaosStats, FaultPlan};
@@ -13,6 +22,7 @@ use crate::errors::{ConfigError, InvariantViolation};
 use crate::l1::{L1Cache, L1State, LinePayload};
 use crate::l2::{L2Bank, L2Payload};
 use crate::line_of;
+use crate::noc::{MsgClass, Noc};
 use crate::prefetch::StridePrefetcher;
 use crate::stats::MemStats;
 use glsc_rng::Rng;
@@ -53,6 +63,7 @@ pub struct MemorySystem {
     l1s: Vec<L1Cache>,
     banks: Vec<L2Bank>,
     prefetchers: Vec<StridePrefetcher>,
+    noc: Noc,
     stats: MemStats,
     /// Installed fault-injection plan (DESIGN.md §9); `None` on the
     /// fault-free hot path.
@@ -85,8 +96,10 @@ impl MemorySystem {
     ///
     /// Everything [`MemConfig::check`] rejects, plus
     /// [`ConfigError::CoresOutOfRange`] (the directory sharer vector is a
-    /// `u32` bitmask) and [`ConfigError::ThreadsPerCoreOutOfRange`] (the
-    /// reservation masks are 8-bit).
+    /// `u32` bitmask), [`ConfigError::ThreadsPerCoreOutOfRange`] (the
+    /// reservation masks are 8-bit), and
+    /// [`ConfigError::NocNodeCountMismatch`] when the NoC declares a stop
+    /// count that disagrees with `num_cores + l2_banks`.
     pub fn try_new(
         cfg: MemConfig,
         num_cores: usize,
@@ -98,6 +111,15 @@ impl MemorySystem {
         }
         if threads_per_core == 0 || threads_per_core > 8 {
             return Err(ConfigError::ThreadsPerCoreOutOfRange { threads_per_core });
+        }
+        if let Some(declared) = cfg.noc.nodes {
+            if declared != num_cores + cfg.l2_banks {
+                return Err(ConfigError::NocNodeCountMismatch {
+                    declared,
+                    cores: num_cores,
+                    banks: cfg.l2_banks,
+                });
+            }
         }
         let l1s: Vec<L1Cache> = (0..num_cores)
             .map(|_| match cfg.glsc_buffer_entries {
@@ -113,13 +135,17 @@ impl MemorySystem {
         let prefetchers = (0..num_cores)
             .map(|_| StridePrefetcher::new(threads_per_core, cfg.prefetch_degree, cfg.line_bytes))
             .collect();
+        let noc = Noc::new(cfg.noc.clone(), num_cores, cfg.l2_banks);
+        let mut stats = MemStats::default();
+        stats.noc.link_msgs = vec![0; noc.num_links()];
         Ok(Self {
             cfg,
             backing: Backing::new(),
             l1s,
             banks,
             prefetchers,
-            stats: MemStats::default(),
+            noc,
+            stats,
             chaos: None,
             jitter_next_fill: 0,
         })
@@ -135,6 +161,7 @@ impl MemorySystem {
     /// zero-overhead fault-free path.
     pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
         self.jitter_next_fill = 0;
+        self.noc.clear_jitter();
         self.chaos.take().map(|b| *b)
     }
 
@@ -166,6 +193,12 @@ impl MemorySystem {
     /// Resets the event counters (e.g. after warmup).
     pub fn reset_stats(&mut self) {
         self.stats = MemStats::default();
+        self.stats.noc.link_msgs = vec![0; self.noc.num_links()];
+    }
+
+    /// The on-die interconnect (inspection for tests and statistics).
+    pub fn noc(&self) -> &Noc {
+        &self.noc
     }
 
     /// Read access to the functional memory image.
@@ -199,7 +232,7 @@ impl MemorySystem {
     pub fn access(&mut self, core: usize, tid: u8, op: MemOp, addr: u64, now: u64) -> AccessResult {
         let line = line_of(addr, self.cfg.line_bytes);
         if self.chaos.is_some() {
-            self.inject_faults();
+            self.inject_faults(now);
         }
         let result = self.access_line(core, tid, op, line, now, true);
         if self.cfg.prefetch && !matches!(op, MemOp::StoreCond) {
@@ -219,20 +252,20 @@ impl MemorySystem {
     /// `chaos` module docs for why injecting spurious reservation *gain*
     /// is forbidden.
     #[cold]
-    fn inject_faults(&mut self) {
+    fn inject_faults(&mut self, now: u64) {
         let Some(mut plan) = self.chaos.take() else {
             return;
         };
         plan.accesses += 1;
         if plan.accesses % plan.cfg.period == 0 {
-            self.injection_point(&mut plan);
+            self.injection_point(&mut plan, now);
         }
         self.chaos = Some(plan);
     }
 
     /// One injection point of `plan` (taken out of `self` so the injectors
     /// can borrow the caches mutably).
-    fn injection_point(&mut self, plan: &mut FaultPlan) {
+    fn injection_point(&mut self, plan: &mut FaultPlan, now: u64) {
         plan.stats.injection_points += 1;
         let cores = self.l1s.len();
 
@@ -265,7 +298,7 @@ impl MemorySystem {
             if !resident.is_empty() {
                 let line = resident[plan.rng.random_range(0..resident.len())];
                 if let Some(vpay) = self.l1s[c].invalidate(line) {
-                    self.evict_from_l1(c, line, vpay);
+                    self.evict_from_l1(c, line, vpay, now);
                     plan.stats.lines_evicted += 1;
                 }
             }
@@ -287,6 +320,15 @@ impl MemorySystem {
                 plan.stats.forced_buffer_evictions += 1;
             }
         }
+
+        // (e) fabric arbitration jitter: the next interconnect message
+        // departs late (delay-only; never reorders or drops).
+        if plan.cfg.link_jitter_max > 0 && plan.rng.random_bool(plan.cfg.link_jitter_prob) {
+            let extra = plan.rng.random_range(1..=plan.cfg.link_jitter_max);
+            self.noc.add_jitter(extra);
+            plan.stats.link_jitter_events += 1;
+            plan.stats.link_jitter_cycles += extra;
+        }
     }
 
     fn prefetch_line(&mut self, core: usize, line: u64, now: u64) {
@@ -295,7 +337,7 @@ impl MemorySystem {
             return;
         }
         self.stats.prefetches_issued += 1;
-        let _ = self.fill(core, line, now, false, false);
+        let _ = self.fill(core, line, now, false, false, MsgClass::PrefetchFill);
     }
 
     fn access_line(
@@ -327,7 +369,12 @@ impl MemorySystem {
                     }
                 } else {
                     self.stats.l1_misses += 1;
-                    let done = self.fill(core, line, now, false, true);
+                    let class = if op == MemOp::LoadLinked {
+                        MsgClass::GlscProbe
+                    } else {
+                        MsgClass::GetS
+                    };
+                    let done = self.fill(core, line, now, false, true, class);
                     if op == MemOp::LoadLinked {
                         self.l1s[core].set_reservation(line, tid);
                     }
@@ -350,7 +397,7 @@ impl MemorySystem {
                     let done = if state == L1State::Modified {
                         (now + hit_latency).max(ready)
                     } else {
-                        let lat = self.upgrade(core, line, now);
+                        let lat = self.upgrade(core, line, now, MsgClass::GetX);
                         self.l1s[core]
                             .peek_mut(line)
                             .expect("line resident during upgrade")
@@ -364,7 +411,7 @@ impl MemorySystem {
                     }
                 } else {
                     self.stats.l1_misses += 1;
-                    let done = self.fill(core, line, now, true, true);
+                    let done = self.fill(core, line, now, true, true, MsgClass::GetX);
                     AccessResult {
                         done,
                         l1_hit: false,
@@ -399,7 +446,7 @@ impl MemorySystem {
                 let done = if state == L1State::Modified {
                     (now + hit_latency).max(ready)
                 } else {
-                    let lat = self.upgrade(core, line, now);
+                    let lat = self.upgrade(core, line, now, MsgClass::GlscProbe);
                     self.l1s[core]
                         .peek_mut(line)
                         .expect("line resident during upgrade")
@@ -417,12 +464,26 @@ impl MemorySystem {
 
     /// Directory upgrade transaction: Shared -> Modified for `core`.
     /// Invalidates every other sharer (dropping their reservations).
-    fn upgrade(&mut self, core: usize, line: u64, now: u64) -> u64 {
+    ///
+    /// On the fabric: the `class` request (GetX, or a GLSC probe for
+    /// `sc`/`vscattercond`) travels core→bank, the directory sends an
+    /// invalidation to every other sharer and collects their acks, and the
+    /// upgrade grant travels bank→core. The upgrade completes when the
+    /// grant *and* every ack have arrived.
+    fn upgrade(&mut self, core: usize, line: u64, now: u64, class: MsgClass) -> u64 {
         self.stats.upgrades += 1;
         let bank = self.cfg.bank_of(line);
-        let arrival = now + self.cfg.l1_hit_latency;
+        let src = self.noc.core_node(core);
+        let dst = self.noc.bank_node(bank);
+        let arrival = self.noc.send(
+            src,
+            dst,
+            class,
+            now + self.cfg.l1_hit_latency,
+            &mut self.stats,
+        );
         let start = self.banks[bank].reserve(arrival, self.cfg.l2_bank_occupancy);
-        let done = start + self.cfg.l2_latency;
+        let resp = start + self.cfg.l2_latency;
         let sharers = {
             let p = self.banks[bank]
                 .tags
@@ -434,6 +495,7 @@ impl MemorySystem {
             p.dirty = true;
             s
         };
+        let mut acks_done = resp;
         for other in 0..self.l1s.len() {
             if other != core && sharers & (1 << other) != 0 {
                 if let Some(victim) = self.l1s[other].invalidate(line) {
@@ -441,26 +503,71 @@ impl MemorySystem {
                     if victim.reservation != 0 {
                         self.stats.reservations_cleared_by_stores += 1;
                     }
+                    acks_done = acks_done.max(self.inv_round_trip(bank, other, resp));
                 }
             }
         }
-        done
+        let grant = self
+            .noc
+            .send(dst, src, MsgClass::DataReply, resp, &mut self.stats);
+        grant.max(acks_done)
+    }
+
+    /// Invalidation round trip: the directory's Inv message bank→core and
+    /// the core's ack back, departing at `at`; returns the ack's arrival
+    /// at the directory. Under the ideal fabric this is instantaneous, so
+    /// it never moves any pre-NoC completion time.
+    fn inv_round_trip(&mut self, bank: usize, core: usize, at: u64) -> u64 {
+        let bnode = self.noc.bank_node(bank);
+        let cnode = self.noc.core_node(core);
+        let inv_at = self
+            .noc
+            .send(bnode, cnode, MsgClass::Inv, at, &mut self.stats);
+        let ack_at = self
+            .noc
+            .send(cnode, bnode, MsgClass::InvAck, inv_at, &mut self.stats);
+        self.stats.inv_acks += 1;
+        ack_at
     }
 
     /// Miss path: walk the directory, fetch the line (L2 or DRAM), install
     /// it in `core`'s L1 and return the fill-complete cycle.
-    fn fill(&mut self, core: usize, line: u64, now: u64, for_store: bool, demand: bool) -> u64 {
+    ///
+    /// On the fabric: the `class` request travels core→bank; directory
+    /// probes (downgrades, invalidations) fan out bank→sharer with acks
+    /// back; the data reply travels bank→core once the data is ready at
+    /// the bank. The fill completes when the reply *and* every ack have
+    /// arrived.
+    fn fill(
+        &mut self,
+        core: usize,
+        line: u64,
+        now: u64,
+        for_store: bool,
+        demand: bool,
+        class: MsgClass,
+    ) -> u64 {
         let bank = self.cfg.bank_of(line);
-        let arrival = now + self.cfg.l1_hit_latency;
+        let src = self.noc.core_node(core);
+        let dst = self.noc.bank_node(bank);
+        let arrival = self.noc.send(
+            src,
+            dst,
+            class,
+            now + self.cfg.l1_hit_latency,
+            &mut self.stats,
+        );
         let start = self.banks[bank].reserve(arrival, self.cfg.l2_bank_occupancy);
+        // Cycle the bank issues its probes and (at the earliest) the reply.
+        let resp = start + self.cfg.l2_latency;
         let mut invalidate_list: Vec<usize> = Vec::new();
         let mut downgrade_owner: Option<usize> = None;
 
-        let done = if let Some(p) = self.banks[bank].tags.lookup_mut(line) {
+        let data_ready = if let Some(p) = self.banks[bank].tags.lookup_mut(line) {
             if demand {
                 self.stats.l2_hits += 1;
             }
-            let mut lat = (start + self.cfg.l2_latency).max(p.ready_at);
+            let mut lat = resp.max(p.ready_at);
             match (p.owner, for_store) {
                 (Some(owner), _) if owner as usize != core => {
                     // Remote modified copy: cache-to-cache forward.
@@ -509,16 +616,18 @@ impl MemorySystem {
                 ready_at: fill_done,
             };
             if let Some((vline, vpay)) = self.banks[bank].tags.insert(line, payload) {
-                self.back_invalidate(vline, &vpay);
+                self.back_invalidate(vline, &vpay, fill_done);
             }
             fill_done
         };
 
+        let mut acks_done = resp;
         if let Some(owner) = downgrade_owner {
             self.stats.dirty_forwards += 1;
             if let Some(entry) = self.l1s[owner].peek_mut(line) {
                 entry.state = L1State::Shared;
             }
+            acks_done = acks_done.max(self.inv_round_trip(bank, owner, resp));
         }
         for victim_core in invalidate_list {
             if let Some(victim) = self.l1s[victim_core].invalidate(line) {
@@ -529,8 +638,15 @@ impl MemorySystem {
                 if victim.reservation != 0 {
                     self.stats.reservations_cleared_by_stores += 1;
                 }
+                acks_done = acks_done.max(self.inv_round_trip(bank, victim_core, resp));
             }
         }
+
+        // Data reply to the requester once the bank has the data.
+        let reply = self
+            .noc
+            .send(dst, src, MsgClass::DataReply, data_ready, &mut self.stats);
+        let done = reply.max(acks_done);
 
         // Install in the requesting L1, handling the victim's directory
         // bookkeeping.
@@ -544,13 +660,14 @@ impl MemorySystem {
             reservation: 0,
         };
         if let Some((vline, vpay)) = self.l1s[core].install(line, payload) {
-            self.evict_from_l1(core, vline, vpay);
+            self.evict_from_l1(core, vline, vpay, done);
         }
         done
     }
 
-    /// Directory bookkeeping when `core`'s L1 evicts `vline`.
-    fn evict_from_l1(&mut self, core: usize, vline: u64, vpay: LinePayload) {
+    /// Directory bookkeeping when `core`'s L1 evicts `vline` at cycle
+    /// `at`. Dirty victims send a writeback message to the home bank.
+    fn evict_from_l1(&mut self, core: usize, vline: u64, vpay: LinePayload, at: u64) {
         let bank = self.cfg.bank_of(vline);
         if let Some(p) = self.banks[bank].tags.peek_mut(vline) {
             match vpay.state {
@@ -558,21 +675,42 @@ impl MemorySystem {
                     if p.owner == Some(core as u8) {
                         p.owner = None;
                     }
-                    p.dirty = true; // writeback data (timing ignored)
+                    p.dirty = true; // writeback data (absorbed by the L2)
                 }
                 L1State::Shared => {
                     p.sharers &= !(1 << core);
                 }
             }
         }
+        if vpay.state == L1State::Modified {
+            self.stats.writebacks += 1;
+            let src = self.noc.core_node(core);
+            let dst = self.noc.bank_node(bank);
+            self.noc
+                .send(src, dst, MsgClass::Writeback, at, &mut self.stats);
+        }
     }
 
-    /// Inclusion: when the L2 evicts a line, every private copy must go.
-    fn back_invalidate(&mut self, vline: u64, vpay: &L2Payload) {
+    /// Inclusion: when the L2 evicts a line at cycle `at`, every private
+    /// copy must go (invalidation + ack on the fabric; a Modified copy
+    /// additionally writes its data back).
+    fn back_invalidate(&mut self, vline: u64, vpay: &L2Payload, at: u64) {
+        let bank = self.cfg.bank_of(vline);
         for c in 0..self.l1s.len() {
             let holds = vpay.sharers & (1 << c) != 0 || vpay.owner == Some(c as u8);
-            if holds && self.l1s[c].invalidate(vline).is_some() {
+            if !holds {
+                continue;
+            }
+            if let Some(victim) = self.l1s[c].invalidate(vline) {
                 self.stats.back_invalidations += 1;
+                let inv_done = self.inv_round_trip(bank, c, at);
+                if victim.state == L1State::Modified {
+                    self.stats.writebacks += 1;
+                    let cnode = self.noc.core_node(c);
+                    let bnode = self.noc.bank_node(bank);
+                    self.noc
+                        .send(cnode, bnode, MsgClass::Writeback, inv_done, &mut self.stats);
+                }
             }
         }
     }
@@ -672,9 +810,11 @@ impl MemorySystem {
     /// functional backing store, every L1 (tags, MSI states, dirty data,
     /// GLSC reservations in both per-line-tag and §3.3 buffer modes),
     /// every L2 bank with its directory, the per-core prefetcher streams,
-    /// the event counters, and — crucially for replayable chaos runs —
-    /// the installed [`FaultPlan`] including its private RNG state and
-    /// pending DRAM jitter. Restoring the snapshot therefore resumes the
+    /// the on-die interconnect with every link's busy horizon (so
+    /// in-flight fabric reservations survive the round trip), the event
+    /// counters, and — crucially for replayable chaos runs — the
+    /// installed [`FaultPlan`] including its private RNG state and pending
+    /// DRAM and link jitter. Restoring the snapshot therefore resumes the
     /// exact access-by-access behavior of the original run.
     pub fn snapshot(&self) -> MemSnapshot {
         MemSnapshot {

@@ -218,6 +218,17 @@ impl MachineConfig {
         self
     }
 
+    /// Selects the on-die interconnect between the L1s and the L2 banks
+    /// (builder style). The default [`glsc_mem::Topology::Ideal`] fabric
+    /// reproduces the fixed-latency timing exactly; ring and crossbar
+    /// fabrics add hop latency and link contention (the `noc_contention`
+    /// figure sweeps these).
+    #[must_use]
+    pub fn with_noc(mut self, noc: glsc_mem::NocConfig) -> Self {
+        self.mem.noc = noc;
+        self
+    }
+
     /// Total software threads (`m × n` in the paper's notation).
     pub fn total_threads(&self) -> usize {
         self.cores * self.threads_per_core
@@ -358,10 +369,24 @@ mod tests {
         let c = MachineConfig::paper(1, 1, 4)
             .with_max_cycles(123)
             .with_watchdog_window(None)
-            .with_invariant_checks(Some(64));
+            .with_invariant_checks(Some(64))
+            .with_noc(glsc_mem::NocConfig::ring());
         assert_eq!(c.max_cycles, 123);
         assert_eq!(c.watchdog_window, None);
         assert_eq!(c.invariant_check_period, Some(64));
+        assert_eq!(c.mem.noc, glsc_mem::NocConfig::ring());
         c.validate();
+    }
+
+    #[test]
+    fn noc_rejection_wrapped() {
+        let c = MachineConfig::paper(1, 1, 4).with_noc(glsc_mem::NocConfig {
+            link_latency: 0,
+            ..glsc_mem::NocConfig::ring()
+        });
+        assert_eq!(
+            c.check(),
+            Err(ConfigError::Mem(glsc_mem::ConfigError::NocZeroLinkLatency))
+        );
     }
 }

@@ -62,4 +62,7 @@ pub use thread::ThreadStatus;
 // chaos plans are installed through it (DESIGN.md §9).
 pub use glsc_core::GlscConfig;
 pub use glsc_isa::Program;
-pub use glsc_mem::{ChaosConfig, ChaosStats, FaultPlan, MemConfig, MemSnapshot, MemorySystem};
+pub use glsc_mem::{
+    ChaosConfig, ChaosStats, FaultPlan, MemConfig, MemSnapshot, MemorySystem, MsgClass, NocConfig,
+    NocStats, Topology,
+};

@@ -1,0 +1,49 @@
+//! Temporary: dump pre-PR golden timing numbers for the NoC Ideal differential test.
+use glsc::kernels::{build_named, micro, run_workload, Dataset, Variant, KERNEL_NAMES};
+use glsc::sim::MachineConfig;
+
+fn main() {
+    let shapes = [(1usize, 1usize), (1, 4), (4, 1), (4, 4)];
+    for kernel in KERNEL_NAMES {
+        for (c, t) in shapes {
+            for v in [Variant::Base, Variant::Glsc] {
+                let cfg = MachineConfig::paper(c, t, 4);
+                let w = build_named(kernel, Dataset::Tiny, v, &cfg);
+                let out = run_workload(&w, &cfg).unwrap();
+                println!(
+                    "(\"{kernel}\", {c}, {t}, Variant::{}, {}, {}),",
+                    if v == Variant::Base { "Base" } else { "Glsc" },
+                    out.report.cycles,
+                    out.report.l1_accesses()
+                );
+            }
+        }
+    }
+    for s in micro::Scenario::ALL {
+        for v in [Variant::Base, Variant::Glsc] {
+            let cfg = MachineConfig::paper(4, 4, 4);
+            let w = micro::Micro::new(s, Dataset::Tiny).build(v, &cfg);
+            let out = run_workload(&w, &cfg).unwrap();
+            println!(
+                "// micro {} {:?}: cycles={} l1={}",
+                s.label(),
+                v,
+                out.report.cycles,
+                out.report.l1_accesses()
+            );
+        }
+    }
+    for width in [1usize, 16] {
+        for v in [Variant::Base, Variant::Glsc] {
+            let cfg = MachineConfig::paper(4, 4, width);
+            let w = build_named("HIP", Dataset::Tiny, v, &cfg);
+            let out = run_workload(&w, &cfg).unwrap();
+            println!(
+                "// HIP w{width} {:?}: cycles={} l1={}",
+                v,
+                out.report.cycles,
+                out.report.l1_accesses()
+            );
+        }
+    }
+}

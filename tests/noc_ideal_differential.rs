@@ -1,0 +1,192 @@
+//! Differential guard for the interconnect work: the default
+//! [`Topology::Ideal`] fabric must be **bit-identical** in timing to the
+//! pre-NoC simulator, and the non-ideal fabrics must show real,
+//! deterministic contention.
+//!
+//! The golden numbers below were captured from the simulator *before* the
+//! NoC subsystem was wired in (`examples/golden_dump.rs` regenerates the
+//! table — any intentional timing change must re-run it and explain the
+//! diff). They cover every kernel × Fig. 6 machine shape × variant on the
+//! Tiny dataset, all four microbenchmark scenarios, and the SIMD-width
+//! extremes.
+
+use glsc::kernels::{build_named, micro, run_workload, Dataset, Variant, KERNEL_NAMES};
+use glsc::sim::{MachineConfig, NocConfig};
+
+/// (kernel, cores, threads/core, variant, cycles, l1 accesses) captured
+/// pre-NoC at SIMD width 4 on `Dataset::Tiny`.
+#[rustfmt::skip]
+const GOLDEN: &[(&str, usize, usize, Variant, u64, u64)] = &[
+    ("GBC", 1, 1, Variant::Base, 29997, 3584),
+    ("GBC", 1, 1, Variant::Glsc, 39288, 2813),
+    ("GBC", 1, 4, Variant::Base, 9272, 3743),
+    ("GBC", 1, 4, Variant::Glsc, 11649, 2995),
+    ("GBC", 4, 1, Variant::Base, 13239, 3819),
+    ("GBC", 4, 1, Variant::Glsc, 15747, 3127),
+    ("GBC", 4, 4, Variant::Base, 4877, 4845),
+    ("GBC", 4, 4, Variant::Glsc, 6757, 4363),
+    ("FS", 1, 1, Variant::Base, 34613, 1020),
+    ("FS", 1, 1, Variant::Glsc, 33378, 780),
+    ("FS", 1, 4, Variant::Base, 9535, 1084),
+    ("FS", 1, 4, Variant::Glsc, 9105, 788),
+    ("FS", 4, 1, Variant::Base, 9956, 1088),
+    ("FS", 4, 1, Variant::Glsc, 9197, 790),
+    ("FS", 4, 4, Variant::Base, 4562, 1120),
+    ("FS", 4, 4, Variant::Glsc, 4164, 804),
+    ("GPS", 1, 1, Variant::Base, 97776, 12288),
+    ("GPS", 1, 1, Variant::Glsc, 67419, 10752),
+    ("GPS", 1, 4, Variant::Base, 27382, 12288),
+    ("GPS", 1, 4, Variant::Glsc, 18558, 10807),
+    ("GPS", 4, 1, Variant::Base, 24859, 12293),
+    ("GPS", 4, 1, Variant::Glsc, 18286, 10767),
+    ("GPS", 4, 4, Variant::Base, 7915, 12399),
+    ("GPS", 4, 4, Variant::Glsc, 7666, 8053),
+    ("HIP", 1, 1, Variant::Base, 31449, 2312),
+    ("HIP", 1, 1, Variant::Glsc, 32402, 1188),
+    ("HIP", 1, 4, Variant::Base, 9400, 2324),
+    ("HIP", 1, 4, Variant::Glsc, 8766, 1200),
+    ("HIP", 4, 1, Variant::Base, 8394, 2324),
+    ("HIP", 4, 1, Variant::Glsc, 8711, 1200),
+    ("HIP", 4, 4, Variant::Base, 3071, 2576),
+    ("HIP", 4, 4, Variant::Glsc, 3078, 1452),
+    ("SMC", 1, 1, Variant::Base, 139445, 8960),
+    ("SMC", 1, 1, Variant::Glsc, 95196, 8960),
+    ("SMC", 1, 4, Variant::Base, 38262, 9140),
+    ("SMC", 1, 4, Variant::Glsc, 26198, 7584),
+    ("SMC", 4, 1, Variant::Base, 52300, 9258),
+    ("SMC", 4, 1, Variant::Glsc, 34331, 7858),
+    ("SMC", 4, 4, Variant::Base, 15523, 12792),
+    ("SMC", 4, 4, Variant::Glsc, 10675, 5708),
+    ("MFP", 1, 1, Variant::Base, 106078, 15360),
+    ("MFP", 1, 1, Variant::Glsc, 90911, 11520),
+    ("MFP", 1, 4, Variant::Base, 31113, 15362),
+    ("MFP", 1, 4, Variant::Glsc, 23480, 11548),
+    ("MFP", 4, 1, Variant::Base, 27672, 15364),
+    ("MFP", 4, 1, Variant::Glsc, 23994, 11560),
+    ("MFP", 4, 4, Variant::Base, 8855, 15504),
+    ("MFP", 4, 4, Variant::Glsc, 9595, 9350),
+    ("TMS", 1, 1, Variant::Base, 43053, 1539),
+    ("TMS", 1, 1, Variant::Glsc, 37149, 1251),
+    ("TMS", 1, 4, Variant::Base, 11819, 1723),
+    ("TMS", 1, 4, Variant::Glsc, 10246, 1465),
+    ("TMS", 4, 1, Variant::Base, 15885, 1841),
+    ("TMS", 4, 1, Variant::Glsc, 12168, 1589),
+    ("TMS", 4, 4, Variant::Base, 5853, 3117),
+    ("TMS", 4, 4, Variant::Glsc, 5445, 4083),
+];
+
+/// (scenario index into `micro::Scenario::ALL`, variant, cycles,
+/// l1 accesses) captured pre-NoC at 4×4, width 4.
+const MICRO_GOLDEN: &[(usize, Variant, u64, u64)] = &[
+    (0, Variant::Base, 11996, 6854),
+    (0, Variant::Glsc, 9017, 8484),
+    (1, Variant::Base, 8112, 5760),
+    (1, Variant::Glsc, 6781, 1920),
+    (2, Variant::Base, 8243, 5760),
+    (2, Variant::Glsc, 5732, 5760),
+    (3, Variant::Base, 8115, 5760),
+    (3, Variant::Glsc, 9482, 5760),
+];
+
+/// (simd width, variant, cycles, l1 accesses) for HIP at 4×4 pre-NoC.
+const WIDTH_GOLDEN: &[(usize, Variant, u64, u64)] = &[
+    (1, Variant::Base, 3770, 3344),
+    (1, Variant::Glsc, 4046, 3344),
+    (16, Variant::Base, 2889, 2384),
+    (16, Variant::Glsc, 3688, 1038),
+];
+
+#[test]
+fn ideal_topology_matches_pre_noc_goldens_on_every_kernel() {
+    assert_eq!(
+        GOLDEN.len(),
+        KERNEL_NAMES.len() * 4 * 2,
+        "golden table must cover every kernel x shape x variant"
+    );
+    for &(kernel, c, t, v, cycles, l1) in GOLDEN {
+        let cfg = MachineConfig::paper(c, t, 4);
+        assert_eq!(
+            cfg.mem.noc,
+            NocConfig::ideal(),
+            "ideal must stay the default"
+        );
+        let w = build_named(kernel, Dataset::Tiny, v, &cfg);
+        let out = run_workload(&w, &cfg).unwrap();
+        assert_eq!(
+            (out.report.cycles, out.report.l1_accesses()),
+            (cycles, l1),
+            "{kernel} {c}x{t} {v:?}: ideal-NoC timing diverged from pre-NoC golden"
+        );
+    }
+}
+
+#[test]
+fn ideal_topology_matches_pre_noc_goldens_on_micro_and_widths() {
+    for &(s, v, cycles, l1) in MICRO_GOLDEN {
+        let scenario = micro::Scenario::ALL[s];
+        let cfg = MachineConfig::paper(4, 4, 4);
+        let w = micro::Micro::new(scenario, Dataset::Tiny).build(v, &cfg);
+        let out = run_workload(&w, &cfg).unwrap();
+        assert_eq!(
+            (out.report.cycles, out.report.l1_accesses()),
+            (cycles, l1),
+            "micro {} {v:?}: ideal-NoC timing diverged",
+            scenario.label()
+        );
+    }
+    for &(width, v, cycles, l1) in WIDTH_GOLDEN {
+        let cfg = MachineConfig::paper(4, 4, width);
+        let w = build_named("HIP", Dataset::Tiny, v, &cfg);
+        let out = run_workload(&w, &cfg).unwrap();
+        assert_eq!(
+            (out.report.cycles, out.report.l1_accesses()),
+            (cycles, l1),
+            "HIP w{width} {v:?}: ideal-NoC timing diverged"
+        );
+    }
+}
+
+/// The acceptance bar for the non-ideal fabrics: at 16 hardware threads
+/// the ring must show real contention (slower than ideal, nonzero link
+/// queueing) and be exactly reproducible run-to-run.
+#[test]
+fn ring_contention_at_16_threads_is_measurable_and_deterministic() {
+    let ideal_cfg = MachineConfig::paper(4, 4, 4);
+    let ring_cfg = MachineConfig::paper(4, 4, 4).with_noc(NocConfig::ring());
+    for kernel in ["HIP", "TMS", "GBC"] {
+        for v in [Variant::Base, Variant::Glsc] {
+            let wi = build_named(kernel, Dataset::Tiny, v, &ideal_cfg);
+            let ideal = run_workload(&wi, &ideal_cfg).unwrap().report;
+            let wr = build_named(kernel, Dataset::Tiny, v, &ring_cfg);
+            let ring = run_workload(&wr, &ring_cfg).unwrap().report;
+            assert!(
+                ring.cycles > ideal.cycles,
+                "{kernel} {v:?}: ring ({}) not slower than ideal ({})",
+                ring.cycles,
+                ideal.cycles
+            );
+            assert!(
+                ring.mem.noc.queue_cycles > 0,
+                "{kernel} {v:?}: ring shows no link queueing"
+            );
+            assert!(ring.mem.noc.hops > ring.mem.noc.total_msgs());
+            // Determinism: a second run is bit-identical, counters included.
+            let again = run_workload(&wr, &ring_cfg).unwrap().report;
+            assert_eq!(again, ring, "{kernel} {v:?}: ring run not deterministic");
+        }
+    }
+}
+
+/// Crossbar sits between ideal and ring: it pays port contention but no
+/// multi-hop latency, and its counters are deterministic too.
+#[test]
+fn crossbar_is_contended_but_cheaper_than_the_ring() {
+    let ring_cfg = MachineConfig::paper(4, 4, 4).with_noc(NocConfig::ring());
+    let xbar_cfg = MachineConfig::paper(4, 4, 4).with_noc(NocConfig::crossbar());
+    let wr = build_named("HIP", Dataset::Tiny, Variant::Glsc, &ring_cfg);
+    let ring = run_workload(&wr, &ring_cfg).unwrap().report;
+    let wx = build_named("HIP", Dataset::Tiny, Variant::Glsc, &xbar_cfg);
+    let xbar = run_workload(&wx, &xbar_cfg).unwrap().report;
+    assert!(xbar.cycles <= ring.cycles);
+    assert_eq!(xbar.mem.noc.hops, xbar.mem.noc.total_msgs());
+}

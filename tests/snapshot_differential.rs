@@ -7,7 +7,7 @@
 //! RNG state rides in the snapshot.
 
 use glsc::kernels::{build_named, Dataset, Variant, Workload, KERNEL_NAMES};
-use glsc::sim::{ChaosConfig, FaultPlan, Machine, MachineConfig, RunReport};
+use glsc::sim::{ChaosConfig, FaultPlan, Machine, MachineConfig, NocConfig, RunReport};
 
 const SHAPES: [(usize, usize); 4] = [(1, 1), (1, 4), (4, 1), (4, 4)];
 
@@ -89,6 +89,28 @@ fn snapshot_resume_matches_under_chaos() {
             let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
             assert_resumable(kernel, &w, &cfg, Some(0x5EED), false);
         }
+    }
+}
+
+#[test]
+fn snapshot_resume_matches_with_in_flight_noc_messages() {
+    // On a contended ring fabric the snapshot point lands mid-burst: link
+    // busy horizons hold in-flight reservations and (under chaos) the NoC
+    // may carry pending link-delay jitter. All of that state must ride
+    // the snapshot, in both the fast-forward and naive loops.
+    for kernel in ["HIP", "TMS", "GBC"] {
+        let cfg = MachineConfig::paper(4, 4, 4)
+            .with_noc(NocConfig::ring())
+            .with_max_cycles(2_000_000_000)
+            .with_watchdog_window(Some(5_000_000));
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let fault_free = assert_resumable(kernel, &w, &cfg, None, false);
+        assert!(
+            fault_free.mem.noc.queue_cycles > 0,
+            "{kernel}: ring run showed no fabric contention, snapshot point is trivial"
+        );
+        assert_resumable(kernel, &w, &cfg, Some(0x0C5EED), false);
+        assert_resumable(kernel, &w, &cfg, Some(0x5EED), true);
     }
 }
 
