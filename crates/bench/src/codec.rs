@@ -11,11 +11,12 @@
 //! that guesses is worse than no cache.
 //!
 //! ```text
-//! glsc-runreport v2
+//! glsc-runreport v3
 //! cycles 12345
 //! threads 4
-//! thread 8-counters...          (one line per hardware thread)
-//! mem 16-counters...
+//! thread 9-counters...          (one line per hardware thread)
+//! mem 17-counters...
+//! scthreads N per-thread-sc...  (count-prefixed: 5 counters per thread)
 //! noc 10-counters...            (8 message classes, hops, queue cycles)
 //! noclinks N per-link-counters  (count-prefixed: N then N counters)
 //! lsu 6-counters...
@@ -32,12 +33,15 @@ use std::fmt;
 /// decode to [`CodecError::VersionMismatch`] and are re-simulated.
 /// History: v1 had a 14-counter `mem` line and no fabric counters; v2
 /// added `inv_acks`/`writebacks` to `mem` plus the `noc`/`noclinks`
-/// lines (the interconnect work).
-pub const FORMAT_VERSION: u32 = 2;
+/// lines (the interconnect work); v3 added `elems_completed` to
+/// `thread`, `reservation_buffer_evictions` to `mem`, and the
+/// `scthreads` per-thread SC telemetry line (the contention study).
+pub const FORMAT_VERSION: u32 = 3;
 
 const HEADER_PREFIX: &str = "glsc-runreport v";
-const THREAD_FIELDS: usize = 8;
-const MEM_FIELDS: usize = 16;
+const THREAD_FIELDS: usize = 9;
+const MEM_FIELDS: usize = 17;
+const SC_THREAD_FIELDS: usize = 5;
 const NOC_FIELDS: usize = glsc_mem::MsgClass::COUNT + 2; // msgs + hops + queue_cycles
 const LSU_FIELDS: usize = 6;
 const GSU_FIELDS: usize = 14;
@@ -105,6 +109,7 @@ pub fn encode_report(r: &RunReport) -> String {
                 t.compute_stall_cycles,
                 t.issue_stall_cycles,
                 t.barrier_cycles,
+                t.elems_completed,
             ])
         ));
     }
@@ -128,8 +133,20 @@ pub fn encode_report(r: &RunReport) -> String {
             m.hits_under_miss,
             m.inv_acks,
             m.writebacks,
+            m.reservation_buffer_evictions,
         ])
     ));
+    let mut sc_counters: Vec<u64> = vec![(m.sc_threads.len() * SC_THREAD_FIELDS) as u64];
+    for t in &m.sc_threads {
+        sc_counters.extend_from_slice(&[
+            t.attempts,
+            t.successes,
+            t.failures,
+            t.cur_streak,
+            t.max_streak,
+        ]);
+    }
+    out.push_str(&format!("scthreads {}\n", join(&sc_counters)));
     let n = &m.noc;
     let mut noc_counters: Vec<u64> = n.msgs.to_vec();
     noc_counters.push(n.hops);
@@ -276,6 +293,7 @@ pub fn decode_report(text: &str) -> Result<RunReport, CodecError> {
             compute_stall_cycles: c[5],
             issue_stall_cycles: c[6],
             barrier_cycles: c[7],
+            elems_completed: c[8],
         });
     }
     let c = lines.counters("mem", MEM_FIELDS)?;
@@ -296,8 +314,27 @@ pub fn decode_report(text: &str) -> Result<RunReport, CodecError> {
         hits_under_miss: c[13],
         inv_acks: c[14],
         writebacks: c[15],
+        reservation_buffer_evictions: c[16],
+        sc_threads: Vec::new(),
         noc: glsc_mem::NocStats::default(),
     };
+    let c = lines.counted("scthreads")?;
+    if !c.len().is_multiple_of(SC_THREAD_FIELDS) {
+        return Err(lines.malformed(format!(
+            "\"scthreads\" carries {} counter(s), expected a multiple of {SC_THREAD_FIELDS}",
+            c.len()
+        )));
+    }
+    report.mem.sc_threads = c
+        .chunks_exact(SC_THREAD_FIELDS)
+        .map(|c| glsc_mem::ThreadScStats {
+            attempts: c[0],
+            successes: c[1],
+            failures: c[2],
+            cur_streak: c[3],
+            max_streak: c[4],
+        })
+        .collect();
     let c = lines.counters("noc", NOC_FIELDS)?;
     let mut msgs = [0u64; glsc_mem::MsgClass::COUNT];
     msgs.copy_from_slice(&c[..glsc_mem::MsgClass::COUNT]);
@@ -364,12 +401,30 @@ mod tests {
                 compute_stall_cycles: 7,
                 issue_stall_cycles: 3,
                 barrier_cycles: 11,
+                elems_completed: 60 + i,
             });
         }
         r.mem.l1_hits = 1234;
         r.mem.hits_under_miss = 9;
         r.mem.inv_acks = 17;
         r.mem.writebacks = 21;
+        r.mem.reservation_buffer_evictions = 4;
+        r.mem.sc_threads = vec![
+            glsc_mem::ThreadScStats {
+                attempts: 30,
+                successes: 20,
+                failures: 10,
+                cur_streak: 0,
+                max_streak: 4,
+            },
+            glsc_mem::ThreadScStats {
+                attempts: 12,
+                successes: 12,
+                failures: 0,
+                cur_streak: 0,
+                max_streak: 0,
+            },
+        ];
         r.mem.noc.msgs[glsc_mem::MsgClass::GetS.index()] = 40;
         r.mem.noc.msgs[glsc_mem::MsgClass::DataReply.index()] = 41;
         r.mem.noc.hops = 120;
@@ -397,16 +452,16 @@ mod tests {
             Err(CodecError::MissingHeader)
         );
         assert_eq!(
-            decode_report(&text.replace("v2", "v999")),
+            decode_report(&text.replace("v3", "v999")),
             Err(CodecError::VersionMismatch {
                 found: "v999".into()
             })
         );
-        // Legacy v1 cache files (pre-NoC field set) are re-simulated, not
-        // mis-read.
+        // Stale v2 cache files (pre-contention-telemetry field set) are
+        // re-simulated, not mis-read.
         assert_eq!(
-            decode_report(&text.replace("v2", "v1")),
-            Err(CodecError::VersionMismatch { found: "v1".into() })
+            decode_report(&text.replace("v3", "v2")),
+            Err(CodecError::VersionMismatch { found: "v2".into() })
         );
         // Every truncation point (dropping the tail at any line boundary)
         // must be detected.
@@ -429,6 +484,14 @@ mod tests {
         ));
         assert!(matches!(
             decode_report(&text.replace("noclinks 3 10 0 31", "noclinks")),
+            Err(CodecError::Malformed { .. })
+        ));
+        // A well-counted `scthreads` line whose payload is not a whole
+        // number of per-thread records is still malformed.
+        let sc_line = "scthreads 10 30 20 10 0 4 12 12 0 0 0";
+        assert!(text.contains(sc_line), "sample sc line drifted");
+        assert!(matches!(
+            decode_report(&text.replace(sc_line, "scthreads 6 1 2 3 4 5 6")),
             Err(CodecError::Malformed { .. })
         ));
         assert!(matches!(

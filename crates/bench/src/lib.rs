@@ -269,7 +269,11 @@ pub fn job_retries() -> u32 {
         .unwrap_or(1)
 }
 
-fn backoff_ms(attempt: u32) -> u64 {
+/// Backoff before retry `attempt + 1`: 25 ms doubling per failed attempt,
+/// capped at 1 s. Deliberately pure — no jitter, no clock reads — so a
+/// figure run's retry timeline is reproducible and the logged delays can
+/// be asserted in tests.
+pub fn backoff_ms(attempt: u32) -> u64 {
     (25u64 << (attempt - 1).min(6)).min(1_000)
 }
 
@@ -284,17 +288,34 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Runs one job with panic isolation and bounded retry-with-backoff.
-fn run_one<T, F: Fn() -> T>(index: usize, job: &F, retries: u32) -> Result<T, JobError> {
+/// Every failed attempt and every backoff delay is logged to stderr with
+/// the attempt number and, when the caller supplied one (see
+/// [`run_jobs_labeled`]), the job key.
+fn run_one<T, F: Fn() -> T>(
+    index: usize,
+    label: &str,
+    job: &F,
+    retries: u32,
+) -> Result<T, JobError> {
     let attempts = retries + 1;
+    let tag = if label.is_empty() {
+        String::new()
+    } else {
+        format!(" ({label})")
+    };
     let mut message = String::new();
     for attempt in 1..=attempts {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
             Ok(v) => return Ok(v),
             Err(payload) => {
                 message = panic_message(payload.as_ref());
-                eprintln!("[jobs] job {index} attempt {attempt}/{attempts} panicked: {message}");
+                eprintln!(
+                    "[jobs] job {index}{tag} attempt {attempt}/{attempts} panicked: {message}"
+                );
                 if attempt < attempts {
-                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms(attempt)));
+                    let delay = backoff_ms(attempt);
+                    eprintln!("[jobs] job {index}{tag} retrying after {delay}ms");
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
                 }
             }
         }
@@ -326,6 +347,20 @@ where
     T: Send,
     F: Fn() -> T + Send + Sync,
 {
+    run_jobs_labeled(
+        jobs.into_iter().map(|j| (String::new(), j)).collect(),
+        threads,
+    )
+}
+
+/// As [`run_jobs`], but each job carries a label (normally its job key)
+/// that retry logging includes, so a flaky job on a long figure run can
+/// be identified from stderr alone.
+pub fn run_jobs_labeled<T, F>(jobs: Vec<(String, F)>, threads: usize) -> Vec<Result<T, JobError>>
+where
+    T: Send,
+    F: Fn() -> T + Send + Sync,
+{
     let n = jobs.len();
     let threads = threads.max(1).min(n.max(1));
     let retries = job_retries();
@@ -333,7 +368,7 @@ where
         return jobs
             .iter()
             .enumerate()
-            .map(|(i, job)| run_one(i, job, retries))
+            .map(|(i, (label, job))| run_one(i, label, job, retries))
             .collect();
     }
     let next = AtomicUsize::new(0);
@@ -350,7 +385,8 @@ where
                 // job (already contained by run_one) can never poison a
                 // result slot, and lock acquisition stays poison-tolerant
                 // anyway for defense in depth.
-                let result = run_one(i, &jobs[i], retries);
+                let (label, job) = &jobs[i];
+                let result = run_one(i, label, job, retries);
                 *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
             });
         }
@@ -445,6 +481,19 @@ mod tests {
     fn ratio_and_pct() {
         assert_eq!(ratio(300, 200), 1.5);
         assert_eq!(pct(0.5), " 50.00 %");
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic() {
+        assert_eq!(backoff_ms(1), 25);
+        assert_eq!(backoff_ms(2), 50);
+        assert_eq!(backoff_ms(3), 100);
+        assert_eq!(backoff_ms(6), 800);
+        // Capped from attempt 7 on; later attempts never exceed the cap.
+        assert_eq!(backoff_ms(7), 1_000);
+        assert_eq!(backoff_ms(1_000), 1_000);
+        // Pure function: same input, same delay, no jitter.
+        assert_eq!(backoff_ms(4), backoff_ms(4));
     }
 
     #[test]

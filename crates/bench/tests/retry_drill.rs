@@ -1,0 +1,66 @@
+//! Fault drill for the harness retry path: a job poisoned via
+//! `GLSC_BENCH_INJECT_PANIC` must be attempted exactly
+//! `GLSC_BENCH_RETRIES + 1` times (with the deterministic backoff between
+//! attempts) before degrading to a [`JobError`], while healthy jobs in
+//! the same batch complete normally.
+//!
+//! This lives in its own test binary with a single `#[test]` because it
+//! mutates process-wide environment variables; sharing a binary with
+//! other tests would race on them.
+
+use glsc_bench::{collect_errors, run_jobs_labeled, run_workload_cached, JobError, JobStore};
+use glsc_kernels::{build_named, Dataset, Variant};
+use glsc_sim::MachineConfig;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+#[test]
+fn injected_panic_burns_the_configured_retries_then_errors() {
+    std::env::set_var("GLSC_BENCH_RETRIES", "2");
+    std::env::set_var("GLSC_BENCH_INJECT_PANIC", "drill-poisoned");
+    let cfg = MachineConfig::paper(1, 1, 4);
+    let store = JobStore::disabled();
+
+    let poisoned_calls = AtomicU32::new(0);
+    let healthy_calls = AtomicU32::new(0);
+    let jobs: Vec<(String, Box<dyn Fn() -> u64 + Send + Sync>)> = vec![
+        (
+            "drill-poisoned-HIP".to_string(),
+            Box::new(|| {
+                poisoned_calls.fetch_add(1, Ordering::SeqCst);
+                let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+                run_workload_cached(&store, &w, &cfg, &["drill-poisoned", "HIP"])
+                    .report
+                    .cycles
+            }),
+        ),
+        (
+            "drill-healthy-HIP".to_string(),
+            Box::new(|| {
+                healthy_calls.fetch_add(1, Ordering::SeqCst);
+                let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+                run_workload_cached(&store, &w, &cfg, &["drill-healthy", "HIP"])
+                    .report
+                    .cycles
+            }),
+        ),
+    ];
+
+    let results = run_jobs_labeled(jobs, 1);
+    assert_eq!(results.len(), 2);
+
+    // The poisoned job was genuinely re-run retries+1 times, then failed.
+    let errors: Vec<JobError> = collect_errors(&results);
+    assert_eq!(errors.len(), 1);
+    assert_eq!(errors[0].index, 0);
+    assert_eq!(errors[0].attempts, 3, "2 retries means 3 attempts");
+    assert_eq!(poisoned_calls.load(Ordering::SeqCst), 3);
+    assert!(
+        errors[0].message.contains("GLSC_BENCH_INJECT_PANIC"),
+        "message: {}",
+        errors[0].message
+    );
+
+    // The healthy job ran once and produced a real report.
+    assert_eq!(healthy_calls.load(Ordering::SeqCst), 1);
+    assert!(results[1].as_ref().unwrap() > &0);
+}

@@ -17,7 +17,7 @@
 //! The paper's Fig. 7 reports the Base/GLSC execution-time ratio per
 //! scenario at widths 4 and 16 on the 4×4 machine.
 
-use crate::common::{emit_const_one, Dataset, MemImage, Variant, Workload};
+use crate::common::{emit_backoff, emit_const_one, Dataset, MemImage, Variant, Workload};
 use glsc_isa::{LaneSel, MReg, ProgramBuilder, Reg, VReg};
 use glsc_rng::rngs::StdRng;
 use glsc_rng::seq::SliceRandom;
@@ -74,6 +74,7 @@ pub struct MicroParams {
 pub struct Micro {
     scenario: Scenario,
     params: MicroParams,
+    backoff: bool,
 }
 
 impl Micro {
@@ -93,12 +94,30 @@ impl Micro {
                 seed: 72,
             },
         };
-        Self { scenario, params }
+        Self {
+            scenario,
+            params,
+            backoff: false,
+        }
     }
 
     /// Instance with explicit parameters.
     pub fn with_params(scenario: Scenario, params: MicroParams) -> Self {
-        Self { scenario, params }
+        Self {
+            scenario,
+            params,
+            backoff: false,
+        }
+    }
+
+    /// Enables the hardware-backoff retry variant: every atomic retry path
+    /// first runs the [`emit_backoff`] LCG delay, the software analogue of
+    /// the exponential-backoff arbitration the contention study compares
+    /// against. The workload name gains a `+bo` suffix so cached results
+    /// never collide with the plain variant.
+    pub fn with_backoff(mut self) -> Self {
+        self.backoff = true;
+        self
     }
 
     /// Generates the per-thread index sequences (word indices into the
@@ -198,11 +217,13 @@ impl Micro {
             per_thread,
             a_idx,
             a_counters,
+            self.backoff,
         );
 
         let name = format!(
-            "micro{}/{}/w{}",
+            "micro{}{}/{}/w{}",
             self.scenario.label(),
+            if self.backoff { "+bo" } else { "" },
             variant.label(),
             width
         );
@@ -231,12 +252,16 @@ fn build_program(
     per_thread: usize,
     a_idx: u64,
     a_counters: u64,
+    backoff: bool,
 ) -> glsc_isa::Program {
     let mut b = ProgramBuilder::new();
     let r = Reg::new;
     let v = VReg::new;
     let m = MReg::new;
     let (r_my, r_cnt, r_it, r_addr, r_t1, r_t2, r_t3) = (r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+    // LCG state and spin scratch for the `+bo` backoff variant; untouched
+    // by the plain variant so its code stream is byte-identical to pre-PR.
+    let (r_bo_state, r_bo_tmp) = (r(9), r(10));
     let (v_idx, v_tmp) = (v(0), v(1));
     let (f_todo, f_tmp) = (m(0), m(1));
 
@@ -245,6 +270,9 @@ fn build_program(
     b.addi(r_my, r_my, a_idx as i64);
     b.li(r_cnt, a_counters as i64);
     b.li(r_it, 0);
+    if backoff {
+        b.mv(r_bo_state, r(0));
+    }
     let top = b.here();
     b.mul(r_addr, r_it, (width * 4) as i64);
     b.add(r_addr, r_addr, r_my);
@@ -254,6 +282,9 @@ fn build_program(
         Variant::Glsc => {
             b.mall(f_todo);
             let retry = b.here();
+            if backoff {
+                emit_backoff(&mut b, r_bo_state, r_bo_tmp);
+            }
             b.vgatherlink(f_tmp, v_tmp, r_cnt, v_idx, f_todo);
             b.vadd(v_tmp, v_tmp, 1, Some(f_tmp));
             b.vscattercond(f_tmp, v_tmp, r_cnt, v_idx, f_tmp);
@@ -266,6 +297,9 @@ fn build_program(
                 b.shl(r_t1, r_t1, 2);
                 b.add(r_t1, r_t1, r_cnt);
                 let retry = b.here();
+                if backoff {
+                    emit_backoff(&mut b, r_bo_state, r_bo_tmp);
+                }
                 b.ll(r_t2, r_t1, 0);
                 b.addi(r_t2, r_t2, 1);
                 b.sc(r_t3, r_t2, r_t1, 0);
@@ -303,6 +337,23 @@ mod tests {
     fn multicore_scenario_a() {
         check(Scenario::A, Variant::Glsc, 2, 2, 4);
         check(Scenario::A, Variant::Base, 2, 2, 4);
+    }
+
+    #[test]
+    fn backoff_variant_validates_and_is_distinct() {
+        let cfg = MachineConfig::paper(2, 2, 4);
+        let micro = Micro::new(Scenario::A, Dataset::Tiny);
+        let plain = micro.clone().build(Variant::Glsc, &cfg);
+        let bo = micro.clone().with_backoff().build(Variant::Glsc, &cfg);
+        assert_eq!(bo.name, "microA+bo/GLSC/w4");
+        assert_ne!(
+            plain.fingerprint(),
+            bo.fingerprint(),
+            "cache keys must separate the variants"
+        );
+        run_workload(&bo, &cfg).expect("backoff variant validates");
+        let bo_base = micro.with_backoff().build(Variant::Base, &cfg);
+        run_workload(&bo_base, &cfg).expect("scalar backoff variant validates");
     }
 
     #[test]

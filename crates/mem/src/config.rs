@@ -1,5 +1,6 @@
 //! Memory-system configuration (Table 1 of the paper).
 
+use crate::arbitration::ArbitrationPolicy;
 use crate::errors::ConfigError;
 use crate::noc::NocConfig;
 
@@ -44,6 +45,10 @@ pub struct MemConfig {
     /// [`Topology::Ideal`](crate::Topology) fabric reproduces the
     /// historical fixed-latency timing exactly.
     pub noc: NocConfig,
+    /// Reservation arbitration policy applied to store-conditionals
+    /// (DESIGN.md §12). The default [`ArbitrationPolicy::Free`] reproduces
+    /// the historical first-committer-wins timing exactly.
+    pub arbitration: ArbitrationPolicy,
 }
 
 impl Default for MemConfig {
@@ -64,6 +69,7 @@ impl Default for MemConfig {
             prefetch: true,
             prefetch_degree: 2,
             noc: NocConfig::ideal(),
+            arbitration: ArbitrationPolicy::Free,
         }
     }
 }
@@ -88,6 +94,7 @@ impl MemConfig {
             prefetch: false,
             prefetch_degree: 2,
             noc: NocConfig::ideal(),
+            arbitration: ArbitrationPolicy::Free,
         }
     }
 
@@ -144,6 +151,9 @@ impl MemConfig {
         }
         if self.glsc_buffer_entries == Some(0) {
             return Err(ConfigError::ZeroBufferEntries);
+        }
+        if self.arbitration == (ArbitrationPolicy::NackHoldoff { window: 0 }) {
+            return Err(ConfigError::ZeroHoldoffWindow);
         }
         self.noc.check()?;
         Ok(())
@@ -270,6 +280,23 @@ mod tests {
             ..MemConfig::tiny()
         };
         assert_eq!(c.check(), Err(ConfigError::ZeroBufferEntries));
+    }
+
+    #[test]
+    fn rejects_zero_holdoff_window() {
+        let c = MemConfig {
+            arbitration: ArbitrationPolicy::NackHoldoff { window: 0 },
+            ..MemConfig::tiny()
+        };
+        assert_eq!(c.check(), Err(ConfigError::ZeroHoldoffWindow));
+        // The other policies need no parameters and always pass.
+        for policy in [ArbitrationPolicy::Free, ArbitrationPolicy::AgedPriority] {
+            let c = MemConfig {
+                arbitration: policy,
+                ..MemConfig::tiny()
+            };
+            assert_eq!(c.check(), Ok(()));
+        }
     }
 
     #[test]

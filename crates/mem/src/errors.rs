@@ -43,6 +43,10 @@ pub enum ConfigError {
     NoL2Sets,
     /// The §3.3 reservation buffer was requested with zero entries.
     ZeroBufferEntries,
+    /// The NACK-holdoff arbitration policy was configured with a zero
+    /// window (use [`ArbitrationPolicy::Free`](crate::ArbitrationPolicy)
+    /// for no holdoff instead).
+    ZeroHoldoffWindow,
     /// Core count outside the supported 1..=32 range (the directory's
     /// sharer vector is a `u32` bitmask).
     CoresOutOfRange {
@@ -98,6 +102,13 @@ impl fmt::Display for ConfigError {
             ConfigError::NoL2Sets => write!(f, "L2 banks must have at least one set"),
             ConfigError::ZeroBufferEntries => {
                 write!(f, "GLSC reservation buffer needs at least one entry")
+            }
+            ConfigError::ZeroHoldoffWindow => {
+                write!(
+                    f,
+                    "NACK-holdoff arbitration needs a non-zero window (use the Free \
+                     policy for no holdoff)"
+                )
             }
             ConfigError::CoresOutOfRange { cores } => {
                 write!(f, "1..=32 cores supported (got {cores})")

@@ -181,13 +181,16 @@ impl L1Cache {
     /// Adds `tid`'s reservation on `line`; other threads' reservations on
     /// the line are unaffected (per-thread valid bits). In per-line mode
     /// the line must be resident; in buffer mode a full buffer evicts its
-    /// oldest entry.
-    pub fn set_reservation(&mut self, line: u64, tid: u8) {
+    /// oldest entry. Returns `true` when the insertion displaced a
+    /// buffered reservation (always `false` in per-line mode), so the
+    /// memory system can surface §3.3 buffer pressure in its counters.
+    pub fn set_reservation(&mut self, line: u64, tid: u8) -> bool {
         match &mut self.reservations {
             ReservationStore::PerLine => {
                 if let Some(p) = self.tags.peek_mut(line) {
                     p.reservation |= 1 << tid;
                 }
+                false
             }
             ReservationStore::Buffer {
                 entries,
@@ -196,13 +199,15 @@ impl L1Cache {
             } => {
                 if let Some((_, m)) = entries.iter_mut().find(|(l, _)| *l == line) {
                     *m |= 1 << tid;
-                    return;
+                    return false;
                 }
-                if entries.len() >= *cap {
+                let overflowed = entries.len() >= *cap;
+                if overflowed {
                     entries.pop_front();
                     *evictions += 1;
                 }
                 entries.push_back((line, 1 << tid));
+                overflowed
             }
         }
     }

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arbitration;
 mod backing;
 mod chaos;
 mod config;
@@ -49,6 +50,7 @@ mod stats;
 mod system;
 mod tags;
 
+pub use arbitration::{Arbiter, ArbitrationPolicy};
 pub use backing::Backing;
 pub use chaos::{ChaosConfig, ChaosStats, FaultPlan};
 pub use config::MemConfig;
@@ -58,7 +60,7 @@ pub use l2::{L2Bank, L2Payload};
 pub use noc::{MsgClass, Noc, NocConfig, NocStats, Topology};
 pub use occupancy::BusyHorizon;
 pub use prefetch::StridePrefetcher;
-pub use stats::MemStats;
+pub use stats::{MemStats, ThreadScStats};
 pub use system::{AccessResult, MemOp, MemSnapshot, MemorySystem};
 pub use tags::TagArray;
 

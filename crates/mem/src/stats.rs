@@ -41,8 +41,55 @@ pub struct MemStats {
     /// evictions, chaos evictions, and back-invalidations of Modified
     /// copies).
     pub writebacks: u64,
+    /// Reservations displaced from the §3.3 fully-associative buffer
+    /// (capacity overflow on insertion plus chaos-forced evictions;
+    /// always zero in the default per-line-tag mode). Unlike the
+    /// lifetime tally in `glsc-mem::l1`, this counter participates in
+    /// `reset_stats` like every other event count.
+    pub reservation_buffer_evictions: u64,
+    /// Per-global-thread store-conditional forward-progress telemetry,
+    /// indexed by `core * threads_per_core + tid`. Sized at construction;
+    /// empty only for a default-constructed `MemStats`.
+    pub sc_threads: Vec<ThreadScStats>,
     /// On-die interconnect counters (per message class and per link).
     pub noc: NocStats,
+}
+
+/// Store-conditional forward-progress counters for one hardware thread
+/// (DESIGN.md §12). Pure observation: these update identically under
+/// every [`ArbitrationPolicy`](crate::ArbitrationPolicy) and never feed
+/// back into timing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreadScStats {
+    /// Store-conditional requests presented at the L1 port.
+    pub attempts: u64,
+    /// Attempts that committed.
+    pub successes: u64,
+    /// Attempts that failed (lost reservation, or refused by the active
+    /// arbitration policy).
+    pub failures: u64,
+    /// Length of the current run of consecutive failures.
+    pub cur_streak: u64,
+    /// High-water mark of consecutive failures — the starvation signal
+    /// the `glsc-sim` watchdog thresholds on.
+    pub max_streak: u64,
+}
+
+impl ThreadScStats {
+    /// Records one failed attempt.
+    pub fn record_failure(&mut self) {
+        self.attempts += 1;
+        self.failures += 1;
+        self.cur_streak += 1;
+        self.max_streak = self.max_streak.max(self.cur_streak);
+    }
+
+    /// Records one committed attempt, ending any failure run.
+    pub fn record_success(&mut self) {
+        self.attempts += 1;
+        self.successes += 1;
+        self.cur_streak = 0;
+    }
 }
 
 impl MemStats {
@@ -65,6 +112,20 @@ impl MemStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn thread_sc_streak_bookkeeping() {
+        let mut t = ThreadScStats::default();
+        t.record_failure();
+        t.record_failure();
+        t.record_success();
+        t.record_failure();
+        assert_eq!(t.attempts, 4);
+        assert_eq!(t.successes, 1);
+        assert_eq!(t.failures, 3);
+        assert_eq!(t.cur_streak, 1);
+        assert_eq!(t.max_streak, 2);
+    }
 
     #[test]
     fn hit_rate_edges() {

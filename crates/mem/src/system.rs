@@ -15,6 +15,7 @@
 //! the timing is bit-identical to the pre-NoC simulator; ring and crossbar
 //! fabrics add per-hop latency and link queueing.
 
+use crate::arbitration::{Arbiter, ArbitrationPolicy};
 use crate::backing::Backing;
 use crate::chaos::{ChaosStats, FaultPlan};
 use crate::config::MemConfig;
@@ -24,7 +25,7 @@ use crate::l2::{L2Bank, L2Payload};
 use crate::line_of;
 use crate::noc::{MsgClass, Noc};
 use crate::prefetch::StridePrefetcher;
-use crate::stats::MemStats;
+use crate::stats::{MemStats, ThreadScStats};
 use glsc_rng::Rng;
 
 /// The kind of request presented at an L1 port.
@@ -65,6 +66,13 @@ pub struct MemorySystem {
     prefetchers: Vec<StridePrefetcher>,
     noc: Noc,
     stats: MemStats,
+    /// SMT threads per core — fixes the `core * tpc + tid` global-thread
+    /// indexing of the per-thread SC telemetry and the arbiter.
+    threads_per_core: usize,
+    /// Runtime state of the configured arbitration policy (empty and
+    /// untouched under [`ArbitrationPolicy::Free`]). Plain owned data, so
+    /// snapshots cover it like everything else.
+    arbiter: Arbiter,
     /// Installed fault-injection plan (DESIGN.md §9); `None` on the
     /// fault-free hot path.
     chaos: Option<Box<FaultPlan>>,
@@ -138,6 +146,7 @@ impl MemorySystem {
         let noc = Noc::new(cfg.noc.clone(), num_cores, cfg.l2_banks);
         let mut stats = MemStats::default();
         stats.noc.link_msgs = vec![0; noc.num_links()];
+        stats.sc_threads = vec![ThreadScStats::default(); num_cores * threads_per_core];
         Ok(Self {
             cfg,
             backing: Backing::new(),
@@ -146,6 +155,8 @@ impl MemorySystem {
             prefetchers,
             noc,
             stats,
+            threads_per_core,
+            arbiter: Arbiter::default(),
             chaos: None,
             jitter_next_fill: 0,
         })
@@ -190,10 +201,20 @@ impl MemorySystem {
         &self.stats
     }
 
-    /// Resets the event counters (e.g. after warmup).
+    /// Resets the event counters (e.g. after warmup). Arbitration policy
+    /// state is *not* statistics and survives: resetting counters must
+    /// never change timing.
     pub fn reset_stats(&mut self) {
         self.stats = MemStats::default();
         self.stats.noc.link_msgs = vec![0; self.noc.num_links()];
+        self.stats.sc_threads =
+            vec![ThreadScStats::default(); self.l1s.len() * self.threads_per_core];
+    }
+
+    /// Runtime state of the configured arbitration policy (inspection for
+    /// tests and diagnostics).
+    pub fn arbiter(&self) -> &Arbiter {
+        &self.arbiter
     }
 
     /// The on-die interconnect (inspection for tests and statistics).
@@ -318,6 +339,7 @@ impl MemorySystem {
             let c = plan.rng.random_range(0..cores);
             if self.l1s[c].force_buffer_eviction() {
                 plan.stats.forced_buffer_evictions += 1;
+                self.stats.reservation_buffer_evictions += 1;
             }
         }
 
@@ -359,8 +381,11 @@ impl MemorySystem {
                         self.stats.hits_under_miss += 1;
                     }
                     self.stats.l1_hits += 1;
-                    if op == MemOp::LoadLinked {
-                        self.l1s[core].set_reservation(line, tid);
+                    if op == MemOp::LoadLinked
+                        && self.may_reserve(core, tid, line, now)
+                        && self.l1s[core].set_reservation(line, tid)
+                    {
+                        self.stats.reservation_buffer_evictions += 1;
                     }
                     AccessResult {
                         done,
@@ -375,8 +400,11 @@ impl MemorySystem {
                         MsgClass::GetS
                     };
                     let done = self.fill(core, line, now, false, true, class);
-                    if op == MemOp::LoadLinked {
-                        self.l1s[core].set_reservation(line, tid);
+                    if op == MemOp::LoadLinked
+                        && self.may_reserve(core, tid, line, now)
+                        && self.l1s[core].set_reservation(line, tid)
+                    {
+                        self.stats.reservation_buffer_evictions += 1;
                     }
                     AccessResult {
                         done,
@@ -428,6 +456,22 @@ impl MemorySystem {
                 if !holds {
                     self.stats.l1_hits += 1;
                     self.stats.sc_failures += 1;
+                    self.note_sc_failure(core, tid, line, now, true);
+                    return AccessResult {
+                        done: now + hit_latency,
+                        l1_hit: true,
+                        sc_ok: false,
+                    };
+                }
+                // An otherwise-committable SC can still be refused by the
+                // arbitration policy (AgedPriority: an older failure
+                // streak is active on the line). A refusal is a NACK at
+                // the L1 port — it costs one hit latency and leaves every
+                // reservation, including the requester's, intact.
+                if self.sc_refused(core, tid, line, now) {
+                    self.stats.l1_hits += 1;
+                    self.stats.sc_failures += 1;
+                    self.note_sc_failure(core, tid, line, now, false);
                     return AccessResult {
                         done: now + hit_latency,
                         l1_hit: true,
@@ -443,6 +487,7 @@ impl MemorySystem {
                 let ready = p.ready_at;
                 self.stats.l1_hits += 1;
                 self.stats.sc_successes += 1;
+                self.note_sc_success(core, tid, line);
                 let done = if state == L1State::Modified {
                     (now + hit_latency).max(ready)
                 } else {
@@ -459,6 +504,73 @@ impl MemorySystem {
                     sc_ok: true,
                 }
             }
+        }
+    }
+
+    /// Global hardware-thread id of `(core, tid)`, indexing the per-thread
+    /// SC telemetry and the arbiter's age book.
+    fn gid(&self, core: usize, tid: u8) -> usize {
+        core * self.threads_per_core + tid as usize
+    }
+
+    /// Whether the active policy lets `(core, tid)` acquire a reservation
+    /// on `line` at `now`. Only NackHoldoff ever says no (a load-linked
+    /// during the loser's holdoff window returns data but links nothing).
+    fn may_reserve(&mut self, core: usize, tid: u8, line: u64, now: u64) -> bool {
+        match self.cfg.arbitration {
+            ArbitrationPolicy::NackHoldoff { .. } => !self.arbiter.in_holdoff(core, tid, line, now),
+            ArbitrationPolicy::Free | ArbitrationPolicy::AgedPriority => true,
+        }
+    }
+
+    /// Whether the active policy refuses an otherwise-committable SC by
+    /// `(core, tid)` on `line` at `now`. Only AgedPriority ever refuses
+    /// (a strictly older failure streak is active on the line).
+    fn sc_refused(&self, core: usize, tid: u8, line: u64, now: u64) -> bool {
+        match self.cfg.arbitration {
+            ArbitrationPolicy::AgedPriority => {
+                self.arbiter.must_refuse(self.gid(core, tid), line, now)
+            }
+            ArbitrationPolicy::Free | ArbitrationPolicy::NackHoldoff { .. } => false,
+        }
+    }
+
+    /// Telemetry + policy bookkeeping for one failed SC. Telemetry updates
+    /// under every policy (it never feeds back into timing). Only a
+    /// `lost_race` failure — the reservation was genuinely gone, meaning
+    /// some other thread committed — arms a NackHoldoff window or opens
+    /// an AgedPriority streak. An arbitration *refusal* must not: a
+    /// refusal-opened streak would hand the refused thread priority it
+    /// has not earned, and with several locks per cache line a two-phase
+    /// lock protocol then livelocks — each contender's commit on its
+    /// first lock retires the very streak that would have let it take
+    /// the second, so the two sides refuse each other forever.
+    fn note_sc_failure(&mut self, core: usize, tid: u8, line: u64, now: u64, lost_race: bool) {
+        let gid = self.gid(core, tid);
+        if let Some(t) = self.stats.sc_threads.get_mut(gid) {
+            t.record_failure();
+        }
+        if !lost_race {
+            return;
+        }
+        match self.cfg.arbitration {
+            ArbitrationPolicy::Free => {}
+            ArbitrationPolicy::NackHoldoff { window } => {
+                self.arbiter.arm_holdoff(core, tid, line, now, window);
+            }
+            ArbitrationPolicy::AgedPriority => self.arbiter.note_failure(gid, line, now),
+        }
+    }
+
+    /// Telemetry + policy bookkeeping for one committed SC: ends the
+    /// thread's failure run and (AgedPriority) retires its streak.
+    fn note_sc_success(&mut self, core: usize, tid: u8, line: u64) {
+        let gid = self.gid(core, tid);
+        if let Some(t) = self.stats.sc_threads.get_mut(gid) {
+            t.record_success();
+        }
+        if self.cfg.arbitration == ArbitrationPolicy::AgedPriority {
+            self.arbiter.note_success(gid, line);
         }
     }
 

@@ -33,6 +33,9 @@ pub enum ConfigError {
     ZeroWatchdogWindow,
     /// Invariant-check period is zero.
     ZeroInvariantCheckPeriod,
+    /// Starvation threshold is zero — every store-conditional would be
+    /// "starved" before its first attempt.
+    ZeroStarvationThreshold,
     /// The memory-hierarchy parameters were rejected.
     Mem(glsc_mem::ConfigError),
 }
@@ -64,6 +67,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroWatchdogWindow => write!(f, "watchdog window must be non-zero"),
             ConfigError::ZeroInvariantCheckPeriod => {
                 write!(f, "invariant check period must be non-zero")
+            }
+            ConfigError::ZeroStarvationThreshold => {
+                write!(f, "starvation threshold must be non-zero")
             }
             ConfigError::Mem(e) => write!(f, "memory config: {e}"),
         }
@@ -174,6 +180,15 @@ pub struct MachineConfig {
     /// [`SimError::InvariantViolation`](crate::SimError) on failure.
     /// `None` (the default) skips the checks entirely.
     pub invariant_check_period: Option<u64>,
+    /// Starvation detector: if any hardware thread accumulates this many
+    /// *consecutive* store-conditional failures, the run aborts with
+    /// [`SimError::Starvation`](crate::SimError) naming the starved
+    /// thread, its failure streak, the per-thread failure census (with
+    /// Jain's fairness index in the rendered message) and the competing
+    /// reservation holders. Catches the retry storms the livelock
+    /// watchdog cannot (a storm keeps issuing). `None` (the default)
+    /// disables the detector.
+    pub starvation_threshold: Option<u64>,
 }
 
 impl MachineConfig {
@@ -192,6 +207,7 @@ impl MachineConfig {
             max_cycles: 2_000_000_000,
             watchdog_window: Some(1_000_000),
             invariant_check_period: None,
+            starvation_threshold: None,
         }
     }
 
@@ -226,6 +242,25 @@ impl MachineConfig {
     #[must_use]
     pub fn with_noc(mut self, noc: glsc_mem::NocConfig) -> Self {
         self.mem.noc = noc;
+        self
+    }
+
+    /// Enables the starvation detector at `threshold` consecutive SC
+    /// failures per thread (or disables it with `None`; builder style).
+    #[must_use]
+    pub fn with_starvation_threshold(mut self, threshold: Option<u64>) -> Self {
+        self.starvation_threshold = threshold;
+        self
+    }
+
+    /// Selects the reservation arbitration policy of the memory system
+    /// (builder style). The default
+    /// [`ArbitrationPolicy::Free`](glsc_mem::ArbitrationPolicy)
+    /// reproduces the historical first-committer-wins timing exactly;
+    /// the `contention_policies` figure sweeps the alternatives.
+    #[must_use]
+    pub fn with_arbitration(mut self, policy: glsc_mem::ArbitrationPolicy) -> Self {
+        self.mem.arbitration = policy;
         self
     }
 
@@ -266,6 +301,9 @@ impl MachineConfig {
         }
         if self.invariant_check_period == Some(0) {
             return Err(ConfigError::ZeroInvariantCheckPeriod);
+        }
+        if self.starvation_threshold == Some(0) {
+            return Err(ConfigError::ZeroStarvationThreshold);
         }
         self.mem.check()?;
         Ok(())
@@ -350,6 +388,14 @@ mod tests {
         assert_eq!(c.check(), Err(ConfigError::ZeroWatchdogWindow));
         let c = MachineConfig::paper(1, 1, 4).with_invariant_checks(Some(0));
         assert_eq!(c.check(), Err(ConfigError::ZeroInvariantCheckPeriod));
+        let c = MachineConfig::paper(1, 1, 4).with_starvation_threshold(Some(0));
+        assert_eq!(c.check(), Err(ConfigError::ZeroStarvationThreshold));
+        let c = MachineConfig::paper(1, 1, 4)
+            .with_arbitration(glsc_mem::ArbitrationPolicy::NackHoldoff { window: 0 });
+        assert_eq!(
+            c.check(),
+            Err(ConfigError::Mem(glsc_mem::ConfigError::ZeroHoldoffWindow))
+        );
     }
 
     #[test]
@@ -370,11 +416,15 @@ mod tests {
             .with_max_cycles(123)
             .with_watchdog_window(None)
             .with_invariant_checks(Some(64))
-            .with_noc(glsc_mem::NocConfig::ring());
+            .with_noc(glsc_mem::NocConfig::ring())
+            .with_starvation_threshold(Some(1000))
+            .with_arbitration(glsc_mem::ArbitrationPolicy::AgedPriority);
         assert_eq!(c.max_cycles, 123);
         assert_eq!(c.watchdog_window, None);
         assert_eq!(c.invariant_check_period, Some(64));
         assert_eq!(c.mem.noc, glsc_mem::NocConfig::ring());
+        assert_eq!(c.starvation_threshold, Some(1000));
+        assert_eq!(c.mem.arbitration, glsc_mem::ArbitrationPolicy::AgedPriority);
         c.validate();
     }
 

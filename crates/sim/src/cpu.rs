@@ -127,7 +127,9 @@ impl Core {
                     self.threads[tid as usize].deliver_mem(rd, value as u64, done);
                 }
                 MemCompletion::Lsu(LsuCompletion::ScalarSc { tid, rd, ok, done }) => {
-                    self.threads[tid as usize].deliver_mem(rd, ok as u64, done);
+                    let th = &mut self.threads[tid as usize];
+                    th.stats.elems_completed += ok as u64;
+                    th.deliver_mem(rd, ok as u64, done);
                 }
                 MemCompletion::Lsu(LsuCompletion::StoreDrained { .. }) => {}
                 MemCompletion::Lsu(LsuCompletion::VectorPart {
@@ -174,6 +176,13 @@ impl Core {
                     }
                     if let Some(fd) = c.fd {
                         th.arch.set_mreg(glsc_isa::MReg::new(fd), c.mask);
+                        // A success-mask without a data destination is a
+                        // vscattercond: its set bits are committed elements
+                        // (gatherlink carries both fd and vd and commits
+                        // nothing).
+                        if c.vd.is_none() {
+                            th.stats.elems_completed += u64::from(c.mask.count_ones());
+                        }
                     }
                     th.status = ThreadStatus::Running;
                     th.next_issue_at = th.next_issue_at.max(c.done);

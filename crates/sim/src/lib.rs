@@ -55,7 +55,7 @@ mod thread;
 pub use arch::ThreadArch;
 pub use config::{ConfigError, LatencyTable, MachineConfig};
 pub use machine::{Machine, MachineSnapshot, SimError};
-pub use report::{RunReport, StallTotals, ThreadStats};
+pub use report::{jain_fairness, RunReport, StallTotals, ThreadStats};
 pub use thread::ThreadStatus;
 
 // Re-export for convenience: a Machine exposes its memory system, and
@@ -63,6 +63,6 @@ pub use thread::ThreadStatus;
 pub use glsc_core::GlscConfig;
 pub use glsc_isa::Program;
 pub use glsc_mem::{
-    ChaosConfig, ChaosStats, FaultPlan, MemConfig, MemSnapshot, MemorySystem, MsgClass, NocConfig,
-    NocStats, Topology,
+    ArbitrationPolicy, ChaosConfig, ChaosStats, FaultPlan, MemConfig, MemSnapshot, MemorySystem,
+    MsgClass, NocConfig, NocStats, ThreadScStats, Topology,
 };

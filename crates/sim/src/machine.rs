@@ -45,6 +45,28 @@ pub enum SimError {
         /// Every live reservation as `(core, line, thread mask)`.
         reservations: Vec<(usize, u64, u8)>,
     },
+    /// The starvation detector fired: a thread's run of *consecutive*
+    /// store-conditional failures reached the configured threshold (see
+    /// [`MachineConfig::starvation_threshold`]). This is the condition the
+    /// livelock watchdog is structurally blind to — a retry storm keeps
+    /// issuing instructions — and the reason the arbitration policies of
+    /// DESIGN.md §12 exist. Carries the full per-thread failure census;
+    /// the rendered message includes Jain's fairness index over it.
+    Starvation {
+        /// Cycle at which the detector fired.
+        cycle: u64,
+        /// Global id of the starved thread (the longest current streak;
+        /// ties break toward the lowest id).
+        gid: usize,
+        /// The starved thread's consecutive-failure streak.
+        streak: u64,
+        /// Total SC failures per global thread id (Jain's index over
+        /// these is rendered in the Display message).
+        failures: Vec<u64>,
+        /// Every live reservation as `(core, line, thread mask)` — the
+        /// competitors the starved thread keeps losing to.
+        reservations: Vec<(usize, u64, u8)>,
+    },
     /// A periodic coherence check (see
     /// [`MachineConfig::invariant_check_period`]) found the memory system
     /// in an inconsistent state.
@@ -94,6 +116,22 @@ impl fmt::Display for SimError {
                     "livelock: no instruction issued for {window} cycles (aborted at cycle \
                      {cycle}); non-halted threads at pcs {stuck:?}; stall totals: {stalls}; \
                      live reservations (core, line, mask): {reservations:x?}"
+                )
+            }
+            SimError::Starvation {
+                cycle,
+                gid,
+                streak,
+                failures,
+                reservations,
+            } => {
+                write!(
+                    f,
+                    "starvation: thread {gid} failed {streak} consecutive store-conditionals \
+                     (aborted at cycle {cycle}); per-thread SC failures {failures:?} \
+                     (Jain fairness {:.3}); live reservations (core, line, mask): \
+                     {reservations:x?}",
+                    crate::report::jain_fairness(failures)
                 )
             }
             SimError::InvariantViolation { cycle, violation } => {
@@ -374,6 +412,16 @@ impl Machine {
             if self.step() {
                 return Ok(self.report());
             }
+            // Starvation check directly after the step: SC outcomes are
+            // only recorded during stepped cycles (a busy memory unit pins
+            // the machine to single-stepping, see `fast_forward`), so the
+            // threshold crossing — and this abort — lands on the same
+            // cycle in `run` and `run_naive`.
+            if let Some(threshold) = self.cfg.starvation_threshold {
+                if let Some(err) = self.check_starvation(threshold) {
+                    return Err(err);
+                }
+            }
             if self.cores.iter().any(|c| c.issued_any) {
                 last_progress = self.cycle;
             } else if let Some(window) = self.cfg.watchdog_window {
@@ -417,6 +465,34 @@ impl Machine {
                 self.fast_forward(wd_cap);
             }
         }
+    }
+
+    /// Builds the [`SimError::Starvation`] diagnostic if any thread's
+    /// current consecutive-SC-failure streak has reached `threshold`.
+    /// When several threads cross together, the longest streak wins and
+    /// ties break toward the lowest global thread id — a deterministic
+    /// choice, so `run` and `run_naive` report the same starved thread.
+    fn check_starvation(&self, threshold: u64) -> Option<SimError> {
+        let mut worst: Option<(usize, u64)> = None;
+        for (gid, t) in self.mem.stats().sc_threads.iter().enumerate() {
+            if t.cur_streak >= threshold && worst.is_none_or(|(_, s)| t.cur_streak > s) {
+                worst = Some((gid, t.cur_streak));
+            }
+        }
+        let (gid, streak) = worst?;
+        Some(SimError::Starvation {
+            cycle: self.cycle,
+            gid,
+            streak,
+            failures: self
+                .mem
+                .stats()
+                .sc_threads
+                .iter()
+                .map(|t| t.failures)
+                .collect(),
+            reservations: self.mem.reservation_state(),
+        })
     }
 
     /// `(global thread id, pc)` of every non-halted thread.

@@ -26,6 +26,12 @@ pub struct ThreadStats {
     pub issue_stall_cycles: u64,
     /// Cycles spent waiting at barriers.
     pub barrier_cycles: u64,
+    /// Atomic elements this thread completed: successful scalar `sc`s
+    /// plus elements committed by its `vscattercond`s. The per-thread
+    /// forward-progress measure of the contention study (DESIGN.md §12) —
+    /// under a fair arbiter these stay balanced across threads even when
+    /// SC failure counts are not.
+    pub elems_completed: u64,
 }
 
 /// Machine-wide stall-bucket totals, summed over threads. Embedded in
@@ -128,6 +134,41 @@ impl RunReport {
     pub fn glsc_failure_rate(&self) -> f64 {
         self.gsu.element_failure_rate()
     }
+
+    /// Jain's fairness index over per-thread store-conditional failures
+    /// (retries): 1.0 when every thread retried equally often (or nobody
+    /// retried), approaching `1/n` when one of `n` threads absorbs every
+    /// failure. The headline number of the `contention_policies` figure.
+    pub fn sc_retry_fairness(&self) -> f64 {
+        let failures: Vec<u64> = self.mem.sc_threads.iter().map(|t| t.failures).collect();
+        jain_fairness(&failures)
+    }
+
+    /// Highest consecutive-SC-failure run any thread suffered.
+    pub fn max_sc_failure_streak(&self) -> u64 {
+        self.mem
+            .sc_threads
+            .iter()
+            .map(|t| t.max_streak)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` over a per-thread sample:
+/// 1.0 for a perfectly even split, `1/n` when a single thread holds
+/// everything. An empty or all-zero sample is perfectly fair (1.0).
+pub fn jain_fairness(xs: &[u64]) -> f64 {
+    let n = xs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().map(|&x| x as f64).sum();
+    let sq: f64 = xs.iter().map(|&x| (x as f64) * (x as f64)).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sq)
 }
 
 #[cfg(test)]
@@ -187,6 +228,30 @@ mod tests {
             t.to_string(),
             "mem 10 / compute 1 / issue 2 / barrier 4 / sync 5"
         );
+    }
+
+    #[test]
+    fn jain_fairness_edges() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0, 0, 0]), 1.0);
+        assert_eq!(jain_fairness(&[5, 5, 5, 5]), 1.0);
+        // One thread holds everything: 1/n.
+        assert!((jain_fairness(&[12, 0, 0, 0]) - 0.25).abs() < 1e-12);
+        // Monotone: a more even split is fairer.
+        assert!(jain_fairness(&[6, 6, 0, 0]) > jain_fairness(&[12, 0, 0, 0]));
+    }
+
+    #[test]
+    fn sc_fairness_from_report() {
+        let mut r = RunReport::default();
+        r.mem.sc_threads = vec![glsc_mem::ThreadScStats::default(); 2];
+        r.mem.sc_threads[0].failures = 8;
+        r.mem.sc_threads[0].max_streak = 3;
+        r.mem.sc_threads[1].failures = 8;
+        r.mem.sc_threads[1].max_streak = 7;
+        assert_eq!(r.sc_retry_fairness(), 1.0);
+        assert_eq!(r.max_sc_failure_streak(), 7);
+        assert_eq!(RunReport::default().max_sc_failure_streak(), 0);
     }
 
     #[test]

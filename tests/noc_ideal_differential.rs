@@ -177,6 +177,31 @@ fn ring_contention_at_16_threads_is_measurable_and_deterministic() {
     }
 }
 
+/// The same differential bar applies to the arbitration subsystem: the
+/// default policy must be `Free`, and selecting `Free` *explicitly* must
+/// be bit-identical — full report, counters included — to the default
+/// config the golden tables above already pin to the pre-NoC simulator.
+#[test]
+fn explicit_free_arbitration_is_bit_identical_to_default() {
+    use glsc::sim::ArbitrationPolicy;
+    let default_cfg = MachineConfig::paper(4, 4, 4);
+    assert_eq!(
+        default_cfg.mem.arbitration,
+        ArbitrationPolicy::Free,
+        "Free must stay the default policy"
+    );
+    let free_cfg = MachineConfig::paper(4, 4, 4).with_arbitration(ArbitrationPolicy::Free);
+    for kernel in ["HIP", "GPS", "TMS"] {
+        for v in [Variant::Base, Variant::Glsc] {
+            let wd = build_named(kernel, Dataset::Tiny, v, &default_cfg);
+            let base = run_workload(&wd, &default_cfg).unwrap().report;
+            let wf = build_named(kernel, Dataset::Tiny, v, &free_cfg);
+            let free = run_workload(&wf, &free_cfg).unwrap().report;
+            assert_eq!(base, free, "{kernel} {v:?}: explicit Free diverged");
+        }
+    }
+}
+
 /// Crossbar sits between ideal and ring: it pays port contention but no
 /// multi-hop latency, and its counters are deterministic too.
 #[test]

@@ -115,6 +115,51 @@ fn snapshot_resume_matches_with_in_flight_noc_messages() {
 }
 
 #[test]
+fn snapshot_resume_matches_under_every_arbitration_policy() {
+    // The arbiter (NACK holdoff windows / age streak book) lives in the
+    // MemorySystem and must ride snapshots: resuming mid-window or
+    // mid-streak with a blank arbiter would change who wins the next SC.
+    // The contended micro keeps the arbiter busy at the halfway point, so
+    // this drill is non-vacuous — asserted below.
+    use glsc::kernels::micro::{Micro, MicroParams, Scenario};
+    use glsc::sim::ArbitrationPolicy;
+    let hot = Micro::with_params(
+        Scenario::A,
+        MicroParams {
+            iters: 40,
+            private_lines: 8,
+            shared_lines: 4,
+            seed: 72,
+        },
+    );
+    for policy in [
+        ArbitrationPolicy::NackHoldoff { window: 64 },
+        ArbitrationPolicy::AgedPriority,
+    ] {
+        let cfg = MachineConfig::paper(4, 4, 4)
+            .with_arbitration(policy)
+            .with_max_cycles(2_000_000_000)
+            .with_watchdog_window(Some(5_000_000));
+        let w = hot.clone().build(Variant::Glsc, &cfg);
+
+        let mut probe = machine_for(&w, &cfg, None);
+        let baseline = probe.run().unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+        let mut halfway = machine_for(&w, &cfg, None);
+        for _ in 0..baseline.cycles / 2 {
+            assert!(!halfway.step(), "{policy:?}: halted before halfway");
+        }
+        assert!(
+            !halfway.mem().arbiter().is_idle(),
+            "{policy:?}: arbiter idle at the snapshot point, drill is vacuous"
+        );
+
+        assert_resumable(&w.name, &w, &cfg, None, false);
+        assert_resumable(&w.name, &w, &cfg, Some(0x5EED), false);
+        assert_resumable(&w.name, &w, &cfg, None, true);
+    }
+}
+
+#[test]
 fn snapshot_resume_matches_naive_loop() {
     // The naive single-stepped loop must resume identically as well —
     // snapshot support cannot depend on the fast-forward path.
