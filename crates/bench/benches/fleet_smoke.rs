@@ -1,0 +1,84 @@
+//! Fleet smoke: a small mixed sweep runnable down either harness path.
+//!
+//! With `GLSC_BENCH_FLEET=1` the sweep goes through the batched
+//! [`run_jobs_fleet`] engine (pooled machines, copy-on-write dataset
+//! bases, sliced stepping); otherwise every job runs solo through
+//! [`run_workload_cached`] under [`run_jobs`], one fresh machine per
+//! job. Both paths print the identical table — CI runs the smoke twice
+//! and byte-diffs the stdout, and because the two paths share one cache
+//! namespace (same job keys), a resumed run serves the other path's
+//! entries without re-simulating (`GLSC_BENCH_RESUME=1`).
+//!
+//! The sweep mixes kernel and §5.2 microbenchmark jobs across machine
+//! shapes so the fleet exercises grouping, machine reuse, and shared
+//! dataset bases even at smoke scale. Output also lands in
+//! `results/fleet_smoke.txt`.
+
+use glsc_bench::{
+    bench_threads, collect_errors, finish_figure, fleet_kernel_job, fleet_micro_job,
+    fleet_requested, run_jobs, run_jobs_fleet, run_workload_cached, FigureOutput, FleetJobSpec,
+    JobStore,
+};
+use glsc_kernels::micro::{MicroParams, Scenario};
+use glsc_kernels::{Dataset, Variant};
+
+/// The smoke sweep: 16 kernel jobs + 8 microbenchmark jobs, all Tiny.
+fn jobs() -> Vec<FleetJobSpec> {
+    let mut jobs = Vec::new();
+    for kernel in ["HIP", "FS", "GPS", "SMC"] {
+        for variant in [Variant::Base, Variant::Glsc] {
+            for shape in [(1, 4), (4, 1)] {
+                jobs.push(fleet_kernel_job(kernel, Dataset::Tiny, variant, shape, 4));
+            }
+        }
+    }
+    for scenario in Scenario::ALL {
+        for variant in [Variant::Base, Variant::Glsc] {
+            let params = MicroParams {
+                iters: 2,
+                private_lines: 8,
+                shared_lines: 32,
+                seed: 72,
+            };
+            jobs.push(fleet_micro_job(scenario, params, variant, (1, 4), 4));
+        }
+    }
+    jobs
+}
+
+fn main() {
+    let store = JobStore::for_bench("fleet_smoke");
+    let mut out = FigureOutput::new("fleet_smoke");
+    out.header(
+        "fleet smoke: mixed kernel + micro sweep, Tiny datasets",
+        "identical output whether run solo or through the fleet engine (GLSC_BENCH_FLEET=1)",
+    );
+
+    let specs = jobs();
+    let labels: Vec<String> = specs.iter().map(|s| s.key_parts.join(" ")).collect();
+    let results = if fleet_requested() {
+        run_jobs_fleet(&store, specs, bench_threads())
+    } else {
+        let solo: Vec<_> = specs
+            .iter()
+            .map(|s| {
+                let store = &store;
+                move || {
+                    let parts: Vec<&str> = s.key_parts.iter().map(String::as_str).collect();
+                    run_workload_cached(store, &s.workload, &s.cfg, &parts)
+                }
+            })
+            .collect();
+        run_jobs(solo, bench_threads())
+    };
+    let errors = collect_errors(&results);
+
+    out.line(format!("{:<28} {:>12}", "job", "sim cycles"));
+    for (label, r) in labels.iter().zip(&results) {
+        match r {
+            Ok(outcome) => out.line(format!("{:<28} {:>12}", label, outcome.report.cycles)),
+            Err(_) => out.line(format!("{:<28} {:>12}", label, "ERR")),
+        }
+    }
+    std::process::exit(finish_figure(out, &errors));
+}

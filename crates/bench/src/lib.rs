@@ -36,10 +36,12 @@ pub use store::JobStore;
 use glsc_kernels::{
     build_named, micro, run_workload, run_workload_chaos, Dataset, KernelOutcome, Variant, Workload,
 };
-use glsc_sim::{ChaosConfig, ChaosStats, MachineConfig};
+use glsc_sim::{BackingBase, ChaosConfig, ChaosStats, Fleet, FleetJob, MachineConfig};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// The `m x n` machine shapes of Fig. 6.
 pub const CONFIGS: [(usize, usize); 4] = [(1, 1), (1, 4), (4, 1), (4, 4)];
@@ -218,6 +220,280 @@ pub fn run_micro_cached(
             &format!("w{width}"),
         ],
     )
+}
+
+/// Whether sweeps should route through the fleet engine
+/// ([`run_jobs_fleet`]). Opt-in: set `GLSC_BENCH_FLEET=1`. The default
+/// (and `GLSC_BENCH_FLEET=0`) is the classic one-machine-per-job path.
+/// Both paths produce bit-identical reports and stdout; the fleet path
+/// amortizes machine construction, dataset fills, and teardown across
+/// the sweep (DESIGN.md §13).
+pub fn fleet_requested() -> bool {
+    std::env::var("GLSC_BENCH_FLEET").is_ok_and(|v| v == "1")
+}
+
+/// One entry in a fleet sweep: everything [`run_workload_cached`] needs
+/// for a single job, in owned form so batches can be packed and shipped
+/// to worker threads. Build with [`fleet_kernel_job`] /
+/// [`fleet_micro_job`] to match the solo paths' cache-key schemes, or
+/// construct directly for custom sweeps (ablations).
+pub struct FleetJobSpec {
+    /// Human-readable job-key parts (same scheme as [`run_cached`]).
+    pub key_parts: Vec<String>,
+    /// The workload to simulate and validate.
+    pub workload: Workload,
+    /// Machine configuration to run under.
+    pub cfg: MachineConfig,
+}
+
+/// Builds the fleet-job spec equivalent to [`run_cached`] — same
+/// workload, configuration, and job key, so solo and fleet runs share
+/// one cache namespace and resume across each other.
+pub fn fleet_kernel_job(
+    kernel: &str,
+    ds: Dataset,
+    variant: Variant,
+    (cores, tpc): (usize, usize),
+    width: usize,
+) -> FleetJobSpec {
+    let cfg = config(cores, tpc, width);
+    let workload = build_named(kernel, ds, variant, &cfg);
+    FleetJobSpec {
+        key_parts: vec![
+            kernel.to_string(),
+            ds_label(ds).to_string(),
+            variant.label().to_string(),
+            format!("{cores}x{tpc}"),
+            format!("w{width}"),
+        ],
+        workload,
+        cfg,
+    }
+}
+
+/// Builds the fleet-job spec equivalent to [`run_micro_cached`] for a
+/// §5.2 microbenchmark scenario with explicit parameters.
+pub fn fleet_micro_job(
+    scenario: micro::Scenario,
+    params: micro::MicroParams,
+    variant: Variant,
+    (cores, tpc): (usize, usize),
+    width: usize,
+) -> FleetJobSpec {
+    let cfg = config(cores, tpc, width);
+    let (iters, seed) = (params.iters, params.seed);
+    let workload = micro::Micro::with_params(scenario, params).build(variant, &cfg);
+    FleetJobSpec {
+        key_parts: vec![
+            "micro".to_string(),
+            scenario.label().to_string(),
+            format!("i{iters}s{seed}"),
+            variant.label().to_string(),
+            format!("{cores}x{tpc}"),
+            format!("w{width}"),
+        ],
+        workload,
+        cfg,
+    }
+}
+
+/// A deduplicated fleet work item: the first job with a given
+/// (workload, config) fingerprint pair simulates; `followers` are later
+/// duplicates that reuse its report under their own cache keys.
+struct FleetPending {
+    spec: FleetJobSpec,
+    key: String,
+    index: usize,
+    followers: Vec<(usize, String)>,
+}
+
+/// Runs a sweep of cached jobs through the fleet engine and returns the
+/// results **in job order** — the drop-in batched counterpart of calling
+/// [`run_workload_cached`] per job under [`run_jobs`], with identical
+/// caching, resume, dedup, and failure semantics:
+///
+/// * every job is keyed exactly as the solo path keys it; cached results
+///   are served first (`GLSC_BENCH_RESUME=1`), and fresh results are
+///   persisted under the key of *every* job they satisfy;
+/// * jobs with identical workload/config fingerprints simulate once;
+/// * remaining work is deduplicated, split round-robin across `threads`
+///   host workers, and each worker drives one [`Fleet`] over its share —
+///   pooled machines, copy-on-write dataset bases (published once per
+///   distinct image), and batched stepping;
+/// * a panic inside a fleet chunk (injected drill, simulation error,
+///   validation failure) is contained: finished jobs keep their results
+///   and the chunk's unresolved jobs fall back to the solo path with the
+///   standard per-job isolation and retry, so a poisoned job degrades to
+///   its own [`JobError`] row exactly as under [`run_jobs`].
+///
+/// Fleet-run reports are bit-identical to solo runs (enforced by the
+/// fleet differential oracle), so callers may print from either path.
+pub fn run_jobs_fleet(
+    store: &JobStore,
+    jobs: Vec<FleetJobSpec>,
+    threads: usize,
+) -> Vec<Result<KernelOutcome, JobError>> {
+    let n = jobs.len();
+    let results: Vec<Mutex<Option<Result<KernelOutcome, JobError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let set = |index: usize, r: Result<KernelOutcome, JobError>| {
+        *results[index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(r);
+    };
+
+    // Resolve resume hits and deduplicate the rest.
+    let mut unique: Vec<FleetPending> = Vec::new();
+    let mut by_fp: HashMap<(u64, u64), usize> = HashMap::new();
+    for (index, spec) in jobs.into_iter().enumerate() {
+        let wfp = spec.workload.fingerprint();
+        let cfp = store::cfg_fingerprint(&spec.cfg);
+        let parts: Vec<&str> = spec.key_parts.iter().map(String::as_str).collect();
+        let key = store::job_key(&parts, wfp, cfp);
+        if let Some(report) = store.load(&key) {
+            set(index, Ok(KernelOutcome { report }));
+            continue;
+        }
+        match by_fp.entry((wfp, cfp)) {
+            Entry::Occupied(e) => unique[*e.get()].followers.push((index, key)),
+            Entry::Vacant(v) => {
+                v.insert(unique.len());
+                unique.push(FleetPending {
+                    spec,
+                    key,
+                    index,
+                    followers: Vec::new(),
+                });
+            }
+        }
+    }
+
+    if !unique.is_empty() {
+        let workers = threads.max(1).min(unique.len());
+        let retries = job_retries();
+        let fleet = Fleet::new();
+        // Each distinct initial image is published once per sweep and
+        // mounted copy-on-write by every job that uses it.
+        let published: Mutex<HashMap<u64, Arc<BackingBase>>> = Mutex::new(HashMap::new());
+        let unique = &unique;
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let (results, published, fleet) = (&results, &published, &fleet);
+                s.spawn(move || {
+                    let chunk: Vec<usize> = (w..unique.len()).step_by(workers).collect();
+                    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut sim_jobs = Vec::with_capacity(chunk.len());
+                        for &ui in &chunk {
+                            let p = &unique[ui];
+                            maybe_inject_panic(&p.key);
+                            let img_fp = p.spec.workload.image.fingerprint();
+                            let base = {
+                                let mut cache =
+                                    published.lock().unwrap_or_else(PoisonError::into_inner);
+                                Arc::clone(
+                                    cache
+                                        .entry(img_fp)
+                                        .or_insert_with(|| p.spec.workload.image.publish()),
+                                )
+                            };
+                            sim_jobs.push(
+                                FleetJob::new(p.spec.cfg.clone(), p.spec.workload.program.clone())
+                                    .with_base(base),
+                            );
+                        }
+                        fleet.run_each(sim_jobs, |local, machine, result| {
+                            let p = &unique[chunk[local]];
+                            let w = &p.spec.workload;
+                            let report = result
+                                .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", w.name));
+                            if let Err(e) = (w.validate)(machine.mem().backing()) {
+                                panic!("{}: validation failed: {e}", w.name);
+                            }
+                            store.save(&p.key, &report);
+                            for (fidx, fkey) in &p.followers {
+                                store.save(fkey, &report);
+                                *results[*fidx]
+                                    .lock()
+                                    .unwrap_or_else(PoisonError::into_inner) =
+                                    Some(Ok(KernelOutcome {
+                                        report: report.clone(),
+                                    }));
+                            }
+                            *results[p.index]
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner) =
+                                Some(Ok(KernelOutcome { report }));
+                        });
+                    }));
+                    if attempt.is_err() {
+                        // The fleet for this chunk went down mid-flight.
+                        // Finished jobs already hold their results; finish
+                        // the rest solo with per-job isolation so only the
+                        // actually-poisoned job reports an error.
+                        for &ui in &chunk {
+                            let p = &unique[ui];
+                            if results[p.index]
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .is_some()
+                            {
+                                continue;
+                            }
+                            let parts: Vec<&str> =
+                                p.spec.key_parts.iter().map(String::as_str).collect();
+                            let job = || {
+                                run_workload_cached(store, &p.spec.workload, &p.spec.cfg, &parts)
+                            };
+                            match run_one(p.index, &p.key, &job, retries) {
+                                Ok(out) => {
+                                    for (fidx, fkey) in &p.followers {
+                                        store.save(fkey, &out.report);
+                                        *results[*fidx]
+                                            .lock()
+                                            .unwrap_or_else(PoisonError::into_inner) =
+                                            Some(Ok(out.clone()));
+                                    }
+                                    *results[p.index]
+                                        .lock()
+                                        .unwrap_or_else(PoisonError::into_inner) = Some(Ok(out));
+                                }
+                                Err(e) => {
+                                    for (fidx, _) in &p.followers {
+                                        *results[*fidx]
+                                            .lock()
+                                            .unwrap_or_else(PoisonError::into_inner) =
+                                            Some(Err(JobError {
+                                                index: *fidx,
+                                                ..e.clone()
+                                            }));
+                                    }
+                                    *results[p.index]
+                                        .lock()
+                                        .unwrap_or_else(PoisonError::into_inner) = Some(Err(e));
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| {
+            m.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    Err(JobError {
+                        index: i,
+                        attempts: 0,
+                        message: "worker exited without storing a result".into(),
+                    })
+                })
+        })
+        .collect()
 }
 
 /// Number of host threads the figure benches fan simulations across.
@@ -518,6 +794,23 @@ mod tests {
         assert_eq!(got, vec![Ok(0), Ok(1), Ok(2), Ok(3)]);
         let empty: Vec<fn() -> i32> = Vec::new();
         assert!(run_jobs(empty, 8).is_empty());
+    }
+
+    #[test]
+    fn run_jobs_clamps_worker_count() {
+        // More workers requested than jobs exist: the pool is clamped to
+        // the job count, so no worker spawns only to exit idle, and
+        // results stay in job order.
+        let got = run_jobs((0..3).map(|i| move || i * 2).collect::<Vec<_>>(), 1_000);
+        assert_eq!(got, vec![Ok(0), Ok(2), Ok(4)]);
+        // A zero-thread request is forced up to one (the serial path).
+        let got = run_jobs((0..3).map(|i| move || i + 7).collect::<Vec<_>>(), 0);
+        assert_eq!(got, vec![Ok(7), Ok(8), Ok(9)]);
+        // Empty batches are fine at any thread request, zero included.
+        let empty: Vec<fn() -> i32> = Vec::new();
+        assert!(run_jobs(empty, 0).is_empty());
+        let empty: Vec<fn() -> i32> = Vec::new();
+        assert!(run_jobs(empty, usize::MAX).is_empty());
     }
 
     #[test]

@@ -86,6 +86,18 @@ impl MemImage {
         }
     }
 
+    /// Publishes the image as an immutable, shareable copy-on-write base
+    /// (DESIGN.md §13): the page contents are exactly what [`apply`]
+    /// (MemImage::apply) would have written, so mounting the result via
+    /// [`Backing::set_base`] is functionally indistinguishable from
+    /// applying the image — every fleet member materializes private pages
+    /// only on first write instead of paying a full image fill per run.
+    pub fn publish(&self) -> std::sync::Arc<glsc_mem::BackingBase> {
+        let mut staging = Backing::new();
+        self.apply(&mut staging);
+        staging.freeze()
+    }
+
     /// Order-sensitive FNV-1a hash of the image layout and contents.
     pub fn fingerprint(&self) -> u64 {
         let mut h = FNV_OFFSET;
@@ -416,6 +428,29 @@ mod tests {
         img.apply(&mut back);
         assert_eq!(back.read_u32(a + 8), 3);
         assert_eq!(back.read_u32(b), 0);
+    }
+
+    #[test]
+    fn publish_matches_apply() {
+        let mut img = MemImage::new();
+        let a = img.alloc_u32(&[1, 2, 3]);
+        let b = img.alloc_f32(&[0.5, -2.0]);
+        let c = img.alloc_zeroed(2000); // spans a page boundary
+        let mut applied = Backing::new();
+        img.apply(&mut applied);
+        let mut mounted = Backing::new();
+        mounted.set_base(img.publish());
+        for addr in [a, a + 4, a + 8, a + 12, b, b + 4, c, c + 4096, c + 7996] {
+            assert_eq!(
+                applied.read_u32(addr),
+                mounted.read_u32(addr),
+                "at {addr:#x}"
+            );
+        }
+        assert_eq!(mounted.read_u32(a + 8), 3);
+        assert_eq!(mounted.read_f32(b + 4), -2.0);
+        // Mounting is read-only sharing: nothing was materialized.
+        assert_eq!(mounted.resident_pages(), 0);
     }
 
     #[test]

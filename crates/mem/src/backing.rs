@@ -4,17 +4,45 @@
 //! data. Values live here; the cache models in this crate carry only tags
 //! and state. Pages are allocated lazily, so programs can use widely
 //! separated address regions without cost.
+//!
+//! For fleet sweeps (DESIGN.md §13) a store can additionally be backed by a
+//! shared, immutable [`BackingBase`]: reads fall through to the base, and a
+//! write materializes a private copy of the touched page first
+//! (copy-on-write). Because the timing model never stores data — only tags —
+//! sharing the functional image between runs is timing-neutral.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const PAGE_BYTES: usize = 4096;
 const PAGE_SHIFT: u32 = 12;
 
+type Page = Box<[u8; PAGE_BYTES]>;
+
+/// An immutable, shareable page map published once per dataset and mounted
+/// read-only under any number of [`Backing`] stores. Created by
+/// [`Backing::freeze`].
+#[derive(Clone, Debug, Default)]
+pub struct BackingBase {
+    pages: HashMap<u64, Page>,
+}
+
+impl BackingBase {
+    /// Number of pages in the base image.
+    pub fn pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
 /// Sparse, lazily allocated flat memory. All accesses are naturally aligned
 /// 32-bit words (the element size of the simulated SIMD ISA).
+///
+/// Cloning a store deep-copies private pages but shares the base layer, so
+/// snapshots of CoW-backed machines stay cheap.
 #[derive(Clone, Debug, Default)]
 pub struct Backing {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    pages: HashMap<u64, Page>,
+    base: Option<Arc<BackingBase>>,
 }
 
 impl Backing {
@@ -23,9 +51,42 @@ impl Backing {
         Self::default()
     }
 
-    /// Number of pages touched so far.
+    /// Number of private (written or CoW-materialized) pages.
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Number of pages in the mounted base layer, if any.
+    pub fn base_pages(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.pages())
+    }
+
+    /// Converts this store's private pages into an immutable base image.
+    /// The store must not itself have a base mounted (bases don't stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a base layer is already mounted.
+    pub fn freeze(self) -> Arc<BackingBase> {
+        assert!(
+            self.base.is_none(),
+            "freeze: cannot freeze a store that already has a base layer"
+        );
+        Arc::new(BackingBase { pages: self.pages })
+    }
+
+    /// Mounts `base` as the read-only bottom layer. Existing private pages
+    /// keep shadowing it.
+    pub fn set_base(&mut self, base: Arc<BackingBase>) {
+        self.base = Some(base);
+    }
+
+    /// Drops all private pages and mounts `base` (or nothing), returning the
+    /// store to a pristine image of the base. Allocations of the private
+    /// page table are kept for reuse.
+    pub fn reset_to(&mut self, base: Option<Arc<BackingBase>>) {
+        self.pages.clear();
+        self.base = base;
     }
 
     #[inline]
@@ -33,18 +94,37 @@ impl Backing {
         (addr >> PAGE_SHIFT, (addr as usize) & (PAGE_BYTES - 1))
     }
 
+    /// The page to read from: private copy first, then the base layer.
+    #[inline]
+    fn page(&self, page: u64) -> Option<&Page> {
+        self.pages
+            .get(&page)
+            .or_else(|| self.base.as_ref().and_then(|b| b.pages.get(&page)))
+    }
+
+    /// The private page to write to, materializing it from the base layer
+    /// (or zeros) on first write.
+    #[inline]
+    fn page_mut(&mut self, page: u64) -> &mut Page {
+        let Self { pages, base } = self;
+        pages.entry(page).or_insert_with(|| {
+            base.as_ref()
+                .and_then(|b| b.pages.get(&page))
+                .cloned()
+                .unwrap_or_else(|| Box::new([0; PAGE_BYTES]))
+        })
+    }
+
     /// Reads one byte.
     pub fn read_u8(&self, addr: u64) -> u8 {
         let (page, off) = Self::split(addr);
-        self.pages.get(&page).map_or(0, |p| p[off])
+        self.page(page).map_or(0, |p| p[off])
     }
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
         let (page, off) = Self::split(addr);
-        self.pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0; PAGE_BYTES]))[off] = value;
+        self.page_mut(page)[off] = value;
     }
 
     /// Reads a 32-bit word.
@@ -56,7 +136,7 @@ impl Backing {
     pub fn read_u32(&self, addr: u64) -> u32 {
         assert_eq!(addr % 4, 0, "unaligned 32-bit read at {addr:#x}");
         let (page, off) = Self::split(addr);
-        match self.pages.get(&page) {
+        match self.page(page) {
             Some(p) => u32::from_le_bytes(p[off..off + 4].try_into().expect("4 bytes")),
             None => 0,
         }
@@ -70,10 +150,7 @@ impl Backing {
     pub fn write_u32(&mut self, addr: u64, value: u32) {
         assert_eq!(addr % 4, 0, "unaligned 32-bit write at {addr:#x}");
         let (page, off) = Self::split(addr);
-        let p = self
-            .pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0; PAGE_BYTES]));
+        let p = self.page_mut(page);
         p[off..off + 4].copy_from_slice(&value.to_le_bytes());
     }
 
@@ -122,6 +199,7 @@ mod tests {
         assert_eq!(b.read_u32(0x1000), 0);
         assert_eq!(b.read_u8(7), 0);
         assert_eq!(b.resident_pages(), 0);
+        assert_eq!(b.base_pages(), 0);
     }
 
     #[test]
@@ -167,5 +245,115 @@ mod tests {
     fn unaligned_read_panics() {
         let b = Backing::new();
         let _ = b.read_u32(2);
+    }
+
+    fn base_with(values: &[(u64, u32)]) -> Arc<BackingBase> {
+        let mut b = Backing::new();
+        for &(addr, v) in values {
+            b.write_u32(addr, v);
+        }
+        b.freeze()
+    }
+
+    #[test]
+    fn reads_fall_through_to_base() {
+        let base = base_with(&[(0x1000, 7), (0x5000, 9)]);
+        let mut b = Backing::new();
+        b.set_base(Arc::clone(&base));
+        assert_eq!(b.read_u32(0x1000), 7);
+        assert_eq!(b.read_u32(0x5000), 9);
+        // Untouched addresses inside a base page read the base's zero fill;
+        // addresses outside any base page read zero.
+        assert_eq!(b.read_u32(0x1004), 0);
+        assert_eq!(b.read_u32(0x9000), 0);
+        assert_eq!(b.resident_pages(), 0);
+        assert_eq!(b.base_pages(), 2);
+    }
+
+    #[test]
+    fn write_materializes_page_from_base() {
+        let base = base_with(&[(0x1000, 7), (0x1004, 8)]);
+        let mut b = Backing::new();
+        b.set_base(Arc::clone(&base));
+        b.write_u32(0x1000, 100);
+        // The written word changed; its page neighbor was carried over.
+        assert_eq!(b.read_u32(0x1000), 100);
+        assert_eq!(b.read_u32(0x1004), 8);
+        assert_eq!(b.resident_pages(), 1);
+    }
+
+    #[test]
+    fn write_isolation_between_stores_sharing_a_base() {
+        let base = base_with(&[(0x2000, 42)]);
+        let mut m1 = Backing::new();
+        let mut m2 = Backing::new();
+        m1.set_base(Arc::clone(&base));
+        m2.set_base(Arc::clone(&base));
+        m1.write_u32(0x2000, 1);
+        m2.write_u32(0x2000, 2);
+        assert_eq!(m1.read_u32(0x2000), 1);
+        assert_eq!(m2.read_u32(0x2000), 2);
+        // A third mount still sees the pristine base.
+        let mut m3 = Backing::new();
+        m3.set_base(base);
+        assert_eq!(m3.read_u32(0x2000), 42);
+    }
+
+    #[test]
+    fn write_off_base_materializes_zero_page() {
+        let base = base_with(&[(0x1000, 7)]);
+        let mut b = Backing::new();
+        b.set_base(base);
+        b.write_u8(0x8001, 0xee);
+        assert_eq!(b.read_u8(0x8001), 0xee);
+        assert_eq!(b.read_u8(0x8000), 0);
+        assert_eq!(b.resident_pages(), 1);
+    }
+
+    #[test]
+    fn reset_to_returns_to_pristine_base() {
+        let base = base_with(&[(0x3000, 5)]);
+        let mut b = Backing::new();
+        b.set_base(Arc::clone(&base));
+        b.write_u32(0x3000, 99);
+        b.write_u32(0x7000, 1);
+        assert_eq!(b.resident_pages(), 2);
+        b.reset_to(Some(base));
+        assert_eq!(b.read_u32(0x3000), 5);
+        assert_eq!(b.read_u32(0x7000), 0);
+        assert_eq!(b.resident_pages(), 0);
+        b.reset_to(None);
+        assert_eq!(b.read_u32(0x3000), 0);
+        assert_eq!(b.base_pages(), 0);
+    }
+
+    #[test]
+    fn clone_shares_base_but_copies_private_pages() {
+        let base = base_with(&[(0x1000, 7)]);
+        let mut b = Backing::new();
+        b.set_base(base);
+        b.write_u32(0x1000, 8);
+        let mut c = b.clone();
+        c.write_u32(0x1000, 9);
+        assert_eq!(b.read_u32(0x1000), 8);
+        assert_eq!(c.read_u32(0x1000), 9);
+    }
+
+    #[test]
+    fn byte_reads_fall_through_to_base() {
+        let base = base_with(&[(0x1000, 0x0403_0201)]);
+        let mut b = Backing::new();
+        b.set_base(base);
+        assert_eq!(b.read_u8(0x1000), 0x01);
+        assert_eq!(b.read_u8(0x1003), 0x04);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeze")]
+    fn freeze_rejects_stacked_bases() {
+        let base = base_with(&[(0x1000, 1)]);
+        let mut b = Backing::new();
+        b.set_base(base);
+        let _ = b.freeze();
     }
 }

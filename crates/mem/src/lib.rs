@@ -51,7 +51,7 @@ mod system;
 mod tags;
 
 pub use arbitration::{Arbiter, ArbitrationPolicy};
-pub use backing::Backing;
+pub use backing::{Backing, BackingBase};
 pub use chaos::{ChaosConfig, ChaosStats, FaultPlan};
 pub use config::MemConfig;
 pub use errors::{ConfigError, InvariantViolation};

@@ -1,0 +1,275 @@
+//! The fleet engine: many machine runs in one process with amortized
+//! per-job cost (DESIGN.md §13).
+//!
+//! A sweep over kernels × configurations is the unit of work this
+//! reproduction actually executes (fig5–fig8, table4, the contention
+//! studies), and the solo path pays a fixed tax per job: building a
+//! [`Machine`] allocates megabytes of cache-tag sets, filling the dataset
+//! writes every page of the image, and dropping the machine walks it all
+//! again. A [`Fleet`] amortizes all three:
+//!
+//! * **machine pooling** — finished machines are [`Machine::reset`] (an
+//!   allocation-preserving return to the pristine state) and reused for
+//!   the next job with the same configuration;
+//! * **shared datasets** — jobs mount their initial memory image as a
+//!   copy-on-write [`BackingBase`] instead of writing it word by word
+//!   ([`glsc_mem::Backing::set_base`]);
+//! * **batched stepping** — up to [`width`](Fleet::with_width) live
+//!   machines advance round-robin, one
+//!   [quantum](Fleet::with_quantum) of cycles per pass, through one
+//!   shared completion scratch buffer and a stepping loop with the solo
+//!   loop's per-cycle overhead hoisted out (see `Machine::run_slice`).
+//!
+//! Every completed job yields a [`RunReport`] **bit-identical** to the
+//! same job run solo through [`Machine::run`] — enforced by the fleet
+//! differential oracle in `glsc-bench` across every kernel, Fig. 6
+//! shape, the Ideal and Ring topologies, and a chaos plan.
+
+use crate::config::MachineConfig;
+use crate::machine::{Machine, RunCtl, SimError, SliceOutcome};
+use crate::report::RunReport;
+use glsc_core::MemCompletion;
+use glsc_isa::Program;
+use glsc_mem::{BackingBase, FaultPlan};
+use std::sync::Arc;
+
+/// One job for a [`Fleet`]: a configuration, a program, and optionally a
+/// shared dataset base and a fault plan.
+#[derive(Clone, Debug)]
+pub struct FleetJob {
+    /// Machine configuration to run under.
+    pub cfg: MachineConfig,
+    /// The SPMD program.
+    pub program: Program,
+    /// Initial memory image, mounted copy-on-write. `None` runs with
+    /// all-zero memory.
+    pub base: Option<Arc<BackingBase>>,
+    /// Fault-injection plan to install before the run (DESIGN.md §9).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl FleetJob {
+    /// A plain job: configuration + program, zero-filled memory, no chaos.
+    pub fn new(cfg: MachineConfig, program: Program) -> Self {
+        Self {
+            cfg,
+            program,
+            base: None,
+            fault_plan: None,
+        }
+    }
+
+    /// Mounts `base` as the job's initial memory image.
+    pub fn with_base(mut self, base: Arc<BackingBase>) -> Self {
+        self.base = Some(base);
+        self
+    }
+
+    /// Installs `plan` before the run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// A live fleet member: which job it is running, its detector state, and
+/// the rest of its configuration group's job queue.
+struct Member {
+    idx: usize,
+    machine: Machine,
+    ctl: RunCtl,
+    queue: std::collections::VecDeque<usize>,
+}
+
+/// Batched multi-machine runner. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct Fleet {
+    quantum: u64,
+    width: usize,
+}
+
+impl Default for Fleet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fleet {
+    /// A fleet with the default batch width (4 machines per pass) and
+    /// quantum (8192 cycles per machine per pass). Neither knob affects
+    /// results, only host-side locality.
+    pub fn new() -> Self {
+        Self {
+            quantum: 8192,
+            width: 4,
+        }
+    }
+
+    /// Sets the per-pass cycle quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn with_quantum(mut self, quantum: u64) -> Self {
+        assert!(quantum > 0, "quantum must be positive");
+        self.quantum = quantum;
+        self
+    }
+
+    /// Sets how many machines are live at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn with_width(mut self, width: usize) -> Self {
+        assert!(width > 0, "width must be positive");
+        self.width = width;
+        self
+    }
+
+    /// Runs every job, invoking `on_done(index, machine, result)` as each
+    /// finishes (not in index order). The machine handed to the callback
+    /// holds the job's final state — backing store for validation, chaos
+    /// stats, and so on — and is reset and pooled for reuse after the
+    /// callback returns.
+    ///
+    /// Scheduling is **configuration-affine**: jobs are grouped by
+    /// machine configuration and each of the `width` slots drains one
+    /// group at a time, so a slot's machine is reset and reused across
+    /// every job of its shape instead of bouncing through the pool while
+    /// other shapes occupy the window. Building a machine costs
+    /// milliseconds (megabytes of cache-tag capacity); resetting one
+    /// costs microseconds — without affinity a mixed sweep rebuilds
+    /// machines at every slot refill and the fleet loses exactly the
+    /// amortization it exists to provide. Within a group, jobs run in
+    /// submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job's configuration is invalid (as [`Machine::new`]
+    /// would).
+    pub fn run_each<F>(&self, jobs: Vec<FleetJob>, mut on_done: F)
+    where
+        F: FnMut(usize, &mut Machine, Result<RunReport, SimError>),
+    {
+        // Group job indices by configuration (order-preserving).
+        let mut groups: Vec<(MachineConfig, std::collections::VecDeque<usize>)> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            match groups.iter_mut().find(|(cfg, _)| *cfg == job.cfg) {
+                Some((_, q)) => q.push_back(i),
+                None => groups.push((job.cfg.clone(), std::iter::once(i).collect())),
+            }
+        }
+        let mut groups: std::collections::VecDeque<_> = groups.into();
+        let mut jobs: Vec<Option<FleetJob>> = jobs.into_iter().map(Some).collect();
+        let mut pool: Vec<Machine> = Vec::new();
+        let mut active: Vec<Member> = Vec::new();
+        let mut comp_buf: Vec<MemCompletion> = Vec::new();
+
+        // Mounts the next job of `queue` onto `machine` (which is fresh
+        // or reset). Returns the mounted member.
+        let mut mount = |mut machine: Machine,
+                         mut queue: std::collections::VecDeque<usize>,
+                         jobs: &mut Vec<Option<FleetJob>>|
+         -> Member {
+            let idx = queue.pop_front().expect("group queues are non-empty");
+            let FleetJob {
+                program,
+                base,
+                fault_plan,
+                ..
+            } = jobs[idx].take().expect("each job admitted once");
+            if let Some(base) = base {
+                machine.mem_mut().backing_mut().set_base(base);
+            }
+            machine.load_program(program);
+            if let Some(plan) = fault_plan {
+                machine.mem_mut().install_fault_plan(plan);
+            }
+            let ctl = RunCtl::new(&machine);
+            Member {
+                idx,
+                machine,
+                ctl,
+                queue,
+            }
+        };
+
+        loop {
+            // Refill the batch window: one group per free slot.
+            while active.len() < self.width {
+                let Some((cfg, queue)) = groups.pop_front() else {
+                    break;
+                };
+                let machine = match pool.iter().position(|m| *m.cfg() == cfg) {
+                    Some(i) => pool.swap_remove(i),
+                    None => Machine::new(cfg),
+                };
+                active.push(mount(machine, queue, &mut jobs));
+            }
+            if active.is_empty() {
+                return;
+            }
+            // One pass: a quantum for each live member. A finished member
+            // reports, resets its machine, and mounts its group's next
+            // job in place; an exhausted group parks the machine in the
+            // pool and frees the slot for the next group.
+            let mut i = 0;
+            while i < active.len() {
+                let m = &mut active[i];
+                let outcome = m.machine.run_slice(&mut m.ctl, self.quantum, &mut comp_buf);
+                match outcome {
+                    Ok(SliceOutcome::Paused) => i += 1,
+                    Err(e) => {
+                        let member = &mut active[i];
+                        on_done(member.idx, &mut member.machine, Err(e));
+                        Self::retire(&mut active, i, &mut pool, &mut jobs, &mut mount);
+                    }
+                    Ok(SliceOutcome::Done) => {
+                        let member = &mut active[i];
+                        let report = member.machine.report();
+                        on_done(member.idx, &mut member.machine, Ok(report));
+                        Self::retire(&mut active, i, &mut pool, &mut jobs, &mut mount);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retires `active[i]`'s finished job: resets the machine, mounts the
+    /// group's next job in place, or parks the machine and frees the
+    /// slot.
+    fn retire(
+        active: &mut Vec<Member>,
+        i: usize,
+        pool: &mut Vec<Machine>,
+        jobs: &mut Vec<Option<FleetJob>>,
+        mount: &mut impl FnMut(
+            Machine,
+            std::collections::VecDeque<usize>,
+            &mut Vec<Option<FleetJob>>,
+        ) -> Member,
+    ) {
+        let member = active.swap_remove(i);
+        let mut machine = member.machine;
+        machine.reset();
+        if member.queue.is_empty() {
+            pool.push(machine);
+        } else {
+            active.push(mount(machine, member.queue, jobs));
+        }
+    }
+
+    /// Runs every job and returns the results in job order.
+    pub fn run_all(&self, jobs: Vec<FleetJob>) -> Vec<Result<RunReport, SimError>> {
+        let n = jobs.len();
+        let mut results: Vec<Option<Result<RunReport, SimError>>> = (0..n).map(|_| None).collect();
+        self.run_each(jobs, |idx, _machine, result| {
+            results[idx] = Some(result);
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every job reported"))
+            .collect()
+    }
+}

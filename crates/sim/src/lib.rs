@@ -47,6 +47,7 @@ mod arch;
 mod config;
 mod cpu;
 mod exec;
+mod fleet;
 mod machine;
 pub mod reference;
 mod report;
@@ -54,6 +55,7 @@ mod thread;
 
 pub use arch::ThreadArch;
 pub use config::{ConfigError, LatencyTable, MachineConfig};
+pub use fleet::{Fleet, FleetJob};
 pub use machine::{Machine, MachineSnapshot, SimError};
 pub use report::{jain_fairness, RunReport, StallTotals, ThreadStats};
 pub use thread::ThreadStatus;
@@ -63,6 +65,6 @@ pub use thread::ThreadStatus;
 pub use glsc_core::GlscConfig;
 pub use glsc_isa::Program;
 pub use glsc_mem::{
-    ArbitrationPolicy, ChaosConfig, ChaosStats, FaultPlan, MemConfig, MemSnapshot, MemorySystem,
-    MsgClass, NocConfig, NocStats, ThreadScStats, Topology,
+    ArbitrationPolicy, BackingBase, ChaosConfig, ChaosStats, FaultPlan, MemConfig, MemSnapshot,
+    MemorySystem, MsgClass, NocConfig, NocStats, ThreadScStats, Topology,
 };

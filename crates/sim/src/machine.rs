@@ -228,6 +228,23 @@ impl Machine {
         &self.cfg
     }
 
+    /// Returns the machine to its just-constructed state — cold memory
+    /// system, fresh cores, no program, cycle 0 — while keeping the large
+    /// cache-tag and page-table allocations for reuse. The fleet engine
+    /// pools machines per configuration and calls this between jobs;
+    /// the cores are rebuilt outright (they are small), so only the
+    /// memory system needs a hand-written reset
+    /// ([`MemorySystem::reset`]).
+    pub fn reset(&mut self) {
+        self.mem.reset();
+        self.cores = (0..self.cfg.cores)
+            .map(|id| Core::new(id, &self.cfg))
+            .collect();
+        self.program = None;
+        self.cycle = 0;
+        self.comp_buf.clear();
+    }
+
     /// Read access to the memory system (backing store, caches, stats).
     pub fn mem(&self) -> &MemorySystem {
         &self.mem
@@ -467,6 +484,131 @@ impl Machine {
         }
     }
 
+    /// One cycle of the fleet stepping loop. Semantically identical to
+    /// [`step`](Machine::step) — same call order into the shared memory
+    /// system, same barrier release, same statistics — but with the
+    /// per-cycle overhead the solo loop pays hoisted or skipped:
+    ///
+    /// * the program `Arc` and the completion buffer are passed in by the
+    ///   caller instead of cloned/taken every cycle;
+    /// * an idle memory unit is not ticked (its tick is a state no-op; it
+    ///   can produce no completions, so `apply_completions` on the empty
+    ///   buffer is skipped with it);
+    /// * a core whose threads have all halted skips the issue stage and
+    ///   the statistics classification — both are no-ops for halted
+    ///   threads, except the issue round-robin rotation, which is
+    ///   unobservable once nothing can issue again.
+    fn step_fast(&mut self, program: &Program, comp_buf: &mut Vec<MemCompletion>) -> bool {
+        let now = self.cycle;
+        for core in &mut self.cores {
+            if !core.memunit.is_idle() {
+                core.memunit.tick_into(&mut self.mem, now, comp_buf);
+                core.apply_completions(comp_buf);
+                debug_assert!(comp_buf.is_empty(), "completions fully drained");
+            }
+        }
+        for core in &mut self.cores {
+            if core.all_halted() {
+                // issue_stage would have cleared this; the watchdog and
+                // fast-forward probes must not see a stale value.
+                core.issued_any = false;
+            } else {
+                core.issue_stage(program, &self.cfg, now);
+            }
+        }
+        self.release_barrier(now);
+        for core in &mut self.cores {
+            if !core.all_halted() {
+                core.classify_cycle();
+            }
+        }
+        self.cycle += 1;
+        self.cores
+            .iter()
+            .all(|c| c.all_halted() && c.memunit.is_idle())
+    }
+
+    /// Advances the machine by (at most) `budget` cycles of the fleet
+    /// stepping loop, with the same abort semantics as
+    /// [`run`](Machine::run): the watchdog, starvation detector, periodic
+    /// invariant checks and cycle budget all fire on exactly the cycle
+    /// they would under the solo loop, and the [`RunReport`] of a
+    /// completed run is bit-identical (proven by the fleet differential
+    /// oracle). `ctl` carries the detector state across slices;
+    /// `comp_buf` is the caller's scratch completion buffer (shared
+    /// across fleet members).
+    ///
+    /// The starvation scan is gated on the memory system's total
+    /// store-conditional failure count: a streak can only reach the
+    /// threshold on a cycle that records a failure, so skipping the
+    /// per-thread scan on all other cycles cannot move the abort.
+    pub(crate) fn run_slice(
+        &mut self,
+        ctl: &mut RunCtl,
+        budget: u64,
+        comp_buf: &mut Vec<MemCompletion>,
+    ) -> Result<SliceOutcome, SimError> {
+        let program = match &self.program {
+            Some(p) => Arc::clone(p),
+            None => return Err(SimError::NoProgram),
+        };
+        let slice_end = self.cycle.saturating_add(budget);
+        loop {
+            if self.step_fast(&program, comp_buf) {
+                return Ok(SliceOutcome::Done);
+            }
+            if let Some(threshold) = self.cfg.starvation_threshold {
+                let failures = self.mem.stats().sc_failures;
+                if failures != ctl.sc_failures_seen {
+                    ctl.sc_failures_seen = failures;
+                    if let Some(err) = self.check_starvation(threshold) {
+                        return Err(err);
+                    }
+                }
+            }
+            if self.cores.iter().any(|c| c.issued_any) {
+                ctl.last_progress = self.cycle;
+            } else if let Some(window) = self.cfg.watchdog_window {
+                if self.cycle.saturating_sub(ctl.last_progress) >= window {
+                    return Err(SimError::Livelock {
+                        cycle: self.cycle,
+                        window,
+                        stuck: self.stuck_threads(),
+                        stalls: self.stall_totals(),
+                        reservations: self.mem.reservation_state(),
+                    });
+                }
+            }
+            if let Some(at) = ctl.next_invariant_check {
+                if self.cycle >= at {
+                    if let Err(violation) = self.mem.try_check_invariants() {
+                        return Err(SimError::InvariantViolation {
+                            cycle: self.cycle,
+                            violation,
+                        });
+                    }
+                    let period = self.cfg.invariant_check_period.unwrap_or(u64::MAX);
+                    ctl.next_invariant_check = Some(self.cycle.saturating_add(period));
+                }
+            }
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(SimError::MaxCyclesExceeded {
+                    cycle: self.cycle,
+                    stuck: self.stuck_threads(),
+                    stalls: self.stall_totals(),
+                });
+            }
+            let wd_cap = match self.cfg.watchdog_window {
+                Some(w) => ctl.last_progress.saturating_add(w).saturating_sub(1),
+                None => u64::MAX,
+            };
+            self.fast_forward(wd_cap);
+            if self.cycle >= slice_end {
+                return Ok(SliceOutcome::Paused);
+            }
+        }
+    }
+
     /// Builds the [`SimError::Starvation`] diagnostic if any thread's
     /// current consecutive-SC-failure streak has reached `threshold`.
     /// When several threads cross together, the longest streak wins and
@@ -602,6 +744,43 @@ impl Machine {
         }
         report
     }
+}
+
+/// Abort-detector state threaded across [`Machine::run_slice`] calls so a
+/// run split into slices fires the watchdog, starvation and invariant
+/// checks on exactly the cycles an unsliced run would.
+#[derive(Clone, Debug)]
+pub(crate) struct RunCtl {
+    /// Last cycle at which any thread issued (watchdog anchor).
+    last_progress: u64,
+    /// Next cycle at which to run the periodic coherence check.
+    next_invariant_check: Option<u64>,
+    /// Total SC failures at the last starvation scan (scan gate).
+    sc_failures_seen: u64,
+}
+
+impl RunCtl {
+    /// Detector state for a machine about to start (or resume) running.
+    pub(crate) fn new(machine: &Machine) -> Self {
+        Self {
+            last_progress: machine.cycle,
+            next_invariant_check: machine
+                .cfg
+                .invariant_check_period
+                .map(|p| machine.cycle.saturating_add(p)),
+            sc_failures_seen: machine.mem.stats().sc_failures,
+        }
+    }
+}
+
+/// Result of one [`Machine::run_slice`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SliceOutcome {
+    /// Every thread halted and the memory units drained; the report is
+    /// ready.
+    Done,
+    /// The cycle budget for this slice ran out; call again to continue.
+    Paused,
 }
 
 /// A self-contained point-in-time copy of a [`Machine`], produced by
