@@ -462,10 +462,7 @@ pub fn run_jobs_fleet(
                                         *results[*fidx]
                                             .lock()
                                             .unwrap_or_else(PoisonError::into_inner) =
-                                            Some(Err(JobError {
-                                                index: *fidx,
-                                                ..e.clone()
-                                            }));
+                                            Some(Err(e.clone().with_index(*fidx)));
                                     }
                                     *results[p.index]
                                         .lock()
@@ -486,7 +483,7 @@ pub fn run_jobs_fleet(
             m.into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
                 .unwrap_or_else(|| {
-                    Err(JobError {
+                    Err(JobError::Panicked {
                         index: i,
                         attempts: 0,
                         message: "worker exited without storing a result".into(),
@@ -509,26 +506,123 @@ pub fn bench_threads() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
-/// One job's terminal failure: it panicked on every attempt. The harness
-/// reports it (figure row marked `ERR`, error epilogue, nonzero exit)
-/// instead of aborting the whole figure.
+/// One job's terminal failure. The harness reports it (figure row marked
+/// `ERR`, error epilogue, nonzero exit) instead of aborting the whole
+/// figure. Typed by cause so supervisors (`glsc-serve`) and tests can
+/// react to *why* a job died, not just that it did.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct JobError {
+pub enum JobError {
+    /// The job panicked on every attempt (simulation error, validation
+    /// failure, or an injected drill).
+    Panicked {
+        /// The job's index in the submitted batch (== its table position).
+        index: usize,
+        /// How many attempts were made (1 + retries).
+        attempts: u32,
+        /// The final attempt's panic message.
+        message: String,
+    },
+    /// A supervised job exceeded its deadline on every attempt. `Some`
+    /// marks the limit that tripped (the configured budget, not the
+    /// observed value). Constructed by the `glsc-serve` supervisor.
+    Deadline {
+        /// The job's index in the submitted batch.
+        index: usize,
+        /// How many attempts were made (1 + retries).
+        attempts: u32,
+        /// Wall-clock budget in milliseconds, if that limit tripped.
+        wall_ms: Option<u64>,
+        /// Simulated-cycle budget, if that limit tripped.
+        cycles: Option<u64>,
+    },
+    /// A supervised job was quarantined: it burned its whole failure
+    /// budget across service restarts, so the supervisor stopped
+    /// retrying it. Constructed by the `glsc-serve` supervisor.
+    Quarantined {
+        /// The job's index in the submitted batch.
+        index: usize,
+        /// Total failures recorded against the job before quarantine.
+        failures: u32,
+    },
+}
+
+impl JobError {
     /// The job's index in the submitted batch (== its table position).
-    pub index: usize,
-    /// How many attempts were made (1 + retries).
-    pub attempts: u32,
-    /// The final attempt's panic message.
-    pub message: String,
+    pub fn index(&self) -> usize {
+        match self {
+            JobError::Panicked { index, .. }
+            | JobError::Deadline { index, .. }
+            | JobError::Quarantined { index, .. } => *index,
+        }
+    }
+
+    /// How many attempts were made (failures counted, for quarantine).
+    pub fn attempts(&self) -> u32 {
+        match self {
+            JobError::Panicked { attempts, .. } | JobError::Deadline { attempts, .. } => *attempts,
+            JobError::Quarantined { failures, .. } => *failures,
+        }
+    }
+
+    /// Human-readable cause (the panic message, or a rendering of the
+    /// deadline / quarantine condition).
+    pub fn message(&self) -> String {
+        match self {
+            JobError::Panicked { message, .. } => message.clone(),
+            JobError::Deadline {
+                wall_ms, cycles, ..
+            } => match (wall_ms, cycles) {
+                (Some(ms), _) => format!("exceeded the {ms} ms wall-clock deadline"),
+                (None, Some(c)) => format!("exceeded the {c}-cycle deadline"),
+                (None, None) => "exceeded its deadline".to_string(),
+            },
+            JobError::Quarantined { failures, .. } => {
+                format!("quarantined after {failures} failure(s)")
+            }
+        }
+    }
+
+    /// The same error re-addressed to another batch slot (used when a
+    /// deduplicated job's failure is fanned out to its followers).
+    pub fn with_index(self, index: usize) -> Self {
+        match self {
+            JobError::Panicked {
+                attempts, message, ..
+            } => JobError::Panicked {
+                index,
+                attempts,
+                message,
+            },
+            JobError::Deadline {
+                attempts,
+                wall_ms,
+                cycles,
+                ..
+            } => JobError::Deadline {
+                index,
+                attempts,
+                wall_ms,
+                cycles,
+            },
+            JobError::Quarantined { failures, .. } => JobError::Quarantined { index, failures },
+        }
+    }
 }
 
 impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "job {} failed after {} attempt(s): {}",
-            self.index, self.attempts, self.message
-        )
+        match self {
+            JobError::Quarantined { index, .. } => {
+                write!(f, "job {index} {}", self.message())
+            }
+            _ => write!(
+                f,
+                "job {} failed after {} attempt(s): {}",
+                self.index(),
+                self.attempts(),
+                self.message()
+            ),
+        }
     }
 }
 
@@ -537,7 +631,9 @@ impl std::error::Error for JobError {}
 /// Retry budget for failing jobs: `GLSC_BENCH_RETRIES` (default 1, i.e.
 /// two attempts per job). Deterministic failures burn the retries and
 /// surface as a [`JobError`]; the budget exists for environmental flakes
-/// (OOM-killed children, transient IO) on long figure runs.
+/// (OOM-killed children, transient IO) on long figure runs. The delay
+/// before each retry is [`backoff_jittered_ms`]: exponential base with a
+/// deterministic per-(job, attempt) spread seeded by `GLSC_BENCH_SEED`.
 pub fn job_retries() -> u32 {
     std::env::var("GLSC_BENCH_RETRIES")
         .ok()
@@ -545,12 +641,45 @@ pub fn job_retries() -> u32 {
         .unwrap_or(1)
 }
 
-/// Backoff before retry `attempt + 1`: 25 ms doubling per failed attempt,
-/// capped at 1 s. Deliberately pure — no jitter, no clock reads — so a
+/// Base backoff before retry `attempt + 1`: 25 ms doubling per failed
+/// attempt, capped at 1 s. Deliberately pure — no clock reads — so a
 /// figure run's retry timeline is reproducible and the logged delays can
-/// be asserted in tests.
+/// be asserted in tests. Retrying callers add the deterministic
+/// per-(job, attempt) spread from [`backoff_jittered_ms`] on top so
+/// co-failing jobs do not retry in lockstep.
 pub fn backoff_ms(attempt: u32) -> u64 {
     (25u64 << (attempt - 1).min(6)).min(1_000)
+}
+
+/// The sweep seed, `GLSC_BENCH_SEED` (default 0): the single source of
+/// retry-jitter randomness. Same seed, same job, same attempt → same
+/// delay, across runs and machines.
+pub fn bench_seed() -> u64 {
+    std::env::var("GLSC_BENCH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Backoff with deterministic jitter: the [`backoff_ms`] base plus up to
+/// 25% spread, derived by FNV-1a from `(seed, label, attempt)` — no
+/// clock, no global RNG. Jobs that fail together (a wedged cache volume,
+/// an OOM burst) get distinct, reproducible retry offsets instead of a
+/// synchronized thundering herd, and a test can pin the exact schedule
+/// for a given seed.
+pub fn backoff_jittered_ms(seed: u64, label: &str, attempt: u32) -> u64 {
+    let base = backoff_ms(attempt);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in seed
+        .to_le_bytes()
+        .into_iter()
+        .chain(label.bytes())
+        .chain(attempt.to_le_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    base + h % (base / 4 + 1)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -579,6 +708,7 @@ fn run_one<T, F: Fn() -> T>(
     } else {
         format!(" ({label})")
     };
+    let seed = bench_seed();
     let mut message = String::new();
     for attempt in 1..=attempts {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
@@ -589,14 +719,14 @@ fn run_one<T, F: Fn() -> T>(
                     "[jobs] job {index}{tag} attempt {attempt}/{attempts} panicked: {message}"
                 );
                 if attempt < attempts {
-                    let delay = backoff_ms(attempt);
+                    let delay = backoff_jittered_ms(seed, label, attempt);
                     eprintln!("[jobs] job {index}{tag} retrying after {delay}ms");
                     std::thread::sleep(std::time::Duration::from_millis(delay));
                 }
             }
         }
     }
-    Err(JobError {
+    Err(JobError::Panicked {
         index,
         attempts,
         message,
@@ -674,7 +804,7 @@ where
             m.into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
                 .unwrap_or_else(|| {
-                    Err(JobError {
+                    Err(JobError::Panicked {
                         index: i,
                         attempts: 0,
                         message: "worker exited without storing a result".into(),
@@ -773,6 +903,29 @@ mod tests {
     }
 
     #[test]
+    fn backoff_jitter_schedule_is_pinned() {
+        // The jittered schedule is a pure function of (seed, label,
+        // attempt): these exact values must never drift, or retry
+        // timelines stop being reproducible across runs.
+        let label = "HIP-T-glsc-4x4-w4";
+        assert_eq!(backoff_jittered_ms(0, label, 1), 28);
+        assert_eq!(backoff_jittered_ms(0, label, 2), 60);
+        assert_eq!(backoff_jittered_ms(0, label, 3), 103);
+        assert_eq!(backoff_jittered_ms(0, label, 7), 1_222);
+        assert_eq!(backoff_jittered_ms(7, label, 1), 31);
+        assert_eq!(backoff_jittered_ms(7, label, 2), 59);
+        assert_eq!(backoff_jittered_ms(7, label, 3), 116);
+        assert_eq!(backoff_jittered_ms(0, "GBC-T-base-1x4-w4", 1), 29);
+        // Always within [base, base + 25%]; deterministic on repeat.
+        for attempt in 1..=10 {
+            let b = backoff_ms(attempt);
+            let j = backoff_jittered_ms(42, label, attempt);
+            assert!(j >= b && j <= b + b / 4, "attempt {attempt}: {j} vs {b}");
+            assert_eq!(j, backoff_jittered_ms(42, label, attempt));
+        }
+    }
+
+    #[test]
     fn run_jobs_preserves_job_order() {
         let jobs: Vec<_> = (0..23u64)
             .map(|i| {
@@ -835,17 +988,18 @@ mod tests {
             for (i, r) in got.iter().enumerate() {
                 if i == 3 {
                     let e = r.as_ref().unwrap_err();
-                    assert_eq!(e.index, 3);
-                    assert!(e.attempts >= 1);
-                    assert!(e.message.contains("cursed"), "message: {}", e.message);
+                    assert_eq!(e.index(), 3);
+                    assert!(e.attempts() >= 1);
+                    assert!(e.message().contains("cursed"), "message: {}", e.message());
                     assert!(e.to_string().contains("job 3 failed"));
+                    assert!(matches!(e, JobError::Panicked { .. }));
                 } else {
                     assert_eq!(r.as_ref().unwrap(), &(i as u64 * 10));
                 }
             }
             let errs = collect_errors(&got);
             assert_eq!(errs.len(), 1);
-            assert_eq!(errs[0].index, 3);
+            assert_eq!(errs[0].index(), 3);
         }
     }
 

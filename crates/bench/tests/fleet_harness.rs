@@ -146,11 +146,11 @@ fn fleet_contains_a_poisoned_job_and_finishes_the_rest_solo() {
     for (i, r) in got.iter().enumerate() {
         if i == 2 {
             let e = r.as_ref().unwrap_err();
-            assert_eq!(e.index, 2);
+            assert_eq!(e.index(), 2);
             assert!(
-                e.message.contains("GLSC_BENCH_INJECT_PANIC"),
+                e.message().contains("GLSC_BENCH_INJECT_PANIC"),
                 "unexpected failure: {}",
-                e.message
+                e.message()
             );
         } else {
             let out = r.as_ref().unwrap_or_else(|e| panic!("job {i}: {e}"));
@@ -159,5 +159,5 @@ fn fleet_contains_a_poisoned_job_and_finishes_the_rest_solo() {
     }
     let errs = collect_errors(&got);
     assert_eq!(errs.len(), 1);
-    assert_eq!(errs[0].index, 2);
+    assert_eq!(errs[0].index(), 2);
 }

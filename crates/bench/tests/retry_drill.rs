@@ -51,13 +51,13 @@ fn injected_panic_burns_the_configured_retries_then_errors() {
     // The poisoned job was genuinely re-run retries+1 times, then failed.
     let errors: Vec<JobError> = collect_errors(&results);
     assert_eq!(errors.len(), 1);
-    assert_eq!(errors[0].index, 0);
-    assert_eq!(errors[0].attempts, 3, "2 retries means 3 attempts");
+    assert_eq!(errors[0].index(), 0);
+    assert_eq!(errors[0].attempts(), 3, "2 retries means 3 attempts");
     assert_eq!(poisoned_calls.load(Ordering::SeqCst), 3);
     assert!(
-        errors[0].message.contains("GLSC_BENCH_INJECT_PANIC"),
+        errors[0].message().contains("GLSC_BENCH_INJECT_PANIC"),
         "message: {}",
-        errors[0].message
+        errors[0].message()
     );
 
     // The healthy job ran once and produced a real report.

@@ -1,0 +1,80 @@
+//! Corruption drill for the durable job store: a cache entry that was
+//! torn (truncated) or bit-rotted on disk must degrade to a logged cache
+//! miss — the job simply re-runs — never a panic or, worse, a garbage
+//! report served as a result.
+
+use glsc_bench::store::job_key;
+use glsc_bench::JobStore;
+use glsc_kernels::{build_named, run_workload, Dataset, Variant};
+use glsc_sim::MachineConfig;
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "glsc-store-corruption-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn corrupt_cache_entries_are_logged_misses() {
+    let dir = tmp_dir("main");
+    let store = JobStore::at(dir.clone(), true);
+
+    let cfg = MachineConfig::paper(1, 2, 4);
+    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+    let out = run_workload(&w, &cfg).unwrap();
+    let key = job_key(&["HIP", "T", "glsc"], 0xABCD, 0x1234);
+
+    // Baseline: a clean save loads back identically.
+    store.save(&key, &out.report);
+    let path = store.path_for(&key).unwrap();
+    let pristine = fs::read(&path).unwrap();
+    assert_eq!(store.load(&key).as_ref(), Some(&out.report));
+
+    // Truncation at every framing-relevant cut: header only, mid-body,
+    // missing `end` trailer. Each is a miss, not a panic.
+    for frac in [1, 3, 9, 19] {
+        let cut = pristine.len() * frac / 20;
+        fs::write(&path, &pristine[..cut]).unwrap();
+        assert_eq!(store.load(&key), None, "cut at {cut} served a report");
+    }
+
+    // A flipped bit somewhere in the numbers decodes to a parse error or
+    // fails the trailer framing — in every case, a miss. (The text codec
+    // has no per-byte checksum; flips that keep a digit a digit can only
+    // alter values, so flip a byte into a non-digit.)
+    let mut flipped = pristine.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] = b'#';
+    fs::write(&path, &flipped).unwrap();
+    assert_eq!(store.load(&key), None, "bit-flipped entry served a report");
+
+    // Empty file (crash between create and first write on a non-atomic
+    // filesystem).
+    fs::write(&path, b"").unwrap();
+    assert_eq!(store.load(&key), None, "empty entry served a report");
+
+    // After any corruption, a re-save repairs the entry in place.
+    store.save(&key, &out.report);
+    assert_eq!(store.load(&key).as_ref(), Some(&out.report));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_off_never_reads_even_valid_entries() {
+    let dir = tmp_dir("noresume");
+    let store = JobStore::at(dir.clone(), false);
+    let cfg = MachineConfig::paper(1, 1, 4);
+    let w = build_named("GBC", Dataset::Tiny, Variant::Base, &cfg);
+    let out = run_workload(&w, &cfg).unwrap();
+    let key = job_key(&["GBC", "T", "base"], 1, 2);
+    store.save(&key, &out.report);
+    assert_eq!(store.load(&key), None, "load with resume off");
+    let _ = fs::remove_dir_all(&dir);
+}

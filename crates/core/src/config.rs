@@ -52,3 +52,10 @@ mod tests {
         assert_eq!(c.write_buffer_entries, 8);
     }
 }
+
+glsc_wire::wire_struct!(GlscConfig {
+    fail_on_l1_miss,
+    fail_on_remote_link,
+    min_latency_overhead,
+    write_buffer_entries,
+});

@@ -778,3 +778,98 @@ mod tests {
         assert_eq!(g.stats().elems_active, 4);
     }
 }
+
+// ---- durable-snapshot serialization --------------------------------------
+
+impl glsc_wire::Wire for GsuKind {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        match self {
+            GsuKind::Gather { vd } => {
+                w.put_u8(0);
+                vd.encode(w);
+            }
+            GsuKind::Scatter => w.put_u8(1),
+            GsuKind::GatherLink { fd, vd } => {
+                w.put_u8(2);
+                fd.encode(w);
+                vd.encode(w);
+            }
+            GsuKind::ScatterCond { fd } => {
+                w.put_u8(3);
+                fd.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        use glsc_wire::Wire;
+        let at = r.pos();
+        Ok(match r.get_u8()? {
+            0 => GsuKind::Gather {
+                vd: Wire::decode(r)?,
+            },
+            1 => GsuKind::Scatter,
+            2 => GsuKind::GatherLink {
+                fd: Wire::decode(r)?,
+                vd: Wire::decode(r)?,
+            },
+            3 => GsuKind::ScatterCond {
+                fd: Wire::decode(r)?,
+            },
+            _ => {
+                return Err(glsc_wire::WireError::Invalid {
+                    at,
+                    what: "GsuKind tag",
+                })
+            }
+        })
+    }
+}
+
+glsc_wire::wire_struct!(GsuStats {
+    gathers,
+    scatters,
+    gatherlinks,
+    scatterconds,
+    elems_active,
+    line_requests,
+    atomic_line_requests,
+    atomic_elems,
+    gl_elem_attempts,
+    gl_elem_failures,
+    sc_elem_attempts,
+    sc_elem_successes,
+    sc_fail_alias,
+    sc_fail_reservation,
+});
+glsc_wire::wire_struct!(Elem {
+    lane,
+    addr,
+    value,
+    alias_loser,
+    generated,
+});
+glsc_wire::wire_struct!(LineReq {
+    line,
+    issued,
+    done,
+    ok,
+    policy_fail,
+});
+glsc_wire::wire_struct!(Slot {
+    kind,
+    elems,
+    next_gen,
+    requests,
+    started,
+    start_cycle,
+    width,
+    lane_values,
+    mask,
+});
+glsc_wire::wire_struct!(Gsu {
+    slots,
+    rr,
+    cfg,
+    stats,
+});

@@ -490,3 +490,86 @@ mod tests {
         assert_eq!(lsu.thread_entries(2), 0);
     }
 }
+
+// ---- durable-snapshot serialization --------------------------------------
+
+impl glsc_wire::Wire for LsuAction {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        match self {
+            LsuAction::LoadTo { rd } => {
+                w.put_u8(0);
+                rd.encode(w);
+            }
+            LsuAction::StoreVal { value } => {
+                w.put_u8(1);
+                value.encode(w);
+            }
+            LsuAction::LlTo { rd } => {
+                w.put_u8(2);
+                rd.encode(w);
+            }
+            LsuAction::ScVal { rd, value } => {
+                w.put_u8(3);
+                rd.encode(w);
+                value.encode(w);
+            }
+            LsuAction::VLoadLanes { lanes } => {
+                w.put_u8(4);
+                lanes.encode(w);
+            }
+            LsuAction::VStoreLanes { lanes } => {
+                w.put_u8(5);
+                lanes.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        use glsc_wire::Wire;
+        let at = r.pos();
+        Ok(match r.get_u8()? {
+            0 => LsuAction::LoadTo {
+                rd: Wire::decode(r)?,
+            },
+            1 => LsuAction::StoreVal {
+                value: Wire::decode(r)?,
+            },
+            2 => LsuAction::LlTo {
+                rd: Wire::decode(r)?,
+            },
+            3 => LsuAction::ScVal {
+                rd: Wire::decode(r)?,
+                value: Wire::decode(r)?,
+            },
+            4 => LsuAction::VLoadLanes {
+                lanes: Wire::decode(r)?,
+            },
+            5 => LsuAction::VStoreLanes {
+                lanes: Wire::decode(r)?,
+            },
+            _ => {
+                return Err(glsc_wire::WireError::Invalid {
+                    at,
+                    what: "LsuAction tag",
+                })
+            }
+        })
+    }
+}
+
+glsc_wire::wire_struct!(LsuEntry { tid, addr, action });
+glsc_wire::wire_struct!(LsuStats {
+    loads,
+    stores,
+    lls,
+    scs,
+    sc_successes,
+    vector_line_requests,
+});
+glsc_wire::wire_struct!(Lsu {
+    queue,
+    store_slots_used,
+    store_slots_max,
+    thread_counts,
+    stats,
+});

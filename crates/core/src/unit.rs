@@ -312,3 +312,11 @@ mod tests {
         assert_eq!(rounds, 2, "alias forces exactly one retry");
     }
 }
+
+glsc_wire::wire_struct!(CoreMemUnit {
+    core_id,
+    threads,
+    lsu,
+    gsu,
+});
+glsc_wire::wire_struct!(CoreMemUnitSnapshot { state });

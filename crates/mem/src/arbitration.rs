@@ -297,3 +297,42 @@ mod tests {
         assert!(a.must_refuse(2, 0x40, 10));
     }
 }
+
+// ---- durable-snapshot serialization --------------------------------------
+
+impl glsc_wire::Wire for ArbitrationPolicy {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        match self {
+            ArbitrationPolicy::Free => w.put_u8(0),
+            ArbitrationPolicy::NackHoldoff { window } => {
+                w.put_u8(1);
+                window.encode(w);
+            }
+            ArbitrationPolicy::AgedPriority => w.put_u8(2),
+        }
+    }
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        let at = r.pos();
+        match r.get_u8()? {
+            0 => Ok(ArbitrationPolicy::Free),
+            1 => Ok(ArbitrationPolicy::NackHoldoff {
+                window: glsc_wire::Wire::decode(r)?,
+            }),
+            2 => Ok(ArbitrationPolicy::AgedPriority),
+            _ => Err(glsc_wire::WireError::Invalid {
+                at,
+                what: "ArbitrationPolicy tag",
+            }),
+        }
+    }
+}
+
+glsc_wire::wire_struct!(Holdoff {
+    core,
+    tid,
+    line,
+    until,
+    rearm_at,
+});
+glsc_wire::wire_struct!(Streak { gid, line, start });
+glsc_wire::wire_struct!(Arbiter { holdoffs, streaks });

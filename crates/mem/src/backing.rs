@@ -189,6 +189,90 @@ impl Backing {
     }
 }
 
+// ---- durable-snapshot serialization --------------------------------------
+
+/// Encodes a page map deterministically: page indices sorted ascending
+/// (HashMap iteration order must never reach the wire), each followed by
+/// its raw 4 KiB payload.
+fn encode_pages(pages: &HashMap<u64, Page>, w: &mut glsc_wire::Writer) {
+    let mut keys: Vec<u64> = pages.keys().copied().collect();
+    keys.sort_unstable();
+    w.put_u64(keys.len() as u64);
+    for k in keys {
+        w.put_u64(k);
+        w.put_bytes(&pages[&k][..]);
+    }
+}
+
+fn decode_pages(r: &mut glsc_wire::Reader<'_>) -> Result<HashMap<u64, Page>, glsc_wire::WireError> {
+    let n = r.get_len()?;
+    let mut pages = HashMap::with_capacity(n);
+    let mut last: Option<u64> = None;
+    for _ in 0..n {
+        let at = r.pos();
+        let k = r.get_u64()?;
+        // Strictly ascending keys double as a duplicate check and keep
+        // the encoding canonical (one byte string per page map).
+        if last.is_some_and(|l| k <= l) {
+            return Err(glsc_wire::WireError::Invalid {
+                at,
+                what: "page index order",
+            });
+        }
+        last = Some(k);
+        let bytes = r.take(PAGE_BYTES)?;
+        let mut page: Page = Box::new([0; PAGE_BYTES]);
+        page.copy_from_slice(bytes);
+        pages.insert(k, page);
+    }
+    Ok(pages)
+}
+
+impl glsc_wire::Wire for BackingBase {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        let Self { pages } = self;
+        encode_pages(pages, w);
+    }
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        Ok(Self {
+            pages: decode_pages(r)?,
+        })
+    }
+}
+
+// The copy-on-write base is serialized by value: on decode it becomes a
+// private Arc. Sharing identity is a host-memory optimization invisible
+// to simulated behavior, so flattening it through the wire is lossless
+// for reports.
+impl glsc_wire::Wire for Backing {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        let Self { pages, base } = self;
+        encode_pages(pages, w);
+        match base {
+            None => w.put_u8(0),
+            Some(b) => {
+                w.put_u8(1);
+                b.as_ref().encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        let pages = decode_pages(r)?;
+        let at = r.pos();
+        let base = match r.get_u8()? {
+            0 => None,
+            1 => Some(Arc::new(BackingBase::decode(r)?)),
+            _ => {
+                return Err(glsc_wire::WireError::Invalid {
+                    at,
+                    what: "backing base tag",
+                })
+            }
+        };
+        Ok(Self { pages, base })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -235,3 +235,56 @@ mod tests {
         assert_eq!(s.total_faults(), 21);
     }
 }
+
+// ---- durable-snapshot serialization --------------------------------------
+
+glsc_wire::wire_struct!(ChaosConfig {
+    seed,
+    period,
+    clear_line_prob,
+    flush_core_prob,
+    evict_line_prob,
+    dram_jitter_prob,
+    dram_jitter_max,
+    buffer_pressure_prob,
+    link_jitter_prob,
+    link_jitter_max,
+});
+glsc_wire::wire_struct!(ChaosStats {
+    injection_points,
+    reservations_cleared,
+    core_flushes,
+    lines_evicted,
+    jitter_events,
+    jitter_cycles,
+    forced_buffer_evictions,
+    link_jitter_events,
+    link_jitter_cycles,
+});
+
+// The RNG travels as its raw xoshiro state words: a resumed fault plan
+// must draw the exact tail of the sequence the interrupted plan would
+// have drawn, or chaos counters diverge from the uninterrupted run.
+impl glsc_wire::Wire for FaultPlan {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        let Self {
+            cfg,
+            rng,
+            accesses,
+            stats,
+        } = self;
+        cfg.encode(w);
+        rng.state().encode(w);
+        accesses.encode(w);
+        stats.encode(w);
+    }
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        use glsc_wire::Wire;
+        Ok(Self {
+            cfg: Wire::decode(r)?,
+            rng: StdRng::from_state(Wire::decode(r)?),
+            accesses: Wire::decode(r)?,
+            stats: Wire::decode(r)?,
+        })
+    }
+}

@@ -340,3 +340,22 @@ mod tests {
         .validate();
     }
 }
+
+glsc_wire::wire_struct!(MemConfig {
+    line_bytes,
+    l1_bytes,
+    l1_assoc,
+    l1_hit_latency,
+    l2_bytes,
+    l2_assoc,
+    l2_banks,
+    l2_latency,
+    l2_bank_occupancy,
+    dirty_forward_extra,
+    dram_latency,
+    glsc_buffer_entries,
+    prefetch,
+    prefetch_degree,
+    noc,
+    arbitration,
+});

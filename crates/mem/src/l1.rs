@@ -385,3 +385,67 @@ mod tests {
         c.clear_reservation(64); // no panic
     }
 }
+
+// ---- durable-snapshot serialization --------------------------------------
+
+impl glsc_wire::Wire for L1State {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        w.put_u8(match self {
+            L1State::Shared => 0,
+            L1State::Modified => 1,
+        });
+    }
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        let at = r.pos();
+        match r.get_u8()? {
+            0 => Ok(L1State::Shared),
+            1 => Ok(L1State::Modified),
+            _ => Err(glsc_wire::WireError::Invalid {
+                at,
+                what: "L1State tag",
+            }),
+        }
+    }
+}
+
+glsc_wire::wire_struct!(LinePayload {
+    state,
+    ready_at,
+    reservation,
+});
+
+impl glsc_wire::Wire for ReservationStore {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        match self {
+            ReservationStore::PerLine => w.put_u8(0),
+            ReservationStore::Buffer {
+                entries,
+                cap,
+                evictions,
+            } => {
+                w.put_u8(1);
+                entries.encode(w);
+                cap.encode(w);
+                evictions.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        use glsc_wire::Wire;
+        let at = r.pos();
+        match r.get_u8()? {
+            0 => Ok(ReservationStore::PerLine),
+            1 => Ok(ReservationStore::Buffer {
+                entries: Wire::decode(r)?,
+                cap: Wire::decode(r)?,
+                evictions: Wire::decode(r)?,
+            }),
+            _ => Err(glsc_wire::WireError::Invalid {
+                at,
+                what: "ReservationStore tag",
+            }),
+        }
+    }
+}
+
+glsc_wire::wire_struct!(L1Cache { tags, reservations });

@@ -102,3 +102,11 @@ mod tests {
         assert_eq!(b.reserve(30, 2), 30); // idle again
     }
 }
+
+glsc_wire::wire_struct!(L2Payload {
+    sharers,
+    owner,
+    dirty,
+    ready_at,
+});
+glsc_wire::wire_struct!(L2Bank { tags, busy });

@@ -528,3 +528,47 @@ mod tests {
         assert!((s.queue_cycles_per_msg() - 2.0).abs() < 1e-12);
     }
 }
+
+// ---- durable-snapshot serialization --------------------------------------
+
+impl glsc_wire::Wire for Topology {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        w.put_u8(match self {
+            Topology::Ideal => 0,
+            Topology::Crossbar => 1,
+            Topology::Ring => 2,
+        });
+    }
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        let at = r.pos();
+        match r.get_u8()? {
+            0 => Ok(Topology::Ideal),
+            1 => Ok(Topology::Crossbar),
+            2 => Ok(Topology::Ring),
+            _ => Err(glsc_wire::WireError::Invalid {
+                at,
+                what: "Topology tag",
+            }),
+        }
+    }
+}
+
+glsc_wire::wire_struct!(NocConfig {
+    topology,
+    link_latency,
+    link_occupancy,
+    nodes,
+});
+glsc_wire::wire_struct!(NocStats {
+    msgs,
+    hops,
+    queue_cycles,
+    link_msgs,
+});
+glsc_wire::wire_struct!(Noc {
+    cfg,
+    cores,
+    banks,
+    links,
+    jitter_next_msg,
+});

@@ -58,3 +58,5 @@ mod tests {
         assert_eq!(h.next_free(), 5);
     }
 }
+
+glsc_wire::wire_struct!(BusyHorizon { next_free });

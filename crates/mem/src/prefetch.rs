@@ -140,3 +140,15 @@ mod tests {
         assert_eq!(p.observe(0, 256), vec![320]);
     }
 }
+
+glsc_wire::wire_struct!(Stream {
+    last_line,
+    stride,
+    confirmed,
+    valid,
+});
+glsc_wire::wire_struct!(StridePrefetcher {
+    streams,
+    degree,
+    line_bytes,
+});

@@ -137,3 +137,32 @@ mod tests {
         assert!((s.l1_hit_rate() - 0.75).abs() < 1e-12);
     }
 }
+
+glsc_wire::wire_struct!(ThreadScStats {
+    attempts,
+    successes,
+    failures,
+    cur_streak,
+    max_streak,
+});
+glsc_wire::wire_struct!(MemStats {
+    l1_hits,
+    l1_misses,
+    l2_hits,
+    l2_misses,
+    upgrades,
+    invalidations,
+    back_invalidations,
+    dirty_forwards,
+    sc_failures,
+    sc_successes,
+    reservations_cleared_by_stores,
+    prefetches_issued,
+    prefetches_redundant,
+    hits_under_miss,
+    inv_acks,
+    writebacks,
+    reservation_buffer_evictions,
+    sc_threads,
+    noc,
+});

@@ -1002,3 +1002,18 @@ impl MemSnapshot {
         self.state.reservation_state()
     }
 }
+
+glsc_wire::wire_struct!(MemorySystem {
+    cfg,
+    backing,
+    l1s,
+    banks,
+    prefetchers,
+    noc,
+    stats,
+    threads_per_core,
+    arbiter,
+    chaos,
+    jitter_next_fill,
+});
+glsc_wire::wire_struct!(MemSnapshot { state });

@@ -196,6 +196,57 @@ impl<P> TagArray<P> {
     }
 }
 
+// ---- durable-snapshot serialization --------------------------------------
+
+impl<P: glsc_wire::Wire> glsc_wire::Wire for Slot<P> {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        let Self { line, lru, payload } = self;
+        line.encode(w);
+        lru.encode(w);
+        payload.encode(w);
+    }
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        Ok(Self {
+            line: glsc_wire::Wire::decode(r)?,
+            lru: glsc_wire::Wire::decode(r)?,
+            payload: glsc_wire::Wire::decode(r)?,
+        })
+    }
+}
+
+// The LRU `stamp`, per-set slot order and `touched` set are all encoded
+// exactly: replacement decisions (and the fleet-reset fast path) depend
+// on them, so a round-tripped array must not merely hold the same lines
+// but age and evict them identically.
+impl<P: glsc_wire::Wire> glsc_wire::Wire for TagArray<P> {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        let Self {
+            sets,
+            assoc,
+            line_bytes,
+            stamp,
+            touched,
+            dirty_all,
+        } = self;
+        sets.encode(w);
+        assoc.encode(w);
+        line_bytes.encode(w);
+        stamp.encode(w);
+        touched.encode(w);
+        dirty_all.encode(w);
+    }
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        Ok(Self {
+            sets: glsc_wire::Wire::decode(r)?,
+            assoc: glsc_wire::Wire::decode(r)?,
+            line_bytes: glsc_wire::Wire::decode(r)?,
+            stamp: glsc_wire::Wire::decode(r)?,
+            touched: glsc_wire::Wire::decode(r)?,
+            dirty_all: glsc_wire::Wire::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,406 @@
+//! Write-ahead journal of job state.
+//!
+//! An append-only log of [`JournalRecord`]s, one frame per record:
+//!
+//! ```text
+//! +--------------+------------------+---------------------------+
+//! | len (u32 LE) | payload (len)    | fnv64(payload) (u64 LE)   |
+//! +--------------+------------------+---------------------------+
+//! ```
+//!
+//! The journal is the service's source of truth for where every job
+//! stands (`accepted → running{checkpoint} → done | quarantined`, with
+//! `failed` marks in between). Appends are flushed and fsync'd before
+//! the supervisor acts on them, so a `kill -9` at any byte boundary
+//! leaves at worst a torn final frame. Recovery scans from the start,
+//! keeps the longest prefix of intact frames, **truncates the file to
+//! that prefix**, and treats the job as being in whatever state the
+//! surviving records imply — a torn record is indistinguishable from the
+//! crash having happened just before the append, which is exactly the
+//! semantics the kill-drill oracle pins.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// One durable fact about a job, in the order the supervisor learns it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// The job entered the sweep.
+    Accepted {
+        /// Stable job id (the bench cache key parts joined with `-`).
+        job: String,
+    },
+    /// The job has a durable checkpoint on disk at this cycle.
+    Running {
+        /// Stable job id.
+        job: String,
+        /// Monotonic checkpoint sequence number (per job).
+        seq: u64,
+        /// Simulated cycle the checkpoint captures.
+        cycle: u64,
+    },
+    /// The job finished; its report is in the service's result store.
+    Done {
+        /// Stable job id.
+        job: String,
+        /// Rendered chaos counters when the job ran under a fault plan
+        /// (reprinted verbatim for cached jobs so recovered sweep output
+        /// stays byte-identical to an uninterrupted run).
+        chaos: Option<String>,
+    },
+    /// One supervised attempt failed (panic or deadline); the failure
+    /// count across restarts is the number of these records.
+    Failed {
+        /// Stable job id.
+        job: String,
+        /// Why the attempt died.
+        reason: String,
+    },
+    /// The job burned its failure budget and is out of the rotation.
+    Quarantined {
+        /// Stable job id.
+        job: String,
+        /// Failures recorded against it at quarantine time.
+        failures: u32,
+    },
+}
+
+impl glsc_wire::Wire for JournalRecord {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        match self {
+            JournalRecord::Accepted { job } => {
+                0u8.encode(w);
+                job.encode(w);
+            }
+            JournalRecord::Running { job, seq, cycle } => {
+                1u8.encode(w);
+                job.encode(w);
+                seq.encode(w);
+                cycle.encode(w);
+            }
+            JournalRecord::Done { job, chaos } => {
+                2u8.encode(w);
+                job.encode(w);
+                chaos.encode(w);
+            }
+            JournalRecord::Failed { job, reason } => {
+                3u8.encode(w);
+                job.encode(w);
+                reason.encode(w);
+            }
+            JournalRecord::Quarantined { job, failures } => {
+                4u8.encode(w);
+                job.encode(w);
+                failures.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        let at = r.pos();
+        Ok(match u8::decode(r)? {
+            0 => JournalRecord::Accepted {
+                job: String::decode(r)?,
+            },
+            1 => JournalRecord::Running {
+                job: String::decode(r)?,
+                seq: u64::decode(r)?,
+                cycle: u64::decode(r)?,
+            },
+            2 => JournalRecord::Done {
+                job: String::decode(r)?,
+                chaos: Option::<String>::decode(r)?,
+            },
+            3 => JournalRecord::Failed {
+                job: String::decode(r)?,
+                reason: String::decode(r)?,
+            },
+            4 => JournalRecord::Quarantined {
+                job: String::decode(r)?,
+                failures: u32::decode(r)?,
+            },
+            _ => {
+                return Err(glsc_wire::WireError::Invalid {
+                    at,
+                    what: "journal record tag",
+                })
+            }
+        })
+    }
+}
+
+impl JournalRecord {
+    /// The job this record is about.
+    pub fn job(&self) -> &str {
+        match self {
+            JournalRecord::Accepted { job }
+            | JournalRecord::Running { job, .. }
+            | JournalRecord::Done { job, .. }
+            | JournalRecord::Failed { job, .. }
+            | JournalRecord::Quarantined { job, .. } => job,
+        }
+    }
+}
+
+/// Where the journal says a job stands, after replaying every surviving
+/// record.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JobLedger {
+    /// The job has an `Accepted` record.
+    pub accepted: bool,
+    /// Latest checkpoint `(seq, cycle)` announced via `Running`.
+    pub checkpoint: Option<(u64, u64)>,
+    /// `Done` record, with its preserved chaos rendering.
+    pub done: Option<Option<String>>,
+    /// Number of `Failed` records (survives restarts — this is what the
+    /// quarantine threshold compares against).
+    pub failures: u32,
+    /// `Quarantined` record present.
+    pub quarantined: bool,
+}
+
+/// Replays records into per-job ledgers.
+pub fn replay(records: &[JournalRecord]) -> HashMap<String, JobLedger> {
+    let mut map: HashMap<String, JobLedger> = HashMap::new();
+    for rec in records {
+        let entry = map.entry(rec.job().to_string()).or_default();
+        match rec {
+            JournalRecord::Accepted { .. } => entry.accepted = true,
+            JournalRecord::Running { seq, cycle, .. } => entry.checkpoint = Some((*seq, *cycle)),
+            JournalRecord::Done { chaos, .. } => entry.done = Some(chaos.clone()),
+            JournalRecord::Failed { .. } => entry.failures += 1,
+            JournalRecord::Quarantined { .. } => entry.quarantined = true,
+        }
+    }
+    map
+}
+
+/// The append-only journal file.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path`, replaying every intact
+    /// frame and truncating away a torn tail if the last append was cut
+    /// short by a crash. Returns the journal positioned for appends plus
+    /// the surviving records in write order.
+    pub fn open(path: &Path) -> std::io::Result<(Self, Vec<JournalRecord>)> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (records, valid) = scan(&bytes);
+        if valid < bytes.len() {
+            eprintln!(
+                "[journal] torn tail: keeping {valid} of {} bytes ({} intact record(s))",
+                bytes.len(),
+                records.len()
+            );
+            file.set_len(valid as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(valid as u64))?;
+        Ok((Self { file }, records))
+    }
+
+    /// Appends one record durably: the frame is written, flushed, and
+    /// fsync'd before this returns, so a state transition the supervisor
+    /// acts on is never lost to a later crash.
+    pub fn append(&mut self, rec: &JournalRecord) -> std::io::Result<()> {
+        let frame = frame(rec);
+        let frame = crate::kill::mangle_journal_frame(frame);
+        self.file.write_all(&frame)?;
+        self.file.sync_all()?;
+        crate::kill::after_journal_append();
+        Ok(())
+    }
+}
+
+/// Encodes one record as a length-prefixed, checksummed frame.
+fn frame(rec: &JournalRecord) -> Vec<u8> {
+    let payload = glsc_wire::to_bytes(rec);
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&glsc_wire::fnv64(&payload).to_le_bytes());
+    out
+}
+
+/// Scans `bytes` for intact frames; returns the decoded records and the
+/// byte length of the valid prefix. Stops at the first torn or corrupt
+/// frame — everything after it is unreachable garbage by construction
+/// (appends only ever land after a durable frame).
+fn scan(bytes: &[u8]) -> (Vec<JournalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.len() < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        let Some(frame_len) = len.checked_add(12) else {
+            break;
+        };
+        if rest.len() < frame_len {
+            break;
+        }
+        let payload = &rest[4..4 + len];
+        let recorded = u64::from_le_bytes(rest[4 + len..frame_len].try_into().expect("8 bytes"));
+        if glsc_wire::fnv64(payload) != recorded {
+            break;
+        }
+        match glsc_wire::from_bytes::<JournalRecord>(payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => break,
+        }
+        pos += frame_len;
+    }
+    (records, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("glsc-journal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.log")
+    }
+
+    fn sample() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Accepted { job: "a".into() },
+            JournalRecord::Running {
+                job: "a".into(),
+                seq: 1,
+                cycle: 5_000,
+            },
+            JournalRecord::Failed {
+                job: "b".into(),
+                reason: "wedged".into(),
+            },
+            JournalRecord::Done {
+                job: "a".into(),
+                chaos: Some("destructive=3".into()),
+            },
+            JournalRecord::Quarantined {
+                job: "b".into(),
+                failures: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn append_reopen_replay() {
+        let path = tmp("roundtrip");
+        let (mut j, initial) = Journal::open(&path).unwrap();
+        assert!(initial.is_empty());
+        for rec in sample() {
+            j.append(&rec).unwrap();
+        }
+        drop(j);
+        let (_, records) = Journal::open(&path).unwrap();
+        assert_eq!(records, sample());
+        let ledgers = replay(&records);
+        let a = &ledgers["a"];
+        assert!(a.accepted);
+        assert_eq!(a.checkpoint, Some((1, 5_000)));
+        assert_eq!(a.done, Some(Some("destructive=3".into())));
+        assert_eq!(a.failures, 0);
+        let b = &ledgers["b"];
+        assert_eq!(b.failures, 1);
+        assert!(b.quarantined);
+        assert!(!b.accepted);
+    }
+
+    #[test]
+    fn torn_tail_is_the_prior_state() {
+        let path = tmp("torn");
+        let (mut j, _) = Journal::open(&path).unwrap();
+        for rec in sample() {
+            j.append(&rec).unwrap();
+        }
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+        // Cut the file at every byte boundary inside the final frame: the
+        // first four records must survive untouched, the fifth vanishes.
+        let keep = {
+            let (_, valid) = scan(&full[..full.len() - 1]);
+            valid
+        };
+        for cut in keep..full.len() - 1 {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (_, records) = Journal::open(&path).unwrap();
+            assert_eq!(records, sample()[..4].to_vec(), "cut at {cut}");
+            // Recovery truncated the torn bytes away.
+            assert_eq!(std::fs::read(&path).unwrap().len(), keep, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_mid_frame_drops_the_suffix() {
+        let path = tmp("bitflip");
+        let (mut j, _) = Journal::open(&path).unwrap();
+        for rec in sample() {
+            j.append(&rec).unwrap();
+        }
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the third frame's payload.
+        let (_, two) = scan(&bytes[..]);
+        let _ = two;
+        let frames: Vec<usize> = {
+            let mut offs = Vec::new();
+            let mut pos = 0;
+            while pos + 4 <= bytes.len() {
+                offs.push(pos);
+                let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize + 12;
+                pos += len;
+            }
+            offs
+        };
+        bytes[frames[2] + 6] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, records) = Journal::open(&path).unwrap();
+        assert_eq!(records, sample()[..2].to_vec());
+        // Appends after recovery land cleanly on the truncated prefix.
+        let (mut j, _) = Journal::open(&path).unwrap();
+        j.append(&JournalRecord::Accepted { job: "c".into() })
+            .unwrap();
+        drop(j);
+        let (_, records) = Journal::open(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2], JournalRecord::Accepted { job: "c".into() });
+    }
+
+    #[test]
+    fn appends_survive_reopen_interleaving() {
+        let path = tmp("interleave");
+        for i in 0..5u64 {
+            let (mut j, records) = Journal::open(&path).unwrap();
+            assert_eq!(records.len() as u64, i);
+            j.append(&JournalRecord::Running {
+                job: "x".into(),
+                seq: i,
+                cycle: i * 100,
+            })
+            .unwrap();
+        }
+        let (_, records) = Journal::open(&path).unwrap();
+        assert_eq!(replay(&records)["x"].checkpoint, Some((4, 400)));
+    }
+}

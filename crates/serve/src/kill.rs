@@ -1,0 +1,100 @@
+//! Deterministic crash injection for the kill-drill oracle.
+//!
+//! `GLSC_SERVE_KILL=<point>:<n>` makes the service die — via
+//! `std::process::abort`, which like `kill -9` runs no destructors and
+//! flushes nothing — at a precisely chosen durability boundary:
+//!
+//! * `checkpoint:<n>` — the `n`-th checkpoint write is **torn**: half the
+//!   encoded snapshot lands under the final name (simulating a
+//!   non-atomic filesystem losing the rename guarantee), then the
+//!   process aborts. Recovery must detect the damage via the snapshot
+//!   envelope and fall back to the previous good state.
+//! * `journal:<n>` — the `n`-th journal append is cut mid-frame: half
+//!   the frame is written and fsync'd, then the process aborts. Recovery
+//!   must treat the torn record as if the append never happened.
+//! * `cycles:<c>` — the process aborts at the first supervision pause at
+//!   or after `c` total simulated cycles — a plain mid-run kill that
+//!   loses the work since the last checkpoint.
+//!
+//! All counters are process-global; each service invocation is one
+//! worker process, so `<n>` counts events within a single life.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum KillSpec {
+    Checkpoint(u64),
+    Journal(u64),
+    Cycles(u64),
+}
+
+fn spec() -> Option<KillSpec> {
+    static SPEC: OnceLock<Option<KillSpec>> = OnceLock::new();
+    *SPEC.get_or_init(|| {
+        let raw = std::env::var("GLSC_SERVE_KILL").ok()?;
+        let (point, n) = raw.split_once(':')?;
+        let n: u64 = n.parse().ok()?;
+        match point {
+            "checkpoint" => Some(KillSpec::Checkpoint(n)),
+            "journal" => Some(KillSpec::Journal(n)),
+            "cycles" => Some(KillSpec::Cycles(n)),
+            _ => {
+                eprintln!("[kill] ignoring unknown GLSC_SERVE_KILL point {point:?}");
+                None
+            }
+        }
+    })
+}
+
+static CHECKPOINTS: AtomicU64 = AtomicU64::new(0);
+static JOURNAL_APPENDS: AtomicU64 = AtomicU64::new(0);
+static ABORT_AFTER_APPEND: AtomicU64 = AtomicU64::new(0);
+
+fn die(what: &str) -> ! {
+    eprintln!("[kill] injected crash: {what}");
+    std::process::abort();
+}
+
+/// Called once per checkpoint write. Returns `true` when this write must
+/// be torn (the caller writes half the bytes to the final name, syncs,
+/// and then calls [`abort_now`]).
+pub(crate) fn tear_this_checkpoint() -> bool {
+    let n = CHECKPOINTS.fetch_add(1, Ordering::SeqCst) + 1;
+    matches!(spec(), Some(KillSpec::Checkpoint(target)) if n == target)
+}
+
+/// Aborts the process after a torn checkpoint write has been made
+/// durable.
+pub(crate) fn abort_now(what: &str) -> ! {
+    die(what)
+}
+
+/// Journal-append hook: passes the frame through untouched normally; on
+/// the targeted append, truncates it to half so the fsync'd file ends in
+/// a torn record, and arms [`after_journal_append`].
+pub(crate) fn mangle_journal_frame(frame: Vec<u8>) -> Vec<u8> {
+    let n = JOURNAL_APPENDS.fetch_add(1, Ordering::SeqCst) + 1;
+    if matches!(spec(), Some(KillSpec::Journal(target)) if n == target) {
+        ABORT_AFTER_APPEND.store(1, Ordering::SeqCst);
+        let half = frame.len() / 2;
+        return frame[..half].to_vec();
+    }
+    frame
+}
+
+/// Fires the abort armed by [`mangle_journal_frame`] once the torn frame
+/// is durable on disk.
+pub(crate) fn after_journal_append() {
+    if ABORT_AFTER_APPEND.load(Ordering::SeqCst) == 1 {
+        die("mid-journal-append");
+    }
+}
+
+/// Supervision-pause hook: aborts once the machine's simulated cycle
+/// count reaches the `cycles:<c>` target.
+pub(crate) fn check_cycles(cycle: u64) {
+    if matches!(spec(), Some(KillSpec::Cycles(target)) if cycle >= target) {
+        die("mid-run");
+    }
+}

@@ -1,0 +1,31 @@
+//! # glsc-serve — crash-durable simulation service
+//!
+//! A supervised job daemon over the simulator: long sweeps checkpoint
+//! every N cycles into versioned, checksummed snapshot files, every job
+//! state transition is write-ahead journaled, and a `kill -9` at *any*
+//! point — mid-checkpoint, mid-journal-append, mid-run — costs at most
+//! the work since the last checkpoint. Restarting the service resumes
+//! where the journal says things stood and produces output
+//! byte-identical to a run that was never interrupted; the kill-drill
+//! oracle in `tests/` proves this for every kernel × Fig. 6 shape,
+//! chaos counters included.
+//!
+//! Layers (DESIGN.md §14):
+//!
+//! * [`journal`] — append-only WAL with per-record checksums; a torn
+//!   tail decodes as "the append never happened".
+//! * [`service`] — the supervisor: sliced execution, checkpoint cadence,
+//!   wall/cycle deadlines ([`glsc_bench::JobError::Deadline`]), seeded
+//!   backoff retries, poison-job quarantine, SIGTERM drain.
+//! * `kill` — deterministic crash injection (`GLSC_SERVE_KILL`) for the
+//!   drill harness.
+//! * [`signal`] — the SIGTERM flag the drain path polls.
+
+#![warn(missing_docs)]
+
+pub mod journal;
+mod kill;
+pub mod service;
+pub mod signal;
+
+pub use service::{print_sweep, run_sweep, JobResult, JobSpec, ServiceConfig, SweepReport};

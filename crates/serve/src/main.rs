@@ -1,0 +1,218 @@
+//! `glsc-serve` — run a supervised, crash-durable simulation sweep.
+//!
+//! ```text
+//! glsc-serve sweep --state-dir DIR [options]
+//!
+//!   --state-dir DIR        durable state root (or GLSC_SERVE_DIR)
+//!   --kernels A,B,..       kernels to run (default: all seven)
+//!   --shapes MxN,..        machine shapes (default: 1x1,1x4,4x1,4x4)
+//!   --variant glsc|base    kernel variant (default: glsc)
+//!   --width N              SIMD width (default: 4)
+//!   --dataset tiny|a|b     dataset (default: tiny)
+//!   --checkpoint-every N   checkpoint cadence in cycles (default: 20000)
+//!   --deadline-wall-ms N   per-attempt wall-clock budget
+//!   --deadline-cycles N    absolute simulated-cycle budget per job
+//!   --max-failures K       failures before quarantine (default: 3)
+//!   --chaos-seed S         run every job under a seeded fault plan
+//!   --seed S               retry-backoff jitter seed (default: 0)
+//!   --inject-wedged        prepend a never-halting drill job
+//! ```
+//!
+//! Exit code 0 on a clean sweep or a SIGTERM drain, 1 when any job
+//! failed or was quarantined. Killing the process at any moment is safe:
+//! rerunning the same command resumes from the journal and checkpoints
+//! and prints the same table an uninterrupted run would have printed.
+
+use glsc_kernels::{Dataset, Variant, KERNEL_NAMES};
+use glsc_serve::{print_sweep, run_sweep, signal, JobSpec, ServiceConfig};
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: glsc-serve sweep --state-dir DIR [options] (see --help)");
+    exit(2);
+}
+
+struct Args {
+    state_dir: Option<PathBuf>,
+    kernels: Vec<String>,
+    shapes: Vec<(usize, usize)>,
+    variant: Variant,
+    width: usize,
+    dataset: Dataset,
+    checkpoint_every: u64,
+    deadline_wall_ms: Option<u64>,
+    deadline_cycles: Option<u64>,
+    max_failures: u32,
+    chaos_seed: Option<u64>,
+    seed: u64,
+    inject_wedged: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        state_dir: std::env::var("GLSC_SERVE_DIR").ok().map(PathBuf::from),
+        kernels: KERNEL_NAMES.iter().map(|k| k.to_string()).collect(),
+        shapes: vec![(1, 1), (1, 4), (4, 1), (4, 4)],
+        variant: Variant::Glsc,
+        width: 4,
+        dataset: Dataset::Tiny,
+        checkpoint_every: 20_000,
+        deadline_wall_ms: None,
+        deadline_cycles: None,
+        max_failures: 3,
+        chaos_seed: None,
+        seed: 0,
+        inject_wedged: false,
+    };
+    let mut it = std::env::args().skip(1);
+    match it.next().as_deref() {
+        Some("sweep") => {}
+        Some("--help") | Some("-h") => {
+            eprintln!("see the crate docs (src/main.rs header) for usage");
+            exit(0);
+        }
+        other => usage(&format!("expected the `sweep` subcommand, got {other:?}")),
+    }
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--state-dir" => args.state_dir = Some(PathBuf::from(value("--state-dir"))),
+            "--kernels" => {
+                args.kernels = value("--kernels")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--shapes" => {
+                args.shapes = value("--shapes")
+                    .split(',')
+                    .map(|s| {
+                        let (m, n) = s
+                            .trim()
+                            .split_once('x')
+                            .unwrap_or_else(|| usage(&format!("bad shape {s:?} (want MxN)")));
+                        (
+                            m.parse().unwrap_or_else(|_| usage("bad shape cores")),
+                            n.parse().unwrap_or_else(|_| usage("bad shape threads")),
+                        )
+                    })
+                    .collect();
+            }
+            "--variant" => {
+                args.variant = match value("--variant").as_str() {
+                    "glsc" => Variant::Glsc,
+                    "base" => Variant::Base,
+                    v => usage(&format!("unknown variant {v:?}")),
+                }
+            }
+            "--width" => {
+                args.width = value("--width")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad width"))
+            }
+            "--dataset" => {
+                args.dataset = match value("--dataset").to_ascii_lowercase().as_str() {
+                    "tiny" | "t" => Dataset::Tiny,
+                    "a" => Dataset::A,
+                    "b" => Dataset::B,
+                    v => usage(&format!("unknown dataset {v:?}")),
+                }
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every = value("--checkpoint-every")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("bad --checkpoint-every"))
+            }
+            "--deadline-wall-ms" => {
+                args.deadline_wall_ms = Some(
+                    value("--deadline-wall-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --deadline-wall-ms")),
+                )
+            }
+            "--deadline-cycles" => {
+                args.deadline_cycles = Some(
+                    value("--deadline-cycles")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --deadline-cycles")),
+                )
+            }
+            "--max-failures" => {
+                args.max_failures = value("--max-failures")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("bad --max-failures"))
+            }
+            "--chaos-seed" => {
+                args.chaos_seed = Some(
+                    value("--chaos-seed")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --chaos-seed")),
+                )
+            }
+            "--seed" => {
+                args.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --seed"))
+            }
+            "--inject-wedged" => args.inject_wedged = true,
+            f => usage(&format!("unknown flag {f:?}")),
+        }
+    }
+    args
+}
+
+fn main() {
+    signal::install_term_handler();
+    let args = parse_args();
+    let Some(state_dir) = args.state_dir.clone() else {
+        usage("--state-dir (or GLSC_SERVE_DIR) is required");
+    };
+    let mut cfg = ServiceConfig::new(state_dir);
+    cfg.checkpoint_every = args.checkpoint_every;
+    cfg.deadline_wall_ms = args.deadline_wall_ms;
+    cfg.deadline_cycles = args.deadline_cycles;
+    cfg.max_failures = args.max_failures;
+    cfg.seed = args.seed;
+
+    let mut jobs = Vec::new();
+    if args.inject_wedged {
+        jobs.push(JobSpec::wedged());
+    }
+    for kernel in &args.kernels {
+        for &shape in &args.shapes {
+            jobs.push(JobSpec::kernel(
+                kernel,
+                args.dataset,
+                args.variant,
+                shape,
+                args.width,
+                args.chaos_seed,
+            ));
+        }
+    }
+
+    match run_sweep(&cfg, &jobs) {
+        Ok(report) => {
+            let mut stdout = std::io::stdout().lock();
+            print_sweep(&jobs, &report, &mut stdout);
+            if report.drained {
+                eprintln!("[serve] drained cleanly; rerun to finish the sweep");
+            }
+            exit(report.exit_code());
+        }
+        Err(e) => {
+            eprintln!("[serve] state-dir IO error: {e}");
+            exit(3);
+        }
+    }
+}

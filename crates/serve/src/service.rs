@@ -1,0 +1,654 @@
+//! The supervised, crash-durable sweep runner.
+//!
+//! One [`JobSpec`] per simulation; the supervisor drives each job in
+//! cycle slices ([`glsc_sim::SlicedRun`]), writing a durable checkpoint
+//! every `checkpoint_every` cycles (tmp+rename of the versioned,
+//! checksummed snapshot envelope) and journaling every state transition
+//! (`accepted → running{checkpoint} → done | quarantined`). A restart —
+//! crash or drain — replays the journal, resumes every live job from its
+//! last intact checkpoint, reprints finished jobs from the result store,
+//! and produces output byte-identical to an uninterrupted run (the
+//! kill-drill oracle in `tests/` pins this for every kernel × Fig. 6
+//! shape).
+//!
+//! Failure policy: a panicking or deadline-tripping attempt appends a
+//! `Failed` record, sleeps the seeded jittered backoff, and retries; a
+//! job whose failure count (across restarts — the journal remembers)
+//! reaches `max_failures` is quarantined and reported as an `ERR` row
+//! while the rest of the sweep completes, with a nonzero exit.
+
+use crate::journal::{replay, JobLedger, Journal, JournalRecord};
+use crate::{kill, signal};
+use glsc_bench::store::{cfg_fingerprint, job_key};
+use glsc_bench::{backoff_jittered_ms, JobError, JobStore};
+use glsc_kernels::{build_named, Dataset, Variant, Workload};
+use glsc_sim::{
+    ChaosConfig, FaultPlan, Machine, MachineConfig, MachineSnapshot, RunReport, SlicedRun,
+};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Service-wide knobs.
+#[derive(Debug)]
+pub struct ServiceConfig {
+    /// Root of all durable state: `journal.log`, `checkpoints/`, `cache/`.
+    pub state_dir: PathBuf,
+    /// Checkpoint cadence in simulated cycles. Smaller = less lost work
+    /// on a crash, more encode/write overhead (measured by the `simperf`
+    /// bench's recovery part).
+    pub checkpoint_every: u64,
+    /// Per-attempt wall-clock budget; `None` = unlimited.
+    pub deadline_wall_ms: Option<u64>,
+    /// Absolute simulated-cycle budget per job; `None` = unlimited. A
+    /// wedged job trips this on every attempt (resuming past the limit
+    /// re-trips immediately), burns its failure budget, and quarantines.
+    pub deadline_cycles: Option<u64>,
+    /// Failures (across restarts) before a job is quarantined.
+    pub max_failures: u32,
+    /// Seed for the deterministic retry-backoff jitter.
+    pub seed: u64,
+}
+
+impl ServiceConfig {
+    /// Defaults: checkpoint every 20k cycles, no deadlines, quarantine
+    /// after 3 failures, seed 0.
+    pub fn new(state_dir: PathBuf) -> Self {
+        Self {
+            state_dir,
+            checkpoint_every: 20_000,
+            deadline_wall_ms: None,
+            deadline_cycles: None,
+            max_failures: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// One supervised simulation.
+pub struct JobSpec {
+    /// Stable, filesystem-safe id; names the job in the journal, the
+    /// checkpoint file, the result cache, and the sweep table.
+    pub id: String,
+    /// What to simulate and how to validate it.
+    pub workload: Workload,
+    /// Machine to run it on.
+    pub cfg: MachineConfig,
+    /// Fault-plan seed: `Some` runs the job under seeded chaos and
+    /// reports the injection counters alongside the result.
+    pub chaos: Option<u64>,
+    /// Per-job cycle deadline, overriding the service-wide one. The
+    /// wedged drill job carries its own so it quarantines without
+    /// imposing a budget on healthy jobs in the same sweep.
+    pub deadline_cycles: Option<u64>,
+    /// Per-job wall-clock deadline, overriding the service-wide one.
+    pub deadline_wall_ms: Option<u64>,
+}
+
+impl JobSpec {
+    /// Builds the spec for a named kernel on a Fig. 6 shape, keyed the
+    /// same way the bench harness keys it (so ids read like
+    /// `HIP-T-glsc-4x4-w4`). Chaos jobs get a `-chaos<seed>` suffix —
+    /// the fault plan changes timing, so it must change identity.
+    pub fn kernel(
+        kernel: &str,
+        ds: Dataset,
+        variant: Variant,
+        (cores, tpc): (usize, usize),
+        width: usize,
+        chaos: Option<u64>,
+    ) -> Self {
+        let mut cfg = MachineConfig::paper(cores, tpc, width);
+        if chaos.is_some() {
+            // Same guard rails as the bench chaos path: the plan slows
+            // runs down, so give headroom and keep the watchdog armed.
+            cfg = cfg
+                .with_max_cycles(2_000_000_000)
+                .with_watchdog_window(Some(5_000_000));
+        }
+        let workload = build_named(kernel, ds, variant, &cfg);
+        let mut id = format!(
+            "{kernel}-{}-{}-{cores}x{tpc}-w{width}",
+            glsc_bench::ds_label(ds),
+            variant.label()
+        );
+        if let Some(seed) = chaos {
+            id.push_str(&format!("-chaos{seed}"));
+        }
+        Self {
+            id,
+            workload,
+            cfg,
+            chaos,
+            deadline_cycles: None,
+            deadline_wall_ms: None,
+        }
+    }
+
+    /// A job that never halts: a one-instruction jump loop. The fault
+    /// drill for the deadline + quarantine path (`--inject-wedged`).
+    pub fn wedged() -> Self {
+        let mut b = glsc_isa::ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top).expect("fresh label");
+        b.li(glsc_isa::Reg::new(1), 1);
+        b.jmp(top);
+        b.halt();
+        Self {
+            id: "WEDGE".to_string(),
+            workload: Workload {
+                name: "WEDGE".to_string(),
+                program: b.build().expect("wedge program assembles"),
+                image: glsc_kernels::MemImage::new(),
+                validate: Box::new(|_| Ok(())),
+            },
+            cfg: MachineConfig::paper(1, 1, 4).with_max_cycles(u64::MAX / 2),
+            chaos: None,
+            // Self-contained drill: the wedge budgets itself, so healthy
+            // jobs sharing the sweep keep running without a deadline.
+            deadline_cycles: Some(50_000),
+            deadline_wall_ms: None,
+        }
+    }
+
+    fn cache_key(&self) -> String {
+        job_key(
+            &[&self.id],
+            self.workload.fingerprint() ^ self.chaos.map_or(0, |s| s.wrapping_mul(0x9E37_79B9)),
+            cfg_fingerprint(&self.cfg),
+        )
+    }
+}
+
+/// One finished job's durable result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResult {
+    /// The simulation report (bit-identical to an unsupervised run).
+    pub report: RunReport,
+    /// Rendered chaos counters when the job ran under a fault plan.
+    pub chaos: Option<String>,
+}
+
+/// Outcome of a whole sweep.
+pub struct SweepReport {
+    /// Per-job outcomes, in submission order. `None` marks jobs not
+    /// reached before a drain.
+    pub outcomes: Vec<Option<Result<JobResult, JobError>>>,
+    /// A SIGTERM arrived and the service drained cleanly.
+    pub drained: bool,
+}
+
+impl SweepReport {
+    /// Process exit code: 0 for a clean (or cleanly drained) sweep, 1
+    /// when any job failed or was quarantined.
+    pub fn exit_code(&self) -> i32 {
+        let failed = self
+            .outcomes
+            .iter()
+            .flatten()
+            .any(|outcome| outcome.is_err());
+        i32::from(failed && !self.drained)
+    }
+}
+
+enum Supervised {
+    Finished(Box<JobResult>),
+    Failed(JobError),
+    Drained,
+}
+
+enum AttemptEnd {
+    Finished(Box<JobResult>),
+    Deadline {
+        wall_ms: Option<u64>,
+        cycles: Option<u64>,
+    },
+    Crashed(String),
+    Drained,
+}
+
+/// Runs the sweep under supervision. Progress goes to stderr; the caller
+/// renders the table from the returned report ([`print_sweep`]) so
+/// stdout stays byte-identical across crash/recovery histories.
+pub fn run_sweep(cfg: &ServiceConfig, jobs: &[JobSpec]) -> std::io::Result<SweepReport> {
+    std::fs::create_dir_all(&cfg.state_dir)?;
+    let store = JobStore::at(cfg.state_dir.join("cache"), true);
+    let (mut journal, records) = Journal::open(&cfg.state_dir.join("journal.log"))?;
+    let ledgers = replay(&records);
+    let mut outcomes: Vec<Option<Result<JobResult, JobError>>> = vec![None; jobs.len()];
+    let mut drained = false;
+    for (index, job) in jobs.iter().enumerate() {
+        if drained {
+            break;
+        }
+        let ledger = ledgers.get(&job.id).cloned().unwrap_or_default();
+        match supervise(cfg, &store, &mut journal, ledger, job, index)? {
+            Supervised::Finished(result) => outcomes[index] = Some(Ok(*result)),
+            Supervised::Failed(e) => outcomes[index] = Some(Err(e)),
+            Supervised::Drained => drained = true,
+        }
+    }
+    Ok(SweepReport { outcomes, drained })
+}
+
+/// Renders the sweep table. Deterministic: no paths, no timestamps, no
+/// host state — a recovered sweep prints the same bytes as a solo one.
+pub fn print_sweep(jobs: &[JobSpec], report: &SweepReport, out: &mut impl std::io::Write) {
+    if report.drained {
+        // Nothing goes to the table on a drain; the next invocation
+        // finishes the sweep and prints the whole thing.
+        return;
+    }
+    let width = jobs.iter().map(|j| j.id.len()).max().unwrap_or(0).max(3);
+    let _ = writeln!(out, "=== glsc-serve sweep: {} job(s) ===", jobs.len());
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    for (job, outcome) in jobs.iter().zip(&report.outcomes) {
+        match outcome {
+            Some(Ok(result)) => {
+                ok += 1;
+                let _ = writeln!(
+                    out,
+                    "{:<width$}  {:>12} cycles",
+                    job.id, result.report.cycles
+                );
+                if let Some(chaos) = &result.chaos {
+                    let _ = writeln!(out, "{:<width$}  chaos: {chaos}", "");
+                }
+            }
+            Some(Err(e)) => {
+                failed += 1;
+                let _ = writeln!(out, "{:<width$}  ERR {}", job.id, e.message());
+            }
+            None => {
+                failed += 1;
+                let _ = writeln!(out, "{:<width$}  ERR not reached", job.id);
+            }
+        }
+    }
+    let _ = writeln!(out, "== {ok} ok, {failed} failed ==");
+}
+
+fn supervise(
+    cfg: &ServiceConfig,
+    store: &JobStore,
+    journal: &mut Journal,
+    mut ledger: JobLedger,
+    job: &JobSpec,
+    index: usize,
+) -> std::io::Result<Supervised> {
+    if ledger.quarantined {
+        return Ok(Supervised::Failed(JobError::Quarantined {
+            index,
+            failures: ledger.failures,
+        }));
+    }
+    let key = job.cache_key();
+    if let Some(chaos) = &ledger.done {
+        if let Some(report) = store.load(&key) {
+            return Ok(Supervised::Finished(Box::new(JobResult {
+                report,
+                chaos: chaos.clone(),
+            })));
+        }
+        // Done in the journal but the cached report is gone or corrupt:
+        // fall through and re-run — correctness never depends on the
+        // cache surviving.
+        eprintln!(
+            "[serve] {}: done in journal but report missing; re-running",
+            job.id
+        );
+    }
+    if !ledger.accepted {
+        journal.append(&JournalRecord::Accepted {
+            job: job.id.clone(),
+        })?;
+        ledger.accepted = true;
+    }
+    loop {
+        let end = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_attempt(cfg, store, journal, &mut ledger, job, &key)
+        }))
+        .unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Ok(AttemptEnd::Crashed(message))
+        })?;
+        let reason = match end {
+            AttemptEnd::Finished(result) => return Ok(Supervised::Finished(result)),
+            AttemptEnd::Drained => return Ok(Supervised::Drained),
+            AttemptEnd::Deadline { wall_ms, cycles } => {
+                let e = JobError::Deadline {
+                    index,
+                    attempts: ledger.failures + 1,
+                    wall_ms,
+                    cycles,
+                };
+                let reason = e.message();
+                eprintln!("[serve] {}: {reason}", job.id);
+                reason
+            }
+            AttemptEnd::Crashed(message) => {
+                eprintln!("[serve] {}: attempt crashed: {message}", job.id);
+                message
+            }
+        };
+        journal.append(&JournalRecord::Failed {
+            job: job.id.clone(),
+            reason: reason.clone(),
+        })?;
+        ledger.failures += 1;
+        if ledger.failures >= cfg.max_failures {
+            journal.append(&JournalRecord::Quarantined {
+                job: job.id.clone(),
+                failures: ledger.failures,
+            })?;
+            eprintln!(
+                "[serve] {}: quarantined after {} failure(s)",
+                job.id, ledger.failures
+            );
+            // Typed by cause: a job that only ever died on its deadline
+            // reports Deadline semantics through the quarantine message.
+            return Ok(Supervised::Failed(JobError::Quarantined {
+                index,
+                failures: ledger.failures,
+            }));
+        }
+        let delay = backoff_jittered_ms(cfg.seed, &job.id, ledger.failures);
+        eprintln!(
+            "[serve] {}: retrying (attempt {}) after {delay}ms",
+            job.id,
+            ledger.failures + 1
+        );
+        std::thread::sleep(std::time::Duration::from_millis(delay));
+    }
+}
+
+fn checkpoint_path(state_dir: &Path, id: &str) -> PathBuf {
+    state_dir.join("checkpoints").join(format!("{id}.ckpt"))
+}
+
+/// Loads the job's checkpoint if one is announced and intact. Any damage
+/// (torn write on a non-atomic filesystem, bit rot, version skew) is a
+/// logged fallback to a fresh run, never a crash or garbage state.
+fn restore_machine(cfg: &ServiceConfig, ledger: &JobLedger, job: &JobSpec) -> (Machine, u64) {
+    if let Some((seq, cycle)) = ledger.checkpoint {
+        let path = checkpoint_path(&cfg.state_dir, &job.id);
+        match std::fs::read(&path) {
+            Ok(bytes) => match MachineSnapshot::from_bytes(&bytes) {
+                Ok(snap) => {
+                    eprintln!(
+                        "[serve] {}: resuming from checkpoint #{seq} at cycle {cycle}",
+                        job.id
+                    );
+                    return (Machine::from_snapshot(&snap), seq);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "[serve] {}: checkpoint #{seq} unusable ({e}); starting fresh",
+                        job.id
+                    );
+                    let _ = std::fs::remove_file(&path);
+                }
+            },
+            Err(e) => {
+                eprintln!(
+                    "[serve] {}: checkpoint #{seq} unreadable ({e}); starting fresh",
+                    job.id
+                );
+            }
+        }
+    }
+    let mut m = Machine::new(job.cfg.clone());
+    if let Some(seed) = job.chaos {
+        m.mem_mut()
+            .install_fault_plan(FaultPlan::new(ChaosConfig::from_seed(seed)));
+    }
+    job.workload.image.apply(m.mem_mut().backing_mut());
+    m.load_program(job.workload.program.clone());
+    (m, 0)
+}
+
+/// Writes one durable checkpoint: encode, tmp+rename, fsync, journal.
+/// The kill hook may turn this into a torn write + abort (see
+/// [`crate::kill`]).
+fn write_checkpoint(
+    cfg: &ServiceConfig,
+    journal: &mut Journal,
+    job: &JobSpec,
+    machine: &Machine,
+    seq: u64,
+) -> std::io::Result<()> {
+    let path = checkpoint_path(&cfg.state_dir, &job.id);
+    std::fs::create_dir_all(path.parent().expect("checkpoint path has a parent"))?;
+    let bytes = machine.snapshot().to_bytes();
+    if kill::tear_this_checkpoint() {
+        // Simulate a non-atomic filesystem: half the snapshot lands
+        // under the final name, then the process dies.
+        std::fs::write(&path, &bytes[..bytes.len() / 2])?;
+        kill::abort_now("mid-checkpoint");
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, &path)?;
+    journal.append(&JournalRecord::Running {
+        job: job.id.clone(),
+        seq,
+        cycle: machine.cycle(),
+    })?;
+    Ok(())
+}
+
+fn run_attempt(
+    cfg: &ServiceConfig,
+    store: &JobStore,
+    journal: &mut Journal,
+    ledger: &mut JobLedger,
+    job: &JobSpec,
+    key: &str,
+) -> std::io::Result<AttemptEnd> {
+    let (mut machine, mut seq) = restore_machine(cfg, ledger, job);
+    let mut run = SlicedRun::new(&machine);
+    let started = Instant::now();
+    loop {
+        if signal::term_requested() {
+            seq += 1;
+            write_checkpoint(cfg, journal, job, &machine, seq)?;
+            ledger.checkpoint = Some((seq, machine.cycle()));
+            eprintln!(
+                "[serve] {}: drained at cycle {} (checkpoint #{seq})",
+                job.id,
+                machine.cycle()
+            );
+            return Ok(AttemptEnd::Drained);
+        }
+        let report = match machine.run_for(&mut run, cfg.checkpoint_every) {
+            Ok(report) => report,
+            Err(e) => return Ok(AttemptEnd::Crashed(format!("simulation failed: {e}"))),
+        };
+        if let Some(report) = report {
+            if let Err(e) = (job.workload.validate)(machine.mem().backing()) {
+                return Ok(AttemptEnd::Crashed(format!("validation failed: {e}")));
+            }
+            let chaos = machine
+                .mem()
+                .chaos_stats()
+                .map(|stats| format!("{stats:?}"));
+            store.save(key, &report);
+            journal.append(&JournalRecord::Done {
+                job: job.id.clone(),
+                chaos: chaos.clone(),
+            })?;
+            let _ = std::fs::remove_file(checkpoint_path(&cfg.state_dir, &job.id));
+            return Ok(AttemptEnd::Finished(Box::new(JobResult { report, chaos })));
+        }
+        kill::check_cycles(machine.cycle());
+        if let Some(limit) = job.deadline_cycles.or(cfg.deadline_cycles) {
+            if machine.cycle() >= limit {
+                return Ok(AttemptEnd::Deadline {
+                    wall_ms: None,
+                    cycles: Some(limit),
+                });
+            }
+        }
+        if let Some(limit) = job.deadline_wall_ms.or(cfg.deadline_wall_ms) {
+            if started.elapsed().as_millis() as u64 >= limit {
+                return Ok(AttemptEnd::Deadline {
+                    wall_ms: Some(limit),
+                    cycles: None,
+                });
+            }
+        }
+        seq += 1;
+        write_checkpoint(cfg, journal, job, &machine, seq)?;
+        ledger.checkpoint = Some((seq, machine.cycle()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("glsc-serve-svc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fig6_job() -> JobSpec {
+        JobSpec::kernel("HIP", Dataset::Tiny, Variant::Glsc, (1, 2), 4, None)
+    }
+
+    #[test]
+    fn sweep_matches_unsupervised_run() {
+        let dir = tmp_dir("clean");
+        let mut cfg = ServiceConfig::new(dir.clone());
+        cfg.checkpoint_every = 2_000;
+        let jobs = vec![fig6_job()];
+        let report = run_sweep(&cfg, &jobs).unwrap();
+        let solo = glsc_kernels::run_workload(&jobs[0].workload, &jobs[0].cfg).unwrap();
+        let got = report.outcomes[0].as_ref().unwrap().as_ref().unwrap();
+        assert_eq!(got.report, solo.report);
+        assert_eq!(got.chaos, None);
+        assert_eq!(report.exit_code(), 0);
+
+        // A second sweep over the same state dir serves from the store
+        // and prints the same table.
+        let mut first = Vec::new();
+        print_sweep(&jobs, &report, &mut first);
+        let report2 = run_sweep(&cfg, &jobs).unwrap();
+        let mut second = Vec::new();
+        print_sweep(&jobs, &report2, &mut second);
+        assert_eq!(first, second);
+        assert!(!first.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wedged_job_deadlines_then_quarantines_and_sweep_degrades() {
+        let dir = tmp_dir("wedge");
+        let mut cfg = ServiceConfig::new(dir.clone());
+        cfg.checkpoint_every = 1_000;
+        cfg.max_failures = 3;
+        let jobs = vec![JobSpec::wedged(), fig6_job()];
+        let report = run_sweep(&cfg, &jobs).unwrap();
+        match report.outcomes[0].as_ref().unwrap() {
+            Err(JobError::Quarantined { failures, .. }) => assert_eq!(*failures, 3),
+            other => panic!("wedge ended as {other:?}"),
+        }
+        // The healthy job still completed; the sweep exits nonzero.
+        assert!(report.outcomes[1].as_ref().unwrap().is_ok());
+        assert_eq!(report.exit_code(), 1);
+        let mut table = Vec::new();
+        print_sweep(&jobs, &report, &mut table);
+        let text = String::from_utf8(table).unwrap();
+        assert!(
+            text.contains("ERR quarantined after 3 failure(s)"),
+            "{text}"
+        );
+        assert!(text.contains("cycles"), "{text}");
+        assert!(text.contains("== 1 ok, 1 failed =="), "{text}");
+
+        // The journal pins the exact failure history: 3 deadline
+        // failures, then quarantine; and a re-run skips the wedge
+        // immediately (still quarantined, no new attempts).
+        let (_, records) = Journal::open(&dir.join("journal.log")).unwrap();
+        let fails = records
+            .iter()
+            .filter(|r| matches!(r, JournalRecord::Failed { job, .. } if job == "WEDGE"))
+            .count();
+        assert_eq!(fails, 3);
+        let before = records.len();
+        let report2 = run_sweep(&cfg, &jobs).unwrap();
+        assert!(matches!(
+            report2.outcomes[0].as_ref().unwrap(),
+            Err(JobError::Quarantined { .. })
+        ));
+        let (_, records2) = Journal::open(&dir.join("journal.log")).unwrap();
+        let new_wedge_records = records2[before..]
+            .iter()
+            .filter(|r| r.job() == "WEDGE")
+            .count();
+        assert_eq!(new_wedge_records, 0, "quarantined job was retried");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_checkpoints_and_next_run_finishes_identically() {
+        let dir = tmp_dir("drain");
+        let mut cfg = ServiceConfig::new(dir.clone());
+        cfg.checkpoint_every = 1_000;
+        let jobs = vec![fig6_job()];
+
+        // First run drains immediately: the TERM flag is set before the
+        // first pause, so the job checkpoints and the sweep reports a
+        // drain instead of a result.
+        signal::request_term();
+        let drained = run_sweep(&cfg, &jobs).unwrap();
+        assert!(drained.drained);
+        assert!(drained.outcomes[0].is_none());
+        assert_eq!(drained.exit_code(), 0);
+        let mut table = Vec::new();
+        print_sweep(&jobs, &drained, &mut table);
+        assert!(table.is_empty(), "drained sweep wrote to the table");
+
+        // Clear the flag (tests share the process-global) and finish.
+        super::signal::clear_term_for_tests();
+        let report = run_sweep(&cfg, &jobs).unwrap();
+        let got = report.outcomes[0].as_ref().unwrap().as_ref().unwrap();
+        let solo = glsc_kernels::run_workload(&jobs[0].workload, &jobs[0].cfg).unwrap();
+        assert_eq!(got.report, solo.report, "resumed-from-drain run diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_job_reports_counters_and_resumes_bit_identically() {
+        let dir = tmp_dir("chaos");
+        let mut cfg = ServiceConfig::new(dir.clone());
+        cfg.checkpoint_every = 3_000;
+        let jobs = vec![JobSpec::kernel(
+            "GBC",
+            Dataset::Tiny,
+            Variant::Glsc,
+            (2, 2),
+            4,
+            Some(0x5EED),
+        )];
+        let report = run_sweep(&cfg, &jobs).unwrap();
+        let got = report.outcomes[0].as_ref().unwrap().as_ref().unwrap();
+        let chaos = got.chaos.as_ref().expect("chaos job must report counters");
+        assert!(chaos.contains("injection_points"), "{chaos}");
+
+        // Re-sweeping serves the cached report with the *journaled*
+        // chaos line — byte-identical table.
+        let mut first = Vec::new();
+        print_sweep(&jobs, &report, &mut first);
+        let report2 = run_sweep(&cfg, &jobs).unwrap();
+        let mut second = Vec::new();
+        print_sweep(&jobs, &report2, &mut second);
+        assert_eq!(first, second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,190 @@
+//! The kill-drill recovery oracle.
+//!
+//! For every kernel × Fig. 6 shape: run the service worker to completion
+//! undisturbed (solo), then run it again in a fresh state dir while
+//! killing it — `kill -9` semantics via `abort()` — at hostile points
+//! (mid-journal-append, mid-checkpoint with a torn file under the final
+//! name, mid-run), restarting after each death. The final, undisturbed
+//! invocation must exit 0 and print a sweep table **byte-identical** to
+//! the solo run's. A second drill pins the same property for a chaos job
+//! whose injection counters ride the checkpoints.
+//!
+//! Set `GLSC_DRILL_KERNELS=HIP,GBC` to bound the matrix (CI smoke).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const SHAPES: [(usize, usize); 4] = [(1, 1), (1, 4), (4, 1), (4, 4)];
+const ALL_KERNELS: [&str; 7] = ["GBC", "FS", "GPS", "HIP", "SMC", "MFP", "TMS"];
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_glsc-serve")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("glsc-drill-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn kernels() -> Vec<String> {
+    match std::env::var("GLSC_DRILL_KERNELS") {
+        Ok(list) if !list.is_empty() => list.split(',').map(|s| s.trim().to_string()).collect(),
+        _ => ALL_KERNELS.iter().map(|k| k.to_string()).collect(),
+    }
+}
+
+/// One worker invocation: a single-job sweep over `state`, optionally
+/// with an injected kill.
+fn invoke(
+    state: &PathBuf,
+    kernel: &str,
+    shape: (usize, usize),
+    extra: &[&str],
+    kill: Option<&str>,
+) -> Output {
+    let mut cmd = Command::new(bin());
+    cmd.arg("sweep")
+        .arg("--state-dir")
+        .arg(state)
+        .arg("--kernels")
+        .arg(kernel)
+        .arg("--shapes")
+        .arg(format!("{}x{}", shape.0, shape.1))
+        .arg("--checkpoint-every")
+        .arg("500")
+        .args(extra)
+        .env_remove("GLSC_SERVE_KILL");
+    if let Some(kill) = kill {
+        cmd.env("GLSC_SERVE_KILL", kill);
+    }
+    cmd.output().expect("spawn glsc-serve")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Runs the solo baseline, then the kill gauntlet, and asserts the
+/// recovered sweep's stdout is byte-identical to solo's.
+fn drill(kernel: &str, shape: (usize, usize), extra: &[&str], tag: &str) {
+    let solo_dir = tmp_dir(&format!("solo-{tag}"));
+    let solo = invoke(&solo_dir, kernel, shape, extra, None);
+    assert!(
+        solo.status.success(),
+        "{tag}: solo run failed: {}",
+        String::from_utf8_lossy(&solo.stderr)
+    );
+    let solo_out = stdout_of(&solo);
+    assert!(solo_out.contains("cycles"), "{tag}: empty solo table");
+
+    let drill_dir = tmp_dir(&format!("drill-{tag}"));
+    // Mid-journal-append (first append torn), mid-checkpoint (second
+    // checkpoint torn *under the final name*, so recovery must detect
+    // the damage and degrade), and a plain mid-run kill.
+    for kill in ["journal:1", "checkpoint:2", "cycles:1500"] {
+        let out = invoke(&drill_dir, kernel, shape, extra, Some(kill));
+        assert!(
+            !out.status.success(),
+            "{tag}: injected kill {kill} did not kill the worker"
+        );
+    }
+    let recovered = invoke(&drill_dir, kernel, shape, extra, None);
+    assert!(
+        recovered.status.success(),
+        "{tag}: recovery run failed: {}",
+        String::from_utf8_lossy(&recovered.stderr)
+    );
+    assert_eq!(
+        stdout_of(&recovered),
+        solo_out,
+        "{tag}: recovered sweep output differs from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&solo_dir);
+    let _ = std::fs::remove_dir_all(&drill_dir);
+}
+
+#[test]
+fn kill_drill_every_kernel_and_shape() {
+    for kernel in kernels() {
+        for shape in SHAPES {
+            drill(
+                &kernel,
+                shape,
+                &[],
+                &format!("{kernel}-{}x{}", shape.0, shape.1),
+            );
+        }
+    }
+}
+
+#[test]
+fn kill_drill_chaos_counters_survive_recovery() {
+    // A fault plan's RNG state and injection counters ride the
+    // checkpoints; the recovered table (which prints the chaos line)
+    // must still match solo bit-for-bit.
+    let extra = ["--chaos-seed", "24333"];
+    let solo_dir = tmp_dir("chaos-solo");
+    let solo = invoke(&solo_dir, "GBC", (2, 2), &extra, None);
+    assert!(solo.status.success());
+    let solo_out = stdout_of(&solo);
+    assert!(
+        solo_out.contains("chaos:"),
+        "chaos line missing:\n{solo_out}"
+    );
+
+    let drill_dir = tmp_dir("chaos-drill");
+    for kill in ["cycles:2000", "checkpoint:3", "journal:2", "cycles:6000"] {
+        let out = invoke(&drill_dir, "GBC", (2, 2), &extra, Some(kill));
+        assert!(!out.status.success(), "kill {kill} did not fire");
+    }
+    let recovered = invoke(&drill_dir, "GBC", (2, 2), &extra, None);
+    assert!(
+        recovered.status.success(),
+        "chaos recovery failed: {}",
+        String::from_utf8_lossy(&recovered.stderr)
+    );
+    assert_eq!(stdout_of(&recovered), solo_out);
+    let _ = std::fs::remove_dir_all(&solo_dir);
+    let _ = std::fs::remove_dir_all(&drill_dir);
+}
+
+#[test]
+fn randomized_kill_points_converge() {
+    // Seeded pseudo-random mid-run kill points: however the deaths land,
+    // restarts converge and the final table matches solo. The sequence
+    // is deterministic (fixed seed) so a failure reproduces.
+    let solo_dir = tmp_dir("rand-solo");
+    let solo = invoke(&solo_dir, "HIP", (4, 4), &[], None);
+    assert!(solo.status.success());
+    let solo_out = stdout_of(&solo);
+
+    use glsc_rng::{rngs::StdRng, Rng, SeedableRng};
+    let drill_dir = tmp_dir("rand-drill");
+    let mut rng = StdRng::seed_from_u64(0xD211);
+    let mut deaths = 0;
+    for round in 0..12 {
+        let point = rng.random_range(300..8_300u64);
+        let out = invoke(
+            &drill_dir,
+            "HIP",
+            (4, 4),
+            &[],
+            Some(&format!("cycles:{point}")),
+        );
+        if out.status.success() {
+            // The job finished before the kill point — done.
+            assert_eq!(stdout_of(&out), solo_out, "round {round}");
+            let _ = std::fs::remove_dir_all(&solo_dir);
+            let _ = std::fs::remove_dir_all(&drill_dir);
+            return;
+        }
+        deaths += 1;
+    }
+    assert!(deaths > 0);
+    let recovered = invoke(&drill_dir, "HIP", (4, 4), &[], None);
+    assert!(recovered.status.success());
+    assert_eq!(stdout_of(&recovered), solo_out);
+    let _ = std::fs::remove_dir_all(&solo_dir);
+    let _ = std::fs::remove_dir_all(&drill_dir);
+}

@@ -132,3 +132,11 @@ mod tests {
         assert_eq!(lanes, vec![0, 5, 7]);
     }
 }
+
+glsc_wire::wire_struct!(ThreadArch {
+    pc,
+    regs,
+    vregs,
+    mregs,
+    width,
+});

@@ -440,3 +440,28 @@ mod tests {
         );
     }
 }
+
+glsc_wire::wire_struct!(LatencyTable {
+    int_alu,
+    int_mul,
+    int_div,
+    fp_add,
+    fp_mul,
+    fp_div,
+    cvt,
+    mask_op,
+});
+glsc_wire::wire_struct!(MachineConfig {
+    cores,
+    threads_per_core,
+    simd_width,
+    issue_width,
+    branch_penalty,
+    lat,
+    mem,
+    glsc,
+    max_cycles,
+    watchdog_window,
+    invariant_check_period,
+    starvation_threshold,
+});

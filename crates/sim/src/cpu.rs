@@ -775,3 +775,73 @@ impl Core {
         }
     }
 }
+
+// ---- durable-snapshot serialization --------------------------------------
+
+impl glsc_wire::Wire for StallKind {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        w.put_u8(match self {
+            StallKind::OperandMem => 0,
+            StallKind::Pipeline => 1,
+            StallKind::StoreBufferFull => 2,
+            StallKind::NoSlot => 3,
+        });
+    }
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        let at = r.pos();
+        Ok(match r.get_u8()? {
+            0 => StallKind::OperandMem,
+            1 => StallKind::Pipeline,
+            2 => StallKind::StoreBufferFull,
+            3 => StallKind::NoSlot,
+            _ => {
+                return Err(glsc_wire::WireError::Invalid {
+                    at,
+                    what: "StallKind tag",
+                })
+            }
+        })
+    }
+}
+
+impl glsc_wire::Wire for IssueRecord {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        match self {
+            IssueRecord::Issued(sync) => {
+                w.put_u8(0);
+                sync.encode(w);
+            }
+            IssueRecord::Stalled(kind, sync) => {
+                w.put_u8(1);
+                kind.encode(w);
+                sync.encode(w);
+            }
+            IssueRecord::NotRunning => w.put_u8(2),
+        }
+    }
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        use glsc_wire::Wire;
+        let at = r.pos();
+        Ok(match r.get_u8()? {
+            0 => IssueRecord::Issued(Wire::decode(r)?),
+            1 => IssueRecord::Stalled(Wire::decode(r)?, Wire::decode(r)?),
+            2 => IssueRecord::NotRunning,
+            _ => {
+                return Err(glsc_wire::WireError::Invalid {
+                    at,
+                    what: "IssueRecord tag",
+                })
+            }
+        })
+    }
+}
+
+glsc_wire::wire_struct!(CoreSnapshot {
+    threads,
+    memunit,
+    records,
+    rr,
+    halted,
+    at_barrier,
+    issued_any,
+});

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod arch;
+mod codec;
 mod config;
 mod cpu;
 mod exec;
@@ -54,9 +55,10 @@ mod report;
 mod thread;
 
 pub use arch::ThreadArch;
+pub use codec::{SnapshotCodecError, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC};
 pub use config::{ConfigError, LatencyTable, MachineConfig};
 pub use fleet::{Fleet, FleetJob};
-pub use machine::{Machine, MachineSnapshot, SimError};
+pub use machine::{Machine, MachineSnapshot, SimError, SlicedRun};
 pub use report::{jain_fairness, RunReport, StallTotals, ThreadStats};
 pub use thread::ThreadStatus;
 

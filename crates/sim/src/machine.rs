@@ -821,3 +821,98 @@ impl MachineSnapshot {
         self.cores.iter().all(|c| c.memunit_is_idle())
     }
 }
+
+/// Externally-driveable sliced execution: the state
+/// [`Machine::run_for`] threads across calls so a run split into slices
+/// fires the watchdog, starvation and invariant checks on exactly the
+/// cycles an unsliced [`Machine::run`] would. Built for checkpointing
+/// drivers (`glsc-serve`): step a bounded number of cycles, snapshot,
+/// repeat.
+#[derive(Debug)]
+pub struct SlicedRun {
+    ctl: RunCtl,
+    comp_buf: Vec<MemCompletion>,
+}
+
+impl SlicedRun {
+    /// Detector state for `machine`, about to start or resume running.
+    /// Create this *after* restoring a snapshot, not before.
+    pub fn new(machine: &Machine) -> Self {
+        Self {
+            ctl: RunCtl::new(machine),
+            comp_buf: Vec::new(),
+        }
+    }
+}
+
+impl Machine {
+    /// Advances the machine by at most `budget` cycles, returning
+    /// `Some(report)` once every thread has halted and the memory units
+    /// have drained, `None` while work remains. The concatenation of
+    /// slices is bit-identical to one uninterrupted [`Machine::run`] —
+    /// the property the snapshot-codec and kill-drill oracles pin down.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Machine::run`], surfaced on the same cycle.
+    pub fn run_for(
+        &mut self,
+        run: &mut SlicedRun,
+        budget: u64,
+    ) -> Result<Option<RunReport>, SimError> {
+        let mut comp_buf = std::mem::take(&mut run.comp_buf);
+        let outcome = self.run_slice(&mut run.ctl, budget, &mut comp_buf);
+        run.comp_buf = comp_buf;
+        match outcome? {
+            SliceOutcome::Done => Ok(Some(self.report())),
+            SliceOutcome::Paused => Ok(None),
+        }
+    }
+}
+
+impl glsc_wire::Wire for MachineSnapshot {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        let Self {
+            cfg,
+            cycle,
+            program,
+            cores,
+            mem,
+        } = self;
+        cfg.encode(w);
+        cycle.encode(w);
+        match program {
+            None => w.put_u8(0),
+            Some(p) => {
+                w.put_u8(1);
+                p.as_ref().encode(w);
+            }
+        }
+        cores.encode(w);
+        mem.encode(w);
+    }
+
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        use glsc_wire::Wire;
+        let cfg = MachineConfig::decode(r)?;
+        let cycle = u64::decode(r)?;
+        let at = r.pos();
+        let program = match r.get_u8()? {
+            0 => None,
+            1 => Some(Arc::new(Program::decode(r)?)),
+            _ => {
+                return Err(glsc_wire::WireError::Invalid {
+                    at,
+                    what: "program tag",
+                })
+            }
+        };
+        Ok(Self {
+            cfg,
+            cycle,
+            program,
+            cores: Wire::decode(r)?,
+            mem: Wire::decode(r)?,
+        })
+    }
+}

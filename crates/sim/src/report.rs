@@ -265,3 +265,15 @@ mod tests {
         assert_eq!(r.atomic_l1_accesses_uncombined(), 40);
     }
 }
+
+glsc_wire::wire_struct!(ThreadStats {
+    instructions,
+    sync_instructions,
+    active_cycles,
+    sync_cycles,
+    mem_stall_cycles,
+    compute_stall_cycles,
+    issue_stall_cycles,
+    barrier_cycles,
+    elems_completed,
+});

@@ -128,3 +128,67 @@ mod tests {
         assert!(!t.is_halted());
     }
 }
+
+// ---- durable-snapshot serialization --------------------------------------
+
+impl glsc_wire::Wire for ThreadStatus {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        match self {
+            ThreadStatus::Running => w.put_u8(0),
+            ThreadStatus::BlockedGsu { sync } => {
+                w.put_u8(1);
+                sync.encode(w);
+            }
+            ThreadStatus::BlockedVector {
+                pending_parts,
+                done,
+                vd,
+                lanes,
+                sync,
+            } => {
+                w.put_u8(2);
+                pending_parts.encode(w);
+                done.encode(w);
+                vd.encode(w);
+                lanes.encode(w);
+                sync.encode(w);
+            }
+            ThreadStatus::AtBarrier => w.put_u8(3),
+            ThreadStatus::Halted => w.put_u8(4),
+        }
+    }
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        use glsc_wire::Wire;
+        let at = r.pos();
+        Ok(match r.get_u8()? {
+            0 => ThreadStatus::Running,
+            1 => ThreadStatus::BlockedGsu {
+                sync: Wire::decode(r)?,
+            },
+            2 => ThreadStatus::BlockedVector {
+                pending_parts: Wire::decode(r)?,
+                done: Wire::decode(r)?,
+                vd: Wire::decode(r)?,
+                lanes: Wire::decode(r)?,
+                sync: Wire::decode(r)?,
+            },
+            3 => ThreadStatus::AtBarrier,
+            4 => ThreadStatus::Halted,
+            _ => {
+                return Err(glsc_wire::WireError::Invalid {
+                    at,
+                    what: "ThreadStatus tag",
+                })
+            }
+        })
+    }
+}
+
+glsc_wire::wire_struct!(Thread {
+    arch,
+    status,
+    reg_ready,
+    reg_from_mem,
+    next_issue_at,
+    stats,
+});
