@@ -12,7 +12,7 @@
 //! (`GLSC_BENCH_THREADS`); output order is unchanged. Completed points
 //! persist to the job store keyed by a config fingerprint, so every
 //! ablation point caches separately (`GLSC_BENCH_RESUME=1` resumes);
-//! failed jobs print as `ERR` cells. Output goes to
+//! failed jobs print as typed degradation cells (`PANIC`/`DEAD`/`QUAR`). Output goes to
 //! `results/ablation.txt`.
 
 use glsc_bench::{
@@ -51,14 +51,14 @@ fn run_with(store: &JobStore, label: &str, kernel: &str, cfg: &MachineConfig) ->
 fn cycles_cell(r: &Result<Point, JobError>) -> String {
     match r {
         Ok(p) => format!("{:>12}", p.0),
-        Err(_) => format!("{:>12}", "ERR"),
+        Err(e) => format!("{:>12}", e.cell()),
     }
 }
 
 fn fail_cell(r: &Result<Point, JobError>) -> String {
     match r {
         Ok(p) => format!("{:>10}", pct(p.1)),
-        Err(_) => format!("{:>10}", "ERR"),
+        Err(e) => format!("{:>10}", e.cell()),
     }
 }
 

@@ -9,7 +9,7 @@
 //! the run, plus the raw injection counters.
 //!
 //! Chaotic runs are never cached (the oracle must actually run); a job
-//! that panics prints as an `ERR` row and a nonzero exit. The table is
+//! that panics prints as a typed degradation row and a nonzero exit. The table is
 //! written to `results/chaos.txt`.
 //!
 //! Set `GLSC_DATASETS=tiny` for the CI smoke configuration.
@@ -76,16 +76,17 @@ fn main() {
     ));
     for ((kernel, ds, variant), result) in params.iter().zip(&results) {
         let Ok((clean, chaotic)) = result else {
+            let cell = result.as_ref().err().map(|e| e.cell()).unwrap_or("ERR");
             out.line(format!(
                 "{:<6} {:>3} {:>6} {:>9} {:>9} {:>7} {:>8} {:>8}",
                 kernel,
                 ds_label(*ds),
                 variant.label(),
-                "ERR",
-                "ERR",
-                "ERR",
-                "ERR",
-                "ERR"
+                cell,
+                cell,
+                cell,
+                cell,
+                cell
             ));
             continue;
         };

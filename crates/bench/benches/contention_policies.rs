@@ -117,7 +117,12 @@ fn main() {
         .zip(&results)
         .map(|(&(policy, bo, shape, squeeze), r)| {
             let key = (policy.label(), bo, shape, squeeze);
-            (key, r.as_ref().ok().map(|out| out.report.clone()))
+            (
+                key,
+                r.as_ref()
+                    .map(|out| out.report.clone())
+                    .map_err(|e| e.cell()),
+            )
         })
         .collect();
 
@@ -130,7 +135,7 @@ fn main() {
             for (cores, tpc) in SHAPES {
                 let key = (policy.label(), bo, (cores, tpc), false);
                 match &reports[&key] {
-                    Some(r) => {
+                    Ok(r) => {
                         let att = attempts(r);
                         let fails: u64 = r.mem.sc_threads.iter().map(|t| t.failures).sum();
                         let failpct = if att == 0 {
@@ -150,12 +155,12 @@ fn main() {
                             r.sc_retry_fairness()
                         ));
                     }
-                    None => out.line(format!(
+                    Err(cell) => out.line(format!(
                         "{:<6} {:>3} {:>5} {:>8}",
                         policy.label(),
                         if bo { "on" } else { "off" },
                         format!("{cores}x{tpc}"),
-                        "ERR"
+                        cell
                     )),
                 }
             }
@@ -171,14 +176,14 @@ fn main() {
     for &policy in &POLICIES {
         let key = (policy.label(), false, (4, 4), true);
         match &reports[&key] {
-            Some(r) => out.line(format!(
+            Ok(r) => out.line(format!(
                 "{:<6} {:>8} {:>10} {:>10}",
                 policy.label(),
                 r.cycles,
                 r.mem.reservation_buffer_evictions,
                 r.max_sc_failure_streak()
             )),
-            None => out.line(format!("{:<6} {:>8}", policy.label(), "ERR")),
+            Err(cell) => out.line(format!("{:<6} {:>8}", policy.label(), cell)),
         }
     }
 
@@ -186,6 +191,7 @@ fn main() {
     let jain = |policy: ArbitrationPolicy| {
         reports[&(policy.label(), false, (4, 4), false)]
             .as_ref()
+            .ok()
             .map(|r| r.sc_retry_fairness())
     };
     if let (Some(free), Some(nack), Some(aged)) =

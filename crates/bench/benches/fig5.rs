@@ -8,7 +8,7 @@
 //! across host threads (`GLSC_BENCH_THREADS`); results are collected in
 //! job order so the printed tables match the serial harness exactly.
 //! Completed simulations persist to the job store (`GLSC_BENCH_RESUME=1`
-//! resumes an interrupted sweep); failed jobs print as `ERR` rows. Both
+//! resumes an interrupted sweep); failed jobs print as typed degradation rows (`PANIC`/`DEAD`/`QUAR`). Both
 //! tables are written to `results/fig5.txt`.
 
 use glsc_bench::{
@@ -43,7 +43,9 @@ fn main() {
         "paper: all benchmarks spend a significant fraction in sync ops",
     );
     out.line(format!("{:<6} {:>4} {:>14}", "bench", "ds", "sync time"));
-    let mut fig5b: Vec<(String, Option<(f64, f64)>)> = Vec::new();
+    // Row label → (4-wide, 16-wide) speedups, or the degradation cell.
+    type Fig5bRow = (String, Result<(f64, f64), &'static str>);
+    let mut fig5b: Vec<Fig5bRow> = Vec::new();
     for (&(kernel, ds, _), chunk) in params.iter().step_by(3).zip(results.chunks(3)) {
         let [w1, w4, w16] = chunk else {
             unreachable!("three widths per pair")
@@ -55,14 +57,25 @@ fn main() {
                 ds_label(ds),
                 100.0 * w1.report.sync_fraction()
             )),
-            Err(_) => out.line(format!("{:<6} {:>4} {:>14}", kernel, ds_label(ds), "ERR")),
+            Err(e) => out.line(format!(
+                "{:<6} {:>4} {:>14}",
+                kernel,
+                ds_label(ds),
+                e.cell()
+            )),
         }
         let speedups = match (w1, w4, w16) {
-            (Ok(w1), Ok(w4), Ok(w16)) => Some((
+            (Ok(w1), Ok(w4), Ok(w16)) => Ok((
                 w1.report.cycles as f64 / w4.report.cycles as f64,
                 w1.report.cycles as f64 / w16.report.cycles as f64,
             )),
-            _ => None,
+            // Label the pair with the first failed width's degradation
+            // mode so 5(b) says how the row died.
+            _ => Err(chunk
+                .iter()
+                .find_map(|r| r.as_ref().err())
+                .map(|e| e.cell())
+                .unwrap_or("ERR")),
         };
         fig5b.push((format!("{kernel}/{}", ds_label(ds)), speedups));
     }
@@ -78,12 +91,12 @@ fn main() {
     let (mut s4, mut s16) = (Vec::new(), Vec::new());
     for (name, speedups) in &fig5b {
         match speedups {
-            Some((a, b)) => {
+            Ok((a, b)) => {
                 out.line(format!("{name:<10} {a:>9.2}x {b:>9.2}x"));
                 s4.push(*a);
                 s16.push(*b);
             }
-            None => out.line(format!("{name:<10} {:>10} {:>10}", "ERR", "ERR")),
+            Err(cell) => out.line(format!("{name:<10} {cell:>10} {cell:>10}")),
         }
     }
     out.line(format!(

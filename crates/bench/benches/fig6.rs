@@ -9,9 +9,10 @@
 //! All (kernel, dataset, variant, config) simulations are independent and
 //! are fanned across host threads (`GLSC_BENCH_THREADS`); output order is
 //! unchanged. Completed simulations persist to the job store, so an
-//! interrupted sweep resumes with `GLSC_BENCH_RESUME=1`; a job that
-//! panics prints as `ERR` cells and a nonzero exit instead of aborting
-//! the figure. The table is also written to `results/fig6.txt`.
+//! interrupted sweep resumes with `GLSC_BENCH_RESUME=1`; a failed job
+//! prints as its degradation-mode cell (`PANIC`, `DEAD`, `QUAR`, `SHED`)
+//! and a nonzero exit instead of aborting the figure. The table is also
+//! written to `results/fig6.txt`.
 
 use glsc_bench::{
     bench_threads, collect_errors, datasets, ds_label, finish_figure, geomean, run_cached,
@@ -46,13 +47,18 @@ fn main() {
         .collect();
     let results = run_jobs(jobs, bench_threads());
     let errors = collect_errors(&results);
+    // Per-job cycles, or the failed job's degradation cell (PANIC, DEAD,
+    // QUAR, SHED) so the figure says *how* a row died, not just that it
+    // did.
     let cycles: std::collections::HashMap<_, _> = params
         .iter()
         .zip(&results)
         .map(|(&(kernel, ds, variant, cfg), r)| {
             (
                 (kernel, ds, variant, cfg),
-                r.as_ref().ok().map(|out| out.report.cycles),
+                r.as_ref()
+                    .map(|out| out.report.cycles)
+                    .map_err(|e| e.cell()),
             )
         })
         .collect();
@@ -70,21 +76,25 @@ fn main() {
                 let mut row = format!("{:<6} {:>3} {:>6}", kernel, ds_label(ds), variant.label());
                 for cfg in CONFIGS {
                     match (norm, cycles[&(kernel, ds, variant, cfg)]) {
-                        (Some(n), Some(c)) => {
+                        (Ok(n), Ok(c)) => {
                             row.push_str(&format!("  {:>6.2}x", n as f64 / c as f64));
                         }
-                        _ => row.push_str(&format!("  {:>7}", "ERR")),
+                        // This job failed: show its own degradation mode.
+                        (_, Err(cell)) => row.push_str(&format!("  {:>7}", cell)),
+                        // This job ran but the 1x1 GLSC normalizer died:
+                        // the value exists but cannot be normalized.
+                        (Err(_), Ok(_)) => row.push_str(&format!("  {:>7}", "ERR")),
                     }
                 }
                 out.line(row);
             }
-            if let (Some(b), Some(g)) = (
+            if let (Ok(b), Ok(g)) = (
                 cycles[&(kernel, ds, Variant::Base, (1, 1))],
                 cycles[&(kernel, ds, Variant::Glsc, (1, 1))],
             ) {
                 improv_1x1.push(b as f64 / g as f64);
             }
-            if let (Some(b), Some(g)) = (
+            if let (Ok(b), Ok(g)) = (
                 cycles[&(kernel, ds, Variant::Base, (4, 4))],
                 cycles[&(kernel, ds, Variant::Glsc, (4, 4))],
             ) {

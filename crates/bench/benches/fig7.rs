@@ -8,7 +8,7 @@
 //! The (scenario, variant, width) runs are independent and are fanned
 //! across host threads (`GLSC_BENCH_THREADS`); output order is unchanged.
 //! Completed runs persist to the job store (`GLSC_BENCH_RESUME=1`
-//! resumes); failed jobs print as `ERR` cells. The table is written to
+//! resumes); failed jobs print as typed degradation cells (`PANIC`/`DEAD`/`QUAR`). The table is written to
 //! `results/fig7.txt`.
 
 use glsc_bench::{
@@ -50,15 +50,16 @@ fn main() {
     // Results arrive in job order: per scenario, [base w4, glsc w4,
     // base w16, glsc w16].
     for (scenario, chunk) in Scenario::ALL.into_iter().zip(results.chunks(4)) {
-        let cell = |base: &Result<glsc_kernels::KernelOutcome, _>,
-                    glsc: &Result<glsc_kernels::KernelOutcome, _>| {
-            match (base, glsc) {
-                (Ok(b), Ok(g)) => {
-                    format!("{:>11.2}x", ratio(b.report.cycles, g.report.cycles))
+        let cell =
+            |base: &Result<glsc_kernels::KernelOutcome, glsc_bench::JobError>,
+             glsc: &Result<glsc_kernels::KernelOutcome, glsc_bench::JobError>| {
+                match (base, glsc) {
+                    (Ok(b), Ok(g)) => {
+                        format!("{:>11.2}x", ratio(b.report.cycles, g.report.cycles))
+                    }
+                    (Err(e), _) | (_, Err(e)) => format!("{:>12}", e.cell()),
                 }
-                _ => format!("{:>12}", "ERR"),
-            }
-        };
+            };
         out.line(format!(
             "{:<9} {} {}",
             scenario.label(),

@@ -9,7 +9,7 @@
 //! The (kernel, dataset, width, variant) runs are independent and are
 //! fanned across host threads (`GLSC_BENCH_THREADS`); output order is
 //! unchanged. Completed runs persist to the job store
-//! (`GLSC_BENCH_RESUME=1` resumes); failed jobs print as `ERR` cells.
+//! (`GLSC_BENCH_RESUME=1` resumes); failed jobs print as typed degradation cells (`PANIC`/`DEAD`/`QUAR`).
 //! The table is written to `results/fig8.txt`.
 
 use glsc_bench::{
@@ -64,7 +64,7 @@ fn main() {
                         per_width[i].push(x);
                         row.push_str(&format!(" {x:>8.2}x"));
                     }
-                    _ => row.push_str(&format!(" {:>9}", "ERR")),
+                    (Err(e), _) | (_, Err(e)) => row.push_str(&format!(" {:>9}", e.cell())),
                 }
             }
             out.line(row);

@@ -77,7 +77,7 @@ fn main() {
     for (label, r) in labels.iter().zip(&results) {
         match r {
             Ok(outcome) => out.line(format!("{:<28} {:>12}", label, outcome.report.cycles)),
-            Err(_) => out.line(format!("{:<28} {:>12}", label, "ERR")),
+            Err(e) => out.line(format!("{:<28} {:>12}", label, e.cell())),
         }
     }
     std::process::exit(finish_figure(out, &errors));

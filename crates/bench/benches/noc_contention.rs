@@ -80,7 +80,14 @@ fn main() {
     let reports: std::collections::HashMap<_, _> = params
         .iter()
         .zip(&results)
-        .map(|(&key, r)| (key, r.as_ref().ok().map(|out| out.report.clone())))
+        .map(|(&key, r)| {
+            (
+                key,
+                r.as_ref()
+                    .map(|out| out.report.clone())
+                    .map_err(|e| e.cell()),
+            )
+        })
         .collect();
 
     out.line(format!(
@@ -104,19 +111,23 @@ fn main() {
                         let ideal = &reports[&(kernel, ds, variant, Topology::Ideal, shape)];
                         let this = &reports[&(kernel, ds, variant, topo, shape)];
                         match (ideal, this) {
-                            (Some(i), Some(t)) => {
+                            (Ok(i), Ok(t)) => {
                                 row.push_str(&format!(
                                     "  {:>6.2}x",
                                     t.cycles as f64 / i.cycles as f64
                                 ));
                             }
-                            _ => row.push_str(&format!("  {:>7}", "ERR")),
+                            // This job failed: show its degradation mode.
+                            (_, Err(cell)) => row.push_str(&format!("  {:>7}", cell)),
+                            // The ideal-fabric normalizer died; the value
+                            // exists but cannot be expressed as a ratio.
+                            (Err(_), Ok(_)) => row.push_str(&format!("  {:>7}", "ERR")),
                         }
                     }
                     out.line(row);
                     if topo == Topology::Ring {
                         let big = SHAPES[SHAPES.len() - 1];
-                        if let (Some(i), Some(t)) = (
+                        if let (Ok(i), Ok(t)) = (
                             &reports[&(kernel, ds, variant, Topology::Ideal, big)],
                             &reports[&(kernel, ds, variant, Topology::Ring, big)],
                         ) {
@@ -140,7 +151,7 @@ fn main() {
     ));
     for kernel in KERNELS {
         for ds in datasets() {
-            if let Some(r) = &reports[&(kernel, ds, Variant::Glsc, Topology::Ring, (8, 4))] {
+            if let Ok(r) = &reports[&(kernel, ds, Variant::Glsc, Topology::Ring, (8, 4))] {
                 let n = &r.mem.noc;
                 out.line(format!(
                     "{:<6} {:>3}  {:>8.2} {:>12} {:>10}",

@@ -159,7 +159,8 @@ fn main() {
         "durable snapshots through the versioned codec; reports identical at every cadence",
     );
     let recovery = measure_recovery(&mut out);
-    write_recovery_json(&recovery);
+    let fleet_recovery = measure_fleet_recovery(&mut out);
+    write_recovery_json(&recovery, &fleet_recovery);
 
     std::process::exit(finish_figure(out, &errors));
 }
@@ -495,10 +496,149 @@ fn measure_recovery(out: &mut FigureOutput) -> Vec<RecoveryRow> {
     rows
 }
 
+/// One cadence point of the fleet-path checkpoint-overhead sweep.
+struct FleetCkptRow {
+    cadence: u64,
+    jobs: usize,
+    checkpoints: u64,
+    /// Total bytes written across all checkpoints of one sweep.
+    ckpt_bytes: u64,
+    /// Supervised fleet with no-op pause hooks.
+    base_sec: f64,
+    /// Supervised fleet writing a durable snapshot at every pause.
+    ckpt_sec: f64,
+    overhead: f64,
+}
+
+/// Measures checkpoint overhead on the *fleet* path: the same durable
+/// tmp+rename snapshot writes as the solo cadence sweep above, but taken
+/// from [`Fleet::run_each_supervised`] pause hooks at slice boundaries —
+/// the production path of the protocol-facing job service (DESIGN.md
+/// §15). The no-checkpoint baseline runs the identical supervised loop
+/// with hooks that do nothing, so the delta is pure checkpoint cost, and
+/// every job's cycle count must match a one-machine-per-job solo run.
+fn measure_fleet_recovery(out: &mut FigureOutput) -> Vec<FleetCkptRow> {
+    use glsc_sim::{Fleet, FleetJob, PauseCtl};
+    let dir = std::env::temp_dir().join(format!("glsc-simperf-fleet-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("fleet checkpoint scratch dir");
+    let ds = datasets()[0];
+    // Two machine shapes → two config-affine fleet groups, so the sweep
+    // exercises pooling and the multi-member pause fan-out, not just one
+    // machine stepped in a loop.
+    let shapes = [(1usize, 2usize), (4, 4)];
+    let params: Vec<(&str, (usize, usize))> = KERNEL_NAMES
+        .iter()
+        .flat_map(|&k| shapes.iter().map(move |&s| (k, s)))
+        .collect();
+    let make_jobs = || -> Vec<FleetJob> {
+        params
+            .iter()
+            .map(|&(kernel, (cores, tpc))| {
+                let cfg = config(cores, tpc, 4);
+                let w = build_named(kernel, ds, Variant::Glsc, &cfg);
+                FleetJob::new(cfg, w.program.clone()).with_base(w.image.publish())
+            })
+            .collect()
+    };
+    let solo: Vec<u64> = params
+        .iter()
+        .map(|&(kernel, (cores, tpc))| {
+            let cfg = config(cores, tpc, 4);
+            let w = build_named(kernel, ds, Variant::Glsc, &cfg);
+            run_workload(&w, &cfg)
+                .unwrap_or_else(|e| panic!("{kernel}: {e}"))
+                .report
+                .cycles
+        })
+        .collect();
+
+    out.blank();
+    out.line(format!(
+        "fleet path ({} jobs, shapes 1x2+4x4, width 4): durable checkpoint at every pause",
+        params.len()
+    ));
+    out.line(format!(
+        "{:>8} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "cadence", "ckpts", "ckpt KiB", "base s", "ckpt s", "overhead"
+    ));
+    let mut rows = Vec::new();
+    for cadence in [5_000u64, 20_000] {
+        let fleet = || Fleet::new().with_quantum(cadence).with_width(4);
+        let mut base_sec = f64::INFINITY;
+        let mut cycles = vec![0u64; params.len()];
+        for _ in 0..BEST_OF {
+            let jobs = make_jobs();
+            let t0 = Instant::now();
+            fleet().run_each_supervised(
+                jobs,
+                |_, _| PauseCtl::Continue,
+                |i, _, r| {
+                    cycles[i] = r.unwrap_or_else(|e| panic!("fleet job {i}: {e}")).cycles;
+                },
+            );
+            base_sec = base_sec.min(t0.elapsed().as_secs_f64());
+        }
+        assert_eq!(cycles, solo, "supervised fleet path changed timing");
+
+        let mut ckpt_sec = f64::INFINITY;
+        let mut checkpoints = 0u64;
+        let mut ckpt_bytes = 0u64;
+        for _ in 0..BEST_OF {
+            let jobs = make_jobs();
+            let (mut n_ck, mut n_bytes) = (0u64, 0u64);
+            let mut cycles = vec![0u64; params.len()];
+            let t0 = Instant::now();
+            fleet().run_each_supervised(
+                jobs,
+                |i, machine| {
+                    let bytes = machine.snapshot().to_bytes();
+                    let path = dir.join(format!("job{i}.ckpt"));
+                    let tmp = dir.join(format!("job{i}.ckpt.tmp"));
+                    std::fs::write(&tmp, &bytes)
+                        .and_then(|()| std::fs::rename(&tmp, &path))
+                        .expect("write fleet checkpoint");
+                    n_ck += 1;
+                    n_bytes += bytes.len() as u64;
+                    PauseCtl::Continue
+                },
+                |i, _, r| {
+                    cycles[i] = r.unwrap_or_else(|e| panic!("fleet job {i}: {e}")).cycles;
+                },
+            );
+            ckpt_sec = ckpt_sec.min(t0.elapsed().as_secs_f64());
+            checkpoints = n_ck;
+            ckpt_bytes = n_bytes;
+            assert_eq!(cycles, solo, "checkpointing fleet path changed timing");
+        }
+        let overhead = ckpt_sec / base_sec - 1.0;
+        out.line(format!(
+            "{:>8} {:>6} {:>9.1} {:>9.4} {:>9.4} {:>8.0}%",
+            cadence,
+            checkpoints,
+            ckpt_bytes as f64 / 1024.0,
+            base_sec,
+            ckpt_sec,
+            overhead * 100.0
+        ));
+        rows.push(FleetCkptRow {
+            cadence,
+            jobs: params.len(),
+            checkpoints,
+            ckpt_bytes,
+            base_sec,
+            ckpt_sec,
+            overhead,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    rows
+}
+
 /// Emits `results/BENCH_recovery.json` — the machine-readable record of
 /// checkpoint overhead vs cadence and time-to-recover vs a naive restart
-/// (same directory and tiny-suffix rules as [`write_fleet_json`]).
-fn write_recovery_json(rows: &[RecoveryRow]) {
+/// on both the solo and the fleet (service) paths (same directory and
+/// tiny-suffix rules as [`write_fleet_json`]).
+fn write_recovery_json(rows: &[RecoveryRow], fleet: &[FleetCkptRow]) {
     let kernels: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -527,11 +667,26 @@ fn write_recovery_json(rows: &[RecoveryRow]) {
             )
         })
         .collect();
+    let fleet_cadences: Vec<String> = fleet
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{ \"cadence_cycles\": {}, \"checkpoints\": {}, \"checkpoint_bytes_total\": {}, \"base_sec\": {:.6}, \"checkpoint_sec\": {:.6}, \"overhead_frac\": {:.4} }}",
+                r.cadence, r.checkpoints, r.ckpt_bytes, r.base_sec, r.ckpt_sec, r.overhead
+            )
+        })
+        .collect();
+    let fleet_json = format!(
+        "  \"fleet_path\": {{\n    \"jobs\": {},\n    \"width\": 4,\n    \"cadences\": [\n{}\n    ]\n  }}",
+        fleet.first().map_or(0, |r| r.jobs),
+        fleet_cadences.join(",\n")
+    );
     let tiny = std::env::var("GLSC_DATASETS").is_ok_and(|v| v == "tiny");
     let json = format!(
-        "{{\n  \"bench\": \"simperf part 4\",\n  \"datasets\": \"{}\",\n{}\n}}\n",
+        "{{\n  \"bench\": \"simperf part 4\",\n  \"datasets\": \"{}\",\n{},\n{}\n}}\n",
         if tiny { "tiny" } else { "full" },
-        kernels.join(",\n")
+        kernels.join(",\n"),
+        fleet_json
     );
     let dir = std::env::var("GLSC_RESULTS_DIR")
         .map(std::path::PathBuf::from)

@@ -13,7 +13,8 @@
 //! fanned across host threads (`GLSC_BENCH_THREADS`); output order is
 //! unchanged. Completed runs persist to the job store
 //! (`GLSC_BENCH_RESUME=1` resumes); a failed job prints its whole row as
-//! `ERR`. The table is written to `results/table4.txt`.
+//! its typed degradation cell (`PANIC`/`DEAD`/`QUAR`). The table is
+//! written to `results/table4.txt`.
 
 use glsc_bench::{
     bench_threads, collect_errors, datasets, ds_label, finish_figure, pct, run_cached, run_jobs,
@@ -55,16 +56,21 @@ fn main() {
         for ds in datasets() {
             let chunk = chunks.next().expect("three runs per cell");
             let (Ok(base), Ok(glsc), Ok(glsc_1x1)) = (&chunk[0], &chunk[1], &chunk[2]) else {
+                let cell = chunk
+                    .iter()
+                    .find_map(|r| r.as_ref().err())
+                    .map(|e| e.cell())
+                    .unwrap_or("ERR");
                 out.line(format!(
                     "{:<6} {:>3} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
                     kernel,
                     ds_label(ds),
-                    "ERR",
-                    "ERR",
-                    "ERR",
-                    "ERR",
-                    "ERR",
-                    "ERR"
+                    cell,
+                    cell,
+                    cell,
+                    cell,
+                    cell,
+                    cell
                 ));
                 continue;
             };

@@ -1,0 +1,302 @@
+//! The wire job-spec codec shared by the `glsc-serve` protocol front-end
+//! and its clients.
+//!
+//! A [`WireJobSpec`] is the *untrusted* form of a job: exactly what a
+//! client frames onto the socket. [`WireJobSpec::validate`] is the
+//! admission boundary — every field is bounds-checked against the same
+//! limits [`glsc_sim::ConfigError`] enforces before any machine, dataset
+//! image, or queue slot is allocated for it, so a hostile spec costs a
+//! typed rejection, never memory or a panic deeper in the stack.
+//!
+//! The id scheme ([`WireJobSpec::id`]) matches the supervisor's
+//! (`HIP-T-GLSC-4x4-w4`, `-chaos<seed>` when a fault plan is requested,
+//! `-p<priority>` never — priority is routing metadata, not identity),
+//! so a resubmitted job keys into the same journal ledger and result
+//! cache and is served without re-running.
+
+use crate::ds_label;
+use glsc_kernels::{Dataset, Variant, KERNEL_NAMES};
+use glsc_wire::{wire_struct, Wire};
+
+/// Dataset tag values on the wire (`Dataset` itself lives in
+/// `glsc-kernels` and stays wire-agnostic).
+pub const DATASET_TAGS: [(u8, Dataset); 3] = [(0, Dataset::Tiny), (1, Dataset::A), (2, Dataset::B)];
+
+/// One job as submitted over the protocol. All fields are untrusted
+/// until [`validate`](WireJobSpec::validate) passes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireJobSpec {
+    /// Kernel name (one of [`glsc_kernels::KERNEL_NAMES`]).
+    pub kernel: String,
+    /// Dataset tag: 0 = Tiny, 1 = A, 2 = B.
+    pub dataset: u8,
+    /// Variant tag: 0 = Base, 1 = Glsc.
+    pub variant: u8,
+    /// Core count (1..=32).
+    pub cores: u32,
+    /// SMT threads per core (1..=8).
+    pub tpc: u32,
+    /// SIMD width (1..=[`glsc_isa::MAX_SIMD_WIDTH`]).
+    pub width: u32,
+    /// Fault-plan seed: `Some` runs the job under seeded chaos.
+    pub chaos: Option<u64>,
+    /// Per-job simulated-cycle deadline.
+    pub deadline_cycles: Option<u64>,
+    /// Per-job wall-clock deadline in milliseconds.
+    pub deadline_wall_ms: Option<u64>,
+}
+
+wire_struct!(WireJobSpec {
+    kernel,
+    dataset,
+    variant,
+    cores,
+    tpc,
+    width,
+    chaos,
+    deadline_cycles,
+    deadline_wall_ms,
+});
+
+/// Why a [`WireJobSpec`] was rejected at admission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// Kernel name is not one of the seven RMS kernels.
+    UnknownKernel(String),
+    /// Dataset tag outside the defined range.
+    BadDataset(u8),
+    /// Variant tag outside the defined range.
+    BadVariant(u8),
+    /// A machine-shape field outside the simulator's configured bounds.
+    ShapeOutOfRange {
+        /// Which field tripped (`"cores"`, `"threads/core"`, `"SIMD width"`).
+        field: &'static str,
+        /// The rejected value.
+        value: u32,
+        /// Inclusive upper bound (lower bound is always 1).
+        max: u32,
+    },
+    /// A deadline of zero can never be met; reject it at the boundary.
+    ZeroDeadline,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::UnknownKernel(k) => write!(f, "unknown kernel {k:?}"),
+            SpecError::BadDataset(t) => write!(f, "dataset tag {t} outside 0..=2"),
+            SpecError::BadVariant(t) => write!(f, "variant tag {t} outside 0..=1"),
+            SpecError::ShapeOutOfRange { field, value, max } => {
+                write!(f, "{field} must be 1..={max} (got {value})")
+            }
+            SpecError::ZeroDeadline => write!(f, "deadline must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl WireJobSpec {
+    /// A plain kernel job on a Fig. 6 shape with no chaos or deadlines.
+    pub fn kernel(
+        kernel: &str,
+        ds: Dataset,
+        variant: Variant,
+        (cores, tpc): (usize, usize),
+        width: usize,
+    ) -> Self {
+        Self {
+            kernel: kernel.to_string(),
+            dataset: DATASET_TAGS
+                .iter()
+                .find(|(_, d)| *d == ds)
+                .map(|(t, _)| *t)
+                .unwrap_or(0),
+            variant: match variant {
+                Variant::Base => 0,
+                Variant::Glsc => 1,
+            },
+            cores: cores as u32,
+            tpc: tpc as u32,
+            width: width as u32,
+            chaos: None,
+            deadline_cycles: None,
+            deadline_wall_ms: None,
+        }
+    }
+
+    /// Bounds-checks every field. Passing means the spec can be resolved
+    /// into a dataset image and a valid [`glsc_sim::MachineConfig`]
+    /// without panicking or allocating absurd amounts of memory.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if !KERNEL_NAMES.contains(&self.kernel.as_str()) {
+            return Err(SpecError::UnknownKernel(self.kernel.clone()));
+        }
+        if self.dataset > 2 {
+            return Err(SpecError::BadDataset(self.dataset));
+        }
+        if self.variant > 1 {
+            return Err(SpecError::BadVariant(self.variant));
+        }
+        let max_width = glsc_isa::MAX_SIMD_WIDTH as u32;
+        for (field, value, max) in [
+            ("cores", self.cores, 32),
+            ("threads/core", self.tpc, 8),
+            ("SIMD width", self.width, max_width),
+        ] {
+            if value == 0 || value > max {
+                return Err(SpecError::ShapeOutOfRange { field, value, max });
+            }
+        }
+        if self.deadline_cycles == Some(0) || self.deadline_wall_ms == Some(0) {
+            return Err(SpecError::ZeroDeadline);
+        }
+        Ok(())
+    }
+
+    /// The validated spec's dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unvalidated tag; call [`validate`](Self::validate)
+    /// first.
+    pub fn resolve_dataset(&self) -> Dataset {
+        DATASET_TAGS
+            .iter()
+            .find(|(t, _)| *t == self.dataset)
+            .map(|(_, d)| *d)
+            .expect("validated dataset tag")
+    }
+
+    /// The validated spec's variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unvalidated tag; call [`validate`](Self::validate)
+    /// first.
+    pub fn resolve_variant(&self) -> Variant {
+        match self.variant {
+            0 => Variant::Base,
+            1 => Variant::Glsc,
+            t => panic!("unvalidated variant tag {t}"),
+        }
+    }
+
+    /// Stable job id, matching the supervisor's naming for the same
+    /// workload (`HIP-T-GLSC-4x4-w4`, plus `-chaos<seed>`).
+    pub fn id(&self) -> String {
+        let ds = DATASET_TAGS
+            .iter()
+            .find(|(t, _)| *t == self.dataset)
+            .map(|(_, d)| ds_label(*d))
+            .unwrap_or("?");
+        let variant = match self.variant {
+            0 => Variant::Base.label(),
+            1 => Variant::Glsc.label(),
+            _ => "?",
+        };
+        let mut id = format!(
+            "{}-{ds}-{variant}-{}x{}-w{}",
+            self.kernel, self.cores, self.tpc, self.width
+        );
+        if let Some(seed) = self.chaos {
+            id.push_str(&format!("-chaos{seed}"));
+        }
+        id
+    }
+
+    /// Encodes the spec as a standalone byte string (for journaling and
+    /// framing).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = glsc_wire::Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a spec produced by [`to_bytes`](Self::to_bytes). The
+    /// result is still *unvalidated*.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, glsc_wire::WireError> {
+        let mut r = glsc_wire::Reader::new(bytes);
+        let spec = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good() -> WireJobSpec {
+        WireJobSpec::kernel("HIP", Dataset::Tiny, Variant::Glsc, (4, 4), 4)
+    }
+
+    #[test]
+    fn roundtrips_and_ids_match_supervisor_naming() {
+        let mut spec = good();
+        spec.chaos = Some(0x5EED);
+        spec.deadline_cycles = Some(1_000_000);
+        let back = WireJobSpec::from_bytes(&spec.to_bytes()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.id(), "HIP-T-GLSC-4x4-w4-chaos24301");
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn hostile_specs_are_typed_rejections() {
+        let mut s = good();
+        s.kernel = "EVIL".into();
+        assert!(matches!(s.validate(), Err(SpecError::UnknownKernel(_))));
+
+        let mut s = good();
+        s.dataset = 9;
+        assert_eq!(s.validate(), Err(SpecError::BadDataset(9)));
+
+        let mut s = good();
+        s.variant = 2;
+        assert_eq!(s.validate(), Err(SpecError::BadVariant(2)));
+
+        // A multi-billion-core "machine" must bounce at the boundary —
+        // this is the allocation guard, not a style check.
+        let mut s = good();
+        s.cores = u32::MAX;
+        assert!(matches!(
+            s.validate(),
+            Err(SpecError::ShapeOutOfRange { field: "cores", .. })
+        ));
+        let mut s = good();
+        s.tpc = 9;
+        assert!(matches!(
+            s.validate(),
+            Err(SpecError::ShapeOutOfRange {
+                field: "threads/core",
+                ..
+            })
+        ));
+        let mut s = good();
+        s.width = 0;
+        assert!(matches!(
+            s.validate(),
+            Err(SpecError::ShapeOutOfRange {
+                field: "SIMD width",
+                ..
+            })
+        ));
+
+        let mut s = good();
+        s.deadline_wall_ms = Some(0);
+        assert_eq!(s.validate(), Err(SpecError::ZeroDeadline));
+    }
+
+    #[test]
+    fn truncated_bytes_decode_to_typed_error() {
+        let bytes = good().to_bytes();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(WireJobSpec::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage is an error too, not silently ignored.
+        let mut padded = bytes.clone();
+        padded.push(0xFF);
+        assert!(WireJobSpec::from_bytes(&padded).is_err());
+    }
+}

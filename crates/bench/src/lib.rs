@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod jobspec;
 mod output;
 pub mod store;
 
@@ -507,9 +508,10 @@ pub fn bench_threads() -> usize {
 }
 
 /// One job's terminal failure. The harness reports it (figure row marked
-/// `ERR`, error epilogue, nonzero exit) instead of aborting the whole
-/// figure. Typed by cause so supervisors (`glsc-serve`) and tests can
-/// react to *why* a job died, not just that it did.
+/// with the typed [`cell`](JobError::cell), error epilogue, nonzero
+/// exit) instead of aborting the whole figure. Typed by cause so
+/// supervisors (`glsc-serve`) and tests can react to *why* a job died,
+/// not just that it did.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum JobError {
     /// The job panicked on every attempt (simulation error, validation
@@ -544,6 +546,18 @@ pub enum JobError {
         /// Total failures recorded against the job before quarantine.
         failures: u32,
     },
+    /// A job was rejected by admission control: the service's bounded
+    /// queue was full and the job's priority did not beat anything
+    /// already queued. Constructed by the `glsc-serve` admission layer;
+    /// the job never ran.
+    Shed {
+        /// The job's index in the submitted batch.
+        index: usize,
+        /// Jobs queued when the shed decision was made.
+        queued: usize,
+        /// The queue's capacity.
+        capacity: usize,
+    },
 }
 
 impl JobError {
@@ -552,20 +566,23 @@ impl JobError {
         match self {
             JobError::Panicked { index, .. }
             | JobError::Deadline { index, .. }
-            | JobError::Quarantined { index, .. } => *index,
+            | JobError::Quarantined { index, .. }
+            | JobError::Shed { index, .. } => *index,
         }
     }
 
-    /// How many attempts were made (failures counted, for quarantine).
+    /// How many attempts were made (failures counted, for quarantine;
+    /// zero for a shed job, which never ran).
     pub fn attempts(&self) -> u32 {
         match self {
             JobError::Panicked { attempts, .. } | JobError::Deadline { attempts, .. } => *attempts,
             JobError::Quarantined { failures, .. } => *failures,
+            JobError::Shed { .. } => 0,
         }
     }
 
     /// Human-readable cause (the panic message, or a rendering of the
-    /// deadline / quarantine condition).
+    /// deadline / quarantine / shed condition).
     pub fn message(&self) -> String {
         match self {
             JobError::Panicked { message, .. } => message.clone(),
@@ -579,6 +596,25 @@ impl JobError {
             JobError::Quarantined { failures, .. } => {
                 format!("quarantined after {failures} failure(s)")
             }
+            JobError::Shed {
+                queued, capacity, ..
+            } => {
+                format!("shed by admission control (queue {queued}/{capacity})")
+            }
+        }
+    }
+
+    /// Fixed-width degradation-mode label for figure and sweep cells,
+    /// so operators can tell *what* failed at a glance instead of a
+    /// conflated `ERR`: `PANIC` (crashed attempts), `DEAD` (deadline),
+    /// `QUAR` (quarantined by the supervisor), `SHED` (rejected by
+    /// admission control).
+    pub fn cell(&self) -> &'static str {
+        match self {
+            JobError::Panicked { .. } => "PANIC",
+            JobError::Deadline { .. } => "DEAD",
+            JobError::Quarantined { .. } => "QUAR",
+            JobError::Shed { .. } => "SHED",
         }
     }
 
@@ -605,6 +641,13 @@ impl JobError {
                 cycles,
             },
             JobError::Quarantined { failures, .. } => JobError::Quarantined { index, failures },
+            JobError::Shed {
+                queued, capacity, ..
+            } => JobError::Shed {
+                index,
+                queued,
+                capacity,
+            },
         }
     }
 }
@@ -612,7 +655,7 @@ impl JobError {
 impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            JobError::Quarantined { index, .. } => {
+            JobError::Quarantined { index, .. } | JobError::Shed { index, .. } => {
                 write!(f, "job {index} {}", self.message())
             }
             _ => write!(
@@ -1010,5 +1053,43 @@ mod tests {
         assert!(out.report.cycles > 0);
         let outm = run_micro(micro::Scenario::B, Variant::Base, (1, 1), 4);
         assert!(outm.report.cycles > 0);
+    }
+
+    #[test]
+    fn degradation_cells_are_pinned() {
+        // Operators grep these exact labels out of figure tables and the
+        // CI panic drill greps PANIC; changing one is a breaking change
+        // to the output format.
+        let panicked = JobError::Panicked {
+            index: 0,
+            attempts: 2,
+            message: "boom".into(),
+        };
+        let dead = JobError::Deadline {
+            index: 1,
+            attempts: 1,
+            wall_ms: None,
+            cycles: Some(50_000),
+        };
+        let quar = JobError::Quarantined {
+            index: 2,
+            failures: 3,
+        };
+        let shed = JobError::Shed {
+            index: 3,
+            queued: 8,
+            capacity: 8,
+        };
+        assert_eq!(panicked.cell(), "PANIC");
+        assert_eq!(dead.cell(), "DEAD");
+        assert_eq!(quar.cell(), "QUAR");
+        assert_eq!(shed.cell(), "SHED");
+        assert_eq!(shed.message(), "shed by admission control (queue 8/8)");
+        assert_eq!(shed.attempts(), 0);
+        assert_eq!(shed.clone().with_index(7).index(), 7);
+        assert_eq!(
+            shed.to_string(),
+            "job 3 shed by admission control (queue 8/8)"
+        );
     }
 }

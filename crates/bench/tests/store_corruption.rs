@@ -67,6 +67,52 @@ fn corrupt_cache_entries_are_logged_misses() {
 }
 
 #[test]
+fn hostile_count_prefixes_are_misses_not_allocations() {
+    // The text codec's count-prefixed lines (`threads N`,
+    // `scthreads N ...`, `noclinks N ...`) must never trust the
+    // declared count: a u64::MAX claim has to cross-check against the
+    // fields actually present and miss instantly — no allocation
+    // proportional to the claim, no hang walking a phantom loop.
+    let dir = tmp_dir("hostile");
+    let store = JobStore::at(dir.clone(), true);
+
+    let cfg = MachineConfig::paper(2, 2, 4);
+    let w = build_named("FS", Dataset::Tiny, Variant::Glsc, &cfg);
+    let out = run_workload(&w, &cfg).unwrap();
+    let key = job_key(&["FS", "T", "glsc"], 0xBEEF, 0x7777);
+    store.save(&key, &out.report);
+    let path = store.path_for(&key).unwrap();
+    let pristine = fs::read_to_string(&path).unwrap();
+    assert_eq!(store.load(&key).as_ref(), Some(&out.report));
+
+    for tag in ["threads", "scthreads", "noclinks"] {
+        let prefix = format!("{tag} ");
+        let hostile: String = pristine
+            .lines()
+            .map(|line| {
+                if line.starts_with(&prefix) {
+                    format!("{tag} {}\n", u64::MAX)
+                } else {
+                    format!("{line}\n")
+                }
+            })
+            .collect();
+        assert_ne!(hostile, pristine, "tag {tag} not found in the entry");
+        fs::write(&path, &hostile).unwrap();
+        assert_eq!(
+            store.load(&key),
+            None,
+            "hostile `{tag}` count served a report"
+        );
+    }
+
+    // A re-save repairs the entry in place, as with any corruption.
+    store.save(&key, &out.report);
+    assert_eq!(store.load(&key).as_ref(), Some(&out.report));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn resume_off_never_reads_even_valid_entries() {
     let dir = tmp_dir("noresume");
     let store = JobStore::at(dir.clone(), false);

@@ -65,6 +65,25 @@ pub enum JournalRecord {
         /// Failures recorded against it at quarantine time.
         failures: u32,
     },
+    /// A protocol client submitted the job. The encoded
+    /// [`WireJobSpec`](glsc_bench::jobspec::WireJobSpec) rides in the
+    /// record so a queued-but-unstarted job survives a crash or drain:
+    /// on restart the service rebuilds it from these bytes and runs it
+    /// even if the client never reconnects.
+    Submitted {
+        /// Stable job id.
+        job: String,
+        /// Admission priority the client asked for.
+        priority: u8,
+        /// The wire-encoded job spec (validated before this was written).
+        spec: Vec<u8>,
+    },
+    /// Admission control dropped the job (queue full, or evicted by a
+    /// higher-priority submission). It will not run unless resubmitted.
+    Shed {
+        /// Stable job id.
+        job: String,
+    },
 }
 
 impl glsc_wire::Wire for JournalRecord {
@@ -95,6 +114,20 @@ impl glsc_wire::Wire for JournalRecord {
                 job.encode(w);
                 failures.encode(w);
             }
+            JournalRecord::Submitted {
+                job,
+                priority,
+                spec,
+            } => {
+                5u8.encode(w);
+                job.encode(w);
+                priority.encode(w);
+                spec.encode(w);
+            }
+            JournalRecord::Shed { job } => {
+                6u8.encode(w);
+                job.encode(w);
+            }
         }
     }
 
@@ -121,6 +154,14 @@ impl glsc_wire::Wire for JournalRecord {
                 job: String::decode(r)?,
                 failures: u32::decode(r)?,
             },
+            5 => JournalRecord::Submitted {
+                job: String::decode(r)?,
+                priority: u8::decode(r)?,
+                spec: Vec::<u8>::decode(r)?,
+            },
+            6 => JournalRecord::Shed {
+                job: String::decode(r)?,
+            },
             _ => {
                 return Err(glsc_wire::WireError::Invalid {
                     at,
@@ -139,7 +180,9 @@ impl JournalRecord {
             | JournalRecord::Running { job, .. }
             | JournalRecord::Done { job, .. }
             | JournalRecord::Failed { job, .. }
-            | JournalRecord::Quarantined { job, .. } => job,
+            | JournalRecord::Quarantined { job, .. }
+            | JournalRecord::Submitted { job, .. }
+            | JournalRecord::Shed { job } => job,
         }
     }
 }
@@ -159,6 +202,11 @@ pub struct JobLedger {
     pub failures: u32,
     /// `Quarantined` record present.
     pub quarantined: bool,
+    /// Latest protocol submission still owed a run: `(priority, spec
+    /// bytes)`. Cleared by `Done`, `Quarantined`, and `Shed` — what
+    /// remains after replay is exactly the set of queued-but-unstarted
+    /// jobs a restart must pick back up.
+    pub pending: Option<(u8, Vec<u8>)>,
 }
 
 /// Replays records into per-job ledgers.
@@ -169,9 +217,20 @@ pub fn replay(records: &[JournalRecord]) -> HashMap<String, JobLedger> {
         match rec {
             JournalRecord::Accepted { .. } => entry.accepted = true,
             JournalRecord::Running { seq, cycle, .. } => entry.checkpoint = Some((*seq, *cycle)),
-            JournalRecord::Done { chaos, .. } => entry.done = Some(chaos.clone()),
+            JournalRecord::Done { chaos, .. } => {
+                entry.done = Some(chaos.clone());
+                entry.pending = None;
+            }
             JournalRecord::Failed { .. } => entry.failures += 1,
-            JournalRecord::Quarantined { .. } => entry.quarantined = true,
+            JournalRecord::Quarantined { .. } => {
+                entry.quarantined = true;
+                entry.pending = None;
+            }
+            JournalRecord::Submitted { priority, spec, .. } => {
+                entry.accepted = true;
+                entry.pending = Some((*priority, spec.clone()));
+            }
+            JournalRecord::Shed { .. } => entry.pending = None,
         }
     }
     map
@@ -385,6 +444,78 @@ mod tests {
         let (_, records) = Journal::open(&path).unwrap();
         assert_eq!(records.len(), 3);
         assert_eq!(records[2], JournalRecord::Accepted { job: "c".into() });
+    }
+
+    #[test]
+    fn submitted_and_shed_replay_into_pending_state() {
+        let path = tmp("pending");
+        let (mut j, _) = Journal::open(&path).unwrap();
+        let spec = vec![1u8, 2, 3];
+        j.append(&JournalRecord::Submitted {
+            job: "p".into(),
+            priority: 7,
+            spec: spec.clone(),
+        })
+        .unwrap();
+        j.append(&JournalRecord::Submitted {
+            job: "q".into(),
+            priority: 0,
+            spec: spec.clone(),
+        })
+        .unwrap();
+        j.append(&JournalRecord::Shed { job: "q".into() }).unwrap();
+        j.append(&JournalRecord::Submitted {
+            job: "r".into(),
+            priority: 1,
+            spec: spec.clone(),
+        })
+        .unwrap();
+        j.append(&JournalRecord::Done {
+            job: "r".into(),
+            chaos: None,
+        })
+        .unwrap();
+        drop(j);
+        let (_, records) = Journal::open(&path).unwrap();
+        let ledgers = replay(&records);
+        // p is still owed a run; q was shed; r finished.
+        assert_eq!(ledgers["p"].pending, Some((7, spec)));
+        assert!(ledgers["p"].accepted);
+        assert_eq!(ledgers["q"].pending, None);
+        assert_eq!(ledgers["r"].pending, None);
+        assert!(ledgers["r"].done.is_some());
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_a_torn_tail_not_an_allocation() {
+        // A frame header declaring u32::MAX (or any length beyond the
+        // remaining file) must be treated as a torn tail: scan slices,
+        // never allocates from the declared length, and open truncates
+        // the garbage away while keeping the intact prefix.
+        let path = tmp("hostile-len");
+        let (mut j, _) = Journal::open(&path).unwrap();
+        j.append(&JournalRecord::Accepted { job: "ok".into() })
+            .unwrap();
+        j.append(&JournalRecord::Done {
+            job: "ok".into(),
+            chaos: None,
+        })
+        .unwrap();
+        drop(j);
+        let intact = std::fs::read(&path).unwrap();
+        for declared in [u32::MAX, u32::MAX - 11, 1 << 30, intact.len() as u32 + 1] {
+            let mut bytes = intact.clone();
+            bytes.extend_from_slice(&declared.to_le_bytes());
+            bytes.extend_from_slice(b"garbage that is much shorter than declared");
+            std::fs::write(&path, &bytes).unwrap();
+            let (_, records) = Journal::open(&path).unwrap();
+            assert_eq!(records.len(), 2, "declared {declared}");
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                intact,
+                "declared {declared}: torn tail must be truncated away"
+            );
+        }
     }
 
     #[test]

@@ -14,9 +14,14 @@
 //!
 //! * [`journal`] — append-only WAL with per-record checksums; a torn
 //!   tail decodes as "the append never happened".
-//! * [`service`] — the supervisor: sliced execution, checkpoint cadence,
-//!   wall/cycle deadlines ([`glsc_bench::JobError::Deadline`]), seeded
-//!   backoff retries, poison-job quarantine, SIGTERM drain.
+//! * [`service`] — the supervisor: fleet-routed sliced execution
+//!   (config-affine slots), checkpoint cadence, wall/cycle deadlines
+//!   ([`glsc_bench::JobError::Deadline`]), seeded backoff retries,
+//!   poison-job quarantine, SIGTERM drain.
+//! * [`queue`] — bounded, priority-aware admission in front of the
+//!   fleet; overload becomes typed `SHED` decisions, not memory growth.
+//! * [`proto`] — the framed request/reply protocol `serve` speaks over
+//!   stdin or a Unix socket; hostile frames map to typed errors.
 //! * `kill` — deterministic crash injection (`GLSC_SERVE_KILL`) for the
 //!   drill harness.
 //! * [`signal`] — the SIGTERM flag the drain path polls.
@@ -25,7 +30,10 @@
 
 pub mod journal;
 mod kill;
+pub mod proto;
+pub mod queue;
 pub mod service;
+pub mod session;
 pub mod signal;
 
 pub use service::{print_sweep, run_sweep, JobResult, JobSpec, ServiceConfig, SweepReport};

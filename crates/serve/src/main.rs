@@ -1,7 +1,10 @@
-//! `glsc-serve` — run a supervised, crash-durable simulation sweep.
+//! `glsc-serve` — run a supervised, crash-durable simulation sweep, or
+//! serve it as a protocol-facing job service.
 //!
 //! ```text
-//! glsc-serve sweep --state-dir DIR [options]
+//! glsc-serve sweep --state-dir DIR [options]    one-shot CLI sweep
+//! glsc-serve serve --state-dir DIR (--stdio | --socket PATH) [options]
+//! glsc-serve client --socket PATH [options]     submit + stream results
 //!
 //!   --state-dir DIR        durable state root (or GLSC_SERVE_DIR)
 //!   --kernels A,B,..       kernels to run (default: all seven)
@@ -15,26 +18,47 @@
 //!   --max-failures K       failures before quarantine (default: 3)
 //!   --chaos-seed S         run every job under a seeded fault plan
 //!   --seed S               retry-backoff jitter seed (default: 0)
-//!   --inject-wedged        prepend a never-halting drill job
+//!   --inject-wedged        prepend a never-halting drill job (sweep)
+//!   --queue-cap N          admission queue capacity (serve, default: 64)
+//!   --fleet-width N        fleet batch width (default: 4)
+//!   --priority P           submission priority 0-255 (client, default: 0)
+//!   --shutdown             ask the service to exit after the sweep (client)
 //! ```
 //!
-//! Exit code 0 on a clean sweep or a SIGTERM drain, 1 when any job
-//! failed or was quarantined. Killing the process at any moment is safe:
-//! rerunning the same command resumes from the journal and checkpoints
-//! and prints the same table an uninterrupted run would have printed.
+//! `serve` speaks the framed protocol (`glsc_serve::proto`) over stdin
+//! or a Unix socket: length-prefixed, FNV-64-checksummed frames carrying
+//! job submissions, with typed shed/reject replies and streamed results.
+//! Exit code 0 on a clean sweep, SIGTERM drain, or client-requested
+//! shutdown; 1 when any sweep job failed or was quarantined. Killing the
+//! process at any moment is safe: rerunning resumes from the journal and
+//! checkpoints, queued-but-unstarted submissions are re-queued, and the
+//! output is byte-identical to what an uninterrupted run would have
+//! printed.
 
+use glsc_bench::jobspec::WireJobSpec;
 use glsc_kernels::{Dataset, Variant, KERNEL_NAMES};
+use glsc_serve::proto::{read_message, write_message, Reply, Request};
+use glsc_serve::session::{run_session, SessionEnd};
 use glsc_serve::{print_sweep, run_sweep, signal, JobSpec, ServiceConfig};
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::process::exit;
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: glsc-serve sweep --state-dir DIR [options] (see --help)");
+    eprintln!("usage: glsc-serve sweep|serve|client --state-dir DIR [options] (see --help)");
     exit(2);
 }
 
+enum Cmd {
+    Sweep,
+    Serve,
+    Client,
+}
+
 struct Args {
+    cmd: Cmd,
     state_dir: Option<PathBuf>,
     kernels: Vec<String>,
     shapes: Vec<(usize, usize)>,
@@ -48,10 +72,17 @@ struct Args {
     chaos_seed: Option<u64>,
     seed: u64,
     inject_wedged: bool,
+    stdio: bool,
+    socket: Option<PathBuf>,
+    queue_cap: usize,
+    fleet_width: usize,
+    priority: u8,
+    shutdown: bool,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
+        cmd: Cmd::Sweep,
         state_dir: std::env::var("GLSC_SERVE_DIR").ok().map(PathBuf::from),
         kernels: KERNEL_NAMES.iter().map(|k| k.to_string()).collect(),
         shapes: vec![(1, 1), (1, 4), (4, 1), (4, 4)],
@@ -65,15 +96,25 @@ fn parse_args() -> Args {
         chaos_seed: None,
         seed: 0,
         inject_wedged: false,
+        stdio: false,
+        socket: None,
+        queue_cap: 64,
+        fleet_width: 4,
+        priority: 0,
+        shutdown: false,
     };
     let mut it = std::env::args().skip(1);
     match it.next().as_deref() {
-        Some("sweep") => {}
+        Some("sweep") => args.cmd = Cmd::Sweep,
+        Some("serve") => args.cmd = Cmd::Serve,
+        Some("client") => args.cmd = Cmd::Client,
         Some("--help") | Some("-h") => {
             eprintln!("see the crate docs (src/main.rs header) for usage");
             exit(0);
         }
-        other => usage(&format!("expected the `sweep` subcommand, got {other:?}")),
+        other => usage(&format!(
+            "expected the `sweep`, `serve`, or `client` subcommand, got {other:?}"
+        )),
     }
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| {
@@ -165,15 +206,35 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage("bad --seed"))
             }
             "--inject-wedged" => args.inject_wedged = true,
+            "--stdio" => args.stdio = true,
+            "--socket" => args.socket = Some(PathBuf::from(value("--socket"))),
+            "--queue-cap" => {
+                args.queue_cap = value("--queue-cap")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("bad --queue-cap"))
+            }
+            "--fleet-width" => {
+                args.fleet_width = value("--fleet-width")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("bad --fleet-width"))
+            }
+            "--priority" => {
+                args.priority = value("--priority")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --priority (0-255)"))
+            }
+            "--shutdown" => args.shutdown = true,
             f => usage(&format!("unknown flag {f:?}")),
         }
     }
     args
 }
 
-fn main() {
-    signal::install_term_handler();
-    let args = parse_args();
+fn service_config(args: &Args) -> ServiceConfig {
     let Some(state_dir) = args.state_dir.clone() else {
         usage("--state-dir (or GLSC_SERVE_DIR) is required");
     };
@@ -183,7 +244,23 @@ fn main() {
     cfg.deadline_cycles = args.deadline_cycles;
     cfg.max_failures = args.max_failures;
     cfg.seed = args.seed;
+    cfg.fleet_width = args.fleet_width;
+    cfg.queue_capacity = args.queue_cap;
+    cfg
+}
 
+fn main() {
+    signal::install_term_handler();
+    let args = parse_args();
+    match args.cmd {
+        Cmd::Sweep => cmd_sweep(&args),
+        Cmd::Serve => cmd_serve(&args),
+        Cmd::Client => cmd_client(&args),
+    }
+}
+
+fn cmd_sweep(args: &Args) -> ! {
+    let cfg = service_config(args);
     let mut jobs = Vec::new();
     if args.inject_wedged {
         jobs.push(JobSpec::wedged());
@@ -214,5 +291,239 @@ fn main() {
             eprintln!("[serve] state-dir IO error: {e}");
             exit(3);
         }
+    }
+}
+
+fn cmd_serve(args: &Args) -> ! {
+    let cfg = service_config(args);
+    match (&args.socket, args.stdio) {
+        (Some(_), true) => usage("--stdio and --socket are mutually exclusive"),
+        (None, false) => usage("serve needs --stdio or --socket PATH"),
+        (None, true) => {
+            let mut stdin = std::io::stdin().lock();
+            let mut stdout = std::io::stdout().lock();
+            match run_session(&cfg, &mut stdin, &mut stdout) {
+                Ok(end) => {
+                    if end == SessionEnd::Drained {
+                        eprintln!("[serve] drained cleanly; restart to finish pending jobs");
+                    }
+                    exit(0);
+                }
+                Err(e) => {
+                    eprintln!("[serve] state-dir IO error: {e}");
+                    exit(3);
+                }
+            }
+        }
+        (Some(path), false) => serve_socket(&cfg, path),
+    }
+}
+
+/// Accept loop: one client session at a time (jobs are globally
+/// journaled, so sessions serialize naturally). Nonblocking accept so a
+/// SIGTERM between sessions drains promptly.
+fn serve_socket(cfg: &ServiceConfig, path: &PathBuf) -> ! {
+    let _ = std::fs::remove_file(path);
+    let listener = match UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("[serve] cannot bind {}: {e}", path.display());
+            exit(3);
+        }
+    };
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("[serve] cannot poll the listener: {e}");
+        exit(3);
+    }
+    eprintln!("[serve] listening on {}", path.display());
+    loop {
+        if signal::term_requested() {
+            eprintln!("[serve] drained cleanly; restart to finish pending jobs");
+            let _ = std::fs::remove_file(path);
+            exit(0);
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let mut input = match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("[serve] cannot clone the client stream: {e}");
+                        continue;
+                    }
+                };
+                let mut output = stream;
+                match run_session(cfg, &mut input, &mut output) {
+                    Ok(SessionEnd::Closed) => continue,
+                    Ok(SessionEnd::Shutdown) => {
+                        eprintln!("[serve] shutdown requested by client");
+                        let _ = std::fs::remove_file(path);
+                        exit(0);
+                    }
+                    Ok(SessionEnd::Drained) => {
+                        eprintln!("[serve] drained cleanly; restart to finish pending jobs");
+                        let _ = std::fs::remove_file(path);
+                        exit(0);
+                    }
+                    Err(e) => {
+                        eprintln!("[serve] state-dir IO error: {e}");
+                        exit(3);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("[serve] accept failed: {e}");
+                exit(3);
+            }
+        }
+    }
+}
+
+/// One client row in the deterministic result table.
+enum Row {
+    Done { cycles: u64, chaos: Option<String> },
+    Failed { label: String, detail: String },
+    Shed { queued: u32, capacity: u32 },
+    Rejected { reason: String },
+}
+
+fn cmd_client(args: &Args) -> ! {
+    let Some(path) = &args.socket else {
+        usage("client needs --socket PATH");
+    };
+    let stream = match UnixStream::connect(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[client] cannot connect to {}: {e}", path.display());
+            exit(3);
+        }
+    };
+    let mut input = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[client] cannot clone the stream: {e}");
+            exit(3);
+        }
+    };
+    let mut output = stream;
+
+    // Submit the cross product, then the run barrier. Specs are sent
+    // before replies are drained; at CLI scale the socket buffers absorb
+    // this comfortably.
+    let mut ids: Vec<String> = Vec::new();
+    for kernel in &args.kernels {
+        for &shape in &args.shapes {
+            let mut spec =
+                WireJobSpec::kernel(kernel, args.dataset, args.variant, shape, args.width);
+            spec.chaos = args.chaos_seed;
+            spec.deadline_cycles = args.deadline_cycles;
+            spec.deadline_wall_ms = args.deadline_wall_ms;
+            ids.push(spec.id());
+            send_or_die(
+                &mut output,
+                &Request::Submit {
+                    priority: args.priority,
+                    spec,
+                },
+            );
+        }
+    }
+    send_or_die(&mut output, &Request::Run);
+
+    // Read everything up to the sweep barrier, keyed by job id; later
+    // replies (results) override earlier ones (admission).
+    let mut rows: std::collections::HashMap<String, Row> = std::collections::HashMap::new();
+    loop {
+        let reply = match read_message::<Reply>(&mut input) {
+            Ok(Some(reply)) => reply,
+            Ok(None) => {
+                eprintln!("[client] server closed the stream before the sweep finished");
+                break;
+            }
+            Err(e) => {
+                eprintln!("[client] bad frame from server: {e}");
+                exit(3);
+            }
+        };
+        match reply {
+            Reply::Accepted { .. } => {}
+            Reply::Shed {
+                id,
+                queued,
+                capacity,
+            } => {
+                rows.insert(id, Row::Shed { queued, capacity });
+            }
+            Reply::Rejected { id, reason } => {
+                rows.insert(id, Row::Rejected { reason });
+            }
+            Reply::FrameError { detail } => {
+                eprintln!("[client] server reported a frame error: {detail}");
+            }
+            Reply::JobDone {
+                id, cycles, chaos, ..
+            } => {
+                rows.insert(id, Row::Done { cycles, chaos });
+            }
+            Reply::JobFailed { id, label, detail } => {
+                rows.insert(id, Row::Failed { label, detail });
+            }
+            Reply::SweepDone { .. } => break,
+        }
+    }
+
+    if args.shutdown {
+        send_or_die(&mut output, &Request::Shutdown);
+    }
+
+    // Deterministic table in submission order — diffable across
+    // crash/recovery histories exactly like the sweep CLI's.
+    let width = ids.iter().map(String::len).max().unwrap_or(0).max(3);
+    let mut stdout = std::io::stdout().lock();
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    let _ = writeln!(stdout, "=== glsc-client sweep: {} job(s) ===", ids.len());
+    for id in &ids {
+        match rows.get(id) {
+            Some(Row::Done { cycles, chaos }) => {
+                ok += 1;
+                let _ = writeln!(stdout, "{id:<width$}  {cycles:>12} cycles");
+                if let Some(chaos) = chaos {
+                    let _ = writeln!(stdout, "{:<width$}  chaos: {chaos}", "");
+                }
+            }
+            Some(Row::Failed { label, detail }) => {
+                failed += 1;
+                let _ = writeln!(stdout, "{id:<width$}  {label} {detail}");
+            }
+            Some(Row::Shed { queued, capacity }) => {
+                failed += 1;
+                let _ = writeln!(
+                    stdout,
+                    "{id:<width$}  SHED shed by admission control (queue {queued}/{capacity})"
+                );
+            }
+            Some(Row::Rejected { reason }) => {
+                failed += 1;
+                let _ = writeln!(stdout, "{id:<width$}  REJ {reason}");
+            }
+            None => {
+                failed += 1;
+                let _ = writeln!(stdout, "{id:<width$}  ERR not reached");
+            }
+        }
+    }
+    let _ = writeln!(stdout, "== {ok} ok, {failed} failed ==");
+    exit(i32::from(failed > 0));
+}
+
+fn send_or_die(output: &mut UnixStream, req: &Request) {
+    if let Err(e) = write_message(output, req) {
+        eprintln!("[client] cannot send to server: {e}");
+        exit(3);
     }
 }

@@ -1,21 +1,27 @@
 //! The supervised, crash-durable sweep runner.
 //!
-//! One [`JobSpec`] per simulation; the supervisor drives each job in
-//! cycle slices ([`glsc_sim::SlicedRun`]), writing a durable checkpoint
-//! every `checkpoint_every` cycles (tmp+rename of the versioned,
-//! checksummed snapshot envelope) and journaling every state transition
-//! (`accepted → running{checkpoint} → done | quarantined`). A restart —
-//! crash or drain — replays the journal, resumes every live job from its
-//! last intact checkpoint, reprints finished jobs from the result store,
-//! and produces output byte-identical to an uninterrupted run (the
-//! kill-drill oracle in `tests/` pins this for every kernel × Fig. 6
-//! shape).
+//! One [`JobSpec`] per simulation; the supervisor routes every round of
+//! attempts through the fleet engine ([`glsc_sim::Fleet`]) — jobs are
+//! grouped into config-affine slots and advance in batched quanta of
+//! `checkpoint_every` cycles, so a sweep amortizes machine construction
+//! and dataset mounting exactly as the bench harness does. At every
+//! quantum boundary the supervisor writes a durable checkpoint
+//! (tmp+rename of the versioned, checksummed snapshot envelope) and
+//! journals every state transition (`accepted → running{checkpoint} →
+//! done | quarantined`). A restart — crash or drain — replays the
+//! journal, resumes every live job from its last intact checkpoint
+//! ([`FleetJob::with_snapshot`]), reprints finished jobs from the result
+//! store, and produces output byte-identical to an uninterrupted run
+//! (the kill-drill oracle in `tests/` pins this for every kernel ×
+//! Fig. 6 shape).
 //!
-//! Failure policy: a panicking or deadline-tripping attempt appends a
-//! `Failed` record, sleeps the seeded jittered backoff, and retries; a
-//! job whose failure count (across restarts — the journal remembers)
-//! reaches `max_failures` is quarantined and reported as an `ERR` row
-//! while the rest of the sweep completes, with a nonzero exit.
+//! Failure policy: a panicking, sim-erroring, or deadline-tripping
+//! attempt appends a `Failed` record and retries next round after the
+//! seeded jittered backoff; a panic is contained to its fleet member
+//! (machine discarded, batch keeps stepping). A job whose failure count
+//! (across restarts — the journal remembers) reaches `max_failures` is
+//! quarantined and reported as a `QUAR` row while the rest of the sweep
+//! completes, with a nonzero exit.
 
 use crate::journal::{replay, JobLedger, Journal, JournalRecord};
 use crate::{kill, signal};
@@ -23,9 +29,13 @@ use glsc_bench::store::{cfg_fingerprint, job_key};
 use glsc_bench::{backoff_jittered_ms, JobError, JobStore};
 use glsc_kernels::{build_named, Dataset, Variant, Workload};
 use glsc_sim::{
-    ChaosConfig, FaultPlan, Machine, MachineConfig, MachineSnapshot, RunReport, SlicedRun,
+    BackingBase, ChaosConfig, FaultPlan, Fleet, FleetFailure, FleetJob, Machine, MachineConfig,
+    MachineSnapshot, PauseCtl, RunReport,
 };
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Service-wide knobs.
@@ -33,9 +43,9 @@ use std::time::Instant;
 pub struct ServiceConfig {
     /// Root of all durable state: `journal.log`, `checkpoints/`, `cache/`.
     pub state_dir: PathBuf,
-    /// Checkpoint cadence in simulated cycles. Smaller = less lost work
-    /// on a crash, more encode/write overhead (measured by the `simperf`
-    /// bench's recovery part).
+    /// Checkpoint cadence in simulated cycles — also the fleet stepping
+    /// quantum. Smaller = less lost work on a crash, more encode/write
+    /// overhead (measured by the `simperf` bench's recovery part).
     pub checkpoint_every: u64,
     /// Per-attempt wall-clock budget; `None` = unlimited.
     pub deadline_wall_ms: Option<u64>,
@@ -47,11 +57,16 @@ pub struct ServiceConfig {
     pub max_failures: u32,
     /// Seed for the deterministic retry-backoff jitter.
     pub seed: u64,
+    /// Fleet batch width: how many machines are live at once.
+    pub fleet_width: usize,
+    /// Admission-queue capacity for the protocol front-end; submissions
+    /// past this bound are shed (see [`crate::queue`]).
+    pub queue_capacity: usize,
 }
 
 impl ServiceConfig {
     /// Defaults: checkpoint every 20k cycles, no deadlines, quarantine
-    /// after 3 failures, seed 0.
+    /// after 3 failures, seed 0, fleet width 4, queue capacity 64.
     pub fn new(state_dir: PathBuf) -> Self {
         Self {
             state_dir,
@@ -60,6 +75,8 @@ impl ServiceConfig {
             deadline_cycles: None,
             max_failures: 3,
             seed: 0,
+            fleet_width: 4,
+            queue_capacity: 64,
         }
     }
 }
@@ -168,11 +185,15 @@ pub struct JobResult {
     pub chaos: Option<String>,
 }
 
+/// Per-job outcomes in submission order; `None` marks jobs not reached
+/// before a drain.
+pub type SweepOutcomes = Vec<Option<Result<JobResult, JobError>>>;
+
 /// Outcome of a whole sweep.
 pub struct SweepReport {
     /// Per-job outcomes, in submission order. `None` marks jobs not
     /// reached before a drain.
-    pub outcomes: Vec<Option<Result<JobResult, JobError>>>,
+    pub outcomes: SweepOutcomes,
     /// A SIGTERM arrived and the service drained cleanly.
     pub drained: bool,
 }
@@ -190,22 +211,6 @@ impl SweepReport {
     }
 }
 
-enum Supervised {
-    Finished(Box<JobResult>),
-    Failed(JobError),
-    Drained,
-}
-
-enum AttemptEnd {
-    Finished(Box<JobResult>),
-    Deadline {
-        wall_ms: Option<u64>,
-        cycles: Option<u64>,
-    },
-    Crashed(String),
-    Drained,
-}
-
 /// Runs the sweep under supervision. Progress goes to stderr; the caller
 /// renders the table from the returned report ([`print_sweep`]) so
 /// stdout stays byte-identical across crash/recovery histories.
@@ -214,24 +219,14 @@ pub fn run_sweep(cfg: &ServiceConfig, jobs: &[JobSpec]) -> std::io::Result<Sweep
     let store = JobStore::at(cfg.state_dir.join("cache"), true);
     let (mut journal, records) = Journal::open(&cfg.state_dir.join("journal.log"))?;
     let ledgers = replay(&records);
-    let mut outcomes: Vec<Option<Result<JobResult, JobError>>> = vec![None; jobs.len()];
-    let mut drained = false;
-    for (index, job) in jobs.iter().enumerate() {
-        if drained {
-            break;
-        }
-        let ledger = ledgers.get(&job.id).cloned().unwrap_or_default();
-        match supervise(cfg, &store, &mut journal, ledger, job, index)? {
-            Supervised::Finished(result) => outcomes[index] = Some(Ok(*result)),
-            Supervised::Failed(e) => outcomes[index] = Some(Err(e)),
-            Supervised::Drained => drained = true,
-        }
-    }
+    let (outcomes, drained) = run_supervised(cfg, &store, &mut journal, &ledgers, jobs, |_, _| {})?;
     Ok(SweepReport { outcomes, drained })
 }
 
 /// Renders the sweep table. Deterministic: no paths, no timestamps, no
 /// host state — a recovered sweep prints the same bytes as a solo one.
+/// Failed rows carry the degradation-mode cell ([`JobError::cell`]):
+/// `PANIC`, `DEAD`, `QUAR`, or `SHED`, never a conflated `ERR`.
 pub fn print_sweep(jobs: &[JobSpec], report: &SweepReport, out: &mut impl std::io::Write) {
     if report.drained {
         // Nothing goes to the table on a drain; the next invocation
@@ -257,7 +252,7 @@ pub fn print_sweep(jobs: &[JobSpec], report: &SweepReport, out: &mut impl std::i
             }
             Some(Err(e)) => {
                 failed += 1;
-                let _ = writeln!(out, "{:<width$}  ERR {}", job.id, e.message());
+                let _ = writeln!(out, "{:<width$}  {} {}", job.id, e.cell(), e.message());
             }
             None => {
                 failed += 1;
@@ -268,102 +263,375 @@ pub fn print_sweep(jobs: &[JobSpec], report: &SweepReport, out: &mut impl std::i
     let _ = writeln!(out, "== {ok} ok, {failed} failed ==");
 }
 
-fn supervise(
-    cfg: &ServiceConfig,
-    store: &JobStore,
-    journal: &mut Journal,
-    mut ledger: JobLedger,
-    job: &JobSpec,
-    index: usize,
-) -> std::io::Result<Supervised> {
-    if ledger.quarantined {
-        return Ok(Supervised::Failed(JobError::Quarantined {
-            index,
-            failures: ledger.failures,
-        }));
-    }
-    let key = job.cache_key();
-    if let Some(chaos) = &ledger.done {
-        if let Some(report) = store.load(&key) {
-            return Ok(Supervised::Finished(Box::new(JobResult {
-                report,
-                chaos: chaos.clone(),
-            })));
+/// Per-job supervision state threaded across fleet rounds.
+struct JobState {
+    ledger: JobLedger,
+    key: String,
+    /// Checkpoint sequence counter, resumed from the journal.
+    seq: u64,
+    /// Wall-deadline clock, armed at the job's first pause this process.
+    started: Option<Instant>,
+    outcome: Option<Result<JobResult, JobError>>,
+}
+
+/// Everything the fleet hooks need, behind one `RefCell`: the pause and
+/// completion hooks are separate `FnMut`s but never run reentrantly (the
+/// fleet is single-threaded), so a runtime-checked borrow is safe.
+struct RoundCtx<'a, F> {
+    svc: &'a ServiceConfig,
+    store: &'a JobStore,
+    journal: &'a mut Journal,
+    jobs: &'a [JobSpec],
+    states: &'a mut [JobState],
+    on_result: &'a mut F,
+    /// Jobs that failed this round but still have retry budget.
+    retried: Vec<usize>,
+    /// First checkpoint/journal write error; halts the fleet and is
+    /// re-raised once the round unwinds.
+    io_err: Option<std::io::Error>,
+    /// A TERM was observed mid-round; in-flight members checkpointed.
+    drained: bool,
+}
+
+impl<F: FnMut(usize, &Result<JobResult, JobError>)> RoundCtx<'_, F> {
+    /// Journals one failed attempt and applies the quarantine threshold.
+    fn record_failure(&mut self, gi: usize, reason: String) {
+        let id = &self.jobs[gi].id;
+        if let Err(e) = self.journal.append(&JournalRecord::Failed {
+            job: id.clone(),
+            reason,
+        }) {
+            self.io_err.get_or_insert(e);
+            return;
         }
-        // Done in the journal but the cached report is gone or corrupt:
-        // fall through and re-run — correctness never depends on the
-        // cache surviving.
-        eprintln!(
-            "[serve] {}: done in journal but report missing; re-running",
-            job.id
-        );
+        let st = &mut self.states[gi];
+        st.ledger.failures += 1;
+        if st.ledger.failures >= self.svc.max_failures {
+            if let Err(e) = self.journal.append(&JournalRecord::Quarantined {
+                job: id.clone(),
+                failures: st.ledger.failures,
+            }) {
+                self.io_err.get_or_insert(e);
+                return;
+            }
+            eprintln!(
+                "[serve] {id}: quarantined after {} failure(s)",
+                st.ledger.failures
+            );
+            let outcome = Err(JobError::Quarantined {
+                index: gi,
+                failures: st.ledger.failures,
+            });
+            (self.on_result)(gi, &outcome);
+            st.outcome = Some(outcome);
+        } else {
+            self.retried.push(gi);
+        }
     }
-    if !ledger.accepted {
-        journal.append(&JournalRecord::Accepted {
-            job: job.id.clone(),
-        })?;
-        ledger.accepted = true;
+
+    /// The drain path: checkpoint this member and stop the fleet. The
+    /// fleet re-offers every other live member to the pause hook before
+    /// halting, so all in-flight slots checkpoint, and queued-but-unstarted
+    /// jobs are never mounted (their journal state — accepted or pending —
+    /// already promises them a run on restart).
+    fn drain_member(&mut self, gi: usize, machine: &Machine) -> PauseCtl {
+        self.drained = true;
+        let st = &mut self.states[gi];
+        st.seq += 1;
+        let seq = st.seq;
+        match write_checkpoint(self.svc, self.journal, &self.jobs[gi].id, machine, seq) {
+            Ok(()) => {
+                self.states[gi].ledger.checkpoint = Some((seq, machine.cycle()));
+                eprintln!(
+                    "[serve] {}: drained at cycle {} (checkpoint #{seq})",
+                    self.jobs[gi].id,
+                    machine.cycle()
+                );
+            }
+            Err(e) => {
+                self.io_err.get_or_insert(e);
+            }
+        }
+        PauseCtl::Halt
     }
-    loop {
-        let end = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_attempt(cfg, store, journal, &mut ledger, job, &key)
-        }))
-        .unwrap_or_else(|payload| {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            Ok(AttemptEnd::Crashed(message))
-        })?;
-        let reason = match end {
-            AttemptEnd::Finished(result) => return Ok(Supervised::Finished(result)),
-            AttemptEnd::Drained => return Ok(Supervised::Drained),
-            AttemptEnd::Deadline { wall_ms, cycles } => {
+
+    /// Quantum-boundary hook: drain signal, deadlines, checkpoint.
+    fn on_pause(&mut self, gi: usize, machine: &mut Machine) -> PauseCtl {
+        if self.io_err.is_some() {
+            return PauseCtl::Halt;
+        }
+        kill::check_cycles(machine.cycle());
+        if signal::term_requested() {
+            return self.drain_member(gi, machine);
+        }
+        let job = &self.jobs[gi];
+        let failures = self.states[gi].ledger.failures;
+        if let Some(limit) = job.deadline_cycles.or(self.svc.deadline_cycles) {
+            if machine.cycle() >= limit {
                 let e = JobError::Deadline {
-                    index,
-                    attempts: ledger.failures + 1,
-                    wall_ms,
-                    cycles,
+                    index: gi,
+                    attempts: failures + 1,
+                    wall_ms: None,
+                    cycles: Some(limit),
                 };
                 let reason = e.message();
                 eprintln!("[serve] {}: {reason}", job.id);
-                reason
+                self.record_failure(gi, reason);
+                return PauseCtl::FailJob;
             }
-            AttemptEnd::Crashed(message) => {
-                eprintln!("[serve] {}: attempt crashed: {message}", job.id);
-                message
+        }
+        let started = *self.states[gi].started.get_or_insert_with(Instant::now);
+        if let Some(limit) = job.deadline_wall_ms.or(self.svc.deadline_wall_ms) {
+            if started.elapsed().as_millis() as u64 >= limit {
+                let e = JobError::Deadline {
+                    index: gi,
+                    attempts: failures + 1,
+                    wall_ms: Some(limit),
+                    cycles: None,
+                };
+                let reason = e.message();
+                eprintln!("[serve] {}: {reason}", job.id);
+                self.record_failure(gi, reason);
+                return PauseCtl::FailJob;
+            }
+        }
+        let st = &mut self.states[gi];
+        st.seq += 1;
+        let seq = st.seq;
+        match write_checkpoint(self.svc, self.journal, &job.id, machine, seq) {
+            Ok(()) => {
+                self.states[gi].ledger.checkpoint = Some((seq, machine.cycle()));
+                PauseCtl::Continue
+            }
+            Err(e) => {
+                self.io_err.get_or_insert(e);
+                PauseCtl::Halt
+            }
+        }
+    }
+
+    /// Completion hook: validate, persist, journal, stream the result.
+    fn on_done(
+        &mut self,
+        gi: usize,
+        machine: &mut Machine,
+        result: Result<RunReport, FleetFailure>,
+    ) {
+        let job = &self.jobs[gi];
+        let report = match result {
+            Ok(report) => report,
+            Err(failure) => {
+                let reason = failure.to_string();
+                eprintln!("[serve] {}: attempt crashed: {reason}", job.id);
+                self.record_failure(gi, reason);
+                return;
             }
         };
-        journal.append(&JournalRecord::Failed {
-            job: job.id.clone(),
-            reason: reason.clone(),
-        })?;
-        ledger.failures += 1;
-        if ledger.failures >= cfg.max_failures {
-            journal.append(&JournalRecord::Quarantined {
-                job: job.id.clone(),
-                failures: ledger.failures,
-            })?;
-            eprintln!(
-                "[serve] {}: quarantined after {} failure(s)",
-                job.id, ledger.failures
-            );
-            // Typed by cause: a job that only ever died on its deadline
-            // reports Deadline semantics through the quarantine message.
-            return Ok(Supervised::Failed(JobError::Quarantined {
-                index,
+        // Validation runs supervised too: a panicking validator is a
+        // failed attempt, not a dead service.
+        let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (job.workload.validate)(machine.mem().backing())
+        }));
+        let reason = match verdict {
+            Ok(Ok(())) => {
+                let chaos = machine
+                    .mem()
+                    .chaos_stats()
+                    .map(|stats| format!("{stats:?}"));
+                self.store.save(&self.states[gi].key, &report);
+                if let Err(e) = self.journal.append(&JournalRecord::Done {
+                    job: job.id.clone(),
+                    chaos: chaos.clone(),
+                }) {
+                    self.io_err.get_or_insert(e);
+                    return;
+                }
+                let _ = std::fs::remove_file(checkpoint_path(&self.svc.state_dir, &job.id));
+                let outcome = Ok(JobResult { report, chaos });
+                (self.on_result)(gi, &outcome);
+                self.states[gi].outcome = Some(outcome);
+                return;
+            }
+            Ok(Err(e)) => format!("validation failed: {e}"),
+            Err(payload) => payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string()),
+        };
+        eprintln!("[serve] {}: attempt crashed: {reason}", job.id);
+        self.record_failure(gi, reason);
+    }
+}
+
+/// The fleet-routed supervision engine shared by the sweep CLI
+/// ([`run_sweep`]) and the protocol front-end: every round routes the
+/// still-pending jobs through [`Fleet::run_each_supervised`] with
+/// checkpoints at quantum boundaries, then retries failures with seeded
+/// backoff until each job is done, quarantined, or the service drains.
+///
+/// `on_result(index, outcome)` streams each job's final outcome the
+/// moment it is durable (journaled + cached), in completion order — the
+/// protocol session forwards these as result frames so a client sees
+/// results as they land, not at the sweep barrier. Jobs resolved from
+/// the journal/cache stream immediately.
+///
+/// Returns the outcomes in job order plus the drain flag.
+pub fn run_supervised<F>(
+    svc: &ServiceConfig,
+    store: &JobStore,
+    journal: &mut Journal,
+    ledgers: &HashMap<String, JobLedger>,
+    jobs: &[JobSpec],
+    mut on_result: F,
+) -> std::io::Result<(SweepOutcomes, bool)>
+where
+    F: FnMut(usize, &Result<JobResult, JobError>),
+{
+    // Resolve what the journal already settled; journal acceptance for
+    // the rest.
+    let mut states: Vec<JobState> = Vec::with_capacity(jobs.len());
+    for (gi, job) in jobs.iter().enumerate() {
+        let mut ledger = ledgers.get(&job.id).cloned().unwrap_or_default();
+        let key = job.cache_key();
+        let mut outcome = None;
+        if ledger.quarantined {
+            outcome = Some(Err(JobError::Quarantined {
+                index: gi,
                 failures: ledger.failures,
             }));
+        } else if let Some(chaos) = &ledger.done {
+            if let Some(report) = store.load(&key) {
+                // A resubmission of a finished job journaled a fresh
+                // `Submitted`; close it out, or the job replays as
+                // pending at every boot and its stale queue slot sheds
+                // new work forever.
+                if ledger.pending.is_some() {
+                    journal.append(&JournalRecord::Done {
+                        job: job.id.clone(),
+                        chaos: chaos.clone(),
+                    })?;
+                    ledger.pending = None;
+                }
+                outcome = Some(Ok(JobResult {
+                    report,
+                    chaos: chaos.clone(),
+                }));
+            } else {
+                // Done in the journal but the cached report is gone or
+                // corrupt: re-run — correctness never depends on the
+                // cache surviving.
+                eprintln!(
+                    "[serve] {}: done in journal but report missing; re-running",
+                    job.id
+                );
+            }
         }
-        let delay = backoff_jittered_ms(cfg.seed, &job.id, ledger.failures);
-        eprintln!(
-            "[serve] {}: retrying (attempt {}) after {delay}ms",
-            job.id,
-            ledger.failures + 1
-        );
+        if outcome.is_none() && !ledger.accepted {
+            journal.append(&JournalRecord::Accepted {
+                job: job.id.clone(),
+            })?;
+            ledger.accepted = true;
+        }
+        if let Some(o) = &outcome {
+            on_result(gi, o);
+        }
+        states.push(JobState {
+            ledger,
+            key,
+            seq: 0,
+            started: None,
+            outcome,
+        });
+    }
+    for st in &mut states {
+        st.seq = st.ledger.checkpoint.map_or(0, |(seq, _)| seq);
+    }
+
+    let mut drained = false;
+    loop {
+        let pending: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.outcome.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if pending.is_empty() || drained {
+            break;
+        }
+        if signal::term_requested() {
+            drained = true;
+            break;
+        }
+
+        // Mount the round: checkpointed jobs resume from their snapshot,
+        // fresh jobs share published copy-on-write dataset bases.
+        let mut published: HashMap<u64, Arc<BackingBase>> = HashMap::new();
+        let mut fleet_jobs = Vec::with_capacity(pending.len());
+        for &gi in &pending {
+            let job = &jobs[gi];
+            let mut fj = FleetJob::new(job.cfg.clone(), job.workload.program.clone());
+            match load_snapshot(svc, &states[gi].ledger, &job.id) {
+                Some(snap) => fj = fj.with_snapshot(Arc::new(snap)),
+                None => {
+                    let base = published
+                        .entry(job.workload.image.fingerprint())
+                        .or_insert_with(|| job.workload.image.publish());
+                    fj = fj.with_base(Arc::clone(base));
+                    if let Some(seed) = job.chaos {
+                        fj = fj.with_fault_plan(FaultPlan::new(ChaosConfig::from_seed(seed)));
+                    }
+                }
+            }
+            fleet_jobs.push(fj);
+        }
+
+        let ctx = RefCell::new(RoundCtx {
+            svc,
+            store,
+            journal,
+            jobs,
+            states: &mut states,
+            on_result: &mut on_result,
+            retried: Vec::new(),
+            io_err: None,
+            drained: false,
+        });
+        Fleet::new()
+            .with_quantum(svc.checkpoint_every)
+            .with_width(svc.fleet_width)
+            .run_each_supervised(
+                fleet_jobs,
+                |local, machine| ctx.borrow_mut().on_pause(pending[local], machine),
+                |local, machine, result| ctx.borrow_mut().on_done(pending[local], machine, result),
+            );
+        let round = ctx.into_inner();
+        if let Some(e) = round.io_err {
+            return Err(e);
+        }
+        if round.drained {
+            drained = true;
+            break;
+        }
+        if round.retried.is_empty() {
+            continue;
+        }
+        // One backoff between rounds: each retried job reports its own
+        // seeded delay, the fleet sleeps the longest of them.
+        let mut delay = 0u64;
+        for &gi in &round.retried {
+            let id = &jobs[gi].id;
+            let failures = states[gi].ledger.failures;
+            let d = backoff_jittered_ms(svc.seed, id, failures);
+            eprintln!(
+                "[serve] {id}: retrying (attempt {}) after {d}ms",
+                failures + 1
+            );
+            delay = delay.max(d);
+        }
         std::thread::sleep(std::time::Duration::from_millis(delay));
     }
+    Ok((states.into_iter().map(|s| s.outcome).collect(), drained))
 }
 
 fn checkpoint_path(state_dir: &Path, id: &str) -> PathBuf {
@@ -373,42 +641,26 @@ fn checkpoint_path(state_dir: &Path, id: &str) -> PathBuf {
 /// Loads the job's checkpoint if one is announced and intact. Any damage
 /// (torn write on a non-atomic filesystem, bit rot, version skew) is a
 /// logged fallback to a fresh run, never a crash or garbage state.
-fn restore_machine(cfg: &ServiceConfig, ledger: &JobLedger, job: &JobSpec) -> (Machine, u64) {
-    if let Some((seq, cycle)) = ledger.checkpoint {
-        let path = checkpoint_path(&cfg.state_dir, &job.id);
-        match std::fs::read(&path) {
-            Ok(bytes) => match MachineSnapshot::from_bytes(&bytes) {
-                Ok(snap) => {
-                    eprintln!(
-                        "[serve] {}: resuming from checkpoint #{seq} at cycle {cycle}",
-                        job.id
-                    );
-                    return (Machine::from_snapshot(&snap), seq);
-                }
-                Err(e) => {
-                    eprintln!(
-                        "[serve] {}: checkpoint #{seq} unusable ({e}); starting fresh",
-                        job.id
-                    );
-                    let _ = std::fs::remove_file(&path);
-                }
-            },
-            Err(e) => {
-                eprintln!(
-                    "[serve] {}: checkpoint #{seq} unreadable ({e}); starting fresh",
-                    job.id
-                );
+fn load_snapshot(svc: &ServiceConfig, ledger: &JobLedger, id: &str) -> Option<MachineSnapshot> {
+    let (seq, cycle) = ledger.checkpoint?;
+    let path = checkpoint_path(&svc.state_dir, id);
+    match std::fs::read(&path) {
+        Ok(bytes) => match MachineSnapshot::from_bytes(&bytes) {
+            Ok(snap) => {
+                eprintln!("[serve] {id}: resuming from checkpoint #{seq} at cycle {cycle}");
+                Some(snap)
             }
+            Err(e) => {
+                eprintln!("[serve] {id}: checkpoint #{seq} unusable ({e}); starting fresh");
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("[serve] {id}: checkpoint #{seq} unreadable ({e}); starting fresh");
+            None
         }
     }
-    let mut m = Machine::new(job.cfg.clone());
-    if let Some(seed) = job.chaos {
-        m.mem_mut()
-            .install_fault_plan(FaultPlan::new(ChaosConfig::from_seed(seed)));
-    }
-    job.workload.image.apply(m.mem_mut().backing_mut());
-    m.load_program(job.workload.program.clone());
-    (m, 0)
 }
 
 /// Writes one durable checkpoint: encode, tmp+rename, fsync, journal.
@@ -417,11 +669,11 @@ fn restore_machine(cfg: &ServiceConfig, ledger: &JobLedger, job: &JobSpec) -> (M
 fn write_checkpoint(
     cfg: &ServiceConfig,
     journal: &mut Journal,
-    job: &JobSpec,
+    id: &str,
     machine: &Machine,
     seq: u64,
 ) -> std::io::Result<()> {
-    let path = checkpoint_path(&cfg.state_dir, &job.id);
+    let path = checkpoint_path(&cfg.state_dir, id);
     std::fs::create_dir_all(path.parent().expect("checkpoint path has a parent"))?;
     let bytes = machine.snapshot().to_bytes();
     if kill::tear_this_checkpoint() {
@@ -434,77 +686,11 @@ fn write_checkpoint(
     std::fs::write(&tmp, &bytes)?;
     std::fs::rename(&tmp, &path)?;
     journal.append(&JournalRecord::Running {
-        job: job.id.clone(),
+        job: id.to_string(),
         seq,
         cycle: machine.cycle(),
     })?;
     Ok(())
-}
-
-fn run_attempt(
-    cfg: &ServiceConfig,
-    store: &JobStore,
-    journal: &mut Journal,
-    ledger: &mut JobLedger,
-    job: &JobSpec,
-    key: &str,
-) -> std::io::Result<AttemptEnd> {
-    let (mut machine, mut seq) = restore_machine(cfg, ledger, job);
-    let mut run = SlicedRun::new(&machine);
-    let started = Instant::now();
-    loop {
-        if signal::term_requested() {
-            seq += 1;
-            write_checkpoint(cfg, journal, job, &machine, seq)?;
-            ledger.checkpoint = Some((seq, machine.cycle()));
-            eprintln!(
-                "[serve] {}: drained at cycle {} (checkpoint #{seq})",
-                job.id,
-                machine.cycle()
-            );
-            return Ok(AttemptEnd::Drained);
-        }
-        let report = match machine.run_for(&mut run, cfg.checkpoint_every) {
-            Ok(report) => report,
-            Err(e) => return Ok(AttemptEnd::Crashed(format!("simulation failed: {e}"))),
-        };
-        if let Some(report) = report {
-            if let Err(e) = (job.workload.validate)(machine.mem().backing()) {
-                return Ok(AttemptEnd::Crashed(format!("validation failed: {e}")));
-            }
-            let chaos = machine
-                .mem()
-                .chaos_stats()
-                .map(|stats| format!("{stats:?}"));
-            store.save(key, &report);
-            journal.append(&JournalRecord::Done {
-                job: job.id.clone(),
-                chaos: chaos.clone(),
-            })?;
-            let _ = std::fs::remove_file(checkpoint_path(&cfg.state_dir, &job.id));
-            return Ok(AttemptEnd::Finished(Box::new(JobResult { report, chaos })));
-        }
-        kill::check_cycles(machine.cycle());
-        if let Some(limit) = job.deadline_cycles.or(cfg.deadline_cycles) {
-            if machine.cycle() >= limit {
-                return Ok(AttemptEnd::Deadline {
-                    wall_ms: None,
-                    cycles: Some(limit),
-                });
-            }
-        }
-        if let Some(limit) = job.deadline_wall_ms.or(cfg.deadline_wall_ms) {
-            if started.elapsed().as_millis() as u64 >= limit {
-                return Ok(AttemptEnd::Deadline {
-                    wall_ms: Some(limit),
-                    cycles: None,
-                });
-            }
-        }
-        seq += 1;
-        write_checkpoint(cfg, journal, job, &machine, seq)?;
-        ledger.checkpoint = Some((seq, machine.cycle()));
-    }
 }
 
 #[cfg(test)]
@@ -565,7 +751,7 @@ mod tests {
         print_sweep(&jobs, &report, &mut table);
         let text = String::from_utf8(table).unwrap();
         assert!(
-            text.contains("ERR quarantined after 3 failure(s)"),
+            text.contains("QUAR quarantined after 3 failure(s)"),
             "{text}"
         );
         assert!(text.contains("cycles"), "{text}");
@@ -603,8 +789,7 @@ mod tests {
         let jobs = vec![fig6_job()];
 
         // First run drains immediately: the TERM flag is set before the
-        // first pause, so the job checkpoints and the sweep reports a
-        // drain instead of a result.
+        // first round, so the sweep reports a drain instead of a result.
         signal::request_term();
         let drained = run_sweep(&cfg, &jobs).unwrap();
         assert!(drained.drained);
@@ -649,6 +834,28 @@ mod tests {
         let mut second = Vec::new();
         print_sweep(&jobs, &report2, &mut second);
         assert_eq!(first, second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn results_stream_as_they_become_durable() {
+        let dir = tmp_dir("stream");
+        let mut cfg = ServiceConfig::new(dir.clone());
+        cfg.checkpoint_every = 2_000;
+        let jobs = vec![fig6_job()];
+        std::fs::create_dir_all(&cfg.state_dir).unwrap();
+        let store = JobStore::at(cfg.state_dir.join("cache"), true);
+        let (mut journal, records) = Journal::open(&cfg.state_dir.join("journal.log")).unwrap();
+        let ledgers = replay(&records);
+        let mut streamed = Vec::new();
+        let (outcomes, drained) =
+            run_supervised(&cfg, &store, &mut journal, &ledgers, &jobs, |gi, o| {
+                streamed.push((gi, o.is_ok()));
+            })
+            .unwrap();
+        assert!(!drained);
+        assert_eq!(streamed, vec![(0, true)]);
+        assert!(outcomes[0].as_ref().unwrap().is_ok());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

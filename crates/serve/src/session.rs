@@ -1,0 +1,632 @@
+//! One protocol session: framed requests in, framed replies and
+//! streaming results out (DESIGN.md §15).
+//!
+//! A session alternates between an **admission phase** — reading
+//! [`Request`] frames, applying the [`AdmissionQueue`] policy, and
+//! journaling every decision (`Submitted` / `Shed`) before the reply
+//! frame leaves — and a **run phase**, entered on [`Request::Run`] (or
+//! end of stream with work queued), which routes the queue through the
+//! fleet-routed supervisor and streams a result frame per job as it
+//! becomes durable.
+//!
+//! The hostile-client contract, pinned by the torture oracle in
+//! `tests/`:
+//!
+//! * a malformed or checksum-corrupt frame gets a typed
+//!   [`Reply::FrameError`] and the session keeps reading — the declared
+//!   length still delimited the bad frame, so framing stays in sync;
+//! * an oversized or truncated frame ends the *reading* half only:
+//!   every job already accepted still runs and is journaled/cached;
+//! * a client that disconnects mid-stream loses its socket, not its
+//!   jobs — the run finishes durably, and a reconnecting client
+//!   resubmitting the same specs is served from the result store
+//!   without a single cycle re-simulated;
+//! * a `SIGTERM` drains: in-flight fleet slots checkpoint, and
+//!   queued-but-unstarted jobs stay journaled as `Submitted`-pending, so
+//!   the next service start re-queues and runs them even if the client
+//!   never returns.
+
+use crate::journal::{replay, JobLedger, Journal, JournalRecord};
+use crate::proto::{read_message, write_message, FrameError, Reply, Request};
+use crate::queue::{Admission, AdmissionQueue, QueueEntry};
+use crate::service::{run_supervised, JobSpec, ServiceConfig};
+use crate::signal;
+use glsc_bench::jobspec::WireJobSpec;
+use glsc_bench::{codec::encode_report, JobStore};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+
+/// How a session ended.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The client's stream ended (EOF, disconnect, or an unrecoverable
+    /// frame error); all accepted work ran to durability first.
+    Closed,
+    /// The client asked the service to shut down. Queued-but-unstarted
+    /// jobs stay journaled as pending and run on the next start.
+    Shutdown,
+    /// A SIGTERM drained the service mid-session.
+    Drained,
+}
+
+/// Runs one session over any byte stream (stdin/stdout or a Unix socket
+/// connection). Returns how the session ended; IO errors from the
+/// *durable* side (journal, checkpoints) are real errors, while client
+/// write failures only mark the client gone — accepted jobs always run
+/// to durability.
+pub fn run_session(
+    cfg: &ServiceConfig,
+    input: &mut impl Read,
+    output: &mut impl Write,
+) -> io::Result<SessionEnd> {
+    std::fs::create_dir_all(&cfg.state_dir)?;
+    let store = JobStore::at(cfg.state_dir.join("cache"), true);
+    let (mut journal, records) = Journal::open(&cfg.state_dir.join("journal.log"))?;
+    let mut ledgers = replay(&records);
+
+    let mut queue = AdmissionQueue::new(cfg.queue_capacity);
+    restore_pending(&records, &ledgers, &mut queue);
+
+    // Client liveness is best-effort: once a write fails the session
+    // stops talking but keeps working.
+    let mut client_gone = false;
+    let mut shed: u32 = 0;
+    let send = |output: &mut dyn Write, gone: &mut bool, reply: &Reply| {
+        if !*gone && write_message(output, reply).is_err() {
+            *gone = true;
+        }
+    };
+
+    loop {
+        if signal::term_requested() {
+            return Ok(SessionEnd::Drained);
+        }
+        let request = match read_message::<Request>(input) {
+            Ok(Some(req)) => req,
+            Ok(None) => {
+                // Clean EOF: run whatever was queued, then close.
+                if queue.is_empty() {
+                    return Ok(SessionEnd::Closed);
+                }
+                let drained = run_queue(
+                    cfg,
+                    &store,
+                    &mut journal,
+                    &mut ledgers,
+                    &mut queue,
+                    output,
+                    &mut client_gone,
+                    &mut shed,
+                )?;
+                return Ok(if drained {
+                    SessionEnd::Drained
+                } else {
+                    SessionEnd::Closed
+                });
+            }
+            Err(e) if e.is_resyncable() => {
+                // One bad frame; framing is still in sync. Typed reply,
+                // keep reading.
+                send(
+                    output,
+                    &mut client_gone,
+                    &Reply::FrameError {
+                        detail: e.to_string(),
+                    },
+                );
+                continue;
+            }
+            Err(e) => {
+                // Frame boundaries are gone (oversized/truncated) or the
+                // transport died. Stop reading, but accepted jobs still
+                // run durably.
+                if !matches!(e, FrameError::Io(_)) {
+                    send(
+                        output,
+                        &mut client_gone,
+                        &Reply::FrameError {
+                            detail: e.to_string(),
+                        },
+                    );
+                } else {
+                    client_gone = true;
+                }
+                if queue.is_empty() {
+                    return Ok(SessionEnd::Closed);
+                }
+                let drained = run_queue(
+                    cfg,
+                    &store,
+                    &mut journal,
+                    &mut ledgers,
+                    &mut queue,
+                    output,
+                    &mut client_gone,
+                    &mut shed,
+                )?;
+                return Ok(if drained {
+                    SessionEnd::Drained
+                } else {
+                    SessionEnd::Closed
+                });
+            }
+        };
+        match request {
+            Request::Submit { priority, spec } => {
+                if let Err(e) = spec.validate() {
+                    send(
+                        output,
+                        &mut client_gone,
+                        &Reply::Rejected {
+                            id: spec.id(),
+                            reason: e.to_string(),
+                        },
+                    );
+                    continue;
+                }
+                let id = spec.id();
+                match queue.offer(QueueEntry {
+                    id: id.clone(),
+                    priority,
+                    spec: spec.clone(),
+                }) {
+                    Admission::Duplicate => {
+                        send(output, &mut client_gone, &Reply::Accepted { id });
+                    }
+                    Admission::Enqueued => {
+                        journal_submit(&mut journal, &mut ledgers, &id, priority, &spec)?;
+                        send(output, &mut client_gone, &Reply::Accepted { id });
+                    }
+                    Admission::Shed { queued, capacity } => {
+                        journal_shed(&mut journal, &mut ledgers, &id)?;
+                        shed += 1;
+                        send(
+                            output,
+                            &mut client_gone,
+                            &Reply::Shed {
+                                id,
+                                queued: queued as u32,
+                                capacity: capacity as u32,
+                            },
+                        );
+                    }
+                    Admission::Evicted { victim } => {
+                        // The victim's late shed and the incoming job's
+                        // admission are both journaled before either
+                        // reply leaves.
+                        journal_shed(&mut journal, &mut ledgers, &victim.id)?;
+                        journal_submit(&mut journal, &mut ledgers, &id, priority, &spec)?;
+                        shed += 1;
+                        send(
+                            output,
+                            &mut client_gone,
+                            &Reply::Shed {
+                                id: victim.id,
+                                queued: queue.len() as u32,
+                                capacity: queue.capacity() as u32,
+                            },
+                        );
+                        send(output, &mut client_gone, &Reply::Accepted { id });
+                    }
+                }
+            }
+            Request::Run => {
+                let drained = run_queue(
+                    cfg,
+                    &store,
+                    &mut journal,
+                    &mut ledgers,
+                    &mut queue,
+                    output,
+                    &mut client_gone,
+                    &mut shed,
+                )?;
+                if drained {
+                    return Ok(SessionEnd::Drained);
+                }
+            }
+            Request::Shutdown => return Ok(SessionEnd::Shutdown),
+        }
+    }
+}
+
+/// Journals one admission and mirrors it into the in-memory ledgers (the
+/// session's view must match what a restart would replay).
+fn journal_submit(
+    journal: &mut Journal,
+    ledgers: &mut HashMap<String, JobLedger>,
+    id: &str,
+    priority: u8,
+    spec: &WireJobSpec,
+) -> io::Result<()> {
+    journal.append(&JournalRecord::Submitted {
+        job: id.to_string(),
+        priority,
+        spec: spec.to_bytes(),
+    })?;
+    let ledger = ledgers.entry(id.to_string()).or_default();
+    ledger.accepted = true;
+    ledger.pending = Some((priority, spec.to_bytes()));
+    Ok(())
+}
+
+/// Journals one shed decision (admission refusal or eviction).
+fn journal_shed(
+    journal: &mut Journal,
+    ledgers: &mut HashMap<String, JobLedger>,
+    id: &str,
+) -> io::Result<()> {
+    journal.append(&JournalRecord::Shed {
+        job: id.to_string(),
+    })?;
+    if let Some(ledger) = ledgers.get_mut(id) {
+        ledger.pending = None;
+    }
+    Ok(())
+}
+
+/// Re-queues every journal-replayed pending job, in original submission
+/// order, ahead of anything this session submits. The journal's record
+/// order is the source of truth — ledger maps lose it.
+fn restore_pending(
+    records: &[JournalRecord],
+    ledgers: &HashMap<String, JobLedger>,
+    queue: &mut AdmissionQueue,
+) {
+    let mut order: Vec<&str> = Vec::new();
+    for rec in records {
+        if let JournalRecord::Submitted { job, .. } = rec {
+            order.retain(|id| id != job);
+            order.push(job);
+        }
+    }
+    // `restore` pushes to the front, so feed it newest-first to leave
+    // the queue oldest-first.
+    for id in order.iter().rev() {
+        let Some(ledger) = ledgers.get(*id) else {
+            continue;
+        };
+        let Some((priority, spec_bytes)) = &ledger.pending else {
+            continue;
+        };
+        match WireJobSpec::from_bytes(spec_bytes) {
+            Ok(spec) => {
+                eprintln!("[serve] {id}: re-queued from journal (pending submission)");
+                queue.restore(QueueEntry {
+                    id: (*id).to_string(),
+                    priority: *priority,
+                    spec,
+                });
+            }
+            Err(e) => {
+                // A journaled spec that no longer decodes is a version
+                // skew or corruption the checksum missed; drop it loudly
+                // rather than crash the boot.
+                eprintln!("[serve] {id}: journaled spec undecodable ({e}); dropping");
+            }
+        }
+    }
+}
+
+/// Lowers one validated wire spec into a supervised job.
+fn spec_to_job(spec: &WireJobSpec) -> JobSpec {
+    let mut job = JobSpec::kernel(
+        &spec.kernel,
+        spec.resolve_dataset(),
+        spec.resolve_variant(),
+        (spec.cores as usize, spec.tpc as usize),
+        spec.width as usize,
+        spec.chaos,
+    );
+    job.deadline_cycles = spec.deadline_cycles;
+    job.deadline_wall_ms = spec.deadline_wall_ms;
+    job
+}
+
+/// Runs everything queued through the fleet-routed supervisor, streaming
+/// one result frame per job as it lands, then the sweep summary. Returns
+/// whether a drain interrupted the run.
+#[allow(clippy::too_many_arguments)]
+fn run_queue(
+    cfg: &ServiceConfig,
+    store: &JobStore,
+    journal: &mut Journal,
+    ledgers: &mut HashMap<String, JobLedger>,
+    queue: &mut AdmissionQueue,
+    output: &mut impl Write,
+    client_gone: &mut bool,
+    shed: &mut u32,
+) -> io::Result<bool> {
+    let entries = queue.drain();
+    let jobs: Vec<JobSpec> = entries.iter().map(|e| spec_to_job(&e.spec)).collect();
+    let mut ok: u32 = 0;
+    let mut failed: u32 = 0;
+    let (outcomes, drained) =
+        run_supervised(cfg, store, journal, ledgers, &jobs, |gi, outcome| {
+            let reply = match outcome {
+                Ok(result) => {
+                    ok += 1;
+                    Reply::JobDone {
+                        id: jobs[gi].id.clone(),
+                        cycles: result.report.cycles,
+                        report: encode_report(&result.report),
+                        chaos: result.chaos.clone(),
+                    }
+                }
+                Err(e) => {
+                    failed += 1;
+                    Reply::JobFailed {
+                        id: jobs[gi].id.clone(),
+                        label: e.cell().to_string(),
+                        detail: e.message(),
+                    }
+                }
+            };
+            if !*client_gone && write_message(output, &reply).is_err() {
+                *client_gone = true;
+            }
+        })?;
+
+    // Mirror what the journal now says back into the session's ledgers,
+    // so a later `Run` in the same session serves finished jobs from the
+    // store instead of re-running them.
+    for (entry, outcome) in entries.iter().zip(&outcomes) {
+        let ledger = ledgers.entry(entry.id.clone()).or_default();
+        match outcome {
+            Some(Ok(result)) => {
+                ledger.done = Some(result.chaos.clone());
+                ledger.pending = None;
+            }
+            Some(Err(glsc_bench::JobError::Quarantined { failures, .. })) => {
+                ledger.quarantined = true;
+                ledger.failures = *failures;
+                ledger.pending = None;
+            }
+            Some(Err(_)) | None => {}
+        }
+    }
+
+    if drained {
+        let unreached = outcomes.iter().filter(|o| o.is_none()).count();
+        eprintln!("[serve] drained: {unreached} queued job(s) left pending in the journal",);
+        return Ok(true);
+    }
+    if !*client_gone
+        && write_message(
+            output,
+            &Reply::SweepDone {
+                ok,
+                failed,
+                shed: *shed,
+            },
+        )
+        .is_err()
+    {
+        *client_gone = true;
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsc_kernels::{Dataset, Variant};
+    use glsc_wire::to_bytes;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("glsc-serve-sess-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_cfg(dir: &std::path::Path) -> ServiceConfig {
+        let mut cfg = ServiceConfig::new(dir.to_path_buf());
+        cfg.checkpoint_every = 2_000;
+        cfg.queue_capacity = 2;
+        cfg
+    }
+
+    fn submit(buf: &mut Vec<u8>, priority: u8, spec: WireJobSpec) {
+        crate::proto::write_message(buf, &Request::Submit { priority, spec }).unwrap();
+    }
+
+    fn read_replies(mut bytes: &[u8]) -> Vec<Reply> {
+        let mut replies = Vec::new();
+        while let Some(reply) = read_message::<Reply>(&mut bytes).unwrap() {
+            replies.push(reply);
+        }
+        replies
+    }
+
+    fn hip_spec() -> WireJobSpec {
+        WireJobSpec::kernel("HIP", Dataset::Tiny, Variant::Glsc, (1, 2), 4)
+    }
+
+    #[test]
+    fn submit_run_streams_result_and_summary() {
+        let dir = tmp_dir("basic");
+        let cfg = small_cfg(&dir);
+        let mut input = Vec::new();
+        submit(&mut input, 0, hip_spec());
+        crate::proto::write_message(&mut input, &Request::Run).unwrap();
+        let mut output = Vec::new();
+        let end = run_session(&cfg, &mut &input[..], &mut output).unwrap();
+        assert_eq!(end, SessionEnd::Closed);
+        let replies = read_replies(&output);
+        assert!(
+            matches!(&replies[0], Reply::Accepted { id } if id == "HIP-T-GLSC-1x2-w4"),
+            "{replies:?}"
+        );
+        match &replies[1] {
+            Reply::JobDone {
+                id,
+                cycles,
+                report,
+                chaos,
+            } => {
+                assert_eq!(id, "HIP-T-GLSC-1x2-w4");
+                let decoded = glsc_bench::codec::decode_report(report).unwrap();
+                assert_eq!(decoded.cycles, *cycles);
+                assert_eq!(*chaos, None);
+            }
+            other => panic!("expected JobDone, got {other:?}"),
+        }
+        assert!(
+            matches!(
+                &replies[2],
+                Reply::SweepDone {
+                    ok: 1,
+                    failed: 0,
+                    shed: 0
+                }
+            ),
+            "{replies:?}"
+        );
+        assert_eq!(replies.len(), 3, "EOF on an empty queue adds nothing");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overflow_is_shed_and_bad_frames_get_typed_errors() {
+        let dir = tmp_dir("shed");
+        let cfg = small_cfg(&dir); // capacity 2
+        let mut input = Vec::new();
+        submit(&mut input, 0, hip_spec());
+        submit(
+            &mut input,
+            0,
+            WireJobSpec::kernel("GBC", Dataset::Tiny, Variant::Glsc, (1, 2), 4),
+        );
+        submit(
+            &mut input,
+            0,
+            WireJobSpec::kernel("FS", Dataset::Tiny, Variant::Glsc, (1, 2), 4),
+        );
+        // A checksum-corrupt frame in the middle: typed error, session
+        // keeps going.
+        let mut bad = Vec::new();
+        crate::proto::write_message(&mut bad, &Request::Run).unwrap();
+        *bad.last_mut().unwrap() ^= 0xFF;
+        input.extend_from_slice(&bad);
+        // An invalid spec: rejected, never queued.
+        let mut hostile = hip_spec();
+        hostile.cores = 9999;
+        submit(&mut input, 0, hostile);
+        let mut output = Vec::new();
+        let end = run_session(&cfg, &mut &input[..], &mut output).unwrap();
+        assert_eq!(end, SessionEnd::Closed);
+        let replies = read_replies(&output);
+        assert!(matches!(&replies[0], Reply::Accepted { .. }));
+        assert!(matches!(&replies[1], Reply::Accepted { .. }));
+        assert!(
+            matches!(&replies[2], Reply::Shed { id, queued: 2, capacity: 2 } if id == "FS-T-GLSC-1x2-w4"),
+            "{replies:?}"
+        );
+        assert!(
+            matches!(&replies[3], Reply::FrameError { .. }),
+            "{replies:?}"
+        );
+        assert!(
+            matches!(&replies[4], Reply::Rejected { reason, .. } if reason.contains("cores")),
+            "{replies:?}"
+        );
+        // EOF ran the two accepted jobs; the summary counts the shed.
+        let done = replies
+            .iter()
+            .filter(|r| matches!(r, Reply::JobDone { .. }))
+            .count();
+        assert_eq!(done, 2);
+        assert!(
+            matches!(
+                replies.last(),
+                Some(Reply::SweepDone {
+                    ok: 2,
+                    failed: 0,
+                    shed: 1
+                })
+            ),
+            "{replies:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_stream_still_runs_accepted_jobs_durably() {
+        let dir = tmp_dir("trunc");
+        let cfg = small_cfg(&dir);
+        let mut input = Vec::new();
+        submit(&mut input, 0, hip_spec());
+        // A frame that dies mid-payload: unrecoverable for reading.
+        let tail = to_bytes(&Request::Run);
+        input.extend_from_slice(&(tail.len() as u32).to_le_bytes());
+        input.extend_from_slice(&tail[..tail.len() - 1]);
+        let mut output = Vec::new();
+        let end = run_session(&cfg, &mut &input[..], &mut output).unwrap();
+        assert_eq!(end, SessionEnd::Closed);
+        let replies = read_replies(&output);
+        assert!(matches!(&replies[0], Reply::Accepted { .. }));
+        assert!(
+            replies
+                .iter()
+                .any(|r| matches!(r, Reply::FrameError { detail } if detail.contains("mid-frame"))),
+            "{replies:?}"
+        );
+        assert!(
+            replies.iter().any(|r| matches!(r, Reply::JobDone { .. })),
+            "accepted job must run despite the truncated stream: {replies:?}"
+        );
+        // And the result is durable: a fresh session resubmitting the
+        // same spec is served from the store (journal says done).
+        let mut input2 = Vec::new();
+        submit(&mut input2, 0, hip_spec());
+        crate::proto::write_message(&mut input2, &Request::Run).unwrap();
+        let mut output2 = Vec::new();
+        run_session(&cfg, &mut &input2[..], &mut output2).unwrap();
+        let replies2 = read_replies(&output2);
+        let (first, second) = (find_done(&replies), find_done(&replies2));
+        assert_eq!(first, second, "reconnect must re-deliver, not re-run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn find_done(replies: &[Reply]) -> (u64, String) {
+        replies
+            .iter()
+            .find_map(|r| match r {
+                Reply::JobDone { cycles, report, .. } => Some((*cycles, report.clone())),
+                _ => None,
+            })
+            .expect("a JobDone reply")
+    }
+
+    #[test]
+    fn shutdown_leaves_queued_jobs_pending_for_next_start() {
+        let dir = tmp_dir("pending");
+        let cfg = small_cfg(&dir);
+        let mut input = Vec::new();
+        submit(&mut input, 0, hip_spec());
+        crate::proto::write_message(&mut input, &Request::Shutdown).unwrap();
+        let mut output = Vec::new();
+        let end = run_session(&cfg, &mut &input[..], &mut output).unwrap();
+        assert_eq!(end, SessionEnd::Shutdown);
+        assert!(
+            !read_replies(&output)
+                .iter()
+                .any(|r| matches!(r, Reply::JobDone { .. })),
+            "shutdown must not run the queue"
+        );
+
+        // Next start replays the pending submission and runs it with no
+        // client input at all.
+        let mut output2 = Vec::new();
+        let end = run_session(&cfg, &mut &[][..], &mut output2).unwrap();
+        assert_eq!(end, SessionEnd::Closed);
+        let replies = read_replies(&output2);
+        assert!(
+            matches!(&replies[0], Reply::JobDone { id, .. } if id == "HIP-T-GLSC-1x2-w4"),
+            "{replies:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -6,7 +6,7 @@
 //!   output byte-identical to an uninterrupted run.
 //! * **Deadline → quarantine** — `--inject-wedged` plants a job that
 //!   never halts; the supervisor must trip its cycle deadline, retry
-//!   with backoff, quarantine it, degrade the sweep table to an `ERR`
+//!   with backoff, quarantine it, degrade the sweep table to a `QUAR`
 //!   cell, and exit nonzero while the healthy jobs still complete.
 
 use std::process::{Command, Output, Stdio};
@@ -118,8 +118,8 @@ fn wedged_job_quarantines_and_sweep_degrades() {
     let table = stdout_of(&out);
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(
-        table.contains("WEDGE") && table.contains("ERR"),
-        "missing ERR cell:\n{table}"
+        table.contains("WEDGE") && table.contains("QUAR"),
+        "missing QUAR cell:\n{table}"
     );
     assert!(
         table.contains("quarantined after 2 failure(s)"),

@@ -26,7 +26,7 @@
 //! shape, the Ideal and Ring topologies, and a chaos plan.
 
 use crate::config::MachineConfig;
-use crate::machine::{Machine, RunCtl, SimError, SliceOutcome};
+use crate::machine::{Machine, MachineSnapshot, RunCtl, SimError, SliceOutcome};
 use crate::report::RunReport;
 use glsc_core::MemCompletion;
 use glsc_isa::Program;
@@ -46,6 +46,12 @@ pub struct FleetJob {
     pub base: Option<Arc<BackingBase>>,
     /// Fault-injection plan to install before the run (DESIGN.md §9).
     pub fault_plan: Option<FaultPlan>,
+    /// Resume point: mount this snapshot instead of a fresh program +
+    /// image. A snapshot is self-contained (the CoW base is serialized by
+    /// value), so `program`, `base` and `fault_plan` are ignored when it
+    /// is set; `cfg` must match the snapshot's configuration (it decides
+    /// the job's scheduling group).
+    pub snapshot: Option<Arc<MachineSnapshot>>,
 }
 
 impl FleetJob {
@@ -56,6 +62,7 @@ impl FleetJob {
             program,
             base: None,
             fault_plan: None,
+            snapshot: None,
         }
     }
 
@@ -70,6 +77,51 @@ impl FleetJob {
         self.fault_plan = Some(plan);
         self
     }
+
+    /// Resumes the job from `snap` instead of starting it fresh (the
+    /// crash-recovery path: a checkpointed job re-enters the fleet
+    /// mid-flight and must finish bit-identically to an uninterrupted
+    /// run, which [`Machine::restore`] guarantees).
+    pub fn with_snapshot(mut self, snap: Arc<MachineSnapshot>) -> Self {
+        self.snapshot = Some(snap);
+        self
+    }
+}
+
+/// What a [`Fleet::run_each_supervised`] pause hook tells the fleet to do
+/// with the member that just finished a quantum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PauseCtl {
+    /// Keep running the job.
+    Continue,
+    /// Abandon this job (deadline, policy): the member is retired without
+    /// a completion callback — the supervisor already knows why.
+    FailJob,
+    /// Stop the whole fleet (drain). Before returning, the hook is called
+    /// once more for every *other* still-active member so the supervisor
+    /// can checkpoint each of them; unstarted jobs are never mounted.
+    Halt,
+}
+
+/// Why a supervised fleet job ended without a report.
+#[derive(Debug)]
+pub enum FleetFailure {
+    /// The simulation aborted with a typed error (livelock, starvation,
+    /// cycle budget, invariant violation).
+    Sim(SimError),
+    /// The stepping loop panicked. The member's machine is discarded, not
+    /// pooled — its state cannot be trusted — and the payload message is
+    /// preserved for the supervisor's failure ledger.
+    Panicked(String),
+}
+
+impl std::fmt::Display for FleetFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetFailure::Sim(e) => write!(f, "simulation failed: {e}"),
+            FleetFailure::Panicked(msg) => write!(f, "{msg}"),
+        }
+    }
 }
 
 /// A live fleet member: which job it is running, its detector state, and
@@ -79,6 +131,75 @@ struct Member {
     machine: Machine,
     ctl: RunCtl,
     queue: std::collections::VecDeque<usize>,
+}
+
+/// Mounts the next job of `queue` onto `machine` (which is fresh or
+/// reset): either a fresh program + CoW base + fault plan, or — for a
+/// checkpointed job — the snapshot it is resuming from. The detector
+/// state is created *after* mounting, as [`Machine::restore`] requires.
+fn mount_member(
+    mut machine: Machine,
+    mut queue: std::collections::VecDeque<usize>,
+    jobs: &mut [Option<FleetJob>],
+) -> Member {
+    let idx = queue.pop_front().expect("group queues are non-empty");
+    let FleetJob {
+        program,
+        base,
+        fault_plan,
+        snapshot,
+        ..
+    } = jobs[idx].take().expect("each job admitted once");
+    match snapshot {
+        Some(snap) => {
+            // A pooled machine of the right shape restores in place; a
+            // shape drift (callers group by `cfg`, so this only happens
+            // if a caller lied about the job's config) falls back to a
+            // fresh build from the snapshot's own config.
+            if machine.restore(&snap).is_err() {
+                machine = Machine::from_snapshot(&snap);
+            }
+        }
+        None => {
+            if let Some(base) = base {
+                machine.mem_mut().backing_mut().set_base(base);
+            }
+            machine.load_program(program);
+            if let Some(plan) = fault_plan {
+                machine.mem_mut().install_fault_plan(plan);
+            }
+        }
+    }
+    let ctl = RunCtl::new(&machine);
+    Member {
+        idx,
+        machine,
+        ctl,
+        queue,
+    }
+}
+
+/// Renders a panic payload the way the supervisor ledgers expect.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Groups job indices by machine configuration (order-preserving).
+fn group_by_config(
+    jobs: &[FleetJob],
+) -> std::collections::VecDeque<(MachineConfig, std::collections::VecDeque<usize>)> {
+    let mut groups: Vec<(MachineConfig, std::collections::VecDeque<usize>)> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        match groups.iter_mut().find(|(cfg, _)| *cfg == job.cfg) {
+            Some((_, q)) => q.push_back(i),
+            None => groups.push((job.cfg.clone(), std::iter::once(i).collect())),
+        }
+    }
+    groups.into()
 }
 
 /// Batched multi-machine runner. See the [module docs](self).
@@ -152,48 +273,12 @@ impl Fleet {
     where
         F: FnMut(usize, &mut Machine, Result<RunReport, SimError>),
     {
-        // Group job indices by configuration (order-preserving).
-        let mut groups: Vec<(MachineConfig, std::collections::VecDeque<usize>)> = Vec::new();
-        for (i, job) in jobs.iter().enumerate() {
-            match groups.iter_mut().find(|(cfg, _)| *cfg == job.cfg) {
-                Some((_, q)) => q.push_back(i),
-                None => groups.push((job.cfg.clone(), std::iter::once(i).collect())),
-            }
-        }
-        let mut groups: std::collections::VecDeque<_> = groups.into();
+        let mut groups = group_by_config(&jobs);
         let mut jobs: Vec<Option<FleetJob>> = jobs.into_iter().map(Some).collect();
         let mut pool: Vec<Machine> = Vec::new();
         let mut active: Vec<Member> = Vec::new();
         let mut comp_buf: Vec<MemCompletion> = Vec::new();
-
-        // Mounts the next job of `queue` onto `machine` (which is fresh
-        // or reset). Returns the mounted member.
-        let mut mount = |mut machine: Machine,
-                         mut queue: std::collections::VecDeque<usize>,
-                         jobs: &mut Vec<Option<FleetJob>>|
-         -> Member {
-            let idx = queue.pop_front().expect("group queues are non-empty");
-            let FleetJob {
-                program,
-                base,
-                fault_plan,
-                ..
-            } = jobs[idx].take().expect("each job admitted once");
-            if let Some(base) = base {
-                machine.mem_mut().backing_mut().set_base(base);
-            }
-            machine.load_program(program);
-            if let Some(plan) = fault_plan {
-                machine.mem_mut().install_fault_plan(plan);
-            }
-            let ctl = RunCtl::new(&machine);
-            Member {
-                idx,
-                machine,
-                ctl,
-                queue,
-            }
-        };
+        let mut mount = mount_member;
 
         loop {
             // Refill the batch window: one group per free slot.
@@ -236,6 +321,120 @@ impl Fleet {
         }
     }
 
+    /// The supervised variant of [`run_each`](Fleet::run_each): same
+    /// config-affine batched stepping, plus the hooks a crash-durable
+    /// job service needs (DESIGN.md §15).
+    ///
+    /// * `on_pause(index, machine)` runs at every quantum boundary of
+    ///   every live member — the supervisor's chance to write a
+    ///   cycle-cadenced checkpoint, poll for a drain signal, or enforce a
+    ///   deadline. Returning [`PauseCtl::FailJob`] retires the member
+    ///   with no completion callback; [`PauseCtl::Halt`] stops the fleet
+    ///   after offering every *other* live member one final `on_pause`
+    ///   (so a drain checkpoints all in-flight slots, not just the one
+    ///   that observed the signal).
+    /// * `on_done(index, machine, result)` fires as each job finishes.
+    ///   Unlike `run_each`, a panic inside the stepping loop is caught
+    ///   and reported as [`FleetFailure::Panicked`]; the panicking
+    ///   machine is discarded instead of pooled, and the fleet keeps
+    ///   going — one hostile job cannot take down the batch.
+    /// * Jobs carrying a [snapshot](FleetJob::with_snapshot) resume from
+    ///   it bit-identically instead of starting fresh.
+    ///
+    /// Returns `true` when every job ran to an outcome, `false` when a
+    /// hook halted the fleet (jobs not yet mounted never start).
+    pub fn run_each_supervised<P, F>(
+        &self,
+        jobs: Vec<FleetJob>,
+        mut on_pause: P,
+        mut on_done: F,
+    ) -> bool
+    where
+        P: FnMut(usize, &mut Machine) -> PauseCtl,
+        F: FnMut(usize, &mut Machine, Result<RunReport, FleetFailure>),
+    {
+        let mut groups = group_by_config(&jobs);
+        let mut jobs: Vec<Option<FleetJob>> = jobs.into_iter().map(Some).collect();
+        let mut pool: Vec<Machine> = Vec::new();
+        let mut active: Vec<Member> = Vec::new();
+        let mut comp_buf: Vec<MemCompletion> = Vec::new();
+        let mut mount = mount_member;
+
+        loop {
+            while active.len() < self.width {
+                let Some((cfg, queue)) = groups.pop_front() else {
+                    break;
+                };
+                let machine = match pool.iter().position(|m| *m.cfg() == cfg) {
+                    Some(i) => pool.swap_remove(i),
+                    None => Machine::new(cfg),
+                };
+                active.push(mount(machine, queue, &mut jobs));
+            }
+            if active.is_empty() {
+                return true;
+            }
+            let mut i = 0;
+            while i < active.len() {
+                let m = &mut active[i];
+                let sliced = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    m.machine.run_slice(&mut m.ctl, self.quantum, &mut comp_buf)
+                }));
+                match sliced {
+                    Err(payload) => {
+                        let member = &mut active[i];
+                        on_done(
+                            member.idx,
+                            &mut member.machine,
+                            Err(FleetFailure::Panicked(panic_message(payload))),
+                        );
+                        // Mid-panic machine state cannot be trusted:
+                        // drop it and mount the group's next job (if
+                        // any) on a fresh build.
+                        let member = active.swap_remove(i);
+                        if let Some(&next) = member.queue.front() {
+                            let cfg = jobs[next]
+                                .as_ref()
+                                .expect("queued jobs are unmounted")
+                                .cfg
+                                .clone();
+                            active.push(mount(Machine::new(cfg), member.queue, &mut jobs));
+                        }
+                    }
+                    Ok(Ok(SliceOutcome::Paused)) => {
+                        let member = &mut active[i];
+                        match on_pause(member.idx, &mut member.machine) {
+                            PauseCtl::Continue => i += 1,
+                            PauseCtl::FailJob => {
+                                Self::retire(&mut active, i, &mut pool, &mut jobs, &mut mount);
+                            }
+                            PauseCtl::Halt => {
+                                let halted = member.idx;
+                                for other in active.iter_mut() {
+                                    if other.idx != halted {
+                                        let _ = on_pause(other.idx, &mut other.machine);
+                                    }
+                                }
+                                return false;
+                            }
+                        }
+                    }
+                    Ok(Err(e)) => {
+                        let member = &mut active[i];
+                        on_done(member.idx, &mut member.machine, Err(FleetFailure::Sim(e)));
+                        Self::retire(&mut active, i, &mut pool, &mut jobs, &mut mount);
+                    }
+                    Ok(Ok(SliceOutcome::Done)) => {
+                        let member = &mut active[i];
+                        let report = member.machine.report();
+                        on_done(member.idx, &mut member.machine, Ok(report));
+                        Self::retire(&mut active, i, &mut pool, &mut jobs, &mut mount);
+                    }
+                }
+            }
+        }
+    }
+
     /// Retires `active[i]`'s finished job: resets the machine, mounts the
     /// group's next job in place, or parks the machine and frees the
     /// slot.
@@ -243,11 +442,11 @@ impl Fleet {
         active: &mut Vec<Member>,
         i: usize,
         pool: &mut Vec<Machine>,
-        jobs: &mut Vec<Option<FleetJob>>,
+        jobs: &mut [Option<FleetJob>],
         mount: &mut impl FnMut(
             Machine,
             std::collections::VecDeque<usize>,
-            &mut Vec<Option<FleetJob>>,
+            &mut [Option<FleetJob>],
         ) -> Member,
     ) {
         let member = active.swap_remove(i);
@@ -271,5 +470,128 @@ impl Fleet {
             .into_iter()
             .map(|r| r.expect("every job reported"))
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsc_isa::{ProgramBuilder, Reg};
+
+    /// A countdown loop long enough to pause several times under a small
+    /// quantum, ending with a store that proves it ran to completion.
+    fn countdown(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let (r_cnt, r_addr) = (Reg::new(2), Reg::new(3));
+        b.li(r_cnt, iters);
+        b.li(r_addr, 0x2000);
+        let top = b.label();
+        b.bind(top).expect("fresh label");
+        b.addi(r_cnt, r_cnt, -1);
+        b.bne(r_cnt, 0, top);
+        b.st(r_cnt, r_addr, 0);
+        b.halt();
+        b.build().expect("countdown assembles")
+    }
+
+    fn solo_report(cfg: &MachineConfig, program: &Program) -> RunReport {
+        let mut m = Machine::new(cfg.clone());
+        m.load_program(program.clone());
+        m.run().expect("solo run completes")
+    }
+
+    #[test]
+    fn supervised_matches_solo_and_counts_pauses() {
+        let cfg = MachineConfig::paper(1, 2, 4);
+        let program = countdown(200);
+        let solo = solo_report(&cfg, &program);
+
+        let mut pauses = 0usize;
+        let mut got = None;
+        let done = Fleet::new().with_quantum(64).run_each_supervised(
+            vec![FleetJob::new(cfg, program)],
+            |_, _| {
+                pauses += 1;
+                PauseCtl::Continue
+            },
+            |idx, _, result| {
+                assert_eq!(idx, 0);
+                got = Some(result.expect("job completes"));
+            },
+        );
+        assert!(done);
+        assert!(
+            pauses > 1,
+            "quantum 64 must pause a {}-cycle run",
+            solo.cycles
+        );
+        assert_eq!(got.expect("job reported"), solo);
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical() {
+        let cfg = MachineConfig::paper(2, 2, 4);
+        let program = countdown(300);
+        let solo = solo_report(&cfg, &program);
+
+        // Run supervised, capturing a snapshot at the second pause and
+        // halting right after — the drain path.
+        let mut snap: Option<Arc<MachineSnapshot>> = None;
+        let mut pauses = 0usize;
+        let done = Fleet::new().with_quantum(64).run_each_supervised(
+            vec![FleetJob::new(cfg.clone(), program.clone())],
+            |_, machine| {
+                pauses += 1;
+                if pauses == 2 {
+                    snap = Some(Arc::new(machine.snapshot()));
+                    PauseCtl::Halt
+                } else {
+                    PauseCtl::Continue
+                }
+            },
+            |_, _, _| panic!("job must not finish before the halt"),
+        );
+        assert!(!done, "halted fleet must report an incomplete run");
+        let snap = snap.expect("snapshot captured at second pause");
+        assert!(snap.cycle() > 0);
+
+        // Resume from the snapshot in a fresh fleet: the final report
+        // must be bit-identical to the uninterrupted solo run.
+        let mut got = None;
+        let done = Fleet::new().with_quantum(64).run_each_supervised(
+            vec![FleetJob::new(cfg, program).with_snapshot(snap)],
+            |_, _| PauseCtl::Continue,
+            |_, _, result| got = Some(result.expect("resumed job completes")),
+        );
+        assert!(done);
+        assert_eq!(got.expect("resumed job reported"), solo);
+    }
+
+    #[test]
+    fn fail_job_retires_without_completion_and_batch_continues() {
+        let cfg = MachineConfig::paper(1, 1, 4);
+        let jobs = vec![
+            FleetJob::new(cfg.clone(), countdown(5_000)),
+            FleetJob::new(cfg.clone(), countdown(100)),
+        ];
+        let solo = solo_report(&cfg, &countdown(100));
+        let mut finished = Vec::new();
+        let done = Fleet::new().with_quantum(32).run_each_supervised(
+            jobs,
+            |idx, _| {
+                // Abandon the long job at its first pause (a deadline, in
+                // the service's terms); the short one runs out.
+                if idx == 0 {
+                    PauseCtl::FailJob
+                } else {
+                    PauseCtl::Continue
+                }
+            },
+            |idx, _, result| finished.push((idx, result.expect("short job completes"))),
+        );
+        assert!(done);
+        assert_eq!(finished.len(), 1, "failed job must not reach on_done");
+        assert_eq!(finished[0].0, 1);
+        assert_eq!(finished[0].1, solo);
     }
 }

@@ -57,7 +57,7 @@ mod thread;
 pub use arch::ThreadArch;
 pub use codec::{SnapshotCodecError, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC};
 pub use config::{ConfigError, LatencyTable, MachineConfig};
-pub use fleet::{Fleet, FleetJob};
+pub use fleet::{Fleet, FleetFailure, FleetJob, PauseCtl};
 pub use machine::{Machine, MachineSnapshot, SimError, SlicedRun};
 pub use report::{jain_fairness, RunReport, StallTotals, ThreadStats};
 pub use thread::ThreadStatus;

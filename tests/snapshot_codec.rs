@@ -190,3 +190,59 @@ fn version_skew_and_damage_are_typed_errors() {
         );
     }
 }
+
+#[test]
+fn adversarial_length_prefixes_are_typed_rejections() {
+    // A hostile (or torn) envelope can claim any payload length it
+    // likes; none of them may drive an allocation or a panic — the
+    // declared length is checked against the bytes actually present
+    // before anything else trusts it.
+    let cfg = MachineConfig::paper(1, 2, 4);
+    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+    let mut m = machine_for(&w, &cfg, None);
+    for _ in 0..200 {
+        assert!(!m.step(), "HIP halted suspiciously early");
+    }
+    let bytes = m.snapshot().to_bytes();
+
+    // Hostile declared lengths in the header (bytes 12..20). u64::MAX
+    // and MAX-19 overflow the checked framing arithmetic; 1<<60 is a
+    // "plausible" huge claim; the exact buffer length double-counts the
+    // header+trailer. All must be Truncated, instantly.
+    for declared in [u64::MAX, u64::MAX - 19, 1u64 << 60, bytes.len() as u64] {
+        let mut evil = bytes.clone();
+        evil[12..20].copy_from_slice(&declared.to_le_bytes());
+        match MachineSnapshot::from_bytes(&evil) {
+            Err(SnapshotCodecError::Truncated) => {}
+            other => panic!("declared length {declared:#x} decoded as {other:?}"),
+        }
+    }
+
+    // A zero length leaves the real payload dangling past the claimed
+    // end: typed as trailing garbage, not silently ignored.
+    let mut zero = bytes.clone();
+    zero[12..20].copy_from_slice(&0u64.to_le_bytes());
+    match MachineSnapshot::from_bytes(&zero) {
+        Err(SnapshotCodecError::TrailingBytes { extra }) => {
+            assert_eq!(extra, bytes.len() - 28, "unexpected trailing-byte count");
+        }
+        other => panic!("zero length decoded as {other:?}"),
+    }
+
+    // The nastiest case: the envelope is *valid* (length and checksum
+    // both check out) but the payload inside is hostile — 0xFF floods
+    // every inner length prefix with absurd values. The wire reader
+    // must bound each inner length by the input remaining, so this is
+    // a typed Malformed, not an OOM.
+    let mut inner = bytes.clone();
+    let n = inner.len();
+    for b in &mut inner[20..n - 8] {
+        *b = 0xFF;
+    }
+    let checksum = glsc_wire::fnv64(&inner[..n - 8]);
+    inner[n - 8..].copy_from_slice(&checksum.to_le_bytes());
+    match MachineSnapshot::from_bytes(&inner) {
+        Err(SnapshotCodecError::Malformed(_)) => {}
+        other => panic!("hostile payload behind a valid checksum decoded as {other:?}"),
+    }
+}
