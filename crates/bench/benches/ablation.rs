@@ -34,7 +34,7 @@ fn dataset() -> Dataset {
 type Point = (u64, f64, u64);
 
 fn run_with(store: &JobStore, label: &str, kernel: &str, cfg: &MachineConfig) -> Point {
-    let w = build_named(kernel, dataset(), Variant::Glsc, cfg);
+    let w = build_named(kernel, dataset(), Variant::Glsc, cfg).expect("known kernel");
     let out = run_workload_cached(
         store,
         &w,

@@ -57,7 +57,7 @@ fn main() {
             let store = &store;
             move || {
                 let cfg = MachineConfig::paper(cores, tpc, width).with_noc(noc_for(topo));
-                let w = build_named(kernel, ds, variant, &cfg);
+                let w = build_named(kernel, ds, variant, &cfg).expect("known kernel");
                 run_workload_cached(
                     store,
                     &w,

@@ -39,7 +39,7 @@ fn time_run(
     reps: u32,
 ) -> (u64, f64) {
     let cfg = config(shape.0, shape.1, width);
-    let w = build_named(kernel, ds, Variant::Glsc, &cfg);
+    let w = build_named(kernel, ds, Variant::Glsc, &cfg).expect("known kernel");
     let mut cycles = 0;
     let mut best = f64::INFINITY;
     for _ in 0..reps {
@@ -351,7 +351,7 @@ fn measure_recovery(out: &mut FigureOutput) -> Vec<RecoveryRow> {
     let ds = datasets()[0];
 
     let fresh = |kernel: &str| {
-        let w = build_named(kernel, ds, Variant::Glsc, &cfg);
+        let w = build_named(kernel, ds, Variant::Glsc, &cfg).expect("known kernel");
         let mut machine = Machine::new(cfg.clone());
         w.image.apply(machine.mem_mut().backing_mut());
         machine.load_program(w.program.clone());
@@ -535,7 +535,7 @@ fn measure_fleet_recovery(out: &mut FigureOutput) -> Vec<FleetCkptRow> {
             .iter()
             .map(|&(kernel, (cores, tpc))| {
                 let cfg = config(cores, tpc, 4);
-                let w = build_named(kernel, ds, Variant::Glsc, &cfg);
+                let w = build_named(kernel, ds, Variant::Glsc, &cfg).expect("known kernel");
                 FleetJob::new(cfg, w.program.clone()).with_base(w.image.publish())
             })
             .collect()
@@ -544,7 +544,7 @@ fn measure_fleet_recovery(out: &mut FigureOutput) -> Vec<FleetCkptRow> {
         .iter()
         .map(|&(kernel, (cores, tpc))| {
             let cfg = config(cores, tpc, 4);
-            let w = build_named(kernel, ds, Variant::Glsc, &cfg);
+            let w = build_named(kernel, ds, Variant::Glsc, &cfg).expect("known kernel");
             run_workload(&w, &cfg)
                 .unwrap_or_else(|e| panic!("{kernel}: {e}"))
                 .report

@@ -8,27 +8,50 @@
 //! image, or queue slot is allocated for it, so a hostile spec costs a
 //! typed rejection, never memory or a panic deeper in the stack.
 //!
+//! A job is either a named RMS kernel (`kernel` set, `pattern` empty) or
+//! a pattern workload (`pattern` carrying a `glsc-patterns` spec string,
+//! `kernel` empty) — the `pattern:<spec>` namespace of
+//! [`glsc_kernels::build_named`] carried over the wire.
+//!
+//! The codec is versioned like the report codec: [`SPEC_FORMAT_VERSION`]
+//! leads every encoding, and a stale journal entry decodes to a typed
+//! [`SpecCodecError::VersionMismatch`] instead of shifted-field garbage.
+//! (Version 1 was the unversioned pre-pattern layout, which led with the
+//! kernel string; its length prefix lands in the version slot, so v1
+//! bytes also fail loudly as a mismatch.)
+//!
 //! The id scheme ([`WireJobSpec::id`]) matches the supervisor's
 //! (`HIP-T-GLSC-4x4-w4`, `-chaos<seed>` when a fault plan is requested,
 //! `-p<priority>` never — priority is routing metadata, not identity),
 //! so a resubmitted job keys into the same journal ledger and result
-//! cache and is served without re-running.
+//! cache and is served without re-running. Pattern jobs get a
+//! filesystem-safe hashed id (`pat-stride-<fnv16>-T-GLSC-4x4-w4`) since
+//! spec strings contain `:*@` and can be arbitrarily long.
 
 use crate::ds_label;
 use glsc_kernels::{Dataset, Variant, KERNEL_NAMES};
-use glsc_wire::{wire_struct, Wire};
+use glsc_wire::{Reader, Wire, WireError, Writer};
 
 /// Dataset tag values on the wire (`Dataset` itself lives in
 /// `glsc-kernels` and stays wire-agnostic).
 pub const DATASET_TAGS: [(u8, Dataset); 3] = [(0, Dataset::Tiny), (1, Dataset::A), (2, Dataset::B)];
 
+/// Current job-spec wire format. v2 added the `pattern` field and the
+/// version prefix itself.
+pub const SPEC_FORMAT_VERSION: u32 = 2;
+
 /// One job as submitted over the protocol. All fields are untrusted
 /// until [`validate`](WireJobSpec::validate) passes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WireJobSpec {
-    /// Kernel name (one of [`glsc_kernels::KERNEL_NAMES`]).
+    /// Kernel name (one of [`glsc_kernels::KERNEL_NAMES`]); empty for
+    /// pattern jobs.
     pub kernel: String,
-    /// Dataset tag: 0 = Tiny, 1 = A, 2 = B.
+    /// Pattern spec string (`glsc-patterns` grammar, e.g.
+    /// `stride:4x1024`); `None` for kernel jobs.
+    pub pattern: Option<String>,
+    /// Dataset tag: 0 = Tiny, 1 = A, 2 = B. For pattern jobs this
+    /// selects the iteration tier (Tiny scales the spec down).
     pub dataset: u8,
     /// Variant tag: 0 = Base, 1 = Glsc.
     pub variant: u8,
@@ -46,23 +69,49 @@ pub struct WireJobSpec {
     pub deadline_wall_ms: Option<u64>,
 }
 
-wire_struct!(WireJobSpec {
-    kernel,
-    dataset,
-    variant,
-    cores,
-    tpc,
-    width,
-    chaos,
-    deadline_cycles,
-    deadline_wall_ms,
-});
+impl Wire for WireJobSpec {
+    fn encode(&self, w: &mut Writer) {
+        SPEC_FORMAT_VERSION.encode(w);
+        self.kernel.encode(w);
+        self.pattern.encode(w);
+        self.dataset.encode(w);
+        self.variant.encode(w);
+        self.cores.encode(w);
+        self.tpc.encode(w);
+        self.width.encode(w);
+        self.chaos.encode(w);
+        self.deadline_cycles.encode(w);
+        self.deadline_wall_ms.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        if u32::decode(r)? != SPEC_FORMAT_VERSION {
+            return Err(r.invalid("jobspec format version"));
+        }
+        Ok(Self {
+            kernel: String::decode(r)?,
+            pattern: Option::<String>::decode(r)?,
+            dataset: u8::decode(r)?,
+            variant: u8::decode(r)?,
+            cores: u32::decode(r)?,
+            tpc: u32::decode(r)?,
+            width: u32::decode(r)?,
+            chaos: Option::<u64>::decode(r)?,
+            deadline_cycles: Option::<u64>::decode(r)?,
+            deadline_wall_ms: Option::<u64>::decode(r)?,
+        })
+    }
+}
 
 /// Why a [`WireJobSpec`] was rejected at admission.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SpecError {
     /// Kernel name is not one of the seven RMS kernels.
     UnknownKernel(String),
+    /// Pattern spec string failed the `glsc-patterns` parser or its
+    /// bounds checks (the rendered parse error).
+    BadPattern(String),
+    /// Both `kernel` and `pattern` set — a job is one or the other.
+    KernelAndPattern,
     /// Dataset tag outside the defined range.
     BadDataset(u8),
     /// Variant tag outside the defined range.
@@ -84,6 +133,10 @@ impl std::fmt::Display for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SpecError::UnknownKernel(k) => write!(f, "unknown kernel {k:?}"),
+            SpecError::BadPattern(e) => write!(f, "bad pattern spec: {e}"),
+            SpecError::KernelAndPattern => {
+                write!(f, "spec sets both kernel and pattern; pick one")
+            }
             SpecError::BadDataset(t) => write!(f, "dataset tag {t} outside 0..=2"),
             SpecError::BadVariant(t) => write!(f, "variant tag {t} outside 0..=1"),
             SpecError::ShapeOutOfRange { field, value, max } => {
@@ -96,6 +149,40 @@ impl std::fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
+/// Why raw spec bytes failed to decode: version skew (e.g. a journal
+/// written by an older build) or malformed bytes. Mirrors the report
+/// codec's error split so callers can log skew distinctly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecCodecError {
+    /// Leading version word is not [`SPEC_FORMAT_VERSION`].
+    VersionMismatch {
+        /// The version word found.
+        found: u32,
+    },
+    /// Structurally bad bytes under the current version.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for SpecCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecCodecError::VersionMismatch { found } => write!(
+                f,
+                "jobspec format version {found} (this build reads {SPEC_FORMAT_VERSION})"
+            ),
+            SpecCodecError::Wire(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecCodecError {}
+
+impl From<WireError> for SpecCodecError {
+    fn from(e: WireError) -> Self {
+        SpecCodecError::Wire(e)
+    }
+}
+
 impl WireJobSpec {
     /// A plain kernel job on a Fig. 6 shape with no chaos or deadlines.
     pub fn kernel(
@@ -107,6 +194,7 @@ impl WireJobSpec {
     ) -> Self {
         Self {
             kernel: kernel.to_string(),
+            pattern: None,
             dataset: DATASET_TAGS
                 .iter()
                 .find(|(_, d)| *d == ds)
@@ -125,12 +213,40 @@ impl WireJobSpec {
         }
     }
 
+    /// A pattern job: `spec` is a `glsc-patterns` spec string (e.g.
+    /// `conflict:p=0.25x256*100`), untrusted until
+    /// [`validate`](Self::validate) parses it.
+    pub fn pattern(
+        spec: &str,
+        ds: Dataset,
+        variant: Variant,
+        shape: (usize, usize),
+        width: usize,
+    ) -> Self {
+        let mut s = Self::kernel("", ds, variant, shape, width);
+        s.pattern = Some(spec.to_string());
+        s
+    }
+
     /// Bounds-checks every field. Passing means the spec can be resolved
     /// into a dataset image and a valid [`glsc_sim::MachineConfig`]
-    /// without panicking or allocating absurd amounts of memory.
+    /// without panicking or allocating absurd amounts of memory — for
+    /// pattern jobs that includes a full parse and bounds check of the
+    /// spec string.
     pub fn validate(&self) -> Result<(), SpecError> {
-        if !KERNEL_NAMES.contains(&self.kernel.as_str()) {
-            return Err(SpecError::UnknownKernel(self.kernel.clone()));
+        match &self.pattern {
+            Some(p) => {
+                if !self.kernel.is_empty() {
+                    return Err(SpecError::KernelAndPattern);
+                }
+                glsc_patterns::PatternSpec::parse(p)
+                    .map_err(|e| SpecError::BadPattern(e.to_string()))?;
+            }
+            None => {
+                if !KERNEL_NAMES.contains(&self.kernel.as_str()) {
+                    return Err(SpecError::UnknownKernel(self.kernel.clone()));
+                }
+            }
         }
         if self.dataset > 2 {
             return Err(SpecError::BadDataset(self.dataset));
@@ -152,6 +268,15 @@ impl WireJobSpec {
             return Err(SpecError::ZeroDeadline);
         }
         Ok(())
+    }
+
+    /// The name [`glsc_kernels::build_named`] dispatches on: the kernel
+    /// name, or `pattern:<spec>` for pattern jobs.
+    pub fn kernel_name(&self) -> String {
+        match &self.pattern {
+            Some(p) => format!("pattern:{p}"),
+            None => self.kernel.clone(),
+        }
     }
 
     /// The validated spec's dataset.
@@ -183,7 +308,10 @@ impl WireJobSpec {
     }
 
     /// Stable job id, matching the supervisor's naming for the same
-    /// workload (`HIP-T-GLSC-4x4-w4`, plus `-chaos<seed>`).
+    /// workload (`HIP-T-GLSC-4x4-w4`, plus `-chaos<seed>`). Pattern jobs
+    /// hash the spec string into a short filesystem-safe stem
+    /// (`pat-stride-<fnv16>`); the id keys the journal, checkpoint
+    /// files, and reply frames, so it must never contain `:*@,`.
     pub fn id(&self) -> String {
         let ds = DATASET_TAGS
             .iter()
@@ -195,9 +323,18 @@ impl WireJobSpec {
             1 => Variant::Glsc.label(),
             _ => "?",
         };
+        let stem = match &self.pattern {
+            Some(p) => {
+                // Kind prefix for human scanning; full-spec hash for
+                // identity (specs can be long and contain separators).
+                let kind = p.split(':').next().unwrap_or("spec");
+                format!("pat-{kind}-{:016x}", glsc_wire::fnv64(p.as_bytes()))
+            }
+            None => self.kernel.clone(),
+        };
         let mut id = format!(
-            "{}-{ds}-{variant}-{}x{}-w{}",
-            self.kernel, self.cores, self.tpc, self.width
+            "{stem}-{ds}-{variant}-{}x{}-w{}",
+            self.cores, self.tpc, self.width
         );
         if let Some(seed) = self.chaos {
             id.push_str(&format!("-chaos{seed}"));
@@ -206,7 +343,7 @@ impl WireJobSpec {
     }
 
     /// Encodes the spec as a standalone byte string (for journaling and
-    /// framing).
+    /// framing), led by [`SPEC_FORMAT_VERSION`].
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = glsc_wire::Writer::new();
         self.encode(&mut w);
@@ -214,8 +351,14 @@ impl WireJobSpec {
     }
 
     /// Decodes a spec produced by [`to_bytes`](Self::to_bytes). The
-    /// result is still *unvalidated*.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, glsc_wire::WireError> {
+    /// result is still *unvalidated*. Stale-version bytes (including the
+    /// unversioned v1 layout) report [`SpecCodecError::VersionMismatch`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SpecCodecError> {
+        let mut peek = glsc_wire::Reader::new(bytes);
+        let found = u32::decode(&mut peek)?;
+        if found != SPEC_FORMAT_VERSION {
+            return Err(SpecCodecError::VersionMismatch { found });
+        }
         let mut r = glsc_wire::Reader::new(bytes);
         let spec = Self::decode(&mut r)?;
         r.finish()?;
@@ -231,6 +374,16 @@ mod tests {
         WireJobSpec::kernel("HIP", Dataset::Tiny, Variant::Glsc, (4, 4), 4)
     }
 
+    fn good_pattern() -> WireJobSpec {
+        WireJobSpec::pattern(
+            "conflict:p=0.25x256*10",
+            Dataset::Tiny,
+            Variant::Glsc,
+            (4, 4),
+            4,
+        )
+    }
+
     #[test]
     fn roundtrips_and_ids_match_supervisor_naming() {
         let mut spec = good();
@@ -240,6 +393,23 @@ mod tests {
         assert_eq!(back, spec);
         assert_eq!(back.id(), "HIP-T-GLSC-4x4-w4-chaos24301");
         assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn pattern_specs_roundtrip_validate_and_dispatch() {
+        let spec = good_pattern();
+        let back = WireJobSpec::from_bytes(&spec.to_bytes()).unwrap();
+        assert_eq!(back, spec);
+        assert!(back.validate().is_ok());
+        assert_eq!(back.kernel_name(), "pattern:conflict:p=0.25x256*10");
+        // Hashed id: stable, filesystem-safe, distinct per spec.
+        let id = back.id();
+        assert!(id.starts_with("pat-conflict-"), "{id}");
+        assert!(id.ends_with("-T-GLSC-4x4-w4"), "{id}");
+        assert!(!id.contains([':', '*', '@', ',']), "{id}");
+        let other = WireJobSpec::pattern("stride:4x1024", Dataset::Tiny, Variant::Glsc, (4, 4), 4);
+        assert_ne!(other.id(), id);
+        assert_eq!(back.id(), good_pattern().id(), "id is deterministic");
     }
 
     #[test]
@@ -286,6 +456,25 @@ mod tests {
         let mut s = good();
         s.deadline_wall_ms = Some(0);
         assert_eq!(s.validate(), Err(SpecError::ZeroDeadline));
+
+        // Hostile pattern strings: typed rejection carrying the parse
+        // error, never a panic or a giant allocation.
+        for bad in [
+            "",
+            "evil:1",
+            "stride:0x4",
+            "stride:4x99999999",
+            "stride:4x1024*1*1",
+        ] {
+            let s = WireJobSpec::pattern(bad, Dataset::Tiny, Variant::Glsc, (1, 1), 4);
+            assert!(
+                matches!(s.validate(), Err(SpecError::BadPattern(_))),
+                "{bad:?}"
+            );
+        }
+        let mut s = good_pattern();
+        s.kernel = "HIP".into();
+        assert_eq!(s.validate(), Err(SpecError::KernelAndPattern));
     }
 
     #[test]
@@ -298,5 +487,42 @@ mod tests {
         let mut padded = bytes.clone();
         padded.push(0xFF);
         assert!(WireJobSpec::from_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn stale_version_bytes_are_version_mismatch() {
+        // The v1 (unversioned) layout led with the kernel string; its
+        // u64 length prefix puts the name length in the version slot.
+        let mut w = glsc_wire::Writer::new();
+        "HIP".to_string().encode(&mut w);
+        0u8.encode(&mut w); // dataset
+        1u8.encode(&mut w); // variant
+        4u32.encode(&mut w); // cores
+        4u32.encode(&mut w); // tpc
+        4u32.encode(&mut w); // width
+        None::<u64>.encode(&mut w); // chaos
+        None::<u64>.encode(&mut w); // deadline_cycles
+        None::<u64>.encode(&mut w); // deadline_wall_ms
+        let v1 = w.into_bytes();
+        assert_eq!(
+            WireJobSpec::from_bytes(&v1),
+            Err(SpecCodecError::VersionMismatch { found: 3 }),
+            "v1 bytes must fail loudly as skew, not decode as garbage"
+        );
+
+        // A future version is skew too.
+        let mut w = glsc_wire::Writer::new();
+        (SPEC_FORMAT_VERSION + 1).encode(&mut w);
+        let future = w.into_bytes();
+        assert_eq!(
+            WireJobSpec::from_bytes(&future),
+            Err(SpecCodecError::VersionMismatch {
+                found: SPEC_FORMAT_VERSION + 1
+            })
+        );
+
+        // Current-version round-trip still works after the bump.
+        let spec = good_pattern();
+        assert_eq!(WireJobSpec::from_bytes(&spec.to_bytes()).unwrap(), spec);
     }
 }

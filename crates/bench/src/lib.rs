@@ -81,7 +81,7 @@ pub fn run(
     width: usize,
 ) -> KernelOutcome {
     let cfg = config(cores, tpc, width);
-    let w = build_named(kernel, ds, variant, &cfg);
+    let w = build_named(kernel, ds, variant, &cfg).unwrap_or_else(|e| panic!("{e}"));
     run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -102,7 +102,7 @@ pub fn run_chaos(
     let cfg = config(cores, tpc, width)
         .with_max_cycles(2_000_000_000)
         .with_watchdog_window(Some(5_000_000));
-    let w = build_named(kernel, ds, variant, &cfg);
+    let w = build_named(kernel, ds, variant, &cfg).unwrap_or_else(|e| panic!("{e}"));
     run_workload_chaos(&w, &cfg, chaos).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -123,7 +123,7 @@ pub fn run_cached(
     width: usize,
 ) -> KernelOutcome {
     let cfg = config(cores, tpc, width);
-    let w = build_named(kernel, ds, variant, &cfg);
+    let w = build_named(kernel, ds, variant, &cfg).unwrap_or_else(|e| panic!("{e}"));
     run_workload_cached(
         store,
         &w,
@@ -258,7 +258,7 @@ pub fn fleet_kernel_job(
     width: usize,
 ) -> FleetJobSpec {
     let cfg = config(cores, tpc, width);
-    let workload = build_named(kernel, ds, variant, &cfg);
+    let workload = build_named(kernel, ds, variant, &cfg).unwrap_or_else(|e| panic!("{e}"));
     FleetJobSpec {
         key_parts: vec![
             kernel.to_string(),

@@ -50,7 +50,7 @@ fn differential(noc: NocConfig, plan_seed: Option<u64>, tag: &str) {
                     .with_max_cycles(2_000_000_000)
                     .with_watchdog_window(Some(5_000_000));
             }
-            let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+            let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
             let plan = plan_seed.map(FaultPlan::from_seed);
             let (report, chaos) = solo(&cfg, &w, plan.clone());
             let name = format!("{kernel} {cores}x{tpc} {tag}");

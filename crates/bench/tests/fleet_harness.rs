@@ -94,7 +94,7 @@ fn fleet_resume_hits_bypass_simulation() {
     // cached report without ever simulating or validating; if the fleet
     // re-ran it, the validator would fail the job.
     let cfg = MachineConfig::paper(1, 2, 4);
-    let w = build_named("FS", Dataset::Tiny, Variant::Glsc, &cfg);
+    let w = build_named("FS", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
     let trapped = Workload {
         name: w.name.clone(),
         program: w.program.clone(),

@@ -28,7 +28,7 @@ fn scratch(tag: &str) -> PathBuf {
 fn every_kernel_report_round_trips_through_the_codec() {
     let cfg = MachineConfig::paper(2, 2, 4);
     for kernel in KERNEL_NAMES {
-        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
         let out = run_workload(&w, &cfg).unwrap();
         let decoded = decode_report(&encode_report(&out.report))
             .unwrap_or_else(|e| panic!("{kernel}: decode failed: {e}"));
@@ -40,7 +40,7 @@ fn every_kernel_report_round_trips_through_the_codec() {
 fn store_round_trips_and_resume_skips_the_simulation() {
     let dir = scratch("roundtrip");
     let cfg = MachineConfig::paper(1, 2, 4);
-    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
 
     // First run: cold store, simulates and persists.
     let writer = JobStore::at(dir.clone(), false);
@@ -69,7 +69,7 @@ fn store_round_trips_and_resume_skips_the_simulation() {
 fn corrupt_and_stale_entries_rerun_instead_of_poisoning() {
     let dir = scratch("corrupt");
     let cfg = MachineConfig::paper(1, 1, 4);
-    let w = build_named("TMS", Dataset::Tiny, Variant::Glsc, &cfg);
+    let w = build_named("TMS", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
     let store = JobStore::at(dir.clone(), true);
     let key = job_key(&["corrupt"], w.fingerprint(), cfg_fingerprint(&cfg));
     let path = store.path_for(&key).unwrap();
@@ -100,8 +100,8 @@ fn job_keys_separate_configs_and_workloads() {
     let cfg_a = MachineConfig::paper(4, 4, 4);
     let mut cfg_b = cfg_a.clone();
     cfg_b.mem.prefetch = !cfg_b.mem.prefetch;
-    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg_a);
-    let w2 = build_named("HIP", Dataset::Tiny, Variant::Base, &cfg_a);
+    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg_a).expect("known kernel");
+    let w2 = build_named("HIP", Dataset::Tiny, Variant::Base, &cfg_a).expect("known kernel");
 
     let base = job_key(&["x"], w.fingerprint(), cfg_fingerprint(&cfg_a));
     assert_ne!(
@@ -131,7 +131,7 @@ fn disabled_store_neither_reads_nor_writes() {
     assert!(store.path_for("k").is_none());
     assert!(store.load("k").is_none());
     let cfg = MachineConfig::paper(1, 1, 4);
-    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
     // save() must be a no-op rather than an error.
     let out = run_workload_cached(&store, &w, &cfg, &["disabled"]);
     assert!(out.report.cycles > 0);

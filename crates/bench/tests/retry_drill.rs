@@ -27,7 +27,8 @@ fn injected_panic_burns_the_configured_retries_then_errors() {
             "drill-poisoned-HIP".to_string(),
             Box::new(|| {
                 poisoned_calls.fetch_add(1, Ordering::SeqCst);
-                let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+                let w =
+                    build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
                 run_workload_cached(&store, &w, &cfg, &["drill-poisoned", "HIP"])
                     .report
                     .cycles
@@ -37,7 +38,8 @@ fn injected_panic_burns_the_configured_retries_then_errors() {
             "drill-healthy-HIP".to_string(),
             Box::new(|| {
                 healthy_calls.fetch_add(1, Ordering::SeqCst);
-                let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+                let w =
+                    build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
                 run_workload_cached(&store, &w, &cfg, &["drill-healthy", "HIP"])
                     .report
                     .cycles

@@ -26,7 +26,7 @@ fn corrupt_cache_entries_are_logged_misses() {
     let store = JobStore::at(dir.clone(), true);
 
     let cfg = MachineConfig::paper(1, 2, 4);
-    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
     let out = run_workload(&w, &cfg).unwrap();
     let key = job_key(&["HIP", "T", "glsc"], 0xABCD, 0x1234);
 
@@ -77,7 +77,7 @@ fn hostile_count_prefixes_are_misses_not_allocations() {
     let store = JobStore::at(dir.clone(), true);
 
     let cfg = MachineConfig::paper(2, 2, 4);
-    let w = build_named("FS", Dataset::Tiny, Variant::Glsc, &cfg);
+    let w = build_named("FS", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
     let out = run_workload(&w, &cfg).unwrap();
     let key = job_key(&["FS", "T", "glsc"], 0xBEEF, 0x7777);
     store.save(&key, &out.report);
@@ -117,7 +117,7 @@ fn resume_off_never_reads_even_valid_entries() {
     let dir = tmp_dir("noresume");
     let store = JobStore::at(dir.clone(), false);
     let cfg = MachineConfig::paper(1, 1, 4);
-    let w = build_named("GBC", Dataset::Tiny, Variant::Base, &cfg);
+    let w = build_named("GBC", Dataset::Tiny, Variant::Base, &cfg).expect("known kernel");
     let out = run_workload(&w, &cfg).unwrap();
     let key = job_key(&["GBC", "T", "base"], 1, 2);
     store.save(&key, &out.report);

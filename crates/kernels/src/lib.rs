@@ -47,6 +47,7 @@ pub mod gps;
 pub mod hip;
 pub mod mfp;
 pub mod micro;
+pub mod pattern;
 pub mod smc;
 pub mod tms;
 
@@ -55,19 +56,53 @@ pub use common::{
     KERNEL_NAMES,
 };
 
+/// Why [`build_named`] could not build a workload. Kernel names cross
+/// the serve-protocol trust boundary, so an unknown name must be a
+/// typed error the admission path can turn into a `Rejected` reply —
+/// never a server-side panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelError {
+    /// Not one of [`KERNEL_NAMES`] and not a `pattern:` spec.
+    Unknown(String),
+    /// A `pattern:` spec that failed to parse or bounds-check.
+    Pattern(glsc_patterns::ParseError),
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::Unknown(name) => write!(f, "unknown kernel {name:?}"),
+            KernelError::Pattern(e) => write!(f, "bad pattern spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<glsc_patterns::ParseError> for KernelError {
+    fn from(e: glsc_patterns::ParseError) -> Self {
+        KernelError::Pattern(e)
+    }
+}
+
 /// Builds a named kernel's workload: convenience dispatcher for the
-/// benchmark harness. `name` is one of [`KERNEL_NAMES`].
-///
-/// # Panics
-///
-/// Panics on an unknown kernel name.
+/// benchmark harness and the serve protocol. `name` is one of
+/// [`KERNEL_NAMES`], or `pattern:<spec>` where `<spec>` uses the
+/// `glsc-patterns` grammar (e.g. `pattern:stride:4x1024` or
+/// `pattern:conflict:p=0.25x256*100`). For pattern workloads the
+/// dataset selects the iteration tier (`Tiny` scales the spec's
+/// iterations down for smoke runs); the spec itself carries its sizes.
 pub fn build_named(
     name: &str,
     dataset: Dataset,
     variant: Variant,
     cfg: &glsc_sim::MachineConfig,
-) -> Workload {
-    match name {
+) -> Result<Workload, KernelError> {
+    if let Some(spec) = name.strip_prefix("pattern:") {
+        let p = pattern::Pattern::parse(spec)?.for_dataset(dataset);
+        return Ok(p.build(variant, cfg));
+    }
+    Ok(match name {
         "GBC" => gbc::Gbc::new(dataset).build(variant, cfg),
         "FS" => fs::Fs::new(dataset).build(variant, cfg),
         "GPS" => gps::Gps::new(dataset).build(variant, cfg),
@@ -75,6 +110,6 @@ pub fn build_named(
         "SMC" => smc::Smc::new(dataset).build(variant, cfg),
         "MFP" => mfp::Mfp::new(dataset).build(variant, cfg),
         "TMS" => tms::Tms::new(dataset).build(variant, cfg),
-        other => panic!("unknown kernel {other:?}"),
-    }
+        other => return Err(KernelError::Unknown(other.to_string())),
+    })
 }

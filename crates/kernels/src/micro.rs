@@ -210,15 +210,17 @@ impl Micro {
         }
         let a_idx = image.alloc_u32(&flat);
 
-        let program = build_program(
+        let program = emit_update_loop(&UpdateLoop {
             variant,
             width,
-            self.params.iters,
+            iters: self.params.iters,
             per_thread,
             a_idx,
             a_counters,
-            self.backoff,
-        );
+            backoff: self.backoff,
+            add: 1,
+            reads: 0,
+        });
 
         let name = format!(
             "micro{}{}/{}/w{}",
@@ -245,15 +247,49 @@ impl Micro {
     }
 }
 
-fn build_program(
-    variant: Variant,
-    width: usize,
-    iters: usize,
-    per_thread: usize,
-    a_idx: u64,
-    a_counters: u64,
-    backoff: bool,
-) -> glsc_isa::Program {
+/// Code-shape parameters for the shared atomic-update loop emitter,
+/// used by both the §5.2 microbenchmark and the pattern engine
+/// (`crate::pattern`). With `add == 1` and `reads == 0` the emitted
+/// stream is exactly the original microbenchmark program.
+pub(crate) struct UpdateLoop {
+    /// Base (ll/sc loop) or GLSC.
+    pub variant: Variant,
+    /// SIMD width (elements per vector).
+    pub width: usize,
+    /// Iterations per thread.
+    pub iters: usize,
+    /// Index words per thread in the flat index array.
+    pub per_thread: usize,
+    /// Address of the flat index array.
+    pub a_idx: u64,
+    /// Address of the counter table.
+    pub a_counters: u64,
+    /// Emit the LCG software-backoff delay on every retry path.
+    pub backoff: bool,
+    /// Immediate added to each touched counter (1 for plain increment).
+    pub add: i64,
+    /// Extra plain (non-atomic) gathers of the indexed words per
+    /// iteration — the pattern engine's read/write-mix knob.
+    pub reads: usize,
+}
+
+/// Emits the shared update loop: per iteration, load a vector of word
+/// indices, optionally gather them `reads` times (plain loads), then
+/// atomically add `add` to `counters[idx]` for every lane — with a
+/// gather-link/scatter-conditional retry loop (GLSC) or a per-lane
+/// ll/sc loop (Base).
+pub(crate) fn emit_update_loop(p: &UpdateLoop) -> glsc_isa::Program {
+    let UpdateLoop {
+        variant,
+        width,
+        iters,
+        per_thread,
+        a_idx,
+        a_counters,
+        backoff,
+        add,
+        reads,
+    } = *p;
     let mut b = ProgramBuilder::new();
     let r = Reg::new;
     let v = VReg::new;
@@ -277,6 +313,11 @@ fn build_program(
     b.mul(r_addr, r_it, (width * 4) as i64);
     b.add(r_addr, r_addr, r_my);
     b.vload(v_idx, r_addr, 0, None);
+    // Read/write-mix knob: plain (non-atomic) gathers of the same words
+    // before the atomic update. Zero for the microbenchmark.
+    for _ in 0..reads {
+        b.vgather(v_tmp, r_cnt, v_idx, None);
+    }
     b.sync_on();
     match variant {
         Variant::Glsc => {
@@ -286,7 +327,7 @@ fn build_program(
                 emit_backoff(&mut b, r_bo_state, r_bo_tmp);
             }
             b.vgatherlink(f_tmp, v_tmp, r_cnt, v_idx, f_todo);
-            b.vadd(v_tmp, v_tmp, 1, Some(f_tmp));
+            b.vadd(v_tmp, v_tmp, add, Some(f_tmp));
             b.vscattercond(f_tmp, v_tmp, r_cnt, v_idx, f_tmp);
             b.mxor(f_todo, f_todo, f_tmp);
             b.bmnz(f_todo, retry);
@@ -301,7 +342,7 @@ fn build_program(
                     emit_backoff(&mut b, r_bo_state, r_bo_tmp);
                 }
                 b.ll(r_t2, r_t1, 0);
-                b.addi(r_t2, r_t2, 1);
+                b.addi(r_t2, r_t2, add);
                 b.sc(r_t3, r_t2, r_t1, 0);
                 b.beq(r_t3, 0, retry);
             }

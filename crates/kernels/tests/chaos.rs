@@ -34,7 +34,7 @@ fn all_kernels_validate_under_sampled_fault_plans() {
     for kernel in KERNEL_NAMES {
         for variant in [Variant::Base, Variant::Glsc] {
             for &seed in &seeds {
-                let w = build_named(kernel, Dataset::Tiny, variant, &cfg);
+                let w = build_named(kernel, Dataset::Tiny, variant, &cfg).expect("known kernel");
                 let (_, stats) = run_workload_chaos(&w, &cfg, ChaosConfig::from_seed(seed))
                     .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
                 runs += 1;
@@ -66,7 +66,7 @@ fn aggressive_chaos_still_validates_glsc() {
     let cfg = chaos_cfg();
     for kernel in KERNEL_NAMES {
         for seed in [1u64, 2, 3] {
-            let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+            let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
             let (_, stats) = run_workload_chaos(&w, &cfg, ChaosConfig::aggressive(seed))
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(
@@ -86,7 +86,7 @@ fn chaos_under_buffered_reservations_validates() {
     let mut forced = 0u64;
     for kernel in KERNEL_NAMES {
         for seed in [11u64, 12, 13] {
-            let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+            let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
             let (_, stats) = run_workload_chaos(&w, &cfg, ChaosConfig::aggressive(seed))
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             forced += stats.forced_buffer_evictions;
@@ -98,7 +98,7 @@ fn chaos_under_buffered_reservations_validates() {
 #[test]
 fn chaos_run_is_deterministic_per_seed() {
     let cfg = chaos_cfg();
-    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
     let (out_a, stats_a) = run_workload_chaos(&w, &cfg, ChaosConfig::from_seed(99)).unwrap();
     let (out_b, stats_b) = run_workload_chaos(&w, &cfg, ChaosConfig::from_seed(99)).unwrap();
     assert_eq!(stats_a, stats_b, "same seed must inject identical faults");
@@ -119,7 +119,7 @@ fn chaos_slows_but_never_changes_results() {
     // without a plan; both validate, and the chaotic run retires at least
     // as many instructions (retries can only add work).
     let cfg = chaos_cfg();
-    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
     let clean = glsc_kernels::run_workload(&w, &cfg).unwrap();
     let (chaotic, stats) = run_workload_chaos(&w, &cfg, ChaosConfig::aggressive(7)).unwrap();
     assert!(stats.total_destructive() > 0);

@@ -10,7 +10,7 @@ fn width_eight_validates_everywhere() {
     // Width 8 is not in the paper's sweep but must still be correct.
     let cfg = MachineConfig::paper(2, 2, 8);
     for kernel in KERNEL_NAMES {
-        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
         run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
     }
 }
@@ -23,7 +23,7 @@ fn fail_on_miss_policy_preserves_correctness() {
         ..GlscConfig::default()
     };
     for kernel in KERNEL_NAMES {
-        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
         let out = run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
         assert!(out.report.cycles > 0);
     }
@@ -37,7 +37,7 @@ fn fail_on_remote_link_policy_preserves_correctness() {
         ..GlscConfig::default()
     };
     for kernel in ["HIP", "TMS", "SMC"] {
-        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
         run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
     }
 }
@@ -47,7 +47,7 @@ fn buffered_reservations_preserve_correctness() {
     let mut cfg = MachineConfig::paper(2, 2, 4);
     cfg.mem.glsc_buffer_entries = Some(8);
     for kernel in KERNEL_NAMES {
-        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
         run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
     }
 }
@@ -58,8 +58,8 @@ fn prefetcher_off_preserves_correctness_and_timing_changes() {
     on.mem.prefetch = true;
     let mut off = on.clone();
     off.mem.prefetch = false;
-    let w_on = build_named("TMS", Dataset::Tiny, Variant::Glsc, &on);
-    let w_off = build_named("TMS", Dataset::Tiny, Variant::Glsc, &off);
+    let w_on = build_named("TMS", Dataset::Tiny, Variant::Glsc, &on).expect("known kernel");
+    let w_off = build_named("TMS", Dataset::Tiny, Variant::Glsc, &off).expect("known kernel");
     let c_on = run_workload(&w_on, &on).unwrap().report.cycles;
     let c_off = run_workload(&w_off, &off).unwrap().report.cycles;
     assert_ne!(c_on, c_off, "prefetcher must affect timing");
@@ -71,7 +71,7 @@ fn single_issue_machine_still_validates() {
     let mut cfg = MachineConfig::paper(1, 2, 4);
     cfg.issue_width = 1;
     for kernel in ["HIP", "GBC"] {
-        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
         run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
     }
 }
@@ -82,7 +82,7 @@ fn dataset_b_tiny_shapes_run_both_variants() {
     let cfg = MachineConfig::paper(4, 1, 4);
     for kernel in ["HIP", "TMS"] {
         for variant in [Variant::Base, Variant::Glsc] {
-            let w = build_named(kernel, Dataset::Tiny, variant, &cfg);
+            let w = build_named(kernel, Dataset::Tiny, variant, &cfg).expect("known kernel");
             run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
         }
     }

@@ -1,0 +1,66 @@
+//! Frame shim for driving `glsc-serve serve --stdio` from a shell: the
+//! CI pattern drill pipes `encode`'s frames into the server and the
+//! server's reply frames into `decode`, which renders one greppable
+//! text line per reply.
+//!
+//! ```text
+//! pattern_frames encode [SPEC..] | glsc-serve serve --stdio --state-dir D \
+//!     | pattern_frames decode
+//! ```
+//!
+//! `encode` submits each SPEC (default: one `conflict:p=0.25x64*8`) as
+//! a Tiny/GLSC pattern job on a 1x2 w4 machine, then the `Run` barrier.
+//! `decode` prints lines like `JobDone pat-conflict-...-T-GLSC-1x2-w4
+//! 48819` until the stream closes.
+
+use glsc_bench::jobspec::WireJobSpec;
+use glsc_kernels::{Dataset, Variant};
+use glsc_serve::proto::{read_message, write_message, Reply, Request};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("encode") => {
+            let specs: Vec<String> = args.collect();
+            let specs = if specs.is_empty() {
+                vec!["conflict:p=0.25x64*8".to_string()]
+            } else {
+                specs
+            };
+            let mut out = std::io::stdout().lock();
+            for spec in &specs {
+                let spec = WireJobSpec::pattern(spec, Dataset::Tiny, Variant::Glsc, (1, 2), 4);
+                write_message(&mut out, &Request::Submit { priority: 0, spec })
+                    .expect("stdout frame");
+            }
+            write_message(&mut out, &Request::Run).expect("stdout frame");
+        }
+        Some("decode") => {
+            let mut input = std::io::stdin().lock();
+            loop {
+                match read_message::<Reply>(&mut input) {
+                    Ok(Some(reply)) => match reply {
+                        Reply::Accepted { id } => println!("Accepted {id}"),
+                        Reply::Shed { id, .. } => println!("Shed {id}"),
+                        Reply::Rejected { id, reason } => println!("Rejected {id}: {reason}"),
+                        Reply::FrameError { detail } => println!("FrameError {detail}"),
+                        Reply::JobDone { id, cycles, .. } => println!("JobDone {id} {cycles}"),
+                        Reply::JobFailed { id, label, .. } => println!("JobFailed {id} {label}"),
+                        Reply::SweepDone { ok, failed, shed } => {
+                            println!("SweepDone ok={ok} failed={failed} shed={shed}")
+                        }
+                    },
+                    Ok(None) => break,
+                    Err(e) => {
+                        eprintln!("bad reply frame: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        other => {
+            eprintln!("usage: pattern_frames encode [SPEC..] | decode (got {other:?})");
+            std::process::exit(2);
+        }
+    }
+}

@@ -8,6 +8,9 @@
 //!
 //!   --state-dir DIR        durable state root (or GLSC_SERVE_DIR)
 //!   --kernels A,B,..       kernels to run (default: all seven)
+//!   --pattern SPEC         add a pattern job (glsc-patterns grammar,
+//!                          e.g. conflict:p=0.25x256); repeatable, and
+//!                          --kernels none drops the kernel cross product
 //!   --shapes MxN,..        machine shapes (default: 1x1,1x4,4x1,4x4)
 //!   --variant glsc|base    kernel variant (default: glsc)
 //!   --width N              SIMD width (default: 4)
@@ -61,6 +64,7 @@ struct Args {
     cmd: Cmd,
     state_dir: Option<PathBuf>,
     kernels: Vec<String>,
+    patterns: Vec<String>,
     shapes: Vec<(usize, usize)>,
     variant: Variant,
     width: usize,
@@ -85,6 +89,7 @@ fn parse_args() -> Args {
         cmd: Cmd::Sweep,
         state_dir: std::env::var("GLSC_SERVE_DIR").ok().map(PathBuf::from),
         kernels: KERNEL_NAMES.iter().map(|k| k.to_string()).collect(),
+        patterns: Vec::new(),
         shapes: vec![(1, 1), (1, 4), (4, 1), (4, 4)],
         variant: Variant::Glsc,
         width: 4,
@@ -124,12 +129,19 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--state-dir" => args.state_dir = Some(PathBuf::from(value("--state-dir"))),
             "--kernels" => {
-                args.kernels = value("--kernels")
-                    .split(',')
-                    .map(|s| s.trim().to_string())
-                    .filter(|s| !s.is_empty())
-                    .collect();
+                let v = value("--kernels");
+                args.kernels = if v == "none" {
+                    Vec::new()
+                } else {
+                    v.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect()
+                };
             }
+            // Pattern specs contain commas (trace lists), so they get
+            // their own repeatable flag instead of riding --kernels.
+            "--pattern" => args.patterns.push(value("--pattern")),
             "--shapes" => {
                 args.shapes = value("--shapes")
                     .split(',')
@@ -259,23 +271,66 @@ fn main() {
     }
 }
 
+/// The submission cross product both the sweep CLI and the client
+/// build: kernels × shapes, then `--pattern` specs × shapes, all with
+/// the shared chaos/deadline knobs applied.
+fn sweep_specs(args: &Args) -> Vec<WireJobSpec> {
+    let mut specs = Vec::new();
+    for kernel in &args.kernels {
+        for &shape in &args.shapes {
+            specs.push(WireJobSpec::kernel(
+                kernel,
+                args.dataset,
+                args.variant,
+                shape,
+                args.width,
+            ));
+        }
+    }
+    for pattern in &args.patterns {
+        for &shape in &args.shapes {
+            specs.push(WireJobSpec::pattern(
+                pattern,
+                args.dataset,
+                args.variant,
+                shape,
+                args.width,
+            ));
+        }
+    }
+    for spec in &mut specs {
+        spec.chaos = args.chaos_seed;
+        spec.deadline_cycles = args.deadline_cycles;
+        spec.deadline_wall_ms = args.deadline_wall_ms;
+    }
+    specs
+}
+
 fn cmd_sweep(args: &Args) -> ! {
     let cfg = service_config(args);
     let mut jobs = Vec::new();
     if args.inject_wedged {
         jobs.push(JobSpec::wedged());
     }
-    for kernel in &args.kernels {
-        for &shape in &args.shapes {
-            jobs.push(JobSpec::kernel(
-                kernel,
-                args.dataset,
-                args.variant,
-                shape,
-                args.width,
-                args.chaos_seed,
-            ));
+    for spec in sweep_specs(args) {
+        if let Err(e) = spec.validate() {
+            usage(&format!("{}: {e}", spec.kernel_name()));
         }
+        let mut job = JobSpec::kernel(
+            &spec.kernel_name(),
+            spec.resolve_dataset(),
+            spec.resolve_variant(),
+            (spec.cores as usize, spec.tpc as usize),
+            spec.width as usize,
+            spec.chaos,
+        )
+        .unwrap_or_else(|e| usage(&e.to_string()));
+        // Key jobs by the wire id so pattern jobs get the same
+        // filesystem-safe hashed names the protocol path uses.
+        job.id = spec.id();
+        job.deadline_cycles = spec.deadline_cycles;
+        job.deadline_wall_ms = spec.deadline_wall_ms;
+        jobs.push(job);
     }
 
     match run_sweep(&cfg, &jobs) {
@@ -415,22 +470,15 @@ fn cmd_client(args: &Args) -> ! {
     // before replies are drained; at CLI scale the socket buffers absorb
     // this comfortably.
     let mut ids: Vec<String> = Vec::new();
-    for kernel in &args.kernels {
-        for &shape in &args.shapes {
-            let mut spec =
-                WireJobSpec::kernel(kernel, args.dataset, args.variant, shape, args.width);
-            spec.chaos = args.chaos_seed;
-            spec.deadline_cycles = args.deadline_cycles;
-            spec.deadline_wall_ms = args.deadline_wall_ms;
-            ids.push(spec.id());
-            send_or_die(
-                &mut output,
-                &Request::Submit {
-                    priority: args.priority,
-                    spec,
-                },
-            );
-        }
+    for spec in sweep_specs(args) {
+        ids.push(spec.id());
+        send_or_die(
+            &mut output,
+            &Request::Submit {
+                priority: args.priority,
+                spec,
+            },
+        );
     }
     send_or_die(&mut output, &Request::Run);
 

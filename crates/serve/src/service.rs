@@ -106,6 +106,10 @@ impl JobSpec {
     /// same way the bench harness keys it (so ids read like
     /// `HIP-T-glsc-4x4-w4`). Chaos jobs get a `-chaos<seed>` suffix —
     /// the fault plan changes timing, so it must change identity.
+    ///
+    /// Kernel names (including `pattern:<spec>` strings) come from
+    /// protocol clients, so an unbuildable name is a typed error the
+    /// admission path can turn into a `Rejected` reply.
     pub fn kernel(
         kernel: &str,
         ds: Dataset,
@@ -113,7 +117,7 @@ impl JobSpec {
         (cores, tpc): (usize, usize),
         width: usize,
         chaos: Option<u64>,
-    ) -> Self {
+    ) -> Result<Self, glsc_kernels::KernelError> {
         let mut cfg = MachineConfig::paper(cores, tpc, width);
         if chaos.is_some() {
             // Same guard rails as the bench chaos path: the plan slows
@@ -122,7 +126,7 @@ impl JobSpec {
                 .with_max_cycles(2_000_000_000)
                 .with_watchdog_window(Some(5_000_000));
         }
-        let workload = build_named(kernel, ds, variant, &cfg);
+        let workload = build_named(kernel, ds, variant, &cfg)?;
         let mut id = format!(
             "{kernel}-{}-{}-{cores}x{tpc}-w{width}",
             glsc_bench::ds_label(ds),
@@ -131,14 +135,14 @@ impl JobSpec {
         if let Some(seed) = chaos {
             id.push_str(&format!("-chaos{seed}"));
         }
-        Self {
+        Ok(Self {
             id,
             workload,
             cfg,
             chaos,
             deadline_cycles: None,
             deadline_wall_ms: None,
-        }
+        })
     }
 
     /// A job that never halts: a one-instruction jump loop. The fault
@@ -704,7 +708,7 @@ mod tests {
     }
 
     fn fig6_job() -> JobSpec {
-        JobSpec::kernel("HIP", Dataset::Tiny, Variant::Glsc, (1, 2), 4, None)
+        JobSpec::kernel("HIP", Dataset::Tiny, Variant::Glsc, (1, 2), 4, None).unwrap()
     }
 
     #[test]
@@ -813,14 +817,11 @@ mod tests {
         let dir = tmp_dir("chaos");
         let mut cfg = ServiceConfig::new(dir.clone());
         cfg.checkpoint_every = 3_000;
-        let jobs = vec![JobSpec::kernel(
-            "GBC",
-            Dataset::Tiny,
-            Variant::Glsc,
-            (2, 2),
-            4,
-            Some(0x5EED),
-        )];
+        let jobs =
+            vec![
+                JobSpec::kernel("GBC", Dataset::Tiny, Variant::Glsc, (2, 2), 4, Some(0x5EED))
+                    .unwrap(),
+            ];
         let report = run_sweep(&cfg, &jobs).unwrap();
         let got = report.outcomes[0].as_ref().unwrap().as_ref().unwrap();
         let chaos = got.chaos.as_ref().expect("chaos job must report counters");

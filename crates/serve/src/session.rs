@@ -291,6 +291,14 @@ fn restore_pending(
         };
         match WireJobSpec::from_bytes(spec_bytes) {
             Ok(spec) => {
+                // Replayed specs were validated at admission, but the
+                // validator may have tightened since (or the journal may
+                // carry bytes an older build admitted) — re-check before
+                // trusting them enough to build workloads.
+                if let Err(e) = spec.validate() {
+                    eprintln!("[serve] {id}: journaled spec no longer valid ({e}); dropping");
+                    continue;
+                }
                 eprintln!("[serve] {id}: re-queued from journal (pending submission)");
                 queue.restore(QueueEntry {
                     id: (*id).to_string(),
@@ -308,16 +316,21 @@ fn restore_pending(
     }
 }
 
-/// Lowers one validated wire spec into a supervised job.
+/// Lowers one validated wire spec into a supervised job. The job id is
+/// forced to the wire spec's id so reply frames, ledgers, and journal
+/// entries all key identically (pattern jobs hash their spec string into
+/// the id; the supervisor's raw naming would leak `:*@` into filenames).
 fn spec_to_job(spec: &WireJobSpec) -> JobSpec {
     let mut job = JobSpec::kernel(
-        &spec.kernel,
+        &spec.kernel_name(),
         spec.resolve_dataset(),
         spec.resolve_variant(),
         (spec.cores as usize, spec.tpc as usize),
         spec.width as usize,
         spec.chaos,
-    );
+    )
+    .expect("spec validated at admission");
+    job.id = spec.id();
     job.deadline_cycles = spec.deadline_cycles;
     job.deadline_wall_ms = spec.deadline_wall_ms;
     job

@@ -8,7 +8,7 @@ fn main() {
         for (c, t) in shapes {
             for v in [Variant::Base, Variant::Glsc] {
                 let cfg = MachineConfig::paper(c, t, 4);
-                let w = build_named(kernel, Dataset::Tiny, v, &cfg);
+                let w = build_named(kernel, Dataset::Tiny, v, &cfg).expect("known kernel");
                 let out = run_workload(&w, &cfg).unwrap();
                 println!(
                     "(\"{kernel}\", {c}, {t}, Variant::{}, {}, {}),",
@@ -36,7 +36,7 @@ fn main() {
     for width in [1usize, 16] {
         for v in [Variant::Base, Variant::Glsc] {
             let cfg = MachineConfig::paper(4, 4, width);
-            let w = build_named("HIP", Dataset::Tiny, v, &cfg);
+            let w = build_named("HIP", Dataset::Tiny, v, &cfg).expect("known kernel");
             let out = run_workload(&w, &cfg).unwrap();
             println!(
                 "// HIP w{width} {:?}: cycles={} l1={}",

@@ -128,7 +128,7 @@ fn every_kernel_validates_under_every_policy() {
     ] {
         let cfg = MachineConfig::paper(2, 2, 4).with_arbitration(policy);
         for kernel in KERNEL_NAMES {
-            let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+            let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
             run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{policy:?}: {e}"));
         }
         for variant in [Variant::Base, Variant::Glsc] {

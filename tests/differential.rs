@@ -438,7 +438,7 @@ fn fast_forward_matches_naive_all_kernels() {
         for (cores, tpc) in SHAPES {
             for variant in [Variant::Base, Variant::Glsc] {
                 let cfg = MachineConfig::paper(cores, tpc, 4);
-                let w = build_named(kernel, Dataset::Tiny, variant, &cfg);
+                let w = build_named(kernel, Dataset::Tiny, variant, &cfg).expect("known kernel");
                 let build = || {
                     let mut m = Machine::new(cfg.clone());
                     w.image.apply(m.mem_mut().backing_mut());

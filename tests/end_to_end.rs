@@ -9,7 +9,7 @@ fn all_kernels_both_variants_validate_on_2x2() {
     let cfg = MachineConfig::paper(2, 2, 4);
     for kernel in KERNEL_NAMES {
         for variant in [Variant::Base, Variant::Glsc] {
-            let w = build_named(kernel, Dataset::Tiny, variant, &cfg);
+            let w = build_named(kernel, Dataset::Tiny, variant, &cfg).expect("known kernel");
             let out = run_workload(&w, &cfg)
                 .unwrap_or_else(|e| panic!("{kernel}/{}: {e}", variant.label()));
             assert!(out.report.cycles > 0, "{kernel} must do work");
@@ -21,7 +21,7 @@ fn all_kernels_both_variants_validate_on_2x2() {
 fn all_kernels_run_at_width_sixteen() {
     let cfg = MachineConfig::paper(1, 2, 16);
     for kernel in KERNEL_NAMES {
-        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
         run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
     }
 }
@@ -31,7 +31,7 @@ fn all_kernels_run_at_width_one() {
     let cfg = MachineConfig::paper(2, 1, 1);
     for kernel in KERNEL_NAMES {
         for variant in [Variant::Base, Variant::Glsc] {
-            let w = build_named(kernel, Dataset::Tiny, variant, &cfg);
+            let w = build_named(kernel, Dataset::Tiny, variant, &cfg).expect("known kernel");
             run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
         }
     }
@@ -42,7 +42,7 @@ fn simulation_is_deterministic() {
     let cfg = MachineConfig::paper(2, 2, 4);
     let cycles: Vec<u64> = (0..2)
         .map(|_| {
-            let w = build_named("TMS", Dataset::Tiny, Variant::Glsc, &cfg);
+            let w = build_named("TMS", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
             run_workload(&w, &cfg).unwrap().report.cycles
         })
         .collect();
@@ -59,13 +59,13 @@ fn glsc_and_base_agree_on_final_state_for_exact_kernels() {
     let cfg = MachineConfig::paper(1, 1, 4);
     for kernel in ["HIP", "TMS", "SMC", "FS", "GBC"] {
         let base = run_workload(
-            &build_named(kernel, Dataset::Tiny, Variant::Base, &cfg),
+            &build_named(kernel, Dataset::Tiny, Variant::Base, &cfg).expect("known kernel"),
             &cfg,
         )
         .unwrap()
         .report;
         let glsc = run_workload(
-            &build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg),
+            &build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel"),
             &cfg,
         )
         .unwrap()
@@ -116,7 +116,7 @@ fn kernels_validate_with_buffered_reservations() {
     let mut cfg = MachineConfig::paper(2, 2, 4);
     cfg.mem.glsc_buffer_entries = Some(4 * 2);
     for kernel in ["HIP", "TMS", "GBC"] {
-        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
         run_workload(&w, &cfg).unwrap_or_else(|e| panic!("{kernel}: {e}"));
     }
 }

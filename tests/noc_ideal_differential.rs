@@ -110,7 +110,7 @@ fn ideal_topology_matches_pre_noc_goldens_on_every_kernel() {
             NocConfig::ideal(),
             "ideal must stay the default"
         );
-        let w = build_named(kernel, Dataset::Tiny, v, &cfg);
+        let w = build_named(kernel, Dataset::Tiny, v, &cfg).expect("known kernel");
         let out = run_workload(&w, &cfg).unwrap();
         assert_eq!(
             (out.report.cycles, out.report.l1_accesses()),
@@ -136,7 +136,7 @@ fn ideal_topology_matches_pre_noc_goldens_on_micro_and_widths() {
     }
     for &(width, v, cycles, l1) in WIDTH_GOLDEN {
         let cfg = MachineConfig::paper(4, 4, width);
-        let w = build_named("HIP", Dataset::Tiny, v, &cfg);
+        let w = build_named("HIP", Dataset::Tiny, v, &cfg).expect("known kernel");
         let out = run_workload(&w, &cfg).unwrap();
         assert_eq!(
             (out.report.cycles, out.report.l1_accesses()),
@@ -155,9 +155,9 @@ fn ring_contention_at_16_threads_is_measurable_and_deterministic() {
     let ring_cfg = MachineConfig::paper(4, 4, 4).with_noc(NocConfig::ring());
     for kernel in ["HIP", "TMS", "GBC"] {
         for v in [Variant::Base, Variant::Glsc] {
-            let wi = build_named(kernel, Dataset::Tiny, v, &ideal_cfg);
+            let wi = build_named(kernel, Dataset::Tiny, v, &ideal_cfg).expect("known kernel");
             let ideal = run_workload(&wi, &ideal_cfg).unwrap().report;
-            let wr = build_named(kernel, Dataset::Tiny, v, &ring_cfg);
+            let wr = build_named(kernel, Dataset::Tiny, v, &ring_cfg).expect("known kernel");
             let ring = run_workload(&wr, &ring_cfg).unwrap().report;
             assert!(
                 ring.cycles > ideal.cycles,
@@ -193,9 +193,9 @@ fn explicit_free_arbitration_is_bit_identical_to_default() {
     let free_cfg = MachineConfig::paper(4, 4, 4).with_arbitration(ArbitrationPolicy::Free);
     for kernel in ["HIP", "GPS", "TMS"] {
         for v in [Variant::Base, Variant::Glsc] {
-            let wd = build_named(kernel, Dataset::Tiny, v, &default_cfg);
+            let wd = build_named(kernel, Dataset::Tiny, v, &default_cfg).expect("known kernel");
             let base = run_workload(&wd, &default_cfg).unwrap().report;
-            let wf = build_named(kernel, Dataset::Tiny, v, &free_cfg);
+            let wf = build_named(kernel, Dataset::Tiny, v, &free_cfg).expect("known kernel");
             let free = run_workload(&wf, &free_cfg).unwrap().report;
             assert_eq!(base, free, "{kernel} {v:?}: explicit Free diverged");
         }
@@ -208,9 +208,9 @@ fn explicit_free_arbitration_is_bit_identical_to_default() {
 fn crossbar_is_contended_but_cheaper_than_the_ring() {
     let ring_cfg = MachineConfig::paper(4, 4, 4).with_noc(NocConfig::ring());
     let xbar_cfg = MachineConfig::paper(4, 4, 4).with_noc(NocConfig::crossbar());
-    let wr = build_named("HIP", Dataset::Tiny, Variant::Glsc, &ring_cfg);
+    let wr = build_named("HIP", Dataset::Tiny, Variant::Glsc, &ring_cfg).expect("known kernel");
     let ring = run_workload(&wr, &ring_cfg).unwrap().report;
-    let wx = build_named("HIP", Dataset::Tiny, Variant::Glsc, &xbar_cfg);
+    let wx = build_named("HIP", Dataset::Tiny, Variant::Glsc, &xbar_cfg).expect("known kernel");
     let xbar = run_workload(&wx, &xbar_cfg).unwrap().report;
     assert!(xbar.cycles <= ring.cycles);
     assert_eq!(xbar.mem.noc.hops, xbar.mem.noc.total_msgs());

@@ -7,7 +7,7 @@ use glsc::sim::MachineConfig;
 
 fn cycles(kernel: &str, variant: Variant, cores: usize, tpc: usize, width: usize) -> u64 {
     let cfg = MachineConfig::paper(cores, tpc, width);
-    let w = build_named(kernel, Dataset::Tiny, variant, &cfg);
+    let w = build_named(kernel, Dataset::Tiny, variant, &cfg).expect("known kernel");
     run_workload(&w, &cfg).unwrap().report.cycles
 }
 
@@ -88,7 +88,7 @@ fn sync_fraction_is_significant_for_glsc_kernels() {
     // synchronization at 1x1 with 1-wide SIMD.
     let cfg = MachineConfig::paper(1, 1, 1);
     for kernel in ["TMS", "GBC", "MFP"] {
-        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
         let rep = run_workload(&w, &cfg).unwrap().report;
         let frac = rep.sync_fraction();
         assert!(
@@ -102,7 +102,7 @@ fn sync_fraction_is_significant_for_glsc_kernels() {
 fn combining_reduces_atomic_l1_accesses() {
     // Table 4 "L1 Accesses": the GSU sends one request per distinct line.
     let cfg = MachineConfig::paper(1, 1, 4);
-    let w = build_named("FS", Dataset::Tiny, Variant::Glsc, &cfg);
+    let w = build_named("FS", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
     let rep = run_workload(&w, &cfg).unwrap().report;
     assert!(
         rep.atomic_l1_accesses() < rep.atomic_l1_accesses_uncombined(),
@@ -116,13 +116,13 @@ fn failure_rates_follow_table_4_pattern() {
     // a substantial rate, TMS (uniform columns) nearly none.
     let cfg = MachineConfig::paper(1, 1, 4);
     let gbc = run_workload(
-        &build_named("GBC", Dataset::Tiny, Variant::Glsc, &cfg),
+        &build_named("GBC", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel"),
         &cfg,
     )
     .unwrap()
     .report;
     let tms = run_workload(
-        &build_named("TMS", Dataset::Tiny, Variant::Glsc, &cfg),
+        &build_named("TMS", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel"),
         &cfg,
     )
     .unwrap()

@@ -68,7 +68,7 @@ fn codec_round_trips_every_kernel_and_shape() {
     for kernel in KERNEL_NAMES {
         for (cores, tpc) in SHAPES {
             let cfg = MachineConfig::paper(cores, tpc, 4);
-            let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+            let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
             assert_codec_resumable(kernel, &w, &cfg, None);
         }
     }
@@ -80,7 +80,7 @@ fn codec_round_trips_base_variant() {
     // unit; its LSU/reservation state must survive the codec too.
     for kernel in ["HIP", "GBC", "FS"] {
         let cfg = MachineConfig::paper(4, 4, 4);
-        let w = build_named(kernel, Dataset::Tiny, Variant::Base, &cfg);
+        let w = build_named(kernel, Dataset::Tiny, Variant::Base, &cfg).expect("known kernel");
         assert_codec_resumable(kernel, &w, &cfg, None);
     }
 }
@@ -95,7 +95,7 @@ fn codec_round_trips_on_ring_with_active_fault_plan() {
             .with_noc(NocConfig::ring())
             .with_max_cycles(2_000_000_000)
             .with_watchdog_window(Some(5_000_000));
-        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
         assert_codec_resumable(kernel, &w, &cfg, Some(0x0C5EED));
     }
 }
@@ -108,7 +108,7 @@ fn sliced_checkpoint_loop_matches_solo_run() {
     // cadence does. The final report must match an uninterrupted run.
     for kernel in ["HIP", "TMS", "GBC"] {
         let cfg = MachineConfig::paper(2, 2, 4);
-        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
 
         let mut solo = machine_for(&w, &cfg, None);
         let baseline = solo.run().unwrap_or_else(|e| panic!("{kernel}: {e}"));
@@ -145,7 +145,7 @@ fn sliced_checkpoint_loop_matches_solo_run() {
 #[test]
 fn version_skew_and_damage_are_typed_errors() {
     let cfg = MachineConfig::paper(1, 4, 4);
-    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
     let mut m = machine_for(&w, &cfg, None);
     for _ in 0..200 {
         assert!(!m.step(), "HIP halted suspiciously early");
@@ -198,7 +198,7 @@ fn adversarial_length_prefixes_are_typed_rejections() {
     // declared length is checked against the bytes actually present
     // before anything else trusts it.
     let cfg = MachineConfig::paper(1, 2, 4);
-    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg);
+    let w = build_named("HIP", Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
     let mut m = machine_for(&w, &cfg, None);
     for _ in 0..200 {
         assert!(!m.step(), "HIP halted suspiciously early");

@@ -68,7 +68,7 @@ fn snapshot_resume_matches_uninterrupted_all_kernels() {
         for (cores, tpc) in SHAPES {
             for variant in [Variant::Base, Variant::Glsc] {
                 let cfg = MachineConfig::paper(cores, tpc, 4);
-                let w = build_named(kernel, Dataset::Tiny, variant, &cfg);
+                let w = build_named(kernel, Dataset::Tiny, variant, &cfg).expect("known kernel");
                 assert_resumable(kernel, &w, &cfg, None, false);
             }
         }
@@ -86,7 +86,7 @@ fn snapshot_resume_matches_under_chaos() {
             let cfg = MachineConfig::paper(cores, tpc, 4)
                 .with_max_cycles(2_000_000_000)
                 .with_watchdog_window(Some(5_000_000));
-            let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+            let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
             assert_resumable(kernel, &w, &cfg, Some(0x5EED), false);
         }
     }
@@ -103,7 +103,7 @@ fn snapshot_resume_matches_with_in_flight_noc_messages() {
             .with_noc(NocConfig::ring())
             .with_max_cycles(2_000_000_000)
             .with_watchdog_window(Some(5_000_000));
-        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
         let fault_free = assert_resumable(kernel, &w, &cfg, None, false);
         assert!(
             fault_free.mem.noc.queue_cycles > 0,
@@ -165,7 +165,7 @@ fn snapshot_resume_matches_naive_loop() {
     // snapshot support cannot depend on the fast-forward path.
     for kernel in ["HIP", "TMS", "GBC"] {
         let cfg = MachineConfig::paper(2, 2, 4);
-        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg);
+        let w = build_named(kernel, Dataset::Tiny, Variant::Glsc, &cfg).expect("known kernel");
         let naive = assert_resumable(kernel, &w, &cfg, None, true);
         let fast = assert_resumable(kernel, &w, &cfg, None, false);
         assert_eq!(naive, fast, "{kernel}: naive and fast reports differ");
