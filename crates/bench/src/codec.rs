@@ -11,15 +11,16 @@
 //! that guesses is worse than no cache.
 //!
 //! ```text
-//! glsc-runreport v3
+//! glsc-runreport v4
 //! cycles 12345
+//! order sc
 //! threads 4
 //! thread 9-counters...          (one line per hardware thread)
 //! mem 17-counters...
 //! scthreads N per-thread-sc...  (count-prefixed: 5 counters per thread)
 //! noc 10-counters...            (8 message classes, hops, queue cycles)
 //! noclinks N per-link-counters  (count-prefixed: N then N counters)
-//! lsu 6-counters...
+//! lsu 9-counters...
 //! gsu 14-counters...
 //! end
 //! ```
@@ -35,15 +36,17 @@ use std::fmt;
 /// added `inv_acks`/`writebacks` to `mem` plus the `noc`/`noclinks`
 /// lines (the interconnect work); v3 added `elems_completed` to
 /// `thread`, `reservation_buffer_evictions` to `mem`, and the
-/// `scthreads` per-thread SC telemetry line (the contention study).
-pub const FORMAT_VERSION: u32 = 3;
+/// `scthreads` per-thread SC telemetry line (the contention study);
+/// v4 added the `order` memory-model line and the fence/write-buffer
+/// counters on `lsu` (the memory-consistency axis, DESIGN.md §17).
+pub const FORMAT_VERSION: u32 = 4;
 
 const HEADER_PREFIX: &str = "glsc-runreport v";
 const THREAD_FIELDS: usize = 9;
 const MEM_FIELDS: usize = 17;
 const SC_THREAD_FIELDS: usize = 5;
 const NOC_FIELDS: usize = glsc_mem::MsgClass::COUNT + 2; // msgs + hops + queue_cycles
-const LSU_FIELDS: usize = 6;
+const LSU_FIELDS: usize = 9;
 const GSU_FIELDS: usize = 14;
 
 /// Why a cache file failed to decode.
@@ -96,6 +99,7 @@ pub fn encode_report(r: &RunReport) -> String {
     let mut out = String::new();
     out.push_str(&format!("{HEADER_PREFIX}{FORMAT_VERSION}\n"));
     out.push_str(&format!("cycles {}\n", r.cycles));
+    out.push_str(&format!("order {}\n", r.memory_order));
     out.push_str(&format!("threads {}\n", r.threads.len()));
     for t in &r.threads {
         out.push_str(&format!(
@@ -165,6 +169,9 @@ pub fn encode_report(r: &RunReport) -> String {
             l.scs,
             l.sc_successes,
             l.vector_line_requests,
+            l.fences,
+            l.wbuf_drains,
+            l.load_forwards,
         ])
     ));
     let g = &r.gsu;
@@ -281,6 +288,22 @@ pub fn decode_report(text: &str) -> Result<RunReport, CodecError> {
         cycles: lines.counters("cycles", 1)?[0],
         ..RunReport::default()
     };
+    {
+        let line = lines.next()?;
+        let mut fields = line.split_whitespace();
+        if fields.next() != Some("order") {
+            return Err(lines.malformed(format!("expected an \"order\" line, found {line:?}")));
+        }
+        let name = fields
+            .next()
+            .ok_or_else(|| lines.malformed("\"order\" is missing its model name"))?;
+        report.memory_order = name
+            .parse()
+            .map_err(|e: glsc_mem::ParseMemoryOrderError| lines.malformed(e.to_string()))?;
+        if fields.next().is_some() {
+            return Err(lines.malformed("\"order\" carries extra fields"));
+        }
+    }
     let threads = lines.counters("threads", 1)?[0];
     for _ in 0..threads {
         let c = lines.counters("thread", THREAD_FIELDS)?;
@@ -352,6 +375,9 @@ pub fn decode_report(text: &str) -> Result<RunReport, CodecError> {
         scs: c[3],
         sc_successes: c[4],
         vector_line_requests: c[5],
+        fences: c[6],
+        wbuf_drains: c[7],
+        load_forwards: c[8],
     };
     let c = lines.counters("gsu", GSU_FIELDS)?;
     report.gsu = glsc_core::GsuStats {
@@ -432,6 +458,10 @@ mod tests {
         r.mem.noc.link_msgs = vec![10, 0, 31];
         r.lsu.loads = 55;
         r.lsu.vector_line_requests = 6;
+        r.lsu.fences = 3;
+        r.lsu.wbuf_drains = 28;
+        r.lsu.load_forwards = 2;
+        r.memory_order = glsc_mem::MemoryOrder::Tso;
         r.gsu.gathers = 2;
         r.gsu.sc_fail_reservation = 1;
         r
@@ -452,17 +482,30 @@ mod tests {
             Err(CodecError::MissingHeader)
         );
         assert_eq!(
-            decode_report(&text.replace("v3", "v999")),
+            decode_report(&text.replace("v4", "v999")),
             Err(CodecError::VersionMismatch {
                 found: "v999".into()
             })
         );
-        // Stale v2 cache files (pre-contention-telemetry field set) are
+        // Stale v3 cache files (pre-memory-order field set) are
         // re-simulated, not mis-read.
         assert_eq!(
-            decode_report(&text.replace("v3", "v2")),
-            Err(CodecError::VersionMismatch { found: "v2".into() })
+            decode_report(&text.replace("v4", "v3")),
+            Err(CodecError::VersionMismatch { found: "v3".into() })
         );
+        // The memory-order line is validated, not guessed.
+        assert!(matches!(
+            decode_report(&text.replace("order tso", "order banana")),
+            Err(CodecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            decode_report(&text.replace("order tso", "order tso extra")),
+            Err(CodecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            decode_report(&text.replace("order tso", "order")),
+            Err(CodecError::Malformed { .. })
+        ));
         // Every truncation point (dropping the tail at any line boundary)
         // must be detected.
         let lines: Vec<&str> = text.lines().collect();

@@ -30,6 +30,7 @@
 
 use crate::ds_label;
 use glsc_kernels::{Dataset, Variant, KERNEL_NAMES};
+use glsc_mem::MemoryOrder;
 use glsc_wire::{Reader, Wire, WireError, Writer};
 
 /// Dataset tag values on the wire (`Dataset` itself lives in
@@ -37,8 +38,9 @@ use glsc_wire::{Reader, Wire, WireError, Writer};
 pub const DATASET_TAGS: [(u8, Dataset); 3] = [(0, Dataset::Tiny), (1, Dataset::A), (2, Dataset::B)];
 
 /// Current job-spec wire format. v2 added the `pattern` field and the
-/// version prefix itself.
-pub const SPEC_FORMAT_VERSION: u32 = 2;
+/// version prefix itself; v3 added the `memory_order` consistency-model
+/// field (DESIGN.md §17).
+pub const SPEC_FORMAT_VERSION: u32 = 3;
 
 /// One job as submitted over the protocol. All fields are untrusted
 /// until [`validate`](WireJobSpec::validate) passes.
@@ -61,6 +63,9 @@ pub struct WireJobSpec {
     pub tpc: u32,
     /// SIMD width (1..=[`glsc_isa::MAX_SIMD_WIDTH`]).
     pub width: u32,
+    /// Memory consistency model the job's machine runs under
+    /// ([`MemoryOrder::Sc`] is the paper's baseline and the default).
+    pub memory_order: MemoryOrder,
     /// Fault-plan seed: `Some` runs the job under seeded chaos.
     pub chaos: Option<u64>,
     /// Per-job simulated-cycle deadline.
@@ -79,6 +84,7 @@ impl Wire for WireJobSpec {
         self.cores.encode(w);
         self.tpc.encode(w);
         self.width.encode(w);
+        self.memory_order.encode(w);
         self.chaos.encode(w);
         self.deadline_cycles.encode(w);
         self.deadline_wall_ms.encode(w);
@@ -95,6 +101,7 @@ impl Wire for WireJobSpec {
             cores: u32::decode(r)?,
             tpc: u32::decode(r)?,
             width: u32::decode(r)?,
+            memory_order: MemoryOrder::decode(r)?,
             chaos: Option::<u64>::decode(r)?,
             deadline_cycles: Option::<u64>::decode(r)?,
             deadline_wall_ms: Option::<u64>::decode(r)?,
@@ -207,6 +214,7 @@ impl WireJobSpec {
             cores: cores as u32,
             tpc: tpc as u32,
             width: width as u32,
+            memory_order: MemoryOrder::Sc,
             chaos: None,
             deadline_cycles: None,
             deadline_wall_ms: None,
@@ -308,7 +316,9 @@ impl WireJobSpec {
     }
 
     /// Stable job id, matching the supervisor's naming for the same
-    /// workload (`HIP-T-GLSC-4x4-w4`, plus `-chaos<seed>`). Pattern jobs
+    /// workload (`HIP-T-GLSC-4x4-w4`, plus `-tso`/`-relaxed` when the
+    /// job runs under a non-default memory model, plus `-chaos<seed>`).
+    /// Pattern jobs
     /// hash the spec string into a short filesystem-safe stem
     /// (`pat-stride-<fnv16>`); the id keys the journal, checkpoint
     /// files, and reply frames, so it must never contain `:*@,`.
@@ -336,6 +346,12 @@ impl WireJobSpec {
             "{stem}-{ds}-{variant}-{}x{}-w{}",
             self.cores, self.tpc, self.width
         );
+        // SC is the baseline and stays unsuffixed so every pre-existing
+        // journal ledger and result-cache key keeps resolving; relaxed
+        // models are a different workload and must not alias it.
+        if self.memory_order != MemoryOrder::Sc {
+            id.push_str(&format!("-{}", self.memory_order.name()));
+        }
         if let Some(seed) = self.chaos {
             id.push_str(&format!("-chaos{seed}"));
         }
@@ -410,6 +426,34 @@ mod tests {
         let other = WireJobSpec::pattern("stride:4x1024", Dataset::Tiny, Variant::Glsc, (4, 4), 4);
         assert_ne!(other.id(), id);
         assert_eq!(back.id(), good_pattern().id(), "id is deterministic");
+    }
+
+    #[test]
+    fn memory_order_roundtrips_and_suffixes_the_id() {
+        // SC is the default and stays unsuffixed, so pre-existing journal
+        // ledgers and result caches keep resolving.
+        let sc = good();
+        assert_eq!(sc.memory_order, MemoryOrder::Sc);
+        assert_eq!(sc.id(), "HIP-T-GLSC-4x4-w4");
+
+        for (order, suffix) in [
+            (MemoryOrder::Tso, "-tso"),
+            (MemoryOrder::RelaxedFence, "-relaxed"),
+        ] {
+            let mut spec = good();
+            spec.memory_order = order;
+            let back = WireJobSpec::from_bytes(&spec.to_bytes()).unwrap();
+            assert_eq!(back, spec);
+            assert!(back.validate().is_ok());
+            assert_eq!(back.id(), format!("HIP-T-GLSC-4x4-w4{suffix}"));
+            assert_ne!(back.id(), sc.id(), "relaxed jobs must not alias SC");
+        }
+
+        // Suffix order: model before chaos, matching the supervisor.
+        let mut spec = good();
+        spec.memory_order = MemoryOrder::Tso;
+        spec.chaos = Some(7);
+        assert_eq!(spec.id(), "HIP-T-GLSC-4x4-w4-tso-chaos7");
     }
 
     #[test]
@@ -491,8 +535,31 @@ mod tests {
 
     #[test]
     fn stale_version_bytes_are_version_mismatch() {
+        // A stale v2 journal entry (no memory_order field) must decode
+        // to typed skew, not shifted-field garbage.
+        let mut w = glsc_wire::Writer::new();
+        2u32.encode(&mut w); // SPEC_FORMAT_VERSION at the time
+        "HIP".to_string().encode(&mut w);
+        None::<String>.encode(&mut w); // pattern
+        0u8.encode(&mut w); // dataset
+        1u8.encode(&mut w); // variant
+        4u32.encode(&mut w); // cores
+        4u32.encode(&mut w); // tpc
+        4u32.encode(&mut w); // width
+        None::<u64>.encode(&mut w); // chaos
+        None::<u64>.encode(&mut w); // deadline_cycles
+        None::<u64>.encode(&mut w); // deadline_wall_ms
+        let v2 = w.into_bytes();
+        assert_eq!(
+            WireJobSpec::from_bytes(&v2),
+            Err(SpecCodecError::VersionMismatch { found: 2 }),
+            "v2 bytes must fail loudly as skew, not decode as garbage"
+        );
+
         // The v1 (unversioned) layout led with the kernel string; its
-        // u64 length prefix puts the name length in the version slot.
+        // u64 length prefix puts the name length in the version slot, so
+        // a 3-char kernel name collides with today's version word — the
+        // payload after it is still structurally garbage and must error.
         let mut w = glsc_wire::Writer::new();
         "HIP".to_string().encode(&mut w);
         0u8.encode(&mut w); // dataset
@@ -504,10 +571,9 @@ mod tests {
         None::<u64>.encode(&mut w); // deadline_cycles
         None::<u64>.encode(&mut w); // deadline_wall_ms
         let v1 = w.into_bytes();
-        assert_eq!(
-            WireJobSpec::from_bytes(&v1),
-            Err(SpecCodecError::VersionMismatch { found: 3 }),
-            "v1 bytes must fail loudly as skew, not decode as garbage"
+        assert!(
+            WireJobSpec::from_bytes(&v1).is_err(),
+            "v1 bytes must fail loudly, not decode as garbage"
         );
 
         // A future version is skew too.

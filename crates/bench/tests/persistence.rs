@@ -84,14 +84,14 @@ fn corrupt_and_stale_entries_rerun_instead_of_poisoning() {
     assert_eq!(rerun.report, good.report);
 
     // Version mismatch is rejected at the codec level...
-    let stale = text.replacen("glsc-runreport v3", "glsc-runreport v2", 1);
+    let stale = text.replacen("glsc-runreport v4", "glsc-runreport v3", 1);
     assert_eq!(
         decode_report(&stale),
-        Err(CodecError::VersionMismatch { found: "v2".into() })
+        Err(CodecError::VersionMismatch { found: "v3".into() })
     );
     // ...and can never be *read* by a newer build anyway, because the
     // version is part of the filename.
-    assert!(path.to_string_lossy().contains(".v3."));
+    assert!(path.to_string_lossy().contains(".v4."));
     let _ = std::fs::remove_dir_all(&dir);
 }
 

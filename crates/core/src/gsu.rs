@@ -313,8 +313,9 @@ impl Gsu {
 
     /// Generates one element address (at most one per cycle across all
     /// slots, §4.1), combining it into an existing same-line request when
-    /// possible.
-    pub fn generate_one(&mut self, mem: &mut MemorySystem) {
+    /// possible. `core` identifies the owning core for the atomicity
+    /// oracle's global thread numbering.
+    pub fn generate_one(&mut self, core: usize, mem: &mut MemorySystem) {
         let n = self.slots.len();
         for off in 0..n {
             let idx = (self.rr + off) % n;
@@ -349,7 +350,7 @@ impl Gsu {
                     // already-serviced request (never reached for
                     // vscattercond, whose requests wait for generation).
                     let req = slot.requests[req_idx].clone();
-                    Self::apply_elem(&mut self.stats, slot, e, &req, mem);
+                    Self::apply_elem(&mut self.stats, slot, e, &req, core, idx as u8, mem);
                 }
             } else {
                 slot.requests.push(LineReq {
@@ -450,19 +451,22 @@ impl Gsu {
                 })
                 .collect();
             for e in riders {
-                Self::apply_elem(&mut self.stats, slot, e, &req, mem);
+                Self::apply_elem(&mut self.stats, slot, e, &req, core, tid, mem);
             }
             return;
         }
     }
 
     /// Performs one element's data movement and mask update against the
-    /// outcome of its (possibly combined) line request.
+    /// outcome of its (possibly combined) line request, reporting the
+    /// element to the atomicity oracle when one is installed.
     fn apply_elem(
         stats: &mut GsuStats,
         slot: &mut Slot,
         e: usize,
         req: &LineReq,
+        core: usize,
+        tid: u8,
         mem: &mut MemorySystem,
     ) {
         let lane = slot.elems[e].lane;
@@ -480,16 +484,19 @@ impl Gsu {
                     let v = mem.backing().read_u32(addr);
                     slot.lane_values.push((lane, v));
                     slot.mask |= 1 << lane;
+                    mem.oracle_note_link(core, tid, addr);
                 }
             }
             GsuKind::Scatter => {
                 mem.backing_mut().write_u32(addr, slot.elems[e].value);
+                mem.oracle_note_store(core, tid, addr);
             }
             GsuKind::ScatterCond { .. } => {
                 if req.ok {
                     mem.backing_mut().write_u32(addr, slot.elems[e].value);
                     slot.mask |= 1 << lane;
                     stats.sc_elem_successes += 1;
+                    mem.oracle_note_sc_success(core, tid, addr);
                 } else {
                     stats.sc_fail_reservation += 1;
                 }
@@ -564,7 +571,7 @@ mod tests {
         }
         let mut now = start;
         loop {
-            gsu.generate_one(mem);
+            gsu.generate_one(0, mem);
             gsu.issue_one(0, None, mem, now);
             let done = gsu.collect_done(now);
             if let Some(c) = done.into_iter().next() {
@@ -768,7 +775,7 @@ mod tests {
         let mut done = Vec::new();
         let mut now = 0;
         while done.len() < 2 {
-            g.generate_one(&mut m);
+            g.generate_one(0, &mut m);
             g.issue_one(0, None, &mut m, now);
             done.extend(g.collect_done(now));
             now += 1;

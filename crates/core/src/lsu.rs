@@ -3,12 +3,48 @@
 //! One entry is dequeued per cycle when the unit wins the L1 port (the LSU
 //! always has priority over the GSU, §4.1). Stores occupy write-buffer
 //! slots from issue until their port grant, so a thread with a full write
-//! buffer stalls. Because the queue drains in FIFO order, a thread's loads
-//! always observe its earlier stores (data is committed to the backing
-//! store at port-accept time).
+//! buffer stalls.
+//!
+//! ## Memory ordering (DESIGN.md §17)
+//!
+//! Under the default [`MemoryOrder::Sc`] every request — including stores
+//! — travels through the shared FIFO queue and commits at port grant, so
+//! a thread's loads always observe its earlier stores and one total store
+//! order exists: sequential consistency, byte-identical to the historical
+//! simulator.
+//!
+//! Under [`MemoryOrder::Tso`] plain scalar stores are instead *held* in
+//! the issuing thread's write buffer for a residency delay
+//! ([`STORE_DRAIN_DELAY`]) and drain FIFO per thread when the L1 port is
+//! otherwise free; loads bypass buffered stores (taking exact-address
+//! store-to-load forwarding from the thread's own buffer), which exhibits
+//! the classic SB store-buffering relaxation while keeping store-store
+//! order.
+//!
+//! Under [`MemoryOrder::RelaxedFence`] a buffered store only becomes
+//! drain-*eligible* after a per-L2-bank skewed delay
+//! ([`RELAXED_BANK_SKEW`]) and the earliest-eligible store drains first,
+//! so same-thread stores to different banks commit out of program order
+//! (the MP message-passing relaxation) until a fence intervenes.
+//!
+//! Atomics (`sc`) and vector loads/stores are ordering points under every
+//! model: pushing one first flushes the thread's write buffer into the
+//! FIFO queue ahead of it, as x86 atomics drain the store buffer.
 
-use glsc_mem::{MemOp, MemorySystem};
+use glsc_mem::{MemOp, MemoryOrder, MemorySystem};
 use std::collections::VecDeque;
+
+/// Cycles a buffered store must stay resident before it may drain (TSO
+/// and relaxed models). Long enough that a load issued the cycle after
+/// its store wins the race to the L1 port — the SB relaxation window.
+pub const STORE_DRAIN_DELAY: u64 = 8;
+
+/// Extra residency cycles per L2-bank class (bank index mod 4) under
+/// [`MemoryOrder::RelaxedFence`], modelling skewed per-bank drain queues.
+/// Large enough that a store to a skewed bank is still buffered while a
+/// later same-thread store to bank class 0 drains and is observed — the
+/// MP relaxation window.
+pub const RELAXED_BANK_SKEW: u64 = 24;
 
 /// What to do when an LSU entry wins the port.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -117,6 +153,14 @@ pub struct LsuStats {
     pub sc_successes: u64,
     /// Line requests serviced for vector loads/stores.
     pub vector_line_requests: u64,
+    /// Fence instructions retired (always 0 in programs without fences).
+    pub fences: u64,
+    /// Buffered stores drained from a write buffer to the L1 port (always
+    /// 0 under [`MemoryOrder::Sc`], where stores use the FIFO queue).
+    pub wbuf_drains: u64,
+    /// Scalar loads satisfied by store-to-load forwarding from the
+    /// issuing thread's own write buffer.
+    pub load_forwards: u64,
 }
 
 impl LsuStats {
@@ -129,8 +173,24 @@ impl LsuStats {
         self.scs += other.scs;
         self.sc_successes += other.sc_successes;
         self.vector_line_requests += other.vector_line_requests;
+        self.fences += other.fences;
+        self.wbuf_drains += other.wbuf_drains;
+        self.load_forwards += other.load_forwards;
     }
 }
+
+/// One store held in a thread's write buffer under a non-SC model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct BufferedStore {
+    /// Word address.
+    addr: u64,
+    /// Value to commit at drain.
+    value: u32,
+    /// First cycle at which this entry may drain.
+    ready: u64,
+}
+
+glsc_wire::wire_struct!(BufferedStore { addr, value, ready });
 
 /// The load/store unit of one core.
 #[derive(Clone, Debug)]
@@ -142,19 +202,53 @@ pub struct Lsu {
     /// per-cycle ordering gate is O(1) instead of a queue scan.
     thread_counts: Vec<usize>,
     stats: LsuStats,
+    /// Memory-consistency model in effect (selects the store path).
+    order: MemoryOrder,
+    /// Per-thread write buffers holding not-yet-drained stores. Always
+    /// empty under [`MemoryOrder::Sc`].
+    wbuf: Vec<VecDeque<BufferedStore>>,
+    /// Round-robin pointer for fair TSO drains across threads.
+    drain_rr: usize,
+    /// Line size, for the relaxed model's per-bank drain skew.
+    line_bytes: u64,
+    /// L2 bank count, for the relaxed model's per-bank drain skew.
+    l2_banks: usize,
 }
 
 impl Lsu {
-    /// Creates an LSU for `threads` SMT threads with `write_buffer_entries`
-    /// store slots each.
+    /// Creates a sequentially-consistent LSU for `threads` SMT threads
+    /// with `write_buffer_entries` store slots each.
     pub fn new(threads: usize, write_buffer_entries: usize) -> Self {
+        Self::with_order(threads, write_buffer_entries, MemoryOrder::Sc, 64, 1)
+    }
+
+    /// Creates an LSU implementing `order`. `line_bytes` and `l2_banks`
+    /// fix the bank function used by the relaxed model's drain skew (they
+    /// must match the memory system the unit will be ticked against).
+    pub fn with_order(
+        threads: usize,
+        write_buffer_entries: usize,
+        order: MemoryOrder,
+        line_bytes: u64,
+        l2_banks: usize,
+    ) -> Self {
         Self {
             queue: VecDeque::new(),
             store_slots_used: vec![0; threads],
             store_slots_max: write_buffer_entries,
             thread_counts: vec![0; threads],
             stats: LsuStats::default(),
+            order,
+            wbuf: vec![VecDeque::new(); threads],
+            drain_rr: 0,
+            line_bytes,
+            l2_banks: l2_banks.max(1),
         }
+    }
+
+    /// The memory-consistency model this unit implements.
+    pub fn order(&self) -> MemoryOrder {
+        self.order
     }
 
     /// Accumulated counters.
@@ -172,30 +266,116 @@ impl Lsu {
     /// order GSU instructions after the thread's pending LSU requests,
     /// §2.2: "a conflicting request waits in the GSU until corresponding
     /// requests in the LSU and write buffer have been sent to the L1").
+    /// Does **not** include buffered stores; see
+    /// [`thread_pending`](Self::thread_pending).
     pub fn thread_entries(&self, tid: u8) -> usize {
         self.thread_counts[tid as usize]
     }
 
-    /// Whether any request is queued.
+    /// Number of stores `tid` currently holds in its write buffer (always
+    /// 0 under [`MemoryOrder::Sc`]).
+    pub fn buffered_stores(&self, tid: u8) -> usize {
+        self.wbuf[tid as usize].len()
+    }
+
+    /// Total pending work for `tid`: queued entries plus buffered stores.
+    /// This is the quantity fences and the GSU ordering gate wait on.
+    pub fn thread_pending(&self, tid: u8) -> usize {
+        self.thread_counts[tid as usize] + self.wbuf[tid as usize].len()
+    }
+
+    /// Whether any request is queued or any store is buffered. The
+    /// machine must not finish while this holds — buffered stores always
+    /// commit.
     pub fn is_busy(&self) -> bool {
-        !self.queue.is_empty()
+        !self.queue.is_empty() || self.wbuf.iter().any(|q| !q.is_empty())
+    }
+
+    /// Whether the unit would use the L1 port at cycle `now`: the queue
+    /// has a head, or some buffered store is drain-eligible. Unlike
+    /// [`is_busy`](Self::is_busy) this lets the GSU take the port while
+    /// buffered stores are merely waiting out their residency delay.
+    pub fn wants_port(&self, now: u64) -> bool {
+        !self.queue.is_empty() || self.wbuf.iter().any(|q| q.iter().any(|e| e.ready <= now))
     }
 
     /// The next cycle (relative to `now`) at which this unit changes
-    /// state, or `None` when it is drained. A busy LSU services its queue
-    /// head every cycle, so its next event is always the next cycle.
+    /// state, or `None` when it is drained. A busy queue is serviced every
+    /// cycle; a buffered store's next event is its drain-eligibility
+    /// cycle, so the machine's fast-forward can skip the residency delay.
     pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
-        self.is_busy().then_some(now + 1)
+        if !self.queue.is_empty() {
+            return Some(now + 1);
+        }
+        self.wbuf
+            .iter()
+            .flat_map(|q| q.iter().map(|e| e.ready))
+            .min()
+            .map(|ready| ready.max(now + 1))
     }
 
-    /// Enqueues a request.
+    /// Counts one retired fence instruction (the pipeline enforces fence
+    /// ordering; the LSU only keeps the Table-4 counter).
+    pub fn note_fence(&mut self) {
+        self.stats.fences += 1;
+    }
+
+    /// First cycle at which a store to `addr` pushed at `now` may drain.
+    fn drain_ready(&self, addr: u64, now: u64) -> u64 {
+        match self.order {
+            MemoryOrder::Sc => now,
+            MemoryOrder::Tso => now + STORE_DRAIN_DELAY,
+            MemoryOrder::RelaxedFence => {
+                let bank = (addr / self.line_bytes) % self.l2_banks as u64;
+                now + STORE_DRAIN_DELAY + RELAXED_BANK_SKEW * (bank % 4)
+            }
+        }
+    }
+
+    /// Moves every buffered store of `tid` into the FIFO queue, ahead of
+    /// whatever is pushed next. Flushed stores ignore their residency
+    /// delay — they commit at queue service like SC stores (their write-
+    /// buffer slots stay occupied until then).
+    fn flush_thread(&mut self, tid: u8) {
+        while let Some(e) = self.wbuf[tid as usize].pop_front() {
+            self.thread_counts[tid as usize] += 1;
+            self.queue.push_back(LsuEntry {
+                tid,
+                addr: e.addr,
+                action: LsuAction::StoreVal { value: e.value },
+            });
+        }
+    }
+
+    /// Ordering-point flush used by the per-core unit when a GSU
+    /// instruction starts: see [`flush_thread`](Self::flush_thread).
+    pub fn flush_thread_for_ordering(&mut self, tid: u8) {
+        self.flush_thread(tid);
+    }
+
+    /// Store-to-load forwarding: the value of the youngest buffered store
+    /// of `tid` to exactly `addr`, if any (all data is 4-byte words, so
+    /// exact word match is exact overlap).
+    fn forward_from_wbuf(&self, tid: u8, addr: u64) -> Option<u32> {
+        self.wbuf[tid as usize]
+            .iter()
+            .rev()
+            .find(|e| e.addr == addr)
+            .map(|e| e.value)
+    }
+
+    /// Enqueues a request issued at cycle `now`.
+    ///
+    /// Under a non-SC model, plain stores are diverted into the issuing
+    /// thread's write buffer, and ordering points (`sc`, vector
+    /// loads/stores) first flush that buffer into the queue.
     ///
     /// # Panics
     ///
     /// Panics if a store is pushed while the thread's write buffer is full
     /// (the pipeline must check [`can_accept_store`](Self::can_accept_store)
     /// first).
-    pub fn push(&mut self, entry: LsuEntry) {
+    pub fn push(&mut self, entry: LsuEntry, now: u64) {
         if matches!(entry.action, LsuAction::StoreVal { .. }) {
             assert!(
                 self.can_accept_store(entry.tid),
@@ -203,23 +383,104 @@ impl Lsu {
                 entry.tid
             );
             self.store_slots_used[entry.tid as usize] += 1;
+            if self.order.buffers_stores() {
+                if let LsuAction::StoreVal { value } = entry.action {
+                    let ready = self.drain_ready(entry.addr, now);
+                    self.wbuf[entry.tid as usize].push_back(BufferedStore {
+                        addr: entry.addr,
+                        value,
+                        ready,
+                    });
+                    return;
+                }
+            }
+        } else if self.order.buffers_stores()
+            && matches!(
+                entry.action,
+                LsuAction::ScVal { .. }
+                    | LsuAction::VLoadLanes { .. }
+                    | LsuAction::VStoreLanes { .. }
+            )
+        {
+            // Ordering point: earlier buffered stores must commit first.
+            self.flush_thread(entry.tid);
         }
         self.thread_counts[entry.tid as usize] += 1;
         self.queue.push_back(entry);
     }
 
-    /// Services at most one request (FIFO head) at cycle `now`, performing
-    /// its timing access and data movement. Each serviced request produces
-    /// exactly one completion event, so the return is an `Option` and the
-    /// steady-state cycle loop never heap-allocates here.
+    /// Drains one drain-eligible buffered store to the L1 port, if any.
+    /// TSO picks each thread's oldest store (per-thread FIFO), round-robin
+    /// across threads; the relaxed model picks the earliest-eligible store
+    /// machine-wide, which reorders same-thread stores across bank
+    /// classes. Same-address stores share a bank and therefore a delay, so
+    /// coherence order always matches program order.
+    fn drain_one(
+        &mut self,
+        core: usize,
+        mem: &mut MemorySystem,
+        now: u64,
+    ) -> Option<LsuCompletion> {
+        let n = self.wbuf.len();
+        let (tid, idx) = match self.order {
+            MemoryOrder::Sc => return None,
+            MemoryOrder::Tso => {
+                let mut pick = None;
+                for off in 0..n {
+                    let t = (self.drain_rr + off) % n;
+                    if self.wbuf[t].front().is_some_and(|e| e.ready <= now) {
+                        pick = Some(t);
+                        break;
+                    }
+                }
+                let t = pick?;
+                self.drain_rr = (t + 1) % n;
+                (t, 0)
+            }
+            MemoryOrder::RelaxedFence => {
+                let mut best: Option<(u64, usize, usize)> = None;
+                for (t, q) in self.wbuf.iter().enumerate() {
+                    for (i, e) in q.iter().enumerate() {
+                        if e.ready <= now && best.is_none_or(|b| (e.ready, t, i) < b) {
+                            best = Some((e.ready, t, i));
+                        }
+                    }
+                }
+                let (_, t, i) = best?;
+                (t, i)
+            }
+        };
+        let e = self.wbuf[tid].remove(idx).expect("picked entry exists");
+        self.stats.stores += 1;
+        self.stats.wbuf_drains += 1;
+        self.store_slots_used[tid] -= 1;
+        let _ = mem.access(core, tid as u8, MemOp::Store, e.addr, now);
+        mem.backing_mut().write_u32(e.addr, e.value);
+        mem.oracle_note_store(core, tid as u8, e.addr);
+        Some(LsuCompletion::StoreDrained { tid: tid as u8 })
+    }
+
+    /// Services at most one request at cycle `now`: the FIFO queue head
+    /// if present, otherwise one drain-eligible buffered store. Each
+    /// serviced request produces exactly one completion event, so the
+    /// return is an `Option` and the steady-state cycle loop never
+    /// heap-allocates here.
     pub fn tick(&mut self, core: usize, mem: &mut MemorySystem, now: u64) -> Option<LsuCompletion> {
-        let entry = self.queue.pop_front()?;
+        let Some(entry) = self.queue.pop_front() else {
+            return self.drain_one(core, mem, now);
+        };
         self.thread_counts[entry.tid as usize] -= 1;
         let out = match entry.action {
             LsuAction::LoadTo { rd } => {
                 self.stats.loads += 1;
                 let r = mem.access(core, entry.tid, MemOp::Load, entry.addr, now);
-                let value = mem.backing().read_u32(entry.addr);
+                let value = match self.forward_from_wbuf(entry.tid, entry.addr) {
+                    Some(v) => {
+                        self.stats.load_forwards += 1;
+                        v
+                    }
+                    None => mem.backing().read_u32(entry.addr),
+                };
                 LsuCompletion::ScalarLoad {
                     tid: entry.tid,
                     rd,
@@ -232,12 +493,20 @@ impl Lsu {
                 self.store_slots_used[entry.tid as usize] -= 1;
                 let _ = mem.access(core, entry.tid, MemOp::Store, entry.addr, now);
                 mem.backing_mut().write_u32(entry.addr, value);
+                mem.oracle_note_store(core, entry.tid, entry.addr);
                 LsuCompletion::StoreDrained { tid: entry.tid }
             }
             LsuAction::LlTo { rd } => {
                 self.stats.lls += 1;
                 let r = mem.access(core, entry.tid, MemOp::LoadLinked, entry.addr, now);
-                let value = mem.backing().read_u32(entry.addr);
+                let value = match self.forward_from_wbuf(entry.tid, entry.addr) {
+                    Some(v) => {
+                        self.stats.load_forwards += 1;
+                        v
+                    }
+                    None => mem.backing().read_u32(entry.addr),
+                };
+                mem.oracle_note_link(core, entry.tid, entry.addr);
                 LsuCompletion::ScalarLoad {
                     tid: entry.tid,
                     rd,
@@ -251,6 +520,7 @@ impl Lsu {
                 if r.sc_ok {
                     self.stats.sc_successes += 1;
                     mem.backing_mut().write_u32(entry.addr, value);
+                    mem.oracle_note_sc_success(core, entry.tid, entry.addr);
                 }
                 LsuCompletion::ScalarSc {
                     tid: entry.tid,
@@ -277,6 +547,7 @@ impl Lsu {
                 let r = mem.access(core, entry.tid, MemOp::Store, entry.addr, now);
                 for &(addr, value) in &lanes {
                     mem.backing_mut().write_u32(addr, value);
+                    mem.oracle_note_store(core, entry.tid, addr);
                 }
                 LsuCompletion::VectorPart {
                     tid: entry.tid,
@@ -307,11 +578,14 @@ mod tests {
         let mut m = mem();
         m.backing_mut().write_u32(0x100, 77);
         let mut lsu = Lsu::new(4, 8);
-        lsu.push(LsuEntry {
-            tid: 0,
-            addr: 0x100,
-            action: LsuAction::LoadTo { rd: 5 },
-        });
+        lsu.push(
+            LsuEntry {
+                tid: 0,
+                addr: 0x100,
+                action: LsuAction::LoadTo { rd: 5 },
+            },
+            0,
+        );
         let c = lsu
             .tick(0, &mut m, 0)
             .expect("one completion per serviced entry");
@@ -333,16 +607,22 @@ mod tests {
     fn fifo_order_makes_loads_see_own_stores() {
         let mut m = mem();
         let mut lsu = Lsu::new(4, 8);
-        lsu.push(LsuEntry {
-            tid: 0,
-            addr: 0x40,
-            action: LsuAction::StoreVal { value: 9 },
-        });
-        lsu.push(LsuEntry {
-            tid: 0,
-            addr: 0x40,
-            action: LsuAction::LoadTo { rd: 1 },
-        });
+        lsu.push(
+            LsuEntry {
+                tid: 0,
+                addr: 0x40,
+                action: LsuAction::StoreVal { value: 9 },
+            },
+            0,
+        );
+        lsu.push(
+            LsuEntry {
+                tid: 0,
+                addr: 0x40,
+                action: LsuAction::LoadTo { rd: 1 },
+            },
+            0,
+        );
         let mut now = 0;
         let mut seen = Vec::new();
         while lsu.is_busy() {
@@ -360,16 +640,22 @@ mod tests {
     fn write_buffer_slots_tracked_per_thread() {
         let mut lsu = Lsu::new(2, 2);
         assert!(lsu.can_accept_store(0));
-        lsu.push(LsuEntry {
-            tid: 0,
-            addr: 0,
-            action: LsuAction::StoreVal { value: 1 },
-        });
-        lsu.push(LsuEntry {
-            tid: 0,
-            addr: 4,
-            action: LsuAction::StoreVal { value: 2 },
-        });
+        lsu.push(
+            LsuEntry {
+                tid: 0,
+                addr: 0,
+                action: LsuAction::StoreVal { value: 1 },
+            },
+            0,
+        );
+        lsu.push(
+            LsuEntry {
+                tid: 0,
+                addr: 4,
+                action: LsuAction::StoreVal { value: 2 },
+            },
+            0,
+        );
         assert!(!lsu.can_accept_store(0));
         assert!(lsu.can_accept_store(1), "other thread unaffected");
         let mut m = mem();
@@ -381,16 +667,22 @@ mod tests {
     #[should_panic(expected = "write buffer overflow")]
     fn overflow_panics() {
         let mut lsu = Lsu::new(1, 1);
-        lsu.push(LsuEntry {
-            tid: 0,
-            addr: 0,
-            action: LsuAction::StoreVal { value: 1 },
-        });
-        lsu.push(LsuEntry {
-            tid: 0,
-            addr: 4,
-            action: LsuAction::StoreVal { value: 2 },
-        });
+        lsu.push(
+            LsuEntry {
+                tid: 0,
+                addr: 0,
+                action: LsuAction::StoreVal { value: 1 },
+            },
+            0,
+        );
+        lsu.push(
+            LsuEntry {
+                tid: 0,
+                addr: 4,
+                action: LsuAction::StoreVal { value: 2 },
+            },
+            0,
+        );
     }
 
     #[test]
@@ -398,16 +690,22 @@ mod tests {
         let mut m = mem();
         m.backing_mut().write_u32(0x80, 41);
         let mut lsu = Lsu::new(4, 8);
-        lsu.push(LsuEntry {
-            tid: 2,
-            addr: 0x80,
-            action: LsuAction::LlTo { rd: 1 },
-        });
-        lsu.push(LsuEntry {
-            tid: 2,
-            addr: 0x80,
-            action: LsuAction::ScVal { rd: 2, value: 42 },
-        });
+        lsu.push(
+            LsuEntry {
+                tid: 2,
+                addr: 0x80,
+                action: LsuAction::LlTo { rd: 1 },
+            },
+            0,
+        );
+        lsu.push(
+            LsuEntry {
+                tid: 2,
+                addr: 0x80,
+                action: LsuAction::ScVal { rd: 2, value: 42 },
+            },
+            0,
+        );
         let mut now = 0;
         let mut comps = Vec::new();
         while lsu.is_busy() {
@@ -425,11 +723,14 @@ mod tests {
         let mut m = mem();
         m.backing_mut().write_u32(0x80, 5);
         let mut lsu = Lsu::new(4, 8);
-        lsu.push(LsuEntry {
-            tid: 0,
-            addr: 0x80,
-            action: LsuAction::ScVal { rd: 2, value: 9 },
-        });
+        lsu.push(
+            LsuEntry {
+                tid: 0,
+                addr: 0x80,
+                action: LsuAction::ScVal { rd: 2, value: 9 },
+            },
+            0,
+        );
         let comp = lsu.tick(0, &mut m, 0).unwrap();
         assert!(matches!(comp, LsuCompletion::ScalarSc { ok: false, .. }));
         assert_eq!(m.backing().read_u32(0x80), 5);
@@ -440,13 +741,16 @@ mod tests {
         let mut m = mem();
         m.backing_mut().write_u32_slice(0x100, &[1, 2, 3, 4]);
         let mut lsu = Lsu::new(4, 8);
-        lsu.push(LsuEntry {
-            tid: 1,
-            addr: 0x100,
-            action: LsuAction::VLoadLanes {
-                lanes: vec![(0, 0x100), (1, 0x104), (2, 0x108), (3, 0x10c)],
+        lsu.push(
+            LsuEntry {
+                tid: 1,
+                addr: 0x100,
+                action: LsuAction::VLoadLanes {
+                    lanes: vec![(0, 0x100), (1, 0x104), (2, 0x108), (3, 0x10c)],
+                },
             },
-        });
+            0,
+        );
         let comp = lsu.tick(0, &mut m, 0).unwrap();
         match &comp {
             LsuCompletion::VectorPart { lane_values, .. } => {
@@ -454,13 +758,16 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        lsu.push(LsuEntry {
-            tid: 1,
-            addr: 0x200,
-            action: LsuAction::VStoreLanes {
-                lanes: vec![(0x200, 10), (0x204, 20)],
+        lsu.push(
+            LsuEntry {
+                tid: 1,
+                addr: 0x200,
+                action: LsuAction::VStoreLanes {
+                    lanes: vec![(0x200, 10), (0x204, 20)],
+                },
             },
-        });
+            0,
+        );
         lsu.tick(0, &mut m, 1);
         assert_eq!(m.backing().read_u32(0x200), 10);
         assert_eq!(m.backing().read_u32(0x204), 20);
@@ -470,21 +777,30 @@ mod tests {
     #[test]
     fn thread_entries_counts_only_that_thread() {
         let mut lsu = Lsu::new(4, 8);
-        lsu.push(LsuEntry {
-            tid: 0,
-            addr: 0,
-            action: LsuAction::LoadTo { rd: 0 },
-        });
-        lsu.push(LsuEntry {
-            tid: 1,
-            addr: 4,
-            action: LsuAction::LoadTo { rd: 0 },
-        });
-        lsu.push(LsuEntry {
-            tid: 0,
-            addr: 8,
-            action: LsuAction::LoadTo { rd: 1 },
-        });
+        lsu.push(
+            LsuEntry {
+                tid: 0,
+                addr: 0,
+                action: LsuAction::LoadTo { rd: 0 },
+            },
+            0,
+        );
+        lsu.push(
+            LsuEntry {
+                tid: 1,
+                addr: 4,
+                action: LsuAction::LoadTo { rd: 0 },
+            },
+            0,
+        );
+        lsu.push(
+            LsuEntry {
+                tid: 0,
+                addr: 8,
+                action: LsuAction::LoadTo { rd: 1 },
+            },
+            0,
+        );
         assert_eq!(lsu.thread_entries(0), 2);
         assert_eq!(lsu.thread_entries(1), 1);
         assert_eq!(lsu.thread_entries(2), 0);
@@ -565,6 +881,9 @@ glsc_wire::wire_struct!(LsuStats {
     scs,
     sc_successes,
     vector_line_requests,
+    fences,
+    wbuf_drains,
+    load_forwards,
 });
 glsc_wire::wire_struct!(Lsu {
     queue,
@@ -572,4 +891,9 @@ glsc_wire::wire_struct!(Lsu {
     store_slots_max,
     thread_counts,
     stats,
+    order,
+    wbuf,
+    drain_rr,
+    line_bytes,
+    l2_banks,
 });

@@ -7,7 +7,7 @@
 use crate::config::GlscConfig;
 use crate::gsu::{Gsu, GsuCompletion, GsuKind};
 use crate::lsu::{Lsu, LsuCompletion, LsuEntry};
-use glsc_mem::MemorySystem;
+use glsc_mem::{MemoryOrder, MemorySystem};
 
 /// A completion event from either unit.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,13 +28,34 @@ pub struct CoreMemUnit {
 }
 
 impl CoreMemUnit {
-    /// Creates the memory unit for core `core_id` with `threads` SMT
-    /// threads.
+    /// Creates a sequentially-consistent memory unit for core `core_id`
+    /// with `threads` SMT threads.
     pub fn new(core_id: usize, threads: usize, cfg: GlscConfig) -> Self {
+        Self::with_order(core_id, threads, cfg, MemoryOrder::Sc, 64, 1)
+    }
+
+    /// Creates the memory unit for core `core_id` implementing `order`.
+    /// `line_bytes`/`l2_banks` must match the memory system the unit will
+    /// be ticked against (they fix the relaxed model's drain-skew bank
+    /// function).
+    pub fn with_order(
+        core_id: usize,
+        threads: usize,
+        cfg: GlscConfig,
+        order: MemoryOrder,
+        line_bytes: u64,
+        l2_banks: usize,
+    ) -> Self {
         Self {
             core_id,
             threads,
-            lsu: Lsu::new(threads, cfg.write_buffer_entries),
+            lsu: Lsu::with_order(
+                threads,
+                cfg.write_buffer_entries,
+                order,
+                line_bytes,
+                l2_banks,
+            ),
             gsu: Gsu::new(threads, cfg),
         }
     }
@@ -59,18 +80,36 @@ impl CoreMemUnit {
         self.lsu.can_accept_store(tid)
     }
 
-    /// Enqueues an LSU request (see [`Lsu::push`]).
+    /// Enqueues an LSU request issued at cycle `now` (see [`Lsu::push`]).
     ///
     /// # Panics
     ///
     /// Panics on write-buffer overflow.
-    pub fn lsu_push(&mut self, entry: LsuEntry) {
-        self.lsu.push(entry);
+    pub fn lsu_push(&mut self, entry: LsuEntry, now: u64) {
+        self.lsu.push(entry, now);
     }
 
-    /// Number of LSU entries pending for `tid`.
+    /// Number of LSU entries pending for `tid` (queue only; see
+    /// [`lsu_thread_pending`](Self::lsu_thread_pending) for the
+    /// fence-relevant total).
     pub fn lsu_thread_entries(&self, tid: u8) -> usize {
         self.lsu.thread_entries(tid)
+    }
+
+    /// Queued entries plus buffered stores pending for `tid` — what
+    /// fences and the GSU ordering gate wait on.
+    pub fn lsu_thread_pending(&self, tid: u8) -> usize {
+        self.lsu.thread_pending(tid)
+    }
+
+    /// Stores `tid` currently holds in its write buffer.
+    pub fn lsu_buffered_stores(&self, tid: u8) -> usize {
+        self.lsu.buffered_stores(tid)
+    }
+
+    /// Counts one retired fence for the Table-4 counters.
+    pub fn note_fence(&mut self) {
+        self.lsu.note_fence();
     }
 
     /// Whether `tid` has a GSU instruction in flight.
@@ -85,12 +124,16 @@ impl CoreMemUnit {
         !self.lsu.is_busy() && !self.gsu.any_busy()
     }
 
-    /// Inserts a GSU instruction for `tid` (see [`Gsu::start`]).
+    /// Inserts a GSU instruction for `tid` (see [`Gsu::start`]). Ordering
+    /// point: the thread's buffered stores are flushed into the LSU queue
+    /// first (§2.2 — the GSU instruction then waits until "corresponding
+    /// requests in the LSU and write buffer have been sent to the L1").
     ///
     /// # Panics
     ///
     /// Panics if the thread's GSU slot is occupied.
     pub fn gsu_start(&mut self, tid: u8, kind: GsuKind, elems: Vec<(u8, u64, u32)>, width: usize) {
+        self.lsu.flush_thread_for_ordering(tid);
         self.gsu.start(tid, kind, elems, width);
     }
 
@@ -128,16 +171,17 @@ impl CoreMemUnit {
     /// allocating a fresh vector per core per cycle.
     pub fn tick_into(&mut self, mem: &mut MemorySystem, now: u64, out: &mut Vec<MemCompletion>) {
         // Memory-ordering gate: a thread's GSU instruction starts only once
-        // its earlier LSU requests have been sent to the L1.
+        // its earlier LSU requests — including buffered stores — have been
+        // sent to the L1.
         for tid in 0..self.threads as u8 {
-            if self.gsu.busy(tid) && self.lsu.thread_entries(tid) == 0 {
+            if self.gsu.busy(tid) && self.lsu.thread_pending(tid) == 0 {
                 self.gsu.mark_started(tid, now);
             }
         }
 
-        self.gsu.generate_one(mem);
+        self.gsu.generate_one(self.core_id, mem);
 
-        if self.lsu.is_busy() {
+        if self.lsu.wants_port(now) {
             if let Some(c) = self.lsu.tick(self.core_id, mem, now) {
                 out.push(MemCompletion::Lsu(c));
             }
@@ -223,11 +267,14 @@ mod tests {
         // Thread 1 queues a load; thread 0 starts a gather. The load's
         // completion must be produced by the first tick (port granted to
         // the LSU).
-        u.lsu_push(LsuEntry {
-            tid: 1,
-            addr: 0x40,
-            action: LsuAction::LoadTo { rd: 1 },
-        });
+        u.lsu_push(
+            LsuEntry {
+                tid: 1,
+                addr: 0x40,
+                action: LsuAction::LoadTo { rd: 1 },
+            },
+            0,
+        );
         u.gsu_start(0, GsuKind::Gather { vd: 0 }, vec![(0, 0x80, 0)], 4);
         let first = u.tick(&mut m, 0);
         assert!(matches!(
@@ -243,11 +290,14 @@ mod tests {
     fn gsu_waits_for_same_thread_lsu_traffic() {
         let mut m = mem();
         let mut u = CoreMemUnit::new(0, 4, GlscConfig::default());
-        u.lsu_push(LsuEntry {
-            tid: 0,
-            addr: 0x40,
-            action: LsuAction::StoreVal { value: 3 },
-        });
+        u.lsu_push(
+            LsuEntry {
+                tid: 0,
+                addr: 0x40,
+                action: LsuAction::StoreVal { value: 3 },
+            },
+            0,
+        );
         u.gsu_start(0, GsuKind::Gather { vd: 0 }, vec![(0, 0x40, 0)], 4);
         // Tick once: the store drains this very cycle, so the GSU gate
         // opens only on the *next* tick.

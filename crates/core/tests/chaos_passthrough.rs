@@ -30,11 +30,14 @@ fn jitter_only(seed: u64, max: u64) -> FaultPlan {
 }
 
 fn load_completion(lsu: &mut Lsu, mem: &mut MemorySystem, addr: u64, now: u64) -> u64 {
-    lsu.push(LsuEntry {
-        tid: 0,
-        addr,
-        action: LsuAction::LoadTo { rd: 3 },
-    });
+    lsu.push(
+        LsuEntry {
+            tid: 0,
+            addr,
+            action: LsuAction::LoadTo { rd: 3 },
+        },
+        0,
+    );
     match lsu.tick(0, mem, now) {
         Some(LsuCompletion::ScalarLoad { done, .. }) => done,
         other => panic!("expected a scalar-load completion, got {other:?}"),
@@ -70,11 +73,14 @@ fn lsu_sc_completion_reports_chaos_killed_reservation() {
     let mut lsu = Lsu::new(4, 4);
 
     // Acquire a reservation through the LSU.
-    lsu.push(LsuEntry {
-        tid: 0,
-        addr: 0x1000,
-        action: LsuAction::LlTo { rd: 3 },
-    });
+    lsu.push(
+        LsuEntry {
+            tid: 0,
+            addr: 0x1000,
+            action: LsuAction::LlTo { rd: 3 },
+        },
+        0,
+    );
     let t = match lsu.tick(0, &mut m, 0) {
         Some(LsuCompletion::ScalarLoad { done, .. }) => done,
         other => panic!("expected the ll completion, got {other:?}"),
@@ -96,11 +102,14 @@ fn lsu_sc_completion_reports_chaos_killed_reservation() {
 
     // ...and the subsequent sc through the LSU must report failure so the
     // pipeline's retry loop re-executes.
-    lsu.push(LsuEntry {
-        tid: 0,
-        addr: 0x1000,
-        action: LsuAction::ScVal { rd: 5, value: 7 },
-    });
+    lsu.push(
+        LsuEntry {
+            tid: 0,
+            addr: 0x1000,
+            action: LsuAction::ScVal { rd: 5, value: 7 },
+        },
+        0,
+    );
     match lsu.tick(0, &mut m, t + 400) {
         Some(LsuCompletion::ScalarSc { ok, .. }) => {
             assert!(!ok, "sc over a chaos-killed reservation must fail");

@@ -1,7 +1,7 @@
 //! A tiny assembler: emits [`Instr`]s, manages labels, and tracks
 //! synchronization regions.
 
-use crate::instr::{AluOp, CmpOp, FpOp, Instr, LaneSel, Operand, VSrc};
+use crate::instr::{AluOp, CmpOp, FenceKind, FpOp, Instr, LaneSel, Operand, VSrc};
 use crate::program::{Label, Program};
 use crate::reg::{MReg, Reg, VReg};
 use std::error::Error;
@@ -382,6 +382,27 @@ impl ProgramBuilder {
     /// No-op.
     pub fn nop(&mut self) -> &mut Self {
         self.emit(Instr::Nop)
+    }
+
+    /// Full memory fence (`fence`).
+    pub fn fence(&mut self) -> &mut Self {
+        self.emit(Instr::Fence {
+            kind: FenceKind::Full,
+        })
+    }
+
+    /// Acquire fence (`fence.acq`).
+    pub fn fence_acq(&mut self) -> &mut Self {
+        self.emit(Instr::Fence {
+            kind: FenceKind::Acquire,
+        })
+    }
+
+    /// Release fence (`fence.rel`).
+    pub fn fence_rel(&mut self) -> &mut Self {
+        self.emit(Instr::Fence {
+            kind: FenceKind::Release,
+        })
     }
 
     // ---- scalar memory ----

@@ -110,6 +110,11 @@ impl fmt::Display for Instr {
             Halt => write!(f, "halt"),
             Barrier => write!(f, "barrier"),
             Nop => write!(f, "nop"),
+            Fence { kind } => match kind {
+                crate::FenceKind::Full => write!(f, "fence"),
+                crate::FenceKind::Acquire => write!(f, "fence.acq"),
+                crate::FenceKind::Release => write!(f, "fence.rel"),
+            },
             Load { rd, base, offset } => write!(f, "ld {rd}, {offset}({base})"),
             Store { rs, base, offset } => write!(f, "st {rs}, {offset}({base})"),
             LoadLinked { rd, base, offset } => write!(f, "ll {rd}, {offset}({base})"),

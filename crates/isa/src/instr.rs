@@ -145,6 +145,27 @@ pub enum FpOp {
     Max,
 }
 
+/// Strength of a memory fence (DESIGN.md §17).
+///
+/// Under the default sequentially-consistent model every fence is a
+/// one-cycle no-op (the machine is already ordered); under TSO and the
+/// relaxed model they constrain the issuing thread's write buffer and
+/// outstanding memory operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FenceKind {
+    /// `fence` — full barrier: the thread's write buffer must drain and
+    /// all of its outstanding memory operations must complete before the
+    /// fence retires.
+    Full,
+    /// `fence.acq` — acquire: later operations may not start until the
+    /// thread's outstanding loads and stores in the LSU have completed
+    /// (buffered stores may still be draining).
+    Acquire,
+    /// `fence.rel` — release: earlier stores (including buffered ones)
+    /// must be globally visible before the fence retires.
+    Release,
+}
+
 /// Comparison predicate for compares and conditional branches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CmpOp {
@@ -273,6 +294,13 @@ pub enum Instr {
     Barrier,
     /// No operation.
     Nop,
+    /// Memory fence of the given strength (`fence`, `fence.acq`,
+    /// `fence.rel`). Ordering-only: no data is accessed, so fences are
+    /// handled at the issue stage rather than by the LSU/GSU.
+    Fence {
+        /// Fence strength.
+        kind: FenceKind,
+    },
 
     // ---- scalar memory (32-bit data) ----
     /// `rd <- zext(mem32[base + offset])`
@@ -601,6 +629,13 @@ impl Instr {
         )
     }
 
+    /// Returns `true` for memory fences. Fences are ordering-only: they
+    /// access no data (`is_memory` is `false`) and stall at the issue
+    /// stage until their ordering condition holds.
+    pub fn is_fence(&self) -> bool {
+        matches!(self, Instr::Fence { .. })
+    }
+
     /// Returns `true` for control-flow instructions.
     pub fn is_control(&self) -> bool {
         matches!(
@@ -655,6 +690,13 @@ mod tests {
         }
         .uses_gsu());
         assert!(Instr::Halt.is_control());
+        for kind in [FenceKind::Full, FenceKind::Acquire, FenceKind::Release] {
+            let fence = Instr::Fence { kind };
+            assert!(fence.is_fence());
+            assert!(!fence.is_memory());
+            assert!(!fence.is_control());
+            assert!(!fence.uses_gsu());
+        }
         assert!(Instr::StoreCond {
             rd: r,
             rs: r,

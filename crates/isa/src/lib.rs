@@ -48,7 +48,7 @@ mod program;
 mod reg;
 
 pub use builder::{BuildError, ProgramBuilder};
-pub use instr::{AluOp, CmpOp, FpOp, Instr, LaneSel, Operand, VSrc};
+pub use instr::{AluOp, CmpOp, FenceKind, FpOp, Instr, LaneSel, Operand, VSrc};
 pub use parse::{parse_instr, ParseError};
 pub use program::{Label, Program};
 pub use reg::{MReg, Reg, VReg, NUM_MASK_REGS, NUM_SCALAR_REGS, NUM_VECTOR_REGS};

@@ -14,7 +14,7 @@
 //! pcs through the program's internal label table), so parsing recovers
 //! instructions, not whole linked programs.
 
-use crate::instr::{AluOp, CmpOp, FpOp, Instr, LaneSel, Operand, VSrc};
+use crate::instr::{AluOp, CmpOp, FenceKind, FpOp, Instr, LaneSel, Operand, VSrc};
 use crate::program::Label;
 use crate::reg::{MReg, Reg, VReg, NUM_MASK_REGS, NUM_SCALAR_REGS, NUM_VECTOR_REGS};
 use std::error::Error;
@@ -277,6 +277,16 @@ pub fn parse_instr(text: &str) -> Result<Instr, ParseError> {
         "halt" => return Ok(Instr::Halt),
         "barrier" => return Ok(Instr::Barrier),
         "nop" => return Ok(Instr::Nop),
+        "fence" | "fence.acq" | "fence.rel" => {
+            operands(mnemonic, body, 0)?;
+            return Ok(Instr::Fence {
+                kind: match mnemonic {
+                    "fence" => FenceKind::Full,
+                    "fence.acq" => FenceKind::Acquire,
+                    _ => FenceKind::Release,
+                },
+            });
+        }
         "ld" | "ll" => {
             let ops = operands(mnemonic, body, 2)?;
             let (rd, (offset, base)) = (reg(ops[0])?, mem_ref(ops[1])?);
@@ -566,6 +576,32 @@ mod tests {
             })
         );
         assert_eq!(parse_instr("halt"), Ok(Instr::Halt));
+    }
+
+    #[test]
+    fn parses_fences() {
+        assert_eq!(
+            parse_instr("fence"),
+            Ok(Instr::Fence {
+                kind: FenceKind::Full
+            })
+        );
+        assert_eq!(
+            parse_instr("fence.acq"),
+            Ok(Instr::Fence {
+                kind: FenceKind::Acquire
+            })
+        );
+        assert_eq!(
+            parse_instr("fence.rel"),
+            Ok(Instr::Fence {
+                kind: FenceKind::Release
+            })
+        );
+        assert!(matches!(
+            parse_instr("fence r1"),
+            Err(ParseError::OperandCount { .. })
+        ));
     }
 
     #[test]

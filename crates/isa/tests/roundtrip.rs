@@ -57,6 +57,9 @@ fn program_with_every_builder_method() -> Program {
     b.bmnz(f1, l);
     b.barrier();
     b.nop();
+    b.fence();
+    b.fence_acq();
+    b.fence_rel();
     b.ld(r1, r2, 8);
     b.st(r1, r2, -8);
     b.sync_on();

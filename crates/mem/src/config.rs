@@ -3,6 +3,7 @@
 use crate::arbitration::ArbitrationPolicy;
 use crate::errors::ConfigError;
 use crate::noc::NocConfig;
+use crate::ordering::MemoryOrder;
 
 /// Parameters of the simulated memory hierarchy. [`MemConfig::default`]
 /// reproduces Table 1 of the paper.
@@ -49,6 +50,10 @@ pub struct MemConfig {
     /// (DESIGN.md §12). The default [`ArbitrationPolicy::Free`] reproduces
     /// the historical first-committer-wins timing exactly.
     pub arbitration: ArbitrationPolicy,
+    /// Memory-consistency model implemented by the per-core LSUs
+    /// (DESIGN.md §17). The default [`MemoryOrder::Sc`] reproduces the
+    /// historical sequentially-consistent timing exactly.
+    pub memory_order: MemoryOrder,
 }
 
 impl Default for MemConfig {
@@ -70,6 +75,7 @@ impl Default for MemConfig {
             prefetch_degree: 2,
             noc: NocConfig::ideal(),
             arbitration: ArbitrationPolicy::Free,
+            memory_order: MemoryOrder::Sc,
         }
     }
 }
@@ -95,6 +101,7 @@ impl MemConfig {
             prefetch_degree: 2,
             noc: NocConfig::ideal(),
             arbitration: ArbitrationPolicy::Free,
+            memory_order: MemoryOrder::Sc,
         }
     }
 
@@ -186,6 +193,7 @@ mod tests {
         assert_eq!(c.l2_latency, 12);
         assert_eq!(c.dram_latency, 280);
         assert_eq!(c.l2_sets_per_bank(), 2048); // 16MB / 64B / 8 / 16
+        assert_eq!(c.memory_order, MemoryOrder::Sc);
     }
 
     #[test]
@@ -358,4 +366,5 @@ glsc_wire::wire_struct!(MemConfig {
     prefetch_degree,
     noc,
     arbitration,
+    memory_order,
 });

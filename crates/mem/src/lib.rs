@@ -45,6 +45,8 @@ mod l1;
 mod l2;
 mod noc;
 mod occupancy;
+mod oracle;
+mod ordering;
 mod prefetch;
 mod stats;
 mod system;
@@ -59,6 +61,8 @@ pub use l1::{L1Cache, L1State, LinePayload};
 pub use l2::{L2Bank, L2Payload};
 pub use noc::{MsgClass, Noc, NocConfig, NocStats, Topology};
 pub use occupancy::BusyHorizon;
+pub use oracle::{AtomicityOracle, AtomicityViolation, OracleStats};
+pub use ordering::{MemoryOrder, ParseMemoryOrderError};
 pub use prefetch::StridePrefetcher;
 pub use stats::{MemStats, ThreadScStats};
 pub use system::{AccessResult, MemOp, MemSnapshot, MemorySystem};

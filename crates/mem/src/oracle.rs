@@ -1,0 +1,382 @@
+//! Vector-clock atomicity oracle for GLSC atomic regions.
+//!
+//! The paper's central correctness claim is that a
+//! `vgatherlink … vscattercond` region behaves as an atomic
+//! read-modify-write per element: no foreign write may land on a word
+//! between the link that read it and a store-conditional that *succeeds*
+//! on it. The simulator enforces this through per-line reservations, but
+//! that enforcement has only ever been *assumed* correct. This oracle
+//! checks it dynamically, in the style of the coyote-scheduler
+//! vector-clock race detector: every hardware thread (`gid`) carries a
+//! vector clock, every word carries the clock of its last write plus the
+//! writer's identity, and every link snapshots the linked word's clock.
+//! When a store-conditional lane **succeeds**, the oracle compares the
+//! word's current clock against the link-time snapshot: if the clock
+//! moved and the last writer was a different thread, a foreign write was
+//! observed inside the atomic region — an atomicity violation, which the
+//! machine surfaces as a typed `SimError`.
+//!
+//! The oracle is observational: installing it never changes timing or
+//! values, so a run with the oracle attached is cycle-identical to one
+//! without (mirroring the [`crate::FaultPlan`] chaos hook). It is also
+//! falsifiable: [`AtomicityOracle::inject_foreign_write_after_links`]
+//! fabricates a phantom foreign write after the N-th link so tests can
+//! prove the detector actually fires and that the failing schedule
+//! replays deterministically.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use glsc_wire::{Reader, Wire, WireError, Writer};
+
+/// Counters describing what the oracle observed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Word-granular store commits observed (scalar, scatter, sc lanes).
+    pub stores: u64,
+    /// Link snapshots taken (scalar `ll` and `vgatherlink` lanes).
+    pub links: u64,
+    /// Successful store-conditional lanes checked against a snapshot.
+    pub sc_checks: u64,
+    /// Violations detected (including injected ones).
+    pub violations: u64,
+    /// Phantom foreign writes fabricated by the injection knob.
+    pub injected: u64,
+}
+
+glsc_wire::wire_struct!(OracleStats {
+    stores,
+    links,
+    sc_checks,
+    violations,
+    injected,
+});
+
+/// One detected atomicity violation: thread `gid` successfully
+/// store-conditional'd word `addr` even though a foreign write by
+/// `writer` landed on it after the link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AtomicityViolation {
+    /// Global hardware-thread id whose atomic region was broken.
+    pub gid: usize,
+    /// Word address that was foreign-written inside the region.
+    pub addr: u64,
+    /// Global hardware-thread id of the foreign writer, if one was
+    /// recorded (`None` means the word's clock moved without a tracked
+    /// writer, which only the injection knob can produce).
+    pub writer: Option<usize>,
+    /// `true` when the foreign write was fabricated by the injection
+    /// knob rather than observed from real traffic.
+    pub injected: bool,
+}
+
+impl fmt::Display for AtomicityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "atomic region of thread {} broken at word {:#x}: foreign write by {}{}",
+            self.gid,
+            self.addr,
+            match self.writer {
+                Some(w) => w.to_string(),
+                None => "<untracked>".to_string(),
+            },
+            if self.injected { " (injected)" } else { "" }
+        )
+    }
+}
+
+impl std::error::Error for AtomicityViolation {}
+
+glsc_wire::wire_struct!(AtomicityViolation {
+    gid,
+    addr,
+    writer,
+    injected,
+});
+
+/// Per-word write state: the vector clock of the last write and the
+/// identity of the writer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct WordState {
+    clock: Vec<u64>,
+    last_writer: Option<usize>,
+}
+
+glsc_wire::wire_struct!(WordState { clock, last_writer });
+
+/// Dynamic vector-clock checker for GLSC atomic-region atomicity.
+///
+/// Installed on a `MemorySystem` via `install_oracle`; the LSU and GSU
+/// report word-granular events through the `oracle_note_*` hooks. Purely
+/// observational — never perturbs timing, values or coherence state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AtomicityOracle {
+    /// Number of global hardware threads (vector-clock width).
+    num_gids: usize,
+    /// Per-gid vector clock; `vc[g][g]` advances on every event by `g`.
+    vc: Vec<Vec<u64>>,
+    /// Per-word last-write state.
+    words: BTreeMap<u64, WordState>,
+    /// Outstanding link snapshots: `(gid, word) -> clock at link time`.
+    /// Consumed by the matching successful store-conditional lane.
+    links: BTreeMap<(usize, u64), Vec<u64>>,
+    /// Event counters.
+    stats: OracleStats,
+    /// After this many total links, fabricate one phantom foreign write
+    /// on the word just linked (testing/falsifiability knob).
+    inject_after_links: Option<u64>,
+    /// Violations detected so far, in observation order.
+    violations: Vec<AtomicityViolation>,
+}
+
+impl AtomicityOracle {
+    /// Creates an oracle for a machine with `num_gids` hardware threads.
+    pub fn new(num_gids: usize) -> Self {
+        AtomicityOracle {
+            num_gids,
+            vc: vec![vec![0; num_gids]; num_gids],
+            words: BTreeMap::new(),
+            links: BTreeMap::new(),
+            stats: OracleStats::default(),
+            inject_after_links: None,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Arms the falsifiability knob: after the `n`-th link event the
+    /// oracle fabricates a phantom foreign write to the linked word, so
+    /// the next successful store-conditional on it must be flagged.
+    #[must_use]
+    pub fn inject_foreign_write_after_links(mut self, n: u64) -> Self {
+        self.inject_after_links = Some(n);
+        self
+    }
+
+    /// Counters observed so far.
+    pub fn stats(&self) -> OracleStats {
+        self.stats
+    }
+
+    /// Violations detected so far, in observation order.
+    pub fn violations(&self) -> &[AtomicityViolation] {
+        &self.violations
+    }
+
+    fn bump(&mut self, gid: usize) {
+        debug_assert!(gid < self.num_gids, "gid {gid} out of range");
+        if let Some(row) = self.vc.get_mut(gid) {
+            row[gid] += 1;
+        }
+    }
+
+    /// Joins `clock` into the word's clock (elementwise max) and records
+    /// the writer.
+    fn commit_write(&mut self, gid: usize, addr: u64) {
+        let clock = self.vc[gid].clone();
+        let st = self.words.entry(addr).or_default();
+        if st.clock.len() < clock.len() {
+            st.clock.resize(clock.len(), 0);
+        }
+        for (dst, src) in st.clock.iter_mut().zip(clock.iter()) {
+            *dst = (*dst).max(*src);
+        }
+        st.last_writer = Some(gid);
+    }
+
+    /// A plain (non-conditional) store by `gid` committed to word `addr`.
+    pub fn note_store(&mut self, gid: usize, addr: u64) {
+        self.stats.stores += 1;
+        self.bump(gid);
+        self.commit_write(gid, addr);
+    }
+
+    /// Thread `gid` linked word `addr` (scalar `ll` or a `vgatherlink`
+    /// lane): snapshot the word's current clock.
+    pub fn note_link(&mut self, gid: usize, addr: u64) {
+        self.stats.links += 1;
+        self.bump(gid);
+        let snap = self
+            .words
+            .get(&addr)
+            .map(|w| w.clock.clone())
+            .unwrap_or_default();
+        self.links.insert((gid, addr), snap);
+        if let Some(n) = self.inject_after_links {
+            if self.stats.links >= n {
+                self.inject_after_links = None;
+                self.stats.injected += 1;
+                let st = self.words.entry(addr).or_default();
+                if st.clock.is_empty() {
+                    st.clock = vec![0; self.num_gids.max(1)];
+                }
+                // A phantom writer that is provably not `gid`.
+                let phantom = (gid + 1) % self.num_gids.max(1);
+                if let Some(c) = st.clock.get_mut(phantom) {
+                    *c += 1;
+                }
+                st.last_writer = if phantom == gid { None } else { Some(phantom) };
+            }
+        }
+    }
+
+    /// A store-conditional lane by `gid` **succeeded** on word `addr`.
+    /// Checks the link snapshot, then commits the write. Returns the
+    /// violation if the region was broken.
+    pub fn note_sc_success(&mut self, gid: usize, addr: u64) -> Option<AtomicityViolation> {
+        self.bump(gid);
+        let mut found = None;
+        if let Some(snap) = self.links.remove(&(gid, addr)) {
+            self.stats.sc_checks += 1;
+            if let Some(st) = self.words.get(&addr) {
+                let moved = !clocks_equal(&st.clock, &snap);
+                let foreign = st.last_writer != Some(gid);
+                if moved && foreign {
+                    let v = AtomicityViolation {
+                        gid,
+                        addr,
+                        writer: st.last_writer,
+                        injected: self.stats.injected > 0,
+                    };
+                    self.stats.violations += 1;
+                    self.violations.push(v.clone());
+                    found = Some(v);
+                }
+            }
+        }
+        self.stats.stores += 1;
+        self.commit_write(gid, addr);
+        found
+    }
+}
+
+/// Clock comparison treating missing trailing components as zero.
+fn clocks_equal(a: &[u64], b: &[u64]) -> bool {
+    let n = a.len().max(b.len());
+    (0..n).all(|i| a.get(i).copied().unwrap_or(0) == b.get(i).copied().unwrap_or(0))
+}
+
+impl Wire for AtomicityOracle {
+    fn encode(&self, w: &mut Writer) {
+        self.num_gids.encode(w);
+        self.vc.encode(w);
+        let words: Vec<(u64, WordState)> =
+            self.words.iter().map(|(k, v)| (*k, v.clone())).collect();
+        words.encode(w);
+        let links: Vec<((usize, u64), Vec<u64>)> =
+            self.links.iter().map(|(k, v)| (*k, v.clone())).collect();
+        links.encode(w);
+        self.stats.encode(w);
+        self.inject_after_links.encode(w);
+        self.violations.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let num_gids = usize::decode(r)?;
+        let vc = Vec::<Vec<u64>>::decode(r)?;
+        let words = Vec::<(u64, WordState)>::decode(r)?
+            .into_iter()
+            .collect::<BTreeMap<_, _>>();
+        let links = Vec::<((usize, u64), Vec<u64>)>::decode(r)?
+            .into_iter()
+            .collect::<BTreeMap<_, _>>();
+        let stats = OracleStats::decode(r)?;
+        let inject_after_links = Option::<u64>::decode(r)?;
+        let violations = Vec::<AtomicityViolation>::decode(r)?;
+        Ok(AtomicityOracle {
+            num_gids,
+            vc,
+            words,
+            links,
+            stats,
+            inject_after_links,
+            violations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_link_sc_pair_is_not_flagged() {
+        let mut o = AtomicityOracle::new(4);
+        o.note_link(0, 0x100);
+        assert!(o.note_sc_success(0, 0x100).is_none());
+        assert_eq!(o.stats().sc_checks, 1);
+        assert!(o.violations().is_empty());
+    }
+
+    #[test]
+    fn own_write_inside_region_is_not_flagged() {
+        let mut o = AtomicityOracle::new(4);
+        o.note_link(0, 0x100);
+        o.note_store(0, 0x100);
+        assert!(o.note_sc_success(0, 0x100).is_none());
+    }
+
+    #[test]
+    fn foreign_write_inside_region_is_flagged() {
+        let mut o = AtomicityOracle::new(4);
+        o.note_link(0, 0x100);
+        o.note_store(1, 0x100);
+        let v = o.note_sc_success(0, 0x100).expect("must flag");
+        assert_eq!(v.gid, 0);
+        assert_eq!(v.addr, 0x100);
+        assert_eq!(v.writer, Some(1));
+        assert!(!v.injected);
+        assert_eq!(o.stats().violations, 1);
+    }
+
+    #[test]
+    fn foreign_write_before_link_is_not_flagged() {
+        let mut o = AtomicityOracle::new(4);
+        o.note_store(1, 0x100);
+        o.note_link(0, 0x100);
+        assert!(o.note_sc_success(0, 0x100).is_none());
+    }
+
+    #[test]
+    fn relinking_refreshes_the_snapshot() {
+        let mut o = AtomicityOracle::new(4);
+        o.note_link(0, 0x100);
+        o.note_store(1, 0x100);
+        // The retry loop links again before the next sc attempt.
+        o.note_link(0, 0x100);
+        assert!(o.note_sc_success(0, 0x100).is_none());
+    }
+
+    #[test]
+    fn injection_knob_forces_a_violation() {
+        let mut o = AtomicityOracle::new(2).inject_foreign_write_after_links(2);
+        o.note_link(0, 0x40);
+        assert!(o.note_sc_success(0, 0x40).is_none());
+        o.note_link(0, 0x80);
+        let v = o
+            .note_sc_success(0, 0x80)
+            .expect("injected write must trip");
+        assert!(v.injected);
+        assert_eq!(o.stats().injected, 1);
+        // Knob disarms after one injection.
+        o.note_link(0, 0xc0);
+        assert!(o.note_sc_success(0, 0xc0).is_none());
+    }
+
+    #[test]
+    fn wire_round_trips_mid_region() {
+        let mut o = AtomicityOracle::new(3).inject_foreign_write_after_links(9);
+        o.note_link(1, 0x200);
+        o.note_store(2, 0x200);
+        o.note_store(2, 0x240);
+        let mut w = Writer::new();
+        o.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let mut back = AtomicityOracle::decode(&mut r).unwrap();
+        assert_eq!(back, o);
+        // The restored oracle must reach the same verdict.
+        let v = back.note_sc_success(1, 0x200).expect("must flag");
+        assert_eq!(v.writer, Some(2));
+    }
+}

@@ -1,0 +1,176 @@
+//! The memory-consistency-model axis of the machine configuration.
+//!
+//! The simulator was historically (implicitly) sequentially consistent:
+//! the LSU commits stores to the global backing image at L1-port grant,
+//! in FIFO program order, so every thread observes one total store order
+//! consistent with each thread's program order. [`MemoryOrder`] makes
+//! that a configurable axis. The enum lives in `glsc-mem` because the
+//! drain rules it selects are enforced by the per-core LSU write buffers
+//! (`glsc-core`) *against* this memory system, and both crates need the
+//! type without a dependency cycle.
+//!
+//! The three models:
+//!
+//! * [`MemoryOrder::Sc`] — sequential consistency, the default. Stores
+//!   travel through the shared LSU FIFO queue and commit at port grant.
+//!   Byte-identical to the pre-configurable simulator.
+//! * [`MemoryOrder::Tso`] — total store order. Plain scalar stores are
+//!   held in the issuing thread's write buffer and drain FIFO after a
+//!   fixed residency delay; loads bypass buffered stores (with exact
+//!   word-address store-to-load forwarding from the thread's own
+//!   buffer). This exhibits the classic SB (store-buffering) relaxed
+//!   outcome while store-store order within a thread is preserved.
+//! * [`MemoryOrder::RelaxedFence`] — relaxed ordering with explicit
+//!   fences. Like TSO, but buffered stores become drain-eligible after a
+//!   per-L2-bank skewed delay and drain youngest-eligible-first, so
+//!   same-thread stores to different banks can commit out of program
+//!   order (the MP message-passing relaxed outcome). `fence`,
+//!   `fence.acq` and `fence.rel` restore ordering.
+//!
+//! Under every model, `sc`/`vscattercond`/`vstore`/`vscatter` flush the
+//! issuing thread's write buffer ahead of themselves (atomics and vector
+//! stores are ordering points, as on x86), and a thread's gather/scatter
+//! instruction does not start until its write buffer has drained (§2.2
+//! of the paper: the GSU waits for the LSU *and write buffer*).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which memory-consistency model the machine implements.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MemoryOrder {
+    /// Sequential consistency (the historical default timing).
+    #[default]
+    Sc,
+    /// Total store order: per-thread FIFO write buffers with real drain
+    /// timing; loads bypass and forward from buffered stores.
+    Tso,
+    /// Relaxed ordering with explicit fences: write buffers drain
+    /// youngest-eligible-first with per-bank skewed eligibility, so
+    /// store-store order is *not* preserved without a fence.
+    RelaxedFence,
+}
+
+impl MemoryOrder {
+    /// All models, for sweeps and exhaustive test matrices.
+    pub const ALL: [MemoryOrder; 3] =
+        [MemoryOrder::Sc, MemoryOrder::Tso, MemoryOrder::RelaxedFence];
+
+    /// Whether plain stores are buffered (any non-SC model).
+    #[inline]
+    pub fn buffers_stores(self) -> bool {
+        !matches!(self, MemoryOrder::Sc)
+    }
+
+    /// Stable lower-case name, used by the `--memory-order` flag and the
+    /// job-id suffix (`-tso`, `-relaxed`; SC jobs keep their historical
+    /// unsuffixed ids).
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoryOrder::Sc => "sc",
+            MemoryOrder::Tso => "tso",
+            MemoryOrder::RelaxedFence => "relaxed",
+        }
+    }
+}
+
+impl fmt::Display for MemoryOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a [`MemoryOrder`] from text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseMemoryOrderError {
+    /// The text that did not name a model.
+    pub found: String,
+}
+
+impl fmt::Display for ParseMemoryOrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown memory order {:?} (expected sc, tso or relaxed)",
+            self.found
+        )
+    }
+}
+
+impl std::error::Error for ParseMemoryOrderError {}
+
+impl FromStr for MemoryOrder {
+    type Err = ParseMemoryOrderError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sc" => Ok(MemoryOrder::Sc),
+            "tso" => Ok(MemoryOrder::Tso),
+            "relaxed" | "relaxed-fence" => Ok(MemoryOrder::RelaxedFence),
+            _ => Err(ParseMemoryOrderError {
+                found: s.to_string(),
+            }),
+        }
+    }
+}
+
+impl glsc_wire::Wire for MemoryOrder {
+    fn encode(&self, w: &mut glsc_wire::Writer) {
+        w.put_u8(match self {
+            MemoryOrder::Sc => 0,
+            MemoryOrder::Tso => 1,
+            MemoryOrder::RelaxedFence => 2,
+        });
+    }
+
+    fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
+        let at = r.pos();
+        Ok(match r.get_u8()? {
+            0 => MemoryOrder::Sc,
+            1 => MemoryOrder::Tso,
+            2 => MemoryOrder::RelaxedFence,
+            _ => {
+                return Err(glsc_wire::WireError::Invalid {
+                    at,
+                    what: "MemoryOrder tag",
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glsc_wire::Wire;
+
+    #[test]
+    fn default_is_sc() {
+        assert_eq!(MemoryOrder::default(), MemoryOrder::Sc);
+        assert!(!MemoryOrder::Sc.buffers_stores());
+        assert!(MemoryOrder::Tso.buffers_stores());
+        assert!(MemoryOrder::RelaxedFence.buffers_stores());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for m in MemoryOrder::ALL {
+            assert_eq!(m.name().parse::<MemoryOrder>(), Ok(m));
+            assert_eq!(m.to_string().parse::<MemoryOrder>(), Ok(m));
+        }
+        assert!("weird".parse::<MemoryOrder>().is_err());
+    }
+
+    #[test]
+    fn wire_round_trips_and_rejects_bad_tags() {
+        for m in MemoryOrder::ALL {
+            let mut w = glsc_wire::Writer::new();
+            m.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = glsc_wire::Reader::new(&bytes);
+            assert_eq!(MemoryOrder::decode(&mut r).unwrap(), m);
+        }
+        let mut r = glsc_wire::Reader::new(&[9]);
+        assert!(MemoryOrder::decode(&mut r).is_err());
+    }
+}

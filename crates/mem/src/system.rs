@@ -24,6 +24,7 @@ use crate::l1::{L1Cache, L1State, LinePayload};
 use crate::l2::{L2Bank, L2Payload};
 use crate::line_of;
 use crate::noc::{MsgClass, Noc};
+use crate::oracle::{AtomicityOracle, AtomicityViolation};
 use crate::prefetch::StridePrefetcher;
 use crate::stats::{MemStats, ThreadScStats};
 use glsc_rng::Rng;
@@ -79,6 +80,9 @@ pub struct MemorySystem {
     /// Extra DRAM cycles the next L2-miss fill must absorb (scheduled by
     /// the jitter injector; always 0 without a fault plan).
     jitter_next_fill: u64,
+    /// Installed vector-clock atomicity oracle (DESIGN.md §17); `None` on
+    /// the unchecked hot path. Purely observational: never affects timing.
+    oracle: Option<Box<AtomicityOracle>>,
 }
 
 impl MemorySystem {
@@ -159,6 +163,7 @@ impl MemorySystem {
             arbiter: Arbiter::default(),
             chaos: None,
             jitter_next_fill: 0,
+            oracle: None,
         })
     }
 
@@ -184,6 +189,81 @@ impl MemorySystem {
     /// Injection counters of the installed fault plan, if any.
     pub fn chaos_stats(&self) -> Option<&ChaosStats> {
         self.chaos.as_ref().map(|p| p.stats())
+    }
+
+    /// Installs a vector-clock atomicity oracle; subsequent link/store/
+    /// store-conditional commits are checked against it. Replaces any
+    /// existing oracle. Observational only — timing is unchanged.
+    pub fn install_oracle(&mut self, oracle: AtomicityOracle) {
+        self.oracle = Some(Box::new(oracle));
+    }
+
+    /// Removes and returns the installed oracle, restoring the
+    /// zero-overhead unchecked path.
+    pub fn take_oracle(&mut self) -> Option<AtomicityOracle> {
+        self.oracle.take().map(|b| *b)
+    }
+
+    /// The installed atomicity oracle, if any.
+    pub fn oracle(&self) -> Option<&AtomicityOracle> {
+        self.oracle.as_deref()
+    }
+
+    /// Reports a committed plain store (scalar store, vector-store lane or
+    /// scatter lane) to the installed oracle, if any.
+    #[inline]
+    pub fn oracle_note_store(&mut self, core: usize, tid: u8, addr: u64) {
+        if self.oracle.is_some() {
+            self.oracle_store_cold(core, tid, addr);
+        }
+    }
+
+    #[cold]
+    fn oracle_store_cold(&mut self, core: usize, tid: u8, addr: u64) {
+        let gid = self.gid(core, tid);
+        if let Some(o) = self.oracle.as_deref_mut() {
+            o.note_store(gid, addr);
+        }
+    }
+
+    /// Reports a link acquisition (scalar `ll` or a `vgatherlink` lane) to
+    /// the installed oracle, if any.
+    #[inline]
+    pub fn oracle_note_link(&mut self, core: usize, tid: u8, addr: u64) {
+        if self.oracle.is_some() {
+            self.oracle_link_cold(core, tid, addr);
+        }
+    }
+
+    #[cold]
+    fn oracle_link_cold(&mut self, core: usize, tid: u8, addr: u64) {
+        let gid = self.gid(core, tid);
+        if let Some(o) = self.oracle.as_deref_mut() {
+            o.note_link(gid, addr);
+        }
+    }
+
+    /// Reports a **successful** store-conditional commit (scalar `sc` or a
+    /// `vscattercond` lane) to the installed oracle, if any.
+    #[inline]
+    pub fn oracle_note_sc_success(&mut self, core: usize, tid: u8, addr: u64) {
+        if self.oracle.is_some() {
+            self.oracle_sc_cold(core, tid, addr);
+        }
+    }
+
+    #[cold]
+    fn oracle_sc_cold(&mut self, core: usize, tid: u8, addr: u64) {
+        let gid = self.gid(core, tid);
+        if let Some(o) = self.oracle.as_deref_mut() {
+            o.note_sc_success(gid, addr);
+        }
+    }
+
+    /// The first atomicity violation detected by the installed oracle, if
+    /// any. The run loop polls this to surface a typed error.
+    pub fn oracle_violation(&self) -> Option<&AtomicityViolation> {
+        self.oracle.as_deref().and_then(|o| o.violations().first())
     }
 
     /// The configuration in effect.
@@ -232,6 +312,7 @@ impl MemorySystem {
         self.arbiter = Arbiter::default();
         self.chaos = None;
         self.jitter_next_fill = 0;
+        self.oracle = None;
         self.reset_stats();
     }
 
@@ -1015,5 +1096,6 @@ glsc_wire::wire_struct!(MemorySystem {
     arbiter,
     chaos,
     jitter_next_fill,
+    oracle,
 });
 glsc_wire::wire_struct!(MemSnapshot { state });

@@ -15,6 +15,9 @@
 //!   --variant glsc|base    kernel variant (default: glsc)
 //!   --width N              SIMD width (default: 4)
 //!   --dataset tiny|a|b     dataset (default: tiny)
+//!   --memory-order M       consistency model: sc|tso|relaxed
+//!                          (default: sc; non-SC ids get a -tso/-relaxed
+//!                          suffix so they never alias SC results)
 //!   --checkpoint-every N   checkpoint cadence in cycles (default: 20000)
 //!   --deadline-wall-ms N   per-attempt wall-clock budget
 //!   --deadline-cycles N    absolute simulated-cycle budget per job
@@ -69,6 +72,7 @@ struct Args {
     variant: Variant,
     width: usize,
     dataset: Dataset,
+    memory_order: glsc_sim::MemoryOrder,
     checkpoint_every: u64,
     deadline_wall_ms: Option<u64>,
     deadline_cycles: Option<u64>,
@@ -94,6 +98,7 @@ fn parse_args() -> Args {
         variant: Variant::Glsc,
         width: 4,
         dataset: Dataset::Tiny,
+        memory_order: glsc_sim::MemoryOrder::Sc,
         checkpoint_every: 20_000,
         deadline_wall_ms: None,
         deadline_cycles: None,
@@ -176,6 +181,11 @@ fn parse_args() -> Args {
                     "b" => Dataset::B,
                     v => usage(&format!("unknown dataset {v:?}")),
                 }
+            }
+            "--memory-order" => {
+                args.memory_order = value("--memory-order")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("{e}")))
             }
             "--checkpoint-every" => {
                 args.checkpoint_every = value("--checkpoint-every")
@@ -299,6 +309,7 @@ fn sweep_specs(args: &Args) -> Vec<WireJobSpec> {
         }
     }
     for spec in &mut specs {
+        spec.memory_order = args.memory_order;
         spec.chaos = args.chaos_seed;
         spec.deadline_cycles = args.deadline_cycles;
         spec.deadline_wall_ms = args.deadline_wall_ms;
@@ -326,8 +337,10 @@ fn cmd_sweep(args: &Args) -> ! {
         )
         .unwrap_or_else(|e| usage(&e.to_string()));
         // Key jobs by the wire id so pattern jobs get the same
-        // filesystem-safe hashed names the protocol path uses.
+        // filesystem-safe hashed names the protocol path uses (and
+        // relaxed-model jobs their -tso/-relaxed suffix).
         job.id = spec.id();
+        job.cfg = job.cfg.with_memory_order(spec.memory_order);
         job.deadline_cycles = spec.deadline_cycles;
         job.deadline_wall_ms = spec.deadline_wall_ms;
         jobs.push(job);

@@ -678,7 +678,12 @@ fn write_checkpoint(
     seq: u64,
 ) -> std::io::Result<()> {
     let path = checkpoint_path(&cfg.state_dir, id);
-    std::fs::create_dir_all(path.parent().expect("checkpoint path has a parent"))?;
+    // `checkpoint_path` always joins two components, but a hostile id
+    // reaching here must degrade to an IO error, never a panic.
+    let parent = path.parent().ok_or_else(|| {
+        std::io::Error::other(format!("checkpoint path {} has no parent", path.display()))
+    })?;
+    std::fs::create_dir_all(parent)?;
     let bytes = machine.snapshot().to_bytes();
     if kill::tear_this_checkpoint() {
         // Simulate a non-atomic filesystem: half the snapshot lands

@@ -320,7 +320,14 @@ fn restore_pending(
 /// forced to the wire spec's id so reply frames, ledgers, and journal
 /// entries all key identically (pattern jobs hash their spec string into
 /// the id; the supervisor's raw naming would leak `:*@` into filenames).
-fn spec_to_job(spec: &WireJobSpec) -> JobSpec {
+///
+/// Total, not panicking: specs normally validated at admission, but the
+/// queue can also hold journal-replayed bytes an older (looser) build
+/// admitted, and the validator and the workload builder can drift — a
+/// spec that no longer lowers is a typed failure the session reports,
+/// never a dead service.
+fn spec_to_job(spec: &WireJobSpec) -> Result<JobSpec, String> {
+    spec.validate().map_err(|e| e.to_string())?;
     let mut job = JobSpec::kernel(
         &spec.kernel_name(),
         spec.resolve_dataset(),
@@ -329,11 +336,15 @@ fn spec_to_job(spec: &WireJobSpec) -> JobSpec {
         spec.width as usize,
         spec.chaos,
     )
-    .expect("spec validated at admission");
+    .map_err(|e| e.to_string())?;
     job.id = spec.id();
+    // The consistency model reaches the machine through the config; the
+    // wire id already carries the `-tso`/`-relaxed` suffix, so relaxed
+    // jobs key their own journal ledgers, checkpoints, and cache rows.
+    job.cfg = job.cfg.with_memory_order(spec.memory_order);
     job.deadline_cycles = spec.deadline_cycles;
     job.deadline_wall_ms = spec.deadline_wall_ms;
-    job
+    Ok(job)
 }
 
 /// Runs everything queued through the fleet-routed supervisor, streaming
@@ -350,10 +361,38 @@ fn run_queue(
     client_gone: &mut bool,
     shed: &mut u32,
 ) -> io::Result<bool> {
-    let entries = queue.drain();
-    let jobs: Vec<JobSpec> = entries.iter().map(|e| spec_to_job(&e.spec)).collect();
+    let drained_entries = queue.drain();
     let mut ok: u32 = 0;
     let mut failed: u32 = 0;
+    // Lower each spec; one that no longer builds (validator drift, a
+    // journal entry from a looser build) fails typed and is closed out
+    // in the journal so it does not replay as pending forever.
+    let mut entries = Vec::with_capacity(drained_entries.len());
+    let mut jobs: Vec<JobSpec> = Vec::with_capacity(drained_entries.len());
+    for entry in drained_entries {
+        match spec_to_job(&entry.spec) {
+            Ok(job) => {
+                jobs.push(job);
+                entries.push(entry);
+            }
+            Err(detail) => {
+                eprintln!(
+                    "[serve] {}: spec no longer lowers ({detail}); failing",
+                    entry.id
+                );
+                journal_shed(journal, ledgers, &entry.id)?;
+                failed += 1;
+                let reply = Reply::JobFailed {
+                    id: entry.id.clone(),
+                    label: "REJ".to_string(),
+                    detail,
+                };
+                if !*client_gone && write_message(output, &reply).is_err() {
+                    *client_gone = true;
+                }
+            }
+        }
+    }
     let (outcomes, drained) =
         run_supervised(cfg, store, journal, ledgers, &jobs, |gi, outcome| {
             let reply = match outcome {
@@ -611,6 +650,107 @@ mod tests {
                 _ => None,
             })
             .expect("a JobDone reply")
+    }
+
+    #[test]
+    fn unbuildable_spec_fails_typed_instead_of_panicking() {
+        // A spec that skipped validation (journal bytes admitted by a
+        // looser build) must lower to a typed error, never a panic.
+        let mut hostile = hip_spec();
+        hostile.kernel = "EVIL".into();
+        let err = spec_to_job(&hostile).err().expect("EVIL must not lower");
+        assert!(err.contains("EVIL"), "{err}");
+
+        let mut hostile = hip_spec();
+        hostile.dataset = 9;
+        assert!(spec_to_job(&hostile).is_err());
+    }
+
+    #[test]
+    fn queue_entry_that_no_longer_lowers_streams_a_typed_failure() {
+        let dir = tmp_dir("lower");
+        let cfg = small_cfg(&dir);
+        std::fs::create_dir_all(&cfg.state_dir).unwrap();
+        let store = JobStore::at(cfg.state_dir.join("cache"), true);
+        let (mut journal, records) = Journal::open(&cfg.state_dir.join("journal.log")).unwrap();
+        let mut ledgers = replay(&records);
+        // Force a hostile entry past admission, as a drifted validator
+        // would have.
+        let mut queue = AdmissionQueue::new(4);
+        let mut bad = hip_spec();
+        bad.kernel = "EVIL".into();
+        queue.offer(QueueEntry {
+            id: bad.id(),
+            priority: 0,
+            spec: bad,
+        });
+        let mut output = Vec::new();
+        let (mut gone, mut shed) = (false, 0u32);
+        let drained = run_queue(
+            &cfg,
+            &store,
+            &mut journal,
+            &mut ledgers,
+            &mut queue,
+            &mut output,
+            &mut gone,
+            &mut shed,
+        )
+        .unwrap();
+        assert!(!drained);
+        let replies = read_replies(&output);
+        assert!(
+            matches!(&replies[0], Reply::JobFailed { label, .. } if label == "REJ"),
+            "{replies:?}"
+        );
+        assert!(
+            matches!(
+                replies.last(),
+                Some(Reply::SweepDone {
+                    ok: 0,
+                    failed: 1,
+                    ..
+                })
+            ),
+            "{replies:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tso_job_runs_under_tso_and_keys_its_own_id() {
+        let dir = tmp_dir("tso");
+        let cfg = small_cfg(&dir);
+        let mut spec = hip_spec();
+        spec.memory_order = glsc_sim::MemoryOrder::Tso;
+        let mut input = Vec::new();
+        submit(&mut input, 0, spec);
+        crate::proto::write_message(&mut input, &Request::Run).unwrap();
+        let mut output = Vec::new();
+        run_session(&cfg, &mut &input[..], &mut output).unwrap();
+        let replies = read_replies(&output);
+        assert!(
+            matches!(&replies[0], Reply::Accepted { id } if id == "HIP-T-GLSC-1x2-w4-tso"),
+            "{replies:?}"
+        );
+        let report = replies
+            .iter()
+            .find_map(|r| match r {
+                Reply::JobDone { id, report, .. } => {
+                    assert_eq!(id, "HIP-T-GLSC-1x2-w4-tso");
+                    Some(report.clone())
+                }
+                _ => None,
+            })
+            .expect("TSO job must finish");
+        // The report records the model the machine actually ran under —
+        // proof the config axis survived the whole wire → job → machine
+        // path, not just the id suffix. (GLSC-variant kernels store
+        // through the GSU scatter path, so the scalar write buffers may
+        // legitimately stay empty.)
+        let decoded = glsc_bench::codec::decode_report(&report).unwrap();
+        assert_eq!(decoded.memory_order, glsc_sim::MemoryOrder::Tso);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

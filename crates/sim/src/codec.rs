@@ -31,7 +31,9 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GLSCSNAP";
 /// Bump whenever any serialized state struct changes shape — old
 /// checkpoints then decode to [`SnapshotCodecError::VersionMismatch`]
 /// and recovery falls back to a fresh run instead of resuming garbage.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+/// v2: memory-order axis — `MemConfig.memory_order`, LSU write buffers
+/// and drain counters, oracle state (DESIGN.md §17).
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
 
 /// Why a byte string failed to decode as a snapshot.
 #[derive(Clone, Debug, PartialEq, Eq)]

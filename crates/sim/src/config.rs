@@ -245,6 +245,17 @@ impl MachineConfig {
         self
     }
 
+    /// Selects the memory consistency model (builder style). The default
+    /// [`glsc_mem::MemoryOrder::Sc`] routes every request through the
+    /// shared LSU queue and reproduces the historical timing exactly; the
+    /// relaxed models enable the per-thread write buffers (DESIGN.md §17;
+    /// the litmus harness exercises all three).
+    #[must_use]
+    pub fn with_memory_order(mut self, order: glsc_mem::MemoryOrder) -> Self {
+        self.mem.memory_order = order;
+        self
+    }
+
     /// Enables the starvation detector at `threshold` consecutive SC
     /// failures per thread (or disables it with `None`; builder style).
     #[must_use]
@@ -418,7 +429,9 @@ mod tests {
             .with_invariant_checks(Some(64))
             .with_noc(glsc_mem::NocConfig::ring())
             .with_starvation_threshold(Some(1000))
-            .with_arbitration(glsc_mem::ArbitrationPolicy::AgedPriority);
+            .with_arbitration(glsc_mem::ArbitrationPolicy::AgedPriority)
+            .with_memory_order(glsc_mem::MemoryOrder::Tso);
+        assert_eq!(c.mem.memory_order, glsc_mem::MemoryOrder::Tso);
         assert_eq!(c.max_cycles, 123);
         assert_eq!(c.watchdog_window, None);
         assert_eq!(c.invariant_check_period, Some(64));

@@ -27,6 +27,9 @@ pub enum StallKind {
     StoreBufferFull,
     /// Ready to issue, but the core's issue slots were taken.
     NoSlot,
+    /// A fence (or, under a relaxed model, a barrier) is waiting for the
+    /// thread's earlier memory traffic to drain (DESIGN.md §17).
+    Fence,
 }
 
 /// Per-cycle issue outcome for one thread (for stall accounting).
@@ -67,6 +70,12 @@ pub struct Core {
     /// skip, so the (thread-scanning) fast-forward probe is not worth
     /// running.
     pub(crate) issued_any: bool,
+    /// Transient per-cycle issue gate for schedule controllers (bit per
+    /// thread; see [`crate::Machine::step_masked`]). All-ones in normal
+    /// operation. Deliberately excluded from snapshots: it is set and
+    /// cleared around a single step by the litmus harness, never held
+    /// across cycles.
+    pub(crate) issue_mask: u32,
 }
 
 /// A point-in-time copy of one [`Core`], captured by [`Core::snapshot`]
@@ -96,13 +105,21 @@ impl Core {
         Self {
             id,
             threads: (0..n).map(|_| Thread::new(cfg.simd_width)).collect(),
-            memunit: CoreMemUnit::new(id, n, cfg.glsc),
+            memunit: CoreMemUnit::with_order(
+                id,
+                n,
+                cfg.glsc,
+                cfg.mem.memory_order,
+                cfg.mem.line_bytes,
+                cfg.mem.l2_banks,
+            ),
             records: vec![IssueRecord::NotRunning; n],
             rr: 0,
             scratch_regs: Vec::with_capacity(4),
             halted: 0,
             at_barrier: 0,
             issued_any: false,
+            issue_mask: u32::MAX,
         }
     }
 
@@ -223,6 +240,25 @@ impl Core {
         if matches!(instr, Instr::Store { .. }) && !self.memunit.can_accept_store(t as u8) {
             return Some(StallKind::StoreBufferFull);
         }
+        // Ordering gates (DESIGN.md §17). Under sequential consistency the
+        // write buffer is never used, so both conditions below are
+        // vacuously false and the SC timing is untouched.
+        if matches!(instr, Instr::Barrier) && self.memunit.lsu_buffered_stores(t as u8) > 0 {
+            // A barrier is a synchronization point: the thread's buffered
+            // stores must be globally visible before it reports arrival.
+            return Some(StallKind::Fence);
+        }
+        if let Instr::Fence { kind } = instr {
+            let tid = t as u8;
+            let drained = match kind {
+                glsc_isa::FenceKind::Full => self.memunit.lsu_thread_pending(tid) == 0,
+                glsc_isa::FenceKind::Acquire => self.memunit.lsu_thread_entries(tid) == 0,
+                glsc_isa::FenceKind::Release => self.memunit.lsu_buffered_stores(tid) == 0,
+            };
+            if !drained {
+                return Some(StallKind::Fence);
+            }
+        }
         None
     }
 
@@ -241,6 +277,12 @@ impl Core {
         for off in 0..n {
             let t = (start + off) % n;
             if self.threads[t].status != ThreadStatus::Running {
+                continue;
+            }
+            if self.issue_mask & (1 << t) == 0 {
+                // Externally descheduled this cycle (litmus schedule
+                // controller): accounted like losing the issue slot.
+                self.records[t] = IssueRecord::Stalled(StallKind::NoSlot, false);
                 continue;
             }
             let sync_at_pc = program
@@ -302,7 +344,7 @@ impl Core {
                     }
                 };
                 self.memunit
-                    .lsu_push(glsc_core::LsuEntry { tid, addr, action });
+                    .lsu_push(glsc_core::LsuEntry { tid, addr, action }, now);
                 let th = &mut self.threads[t];
                 th.mark_pending_mem(rd);
                 th.arch.pc += 1;
@@ -312,11 +354,14 @@ impl Core {
                 let th = &self.threads[t];
                 let addr = th.arch.reg(base).wrapping_add(offset as u64);
                 let value = th.arch.reg(rs) as u32;
-                self.memunit.lsu_push(glsc_core::LsuEntry {
-                    tid,
-                    addr,
-                    action: LsuAction::StoreVal { value },
-                });
+                self.memunit.lsu_push(
+                    glsc_core::LsuEntry {
+                        tid,
+                        addr,
+                        action: LsuAction::StoreVal { value },
+                    },
+                    now,
+                );
                 let th = &mut self.threads[t];
                 th.arch.pc += 1;
                 th.next_issue_at = now + 1;
@@ -330,14 +375,17 @@ impl Core {
                 let th = &self.threads[t];
                 let addr = th.arch.reg(base).wrapping_add(offset as u64);
                 let value = th.arch.reg(rs) as u32;
-                self.memunit.lsu_push(glsc_core::LsuEntry {
-                    tid,
-                    addr,
-                    action: LsuAction::ScVal {
-                        rd: rd.index() as u8,
-                        value,
+                self.memunit.lsu_push(
+                    glsc_core::LsuEntry {
+                        tid,
+                        addr,
+                        action: LsuAction::ScVal {
+                            rd: rd.index() as u8,
+                            value,
+                        },
                     },
-                });
+                    now,
+                );
                 let th = &mut self.threads[t];
                 th.mark_pending_mem(rd);
                 th.arch.pc += 1;
@@ -407,11 +455,14 @@ impl Core {
                             lanes: values[i].clone(),
                         }
                     };
-                    self.memunit.lsu_push(glsc_core::LsuEntry {
-                        tid,
-                        addr: line,
-                        action,
-                    });
+                    self.memunit.lsu_push(
+                        glsc_core::LsuEntry {
+                            tid,
+                            addr: line,
+                            action,
+                        },
+                        now,
+                    );
                 }
             }
             Instr::VGather {
@@ -492,6 +543,14 @@ impl Core {
                     width,
                     sync,
                 );
+            }
+            Instr::Fence { .. } => {
+                // check_stall held the fence until its drain condition
+                // cleared; retiring it is a one-cycle no-op.
+                self.memunit.note_fence();
+                let th = &mut self.threads[t];
+                th.arch.pc += 1;
+                th.next_issue_at = now + 1;
             }
             _ => {
                 let th = &mut self.threads[t];
@@ -599,7 +658,9 @@ impl Core {
                         }
                         IssueRecord::Stalled(kind, sync) => {
                             match kind {
-                                StallKind::OperandMem | StallKind::StoreBufferFull => {
+                                StallKind::OperandMem
+                                | StallKind::StoreBufferFull
+                                | StallKind::Fence => {
                                     th.stats.mem_stall_cycles += 1;
                                 }
                                 StallKind::Pipeline => th.stats.compute_stall_cycles += 1,
@@ -697,6 +758,7 @@ impl Core {
         self.at_barrier = snap.at_barrier;
         self.issued_any = snap.issued_any;
         self.scratch_regs.clear();
+        self.issue_mask = u32::MAX;
     }
 
     /// Bulk stall attribution for the fast-forwarded window `[from, to)`,
@@ -785,6 +847,7 @@ impl glsc_wire::Wire for StallKind {
             StallKind::Pipeline => 1,
             StallKind::StoreBufferFull => 2,
             StallKind::NoSlot => 3,
+            StallKind::Fence => 4,
         });
     }
     fn decode(r: &mut glsc_wire::Reader<'_>) -> Result<Self, glsc_wire::WireError> {
@@ -794,6 +857,7 @@ impl glsc_wire::Wire for StallKind {
             1 => StallKind::Pipeline,
             2 => StallKind::StoreBufferFull,
             3 => StallKind::NoSlot,
+            4 => StallKind::Fence,
             _ => {
                 return Err(glsc_wire::WireError::Invalid {
                     at,

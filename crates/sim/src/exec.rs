@@ -264,6 +264,17 @@ pub fn step_compute(
                 serialize: false,
             }
         }
+        Fence { .. } => {
+            // Ordering-only: the pipeline's issue stage holds a fence
+            // until its drain condition clears (cpu.rs), so by the time
+            // it executes it is a one-cycle no-op.
+            arch.pc += 1;
+            StepOutcome::Compute {
+                dst: None,
+                latency: lat.int_alu,
+                serialize: false,
+            }
+        }
         VAlu {
             op,
             vd,
@@ -534,7 +545,7 @@ pub fn src_regs(instr: &Instr, out: &mut Vec<Reg>) {
         }
     };
     match instr {
-        Li { .. } | Halt | Barrier | Nop | Jump { .. } => {}
+        Li { .. } | Halt | Barrier | Nop | Fence { .. } | Jump { .. } => {}
         Alu { rs, src2, .. } | Cmp { rs, src2, .. } => {
             out.push(*rs);
             push_op(src2, out);

@@ -49,6 +49,7 @@ mod config;
 mod cpu;
 mod exec;
 mod fleet;
+pub mod litmus;
 mod machine;
 pub mod reference;
 mod report;
@@ -67,6 +68,7 @@ pub use thread::ThreadStatus;
 pub use glsc_core::GlscConfig;
 pub use glsc_isa::Program;
 pub use glsc_mem::{
-    ArbitrationPolicy, BackingBase, ChaosConfig, ChaosStats, FaultPlan, MemConfig, MemSnapshot,
-    MemorySystem, MsgClass, NocConfig, NocStats, ThreadScStats, Topology,
+    ArbitrationPolicy, AtomicityOracle, AtomicityViolation, BackingBase, ChaosConfig, ChaosStats,
+    FaultPlan, MemConfig, MemSnapshot, MemoryOrder, MemorySystem, MsgClass, NocConfig, NocStats,
+    OracleStats, ThreadScStats, Topology,
 };

@@ -76,6 +76,17 @@ pub enum SimError {
         /// The violated invariant.
         violation: glsc_mem::InvariantViolation,
     },
+    /// The vector-clock atomicity oracle (DESIGN.md §17) observed a
+    /// foreign write landing inside a GLSC atomic region that nonetheless
+    /// committed. Only produced when an oracle is installed on the memory
+    /// system ([`glsc_mem::MemorySystem::install_oracle`]); the default
+    /// machine never raises it.
+    AtomicityViolation {
+        /// Cycle at which the violating commit was observed.
+        cycle: u64,
+        /// The oracle's account of the broken region.
+        violation: glsc_mem::AtomicityViolation,
+    },
     /// [`Machine::restore`] was called with a snapshot captured under a
     /// different machine configuration; restoring it would silently
     /// change the machine's shape or timing model mid-run. Carries both
@@ -140,6 +151,9 @@ impl fmt::Display for SimError {
                     "coherence invariant violated at cycle {cycle}: {violation}"
                 )
             }
+            SimError::AtomicityViolation { cycle, violation } => {
+                write!(f, "atomicity violated at cycle {cycle}: {violation}")
+            }
             SimError::SnapshotMismatch { machine, snapshot } => {
                 write!(
                     f,
@@ -162,6 +176,7 @@ impl Error for SimError {
         match self {
             SimError::InvalidConfig(e) => Some(e),
             SimError::InvariantViolation { violation, .. } => Some(violation),
+            SimError::AtomicityViolation { violation, .. } => Some(violation),
             _ => None,
         }
     }
@@ -321,6 +336,70 @@ impl Machine {
             .all(|c| c.all_halted() && c.memunit.is_idle())
     }
 
+    /// Advances one cycle with an externally-imposed per-core issue mask
+    /// (bit `t` of `masks[c]` allows thread `t` of core `c` to issue this
+    /// cycle). Threads masked out are accounted as losing the issue slot.
+    /// The mask applies to this step only — the litmus schedule controller
+    /// uses this to pin the machine to an explicit thread interleaving.
+    /// With all-ones masks this is exactly [`step`](Machine::step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks` is shorter than the core count, or no program is
+    /// loaded.
+    pub fn step_masked(&mut self, masks: &[u32]) -> bool {
+        assert!(masks.len() >= self.cores.len(), "mask per core required");
+        for (core, &m) in self.cores.iter_mut().zip(masks) {
+            core.issue_mask = m;
+        }
+        let done = self.step();
+        for core in &mut self.cores {
+            core.issue_mask = u32::MAX;
+        }
+        done
+    }
+
+    /// The first atomicity violation the installed oracle has recorded,
+    /// if any (`None` when no oracle is installed — the default).
+    pub fn oracle_violation(&self) -> Option<&glsc_mem::AtomicityViolation> {
+        self.mem.oracle_violation()
+    }
+
+    /// Instructions retired so far by global thread `gid` (lets schedule
+    /// controllers observe whether a thread made progress).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gid` is out of range.
+    pub fn thread_instructions(&self, gid: usize) -> u64 {
+        let c = gid / self.cfg.threads_per_core;
+        let t = gid % self.cfg.threads_per_core;
+        self.cores[c].threads[t].stats.instructions
+    }
+
+    /// Whether global thread `gid` has halted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gid` is out of range.
+    pub fn thread_halted(&self, gid: usize) -> bool {
+        let c = gid / self.cfg.threads_per_core;
+        let t = gid % self.cfg.threads_per_core;
+        self.cores[c].threads[t].is_halted()
+    }
+
+    /// Stores currently sitting in global thread `gid`'s write buffer
+    /// (always 0 under sequential consistency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gid` is out of range.
+    pub fn buffered_stores(&self, gid: usize) -> usize {
+        let c = gid / self.cfg.threads_per_core;
+        let t = gid % self.cfg.threads_per_core;
+        self.cores[c].memunit.lsu_buffered_stores(t as u8)
+    }
+
     fn release_barrier(&mut self, now: u64) {
         let mut waiting = 0usize;
         let mut halted = 0usize;
@@ -426,7 +505,18 @@ impl Machine {
             .invariant_check_period
             .map(|p| self.cycle.saturating_add(p));
         loop {
-            if self.step() {
+            let done = self.step();
+            // The oracle only accumulates during stepped cycles (memory
+            // traffic pins the machine to single-stepping), so polling
+            // here catches every violation on the cycle it commits —
+            // including one on the final step.
+            if let Some(v) = self.mem.oracle_violation() {
+                return Err(SimError::AtomicityViolation {
+                    cycle: self.cycle,
+                    violation: v.clone(),
+                });
+            }
+            if done {
                 return Ok(self.report());
             }
             // Starvation check directly after the step: SC outcomes are
@@ -554,7 +644,14 @@ impl Machine {
         };
         let slice_end = self.cycle.saturating_add(budget);
         loop {
-            if self.step_fast(&program, comp_buf) {
+            let done = self.step_fast(&program, comp_buf);
+            if let Some(v) = self.mem.oracle_violation() {
+                return Err(SimError::AtomicityViolation {
+                    cycle: self.cycle,
+                    violation: v.clone(),
+                });
+            }
+            if done {
                 return Ok(SliceOutcome::Done);
             }
             if let Some(threshold) = self.cfg.starvation_threshold {
@@ -733,6 +830,7 @@ impl Machine {
             cycles: self.cycle,
             threads: Vec::with_capacity(self.cfg.total_threads()),
             mem: self.mem.stats().clone(),
+            memory_order: self.cfg.mem.memory_order,
             ..RunReport::default()
         };
         for core in &self.cores {

@@ -89,6 +89,8 @@ pub struct RunReport {
     pub lsu: LsuStats,
     /// GSU counters summed over cores.
     pub gsu: GsuStats,
+    /// Memory consistency model the run executed under (DESIGN.md §17).
+    pub memory_order: glsc_mem::MemoryOrder,
 }
 
 impl RunReport {
